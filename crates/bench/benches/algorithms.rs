@@ -1,0 +1,48 @@
+//! Ablation bench: the three partitioning algorithms (plus the geometric
+//! slope-mode extension) across speed-function regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpm_core::partition::{
+    BisectionPartitioner, CombinedPartitioner, ModifiedPartitioner, Partitioner, SlopeMode,
+};
+use fpm_core::speed::AnalyticSpeed;
+use std::hint::black_box;
+
+fn mixed_cluster(p: usize) -> Vec<AnalyticSpeed> {
+    (0..p)
+        .map(|i| match i % 4 {
+            0 => AnalyticSpeed::decreasing(200.0 + i as f64, 1e6, 2.0),
+            1 => AnalyticSpeed::saturating(150.0 + i as f64, 5e4),
+            2 => AnalyticSpeed::unimodal(250.0 + i as f64, 1e4, 5e6, 2.0),
+            _ => AnalyticSpeed::paging(300.0 + i as f64, 2e6, 3.0),
+        })
+        .collect()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms");
+    let n = 100_000_000u64;
+    for p in [4usize, 12, 64] {
+        let funcs = mixed_cluster(p);
+        group.bench_with_input(BenchmarkId::new("basic_tangent", p), &funcs, |b, funcs| {
+            let alg = BisectionPartitioner::new();
+            b.iter(|| black_box(alg.partition(n, funcs).unwrap().makespan))
+        });
+        group.bench_with_input(BenchmarkId::new("basic_geometric", p), &funcs, |b, funcs| {
+            let alg = BisectionPartitioner::new().with_slope_mode(SlopeMode::Geometric);
+            b.iter(|| black_box(alg.partition(n, funcs).unwrap().makespan))
+        });
+        group.bench_with_input(BenchmarkId::new("modified", p), &funcs, |b, funcs| {
+            let alg = ModifiedPartitioner::new();
+            b.iter(|| black_box(alg.partition(n, funcs).unwrap().makespan))
+        });
+        group.bench_with_input(BenchmarkId::new("combined", p), &funcs, |b, funcs| {
+            let alg = CombinedPartitioner::new();
+            b.iter(|| black_box(alg.partition(n, funcs).unwrap().makespan))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! End-to-end application benches: the Fig. 22 pipelines (partition +
+//! simulated execution) and the VGB distribution construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpm_core::partition::{CombinedPartitioner, SingleNumberPartitioner};
+use fpm_exec::cluster::SimCluster;
+use fpm_exec::lu_run::simulate_lu;
+use fpm_exec::mm_run::simulate_mm;
+use fpm_kernels::vgb::variable_group_block;
+use fpm_simnet::profile::AppProfile;
+use fpm_simnet::workload;
+use std::hint::black_box;
+
+fn bench_mm_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig22a_mm_pipeline");
+    let cluster = SimCluster::table2(AppProfile::MatrixMult);
+    for n in [15_000u64, 31_000] {
+        group.bench_with_input(BenchmarkId::new("functional", n), &n, |bench, &n| {
+            let p = CombinedPartitioner::new();
+            bench.iter(|| black_box(simulate_mm(n, cluster.funcs(), &p).unwrap().makespan))
+        });
+        group.bench_with_input(BenchmarkId::new("single_number", n), &n, |bench, &n| {
+            let p = SingleNumberPartitioner::at_size(workload::mm_elements(500) as f64);
+            bench.iter(|| black_box(simulate_mm(n, cluster.funcs(), &p).unwrap().makespan))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vgb_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig22b_vgb");
+    group.sample_size(10);
+    let cluster = SimCluster::table2(AppProfile::LuFactorization);
+    for n in [16_000u64, 32_000] {
+        group.bench_with_input(BenchmarkId::new("construct", n), &n, |bench, &n| {
+            let p = CombinedPartitioner::new();
+            bench.iter(|| {
+                black_box(
+                    variable_group_block(n, 32, cluster.funcs(), &p).unwrap().total_blocks(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("simulate", n), &n, |bench, &n| {
+            let p = CombinedPartitioner::new();
+            let d = variable_group_block(n, 32, cluster.funcs(), &p).unwrap();
+            bench.iter(|| {
+                black_box(
+                    simulate_lu(n, 32, &d.block_owner, cluster.funcs()).unwrap().total_seconds,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mm_pipeline, bench_vgb_construction);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Benches of the dense linear-algebra substrate (Tables 3-4 kernels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fpm_kernels::lu::lu_blocked;
+use fpm_kernels::matmul::{matmul_abt, matmul_abt_blocked};
+use fpm_kernels::matrix::Matrix;
+use fpm_kernels::striped::{parallel_matmul_abt, StripedLayout};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_abt");
+    for n in [64usize, 128, 256] {
+        let a = Matrix::random(n, n, 1);
+        let b = Matrix::random(n, n, 2);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| black_box(matmul_abt(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked64", n), &n, |bench, _| {
+            bench.iter(|| black_box(matmul_abt_blocked(&a, &b, 64)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_matmul");
+    group.sample_size(20);
+    let n = 256usize;
+    let a = Matrix::random(n, n, 3);
+    let b = Matrix::random(n, n, 4);
+    for workers in [1usize, 2, 4] {
+        let per = n / workers;
+        let mut counts = vec![per; workers];
+        counts[workers - 1] += n - per * workers;
+        let layout = StripedLayout::new(counts);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &layout,
+            |bench, layout| bench.iter(|| black_box(parallel_matmul_abt(&a, &b, layout))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu_blocked");
+    for n in [64usize, 128, 256] {
+        let a = Matrix::diagonally_dominant(n, 7);
+        group.throughput(Throughput::Elements((2 * n * n * n / 3) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut m = a.clone();
+                lu_blocked(&mut m, 32);
+                black_box(m[(0, 0)])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_parallel_matmul, bench_lu);
+criterion_main!(benches);

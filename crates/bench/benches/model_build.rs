@@ -1,0 +1,56 @@
+//! Bench of the §3.1 model-building procedure: measurement counts are the
+//! real cost in deployment; this bench tracks the computational overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpm_core::speed::builder::{build_speed_band, BuilderConfig};
+use fpm_core::speed::SpeedFunction;
+use fpm_simnet::profile::AppProfile;
+use fpm_simnet::speed_model::MachineSpeed;
+use fpm_simnet::testbeds;
+use std::hint::black_box;
+
+fn bench_builder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_builder");
+    let specs = testbeds::table2();
+    for (idx, name) in [(0usize, "X1"), (2, "X3"), (9, "X10")] {
+        let truth = MachineSpeed::for_app(&specs[idx], AppProfile::MatrixMult);
+        let (a, b) = truth.model_interval();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &truth, |bench, truth| {
+            bench.iter(|| {
+                let mut oracle = |x: f64| truth.speed(x);
+                let out =
+                    build_speed_band(&mut oracle, a, b, BuilderConfig::default()).unwrap();
+                black_box(out.measurements)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_epsilon_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("builder_epsilon");
+    let specs = testbeds::table2();
+    let truth = MachineSpeed::for_app(&specs[7], AppProfile::MatrixMult);
+    let (a, b) = truth.model_interval();
+    for eps in [0.02f64, 0.05, 0.20] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{eps}")),
+            &eps,
+            |bench, &eps| {
+                let cfg = BuilderConfig {
+                    epsilon: eps,
+                    max_measurements: 256,
+                    ..BuilderConfig::default()
+                };
+                bench.iter(|| {
+                    let mut oracle = |x: f64| truth.speed(x);
+                    black_box(build_speed_band(&mut oracle, a, b, cfg).unwrap().measurements)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builder, bench_epsilon_sweep);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Scaling benches: partitioner cost vs cluster size on generated random
+//! heterogeneous networks, plus the extension partitioners.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpm_core::partition::{
+    partition_contiguous, CombinedPartitioner, ModifiedPartitioner, Partitioner,
+    SecantPartitioner,
+};
+use fpm_simnet::profile::AppProfile;
+use fpm_simnet::scenarios::{random_cluster, ScenarioConfig};
+use std::hint::black_box;
+
+fn bench_partitioner_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_random_clusters");
+    group.sample_size(20);
+    let n = 1_000_000_000u64;
+    for p in [10usize, 100, 500] {
+        let cluster = random_cluster(
+            ScenarioConfig { machines: p, seed: 42, ..ScenarioConfig::default() },
+            AppProfile::MatrixMult,
+        );
+        group.bench_with_input(BenchmarkId::new("combined", p), &cluster, |b, cluster| {
+            let alg = CombinedPartitioner::new();
+            b.iter(|| black_box(alg.partition(n, cluster).unwrap().makespan))
+        });
+        group.bench_with_input(BenchmarkId::new("modified", p), &cluster, |b, cluster| {
+            let alg = ModifiedPartitioner::new();
+            b.iter(|| black_box(alg.partition(n, cluster).unwrap().makespan))
+        });
+        group.bench_with_input(BenchmarkId::new("secant", p), &cluster, |b, cluster| {
+            let alg = SecantPartitioner::new();
+            b.iter(|| black_box(alg.partition(n, cluster).unwrap().makespan))
+        });
+    }
+    group.finish();
+}
+
+fn bench_contiguous(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contiguous_weighted");
+    group.sample_size(20);
+    let cluster = random_cluster(
+        ScenarioConfig { machines: 16, seed: 7, ..ScenarioConfig::default() },
+        AppProfile::MatrixMult,
+    );
+    for items in [10_000usize, 100_000] {
+        let weights: Vec<f64> =
+            (0..items).map(|k| ((k * 131) % 17 + 1) as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(items), &weights, |b, weights| {
+            b.iter(|| black_box(partition_contiguous(weights, &cluster).unwrap().makespan))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioner_scaling, bench_contiguous);
+criterion_main!(benches);

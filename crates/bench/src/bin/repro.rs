@@ -1,0 +1,77 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro all                # run everything, write results/*.csv
+//! repro fig22a fig22b      # run selected experiments
+//! repro --list             # list experiment ids
+//! repro --out DIR fig21    # custom output directory
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fpm_bench::{run_experiment, ALL_EXPERIMENTS};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for id in ALL_EXPERIMENTS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--out DIR] (all | <experiment id>...)\n       repro --list"
+                );
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_owned()),
+        }
+    }
+
+    if ids.is_empty() {
+        eprintln!("no experiments requested; try `repro all` or `repro --list`");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for id in ids {
+        match run_experiment(&id) {
+            Some(report) => {
+                print!("{}", report.to_text());
+                println!();
+                if let Err(e) = report.write_csv(&out_dir) {
+                    eprintln!("warning: could not write {}: {e}", out_dir.display());
+                } else {
+                    println!("  → {}", out_dir.join(format!("{id}.csv")).display());
+                    println!();
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (see `repro --list`)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,91 @@
+//! Fig. 1: the effect of caching and paging on the speed of the three
+//! motivating applications across the Table 1 machines.
+//!
+//! Expected shape: ArrayOpsF and MatrixMultATLAS show flat plateaus with a
+//! sharp drop at the paging point *P*; naive MatrixMult declines smoothly
+//! from small sizes; faster machines sit higher; each machine's *P*
+//! reflects its memory size.
+
+use fpm_core::speed::SpeedFunction;
+use fpm_simnet::profile::AppProfile;
+use fpm_simnet::speed_model::MachineSpeed;
+use fpm_simnet::testbeds;
+use fpm_simnet::workload;
+
+use crate::report::{fnum, Report};
+
+/// Runs the speed sweeps for the three applications of Fig. 1.
+pub fn run() -> Report {
+    let specs = testbeds::table1();
+    let apps =
+        [AppProfile::ArrayOpsF, AppProfile::MatrixMultAtlas, AppProfile::MatrixMult];
+    let mut r = Report::new(
+        "fig1",
+        "Speed vs problem size per application and machine (paper Fig. 1)",
+        &["application", "machine", "matrix dim n", "elements", "speed (MFlops)", "paging?"],
+    );
+    for app in apps {
+        for spec in &specs {
+            let model = MachineSpeed::for_app(spec, app);
+            let page = model.paging_point();
+            // Sweep matrix dimensions on a grid covering cache → paging.
+            for k in 1..=16u32 {
+                let frac = k as f64 / 12.0; // extends past the paging point
+                let elements = page * frac;
+                let n = workload::mm_dimension(elements);
+                r.push_row(vec![
+                    app.name().to_owned(),
+                    spec.name.clone(),
+                    fnum(n, 0),
+                    fnum(elements, 0),
+                    fnum(model.speed(elements), 1),
+                    if elements > page { "yes".into() } else { String::new() },
+                ]);
+            }
+        }
+    }
+    r.note("P (paging start) is where the 'paging?' column flips to yes");
+    r.note(
+        "expected: ArrayOpsF/ATLAS flat until P then collapse; naive MatrixMult \
+         declines smoothly from small sizes (paper Fig. 1a-c)",
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_rows_for_all_combinations() {
+        let r = run();
+        assert_eq!(r.rows.len(), 3 * 4 * 16);
+    }
+
+    #[test]
+    fn naive_mm_declines_before_paging_while_atlas_is_flat() {
+        // Compare speed at 1/12 and 8/12 of the paging point for Comp1.
+        let specs = testbeds::table1();
+        let atlas = MachineSpeed::for_app(&specs[0], AppProfile::MatrixMultAtlas);
+        let naive = MachineSpeed::for_app(&specs[0], AppProfile::MatrixMult);
+        let p = atlas.paging_point();
+        let atlas_drop = atlas.speed(p * 8.0 / 12.0) / atlas.speed(p / 12.0);
+        let naive_drop = naive.speed(p * 8.0 / 12.0) / naive.speed(p / 12.0);
+        assert!(atlas_drop > 0.9, "ATLAS stays flat: {atlas_drop}");
+        assert!(naive_drop < atlas_drop, "naive declines more: {naive_drop}");
+    }
+
+    #[test]
+    fn speed_collapses_past_paging_point() {
+        let specs = testbeds::table1();
+        for app in [AppProfile::ArrayOpsF, AppProfile::MatrixMultAtlas] {
+            let m = MachineSpeed::for_app(&specs[3], app);
+            let p = m.paging_point();
+            assert!(
+                m.speed(p * 1.3) < 0.6 * m.speed(p * 0.9),
+                "{}: paging must bite",
+                app.name()
+            );
+        }
+    }
+}

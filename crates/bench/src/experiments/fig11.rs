@@ -1,0 +1,64 @@
+//! Figs. 10–12: the modified algorithm bisecting the space of solutions,
+//! with the `O(p²·log n)` step-count bound made observable.
+
+use fpm_core::partition::{ModifiedPartitioner, Partitioner};
+use fpm_core::speed::AnalyticSpeed;
+
+use crate::report::{fnum, Report};
+
+fn processors(p: usize) -> Vec<AnalyticSpeed> {
+    (0..p)
+        .map(|i| {
+            let peak = 80.0 + 30.0 * (i % 7) as f64;
+            let knee = 1e6 * (1.0 + (i % 5) as f64);
+            AnalyticSpeed::unimodal(peak, 1e4, knee, 2.0)
+        })
+        .collect()
+}
+
+/// Traces the modified algorithm and tabulates its step counts against the
+/// `p·log₂ n` bound for growing `n` and `p`.
+pub fn run() -> Report {
+    let mut r = Report::new(
+        "fig11",
+        "Solution-space bisection: steps vs the p·log2(n) bound (paper Figs. 10-12)",
+        &["p", "n", "steps", "p·log2(n)", "steps / bound"],
+    );
+    for &p in &[2usize, 4, 8, 12] {
+        let funcs = processors(p);
+        for &n in &[100_000u64, 10_000_000, 1_000_000_000] {
+            let report = ModifiedPartitioner::new().partition(n, &funcs).unwrap();
+            let bound = p as f64 * (n as f64).log2();
+            r.push_row(vec![
+                p.to_string(),
+                n.to_string(),
+                report.trace.steps().to_string(),
+                fnum(bound, 0),
+                fnum(report.trace.steps() as f64 / bound, 3),
+            ]);
+        }
+    }
+    r.note("expected: steps stay below (usually far below) the p·log2(n) bound, independent of graph shapes");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_respect_bound() {
+        let r = run();
+        for row in &r.rows {
+            let ratio: f64 = row[4].parse().unwrap();
+            assert!(ratio <= 1.0, "p={} n={}: ratio {ratio}", row[0], row[1]);
+        }
+    }
+
+    #[test]
+    fn trace_exists_for_nontrivial_problems() {
+        let funcs = processors(4);
+        let report = ModifiedPartitioner::new().partition(10_000_000, &funcs).unwrap();
+        assert!(report.trace.steps() > 0);
+    }
+}

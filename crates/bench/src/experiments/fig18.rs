@@ -1,0 +1,60 @@
+//! Fig. 18: detection of the two initial lines between which the optimal
+//! solution lies — probe every processor at `n/p`, draw lines through the
+//! maximum and minimum probed speeds.
+
+use fpm_core::geometry::total_elements_at_slope;
+use fpm_core::partition::initial_slopes;
+use fpm_core::speed::SpeedFunction;
+use fpm_exec::cluster::SimCluster;
+use fpm_simnet::profile::AppProfile;
+use fpm_simnet::workload;
+
+use crate::report::{fnum, Report};
+
+/// Runs the initial-line detection on the Table 2 testbed.
+pub fn run() -> Report {
+    let cluster = SimCluster::table2(AppProfile::MatrixMult);
+    let mut r = Report::new(
+        "fig18",
+        "Initial lines from the n/p probe (paper Fig. 18)",
+        &["n (elements)", "share n/p", "min speed", "max speed", "Σx at steep line", "Σx at shallow line"],
+    );
+    for n_dim in [10_000u64, 20_000, 30_000] {
+        let n = workload::mm_elements(n_dim);
+        let p = cluster.len() as f64;
+        let share = n as f64 / p;
+        let speeds: Vec<f64> = cluster.funcs().iter().map(|f| f.speed(share)).collect();
+        let max = speeds.iter().cloned().fold(0.0, f64::max);
+        let min = speeds.iter().cloned().filter(|&s| s > 0.0).fold(f64::INFINITY, f64::min);
+        let (shallow, steep) = initial_slopes(n, cluster.funcs()).expect("positive speeds");
+        let total_steep = total_elements_at_slope(cluster.funcs(), steep);
+        let total_shallow = total_elements_at_slope(cluster.funcs(), shallow);
+        r.push_row(vec![
+            n.to_string(),
+            fnum(share, 0),
+            fnum(min, 1),
+            fnum(max, 1),
+            fnum(total_steep, 0),
+            fnum(total_shallow, 0),
+        ]);
+    }
+    r.note("expected: Σx at the steep line ≤ n ≤ Σx at the shallow line — the optimum is bracketed");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_bracket_n() {
+        let r = run();
+        for row in &r.rows {
+            let n: f64 = row[0].parse().unwrap();
+            let steep: f64 = row[4].parse().unwrap();
+            let shallow: f64 = row[5].parse().unwrap();
+            assert!(steep <= n * 1.0001, "steep {steep} vs n {n}");
+            assert!(shallow >= n * 0.9999, "shallow {shallow} vs n {n}");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Fig. 3: why a single point cannot represent a processor — choosing the
+//! speeds at one problem size gives a distribution that is wrong (possibly
+//! inverted) at another.
+//!
+//! Two processors run the naive matrix multiplication; their relative
+//! speed changes with problem size because one pages much earlier. The
+//! experiment partitions with single numbers sampled at a small and a
+//! large size and reports the resulting makespans against the functional
+//! optimum.
+
+use fpm_core::partition::{CombinedPartitioner, Partitioner, SingleNumberPartitioner};
+use fpm_core::speed::{AnalyticSpeed, SpeedFunction};
+
+use crate::report::{fnum, Report};
+
+/// Two machines whose relative speed inverts with size: machine A is 2×
+/// faster while everything fits, but pages at 2e6 elements; machine B is
+/// slower and steady.
+pub fn two_processors() -> Vec<AnalyticSpeed> {
+    vec![
+        AnalyticSpeed::unimodal(200.0, 1e4, 2e6, 3.0),
+        AnalyticSpeed::decreasing(100.0, 5e7, 1.5),
+    ]
+}
+
+/// Runs the mispartition demonstration.
+pub fn run() -> Report {
+    let funcs = two_processors();
+    let mut r = Report::new(
+        "fig3",
+        "Single-number distributions are wrong away from their sampling point (paper Fig. 3)",
+        &["n (elements)", "model", "x0", "x1", "makespan (s)", "vs optimal"],
+    );
+    for &n in &[400_000u64, 4_000_000, 40_000_000] {
+        let optimal = CombinedPartitioner::new().partition(n, &funcs).unwrap();
+        for (label, report) in [
+            ("functional", optimal.clone()),
+            (
+                "single@1e5",
+                SingleNumberPartitioner::at_size(1e5).partition(n, &funcs).unwrap(),
+            ),
+            (
+                "single@2e7",
+                SingleNumberPartitioner::at_size(2e7).partition(n, &funcs).unwrap(),
+            ),
+        ] {
+            r.push_row(vec![
+                n.to_string(),
+                label.to_owned(),
+                report.distribution.counts()[0].to_string(),
+                report.distribution.counts()[1].to_string(),
+                fnum(report.makespan, 3),
+                fnum(report.makespan / optimal.makespan, 2),
+            ]);
+        }
+    }
+    // Relative speed inversion for the note.
+    let s_small = funcs[0].speed(2e5) / funcs[1].speed(2e5);
+    let s_large = funcs[0].speed(2e7) / funcs[1].speed(2e7);
+    r.note(format!(
+        "relative speed A/B is {:.2} at 2e5 elements but {:.2} at 2e7 — no single number is right at both",
+        s_small, s_large
+    ));
+    r.note("expected: each single-number variant is near-optimal at its own sampling regime and pays up to several× elsewhere");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_speed_inverts() {
+        let funcs = two_processors();
+        assert!(funcs[0].speed(2e5) > funcs[1].speed(2e5));
+        assert!(funcs[0].speed(2e7) < funcs[1].speed(2e7));
+    }
+
+    #[test]
+    fn wrong_point_costs_time() {
+        let r = run();
+        // At n = 4e7 the small-size single-number model must be noticeably
+        // worse than the functional optimum.
+        let row = r
+            .rows
+            .iter()
+            .find(|row| row[0] == "40000000" && row[1] == "single@1e5")
+            .expect("row exists");
+        let ratio: f64 = row[5].parse().unwrap();
+        assert!(ratio > 1.1, "mispartition should cost ≥10 %: ratio {ratio}");
+    }
+
+    #[test]
+    fn functional_rows_are_optimal() {
+        let r = run();
+        for row in r.rows.iter().filter(|row| row[1] == "functional") {
+            let ratio: f64 = row[5].parse().unwrap();
+            assert!((ratio - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Figs. 4 and 6: geometry and uniqueness of the optimal solution.
+//!
+//! Fig. 4 — at the optimum, the points `(x_i, s_i(x_i))` lie on one
+//! straight line through the origin: `s_i(x_i)/x_i` equal for all `i`.
+//!
+//! Fig. 6 — any other distribution summing to `n` has a strictly larger
+//! makespan (the paper's induction argument, checked empirically by
+//! perturbing the optimum).
+
+use fpm_core::partition::{oracle, CombinedPartitioner, Distribution, Partitioner};
+use fpm_core::speed::{AnalyticSpeed, SpeedFunction};
+
+use crate::report::{fnum, Report};
+
+fn three_processors() -> Vec<AnalyticSpeed> {
+    // The three shapes of paper Fig. 6: decreasing, unimodal, increasing.
+    vec![
+        AnalyticSpeed::decreasing(200.0, 2e6, 2.0),
+        AnalyticSpeed::unimodal(250.0, 5e4, 5e6, 2.0),
+        AnalyticSpeed::saturating(150.0, 2e5),
+    ]
+}
+
+/// Fig. 4: geometric proportionality at the optimum.
+pub fn fig4() -> Report {
+    let funcs = three_processors();
+    let n = 10_000_000u64;
+    let report = CombinedPartitioner::new().partition(n, &funcs).unwrap();
+    let mut r = Report::new(
+        "fig4",
+        "The optimum lies on one origin line: s_i(x_i)/x_i equal (paper Fig. 4)",
+        &["processor", "x_i", "s_i(x_i) (MFlops)", "slope s/x", "time x/s (s)"],
+    );
+    for (i, (&x, f)) in report.distribution.counts().iter().zip(&funcs).enumerate() {
+        let s = f.speed(x as f64);
+        r.push_row(vec![
+            i.to_string(),
+            x.to_string(),
+            fnum(s, 2),
+            format!("{:.6e}", s / x as f64),
+            fnum(x as f64 / s, 2),
+        ]);
+    }
+    r.note("expected: the slope column is constant across processors (single line through the origin)");
+    r
+}
+
+/// Fig. 6: uniqueness — perturbations of the optimum are strictly worse.
+pub fn fig6() -> Report {
+    let funcs = three_processors();
+    let n = 10_000_000u64;
+    let optimal = oracle::solve(n, &funcs).unwrap();
+    let base = optimal.distribution.counts().to_vec();
+    let mut r = Report::new(
+        "fig6",
+        "Any other distribution has larger execution time (paper Fig. 6)",
+        &["perturbation", "x0", "x1", "x2", "makespan (s)", "vs optimal"],
+    );
+    let mut emit = |label: &str, counts: Vec<u64>| {
+        let d = Distribution::new(counts);
+        let makespan = d.makespan(&funcs);
+        r.push_row(vec![
+            label.to_owned(),
+            d.counts()[0].to_string(),
+            d.counts()[1].to_string(),
+            d.counts()[2].to_string(),
+            fnum(makespan, 3),
+            fnum(makespan / optimal.makespan, 4),
+        ]);
+    };
+    emit("optimal", base.clone());
+    // Move chunks of elements between processor pairs.
+    let delta = n / 20;
+    for (from, to) in [(0usize, 1usize), (1, 2), (2, 0), (0, 2)] {
+        let mut c = base.clone();
+        let moved = delta.min(c[from]);
+        c[from] -= moved;
+        c[to] += moved;
+        emit(&format!("move 5% {from}→{to}"), c);
+    }
+    // The even distribution the paper mentions as the safe fallback.
+    let even = n / 3;
+    emit("even split", vec![even, even, n - 2 * even]);
+    r.note("expected: every non-optimal row has ratio > 1 (uniqueness of the optimum)");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_slopes_are_equal() {
+        let r = fig4();
+        let slopes: Vec<f64> =
+            r.rows.iter().map(|row| row[3].parse().unwrap()).collect();
+        let max = slopes.iter().cloned().fold(f64::MIN, f64::max);
+        let min = slopes.iter().cloned().fold(f64::MAX, f64::min);
+        assert!((max - min) / max < 0.01, "slopes {slopes:?}");
+    }
+
+    #[test]
+    fn fig6_perturbations_are_worse() {
+        let r = fig6();
+        for row in &r.rows[1..] {
+            let ratio: f64 = row[5].parse().unwrap();
+            assert!(ratio > 1.0, "{}: ratio {ratio}", row[0]);
+        }
+    }
+
+    #[test]
+    fn fig6_optimal_row_is_one() {
+        let r = fig6();
+        let ratio: f64 = r.rows[0][5].parse().unwrap();
+        assert!((ratio - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,65 @@
+//! Fig. 5: the typical shapes of experimentally observed speed functions —
+//! strictly decreasing, increasing-then-decreasing, strictly increasing.
+
+use fpm_core::speed::{AnalyticSpeed, SpeedFunction};
+
+use crate::report::{fnum, Report};
+
+/// The three canonical shapes with representative parameters.
+pub fn shapes() -> Vec<(&'static str, AnalyticSpeed)> {
+    vec![
+        ("s1: strictly decreasing", AnalyticSpeed::decreasing(200.0, 1e6, 2.0)),
+        ("s2: increasing then decreasing", AnalyticSpeed::unimodal(250.0, 1e5, 5e6, 2.0)),
+        ("s3: strictly increasing", AnalyticSpeed::saturating(150.0, 5e5)),
+    ]
+}
+
+/// Samples the three canonical shapes.
+pub fn run() -> Report {
+    let mut r = Report::new(
+        "fig5",
+        "Typical shapes of processor speed functions (paper Fig. 5)",
+        &["shape", "x", "speed (MFlops)"],
+    );
+    for (name, f) in shapes() {
+        for k in 0..=10u32 {
+            let x = 1e4 * 4f64.powi(k as i32 - 1);
+            r.push_row(vec![name.to_owned(), fnum(x, 0), fnum(f.speed(x), 2)]);
+        }
+    }
+    r.note("all three shapes satisfy the single-intersection requirement (s(x)/x strictly decreasing)");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_have_their_monotonicity() {
+        let s = shapes();
+        let dec = &s[0].1;
+        assert!(dec.speed(1e4) > dec.speed(1e6));
+        let uni = &s[1].1;
+        assert!(uni.speed(1e4) < uni.speed(1e6), "rises first");
+        assert!(uni.speed(1e6) > uni.speed(5e7), "falls later");
+        let inc = &s[2].1;
+        assert!(inc.speed(1e4) < inc.speed(1e8));
+    }
+
+    #[test]
+    fn all_satisfy_single_intersection() {
+        use fpm_core::speed::check_single_intersection;
+        for (name, f) in shapes() {
+            assert!(
+                check_single_intersection(&f, 1e3, 1e9, 300).is_ok(),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_has_33_rows() {
+        assert_eq!(run().rows.len(), 33);
+    }
+}

@@ -1,0 +1,80 @@
+//! Fig. 8: the slope-bisection walk of the basic algorithm — the sequence
+//! of trial lines narrowing onto the optimally sloped line.
+
+use fpm_core::partition::{BisectionPartitioner, Partitioner};
+use fpm_core::speed::AnalyticSpeed;
+
+use crate::report::{fnum, Report};
+
+fn four_processors() -> Vec<AnalyticSpeed> {
+    vec![
+        AnalyticSpeed::decreasing(220.0, 3e6, 2.0),
+        AnalyticSpeed::unimodal(180.0, 5e4, 4e6, 2.0),
+        AnalyticSpeed::saturating(120.0, 2e5),
+        AnalyticSpeed::paging(260.0, 2e6, 3.0),
+    ]
+}
+
+/// Traces the basic algorithm on a 4-processor cluster.
+pub fn run() -> Report {
+    let funcs = four_processors();
+    let n = 10_000_000u64;
+    let report = BisectionPartitioner::new().partition(n, &funcs).unwrap();
+    let mut r = Report::new(
+        "fig8",
+        "Slope bisection narrowing onto the optimal line (paper Fig. 8)",
+        &["step", "lower slope", "upper slope", "trial slope", "Σ elements at trial", "side kept"],
+    );
+    for it in &report.trace.iterations {
+        r.push_row(vec![
+            it.step.to_string(),
+            format!("{:.6e}", it.lower_slope),
+            format!("{:.6e}", it.upper_slope),
+            format!("{:.6e}", it.trial_slope),
+            fnum(it.total_elements, 0),
+            if it.undershoot { "lower (Σ<n)".into() } else { "upper (Σ≥n)".into() },
+        ]);
+    }
+    r.note(format!(
+        "final distribution {:?}, makespan {:.3} s, {} bisection steps",
+        report.distribution.counts(),
+        report.makespan,
+        report.trace.steps()
+    ));
+    r.note("expected: the slope interval halves each step; Σ elements approaches n from both sides");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_shrinks_monotonically() {
+        let r = run();
+        let widths: Vec<f64> = r
+            .rows
+            .iter()
+            .map(|row| {
+                let lo: f64 = row[1].parse().unwrap();
+                let hi: f64 = row[2].parse().unwrap();
+                hi - lo
+            })
+            .collect();
+        for w in widths.windows(2) {
+            assert!(w[1] <= w[0] * 0.75, "interval must shrink: {widths:?}");
+        }
+    }
+
+    #[test]
+    fn totals_bracket_n() {
+        let r = run();
+        let totals: Vec<f64> =
+            r.rows.iter().map(|row| row[4].parse().unwrap()).collect();
+        assert!(totals.iter().any(|&t| t < 1e7));
+        assert!(totals.iter().any(|&t| t >= 1e7));
+        // The last trials are close to n.
+        let last = totals.last().unwrap();
+        assert!((last - 1e7).abs() / 1e7 < 0.05, "last total {last}");
+    }
+}

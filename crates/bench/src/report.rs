@@ -1,0 +1,157 @@
+//! Experiment reports: tabular results with CSV export.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A tabular experiment result.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id (e.g. `fig22a`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (expected shape, paper comparison).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, header: &[&str]) -> Self {
+        Self {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        debug_assert_eq!(row.len(), self.header.len(), "row arity must match header");
+        self.rows.push(row);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}", self.id, self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        out
+    }
+
+    /// CSV rendering (RFC-4180-ish; quotes cells containing separators).
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())
+    }
+}
+
+/// Formats a float with the given precision, trimming `-0`.
+pub fn fnum(v: f64, precision: usize) -> String {
+    let s = format!("{v:.precision$}");
+    if s.starts_with("-0.") && s[3..].chars().all(|c| c == '0') {
+        s[1..].to_owned()
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("t", "demo", &["a", "b"]);
+        r.push_row(vec!["1".into(), "x,y".into()]);
+        r.note("hello");
+        r
+    }
+
+    #[test]
+    fn text_contains_everything() {
+        let t = sample().to_text();
+        assert!(t.contains("demo"));
+        assert!(t.contains("x,y"));
+        assert!(t.contains("hello"));
+    }
+
+    #[test]
+    fn csv_quotes_separators() {
+        let c = sample().to_csv();
+        assert!(c.contains("\"x,y\""));
+        assert!(c.starts_with("a,b\n"));
+    }
+
+    #[test]
+    fn csv_writes_to_disk() {
+        let dir = std::env::temp_dir().join("fpm_bench_test_reports");
+        sample().write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert!(content.contains("x,y"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnum_trims_negative_zero() {
+        assert_eq!(fnum(-0.0001, 2), "0.00");
+        assert_eq!(fnum(1.236, 2), "1.24");
+    }
+}

@@ -1,0 +1,137 @@
+//! The `fpm` command-line tool. See `fpm --help`.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use fpm_cli::commands::{self, Algorithm};
+use fpm_cli::parse_models;
+
+const HELP: &str = "\
+fpm — data partitioning with a functional performance model
+
+USAGE:
+    fpm partition   --model FILE --n N [--algorithm combined|basic|modified|single@SIZE]
+    fpm simulate-mm --model FILE --dim N [--single-ref ELEMENTS]
+    fpm models      --testbed NAME        (write a demo model file to stdout)
+    fpm models      --list
+    fpm calibrate   [--name HOST] [--max-dim N] [--points K]
+                                          (measure THIS host, emit a model file)
+
+The model FILE is plain text: one processor per line,
+`name size:speed size:speed ...` (sizes in elements, speeds in MFlops).";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = &args[i];
+        if !key.starts_with("--") {
+            return Err(format!("unexpected argument: {key}"));
+        }
+        if key == "--list" {
+            flags.insert("list".to_owned(), String::new());
+            i += 1;
+            continue;
+        }
+        let value = args.get(i + 1).ok_or_else(|| format!("{key} needs a value"))?;
+        flags.insert(key.trim_start_matches("--").to_owned(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return Err(HELP.to_owned());
+    };
+    let flags = parse_flags(&args[1..])?;
+
+    match command.as_str() {
+        "-h" | "--help" | "help" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        "partition" => {
+            let path = flags.get("model").ok_or("--model FILE is required")?;
+            let n: u64 = flags
+                .get("n")
+                .ok_or("--n N is required")?
+                .parse::<f64>()
+                .map_err(|_| "unparsable --n".to_owned())? as u64;
+            let algorithm = Algorithm::parse(
+                flags.get("algorithm").map(String::as_str).unwrap_or("combined"),
+            )
+            .map_err(|e| e.to_string())?;
+            let contents =
+                std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let models = parse_models(&contents).map_err(|e| e.to_string())?;
+            let out = commands::partition(&models, n, algorithm).map_err(|e| e.to_string())?;
+            print!("{out}");
+            Ok(())
+        }
+        "simulate-mm" => {
+            let path = flags.get("model").ok_or("--model FILE is required")?;
+            let dim: u64 = flags
+                .get("dim")
+                .ok_or("--dim N is required")?
+                .parse::<f64>()
+                .map_err(|_| "unparsable --dim".to_owned())? as u64;
+            let single_ref: f64 = flags
+                .get("single-ref")
+                .map(|s| s.parse::<f64>())
+                .transpose()
+                .map_err(|_| "unparsable --single-ref".to_owned())?
+                .unwrap_or(750_000.0);
+            let contents =
+                std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let models = parse_models(&contents).map_err(|e| e.to_string())?;
+            let out = commands::simulate_mm(&models, dim, single_ref)
+                .map_err(|e| e.to_string())?;
+            print!("{out}");
+            Ok(())
+        }
+        "calibrate" => {
+            let name = flags.get("name").map(String::as_str).unwrap_or("host");
+            let max_dim: usize = flags
+                .get("max-dim")
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|_| "unparsable --max-dim".to_owned())?
+                .unwrap_or(512);
+            let points: usize = flags
+                .get("points")
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|_| "unparsable --points".to_owned())?
+                .unwrap_or(8);
+            let out =
+                commands::calibrate(name, max_dim, points).map_err(|e| e.to_string())?;
+            print!("{out}");
+            Ok(())
+        }
+        "models" => {
+            if flags.contains_key("list") {
+                for tb in commands::TESTBEDS {
+                    println!("{tb}");
+                }
+                return Ok(());
+            }
+            let testbed = flags.get("testbed").ok_or("--testbed NAME (or --list)")?;
+            let out = commands::models(testbed).map_err(|e| e.to_string())?;
+            print!("{out}");
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}\n\n{HELP}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Command implementations (kept in the library so they are testable; the
+//! binary only parses arguments and prints).
+
+use std::fmt::Write as _;
+
+use fpm_core::error::{Error, Result};
+use fpm_core::partition::{
+    BisectionPartitioner, CombinedPartitioner, ModifiedPartitioner, Partitioner,
+    SingleNumberPartitioner,
+};
+use fpm_core::speed::builder::BuilderConfig;
+use fpm_exec::model_build::build_cluster_models;
+use fpm_simnet::fluctuation::Integration;
+use fpm_simnet::profile::AppProfile;
+use fpm_simnet::testbeds;
+
+use crate::model_file::{format_models, NamedModel};
+
+/// Which partitioning algorithm a command uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// The combined (default) algorithm.
+    Combined,
+    /// The basic slope-bisection algorithm.
+    Basic,
+    /// The modified solution-space algorithm.
+    Modified,
+    /// The single-number baseline, sampled at the given size.
+    SingleAt(f64),
+}
+
+impl Algorithm {
+    /// Parses `combined`, `basic`, `modified` or `single@SIZE`.
+    pub fn parse(text: &str) -> Result<Self> {
+        match text {
+            "combined" => Ok(Algorithm::Combined),
+            "basic" => Ok(Algorithm::Basic),
+            "modified" => Ok(Algorithm::Modified),
+            other => {
+                if let Some(size) = other.strip_prefix("single@") {
+                    let size: f64 = size
+                        .parse()
+                        .map_err(|_| Error::InvalidParameter("unparsable single@ size"))?;
+                    if !(size.is_finite() && size > 0.0) {
+                        return Err(Error::InvalidParameter("single@ size must be positive"));
+                    }
+                    Ok(Algorithm::SingleAt(size))
+                } else {
+                    Err(Error::InvalidParameter(
+                        "algorithm must be combined|basic|modified|single@SIZE",
+                    ))
+                }
+            }
+        }
+    }
+
+    fn partition(
+        &self,
+        n: u64,
+        models: &[NamedModel],
+    ) -> Result<fpm_core::PartitionReport> {
+        let funcs: Vec<&fpm_core::speed::PiecewiseLinearSpeed> =
+            models.iter().map(|m| &m.model).collect();
+        match self {
+            Algorithm::Combined => CombinedPartitioner::new().partition(n, &funcs),
+            Algorithm::Basic => BisectionPartitioner::new().partition(n, &funcs),
+            Algorithm::Modified => ModifiedPartitioner::new().partition(n, &funcs),
+            Algorithm::SingleAt(size) => {
+                SingleNumberPartitioner::at_size(*size).partition(n, &funcs)
+            }
+        }
+    }
+}
+
+/// `fpm partition`: optimally distribute `n` elements over the modelled
+/// processors; returns the rendered table.
+pub fn partition(models: &[NamedModel], n: u64, algorithm: Algorithm) -> Result<String> {
+    let report = algorithm.partition(n, models)?;
+    let funcs: Vec<&fpm_core::speed::PiecewiseLinearSpeed> =
+        models.iter().map(|m| &m.model).collect();
+    let times = report.distribution.times(&funcs);
+    let mut out = String::new();
+    // Times are in the paper's normalised units (elements per MFlops):
+    // absolute seconds depend on the application's flops-per-element law.
+    let _ = writeln!(
+        out,
+        "{:<16} {:>16} {:>8} {:>14}",
+        "processor", "elements", "share %", "rel. time"
+    );
+    for ((m, &x), t) in models.iter().zip(report.distribution.counts()).zip(&times) {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>16} {:>8.2} {:>14.3}",
+            m.name,
+            x,
+            100.0 * x as f64 / n as f64,
+            t
+        );
+    }
+    let _ = writeln!(out, "makespan: {:.3} rel. units ({} search steps)", report.makespan,
+                     report.trace.steps());
+    Ok(out)
+}
+
+/// `fpm simulate-mm`: simulate the striped matrix multiplication of two
+/// dense `dim×dim` matrices on the modelled cluster, comparing the
+/// functional model against a single-number baseline sampled at
+/// `single_ref` elements.
+pub fn simulate_mm(models: &[NamedModel], dim: u64, single_ref: f64) -> Result<String> {
+    let funcs: Vec<&fpm_core::speed::PiecewiseLinearSpeed> =
+        models.iter().map(|m| &m.model).collect();
+    let functional =
+        fpm_exec::mm_run::simulate_mm(dim, &funcs, &CombinedPartitioner::new())?;
+    let single = fpm_exec::mm_run::simulate_mm(
+        dim,
+        &funcs,
+        &SingleNumberPartitioner::at_size(single_ref),
+    )?;
+    let mut out = String::new();
+    let _ = writeln!(out, "striped C = A×Bᵀ, n = {dim} ({} elements)", 3 * dim * dim);
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>14}",
+        "processor", "rows", "time (s)"
+    );
+    for ((m, &rows), t) in models
+        .iter()
+        .zip(functional.layout.row_counts())
+        .zip(&functional.times)
+    {
+        let _ = writeln!(out, "{:<16} {:>10} {:>14.3}", m.name, rows, t);
+    }
+    let _ = writeln!(out, "functional makespan:    {:>12.3} s", functional.makespan);
+    let _ = writeln!(out, "single-number makespan: {:>12.3} s", single.makespan);
+    let _ = writeln!(out, "speedup:                {:>12.2}x", single.makespan / functional.makespan);
+    Ok(out)
+}
+
+/// `fpm calibrate`: measure the *host's* real matrix-multiplication speed
+/// at a logarithmic grid of matrix dimensions and emit a valid model file
+/// — the paper's §3.1 measurement pipeline against actual hardware.
+///
+/// `max_dim` bounds the largest measured matrix (keep it modest: a naive
+/// 1024³ multiplication is ~2 Gflop per repetition); `points` is the grid
+/// size (≥ 2). Raw measurements are sanitised with the builder's shape
+/// repair so the emitted model always satisfies the single-intersection
+/// requirement.
+pub fn calibrate(name: &str, max_dim: usize, points: usize) -> Result<String> {
+    if !(32..=4096).contains(&max_dim) {
+        return Err(Error::InvalidParameter("--max-dim must be in 32..=4096"));
+    }
+    if !(2..=32).contains(&points) {
+        return Err(Error::InvalidParameter("--points must be in 2..=32"));
+    }
+    let lo = 32.0f64.ln();
+    let hi = (max_dim as f64).ln();
+    let mut knots: Vec<(f64, f64)> = Vec::with_capacity(points);
+    for k in 0..points {
+        let t = k as f64 / (points - 1) as f64;
+        let dim = (lo + t * (hi - lo)).exp().round() as usize;
+        let (mflops, _elapsed) = fpm_exec::host::measure_mm_speed(dim, 0xCA11B ^ k as u64);
+        // Problem size in the paper's element convention: 3·n² for square MM.
+        knots.push((3.0 * (dim as f64) * (dim as f64), mflops));
+    }
+    knots.sort_by(|a, b| a.0.total_cmp(&b.0));
+    knots.dedup_by(|a, b| a.0 == b.0);
+    fpm_core::speed::builder::repair_shape(&mut knots);
+    let model = fpm_core::speed::PiecewiseLinearSpeed::new(knots).map_err(|_| {
+        Error::InvalidParameter(
+            "host measurements too degenerate to form a valid model; try more points",
+        )
+    })?;
+    Ok(format_models(&[NamedModel { name: name.to_owned(), model }]))
+}
+
+/// Known demo testbeds for `fpm models`.
+pub const TESTBEDS: &[&str] = &[
+    "table1-mm",
+    "table1-atlas",
+    "table1-arrayops",
+    "table1-lu",
+    "table2-mm",
+    "table2-lu",
+];
+
+/// `fpm models`: export a demo model file of one of the paper's testbeds,
+/// built from (noise-free) simulated measurements.
+pub fn models(testbed: &str) -> Result<String> {
+    let (specs, app) = match testbed {
+        "table1-mm" => (testbeds::table1(), AppProfile::MatrixMult),
+        "table1-atlas" => (testbeds::table1(), AppProfile::MatrixMultAtlas),
+        "table1-arrayops" => (testbeds::table1(), AppProfile::ArrayOpsF),
+        "table1-lu" => (testbeds::table1(), AppProfile::LuFactorization),
+        "table2-mm" => (testbeds::table2(), AppProfile::MatrixMult),
+        "table2-lu" => (testbeds::table2(), AppProfile::LuFactorization),
+        _ => return Err(Error::InvalidParameter("unknown testbed (see `fpm models --list`)")),
+    };
+    let built = build_cluster_models(
+        &specs,
+        app,
+        Integration::Dedicated,
+        0xF93,
+        BuilderConfig::default(),
+    )?;
+    let named: Vec<NamedModel> = built
+        .names
+        .into_iter()
+        .zip(built.models)
+        .map(|(name, model)| NamedModel { name, model })
+        .collect();
+    Ok(format_models(&named))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_file::parse_models;
+
+    fn sample_models() -> Vec<NamedModel> {
+        parse_models("A 1000:200 1e6:180 1e8:0\nB 1000:100 1e6:90 1e8:0\n").unwrap()
+    }
+
+    #[test]
+    fn algorithm_parsing() {
+        assert_eq!(Algorithm::parse("combined").unwrap(), Algorithm::Combined);
+        assert_eq!(Algorithm::parse("basic").unwrap(), Algorithm::Basic);
+        assert_eq!(Algorithm::parse("modified").unwrap(), Algorithm::Modified);
+        assert_eq!(Algorithm::parse("single@5e5").unwrap(), Algorithm::SingleAt(5e5));
+        assert!(Algorithm::parse("nonsense").is_err());
+        assert!(Algorithm::parse("single@-3").is_err());
+    }
+
+    #[test]
+    fn partition_outputs_all_processors_and_makespan() {
+        let out = partition(&sample_models(), 1_000_000, Algorithm::Combined).unwrap();
+        assert!(out.contains('A') && out.contains('B'));
+        assert!(out.contains("makespan"));
+    }
+
+    #[test]
+    fn partition_shares_follow_speeds() {
+        let out = partition(&sample_models(), 900_000, Algorithm::Combined).unwrap();
+        // A is ~2× faster at all sizes: its share must exceed 55 %.
+        let a_line = out.lines().find(|l| l.starts_with('A')).unwrap();
+        let share: f64 = a_line.split_whitespace().nth(2).unwrap().parse().unwrap();
+        assert!(share > 55.0, "share {share} in:\n{out}");
+    }
+
+    #[test]
+    fn models_exports_parseable_files() {
+        for tb in TESTBEDS {
+            let text = models(tb).unwrap();
+            let parsed = parse_models(&text).unwrap();
+            assert!(!parsed.is_empty(), "{tb}");
+        }
+        assert!(models("bogus").is_err());
+    }
+
+    #[test]
+    fn calibrate_emits_valid_model() {
+        let text = calibrate("me", 96, 3).unwrap();
+        let parsed = parse_models(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "me");
+        assert!(parsed[0].model.len() >= 2);
+        // Parameter validation.
+        assert!(calibrate("x", 10, 3).is_err());
+        assert!(calibrate("x", 128, 1).is_err());
+    }
+
+    #[test]
+    fn exported_models_partition_cleanly() {
+        let text = models("table2-mm").unwrap();
+        let parsed = parse_models(&text).unwrap();
+        let out = partition(&parsed, 300_000_000, Algorithm::Combined).unwrap();
+        assert!(out.contains("X1") && out.contains("X12"));
+    }
+}

@@ -1,0 +1,23 @@
+//! # fpm-cli — command-line front end
+//!
+//! A small, dependency-free CLI for the library:
+//!
+//! ```text
+//! fpm models --testbed table2-mm > cluster.fpm      # export a demo model file
+//! fpm partition --model cluster.fpm --n 300000000   # optimal distribution
+//! fpm partition --model cluster.fpm --n 3e8 --algorithm single@750000
+//! fpm simulate-mm --model cluster.fpm --dim 20000   # functional vs single-number
+//! ```
+//!
+//! The model file format is line-oriented plain text: one processor per
+//! line, `name` followed by whitespace-separated `size:speed` knots of its
+//! piece-wise linear speed function (sizes in elements, speeds in MFlops;
+//! `#` starts a comment). See [`model_file`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod model_file;
+
+pub use model_file::{format_models, parse_models, NamedModel};

@@ -1,0 +1,147 @@
+//! The `.fpm` model-file format.
+//!
+//! Line-oriented plain text:
+//!
+//! ```text
+//! # comment
+//! X1  65536:205.1  3.0e7:198.4  6.1e7:180.0  2.4e8:0
+//! X2  65536:198.7  1.4e7:190.2  4.8e7:150.3  1.3e8:0
+//! ```
+//!
+//! Each non-empty, non-comment line is `name` followed by `size:speed`
+//! knots (sizes in elements, speeds in MFlops, both accepting scientific
+//! notation). The knots must form a valid piece-wise linear speed function
+//! (strictly increasing sizes, `s/x` strictly decreasing).
+
+use std::fmt::Write as _;
+
+use fpm_core::error::{Error, Result};
+use fpm_core::speed::PiecewiseLinearSpeed;
+
+/// A named speed model, as stored in a model file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedModel {
+    /// Machine name.
+    pub name: String,
+    /// The speed function.
+    pub model: PiecewiseLinearSpeed,
+}
+
+/// Parses a model file's contents.
+///
+/// # Errors
+///
+/// [`Error::InvalidParameter`] on malformed lines,
+/// [`Error::InvalidSpeedFunction`] when knots violate the model
+/// requirements.
+pub fn parse_models(contents: &str) -> Result<Vec<NamedModel>> {
+    let mut out = Vec::new();
+    for (lineno, raw) in contents.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let name = parts.next().expect("non-empty line has a first token").to_owned();
+        let mut knots: Vec<(f64, f64)> = Vec::new();
+        for tok in parts {
+            let Some((xs, ss)) = tok.split_once(':') else {
+                return Err(Error::InvalidParameter(
+                    "knot token must be size:speed (line context lost; check the model file)",
+                ));
+            };
+            let x: f64 = xs
+                .parse()
+                .map_err(|_| Error::InvalidParameter("unparsable knot size"))?;
+            let s: f64 = ss
+                .parse()
+                .map_err(|_| Error::InvalidParameter("unparsable knot speed"))?;
+            knots.push((x, s));
+        }
+        if knots.len() < 2 {
+            return Err(Error::InvalidParameter(
+                "each processor needs at least two knots",
+            ));
+        }
+        let model = PiecewiseLinearSpeed::new(knots).map_err(|e| match e {
+            Error::InvalidSpeedFunction { reason, .. } => Error::InvalidSpeedFunction {
+                processor: lineno,
+                reason,
+            },
+            other => other,
+        })?;
+        out.push(NamedModel { name, model });
+    }
+    if out.is_empty() {
+        return Err(Error::InvalidParameter("model file contains no processors"));
+    }
+    Ok(out)
+}
+
+/// Formats models back into the file format (round-trips with
+/// [`parse_models`]).
+pub fn format_models(models: &[NamedModel]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# fpm speed-model file: name  size:speed ...");
+    for m in models {
+        let _ = write!(out, "{}", m.name);
+        for &(x, s) in m.model.knots() {
+            let _ = write!(out, "  {x:e}:{s:e}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpm_core::speed::SpeedFunction;
+
+    const SAMPLE: &str = "\
+# demo
+X1  1000:200  1e6:180  1e8:0
+X2  1000:100  5e5:90   5e7:0   # trailing comment
+";
+
+    #[test]
+    fn parses_sample() {
+        let models = parse_models(SAMPLE).unwrap();
+        assert_eq!(models.len(), 2);
+        assert_eq!(models[0].name, "X1");
+        assert_eq!(models[0].model.len(), 3);
+        assert!((models[1].model.speed(1000.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trips() {
+        let models = parse_models(SAMPLE).unwrap();
+        let text = format_models(&models);
+        let reparsed = parse_models(&text).unwrap();
+        assert_eq!(models, reparsed);
+    }
+
+    #[test]
+    fn rejects_malformed_tokens() {
+        assert!(parse_models("X1 1000-200 2000:100").is_err());
+        assert!(parse_models("X1 abc:200 2000:100").is_err());
+        assert!(parse_models("X1 1000:xyz 2000:100").is_err());
+    }
+
+    #[test]
+    fn rejects_too_few_knots() {
+        assert!(parse_models("X1 1000:200").is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_shape() {
+        // s/x increasing: violates the model requirement.
+        let e = parse_models("X1 1:1 10:20").unwrap_err();
+        assert!(matches!(e, Error::InvalidSpeedFunction { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_file() {
+        assert!(parse_models("# only comments\n\n").is_err());
+    }
+}

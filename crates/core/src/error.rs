@@ -1,0 +1,94 @@
+//! Error type shared by all partitioning and model-building routines.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by partitioning algorithms and model builders.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The problem has no processors.
+    NoProcessors,
+    /// The requested problem size cannot be represented or partitioned.
+    InvalidProblemSize {
+        /// The offending size.
+        n: u64,
+        /// Explanation of the constraint that was violated.
+        reason: &'static str,
+    },
+    /// A speed function violated a model requirement (non-positive speed,
+    /// non-finite value, or the single-intersection property).
+    InvalidSpeedFunction {
+        /// Index of the processor whose function is invalid.
+        processor: usize,
+        /// Explanation of the violated requirement.
+        reason: &'static str,
+    },
+    /// An iterative search failed to converge within its step budget.
+    NoConvergence {
+        /// Name of the algorithm that failed.
+        algorithm: &'static str,
+        /// Number of steps executed before giving up.
+        steps: usize,
+    },
+    /// The total capacity of all processors is insufficient for the problem
+    /// (only possible in the bounded formulation).
+    InsufficientCapacity {
+        /// Requested number of elements.
+        requested: u64,
+        /// Sum of all per-processor upper bounds.
+        available: u64,
+    },
+    /// Invalid parameter passed to a model builder.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoProcessors => write!(f, "no processors supplied"),
+            Error::InvalidProblemSize { n, reason } => {
+                write!(f, "invalid problem size {n}: {reason}")
+            }
+            Error::InvalidSpeedFunction { processor, reason } => {
+                write!(f, "invalid speed function for processor {processor}: {reason}")
+            }
+            Error::NoConvergence { algorithm, steps } => {
+                write!(f, "{algorithm} failed to converge after {steps} steps")
+            }
+            Error::InsufficientCapacity { requested, available } => write!(
+                f,
+                "insufficient capacity: requested {requested} elements but bounds admit only {available}"
+            ),
+            Error::InvalidParameter(reason) => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::InvalidProblemSize { n: 0, reason: "must be positive" };
+        assert!(e.to_string().contains("must be positive"));
+        let e = Error::NoConvergence { algorithm: "bisection", steps: 99 };
+        assert!(e.to_string().contains("bisection"));
+        assert!(e.to_string().contains("99"));
+        let e = Error::InsufficientCapacity { requested: 10, available: 5 };
+        assert!(e.to_string().contains("10") && e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::NoProcessors, Error::NoProcessors);
+        assert_ne!(
+            Error::NoProcessors,
+            Error::InvalidParameter("x")
+        );
+    }
+}

@@ -1,0 +1,307 @@
+//! The general partitioning formulation (paper §1, reference \[20\]):
+//! weighted elements and per-processor upper bounds.
+//!
+//! The paper's main text solves the "simple variant" — unit weights, no
+//! bounds. The general problem it is a stepping stone towards adds:
+//!
+//! 1. an upper bound `b_i` on the number of elements each processor can
+//!    store (its memory capacity), and
+//! 2. element weights `w_j`, with the sum of weights per partition required
+//!    to be proportional to the owning processor's speed.
+//!
+//! The bounded unit-weight problem remains exactly solvable by a
+//! *water-filling* variant of the geometric search: the allocation induced
+//! by a line of slope `c` is `min(x_i(c), b_i)`, still monotone in the
+//! slope, so the same bisection applies. The discrete weighted problem is
+//! NP-hard in general (it contains multiprocessor scheduling); the provided
+//! solver computes the continuous optimum and rounds it with an LPT-style
+//! greedy, which is the standard practical compromise.
+
+use super::fine_tune::fine_tune_capped;
+use super::problem::{empty_report, validate_processors, PartitionReport};
+use crate::error::{Error, Result};
+use crate::geometry::intersect_origin_line;
+use crate::speed::SpeedFunction;
+use crate::trace::Trace;
+
+/// Allocation induced by slope `c` under caps: `min(x_i(c), b_i)`.
+fn capped_intersections<F: SpeedFunction>(funcs: &[F], caps: &[u64], slope: f64) -> Vec<f64> {
+    funcs
+        .iter()
+        .zip(caps)
+        .map(|(f, &b)| intersect_origin_line(f, slope).min(b as f64))
+        .collect()
+}
+
+/// Partitions `n` unit-weight elements over processors with per-processor
+/// capacity bounds `caps` (elements).
+///
+/// # Errors
+///
+/// * [`Error::InsufficientCapacity`] if `Σ caps < n`;
+/// * [`Error::NoProcessors`] for an empty processor list.
+pub fn partition_bounded<F: SpeedFunction>(
+    n: u64,
+    funcs: &[F],
+    caps: &[u64],
+) -> Result<PartitionReport> {
+    validate_processors(funcs)?;
+    assert_eq!(funcs.len(), caps.len(), "caps length mismatch");
+    if n == 0 {
+        return Ok(empty_report(funcs.len()));
+    }
+    let capacity: u64 = caps.iter().fold(0u64, |a, &c| a.saturating_add(c));
+    if capacity < n {
+        return Err(Error::InsufficientCapacity { requested: n, available: capacity });
+    }
+    let target = n as f64;
+
+    // Bracket the slope: steep side undershoots, shallow side overshoots.
+    // Caps only lower totals, so the steep side from the uncapped problem
+    // still undershoots; the shallow side may need to go much further down
+    // because capped processors stop contributing.
+    let mut steep = {
+        let mut c = 1.0;
+        let mut guard = 0;
+        while capped_intersections(funcs, caps, c).iter().sum::<f64>() > target {
+            c *= 4.0;
+            guard += 1;
+            if guard > 400 {
+                return Err(Error::NoConvergence { algorithm: "bounded bracket", steps: guard });
+            }
+        }
+        c
+    };
+    let mut shallow = {
+        let mut c = steep;
+        let mut guard = 0;
+        while capped_intersections(funcs, caps, c).iter().sum::<f64>() < target {
+            c /= 4.0;
+            guard += 1;
+            if guard > 400 {
+                // Capacity is sufficient (checked above) but some models
+                // saturate below their cap: fall back to the caps
+                // themselves as the upper allocation.
+                break;
+            }
+        }
+        c
+    };
+
+    for _ in 0..400 {
+        let mid = 0.5 * (shallow + steep);
+        if !(mid > shallow && mid < steep) {
+            break;
+        }
+        let total: f64 = capped_intersections(funcs, caps, mid).iter().sum();
+        if total < target {
+            steep = mid;
+        } else {
+            shallow = mid;
+        }
+        if steep - shallow <= f64::EPSILON * steep {
+            break;
+        }
+    }
+
+    let lo_x = capped_intersections(funcs, caps, steep);
+    let hi_x = capped_intersections(funcs, caps, shallow);
+    let distribution = fine_tune_capped(n, funcs, &lo_x, &hi_x, Some(caps))?;
+    Ok(PartitionReport::from_distribution(distribution, funcs, Trace::default()))
+}
+
+/// A weighted-items partition: which processor owns each item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedAssignment {
+    /// `owner[j]` is the processor index assigned item `j`.
+    pub owner: Vec<usize>,
+    /// Total weight per processor.
+    pub loads: Vec<f64>,
+    /// Number of items per processor.
+    pub item_counts: Vec<u64>,
+    /// Maximum per-processor execution time, evaluating each speed function
+    /// at the processor's total assigned weight.
+    pub makespan: f64,
+}
+
+/// Assigns weighted items to processors, respecting per-processor item
+/// count caps, aiming to equalise `load_i / s_i(load_i)`.
+///
+/// Greedy LPT over the functional model: items are sorted by decreasing
+/// weight and each goes to the processor minimising its post-assignment
+/// execution time among processors with spare item capacity. The
+/// continuous relaxation of this problem is exactly the unit-element
+/// problem with `x` measured in weight units, so on near-uniform weights
+/// the greedy converges to the geometric optimum.
+///
+/// # Errors
+///
+/// [`Error::InsufficientCapacity`] if `Σ caps` is fewer than the number of
+/// items.
+pub fn partition_weighted<F: SpeedFunction>(
+    weights: &[f64],
+    funcs: &[F],
+    caps: Option<&[u64]>,
+) -> Result<WeightedAssignment> {
+    validate_processors(funcs)?;
+    let p = funcs.len();
+    if let Some(c) = caps {
+        assert_eq!(c.len(), p, "caps length mismatch");
+        let capacity: u64 = c.iter().fold(0u64, |a, &x| a.saturating_add(x));
+        if capacity < weights.len() as u64 {
+            return Err(Error::InsufficientCapacity {
+                requested: weights.len() as u64,
+                available: capacity,
+            });
+        }
+    }
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be non-negative and finite"
+    );
+    let cap_of = |i: usize| caps.map_or(u64::MAX, |c| c[i]);
+
+    // Sort items by decreasing weight (indices).
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]));
+
+    let mut owner = vec![0usize; weights.len()];
+    let mut loads = vec![0.0f64; p];
+    let mut item_counts = vec![0u64; p];
+    for &j in &order {
+        let w = weights[j];
+        // Pick the processor minimising the post-assignment time.
+        let mut best = usize::MAX;
+        let mut best_time = f64::INFINITY;
+        for i in 0..p {
+            if item_counts[i] >= cap_of(i) {
+                continue;
+            }
+            let t = funcs[i].time(loads[i] + w);
+            if t < best_time {
+                best_time = t;
+                best = i;
+            }
+        }
+        if best == usize::MAX {
+            return Err(Error::InsufficientCapacity {
+                requested: weights.len() as u64,
+                available: item_counts.iter().sum(),
+            });
+        }
+        owner[j] = best;
+        loads[best] += w;
+        item_counts[best] += 1;
+    }
+    let makespan = loads
+        .iter()
+        .zip(funcs)
+        .map(|(&l, f)| f.time(l))
+        .fold(0.0, f64::max);
+    Ok(WeightedAssignment { owner, loads, item_counts, makespan })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::oracle;
+    use crate::speed::{AnalyticSpeed, ConstantSpeed};
+
+    #[test]
+    fn unbounded_caps_match_unbounded_solution() {
+        let funcs = vec![
+            AnalyticSpeed::decreasing(200.0, 1e6, 2.0),
+            AnalyticSpeed::paging(300.0, 2e6, 3.0),
+        ];
+        let caps = vec![u64::MAX, u64::MAX];
+        let n = 1_000_000;
+        let bounded = partition_bounded(n, &funcs, &caps).unwrap();
+        let free = oracle::solve(n, &funcs).unwrap();
+        let rel = (bounded.makespan - free.makespan).abs() / free.makespan;
+        assert!(rel < 1e-3, "{} vs {}", bounded.makespan, free.makespan);
+    }
+
+    #[test]
+    fn caps_bind_and_spill_to_others() {
+        let funcs = vec![ConstantSpeed::new(100.0), ConstantSpeed::new(1.0)];
+        // Unbounded, the fast machine would take ~99%; cap it at 50.
+        let r = partition_bounded(100, &funcs, &[50, 100]).unwrap();
+        assert_eq!(r.distribution.counts()[0], 50);
+        assert_eq!(r.distribution.counts()[1], 50);
+    }
+
+    #[test]
+    fn exact_capacity_fit() {
+        let funcs = vec![ConstantSpeed::new(3.0), ConstantSpeed::new(7.0)];
+        let r = partition_bounded(30, &funcs, &[10, 20]).unwrap();
+        assert_eq!(r.distribution.counts(), &[10, 20]);
+    }
+
+    #[test]
+    fn insufficient_capacity_is_an_error() {
+        let funcs = vec![ConstantSpeed::new(1.0)];
+        let e = partition_bounded(10, &funcs, &[5]).unwrap_err();
+        assert!(matches!(e, Error::InsufficientCapacity { available: 5, requested: 10 }));
+    }
+
+    #[test]
+    fn weighted_assignment_balances_heterogeneous_machines() {
+        let funcs = vec![ConstantSpeed::new(100.0), ConstantSpeed::new(50.0)];
+        let weights = vec![1.0; 300];
+        let a = partition_weighted(&weights, &funcs, None).unwrap();
+        assert_eq!(a.owner.len(), 300);
+        // ~2:1 split.
+        assert!((a.loads[0] - 200.0).abs() <= 2.0, "loads: {:?}", a.loads);
+        let t0 = a.loads[0] / 100.0;
+        let t1 = a.loads[1] / 50.0;
+        assert!((t0 - t1).abs() / t0 < 0.05);
+    }
+
+    #[test]
+    fn weighted_respects_caps() {
+        let funcs = vec![ConstantSpeed::new(1000.0), ConstantSpeed::new(1.0)];
+        let weights = vec![1.0; 20];
+        let a = partition_weighted(&weights, &funcs, Some(&[5, 100])).unwrap();
+        assert_eq!(a.item_counts[0], 5, "fast machine hits its cap");
+        assert_eq!(a.item_counts[1], 15);
+    }
+
+    #[test]
+    fn weighted_uneven_items_prefer_fast_machine_for_big_items() {
+        let funcs = vec![ConstantSpeed::new(100.0), ConstantSpeed::new(10.0)];
+        let weights = vec![100.0, 1.0, 1.0, 1.0];
+        let a = partition_weighted(&weights, &funcs, None).unwrap();
+        assert_eq!(a.owner[0], 0, "the heavy item goes to the fast machine");
+        assert!((a.makespan - funcs[0].time(a.loads[0])).abs() < 1e-9
+            || (a.makespan - funcs[1].time(a.loads[1])).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_infeasible_caps_error() {
+        let funcs = vec![ConstantSpeed::new(1.0)];
+        let weights = vec![1.0; 5];
+        assert!(partition_weighted(&weights, &funcs, Some(&[3])).is_err());
+    }
+
+    #[test]
+    fn zero_items() {
+        let funcs = vec![ConstantSpeed::new(1.0)];
+        let a = partition_weighted(&[], &funcs, None).unwrap();
+        assert!(a.owner.is_empty());
+        assert_eq!(a.makespan, 0.0);
+        let r = partition_bounded(0, &funcs, &[10]).unwrap();
+        assert_eq!(r.distribution.total(), 0);
+    }
+
+    #[test]
+    fn bounded_with_paging_models_avoids_overloading_small_memory() {
+        // The capped machine pages hard; the cap mirrors its memory.
+        let funcs = vec![
+            AnalyticSpeed::paging(300.0, 1e5, 4.0),
+            AnalyticSpeed::constant(50.0),
+        ];
+        let r = partition_bounded(1_000_000, &funcs, &[200_000, u64::MAX]).unwrap();
+        assert!(r.distribution.counts()[0] <= 200_000);
+        assert_eq!(r.distribution.total(), 1_000_000);
+    }
+}

@@ -1,0 +1,280 @@
+//! Contiguous (well-ordered) array partitioning with weighted elements.
+//!
+//! The paper's general formulation ([20]) partitions a *set* — elements
+//! are interchangeable. Many data-parallel workloads instead need
+//! **contiguous** partitions of a well-ordered array (rows of a matrix,
+//! samples of a signal, lines of a file): processor `i` receives one
+//! segment, in order, and its execution time is its speed function
+//! evaluated at the total weight it received.
+//!
+//! The solver runs a binary search on the makespan `t`. For a trial `t`
+//! the maximum work processor `i` can absorb is the unique `W` with
+//! `W/s_i(W) = t` — which is exactly the intersection of the graph with
+//! the origin line of slope `1/t` ([`intersect_origin_line`]), reusing the
+//! paper's geometric machinery. A greedy left-to-right sweep then checks
+//! whether the whole array fits; greedy is optimal for contiguous min-max
+//! partitioning, so the smallest feasible `t` is the optimum.
+
+use super::problem::validate_processors;
+use crate::error::{Error, Result};
+use crate::geometry::intersect_origin_line;
+use crate::speed::SpeedFunction;
+
+/// A contiguous partition of a weighted array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContiguousPartition {
+    /// Segment boundaries: processor `i` owns items
+    /// `boundaries[i]..boundaries[i+1]` (length `p+1`, starts at 0, ends
+    /// at the item count).
+    pub boundaries: Vec<usize>,
+    /// Total weight per processor.
+    pub loads: Vec<f64>,
+    /// Maximum per-processor execution time.
+    pub makespan: f64,
+}
+
+impl ContiguousPartition {
+    /// The item range of processor `i`.
+    pub fn segment(&self, i: usize) -> std::ops::Range<usize> {
+        self.boundaries[i]..self.boundaries[i + 1]
+    }
+}
+
+/// Greedy feasibility sweep: can all items be consumed with per-processor
+/// work capped at `W_i(t)`? Returns the boundaries on success.
+fn sweep<F: SpeedFunction>(
+    prefix: &[f64],
+    funcs: &[F],
+    t: f64,
+) -> Option<Vec<usize>> {
+    let n_items = prefix.len() - 1;
+    let slope = 1.0 / t;
+    let mut boundaries = Vec::with_capacity(funcs.len() + 1);
+    boundaries.push(0usize);
+    let mut start = 0usize;
+    for f in funcs {
+        let cap = intersect_origin_line(f, slope);
+        let budget = prefix[start] + cap;
+        // Furthest j with prefix[j] ≤ budget (+ tiny slack for float dust).
+        let mut end = start;
+        let slack = budget * 1e-12;
+        while end < n_items && prefix[end + 1] <= budget + slack {
+            end += 1;
+        }
+        boundaries.push(end);
+        start = end;
+    }
+    if start == n_items {
+        Some(boundaries)
+    } else {
+        None
+    }
+}
+
+/// Optimally partitions a weighted array into contiguous segments, one per
+/// processor (in processor order).
+///
+/// # Errors
+///
+/// * [`Error::NoProcessors`] for an empty processor list;
+/// * [`Error::InvalidParameter`] for non-finite or negative weights;
+/// * [`Error::InsufficientCapacity`] when bounded models cannot absorb a
+///   single over-heavy item.
+pub fn partition_contiguous<F: SpeedFunction>(
+    weights: &[f64],
+    funcs: &[F],
+) -> Result<ContiguousPartition> {
+    validate_processors(funcs)?;
+    if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+        return Err(Error::InvalidParameter("weights must be non-negative and finite"));
+    }
+    let p = funcs.len();
+    let mut prefix = Vec::with_capacity(weights.len() + 1);
+    let mut acc = 0.0;
+    prefix.push(0.0);
+    for &w in weights {
+        acc += w;
+        prefix.push(acc);
+    }
+    let total = acc;
+    if total == 0.0 {
+        let mut boundaries = vec![0usize; p + 1];
+        boundaries[p] = weights.len();
+        // All-zero weights: give everything to the last processor's
+        // boundary bookkeeping; loads and makespan are zero.
+        for b in boundaries.iter_mut().take(p) {
+            *b = 0;
+        }
+        boundaries[p] = weights.len();
+        return Ok(ContiguousPartition {
+            boundaries,
+            loads: vec![0.0; p],
+            makespan: 0.0,
+        });
+    }
+
+    // Upper bound: the fastest single processor takes everything.
+    let mut hi = funcs
+        .iter()
+        .map(|f| f.time(total))
+        .filter(|t| t.is_finite())
+        .fold(f64::INFINITY, f64::min);
+    if !hi.is_finite() {
+        return Err(Error::InsufficientCapacity {
+            requested: total.min(u64::MAX as f64) as u64,
+            available: 0,
+        });
+    }
+    // Guarantee feasibility of hi (greedy with one processor absorbing
+    // `total` is feasible by construction, but float dust can bite).
+    let mut guard = 0;
+    while sweep(&prefix, funcs, hi).is_none() {
+        hi *= 2.0;
+        guard += 1;
+        if guard > 64 {
+            return Err(Error::NoConvergence { algorithm: "contiguous upper bound", steps: guard });
+        }
+    }
+    let mut lo = hi / 2.0;
+    guard = 0;
+    while sweep(&prefix, funcs, lo).is_some() {
+        hi = lo;
+        lo /= 2.0;
+        guard += 1;
+        if guard > 200 {
+            break; // t → 0: perfectly balanced degenerate case
+        }
+    }
+
+    // Bisection on the makespan.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if !(mid > lo && mid < hi) {
+            break;
+        }
+        if sweep(&prefix, funcs, mid).is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if hi - lo <= 1e-12 * hi {
+            break;
+        }
+    }
+    let boundaries = sweep(&prefix, funcs, hi).expect("hi is feasible by invariant");
+    let loads: Vec<f64> =
+        (0..p).map(|i| prefix[boundaries[i + 1]] - prefix[boundaries[i]]).collect();
+    let makespan = loads
+        .iter()
+        .zip(funcs)
+        .map(|(&w, f)| f.time(w))
+        .fold(0.0, f64::max);
+    Ok(ContiguousPartition { boundaries, loads, makespan })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{oracle, Partitioner, CombinedPartitioner};
+    use crate::speed::{AnalyticSpeed, ConstantSpeed};
+
+    #[test]
+    fn unit_weights_match_set_partitioning_makespan() {
+        let funcs = vec![
+            AnalyticSpeed::decreasing(200.0, 1e6, 2.0),
+            AnalyticSpeed::constant(90.0),
+            AnalyticSpeed::saturating(150.0, 5e4),
+        ];
+        let n = 100_000usize;
+        let weights = vec![1.0; n];
+        let contiguous = partition_contiguous(&weights, &funcs).unwrap();
+        let set = CombinedPartitioner::new().partition(n as u64, &funcs).unwrap();
+        // With unit weights the contiguous constraint costs nothing.
+        let rel = (contiguous.makespan - set.makespan).abs() / set.makespan;
+        assert!(rel < 0.01, "contiguous {} vs set {}", contiguous.makespan, set.makespan);
+    }
+
+    #[test]
+    fn boundaries_are_monotone_and_cover() {
+        let funcs = vec![ConstantSpeed::new(10.0), ConstantSpeed::new(30.0)];
+        let weights: Vec<f64> = (1..=100).map(|k| (k % 7 + 1) as f64).collect();
+        let part = partition_contiguous(&weights, &funcs).unwrap();
+        assert_eq!(part.boundaries.len(), 3);
+        assert_eq!(part.boundaries[0], 0);
+        assert_eq!(*part.boundaries.last().unwrap(), 100);
+        assert!(part.boundaries.windows(2).all(|w| w[0] <= w[1]));
+        let total: f64 = part.loads.iter().sum();
+        assert!((total - weights.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_processor_gets_heavier_segment() {
+        let funcs = vec![ConstantSpeed::new(10.0), ConstantSpeed::new(40.0)];
+        let weights = vec![1.0; 1000];
+        let part = partition_contiguous(&weights, &funcs).unwrap();
+        assert!(part.loads[1] > 3.0 * part.loads[0], "{:?}", part.loads);
+        // Times equalised within one item's weight.
+        let t0 = funcs[0].time(part.loads[0]);
+        let t1 = funcs[1].time(part.loads[1]);
+        assert!((t0 - t1).abs() <= funcs[0].time(1.0) + funcs[1].time(1.0));
+    }
+
+    #[test]
+    fn heavy_item_dominates_makespan() {
+        let funcs = vec![ConstantSpeed::new(10.0), ConstantSpeed::new(10.0)];
+        let weights = vec![1.0, 1.0, 100.0, 1.0];
+        let part = partition_contiguous(&weights, &funcs).unwrap();
+        // The heavy item sits alone-ish; makespan ≥ its own time.
+        assert!(part.makespan >= funcs[0].time(100.0) - 1e-9);
+        assert_eq!(*part.boundaries.last().unwrap(), 4);
+    }
+
+    #[test]
+    fn contiguous_cannot_beat_unordered_oracle() {
+        let funcs = vec![
+            AnalyticSpeed::unimodal(120.0, 1e3, 5e5, 2.0),
+            AnalyticSpeed::constant(60.0),
+        ];
+        let weights: Vec<f64> = (0..5000).map(|k| ((k * 37) % 11 + 1) as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let part = partition_contiguous(&weights, &funcs).unwrap();
+        let (_, t_free) = oracle::solve_real(total as u64, &funcs).unwrap();
+        assert!(part.makespan >= t_free - 1e-6, "{} vs {}", part.makespan, t_free);
+    }
+
+    #[test]
+    fn zero_weights_and_empty_arrays() {
+        let funcs = vec![ConstantSpeed::new(1.0), ConstantSpeed::new(2.0)];
+        let part = partition_contiguous(&[], &funcs).unwrap();
+        assert_eq!(part.makespan, 0.0);
+        let part = partition_contiguous(&[0.0, 0.0], &funcs).unwrap();
+        assert_eq!(part.makespan, 0.0);
+        assert_eq!(*part.boundaries.last().unwrap(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_weights_and_empty_cluster() {
+        let funcs = vec![ConstantSpeed::new(1.0)];
+        assert!(partition_contiguous(&[f64::NAN], &funcs).is_err());
+        assert!(partition_contiguous(&[-1.0], &funcs).is_err());
+        let none: Vec<ConstantSpeed> = vec![];
+        assert!(matches!(
+            partition_contiguous(&[1.0], &none),
+            Err(Error::NoProcessors)
+        ));
+    }
+
+    #[test]
+    fn segments_respect_paging_capacity() {
+        // Processor 0 pages hard past 1e4 weight units; the sweep must cap
+        // its segment near the knee.
+        let funcs = vec![
+            AnalyticSpeed::paging(300.0, 1e4, 4.0),
+            AnalyticSpeed::constant(50.0),
+        ];
+        let weights = vec![1.0; 100_000];
+        let part = partition_contiguous(&weights, &funcs).unwrap();
+        assert!(part.loads[0] < 40_000.0, "paging proc overloaded: {:?}", part.loads);
+        assert_eq!(*part.boundaries.last().unwrap(), 100_000);
+    }
+}

@@ -1,0 +1,198 @@
+//! The fine-tuning procedure (paper Fig. 9).
+//!
+//! Once the iterative search stops — no integer-abscissa point of any graph
+//! lies strictly inside the region between the bounding lines — the exact
+//! optimal line generally crosses the graphs at non-integer sizes. The
+//! paper then considers the `2p` integer points nearest the two lines,
+//! ranks their execution times (`O(p·log p)` with a comparison sort) and
+//! picks the best consistent integer allocation.
+//!
+//! This implementation generalises the procedure slightly so that it is
+//! robust to arbitrary rounding residue: starting from the floor of every
+//! lower intersection it distributes the remaining `n − Σ⌊lo_i⌋` elements
+//! one at a time, always to the processor whose *post-increment* execution
+//! time is smallest (a heap-based greedy, optimal for min-max objectives
+//! with increasing per-processor time functions). If the floors overshoot
+//! `n`, elements are removed from the processors with the largest current
+//! time. Both loops touch `O(p + residue)` heap entries with
+//! `residue ≤ 2p` whenever the bounding lines genuinely bracket `n`, so
+//! the overall cost matches the paper's `O(p·log p)` bound.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use super::problem::Distribution;
+use crate::error::{Error, Result};
+use crate::speed::SpeedFunction;
+
+/// Total-ordering wrapper for `f64` heap keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Fine-tunes the real-valued interval `[lo_i, hi_i]` per processor into
+/// the best integer allocation with `Σ x_i = n`.
+///
+/// `lo` and `hi` are the intersection abscissas of each graph with the
+/// steeper and shallower bounding lines respectively.
+pub fn fine_tune<F: SpeedFunction>(n: u64, funcs: &[F], lo: &[f64], hi: &[f64]) -> Distribution {
+    fine_tune_capped(n, funcs, lo, hi, None)
+        .expect("uncapped fine-tuning cannot run out of capacity")
+}
+
+/// Cap-aware variant used by the bounded formulation: no processor may
+/// exceed its `caps` entry.
+///
+/// # Errors
+///
+/// [`Error::InsufficientCapacity`] if `Σ caps < n`.
+pub(crate) fn fine_tune_capped<F: SpeedFunction>(
+    n: u64,
+    funcs: &[F],
+    lo: &[f64],
+    hi: &[f64],
+    caps: Option<&[u64]>,
+) -> Result<Distribution> {
+    let p = funcs.len();
+    assert_eq!(lo.len(), p, "lower bounds length mismatch");
+    assert_eq!(hi.len(), p, "upper bounds length mismatch");
+    if let Some(caps) = caps {
+        assert_eq!(caps.len(), p, "caps length mismatch");
+        let capacity: u64 = caps.iter().fold(0u64, |acc, &c| acc.saturating_add(c));
+        if capacity < n {
+            return Err(Error::InsufficientCapacity { requested: n, available: capacity });
+        }
+    }
+    let cap_of = |i: usize| caps.map_or(u64::MAX, |c| c[i]);
+
+    // Starting point: the floor of every lower intersection, capped.
+    let mut counts: Vec<u64> = (0..p)
+        .map(|i| (lo[i].max(0.0).floor() as u64).min(cap_of(i)))
+        .collect();
+    let mut assigned: u64 = counts.iter().sum();
+
+    if assigned < n {
+        // Distribute the residue greedily: always to the processor whose
+        // time *after* receiving one more element is smallest.
+        let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> = (0..p)
+            .filter(|&i| counts[i] < cap_of(i))
+            .map(|i| Reverse((OrdF64(funcs[i].time((counts[i] + 1) as f64)), i)))
+            .collect();
+        while assigned < n {
+            let Some(Reverse((_, i))) = heap.pop() else {
+                let capacity: u64 = counts.iter().sum();
+                return Err(Error::InsufficientCapacity { requested: n, available: capacity });
+            };
+            counts[i] += 1;
+            assigned += 1;
+            if counts[i] < cap_of(i) {
+                heap.push(Reverse((OrdF64(funcs[i].time((counts[i] + 1) as f64)), i)));
+            }
+        }
+    } else if assigned > n {
+        // Remove the overshoot from the processors with the largest times.
+        let mut heap: BinaryHeap<(OrdF64, usize)> = (0..p)
+            .filter(|&i| counts[i] > 0)
+            .map(|i| (OrdF64(funcs[i].time(counts[i] as f64)), i))
+            .collect();
+        while assigned > n {
+            let (_, i) = heap.pop().expect("assigned > n ≥ 0 implies a non-empty heap");
+            counts[i] -= 1;
+            assigned -= 1;
+            if counts[i] > 0 {
+                heap.push((OrdF64(funcs[i].time(counts[i] as f64)), i));
+            }
+        }
+    }
+
+    debug_assert_eq!(counts.iter().sum::<u64>(), n);
+    Ok(Distribution::new(counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speed::ConstantSpeed;
+
+    #[test]
+    fn exact_floors_need_no_adjustment() {
+        let funcs = vec![ConstantSpeed::new(10.0), ConstantSpeed::new(20.0)];
+        let d = fine_tune(30, &funcs, &[10.0, 20.0], &[10.0, 20.0]);
+        assert_eq!(d.counts(), &[10, 20]);
+    }
+
+    #[test]
+    fn residue_goes_to_fastest() {
+        // lo sums to 28, two residue elements must land on the faster
+        // processor whose incremental time is lower.
+        let funcs = vec![ConstantSpeed::new(10.0), ConstantSpeed::new(1000.0)];
+        let d = fine_tune(30, &funcs, &[9.3, 18.7], &[10.2, 19.9]);
+        assert_eq!(d.total(), 30);
+        assert_eq!(d.counts()[1], 21, "both extra elements on the fast machine: {:?}", d);
+    }
+
+    #[test]
+    fn overshoot_is_removed_from_slowest() {
+        let funcs = vec![ConstantSpeed::new(1.0), ConstantSpeed::new(100.0)];
+        // floors sum to 40 but n = 30: the slow machine must shed load.
+        let d = fine_tune(30, &funcs, &[20.0, 20.0], &[20.0, 20.0]);
+        assert_eq!(d.total(), 30);
+        assert!(d.counts()[0] < d.counts()[1]);
+    }
+
+    #[test]
+    fn minimises_makespan_on_equal_speeds() {
+        let funcs: Vec<ConstantSpeed> = (0..4).map(|_| ConstantSpeed::new(10.0)).collect();
+        let d = fine_tune(10, &funcs, &[2.0, 2.0, 2.0, 2.0], &[3.0, 3.0, 3.0, 3.0]);
+        assert_eq!(d.total(), 10);
+        let max = d.counts().iter().max().unwrap();
+        let min = d.counts().iter().min().unwrap();
+        assert!(max - min <= 1, "equal speeds must split near-evenly: {:?}", d);
+    }
+
+    #[test]
+    fn caps_are_respected() {
+        let funcs = vec![ConstantSpeed::new(100.0), ConstantSpeed::new(1.0)];
+        let d = fine_tune_capped(20, &funcs, &[15.0, 1.0], &[19.0, 3.0], Some(&[12, 100]))
+            .unwrap();
+        assert_eq!(d.total(), 20);
+        assert!(d.counts()[0] <= 12);
+    }
+
+    #[test]
+    fn insufficient_caps_error() {
+        let funcs = vec![ConstantSpeed::new(1.0), ConstantSpeed::new(1.0)];
+        let e = fine_tune_capped(100, &funcs, &[1.0, 1.0], &[2.0, 2.0], Some(&[10, 10]))
+            .unwrap_err();
+        assert!(matches!(e, Error::InsufficientCapacity { available: 20, .. }));
+    }
+
+    #[test]
+    fn zero_n_gives_zero_distribution() {
+        let funcs = vec![ConstantSpeed::new(1.0)];
+        let d = fine_tune(0, &funcs, &[0.0], &[0.4]);
+        assert_eq!(d.counts(), &[0]);
+    }
+
+    #[test]
+    fn large_residue_is_handled() {
+        // Bounding intervals far from n still converge (robustness beyond
+        // the paper's 2p-candidate assumption).
+        let funcs = vec![ConstantSpeed::new(3.0), ConstantSpeed::new(7.0)];
+        let d = fine_tune(1000, &funcs, &[0.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(d.total(), 1000);
+        // Proportional to speeds: 300/700.
+        assert!((d.counts()[0] as i64 - 300).abs() <= 1);
+    }
+}

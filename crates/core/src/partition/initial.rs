@@ -1,0 +1,164 @@
+//! Detection of the two initial lines bounding the optimal solution
+//! (paper Fig. 18).
+//!
+//! Each processor is probed at the homogeneous share `n/p`. The line
+//! through `(n/p, max_i s_i(n/p))` is the steeper initial bound — its
+//! intersections with all graphs lie at abscissas ≤ `n/p`, so their sum is
+//! ≤ `n`. Symmetrically the line through the minimum speed is the shallower
+//! bound with sum ≥ `n`. If the probed speeds degenerate (e.g. the share
+//! exceeds some machine's memory so its speed is zero), the bracket is
+//! expanded geometrically until it provably contains the optimum.
+
+use crate::error::{Error, Result};
+use crate::geometry::total_elements_at_slope;
+use crate::speed::SpeedFunction;
+
+/// A slope interval known to contain the optimally sloped line.
+///
+/// Invariants: `steep > shallow > 0`, total elements at `steep` ≤ `n` ≤
+/// total elements at `shallow` (the total is strictly decreasing in the
+/// slope).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlopeBracket {
+    /// The shallower bound (larger intersection abscissas, sum ≥ n).
+    pub shallow: f64,
+    /// The steeper bound (smaller intersection abscissas, sum ≤ n).
+    pub steep: f64,
+}
+
+impl SlopeBracket {
+    /// Width of the bracket in slope units.
+    pub fn width(&self) -> f64 {
+        self.steep - self.shallow
+    }
+}
+
+/// The paper's initial-line construction: probe every processor at `n/p`
+/// and return the slopes of the lines through the maximal and minimal
+/// probed speeds. Returns `None` if all probed speeds are zero.
+pub fn initial_slopes<F: SpeedFunction>(n: u64, funcs: &[F]) -> Option<(f64, f64)> {
+    let p = funcs.len() as f64;
+    let share = (n as f64 / p).max(1.0);
+    let speeds: Vec<f64> = funcs.iter().map(|f| f.speed(share).max(0.0)).collect();
+    let max = speeds.iter().cloned().fold(0.0, f64::max);
+    let positive_min =
+        speeds.iter().cloned().filter(|&s| s > 0.0).fold(f64::INFINITY, f64::min);
+    if max <= 0.0 {
+        return None;
+    }
+    Some((positive_min / share, max / share))
+}
+
+/// Produces a valid [`SlopeBracket`] for the problem, starting from the
+/// paper's initial lines and expanding geometrically when they fail to
+/// bracket (possible when `n/p` probes hit degenerate regions of the
+/// models).
+///
+/// # Errors
+///
+/// [`Error::InsufficientCapacity`] if even an arbitrarily shallow line
+/// cannot reach `n` total elements (all models bounded and their combined
+/// capacity is below `n`).
+pub fn bracket_slopes<F: SpeedFunction>(n: u64, funcs: &[F]) -> Result<SlopeBracket> {
+    debug_assert!(n > 0 && !funcs.is_empty());
+    let target = n as f64;
+
+    let (mut shallow, mut steep) = match initial_slopes(n, funcs) {
+        Some((lo, hi)) => (lo, hi),
+        None => {
+            // Every probe returned zero speed; fall back to a generic guess
+            // around one element per unit time.
+            (1e-12, 1e3)
+        }
+    };
+    if shallow <= 0.0 || shallow.is_nan() {
+        shallow = steep * 1e-3;
+    }
+    if steep <= shallow {
+        steep = shallow * 2.0;
+    }
+
+    // Ensure the steep side undershoots the target.
+    let mut guard = 0;
+    while total_elements_at_slope(funcs, steep) > target {
+        steep *= 4.0;
+        guard += 1;
+        if guard > 400 {
+            return Err(Error::NoConvergence { algorithm: "bracket_slopes(steep)", steps: guard });
+        }
+    }
+    // Ensure the shallow side overshoots the target; if the models are
+    // bounded this may be impossible.
+    guard = 0;
+    while total_elements_at_slope(funcs, shallow) < target {
+        shallow /= 4.0;
+        guard += 1;
+        if guard > 400 {
+            let capacity: f64 = funcs.iter().map(|f| f.max_size().min(1e18)).sum();
+            return Err(Error::InsufficientCapacity {
+                requested: n,
+                available: capacity.min(u64::MAX as f64) as u64,
+            });
+        }
+    }
+    Ok(SlopeBracket { shallow, steep })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speed::{AnalyticSpeed, ConstantSpeed, PiecewiseLinearSpeed};
+
+    #[test]
+    fn initial_lines_bracket_for_constant_speeds() {
+        let funcs = vec![ConstantSpeed::new(100.0), ConstantSpeed::new(50.0)];
+        let (lo, hi) = initial_slopes(300, &funcs).unwrap();
+        // share = 150; lines through (150, 100) and (150, 50).
+        assert!((hi - 100.0 / 150.0).abs() < 1e-12);
+        assert!((lo - 50.0 / 150.0).abs() < 1e-12);
+        assert!(total_elements_at_slope(&funcs, hi) <= 300.0 + 1e-6);
+        assert!(total_elements_at_slope(&funcs, lo) >= 300.0 - 1e-6);
+    }
+
+    #[test]
+    fn bracket_is_valid_for_mixed_shapes() {
+        let funcs = vec![
+            AnalyticSpeed::decreasing(200.0, 1e6, 2.0),
+            AnalyticSpeed::saturating(150.0, 5e4),
+            AnalyticSpeed::unimodal(250.0, 1e4, 5e6, 2.0),
+        ];
+        let n = 10_000_000;
+        let b = bracket_slopes(n, &funcs).unwrap();
+        assert!(b.shallow < b.steep);
+        assert!(total_elements_at_slope(&funcs, b.steep) <= n as f64 + 1e-3);
+        assert!(total_elements_at_slope(&funcs, b.shallow) >= n as f64 - 1e-3);
+    }
+
+    #[test]
+    fn degenerate_probe_is_recovered() {
+        // Paging models with a tiny memory: at n/p the speed has collapsed
+        // but a valid bracket must still be found for small n.
+        let funcs = vec![
+            AnalyticSpeed::paging(100.0, 1e3, 4.0),
+            AnalyticSpeed::paging(100.0, 1e3, 4.0),
+        ];
+        let b = bracket_slopes(1_000_000, &funcs).unwrap();
+        assert!(total_elements_at_slope(&funcs, b.shallow) >= 1e6 - 1.0);
+    }
+
+    #[test]
+    fn insufficient_capacity_detected_for_bounded_models() {
+        let f = PiecewiseLinearSpeed::new(vec![(10.0, 100.0), (1000.0, 0.0)]).unwrap();
+        let funcs = vec![f.clone(), f];
+        // Combined capacity is 2000 elements; ask for far more.
+        let err = bracket_slopes(1_000_000, &funcs).unwrap_err();
+        assert!(matches!(err, Error::InsufficientCapacity { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn width_is_positive() {
+        let funcs = vec![ConstantSpeed::new(10.0), ConstantSpeed::new(90.0)];
+        let b = bracket_slopes(1000, &funcs).unwrap();
+        assert!(b.width() > 0.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Reference exact solver and optimality checking.
+//!
+//! The paper proves (§2, Fig. 6, induction over `p`) that the distribution
+//! equalising execution times is the unique optimum of the real-valued
+//! problem. That proof translates directly into an algorithm: the
+//! per-processor allocation `x_i(t)` induced by a makespan `t` (the
+//! intersection of the graph with the line of slope `1/t`) is monotone
+//! non-decreasing in `t`, so `Σ x_i(t) = n` can be solved by bisection on
+//! `t`. This module implements that solver — used as the *test oracle*
+//! against which every production algorithm is verified — together with a
+//! local-exchange optimality check for integer allocations.
+
+use super::fine_tune::fine_tune;
+use super::initial::bracket_slopes;
+use super::problem::{empty_report, validate_processors, Distribution, PartitionReport};
+use crate::error::Result;
+use crate::geometry::intersections_at_slope;
+use crate::speed::SpeedFunction;
+use crate::trace::Trace;
+
+/// Solves the real-valued equal-time problem to float resolution, then
+/// fine-tunes to integers.
+///
+/// This is the idealised `O(p·log n)` algorithm the paper calls "still a
+/// challenge" to achieve with guaranteed bounds; here it serves as a
+/// correctness oracle (it performs plain slope bisection to convergence in
+/// *slope* space, ignoring the integer-stopping optimisation of the
+/// production algorithms).
+pub fn solve<F: SpeedFunction>(n: u64, funcs: &[F]) -> Result<PartitionReport> {
+    validate_processors(funcs)?;
+    if n == 0 {
+        return Ok(empty_report(funcs.len()));
+    }
+    let target = n as f64;
+    let bracket = bracket_slopes(n, funcs)?;
+    let mut shallow = bracket.shallow;
+    let mut steep = bracket.steep;
+    for _ in 0..400 {
+        let mid = 0.5 * (shallow + steep);
+        if !(mid > shallow && mid < steep) {
+            break;
+        }
+        let total: f64 = intersections_at_slope(funcs, mid).iter().sum();
+        if total < target {
+            steep = mid;
+        } else {
+            shallow = mid;
+        }
+        if steep - shallow <= f64::EPSILON * steep {
+            break;
+        }
+    }
+    let lo_x = intersections_at_slope(funcs, steep);
+    let hi_x = intersections_at_slope(funcs, shallow);
+    let distribution = fine_tune(n, funcs, &lo_x, &hi_x);
+    Ok(PartitionReport::from_distribution(distribution, funcs, Trace::default()))
+}
+
+/// The real-valued (non-integer) optimal allocation and its makespan.
+///
+/// Useful for measuring how much integer rounding costs.
+pub fn solve_real<F: SpeedFunction>(n: u64, funcs: &[F]) -> Result<(Vec<f64>, f64)> {
+    validate_processors(funcs)?;
+    if n == 0 {
+        return Ok((vec![0.0; funcs.len()], 0.0));
+    }
+    let target = n as f64;
+    let bracket = bracket_slopes(n, funcs)?;
+    let mut shallow = bracket.shallow;
+    let mut steep = bracket.steep;
+    for _ in 0..400 {
+        let mid = 0.5 * (shallow + steep);
+        if !(mid > shallow && mid < steep) {
+            break;
+        }
+        let total: f64 = intersections_at_slope(funcs, mid).iter().sum();
+        if total < target {
+            steep = mid;
+        } else {
+            shallow = mid;
+        }
+        if steep - shallow <= f64::EPSILON * steep {
+            break;
+        }
+    }
+    let slope = 0.5 * (shallow + steep);
+    let xs = intersections_at_slope(funcs, slope);
+    Ok((xs, 1.0 / slope))
+}
+
+/// Checks that no single-element move can reduce the makespan of an
+/// integer allocation.
+///
+/// For the separable min-max objective with increasing per-processor time
+/// functions, a distribution from which *every* bottleneck processor cannot
+/// shed one element without some other processor becoming an equal-or-worse
+/// bottleneck is globally optimal. This is the verifiable counterpart of
+/// the paper's uniqueness argument and is what the property-based tests
+/// assert about all production algorithms.
+pub fn is_exchange_optimal<F: SpeedFunction>(
+    distribution: &Distribution,
+    funcs: &[F],
+    tolerance: f64,
+) -> bool {
+    let counts = distribution.counts();
+    let times = distribution.times(funcs);
+    let makespan = times.iter().cloned().fold(0.0, f64::max);
+    if makespan == 0.0 {
+        return true;
+    }
+    // For every bottleneck processor, check that moving one of its elements
+    // to any other processor would not strictly reduce the overall
+    // makespan.
+    for (i, &t_i) in times.iter().enumerate() {
+        if t_i < makespan * (1.0 - 1e-12) || counts[i] == 0 {
+            continue;
+        }
+        let reduced_i = funcs[i].time((counts[i] - 1) as f64);
+        for (j, &t_j) in times.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            let raised_j = funcs[j].time((counts[j] + 1) as f64);
+            // Makespan after the move, considering only the two changed
+            // processors and the unchanged rest.
+            let rest = times
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != i && k != j)
+                .map(|(_, &t)| t)
+                .fold(0.0, f64::max);
+            let new_makespan = reduced_i.max(raised_j).max(rest).max(t_j);
+            if new_makespan < makespan * (1.0 - tolerance) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{
+        BisectionPartitioner, CombinedPartitioner, ModifiedPartitioner, Partitioner,
+    };
+    use crate::speed::{AnalyticSpeed, ConstantSpeed};
+
+    fn mixed_cluster() -> Vec<AnalyticSpeed> {
+        vec![
+            AnalyticSpeed::decreasing(200.0, 1e6, 2.0),
+            AnalyticSpeed::saturating(150.0, 5e4),
+            AnalyticSpeed::unimodal(250.0, 1e4, 5e6, 2.0),
+            AnalyticSpeed::paging(300.0, 2e6, 3.0),
+        ]
+    }
+
+    #[test]
+    fn oracle_conserves_and_balances() {
+        let funcs = mixed_cluster();
+        let r = solve(10_000_000, &funcs).unwrap();
+        assert_eq!(r.distribution.total(), 10_000_000);
+        assert!(r.distribution.imbalance(&funcs) < 1.001);
+    }
+
+    #[test]
+    fn real_solution_sums_to_n() {
+        let funcs = mixed_cluster();
+        let (xs, t) = solve_real(10_000_000, &funcs).unwrap();
+        let total: f64 = xs.iter().sum();
+        assert!((total - 1e7).abs() < 1.0, "total = {total}");
+        assert!(t > 0.0);
+        // Equal times at the real solution.
+        for (f, &x) in funcs.iter().zip(&xs) {
+            assert!((f.time(x) - t).abs() / t < 1e-6);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_match_oracle_makespan() {
+        let funcs = mixed_cluster();
+        for n in [1000u64, 99_999, 10_000_000] {
+            let oracle = solve(n, &funcs).unwrap();
+            for (name, report) in [
+                ("basic", BisectionPartitioner::new().partition(n, &funcs).unwrap()),
+                ("modified", ModifiedPartitioner::new().partition(n, &funcs).unwrap()),
+                ("combined", CombinedPartitioner::new().partition(n, &funcs).unwrap()),
+            ] {
+                let rel = (report.makespan - oracle.makespan).abs() / oracle.makespan;
+                assert!(rel < 1e-3, "{name} at n = {n}: {} vs oracle {}", report.makespan,
+                        oracle.makespan);
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_solution_is_exchange_optimal() {
+        let funcs = mixed_cluster();
+        for n in [100u64, 54_321, 3_333_333] {
+            let r = solve(n, &funcs).unwrap();
+            assert!(is_exchange_optimal(&r.distribution, &funcs, 1e-9), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn exchange_check_detects_bad_distributions() {
+        let funcs = vec![ConstantSpeed::new(1.0), ConstantSpeed::new(100.0)];
+        // All the load on the slow machine: clearly improvable.
+        let bad = Distribution::new(vec![100, 0]);
+        assert!(!is_exchange_optimal(&bad, &funcs, 1e-9));
+        let good = Distribution::new(vec![1, 99]);
+        assert!(is_exchange_optimal(&good, &funcs, 1e-9));
+    }
+
+    #[test]
+    fn zero_makespan_is_trivially_optimal() {
+        let funcs = vec![ConstantSpeed::new(1.0)];
+        assert!(is_exchange_optimal(&Distribution::new(vec![0]), &funcs, 1e-9));
+    }
+}

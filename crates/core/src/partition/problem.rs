@@ -1,0 +1,180 @@
+//! Problem and solution types shared by all partitioning algorithms.
+
+use crate::error::{Error, Result};
+use crate::speed::SpeedFunction;
+use crate::trace::Trace;
+
+/// An integer allocation of set elements to processors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Distribution {
+    counts: Vec<u64>,
+}
+
+impl Distribution {
+    /// Creates a distribution from per-processor element counts.
+    pub fn new(counts: Vec<u64>) -> Self {
+        Self { counts }
+    }
+
+    /// Per-processor element counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of processors.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether there are no processors.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Total number of elements distributed.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Execution time of each processor under its speed function:
+    /// `t_i = x_i / s_i(x_i)`.
+    pub fn times<F: SpeedFunction>(&self, funcs: &[F]) -> Vec<f64> {
+        assert_eq!(self.counts.len(), funcs.len(), "distribution/processor count mismatch");
+        self.counts.iter().zip(funcs).map(|(&x, f)| f.time(x as f64)).collect()
+    }
+
+    /// Parallel execution time: the maximum per-processor time (the paper's
+    /// cost model excludes communication, §1).
+    pub fn makespan<F: SpeedFunction>(&self, funcs: &[F]) -> f64 {
+        self.times(funcs).into_iter().fold(0.0, f64::max)
+    }
+
+    /// Load-imbalance ratio: slowest over fastest non-idle processor time.
+    /// Returns `1.0` for perfectly balanced distributions and when at most
+    /// one processor is active.
+    pub fn imbalance<F: SpeedFunction>(&self, funcs: &[F]) -> f64 {
+        let times: Vec<f64> =
+            self.times(funcs).into_iter().filter(|&t| t > 0.0).collect();
+        if times.len() < 2 {
+            return 1.0;
+        }
+        let max = times.iter().cloned().fold(f64::MIN, f64::max);
+        let min = times.iter().cloned().fold(f64::MAX, f64::min);
+        if min <= 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+}
+
+/// Outcome of a partitioning run: the distribution plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct PartitionReport {
+    /// The integer allocation found.
+    pub distribution: Distribution,
+    /// Parallel execution time of the allocation under the model.
+    pub makespan: f64,
+    /// Iteration trace (empty for non-iterative algorithms).
+    pub trace: Trace,
+}
+
+impl PartitionReport {
+    pub(crate) fn from_distribution<F: SpeedFunction>(
+        distribution: Distribution,
+        funcs: &[F],
+        trace: Trace,
+    ) -> Self {
+        let makespan = distribution.makespan(funcs);
+        Self { distribution, makespan, trace }
+    }
+}
+
+/// A data-partitioning algorithm over the functional performance model.
+pub trait Partitioner {
+    /// Partitions `n` elements over the processors described by `funcs`.
+    ///
+    /// Returns the allocation, its makespan and the iteration trace.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NoProcessors`] for an empty processor list;
+    /// * [`Error::InsufficientCapacity`] when bounded speed models cannot
+    ///   absorb `n` elements;
+    /// * [`Error::NoConvergence`] if the iterative search exceeds its step
+    ///   budget.
+    fn partition<F: SpeedFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport>;
+}
+
+/// Shared argument validation: non-empty processor list.
+pub(crate) fn validate_processors<F: SpeedFunction>(funcs: &[F]) -> Result<()> {
+    if funcs.is_empty() {
+        return Err(Error::NoProcessors);
+    }
+    Ok(())
+}
+
+/// The trivial all-zeros report for `n = 0`.
+pub(crate) fn empty_report(p: usize) -> PartitionReport {
+    PartitionReport {
+        distribution: Distribution::new(vec![0; p]),
+        makespan: 0.0,
+        trace: Trace::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speed::ConstantSpeed;
+
+    #[test]
+    fn distribution_accessors() {
+        let d = Distribution::new(vec![3, 5, 2]);
+        assert_eq!(d.total(), 10);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.counts(), &[3, 5, 2]);
+    }
+
+    #[test]
+    fn times_and_makespan() {
+        let funcs = vec![ConstantSpeed::new(10.0), ConstantSpeed::new(5.0)];
+        let d = Distribution::new(vec![20, 20]);
+        let times = d.times(&funcs);
+        assert_eq!(times, vec![2.0, 4.0]);
+        assert_eq!(d.makespan(&funcs), 4.0);
+        assert_eq!(d.imbalance(&funcs), 2.0);
+    }
+
+    #[test]
+    fn balanced_distribution_has_unit_imbalance() {
+        let funcs = vec![ConstantSpeed::new(10.0), ConstantSpeed::new(5.0)];
+        let d = Distribution::new(vec![20, 10]);
+        assert!((d.imbalance(&funcs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_processors_are_ignored_by_imbalance() {
+        let funcs =
+            vec![ConstantSpeed::new(10.0), ConstantSpeed::new(5.0), ConstantSpeed::new(1.0)];
+        let d = Distribution::new(vec![20, 10, 0]);
+        assert!((d.imbalance(&funcs) - 1.0).abs() < 1e-12);
+        let solo = Distribution::new(vec![20, 0, 0]);
+        assert_eq!(solo.imbalance(&funcs), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_lengths_panic() {
+        let funcs = vec![ConstantSpeed::new(10.0)];
+        Distribution::new(vec![1, 2]).times(&funcs);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let r = empty_report(4);
+        assert_eq!(r.distribution.counts(), &[0, 0, 0, 0]);
+        assert_eq!(r.makespan, 0.0);
+    }
+}

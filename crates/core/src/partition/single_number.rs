@@ -1,0 +1,255 @@
+//! The classical single-number baseline.
+//!
+//! Every pre-existing model the paper surveys (\[1\]–\[11\]) represents each
+//! processor by one positive number and distributes elements proportionally
+//! to it. The number is obtained by benchmarking every processor at one
+//! common *reference size* — which is exactly the model's weakness: the
+//! relative speeds measured at that size are wrong at any size where the
+//! memory-hierarchy behaviour differs (paper Fig. 3), and the paper shows
+//! the resulting distribution can even be *inversely* proportional to the
+//! true speeds once paging sets in.
+//!
+//! Two rounding variants are provided, matching the complexities quoted in
+//! paper §2: the naive incremental `O(p²)` algorithm of reference \[6\] and
+//! the heap-based `O(p·log p)` refinement.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use super::problem::{empty_report, validate_processors, Distribution, PartitionReport,
+                     Partitioner};
+use crate::error::{Error, Result};
+use crate::speed::SpeedFunction;
+use crate::trace::Trace;
+
+/// How the proportional distribution's integer residue is assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoundingVariant {
+    /// Scan all processors for each residue element (`O(p²)`), the naive
+    /// implementation of reference \[6\].
+    Naive,
+    /// Heap-based residue assignment (`O(p·log p)`).
+    #[default]
+    Heap,
+}
+
+/// Partitioner using the single-number performance model.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleNumberPartitioner {
+    /// Problem size at which every processor's speed is sampled to obtain
+    /// its single number (the paper's experiments use e.g. the speed of a
+    /// 500×500 or 4000×4000 matrix multiplication).
+    pub reference_size: f64,
+    /// Rounding variant.
+    pub variant: RoundingVariant,
+}
+
+impl SingleNumberPartitioner {
+    /// Creates a partitioner sampling speeds at `reference_size` elements.
+    pub fn at_size(reference_size: f64) -> Self {
+        assert!(
+            reference_size.is_finite() && reference_size > 0.0,
+            "reference size must be positive and finite"
+        );
+        Self { reference_size, variant: RoundingVariant::default() }
+    }
+
+    /// Selects the rounding variant.
+    pub fn with_variant(mut self, variant: RoundingVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Partitions using explicit constant speeds (already-sampled numbers).
+    pub fn partition_with_speeds(&self, n: u64, speeds: &[f64]) -> Result<Distribution> {
+        if speeds.is_empty() {
+            return Err(Error::NoProcessors);
+        }
+        if speeds.iter().any(|s| !(s.is_finite() && *s >= 0.0)) {
+            return Err(Error::InvalidSpeedFunction {
+                processor: speeds
+                    .iter()
+                    .position(|s| !(s.is_finite() && *s >= 0.0))
+                    .unwrap_or(0),
+                reason: "single-number speeds must be non-negative and finite",
+            });
+        }
+        let total_speed: f64 = speeds.iter().sum();
+        if total_speed <= 0.0 {
+            return Err(Error::InvalidSpeedFunction {
+                processor: 0,
+                reason: "at least one processor must have positive speed",
+            });
+        }
+        // Proportional floors, then residue assignment.
+        let mut counts: Vec<u64> =
+            speeds.iter().map(|&s| (n as f64 * s / total_speed).floor() as u64).collect();
+        let assigned: u64 = counts.iter().sum();
+        debug_assert!(assigned <= n);
+        let residue = n - assigned;
+        match self.variant {
+            RoundingVariant::Naive => naive_residue(&mut counts, speeds, residue),
+            RoundingVariant::Heap => heap_residue(&mut counts, speeds, residue),
+        }
+        Ok(Distribution::new(counts))
+    }
+}
+
+/// The naive `O(p²)` residue loop: for each remaining element scan all
+/// processors for the one minimising the post-assignment time `(x_i+1)/s_i`.
+fn naive_residue(counts: &mut [u64], speeds: &[f64], residue: u64) {
+    for _ in 0..residue {
+        let mut best = usize::MAX;
+        let mut best_time = f64::INFINITY;
+        for (i, (&c, &s)) in counts.iter().zip(speeds).enumerate() {
+            if s <= 0.0 {
+                continue;
+            }
+            let t = (c + 1) as f64 / s;
+            if t < best_time {
+                best_time = t;
+                best = i;
+            }
+        }
+        counts[best] += 1;
+    }
+}
+
+/// Heap-based residue loop: `O(p + residue·log p)`; as `residue < p`, this
+/// is `O(p·log p)` overall.
+fn heap_residue(counts: &mut [u64], speeds: &[f64], residue: u64) {
+    #[derive(PartialEq)]
+    struct Key(f64, usize);
+    impl Eq for Key {}
+    impl PartialOrd for Key {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Key {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<Key>> = counts
+        .iter()
+        .zip(speeds)
+        .enumerate()
+        .filter(|(_, (_, &s))| s > 0.0)
+        .map(|(i, (&c, &s))| Reverse(Key((c + 1) as f64 / s, i)))
+        .collect();
+    for _ in 0..residue {
+        let Reverse(Key(_, i)) = heap.pop().expect("positive total speed guarantees candidates");
+        counts[i] += 1;
+        heap.push(Reverse(Key((counts[i] + 1) as f64 / speeds[i], i)));
+    }
+}
+
+impl Partitioner for SingleNumberPartitioner {
+    fn partition<F: SpeedFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
+        validate_processors(funcs)?;
+        if n == 0 {
+            return Ok(empty_report(funcs.len()));
+        }
+        let speeds: Vec<f64> =
+            funcs.iter().map(|f| f.speed(self.reference_size).max(0.0)).collect();
+        let distribution = self.partition_with_speeds(n, &speeds)?;
+        // Makespan is evaluated under the *functional* model: the whole
+        // point of the paper's comparison is that the single-number
+        // distribution is executed on machines whose true speed varies with
+        // the received size.
+        Ok(PartitionReport::from_distribution(distribution, funcs, Trace::default()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speed::{AnalyticSpeed, ConstantSpeed};
+
+    #[test]
+    fn proportional_for_constant_speeds() {
+        let funcs = vec![ConstantSpeed::new(100.0), ConstantSpeed::new(50.0)];
+        let r = SingleNumberPartitioner::at_size(1000.0).partition(300, &funcs).unwrap();
+        assert_eq!(r.distribution.counts(), &[200, 100]);
+        assert_eq!(r.distribution.total(), 300);
+    }
+
+    #[test]
+    fn naive_and_heap_agree() {
+        let speeds = vec![33.0, 77.0, 11.0, 59.0, 101.0];
+        for n in [1u64, 7, 100, 999, 12345] {
+            let naive = SingleNumberPartitioner::at_size(1.0)
+                .with_variant(RoundingVariant::Naive)
+                .partition_with_speeds(n, &speeds)
+                .unwrap();
+            let heap = SingleNumberPartitioner::at_size(1.0)
+                .with_variant(RoundingVariant::Heap)
+                .partition_with_speeds(n, &speeds)
+                .unwrap();
+            assert_eq!(naive, heap, "variants diverge at n = {n}");
+        }
+    }
+
+    #[test]
+    fn residue_lands_on_fastest() {
+        let speeds = vec![10.0, 10.0, 10.0, 1000.0];
+        let d = SingleNumberPartitioner::at_size(1.0)
+            .partition_with_speeds(7, &speeds)
+            .unwrap();
+        assert_eq!(d.total(), 7);
+        assert!(d.counts()[3] >= 6, "fast processor takes nearly everything: {d:?}");
+    }
+
+    #[test]
+    fn zero_speed_processors_get_nothing() {
+        let speeds = vec![0.0, 50.0];
+        let d = SingleNumberPartitioner::at_size(1.0)
+            .partition_with_speeds(10, &speeds)
+            .unwrap();
+        assert_eq!(d.counts(), &[0, 10]);
+    }
+
+    #[test]
+    fn all_zero_speeds_error() {
+        let e = SingleNumberPartitioner::at_size(1.0)
+            .partition_with_speeds(10, &[0.0, 0.0])
+            .unwrap_err();
+        assert!(matches!(e, Error::InvalidSpeedFunction { .. }));
+    }
+
+    #[test]
+    fn reference_size_matters_for_functional_targets() {
+        // One machine pages beyond 1e6 elements, the other never does. A
+        // small reference size makes the pager look fast; at a large
+        // reference it looks slow — the distributions must differ.
+        let funcs = vec![
+            AnalyticSpeed::paging(300.0, 1e6, 3.0),
+            AnalyticSpeed::constant(100.0),
+        ];
+        let small = SingleNumberPartitioner::at_size(1e4).partition(4_000_000, &funcs).unwrap();
+        let large = SingleNumberPartitioner::at_size(8e6).partition(4_000_000, &funcs).unwrap();
+        assert!(
+            small.distribution.counts()[0] > large.distribution.counts()[0],
+            "small ref: {:?}, large ref: {:?}",
+            small.distribution,
+            large.distribution
+        );
+    }
+
+    #[test]
+    fn empty_processors_rejected() {
+        let funcs: Vec<ConstantSpeed> = vec![];
+        assert!(matches!(
+            SingleNumberPartitioner::at_size(1.0).partition(10, &funcs),
+            Err(Error::NoProcessors)
+        ));
+    }
+
+    #[test]
+    fn n_zero_gives_empty_distribution() {
+        let funcs = vec![ConstantSpeed::new(1.0)];
+        let r = SingleNumberPartitioner::at_size(1.0).partition(0, &funcs).unwrap();
+        assert_eq!(r.distribution.counts(), &[0]);
+    }
+}

@@ -1,0 +1,302 @@
+//! Closed-form speed-function families.
+//!
+//! These cover every admissible shape of paper Fig. 5 plus two extremes used
+//! in the complexity analysis of §2: the exponential-tail function for which
+//! the basic bisection algorithm degenerates to `O(p·n)`, and the step-wise
+//! function of the Drozdowski–Wolniewicz model \[19\] that the paper contrasts
+//! with its smooth model.
+
+use super::function::SpeedFunction;
+
+/// A closed-form speed function.
+///
+/// Construct via the shape-specific constructors; each documents which
+/// experimental behaviour from the paper it models. All shapes satisfy the
+/// single-intersection requirement (`speed(x)/x` strictly decreasing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyticSpeed {
+    kind: Kind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Kind {
+    Constant {
+        peak: f64,
+    },
+    Decreasing {
+        peak: f64,
+        scale: f64,
+        alpha: f64,
+    },
+    Saturating {
+        peak: f64,
+        ramp: f64,
+    },
+    Unimodal {
+        peak: f64,
+        ramp: f64,
+        page_at: f64,
+        alpha: f64,
+    },
+    Paging {
+        peak: f64,
+        page_at: f64,
+        alpha: f64,
+    },
+    ExpTail {
+        peak: f64,
+        scale: f64,
+    },
+    Stepwise {
+        /// `(threshold, speed)` pairs: the function takes value `speed` for
+        /// `x ≤ threshold` of the first pair whose threshold is ≥ x.
+        levels: Vec<(f64, f64)>,
+    },
+}
+
+fn assert_pos(v: f64, name: &str) {
+    assert!(v.is_finite() && v > 0.0, "{name} must be positive and finite, got {v}");
+}
+
+impl AnalyticSpeed {
+    /// The single-number model: constant speed `peak`.
+    pub fn constant(peak: f64) -> Self {
+        assert_pos(peak, "peak");
+        Self { kind: Kind::Constant { peak } }
+    }
+
+    /// Strictly decreasing shape (`s1(x)` of paper Fig. 5): applications
+    /// with inefficient memory reference patterns (the naive `MatrixMult`
+    /// of Fig. 1c) whose speed declines smoothly from the start.
+    ///
+    /// `s(x) = peak / (1 + (x/scale)^alpha)` with `alpha ≥ 1`.
+    pub fn decreasing(peak: f64, scale: f64, alpha: f64) -> Self {
+        assert_pos(peak, "peak");
+        assert_pos(scale, "scale");
+        assert!(alpha >= 1.0, "alpha must be ≥ 1 for a smoothly decreasing shape");
+        Self { kind: Kind::Decreasing { peak, scale, alpha } }
+    }
+
+    /// Strictly increasing, saturating shape (`s3(x)` of paper Fig. 5):
+    /// per-element overheads amortise with size and the machine never pages
+    /// in the observed range.
+    ///
+    /// `s(x) = peak · x / (x + ramp)`; note `s(x)/x = peak/(x+ramp)` is
+    /// strictly decreasing, so the shape assumption holds.
+    pub fn saturating(peak: f64, ramp: f64) -> Self {
+        assert_pos(peak, "peak");
+        assert_pos(ramp, "ramp");
+        Self { kind: Kind::Saturating { peak, ramp } }
+    }
+
+    /// Increasing-then-decreasing shape (`s2(x)` of paper Fig. 5): speed
+    /// ramps up, plateaus near `peak`, then degrades once the problem stops
+    /// fitting in main memory at `page_at` (the paging point *P* of
+    /// Fig. 1).
+    ///
+    /// `s(x) = peak · x/(x+ramp) · pagefactor(x)` where the paging factor is
+    /// `1 / (1 + ((x-page_at)/page_at)^alpha)` past the paging point.
+    pub fn unimodal(peak: f64, ramp: f64, page_at: f64, alpha: f64) -> Self {
+        assert_pos(peak, "peak");
+        assert_pos(ramp, "ramp");
+        assert_pos(page_at, "page_at");
+        assert!(alpha >= 1.0, "alpha must be ≥ 1");
+        Self { kind: Kind::Unimodal { peak, ramp, page_at, alpha } }
+    }
+
+    /// Flat until the paging point, then degrading: the idealised shape of a
+    /// carefully designed application (ArrayOpsF / MatrixMultATLAS of
+    /// Fig. 1a–b) once fluctuation bands smooth the steps out.
+    ///
+    /// `alpha` controls how aggressively the OS paging algorithm degrades
+    /// the speed — the paper notes different paging algorithms produce
+    /// *different levels of speed degradation* for equal-size tasks.
+    pub fn paging(peak: f64, page_at: f64, alpha: f64) -> Self {
+        assert_pos(peak, "peak");
+        assert_pos(page_at, "page_at");
+        assert!(alpha >= 1.0, "alpha must be ≥ 1");
+        Self { kind: Kind::Paging { peak, page_at, alpha } }
+    }
+
+    /// Exponentially decaying speed: `s(x) = peak · e^(−x/scale)`.
+    ///
+    /// This is the worst case of paper §2 for the *basic* bisection
+    /// algorithm: the optimal slope is `θ_opt(n) = O(e^(−n))`, so slope
+    /// bisection needs `O(n)` steps while the modified algorithm keeps its
+    /// `O(p²·log n)` bound. Used by the ablation benchmarks.
+    pub fn exp_tail(peak: f64, scale: f64) -> Self {
+        assert_pos(peak, "peak");
+        assert_pos(scale, "scale");
+        Self { kind: Kind::ExpTail { peak, scale } }
+    }
+
+    /// Piece-wise constant speed with non-increasing levels: the
+    /// Drozdowski–Wolniewicz \[19\] memory-hierarchy model the paper compares
+    /// against. `levels` are `(upper_size, speed)` pairs with strictly
+    /// increasing sizes and non-increasing speeds; sizes beyond the last
+    /// threshold keep the final speed.
+    pub fn step_levels(levels: Vec<(f64, f64)>) -> Self {
+        assert!(!levels.is_empty(), "at least one level required");
+        for w in levels.windows(2) {
+            assert!(w[1].0 > w[0].0, "thresholds must be strictly increasing");
+            assert!(w[1].1 <= w[0].1, "speeds must be non-increasing for the shape assumption");
+        }
+        for &(t, s) in &levels {
+            assert_pos(t, "threshold");
+            assert_pos(s, "level speed");
+        }
+        Self { kind: Kind::Stepwise { levels } }
+    }
+
+    /// Peak (supremum) speed of the function.
+    pub fn peak(&self) -> f64 {
+        match &self.kind {
+            Kind::Constant { peak }
+            | Kind::Decreasing { peak, .. }
+            | Kind::Saturating { peak, .. }
+            | Kind::Unimodal { peak, .. }
+            | Kind::Paging { peak, .. }
+            | Kind::ExpTail { peak, .. } => *peak,
+            Kind::Stepwise { levels } => levels[0].1,
+        }
+    }
+}
+
+fn page_factor(x: f64, page_at: f64, alpha: f64) -> f64 {
+    if x <= page_at {
+        1.0
+    } else {
+        1.0 / (1.0 + ((x - page_at) / page_at).powf(alpha))
+    }
+}
+
+impl SpeedFunction for AnalyticSpeed {
+    fn speed(&self, x: f64) -> f64 {
+        let x = x.max(0.0);
+        match &self.kind {
+            Kind::Constant { peak } => *peak,
+            Kind::Decreasing { peak, scale, alpha } => peak / (1.0 + (x / scale).powf(*alpha)),
+            Kind::Saturating { peak, ramp } => {
+                if x == 0.0 {
+                    0.0
+                } else {
+                    peak * x / (x + ramp)
+                }
+            }
+            Kind::Unimodal { peak, ramp, page_at, alpha } => {
+                if x == 0.0 {
+                    0.0
+                } else {
+                    peak * x / (x + ramp) * page_factor(x, *page_at, *alpha)
+                }
+            }
+            Kind::Paging { peak, page_at, alpha } => peak * page_factor(x, *page_at, *alpha),
+            Kind::ExpTail { peak, scale } => peak * (-x / scale).exp(),
+            Kind::Stepwise { levels } => {
+                for &(threshold, speed) in levels {
+                    if x <= threshold {
+                        return speed;
+                    }
+                }
+                levels.last().expect("non-empty").1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speed::function::check_single_intersection;
+
+    const SHAPES: &str = "all analytic shapes must satisfy the single-intersection property";
+
+    fn all_shapes() -> Vec<(&'static str, AnalyticSpeed)> {
+        vec![
+            ("constant", AnalyticSpeed::constant(100.0)),
+            ("decreasing", AnalyticSpeed::decreasing(200.0, 1e6, 2.0)),
+            ("saturating", AnalyticSpeed::saturating(150.0, 5e4)),
+            ("unimodal", AnalyticSpeed::unimodal(250.0, 1e4, 5e6, 2.0)),
+            ("paging", AnalyticSpeed::paging(300.0, 2e6, 3.0)),
+            ("exp_tail", AnalyticSpeed::exp_tail(100.0, 1e5)),
+            (
+                "stepwise",
+                AnalyticSpeed::step_levels(vec![(1e4, 120.0), (1e6, 120.0), (1e8, 40.0)]),
+            ),
+        ]
+    }
+
+    #[test]
+    fn all_shapes_satisfy_single_intersection() {
+        for (name, f) in all_shapes() {
+            assert!(
+                check_single_intersection(&f, 1.0, 1e9, 400).is_ok(),
+                "{name}: {SHAPES}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_shapes_positive_and_finite() {
+        for (name, f) in all_shapes() {
+            for &x in &[1.0, 10.0, 1e3, 1e6, 1e9] {
+                let s = f.speed(x);
+                assert!(s.is_finite() && s >= 0.0, "{name} at {x} gave {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn unimodal_rises_then_falls() {
+        let f = AnalyticSpeed::unimodal(250.0, 1e4, 5e6, 2.0);
+        assert!(f.speed(1e3) < f.speed(1e5), "rising part");
+        assert!(f.speed(1e6) > f.speed(5e7), "falling part past the paging point");
+    }
+
+    #[test]
+    fn paging_is_flat_then_falls() {
+        let f = AnalyticSpeed::paging(300.0, 2e6, 3.0);
+        assert_eq!(f.speed(1.0), 300.0);
+        assert_eq!(f.speed(2e6), 300.0);
+        assert!(f.speed(4e6) < 300.0);
+        assert!(f.speed(1e8) < 1.0, "speed collapses well past the paging point");
+    }
+
+    #[test]
+    fn exp_tail_decays_exponentially() {
+        let f = AnalyticSpeed::exp_tail(100.0, 1e5);
+        let ratio = f.speed(2e5) / f.speed(1e5);
+        assert!((ratio - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stepwise_levels_lookup() {
+        let f = AnalyticSpeed::step_levels(vec![(100.0, 50.0), (1000.0, 20.0)]);
+        assert_eq!(f.speed(50.0), 50.0);
+        assert_eq!(f.speed(100.0), 50.0);
+        assert_eq!(f.speed(500.0), 20.0);
+        assert_eq!(f.speed(5000.0), 20.0, "sizes past the last threshold keep the last speed");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn stepwise_rejects_increasing_speeds() {
+        AnalyticSpeed::step_levels(vec![(100.0, 10.0), (200.0, 20.0)]);
+    }
+
+    #[test]
+    fn peak_reports_supremum() {
+        assert_eq!(AnalyticSpeed::constant(42.0).peak(), 42.0);
+        assert_eq!(AnalyticSpeed::saturating(99.0, 1.0).peak(), 99.0);
+        assert_eq!(
+            AnalyticSpeed::step_levels(vec![(10.0, 70.0), (20.0, 30.0)]).peak(),
+            70.0
+        );
+    }
+
+    #[test]
+    fn decreasing_halves_at_scale() {
+        let f = AnalyticSpeed::decreasing(100.0, 1e6, 1.0);
+        assert!((f.speed(1e6) - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,405 @@
+//! Building piece-wise linear speed functions from live measurements.
+//!
+//! Implements the practical procedure of paper §3.1 (Figs. 14, 19, 20): an
+//! adaptive approximation of the performance *band* of a processor built
+//! from a small set of experimentally obtained points.
+//!
+//! The procedure starts from the interval `[a, b]` — `a` being a problem
+//! size fitting in the top level of the memory hierarchy and `b` a size
+//! large enough that the speed is practically zero (main memory + swap
+//! exhausted) — with an initial band linearly connecting
+//! `(a, s_a ± ε·s_a)` to `(b, 0)…(b, ε)`. Each interval is then
+//! **trisected** (bisection can be fooled: a measured point may fall on the
+//! chord *by accident*, Fig. 19c, whereas by the shape assumption two
+//! interior points cannot both lie on the chord of a curved piece), the two
+//! interior points are measured, and:
+//!
+//! * if both measurements fall inside the current ε-band, the linear piece
+//!   is accepted (case *a*);
+//! * otherwise the out-of-band points become new knots and the procedure
+//!   recurses into the sub-intervals, skipping sub-intervals whose measured
+//!   endpoint already agrees with the neighbouring accepted value within ε
+//!   (cases *b*–*d*).
+//!
+//! In the paper's experiments an acceptance band of ±5 % and about five
+//! experimental points per processor sufficed.
+
+use super::band::{BandPoint, SpeedBand};
+use super::piecewise::PiecewiseLinearSpeed;
+use crate::error::{Error, Result};
+
+/// Source of experimental speed measurements.
+///
+/// `measure(x)` runs (or simulates) the application on a problem of size
+/// `x` and returns the observed absolute speed. Measurements are the
+/// expensive operation the builder tries to minimise.
+pub trait Measurer {
+    /// Measures the absolute speed at problem size `x`.
+    fn measure(&mut self, x: f64) -> f64;
+}
+
+impl<F: FnMut(f64) -> f64> Measurer for F {
+    fn measure(&mut self, x: f64) -> f64 {
+        self(x)
+    }
+}
+
+/// Configuration of the band-building procedure.
+#[derive(Debug, Clone, Copy)]
+pub struct BuilderConfig {
+    /// Relative half-acceptance band (the paper uses ±5 %, i.e. `0.05`).
+    pub epsilon: f64,
+    /// Smallest interval length the builder will subdivide, as a fraction
+    /// of `b − a`. Guards against unbounded recursion on noisy measurers.
+    pub min_interval_fraction: f64,
+    /// Hard ceiling on the number of measurements.
+    pub max_measurements: usize,
+}
+
+impl Default for BuilderConfig {
+    fn default() -> Self {
+        Self { epsilon: 0.05, min_interval_fraction: 1.0 / 729.0, max_measurements: 64 }
+    }
+}
+
+impl BuilderConfig {
+    fn validate(&self) -> Result<()> {
+        if !(self.epsilon.is_finite() && self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(Error::InvalidParameter("epsilon must be in (0, 1)"));
+        }
+        if !(self.min_interval_fraction > 0.0 && self.min_interval_fraction < 1.0) {
+            return Err(Error::InvalidParameter("min_interval_fraction must be in (0, 1)"));
+        }
+        if self.max_measurements < 3 {
+            return Err(Error::InvalidParameter("max_measurements must be at least 3"));
+        }
+        Ok(())
+    }
+}
+
+/// Result of building a speed model from measurements.
+#[derive(Debug, Clone)]
+pub struct BuildOutcome {
+    /// The mid-line piece-wise linear speed function (what the partitioning
+    /// algorithms consume).
+    pub midline: PiecewiseLinearSpeed,
+    /// The ε-band around the accepted knots.
+    pub band: SpeedBand,
+    /// All experimentally measured points `(size, speed)`, in measurement
+    /// order (diagnostics; includes points that did not become knots).
+    pub measured: Vec<(f64, f64)>,
+    /// Number of measurements taken.
+    pub measurements: usize,
+    /// Estimated measurement cost in normalised work units (`Σ x/s(x)`,
+    /// i.e. seconds under a one-work-unit-per-element workload) — the
+    /// quantity the paper weighs against application execution times. For
+    /// super-linear kernels (MM, LU) the true wall-clock cost additionally
+    /// scales with the per-size flop count.
+    pub cost_seconds: f64,
+    /// Knots that were dropped to restore the single-intersection property
+    /// (only non-empty for noisy measurers).
+    pub repaired: usize,
+}
+
+struct BuildState<'m, M: Measurer> {
+    measurer: &'m mut M,
+    cfg: BuilderConfig,
+    min_len: f64,
+    zero_floor: f64,
+    knots: Vec<(f64, f64)>,
+    measured: Vec<(f64, f64)>,
+    cost: f64,
+}
+
+impl<M: Measurer> BuildState<'_, M> {
+    fn take(&mut self, x: f64) -> f64 {
+        let s = self.measurer.measure(x).max(0.0);
+        self.measured.push((x, s));
+        // Cost of the experiment: executing the problem of size x once.
+        self.cost += x / s.max(1e-9);
+        s
+    }
+
+    fn within(&self, measured: f64, reference: f64) -> bool {
+        let tol = (self.cfg.epsilon * reference.abs()).max(self.zero_floor);
+        (measured - reference).abs() <= tol
+    }
+
+    fn budget_left(&self) -> bool {
+        self.measured.len() + 2 <= self.cfg.max_measurements
+    }
+
+    /// Recursive trisection over `[l, r]` with accepted endpoint speeds
+    /// `(s_l, s_r)`.
+    fn refine(&mut self, l: f64, r: f64, s_l: f64, s_r: f64) {
+        if r - l <= self.min_len || !self.budget_left() {
+            return;
+        }
+        let x1 = l + (r - l) / 3.0;
+        let x2 = l + 2.0 * (r - l) / 3.0;
+        let m1 = self.take(x1);
+        let m2 = self.take(x2);
+        // Projection of the current linear approximation at the trisection
+        // points.
+        let proj = |x: f64| s_l + (x - l) / (r - l) * (s_r - s_l);
+        let in1 = self.within(m1, proj(x1));
+        let in2 = self.within(m2, proj(x2));
+        if in1 && in2 {
+            // Case (a): the current band already contains both experimental
+            // points — accept the linear piece as final.
+            return;
+        }
+        // Cases (b)–(d): out-of-band points become knots; recurse into
+        // sub-intervals, skipping those whose new endpoint agrees with the
+        // neighbouring accepted speed within ε.
+        self.knots.push((x1, m1));
+        self.knots.push((x2, m2));
+        let near_l = self.within(m1, s_l);
+        let near_r = self.within(m2, s_r);
+        if !near_l {
+            self.refine(l, x1, s_l, m1);
+        }
+        self.refine(x1, x2, m1, m2);
+        if !near_r {
+            self.refine(x2, r, m2, s_r);
+        }
+    }
+}
+
+/// Drops knots that violate the strict decrease of `s(x)/x`, keeping the
+/// earliest knot of every violating pair. A knot with zero speed terminates
+/// the model (the machine cannot solve larger problems), so anything after
+/// the first zero is dropped too. Returns the number dropped.
+///
+/// Public so that external measurement pipelines (e.g. host calibration in
+/// `fpm-cli`) can sanitise raw measurements into a valid
+/// [`PiecewiseLinearSpeed`]; `points` must already be sorted by size.
+pub fn repair_shape(points: &mut Vec<(f64, f64)>) -> usize {
+    let before = points.len();
+    let mut kept: Vec<(f64, f64)> = Vec::with_capacity(points.len());
+    for &(x, s) in points.iter() {
+        if let Some(&(px, ps)) = kept.last() {
+            if ps == 0.0 {
+                break;
+            }
+            if s / x >= ps / px {
+                continue;
+            }
+        }
+        kept.push((x, s));
+    }
+    let dropped = before - kept.len();
+    *points = kept;
+    dropped
+}
+
+/// Builds the piece-wise linear approximation of a processor's performance
+/// band over `[a, b]` (paper §3.1).
+///
+/// * `a` — problem size fitting in the top level of the memory hierarchy;
+/// * `b` — size at which the speed is practically zero (the builder anchors
+///   `s(b) = 0` without measuring, exactly as the paper assumes);
+/// * `measurer` — the experimental oracle.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for a degenerate interval or config,
+/// and [`Error::InvalidSpeedFunction`] if the (possibly noisy) measurements
+/// cannot be repaired into a valid model.
+pub fn build_speed_band<M: Measurer>(
+    measurer: &mut M,
+    a: f64,
+    b: f64,
+    cfg: BuilderConfig,
+) -> Result<BuildOutcome> {
+    cfg.validate()?;
+    if !(a.is_finite() && b.is_finite() && a > 0.0 && b > a) {
+        return Err(Error::InvalidParameter("need 0 < a < b, both finite"));
+    }
+    let mut state = BuildState {
+        measurer,
+        cfg,
+        min_len: (b - a) * cfg.min_interval_fraction,
+        zero_floor: 0.0,
+        knots: Vec::new(),
+        measured: Vec::new(),
+        cost: 0.0,
+    };
+    let s_a = state.take(a);
+    if s_a <= 0.0 {
+        return Err(Error::InvalidParameter("speed at the left anchor a must be positive"));
+    }
+    // Absolute tolerance near the right anchor, where the reference speed
+    // approaches zero (the paper's (b, ε) corner).
+    state.zero_floor = cfg.epsilon * s_a * 0.05;
+    state.knots.push((a, s_a));
+    state.knots.push((b, 0.0));
+    state.refine(a, b, s_a, 0.0);
+
+    let mut points = state.knots.clone();
+    points.sort_by(|p, q| p.0.partial_cmp(&q.0).expect("finite"));
+    points.dedup_by(|p, q| p.0 == q.0);
+    let repaired = repair_shape(&mut points);
+    let midline = PiecewiseLinearSpeed::new(points.clone()).map_err(|_| {
+        Error::InvalidSpeedFunction {
+            processor: usize::MAX,
+            reason: "measurements could not be repaired into a valid model",
+        }
+    })?;
+    let band = SpeedBand::from_points(
+        points
+            .iter()
+            .map(|&(x, s)| BandPoint {
+                x,
+                lo: (s * (1.0 - cfg.epsilon)).max(0.0),
+                hi: s * (1.0 + cfg.epsilon) + state.zero_floor,
+            })
+            .collect(),
+    )?;
+    let measurements = state.measured.len();
+    Ok(BuildOutcome {
+        midline,
+        band,
+        measured: state.measured,
+        measurements,
+        cost_seconds: state.cost,
+        repaired,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speed::analytic::AnalyticSpeed;
+    use crate::speed::function::SpeedFunction;
+
+    fn build_from<F: SpeedFunction>(f: &F, a: f64, b: f64, cfg: BuilderConfig) -> BuildOutcome {
+        let mut oracle = |x: f64| f.speed(x);
+        build_speed_band(&mut oracle, a, b, cfg).unwrap()
+    }
+
+    #[test]
+    fn linear_function_needs_few_points() {
+        // A function whose graph is exactly the initial chord is accepted
+        // after the first two trisection measurements: 3 points total.
+        let a = 1e3;
+        let b = 1e7;
+        struct Chord {
+            a: f64,
+            b: f64,
+            s_a: f64,
+        }
+        impl SpeedFunction for Chord {
+            fn speed(&self, x: f64) -> f64 {
+                (self.s_a * (self.b - x) / (self.b - self.a)).max(0.0)
+            }
+        }
+        let f = Chord { a, b, s_a: 100.0 };
+        let out = build_from(&f, a, b, BuilderConfig::default());
+        assert_eq!(out.measurements, 3, "a + two trisection points");
+        assert_eq!(out.repaired, 0);
+    }
+
+    #[test]
+    fn smooth_decreasing_function_few_points_within_epsilon() {
+        let f = AnalyticSpeed::decreasing(200.0, 2e6, 2.0);
+        let out = build_from(&f, 1e4, 5e7, BuilderConfig::default());
+        // Frugality: the default measurement budget must not be exhausted.
+        assert!(out.measurements < 64, "took {} measurements", out.measurements);
+        // Midline accuracy within a loose multiple of epsilon at interior
+        // sizes away from the anchors.
+        for &x in &[5e5, 1e6, 5e6, 2e7] {
+            let approx = out.midline.speed(x);
+            let truth = f.speed(x);
+            assert!(
+                (approx - truth).abs() <= 0.15 * truth + 1.0,
+                "at {x}: approx {approx} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn wider_acceptance_band_needs_fewer_points() {
+        let f = AnalyticSpeed::decreasing(200.0, 2e6, 2.0);
+        let tight = build_from(&f, 1e4, 5e7, BuilderConfig::default());
+        let loose = build_from(
+            &f,
+            1e4,
+            5e7,
+            BuilderConfig { epsilon: 0.20, ..BuilderConfig::default() },
+        );
+        assert!(
+            loose.measurements < tight.measurements,
+            "loose {} vs tight {}",
+            loose.measurements,
+            tight.measurements
+        );
+    }
+
+    #[test]
+    fn paging_knee_is_captured() {
+        let f = AnalyticSpeed::paging(250.0, 1e6, 3.0);
+        let out = build_from(&f, 1e4, 2e7, BuilderConfig::default());
+        // Before the knee the model must report near-peak speed; after it a
+        // collapsed speed.
+        assert!(out.midline.speed(5e5) > 200.0);
+        assert!(out.midline.speed(1.5e7) < 50.0);
+    }
+
+    #[test]
+    fn measurement_budget_is_respected() {
+        let f = AnalyticSpeed::unimodal(300.0, 5e4, 2e6, 2.0);
+        let cfg = BuilderConfig { max_measurements: 9, ..BuilderConfig::default() };
+        let out = build_from(&f, 1e4, 5e7, cfg);
+        assert!(out.measurements <= 9);
+    }
+
+    #[test]
+    fn cost_accumulates_execution_times() {
+        let f = AnalyticSpeed::constant(100.0);
+        let out = build_from(&f, 1e3, 1e6, BuilderConfig::default());
+        // Each measurement of size x costs x/100 seconds; the anchor alone
+        // costs 10 s.
+        assert!(out.cost_seconds >= 1e3 / 100.0);
+        assert!(out.cost_seconds.is_finite());
+    }
+
+    #[test]
+    fn noisy_measurer_is_repaired_to_valid_model() {
+        let truth = AnalyticSpeed::decreasing(150.0, 1e6, 2.0);
+        let mut flip = 1.0_f64;
+        let mut noisy = |x: f64| {
+            flip = -flip;
+            truth.speed(x) * (1.0 + 0.04 * flip)
+        };
+        let out = build_speed_band(&mut noisy, 1e4, 1e8, BuilderConfig::default()).unwrap();
+        // The produced model must satisfy the shape requirement regardless
+        // of noise.
+        use crate::speed::function::check_single_intersection;
+        assert!(check_single_intersection(&out.midline, 1e4, 9e7, 300).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_interval_and_config() {
+        let mut m = |_x: f64| 1.0;
+        assert!(build_speed_band(&mut m, 10.0, 10.0, BuilderConfig::default()).is_err());
+        assert!(build_speed_band(&mut m, -1.0, 10.0, BuilderConfig::default()).is_err());
+        let bad = BuilderConfig { epsilon: 0.0, ..BuilderConfig::default() };
+        assert!(build_speed_band(&mut m, 1.0, 10.0, bad).is_err());
+        let mut dead = |_x: f64| 0.0;
+        assert!(
+            build_speed_band(&mut dead, 1.0, 10.0, BuilderConfig::default()).is_err(),
+            "zero speed at the anchor is rejected"
+        );
+    }
+
+    #[test]
+    fn band_contains_midline() {
+        let f = AnalyticSpeed::unimodal(300.0, 5e4, 2e6, 2.0);
+        let out = build_from(&f, 1e4, 5e7, BuilderConfig::default());
+        for &x in &[1e5, 1e6, 1e7] {
+            assert!(out.band.lower(x) <= out.midline.speed(x) + 1e-9);
+            assert!(out.band.upper(x) >= out.midline.speed(x) - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Multi-level memory-hierarchy speed functions.
+//!
+//! The paper's model explicitly targets "the memory heterogeneity in terms
+//! of the number of levels of the memory hierarchy and the size of each
+//! level". [`HierarchicalSpeed`] composes one residency boost per level
+//! (L1/L2/L3/…, each fading as the working set outgrows its capacity) with
+//! the start-up ramp and the paging collapse:
+//!
+//! ```text
+//! s(x) = sustained · x/(x+ramp) · Π_l (1 + boost_l/(1+(x/cap_l)^sharp_l)) · paging(x)
+//! ```
+//!
+//! Every factor except the ramp is non-increasing and the ramp is
+//! `x/(x+r)`, so `s(x)/x` is strictly decreasing — the single-intersection
+//! requirement holds by construction for any level stack.
+
+use super::function::SpeedFunction;
+use crate::error::{Error, Result};
+
+/// One level of the memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryLevel {
+    /// Capacity of the level in elements.
+    pub capacity: f64,
+    /// Extra relative speed while the working set is resident in this
+    /// level (e.g. `0.8` = 80 % faster than without it).
+    pub boost: f64,
+    /// Sharpness of the residency falloff (≥ 1; large = step-like).
+    pub sharpness: f64,
+}
+
+impl MemoryLevel {
+    /// Creates a level; all parameters must be positive and finite.
+    pub fn new(capacity: f64, boost: f64, sharpness: f64) -> Self {
+        Self { capacity, boost, sharpness }
+    }
+
+    fn validate(&self) -> Result<()> {
+        let ok = self.capacity.is_finite()
+            && self.capacity > 0.0
+            && self.boost.is_finite()
+            && self.boost >= 0.0
+            && self.sharpness.is_finite()
+            && self.sharpness >= 1.0;
+        if ok {
+            Ok(())
+        } else {
+            Err(Error::InvalidParameter(
+                "memory level needs positive capacity, non-negative boost, sharpness ≥ 1",
+            ))
+        }
+    }
+
+    fn factor(&self, x: f64) -> f64 {
+        1.0 + self.boost / (1.0 + (x / self.capacity).powf(self.sharpness))
+    }
+}
+
+/// A speed function with an arbitrary stack of memory levels plus paging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchicalSpeed {
+    sustained: f64,
+    ramp: f64,
+    levels: Vec<MemoryLevel>,
+    page_at: Option<f64>,
+    page_sharpness: f64,
+    page_floor: f64,
+}
+
+impl HierarchicalSpeed {
+    /// Builds the model.
+    ///
+    /// * `sustained` — post-cache, pre-paging speed;
+    /// * `ramp` — start-up amortisation size in elements;
+    /// * `levels` — memory levels with strictly increasing capacities;
+    /// * `page_at` — optional paging point in elements.
+    pub fn new(
+        sustained: f64,
+        ramp: f64,
+        levels: Vec<MemoryLevel>,
+        page_at: Option<f64>,
+    ) -> Result<Self> {
+        if !(sustained.is_finite() && sustained > 0.0) {
+            return Err(Error::InvalidParameter("sustained speed must be positive"));
+        }
+        if !(ramp.is_finite() && ramp > 0.0) {
+            return Err(Error::InvalidParameter("ramp must be positive"));
+        }
+        for level in &levels {
+            level.validate()?;
+        }
+        if levels.windows(2).any(|w| w[1].capacity <= w[0].capacity) {
+            return Err(Error::InvalidParameter(
+                "level capacities must be strictly increasing",
+            ));
+        }
+        if let Some(p) = page_at {
+            if !(p.is_finite() && p > 0.0) {
+                return Err(Error::InvalidParameter("paging point must be positive"));
+            }
+            if let Some(last) = levels.last() {
+                if p <= last.capacity {
+                    return Err(Error::InvalidParameter(
+                        "paging point must lie beyond the last cache level",
+                    ));
+                }
+            }
+        }
+        Ok(Self {
+            sustained,
+            ramp,
+            levels,
+            page_at,
+            page_sharpness: 3.0,
+            page_floor: 0.05,
+        })
+    }
+
+    /// Overrides the paging collapse parameters (sharpness ≥ 1, floor in
+    /// `[0, 1)`).
+    pub fn with_paging_law(mut self, sharpness: f64, floor: f64) -> Result<Self> {
+        if !(sharpness >= 1.0 && sharpness.is_finite()) {
+            return Err(Error::InvalidParameter("paging sharpness must be ≥ 1"));
+        }
+        if !((0.0..1.0).contains(&floor)) {
+            return Err(Error::InvalidParameter("paging floor must be in [0, 1)"));
+        }
+        self.page_sharpness = sharpness;
+        self.page_floor = floor;
+        Ok(self)
+    }
+
+    /// The memory levels.
+    pub fn levels(&self) -> &[MemoryLevel] {
+        &self.levels
+    }
+
+    /// In-cache peak speed (supremum).
+    pub fn peak(&self) -> f64 {
+        self.sustained * self.levels.iter().map(|l| 1.0 + l.boost).product::<f64>()
+    }
+
+    fn page_factor(&self, x: f64) -> f64 {
+        match self.page_at {
+            Some(p) if x > p => {
+                let collapse =
+                    1.0 / (1.0 + ((x - p) / p).powf(self.page_sharpness) * 8.0);
+                collapse.max(self.page_floor)
+            }
+            _ => 1.0,
+        }
+    }
+}
+
+impl SpeedFunction for HierarchicalSpeed {
+    fn speed(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let ramp = x / (x + self.ramp);
+        let boosts: f64 = self.levels.iter().map(|l| l.factor(x)).product();
+        self.sustained * ramp * boosts * self.page_factor(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speed::check_single_intersection;
+
+    fn three_level() -> HierarchicalSpeed {
+        // L1 32 KiB, L2 512 KiB, L3 8 MiB (as f64 element counts), paging
+        // at 1e8 elements.
+        HierarchicalSpeed::new(
+            100.0,
+            256.0,
+            vec![
+                MemoryLevel::new(4_096.0, 1.5, 4.0),
+                MemoryLevel::new(65_536.0, 0.8, 4.0),
+                MemoryLevel::new(1_048_576.0, 0.4, 4.0),
+            ],
+            Some(1e8),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn satisfies_single_intersection_for_any_level_stack() {
+        let f = three_level();
+        assert!(check_single_intersection(&f, 16.0, 1e9, 500).is_ok());
+    }
+
+    #[test]
+    fn each_level_boundary_produces_a_knee() {
+        let f = three_level();
+        // Speed strictly decreases across each capacity boundary.
+        let probes = [2_000.0, 16_000.0, 260_000.0, 4_000_000.0];
+        for w in probes.windows(2) {
+            assert!(
+                f.speed(w[0]) > f.speed(w[1]),
+                "speed must fall from {} to {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn peak_is_product_of_boosts() {
+        let f = three_level();
+        let expected = 100.0 * 2.5 * 1.8 * 1.4;
+        assert!((f.peak() - expected).abs() < 1e-9);
+        // The actual speed approaches sustained far from the caches but
+        // before paging.
+        assert!((f.speed(5e7) - 100.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn paging_collapses_with_floor() {
+        let f = three_level().with_paging_law(3.0, 0.10).unwrap();
+        assert!(f.speed(1e9) >= 100.0 * 0.10 * 0.9);
+        assert!(f.speed(1e9) < 20.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        assert!(HierarchicalSpeed::new(0.0, 1.0, vec![], None).is_err());
+        assert!(HierarchicalSpeed::new(1.0, 0.0, vec![], None).is_err());
+        let unordered = vec![
+            MemoryLevel::new(1_000.0, 0.5, 2.0),
+            MemoryLevel::new(500.0, 0.5, 2.0),
+        ];
+        assert!(HierarchicalSpeed::new(1.0, 1.0, unordered, None).is_err());
+        let ok_levels = vec![MemoryLevel::new(1_000.0, 0.5, 2.0)];
+        assert!(
+            HierarchicalSpeed::new(1.0, 1.0, ok_levels.clone(), Some(500.0)).is_err(),
+            "paging inside the cache is rejected"
+        );
+        assert!(HierarchicalSpeed::new(1.0, 1.0, ok_levels, Some(5_000.0)).is_ok());
+        assert!(three_level().with_paging_law(0.5, 0.1).is_err());
+        assert!(three_level().with_paging_law(2.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn partitioners_balance_heterogeneous_hierarchies() {
+        use crate::partition::{oracle, CombinedPartitioner, Partitioner};
+        // One machine with big caches, one with small: the optimum shifts
+        // with problem size, and the solution stays exchange-optimal.
+        let funcs = vec![
+            three_level(),
+            HierarchicalSpeed::new(
+                140.0,
+                256.0,
+                vec![MemoryLevel::new(8_192.0, 1.0, 4.0)],
+                Some(2e7),
+            )
+            .unwrap(),
+        ];
+        for n in [10_000u64, 1_000_000, 300_000_000] {
+            let r = CombinedPartitioner::new().partition(n, &funcs).unwrap();
+            assert_eq!(r.distribution.total(), n);
+            assert!(oracle::is_exchange_optimal(&r.distribution, &funcs, 1e-6), "n = {n}");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Piece-wise linear speed functions — the representation the paper builds
+//! from a small number of experimental points (Fig. 14).
+
+use super::function::SpeedFunction;
+use crate::error::{Error, Result};
+
+/// A speed function interpolated linearly between experimentally obtained
+/// points `(x_k, s_k)`.
+///
+/// Outside the measured range the function is clamped: `s(x) = s_0` for
+/// `x < x_0` and `s(x) = s_last` for `x > x_last`. The paper's §3.1
+/// procedure always anchors the right end at a size `b` where the speed is
+/// practically zero, so the clamp is benign in practice.
+///
+/// # Shape validity
+///
+/// On a linear segment the ratio `g(x) = s(x)/x = m + q/x` is monotone with
+/// the sign of `−q` (where `q` is the segment's back-extrapolated intercept
+/// at `x = 0`), so `g` is strictly decreasing over the whole function **iff
+/// it is strictly decreasing at the knots**. [`PiecewiseLinearSpeed::new`]
+/// enforces exactly that, which is the paper's requirement that any line
+/// through the origin cuts the graph at most once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinearSpeed {
+    /// Knots sorted by strictly increasing abscissa.
+    points: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinearSpeed {
+    /// Builds a piece-wise linear speed function from `(size, speed)` knots.
+    ///
+    /// Requirements (checked, violations return
+    /// [`Error::InvalidSpeedFunction`] with processor index `usize::MAX`
+    /// since the function is not yet attached to a processor):
+    ///
+    /// * at least two knots;
+    /// * abscissas strictly increasing and positive;
+    /// * speeds finite, non-negative, positive except possibly at the last
+    ///   knot (the paper sets the speed at `b` = memory+swap exhaustion to
+    ///   zero);
+    /// * `s_k/x_k` strictly decreasing (single-intersection property).
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self> {
+        const P: usize = usize::MAX;
+        if points.len() < 2 {
+            return Err(Error::InvalidSpeedFunction {
+                processor: P,
+                reason: "piece-wise linear model needs at least two knots",
+            });
+        }
+        for (i, &(x, s)) in points.iter().enumerate() {
+            if !(x.is_finite() && x > 0.0) {
+                return Err(Error::InvalidSpeedFunction {
+                    processor: P,
+                    reason: "knot abscissas must be positive and finite",
+                });
+            }
+            if !(s.is_finite() && s >= 0.0) {
+                return Err(Error::InvalidSpeedFunction {
+                    processor: P,
+                    reason: "knot speeds must be non-negative and finite",
+                });
+            }
+            if s == 0.0 && i + 1 != points.len() {
+                return Err(Error::InvalidSpeedFunction {
+                    processor: P,
+                    reason: "only the final knot may have zero speed",
+                });
+            }
+        }
+        for w in points.windows(2) {
+            let (x0, s0) = w[0];
+            let (x1, s1) = w[1];
+            if x1 <= x0 {
+                return Err(Error::InvalidSpeedFunction {
+                    processor: P,
+                    reason: "knot abscissas must be strictly increasing",
+                });
+            }
+            if s1 / x1 >= s0 / x0 {
+                return Err(Error::InvalidSpeedFunction {
+                    processor: P,
+                    reason: "s(x)/x must be strictly decreasing at knots (single-intersection property)",
+                });
+            }
+        }
+        Ok(Self { points })
+    }
+
+    /// Builds from unsorted measurements, sorting by size and merging
+    /// duplicate abscissas by averaging their speeds.
+    pub fn from_measurements(mut measurements: Vec<(f64, f64)>) -> Result<Self> {
+        measurements.retain(|&(x, s)| x.is_finite() && s.is_finite());
+        measurements.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(measurements.len());
+        let mut run = 1.0f64;
+        for (x, s) in measurements {
+            match merged.last_mut() {
+                Some(last) if last.0 == x => {
+                    run += 1.0;
+                    last.1 += (s - last.1) / run;
+                }
+                _ => {
+                    run = 1.0;
+                    merged.push((x, s));
+                }
+            }
+        }
+        Self::new(merged)
+    }
+
+    /// The interpolation knots, sorted by size.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of experimental points the model is built from.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the model has no knots (never true for a constructed model).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+impl SpeedFunction for PiecewiseLinearSpeed {
+    fn speed(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        let first = pts[0];
+        let last = pts[pts.len() - 1];
+        if x <= first.0 {
+            return first.1;
+        }
+        if x >= last.0 {
+            return last.1;
+        }
+        // Binary search for the segment containing x.
+        let idx = pts.partition_point(|&(xk, _)| xk < x);
+        let (x0, s0) = pts[idx - 1];
+        let (x1, s1) = pts[idx];
+        let t = (x - x0) / (x1 - x0);
+        s0 + t * (s1 - s0)
+    }
+
+    fn max_size(&self) -> f64 {
+        self.points[self.points.len() - 1].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speed::function::check_single_intersection;
+
+    fn simple() -> PiecewiseLinearSpeed {
+        PiecewiseLinearSpeed::new(vec![(100.0, 200.0), (1e6, 180.0), (1e8, 0.0)]).unwrap()
+    }
+
+    #[test]
+    fn interpolates_between_knots() {
+        let f = simple();
+        let mid = f.speed((100.0 + 1e6) / 2.0);
+        assert!(mid < 200.0 && mid > 180.0);
+        assert!((f.speed(1e6) - 180.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let f = simple();
+        assert_eq!(f.speed(1.0), 200.0);
+        assert_eq!(f.speed(1e9), 0.0);
+        assert_eq!(f.max_size(), 1e8);
+    }
+
+    #[test]
+    fn validated_model_passes_single_intersection() {
+        let f = simple();
+        assert!(check_single_intersection(&f, 1.0, 9e7, 500).is_ok());
+    }
+
+    #[test]
+    fn rejects_single_knot() {
+        assert!(PiecewiseLinearSpeed::new(vec![(1.0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_increasing_abscissas() {
+        assert!(PiecewiseLinearSpeed::new(vec![(10.0, 5.0), (10.0, 4.0)]).is_err());
+        assert!(PiecewiseLinearSpeed::new(vec![(10.0, 5.0), (5.0, 4.0)]).is_err());
+    }
+
+    #[test]
+    fn rejects_shape_violation() {
+        // s/x increasing between the knots: (1,1) has g=1, (10,20) has g=2.
+        let r = PiecewiseLinearSpeed::new(vec![(1.0, 1.0), (10.0, 20.0)]);
+        assert!(matches!(r, Err(Error::InvalidSpeedFunction { .. })));
+    }
+
+    #[test]
+    fn rejects_interior_zero_speed() {
+        let r = PiecewiseLinearSpeed::new(vec![(1.0, 1.0), (2.0, 0.0), (3.0, 0.0)]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn accepts_rising_segment_with_decreasing_ratio() {
+        // Rising speed but sub-proportionally: g decreases 10 → 5.5.
+        let f = PiecewiseLinearSpeed::new(vec![(1.0, 10.0), (2.0, 11.0)]).unwrap();
+        assert!(f.speed(1.5) > 10.0);
+        assert!(check_single_intersection(&f, 0.5, 3.0, 100).is_ok());
+    }
+
+    #[test]
+    fn from_measurements_sorts_and_merges() {
+        let f = PiecewiseLinearSpeed::from_measurements(vec![
+            (1e6, 180.0),
+            (100.0, 199.0),
+            (100.0, 201.0),
+            (1e8, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(f.len(), 3);
+        assert!((f.speed(100.0) - 200.0).abs() < 1e-9, "duplicates averaged");
+    }
+
+    #[test]
+    fn binary_search_segment_lookup_matches_linear_scan() {
+        let knots: Vec<(f64, f64)> =
+            (1..=50).map(|k| (k as f64 * 1000.0, 500.0 / k as f64)).collect();
+        let f = PiecewiseLinearSpeed::new(knots.clone()).unwrap();
+        for probe in [1500.0, 10_250.0, 49_999.0, 25_000.0] {
+            // Reference: linear scan.
+            let mut expected = knots[0].1;
+            for w in knots.windows(2) {
+                if probe >= w[0].0 && probe <= w[1].0 {
+                    let t = (probe - w[0].0) / (w[1].0 - w[0].0);
+                    expected = w[0].1 + t * (w[1].1 - w[0].1);
+                }
+            }
+            assert!((f.speed(probe) - expected).abs() < 1e-9);
+        }
+    }
+}

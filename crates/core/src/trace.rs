@@ -1,0 +1,129 @@
+//! Instrumentation for the partitioning algorithms: per-iteration traces and
+//! speed-evaluation counters.
+//!
+//! Traces serve two purposes: regenerating the paper's illustrative figures
+//! (the bisection walk of Fig. 8, the solution-space shrinkage of
+//! Figs. 10–12) and substantiating the complexity claims (`O(p·log n)` vs
+//! `O(p²·log n)`) in the ablation benchmarks.
+
+use std::cell::Cell;
+
+use crate::speed::SpeedFunction;
+
+/// One iteration of a line-searching partitioner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationRecord {
+    /// Iteration number, starting at 1.
+    pub step: usize,
+    /// Slope of the lower line bounding the current region (smaller slope =
+    /// larger intersection abscissas = larger total).
+    pub lower_slope: f64,
+    /// Slope of the upper line bounding the current region.
+    pub upper_slope: f64,
+    /// Slope of the trial line drawn this iteration.
+    pub trial_slope: f64,
+    /// Sum of intersection abscissas of the trial line with all graphs.
+    pub total_elements: f64,
+    /// Whether the trial total undershot the target (`true` ⇒ the optimum
+    /// lies in the lower-slope region).
+    pub undershoot: bool,
+}
+
+/// Full trace of one partitioning run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// The iterations in order.
+    pub iterations: Vec<IterationRecord>,
+    /// Total number of speed-function evaluations performed.
+    pub speed_evaluations: u64,
+}
+
+impl Trace {
+    /// Number of bisection steps performed.
+    pub fn steps(&self) -> usize {
+        self.iterations.len()
+    }
+}
+
+/// Wrapper counting how many times a speed function is evaluated.
+///
+/// The complexity results of paper §2 are stated in terms of intersection
+/// computations, each a constant number of speed evaluations; this wrapper
+/// makes those counts observable in tests and benchmarks.
+#[derive(Debug)]
+pub struct CountingSpeed<F> {
+    inner: F,
+    count: Cell<u64>,
+}
+
+impl<F: SpeedFunction> CountingSpeed<F> {
+    /// Wraps `inner` with a fresh zeroed counter.
+    pub fn new(inner: F) -> Self {
+        Self { inner, count: Cell::new(0) }
+    }
+
+    /// Number of `speed` evaluations so far.
+    pub fn evaluations(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&self) {
+        self.count.set(0);
+    }
+
+    /// The wrapped function.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+}
+
+impl<F: SpeedFunction> SpeedFunction for CountingSpeed<F> {
+    fn speed(&self, x: f64) -> f64 {
+        self.count.set(self.count.get() + 1);
+        self.inner.speed(x)
+    }
+    fn max_size(&self) -> f64 {
+        self.inner.max_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speed::ConstantSpeed;
+
+    #[test]
+    fn counter_counts_and_resets() {
+        let f = CountingSpeed::new(ConstantSpeed::new(5.0));
+        assert_eq!(f.evaluations(), 0);
+        let _ = f.speed(1.0);
+        let _ = f.speed(2.0);
+        assert_eq!(f.evaluations(), 2);
+        f.reset();
+        assert_eq!(f.evaluations(), 0);
+        assert_eq!(f.inner().speed, 5.0);
+    }
+
+    #[test]
+    fn counting_preserves_values() {
+        let f = CountingSpeed::new(ConstantSpeed::new(7.0));
+        assert_eq!(f.speed(10.0), 7.0);
+        assert_eq!(f.max_size(), f64::INFINITY);
+    }
+
+    #[test]
+    fn trace_steps() {
+        let mut t = Trace::default();
+        assert_eq!(t.steps(), 0);
+        t.iterations.push(IterationRecord {
+            step: 1,
+            lower_slope: 0.1,
+            upper_slope: 0.2,
+            trial_slope: 0.15,
+            total_elements: 100.0,
+            undershoot: false,
+        });
+        assert_eq!(t.steps(), 1);
+    }
+}

@@ -1,0 +1,306 @@
+//! Communication-cost extension (the paper's declared future work).
+//!
+//! The paper excludes communication from its model but discusses what
+//! including it takes (§1): per-link costs in the two-parameter form of
+//! Bhat et al. \[13\] — a start-up time plus a data transmission rate — and
+//! the Ethernet contention constraint that "only one processor sends a
+//! message at a given time", which serialises the transfers.
+//!
+//! This module implements that model for the striped matrix
+//! multiplication: the master scatters the `A` stripes and the whole `B`
+//! matrix, workers compute in parallel, and the `C` stripes are gathered.
+//! On a serialised network the total time is
+//!
+//! ```text
+//! T = Σ_i comm_i  +  max_i compute_i
+//! ```
+//!
+//! Because the transfers serialise, using *every* machine is no longer
+//! always optimal: a slow machine must still pay its start-up and receive
+//! all of `B`. [`partition_mm_with_comm`] therefore performs processor
+//! *selection* — greedily dropping machines while the total improves —
+//! around the computational optimum, which is the standard practical
+//! compromise for the problem the paper notes is NP-complete in general.
+
+use fpm_core::error::{Error, Result};
+use fpm_core::partition::{Distribution, Partitioner};
+use fpm_core::speed::SpeedFunction;
+
+/// A communication link in the two-parameter model of Bhat et al.:
+/// `time(m) = startup + m / rate` for an `m`-element message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommLink {
+    /// Start-up time (latency) in seconds.
+    pub startup: f64,
+    /// Transmission rate in elements per second.
+    pub rate: f64,
+}
+
+impl CommLink {
+    /// Creates a link; `startup ≥ 0`, `rate > 0`.
+    pub fn new(startup: f64, rate: f64) -> Self {
+        assert!(startup >= 0.0 && startup.is_finite());
+        assert!(rate > 0.0 && rate.is_finite());
+        Self { startup, rate }
+    }
+
+    /// Transfer time of `elements` elements.
+    pub fn transfer_time(&self, elements: f64) -> f64 {
+        if elements <= 0.0 {
+            0.0
+        } else {
+            self.startup + elements / self.rate
+        }
+    }
+}
+
+/// Outcome of a communication-aware partitioning.
+#[derive(Debug, Clone)]
+pub struct CommAwareResult {
+    /// The element distribution (zeros for dropped processors).
+    pub distribution: Distribution,
+    /// Which processors participate.
+    pub active: Vec<bool>,
+    /// Serialised communication time.
+    pub comm_seconds: f64,
+    /// Parallel computation time (max over active processors).
+    pub compute_seconds: f64,
+}
+
+impl CommAwareResult {
+    /// Total execution time under the serialised-communication model.
+    pub fn total_seconds(&self) -> f64 {
+        self.comm_seconds + self.compute_seconds
+    }
+
+    /// Number of participating processors.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+}
+
+/// Serialised communication time of one worker in the striped `C = A×Bᵀ`:
+/// two messages — a scatter carrying its `A` stripe (`x/3` elements) plus
+/// the whole `B` (`n²`), and a gather returning its `C` stripe (`x/3`) —
+/// each paying the link start-up (the Bhat et al. model is per message).
+fn mm_comm_time(link: &CommLink, x: u64, n: u64) -> f64 {
+    let scatter = x as f64 / 3.0 + (n * n) as f64;
+    let gather = x as f64 / 3.0;
+    link.transfer_time(scatter) + link.transfer_time(gather)
+}
+
+/// Evaluates the serialised-communication + parallel-compute time of a
+/// given distribution, in seconds (compute converted via the MM flop law,
+/// matching [`crate::mm_run`] and [`crate::des`]). Processor 0 hosts the
+/// matrices and pays no communication for its own stripe.
+pub fn evaluate_mm_with_comm<F: SpeedFunction>(
+    n: u64,
+    funcs: &[F],
+    links: &[CommLink],
+    distribution: &Distribution,
+) -> (f64, f64) {
+    assert_eq!(funcs.len(), links.len());
+    assert_eq!(funcs.len(), distribution.len());
+    let mut comm = 0.0;
+    let mut compute: f64 = 0.0;
+    for (i, ((f, link), &x)) in
+        funcs.iter().zip(links).zip(distribution.counts()).enumerate()
+    {
+        if x == 0 {
+            continue;
+        }
+        if i != 0 {
+            comm += mm_comm_time(link, x, n);
+        }
+        // A stripe of x = 3·r·n elements performs 2·r·n² = (2/3)·x·n flops.
+        let flops = 2.0 / 3.0 * x as f64 * n as f64;
+        let s = f.speed(x as f64);
+        let t = if s > 0.0 { flops / (s * 1e6) } else { f64::INFINITY };
+        compute = compute.max(t);
+    }
+    (comm, compute)
+}
+
+/// Communication-aware partitioning of the striped MM: computes the
+/// computational optimum over every subset obtained by greedily dropping
+/// the least useful processor, and keeps the best total.
+///
+/// # Errors
+///
+/// Propagates partitioning failures; [`Error::NoProcessors`] if `funcs`
+/// is empty.
+pub fn partition_mm_with_comm<F: SpeedFunction, P: Partitioner>(
+    n: u64,
+    funcs: &[F],
+    links: &[CommLink],
+    partitioner: &P,
+) -> Result<CommAwareResult> {
+    if funcs.is_empty() {
+        return Err(Error::NoProcessors);
+    }
+    assert_eq!(funcs.len(), links.len(), "one link per processor");
+    let p = funcs.len();
+    let total_elements = 3 * n * n;
+
+    // Evaluate the full distribution over one subset.
+    let evaluate_subset = |active: &[bool]| -> Result<CommAwareResult> {
+        let subset: Vec<usize> = (0..p).filter(|&i| active[i]).collect();
+        let sub_funcs: Vec<&F> = subset.iter().map(|&i| &funcs[i]).collect();
+        let report = partitioner.partition(total_elements, &sub_funcs)?;
+        let mut counts = vec![0u64; p];
+        for (k, &i) in subset.iter().enumerate() {
+            counts[i] = report.distribution.counts()[k];
+        }
+        let distribution = Distribution::new(counts);
+        let (comm, compute) = evaluate_mm_with_comm(n, funcs, links, &distribution);
+        Ok(CommAwareResult {
+            distribution,
+            active: active.to_vec(),
+            comm_seconds: comm,
+            compute_seconds: compute,
+        })
+    };
+
+    // Steepest-descent processor selection: repeatedly try dropping each
+    // active processor and commit the drop that helps the most.
+    let mut best = evaluate_subset(&vec![true; p])?;
+    loop {
+        if best.active_count() <= 1 {
+            break;
+        }
+        let mut improvement: Option<CommAwareResult> = None;
+        for i in 0..p {
+            if !best.active[i] {
+                continue;
+            }
+            let mut trial_active = best.active.clone();
+            trial_active[i] = false;
+            let candidate = match evaluate_subset(&trial_active) {
+                Ok(c) => c,
+                Err(Error::InsufficientCapacity { .. }) => continue,
+                Err(e) => return Err(e),
+            };
+            let current_best = improvement.as_ref().unwrap_or(&best).total_seconds();
+            if candidate.total_seconds() < current_best {
+                improvement = Some(candidate);
+            }
+        }
+        match improvement {
+            Some(better) => best = better,
+            None => break,
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpm_core::partition::CombinedPartitioner;
+    use fpm_core::speed::ConstantSpeed;
+
+    fn uniform_links(p: usize, startup: f64, rate: f64) -> Vec<CommLink> {
+        vec![CommLink::new(startup, rate); p]
+    }
+
+    #[test]
+    fn link_transfer_time() {
+        let l = CommLink::new(0.5, 1000.0);
+        assert_eq!(l.transfer_time(0.0), 0.0);
+        assert!((l.transfer_time(2000.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_communication_uses_everyone() {
+        let funcs = vec![
+            ConstantSpeed::new(100.0),
+            ConstantSpeed::new(50.0),
+            ConstantSpeed::new(25.0),
+        ];
+        let links = uniform_links(3, 0.0, 1e15);
+        let r =
+            partition_mm_with_comm(200, &funcs, &links, &CombinedPartitioner::new()).unwrap();
+        assert_eq!(r.active_count(), 3, "with free comm all machines help");
+        assert_eq!(r.distribution.total(), 3 * 200 * 200);
+    }
+
+    #[test]
+    fn expensive_startup_drops_slow_processors() {
+        // One fast machine and two crawling ones; each participant costs a
+        // large start-up plus receiving all of B. The slow machines save
+        // less compute time than their communication costs.
+        let funcs = vec![
+            ConstantSpeed::new(1000.0),
+            ConstantSpeed::new(1.0),
+            ConstantSpeed::new(1.0),
+        ];
+        let links = uniform_links(3, 50.0, 1e4);
+        let r =
+            partition_mm_with_comm(100, &funcs, &links, &CombinedPartitioner::new()).unwrap();
+        assert!(r.active_count() < 3, "slow machines should be dropped: {:?}", r.active);
+        assert!(r.active[0], "the fast machine stays");
+        assert_eq!(r.distribution.total(), 3 * 100 * 100);
+    }
+
+    #[test]
+    fn comm_aware_total_never_exceeds_comm_oblivious() {
+        let funcs = vec![
+            ConstantSpeed::new(200.0),
+            ConstantSpeed::new(100.0),
+            ConstantSpeed::new(2.0),
+            ConstantSpeed::new(1.0),
+        ];
+        let links = uniform_links(4, 10.0, 1e5);
+        let n = 300u64;
+        let aware =
+            partition_mm_with_comm(n, &funcs, &links, &CombinedPartitioner::new()).unwrap();
+        // Comm-oblivious: partition over everyone, then evaluate with comm.
+        let oblivious = CombinedPartitioner::new().partition(3 * n * n, &funcs).unwrap();
+        let (comm, compute) = evaluate_mm_with_comm(n, &funcs, &links, &oblivious.distribution);
+        assert!(
+            aware.total_seconds() <= comm + compute + 1e-9,
+            "aware {} vs oblivious {}",
+            aware.total_seconds(),
+            comm + compute
+        );
+    }
+
+    #[test]
+    fn evaluate_charges_workers_not_master_or_idlers() {
+        let funcs = vec![
+            ConstantSpeed::new(10.0),
+            ConstantSpeed::new(10.0),
+            ConstantSpeed::new(10.0),
+        ];
+        let links = uniform_links(3, 5.0, 1e3);
+        // Master holds 300 elements, worker 1 holds 300, worker 2 idle.
+        let d = Distribution::new(vec![300, 300, 0]);
+        let (comm, compute) = evaluate_mm_with_comm(10, &funcs, &links, &d);
+        // Worker 1: scatter (100 + 100 elements) + gather (100), two
+        // start-ups.
+        let expected = (5.0 + 200.0 / 1e3) + (5.0 + 100.0 / 1e3);
+        assert!((comm - expected).abs() < 1e-9, "comm {comm} vs {expected}");
+        // (2/3)·300·10 = 2000 flops at 10 MFlops.
+        assert!((compute - 2000.0 / (10.0 * 1e6)).abs() < 1e-12, "compute {compute}");
+    }
+
+    #[test]
+    fn single_processor_cluster() {
+        let funcs = vec![ConstantSpeed::new(10.0)];
+        let links = uniform_links(1, 1.0, 1e3);
+        let r =
+            partition_mm_with_comm(50, &funcs, &links, &CombinedPartitioner::new()).unwrap();
+        assert_eq!(r.active_count(), 1);
+        assert_eq!(r.distribution.total(), 3 * 50 * 50);
+    }
+
+    #[test]
+    fn empty_cluster_errors() {
+        let funcs: Vec<ConstantSpeed> = vec![];
+        let links: Vec<CommLink> = vec![];
+        assert!(matches!(
+            partition_mm_with_comm(10, &funcs, &links, &CombinedPartitioner::new()),
+            Err(Error::NoProcessors)
+        ));
+    }
+}

@@ -1,0 +1,275 @@
+//! Time-varying load and adaptive re-partitioning.
+//!
+//! The paper's model assumes stationary background load (its band model,
+//! Fig. 2) and names the rest as future research: *"we intend to improve
+//! our functional model by adding an additional parameter that reflects
+//! the level of workload fluctuations in the network"*, noting that heavy
+//! persistent load *shifts* the band down at constant width.
+//!
+//! This module makes that scenario executable: machines whose speed
+//! functions shift at scheduled times (a user logs in and starts a heavy
+//! job), and a chunked execution of the striped matrix multiplication that
+//! either keeps the initial distribution (**static**) or re-partitions at
+//! every chunk boundary from the *currently observable* speeds
+//! (**adaptive**). The gap between the two quantifies the value of
+//! re-partitioning under non-stationary load.
+
+use fpm_core::error::Result;
+use fpm_core::partition::Partitioner;
+use fpm_core::speed::SpeedFunction;
+
+/// A persistent load change on one machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadEvent {
+    /// Virtual time (seconds) at which the load appears.
+    pub at: f64,
+    /// Speed reduction in MFlops (the paper's constant-width band shift).
+    pub shift_mflops: f64,
+}
+
+/// A machine whose effective speed shifts over time.
+#[derive(Debug, Clone)]
+pub struct DynamicSpeed<F> {
+    base: F,
+    events: Vec<LoadEvent>,
+}
+
+impl<F: SpeedFunction> DynamicSpeed<F> {
+    /// Wraps a base speed function with a load schedule.
+    pub fn new(base: F, mut events: Vec<LoadEvent>) -> Self {
+        assert!(events.iter().all(|e| e.at >= 0.0 && e.shift_mflops.is_finite()));
+        events.sort_by(|a, b| a.at.total_cmp(&b.at));
+        Self { base, events }
+    }
+
+    /// Total speed reduction active at `time`.
+    pub fn shift_at(&self, time: f64) -> f64 {
+        self.events.iter().filter(|e| e.at <= time).map(|e| e.shift_mflops).sum()
+    }
+
+    /// Effective speed at `time` for problem size `x` (clamped at a small
+    /// positive floor — the machine never fully stops).
+    pub fn speed_at(&self, time: f64, x: f64) -> f64 {
+        (self.base.speed(x) - self.shift_at(time)).max(1e-6)
+    }
+
+    /// A frozen view of the machine at `time`, usable as a
+    /// [`SpeedFunction`] by the partitioners.
+    pub fn snapshot(&self, time: f64) -> Snapshot<'_, F> {
+        Snapshot { machine: self, time }
+    }
+
+    /// Wall-clock seconds to complete `flops` of work on a problem of size
+    /// `x`, starting at `start`, integrating through every load change
+    /// (piecewise-constant speed between events).
+    pub fn seconds_to_complete(&self, start: f64, x: f64, flops: f64) -> f64 {
+        if flops <= 0.0 {
+            return 0.0;
+        }
+        let mut now = start;
+        let mut left = flops;
+        let mut elapsed = 0.0;
+        loop {
+            let rate = self.speed_at(now, x) * 1e6; // flops per second
+            let next_event = self
+                .events
+                .iter()
+                .map(|e| e.at)
+                .find(|&at| at > now)
+                .unwrap_or(f64::INFINITY);
+            let window = next_event - now;
+            let needed = left / rate;
+            if needed <= window {
+                return elapsed + needed;
+            }
+            left -= rate * window;
+            elapsed += window;
+            now = next_event;
+        }
+    }
+}
+
+/// A [`DynamicSpeed`] frozen at one instant.
+#[derive(Debug, Clone, Copy)]
+pub struct Snapshot<'a, F> {
+    machine: &'a DynamicSpeed<F>,
+    time: f64,
+}
+
+impl<F: SpeedFunction> SpeedFunction for Snapshot<'_, F> {
+    fn speed(&self, x: f64) -> f64 {
+        self.machine.speed_at(self.time, x)
+    }
+    fn max_size(&self) -> f64 {
+        self.machine.base.max_size()
+    }
+}
+
+/// Distribution strategy for the chunked run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Partition once at `t = 0`, keep the proportions for every chunk.
+    Static,
+    /// Re-partition at every chunk boundary from the current snapshot.
+    Adaptive,
+}
+
+/// Outcome of a chunked dynamic run.
+#[derive(Debug, Clone)]
+pub struct DynamicRun {
+    /// Total wall-clock time.
+    pub total_seconds: f64,
+    /// Per-chunk durations.
+    pub chunk_seconds: Vec<f64>,
+}
+
+/// Simulates the multiplication of two dense `n×n` matrices processed in
+/// `chunks` row batches over time-varying machines.
+///
+/// Each chunk is a barrier: the chunk's rows are distributed (per the
+/// strategy — the *partitioner* only sees the speeds observable at the
+/// chunk's start), every machine processes its share through any load
+/// changes landing mid-chunk, and the chunk ends when the slowest machine
+/// finishes.
+pub fn simulate_dynamic_mm<F: SpeedFunction, P: Partitioner>(
+    n: u64,
+    chunks: usize,
+    machines: &[DynamicSpeed<F>],
+    partitioner: &P,
+    strategy: Strategy,
+) -> Result<DynamicRun> {
+    assert!(chunks > 0);
+    let rows_per_chunk = (n as usize).div_ceil(chunks);
+    // Element count of one chunk (its stripe of A, B and C rows).
+    let static_shares: Option<Vec<u64>> = match strategy {
+        Strategy::Static => {
+            let snaps: Vec<Snapshot<'_, F>> = machines.iter().map(|m| m.snapshot(0.0)).collect();
+            let report = partitioner.partition(3 * n * n, &snaps)?;
+            Some(report.distribution.counts().to_vec())
+        }
+        Strategy::Adaptive => None,
+    };
+
+    let mut now = 0.0f64;
+    let mut chunk_seconds = Vec::with_capacity(chunks);
+    let mut rows_left = n as usize;
+    while rows_left > 0 {
+        let rows = rows_per_chunk.min(rows_left);
+        rows_left -= rows;
+        let chunk_elements = 3 * rows as u64 * n;
+
+        let counts: Vec<u64> = match (&static_shares, strategy) {
+            (Some(shares), Strategy::Static) => {
+                // Scale the t=0 proportions to this chunk.
+                let total: u64 = shares.iter().sum();
+                let mut scaled: Vec<u64> = shares
+                    .iter()
+                    .map(|&x| (chunk_elements as f64 * x as f64 / total as f64) as u64)
+                    .collect();
+                let assigned: u64 = scaled.iter().sum();
+                if let Some(first) = scaled.iter_mut().max_by_key(|x| **x) {
+                    *first += chunk_elements - assigned;
+                }
+                scaled
+            }
+            _ => {
+                let snaps: Vec<Snapshot<'_, F>> =
+                    machines.iter().map(|m| m.snapshot(now)).collect();
+                let report = partitioner.partition(chunk_elements, &snaps)?;
+                report.distribution.counts().to_vec()
+            }
+        };
+
+        // Execute the chunk, integrating through any load change that
+        // lands mid-chunk.
+        let mut chunk_time = 0.0f64;
+        for (m, &x) in machines.iter().zip(&counts) {
+            if x == 0 {
+                continue;
+            }
+            let flops = 2.0 / 3.0 * x as f64 * n as f64;
+            chunk_time = chunk_time.max(m.seconds_to_complete(now, x as f64, flops));
+        }
+        now += chunk_time;
+        chunk_seconds.push(chunk_time);
+    }
+    Ok(DynamicRun { total_seconds: now, chunk_seconds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpm_core::partition::CombinedPartitioner;
+    use fpm_core::speed::ConstantSpeed;
+
+    fn steady(speed: f64) -> DynamicSpeed<ConstantSpeed> {
+        DynamicSpeed::new(ConstantSpeed::new(speed), vec![])
+    }
+
+    #[test]
+    fn shift_accumulates_over_time() {
+        let m = DynamicSpeed::new(
+            ConstantSpeed::new(100.0),
+            vec![
+                LoadEvent { at: 10.0, shift_mflops: 30.0 },
+                LoadEvent { at: 20.0, shift_mflops: 20.0 },
+            ],
+        );
+        assert_eq!(m.speed_at(0.0, 1e6), 100.0);
+        assert_eq!(m.speed_at(10.0, 1e6), 70.0);
+        assert_eq!(m.speed_at(25.0, 1e6), 50.0);
+    }
+
+    #[test]
+    fn speed_never_goes_negative() {
+        let m = DynamicSpeed::new(
+            ConstantSpeed::new(10.0),
+            vec![LoadEvent { at: 0.0, shift_mflops: 100.0 }],
+        );
+        assert!(m.speed_at(1.0, 1e3) > 0.0);
+    }
+
+    #[test]
+    fn stationary_load_makes_strategies_equal() {
+        let machines = vec![steady(100.0), steady(50.0), steady(25.0)];
+        let p = CombinedPartitioner::new();
+        let st = simulate_dynamic_mm(600, 4, &machines, &p, Strategy::Static).unwrap();
+        let ad = simulate_dynamic_mm(600, 4, &machines, &p, Strategy::Adaptive).unwrap();
+        let rel = (st.total_seconds - ad.total_seconds).abs() / st.total_seconds;
+        assert!(rel < 0.02, "static {} vs adaptive {}", st.total_seconds, ad.total_seconds);
+    }
+
+    #[test]
+    fn adaptive_wins_when_load_appears_mid_run() {
+        // The nominally fastest machine loses 90 % of its speed early in
+        // the run; the static distribution keeps overloading it.
+        let machines = vec![
+            DynamicSpeed::new(
+                ConstantSpeed::new(200.0),
+                vec![LoadEvent { at: 0.5, shift_mflops: 180.0 }],
+            ),
+            steady(50.0),
+            steady(50.0),
+        ];
+        let p = CombinedPartitioner::new();
+        let st = simulate_dynamic_mm(600, 8, &machines, &p, Strategy::Static).unwrap();
+        let ad = simulate_dynamic_mm(600, 8, &machines, &p, Strategy::Adaptive).unwrap();
+        assert!(
+            ad.total_seconds < st.total_seconds * 0.8,
+            "adaptive {} should beat static {}",
+            ad.total_seconds,
+            st.total_seconds
+        );
+    }
+
+    #[test]
+    fn chunk_accounting_covers_all_rows() {
+        let machines = vec![steady(10.0)];
+        let p = CombinedPartitioner::new();
+        let run = simulate_dynamic_mm(100, 7, &machines, &p, Strategy::Adaptive).unwrap();
+        assert_eq!(run.chunk_seconds.len(), 7);
+        // One machine at 10 MFlops: total = 2·n³ / 10e6.
+        let expected = 2.0 * 100f64.powi(3) / 10e6;
+        assert!((run.total_seconds - expected).abs() / expected < 1e-6);
+    }
+}

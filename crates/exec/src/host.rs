@@ -1,0 +1,130 @@
+//! Real multi-threaded execution on the host machine.
+//!
+//! The simulated runs validate the *partitioning* claims; this module
+//! additionally runs the actual kernels on the host so that examples and
+//! integration tests can demonstrate the full pipeline end to end:
+//! measure → build model → partition → execute → verify the numerics.
+//!
+//! Host cores are homogeneous, so heterogeneity is *emulated*: worker `i`
+//! executes its stripe `replicas[i]` times, making its effective speed
+//! `1/replicas[i]` of a core — a simple, deterministic slowdown that the
+//! measured speed functions faithfully pick up.
+
+use std::time::{Duration, Instant};
+
+use fpm_kernels::matmul::{matmul_abt, matmul_abt_rows_into_slice};
+use fpm_kernels::matrix::Matrix;
+use fpm_kernels::striped::StripedLayout;
+
+/// Times the serial `C = A×Bᵀ` kernel on the host for square matrices of
+/// dimension `n`: the measurement primitive of paper §3.1. The kernel is
+/// repeated until at least ~80 ms elapse so the timing is meaningful at
+/// small sizes.
+///
+/// Returns `(speed in MFlops, total elapsed)`.
+pub fn measure_mm_speed(n: usize, seed: u64) -> (f64, Duration) {
+    let a = Matrix::random(n, n, seed);
+    let b = Matrix::random(n, n, seed.wrapping_add(1));
+    // Warm-up.
+    let c = matmul_abt(&a, &b);
+    assert!(c[(0, 0)].is_finite());
+    let start = Instant::now();
+    let mut reps = 0u32;
+    while start.elapsed().as_secs_f64() < 0.08 {
+        let c = matmul_abt(&a, &b);
+        assert!(c[(0, 0)].is_finite());
+        reps += 1;
+    }
+    let elapsed = start.elapsed();
+    let flops = 2.0 * (n as f64).powi(3) * reps as f64;
+    (flops / elapsed.as_secs_f64().max(1e-9) / 1e6, elapsed)
+}
+
+/// Runs the striped parallel multiplication on real threads, with worker
+/// `i` repeating its stripe `replicas[i]` times to emulate a processor
+/// `replicas[i]`× slower than a host core.
+///
+/// Returns the result matrix and per-worker wall times.
+pub fn emulated_heterogeneous_mm(
+    a: &Matrix,
+    b: &Matrix,
+    layout: &StripedLayout,
+    replicas: &[usize],
+) -> (Matrix, Vec<Duration>) {
+    assert_eq!(layout.row_counts().len(), replicas.len(), "one replica factor per worker");
+    assert_eq!(layout.total_rows(), a.rows());
+    let mut c = Matrix::zeros(a.rows(), b.rows());
+    let boundaries = layout.boundaries();
+    let stripes = c.split_stripes_mut(&boundaries);
+    let mut times = vec![Duration::ZERO; replicas.len()];
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut start_row = 0usize;
+        for ((stripe, &count), &reps) in
+            stripes.into_iter().zip(layout.row_counts()).zip(replicas)
+        {
+            let r0 = start_row;
+            let r1 = start_row + count;
+            start_row = r1;
+            let handle = scope.spawn(move |_| {
+                let t0 = Instant::now();
+                if count > 0 {
+                    for _ in 0..reps.max(1) {
+                        matmul_abt_rows_into_slice(a, b, r0, r1, stripe);
+                    }
+                }
+                t0.elapsed()
+            });
+            handles.push(handle);
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            times[i] = h.join().expect("worker panicked");
+        }
+    })
+    .expect("thread scope failed");
+    (c, times)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_speed_is_positive() {
+        let (mflops, elapsed) = measure_mm_speed(64, 1);
+        assert!(mflops > 0.0);
+        assert!(elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn emulated_run_produces_correct_result() {
+        let a = Matrix::random(30, 20, 1);
+        let b = Matrix::random(24, 20, 2);
+        let layout = StripedLayout::new(vec![10, 20]);
+        let (c, times) = emulated_heterogeneous_mm(&a, &b, &layout, &[1, 2]);
+        assert!(c.max_diff(&matmul_abt(&a, &b)) < 1e-12);
+        assert_eq!(times.len(), 2);
+    }
+
+    #[test]
+    fn replicas_slow_down_their_worker() {
+        let a = Matrix::random(128, 96, 3);
+        let b = Matrix::random(96, 96, 4);
+        let layout = StripedLayout::new(vec![64, 64]);
+        // Worker 1 does 8× the work of worker 0 on the same stripe size.
+        let (_c, times) = emulated_heterogeneous_mm(&a, &b, &layout, &[1, 8]);
+        assert!(
+            times[1] > times[0],
+            "8 replicas must take longer: {:?}",
+            times
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one replica factor")]
+    fn replica_count_must_match() {
+        let a = Matrix::random(4, 4, 1);
+        let b = Matrix::random(4, 4, 2);
+        emulated_heterogeneous_mm(&a, &b, &StripedLayout::new(vec![4]), &[1, 2]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # fpm-exec — execution engines
+//!
+//! Ties the partitioning algorithms ([`fpm_core`]), the simulated network
+//! ([`fpm_simnet`]) and the linear-algebra kernels ([`fpm_kernels`])
+//! together into runnable experiments:
+//!
+//! * [`cluster`] — a simulated heterogeneous cluster: named machines with
+//!   per-application speed functions;
+//! * [`mm_run`] — simulated parallel matrix multiplication under striped
+//!   partitioning (paper Fig. 16);
+//! * [`lu_run`] — step-by-step simulated parallel LU factorisation under a
+//!   column-block distribution (paper Fig. 17), re-querying speeds at each
+//!   step's shrinking problem size;
+//! * [`model_build`] — building piece-wise linear cluster models from
+//!   noisy simulated measurements (paper §3.1);
+//! * [`host`] — real multi-threaded execution on the host machine.
+//!
+//! The cost model charges computation only: the paper explicitly excludes
+//! communication cost from its scope (§1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod comm;
+pub mod des;
+pub mod dynamic;
+pub mod host;
+pub mod lu_run;
+pub mod mm_run;
+pub mod model_build;
+
+pub use cluster::SimCluster;
+pub use comm::{partition_mm_with_comm, CommAwareResult, CommLink};
+pub use des::{simulate_mm_des, DesOutcome, ServeOrder, Timeline};
+pub use dynamic::{simulate_dynamic_mm, DynamicSpeed, LoadEvent, Strategy};
+pub use lu_run::{simulate_lu, LuRunResult};
+pub use mm_run::{simulate_mm, simulate_mm_with_distribution, MmRunResult};

@@ -1,0 +1,170 @@
+//! Building functional models for whole clusters from (simulated noisy)
+//! measurements — the experimental procedure of paper §3.1.
+
+use fpm_core::error::Result;
+use fpm_core::speed::builder::{build_speed_band, BuildOutcome, BuilderConfig};
+use fpm_core::speed::{PiecewiseLinearSpeed, SpeedFunction};
+use fpm_simnet::fluctuation::{FluctuatingMeasurer, Integration};
+use fpm_simnet::machine::MachineSpec;
+use fpm_simnet::profile::AppProfile;
+use fpm_simnet::speed_model::MachineSpeed;
+
+/// A cluster model built from measurements: one piece-wise linear speed
+/// function per machine, plus build diagnostics.
+#[derive(Debug, Clone)]
+pub struct BuiltCluster {
+    /// Machine names.
+    pub names: Vec<String>,
+    /// The built speed functions (what a real deployment would feed to the
+    /// partitioners, instead of the hidden true curves).
+    pub models: Vec<PiecewiseLinearSpeed>,
+    /// Per-machine build outcomes (measurement counts, costs).
+    pub outcomes: Vec<BuildOutcome>,
+}
+
+impl BuiltCluster {
+    /// Total number of experimental measurements across the cluster.
+    pub fn total_measurements(&self) -> usize {
+        self.outcomes.iter().map(|o| o.measurements).sum()
+    }
+
+    /// Total simulated cost of building all models, in seconds. The paper
+    /// compares this one-off cost against application execution times
+    /// (minutes to hours) and finds it negligible *per use* because the
+    /// model is reused across runs and problem sizes.
+    pub fn total_cost_seconds(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.cost_seconds).sum()
+    }
+}
+
+/// Builds piece-wise linear speed models for every machine of a testbed by
+/// running the §3.1 trisection procedure against noisy simulated
+/// measurements.
+///
+/// * `integration` — fluctuation level of the machines (paper Fig. 2);
+/// * `seed` — RNG seed (each machine derives its own stream).
+pub fn build_cluster_models(
+    specs: &[MachineSpec],
+    app: AppProfile,
+    integration: Integration,
+    seed: u64,
+    cfg: BuilderConfig,
+) -> Result<BuiltCluster> {
+    let mut names = Vec::with_capacity(specs.len());
+    let mut models = Vec::with_capacity(specs.len());
+    let mut outcomes = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let truth = MachineSpeed::for_app(spec, app);
+        let (a, b) = truth.model_interval();
+        let law = integration.width_law(b);
+        let mut measurer =
+            FluctuatingMeasurer::new(truth, law, seed.wrapping_add(i as u64 * 7919));
+        let outcome = build_speed_band(&mut measurer, a, b, cfg)?;
+        names.push(spec.name.clone());
+        models.push(outcome.midline.clone());
+        outcomes.push(outcome);
+    }
+    Ok(BuiltCluster { names, models, outcomes })
+}
+
+/// Accuracy of a built model against the hidden truth: the maximum
+/// relative speed error over a log-spaced probe grid within the modelled
+/// range (excluding the collapsed tail where both speeds are negligible).
+pub fn model_max_relative_error(
+    truth: &MachineSpeed,
+    model: &PiecewiseLinearSpeed,
+    probes: usize,
+) -> f64 {
+    let (a, b) = truth.model_interval();
+    let lo = a.ln();
+    let hi = (b * 0.9).ln();
+    let mut worst = 0.0f64;
+    let floor = truth.peak_mflops() * 0.02;
+    for k in 0..probes {
+        let t = k as f64 / (probes - 1).max(1) as f64;
+        let x = (lo + t * (hi - lo)).exp();
+        let s_true = truth.speed(x);
+        if s_true < floor {
+            continue; // collapsed tail: absolute speeds negligible
+        }
+        let s_model = model.speed(x);
+        worst = worst.max((s_model - s_true).abs() / s_true);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpm_simnet::testbeds;
+
+    #[test]
+    fn builds_models_for_whole_table2() {
+        let specs = testbeds::table2();
+        let built = build_cluster_models(
+            &specs,
+            AppProfile::MatrixMult,
+            Integration::Dedicated,
+            42,
+            BuilderConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(built.models.len(), 12);
+        assert!(built.total_measurements() >= 3 * 12);
+        assert!(built.total_cost_seconds() > 0.0);
+    }
+
+    #[test]
+    fn noise_free_models_are_accurate() {
+        let specs = testbeds::table2();
+        let built = build_cluster_models(
+            &specs,
+            AppProfile::LuFactorization,
+            Integration::Dedicated,
+            1,
+            BuilderConfig::default(),
+        )
+        .unwrap();
+        for (spec, model) in specs.iter().zip(&built.models) {
+            let truth = MachineSpeed::for_app(spec, AppProfile::LuFactorization);
+            let err = model_max_relative_error(&truth, model, 120);
+            assert!(err < 0.40, "{}: max relative error {err}", spec.name);
+        }
+    }
+
+    #[test]
+    fn fluctuating_models_still_usable() {
+        let specs = testbeds::table2();
+        let built = build_cluster_models(
+            &specs,
+            AppProfile::MatrixMult,
+            Integration::Low,
+            7,
+            BuilderConfig::default(),
+        )
+        .unwrap();
+        // Partition with the built (imperfect) models: must still conserve
+        // and balance reasonably.
+        use fpm_core::partition::{CombinedPartitioner, Partitioner};
+        let n = 3u64 * 10_000 * 10_000;
+        let r = CombinedPartitioner::new().partition(n, &built.models).unwrap();
+        assert_eq!(r.distribution.total(), n);
+    }
+
+    #[test]
+    fn high_integration_costs_no_more_measurements_than_budget() {
+        let specs = testbeds::table1();
+        let cfg = BuilderConfig { max_measurements: 16, ..BuilderConfig::default() };
+        let built = build_cluster_models(
+            &specs,
+            AppProfile::MatrixMultAtlas,
+            Integration::High,
+            3,
+            cfg,
+        )
+        .unwrap();
+        for o in &built.outcomes {
+            assert!(o.measurements <= 16);
+        }
+    }
+}

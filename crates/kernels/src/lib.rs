@@ -1,0 +1,30 @@
+//! # fpm-kernels — dense linear-algebra substrate
+//!
+//! The paper demonstrates its partitioning algorithms on two applications:
+//! matrix multiplication `C = A×Bᵀ` with horizontal striped partitioning
+//! (Fig. 16) and LU factorisation with the Variable Group Block
+//! distribution (Fig. 17). This crate implements those kernels and
+//! distribution schemes from scratch:
+//!
+//! * [`matrix`] — a row-major dense matrix type;
+//! * [`matmul`] — serial naive and blocked multiplication, including the
+//!   non-square shapes used to estimate processor speeds (Table 3);
+//! * [`lu`] — serial right-looking blocked LU factorisation (Table 4);
+//! * [`striped`] — horizontal striped partitioning and the real
+//!   multi-threaded parallel multiplication built on it;
+//! * [`vgb`] — the Variable Group Block distribution for parallel LU.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block_lu;
+pub mod lu;
+pub mod matmul;
+pub mod matrix;
+pub mod striped;
+pub mod vgb;
+
+pub use block_lu::{parallel_lu, BlockMatrix};
+pub use matrix::Matrix;
+pub use striped::{rows_from_element_distribution, StripedLayout};
+pub use vgb::{variable_group_block, variable_group_block_with, VgbDistribution, VgbGroup, VgbStrategy};

@@ -1,0 +1,209 @@
+//! Serial dense matrix multiplication.
+//!
+//! The paper's first application computes `C = A×Bᵀ` on dense square
+//! matrices with a deliberately naive kernel — its aim is not fast BLAS but
+//! a representative data-parallel workload with the smooth speed curve of
+//! Fig. 1c. The serial kernel here follows that spirit (straight triple
+//! loop over `A` rows and `B` rows, which for `A×Bᵀ` is actually a
+//! cache-friendly dot-product formulation), plus a tiled variant standing
+//! in for the ATLAS-like blocked kernel.
+//!
+//! Non-square shapes matter because processor speeds are estimated by
+//! multiplying an `n1×n2` slice by the full matrix (paper Fig. 16b,
+//! Table 3).
+
+use crate::matrix::Matrix;
+
+/// `C = A×Bᵀ` with the naive kernel. `A` is `n1×k`, `B` is `n2×k`,
+/// the result is `n1×n2`.
+///
+/// # Panics
+///
+/// If the inner dimensions disagree.
+pub fn matmul_abt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "A and B must share the inner dimension for A×Bᵀ");
+    let mut c = Matrix::zeros(a.rows(), b.rows());
+    matmul_abt_rows_into(a, b, 0, a.rows(), &mut c);
+    c
+}
+
+/// Computes the row stripe `C[r0..r1] = A[r0..r1]×Bᵀ` into `c`
+/// (which must be `a.rows()×b.rows()`), leaving other rows untouched.
+///
+/// This is exactly the work one processor performs under horizontal
+/// striped partitioning (paper Fig. 16a).
+pub fn matmul_abt_rows_into(a: &Matrix, b: &Matrix, r0: usize, r1: usize, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.cols());
+    assert_eq!(c.rows(), a.rows());
+    assert_eq!(c.cols(), b.rows());
+    assert!(r0 <= r1 && r1 <= a.rows());
+    for i in r0..r1 {
+        let ai = a.row(i);
+        for j in 0..b.rows() {
+            let bj = b.row(j);
+            let mut acc = 0.0;
+            for (x, y) in ai.iter().zip(bj) {
+                acc += x * y;
+            }
+            c[(i, j)] = acc;
+        }
+    }
+}
+
+/// Stripe variant writing into a raw row-major buffer of `(r1-r0)·b.rows()`
+/// elements — used by the multi-threaded executor, which hands each worker
+/// a disjoint stripe of `C`.
+pub fn matmul_abt_rows_into_slice(
+    a: &Matrix,
+    b: &Matrix,
+    r0: usize,
+    r1: usize,
+    out: &mut [f64],
+) {
+    assert_eq!(a.cols(), b.cols());
+    assert!(r0 <= r1 && r1 <= a.rows());
+    assert_eq!(out.len(), (r1 - r0) * b.rows());
+    let nb = b.rows();
+    for i in r0..r1 {
+        let ai = a.row(i);
+        let crow = &mut out[(i - r0) * nb..(i - r0 + 1) * nb];
+        for (j, cj) in crow.iter_mut().enumerate() {
+            let bj = b.row(j);
+            let mut acc = 0.0;
+            for (x, y) in ai.iter().zip(bj) {
+                acc += x * y;
+            }
+            *cj = acc;
+        }
+    }
+}
+
+/// Tiled `C = A×Bᵀ` (the blocked stand-in for the ATLAS kernel).
+pub fn matmul_abt_blocked(a: &Matrix, b: &Matrix, tile: usize) -> Matrix {
+    assert_eq!(a.cols(), b.cols());
+    assert!(tile > 0);
+    let n1 = a.rows();
+    let n2 = b.rows();
+    let k = a.cols();
+    let mut c = Matrix::zeros(n1, n2);
+    for i0 in (0..n1).step_by(tile) {
+        let i1 = (i0 + tile).min(n1);
+        for j0 in (0..n2).step_by(tile) {
+            let j1 = (j0 + tile).min(n2);
+            for k0 in (0..k).step_by(tile) {
+                let k1 = (k0 + tile).min(k);
+                for i in i0..i1 {
+                    let ai = &a.row(i)[k0..k1];
+                    for j in j0..j1 {
+                        let bj = &b.row(j)[k0..k1];
+                        let mut acc = 0.0;
+                        for (x, y) in ai.iter().zip(bj) {
+                            acc += x * y;
+                        }
+                        c[(i, j)] += acc;
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Plain `C = A×B` reference (used by tests to cross-check `A×Bᵀ` and to
+/// verify LU reconstructions).
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        let ai = a.row(i);
+        for (kk, &aik) in ai.iter().enumerate() {
+            let bk = b.row(kk);
+            let ci = c.row_mut(i);
+            for (j, &bkj) in bk.iter().enumerate() {
+                ci[j] += aik * bkj;
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abt_matches_reference() {
+        let a = Matrix::random(7, 5, 1);
+        let b = Matrix::random(6, 5, 2);
+        let via_abt = matmul_abt(&a, &b);
+        let reference = matmul(&a, &b.transpose());
+        assert!(via_abt.max_diff(&reference) < 1e-12);
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        let a = Matrix::random(17, 13, 3);
+        let b = Matrix::random(11, 13, 4);
+        let naive = matmul_abt(&a, &b);
+        for tile in [1, 4, 8, 32] {
+            let blocked = matmul_abt_blocked(&a, &b, tile);
+            assert!(naive.max_diff(&blocked) < 1e-10, "tile {tile}");
+        }
+    }
+
+    #[test]
+    fn stripe_computes_only_its_rows() {
+        let a = Matrix::random(8, 4, 5);
+        let b = Matrix::random(8, 4, 6);
+        let full = matmul_abt(&a, &b);
+        let mut c = Matrix::zeros(8, 8);
+        matmul_abt_rows_into(&a, &b, 2, 5, &mut c);
+        for i in 2..5 {
+            for j in 0..8 {
+                assert!((c[(i, j)] - full[(i, j)]).abs() < 1e-12);
+            }
+        }
+        for i in [0, 1, 5, 6, 7] {
+            assert_eq!(c.row(i), vec![0.0; 8].as_slice(), "row {i} untouched");
+        }
+    }
+
+    #[test]
+    fn stripe_slice_matches_matrix_variant() {
+        let a = Matrix::random(9, 5, 7);
+        let b = Matrix::random(6, 5, 8);
+        let full = matmul_abt(&a, &b);
+        let mut out = vec![0.0; 3 * 6];
+        matmul_abt_rows_into_slice(&a, &b, 4, 7, &mut out);
+        for i in 0..3 {
+            for j in 0..6 {
+                assert!((out[i * 6 + j] - full[(4 + i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let a = Matrix::random(5, 5, 11);
+        let i = Matrix::identity(5);
+        // A×Iᵀ = A.
+        assert!(matmul_abt(&a, &i).max_diff(&a) < 1e-15);
+    }
+
+    #[test]
+    fn non_square_shapes() {
+        // Table 3's shapes: equal element counts, different aspect ratios.
+        let a = Matrix::random(128, 512, 21);
+        let b = Matrix::random(64, 512, 22);
+        let c = matmul_abt(&a, &b);
+        assert_eq!((c.rows(), c.cols()), (128, 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        matmul_abt(&a, &b);
+    }
+}

@@ -1,0 +1,192 @@
+//! Horizontal striped partitioning (paper Fig. 16a) and a real
+//! multi-threaded parallel multiplication built on it.
+//!
+//! Matrices A, B and C are partitioned into horizontal slices, one per
+//! processor, such that the number of elements per slice is proportional to
+//! the speed of the processor. Processor `i` computes the stripe
+//! `C[rows_i] = A[rows_i]×Bᵀ`, needing all of `B` (the paper's
+//! heterogeneous 1-D clone of the ScaLAPACK algorithm).
+
+use fpm_core::partition::Distribution;
+
+use crate::matmul::matmul_abt_rows_into_slice;
+use crate::matrix::Matrix;
+
+/// A horizontal striped layout: contiguous row blocks, one per processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripedLayout {
+    row_counts: Vec<usize>,
+}
+
+impl StripedLayout {
+    /// Layout from per-processor row counts.
+    pub fn new(row_counts: Vec<usize>) -> Self {
+        Self { row_counts }
+    }
+
+    /// Per-processor row counts.
+    pub fn row_counts(&self) -> &[usize] {
+        &self.row_counts
+    }
+
+    /// Total rows covered.
+    pub fn total_rows(&self) -> usize {
+        self.row_counts.iter().sum()
+    }
+
+    /// Cumulative boundaries (ending at `total_rows`).
+    pub fn boundaries(&self) -> Vec<usize> {
+        let mut acc = 0;
+        self.row_counts
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+
+    /// Half-open row ranges per processor.
+    pub fn ranges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.row_counts.len());
+        let mut start = 0;
+        for &c in &self.row_counts {
+            out.push((start, start + c));
+            start += c;
+        }
+        out
+    }
+}
+
+/// Converts an element-level [`Distribution`] (what the set-partitioning
+/// algorithms produce) into whole matrix rows.
+///
+/// A slice of `r` rows holds `r·n` elements of each of the three matrices,
+/// so rows are proportional to elements; the conversion uses proportional
+/// floors plus largest-remainder rounding so that `Σ rows_i = n_rows`
+/// exactly.
+pub fn rows_from_element_distribution(n_rows: usize, dist: &Distribution) -> StripedLayout {
+    let total: u64 = dist.total();
+    if total == 0 || n_rows == 0 {
+        let mut counts = vec![0; dist.len()];
+        if let Some(first) = counts.first_mut() {
+            *first = n_rows;
+        }
+        return StripedLayout::new(counts);
+    }
+    let shares: Vec<f64> =
+        dist.counts().iter().map(|&x| n_rows as f64 * x as f64 / total as f64).collect();
+    let mut counts: Vec<usize> = shares.iter().map(|&s| s.floor() as usize).collect();
+    let mut assigned: usize = counts.iter().sum();
+    // Largest fractional remainders get the leftover rows.
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = shares[a] - shares[a].floor();
+        let fb = shares[b] - shares[b].floor();
+        fb.total_cmp(&fa)
+    });
+    let mut k = 0;
+    let len = counts.len();
+    while assigned < n_rows {
+        counts[order[k % len]] += 1;
+        assigned += 1;
+        k += 1;
+    }
+    debug_assert_eq!(counts.iter().sum::<usize>(), n_rows);
+    StripedLayout::new(counts)
+}
+
+/// Parallel `C = A×Bᵀ` over a striped layout: one OS thread per non-empty
+/// stripe, each writing its disjoint rows of `C` (crossbeam scoped
+/// threads; the Rust counterpart of the paper's per-processor MPI ranks).
+pub fn parallel_matmul_abt(a: &Matrix, b: &Matrix, layout: &StripedLayout) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "A and B must share the inner dimension");
+    assert_eq!(
+        layout.total_rows(),
+        a.rows(),
+        "layout must cover all rows of A"
+    );
+    let mut c = Matrix::zeros(a.rows(), b.rows());
+    let boundaries = layout.boundaries();
+    let stripes = c.split_stripes_mut(&boundaries);
+    crossbeam::thread::scope(|scope| {
+        let mut start = 0usize;
+        for (stripe, &count) in stripes.into_iter().zip(layout.row_counts()) {
+            let r0 = start;
+            let r1 = start + count;
+            start = r1;
+            if count == 0 {
+                continue;
+            }
+            scope.spawn(move |_| {
+                matmul_abt_rows_into_slice(a, b, r0, r1, stripe);
+            });
+        }
+    })
+    .expect("worker threads must not panic");
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::matmul_abt;
+
+    #[test]
+    fn layout_accessors() {
+        let l = StripedLayout::new(vec![3, 0, 5]);
+        assert_eq!(l.total_rows(), 8);
+        assert_eq!(l.boundaries(), vec![3, 3, 8]);
+        assert_eq!(l.ranges(), vec![(0, 3), (3, 3), (3, 8)]);
+    }
+
+    #[test]
+    fn rows_conversion_is_proportional_and_exact() {
+        let dist = Distribution::new(vec![3_000, 1_000, 2_000]);
+        let layout = rows_from_element_distribution(60, &dist);
+        assert_eq!(layout.row_counts(), &[30, 10, 20]);
+        assert_eq!(layout.total_rows(), 60);
+    }
+
+    #[test]
+    fn rows_conversion_handles_remainders() {
+        let dist = Distribution::new(vec![1, 1, 1]);
+        let layout = rows_from_element_distribution(10, &dist);
+        assert_eq!(layout.total_rows(), 10);
+        let max = layout.row_counts().iter().max().unwrap();
+        let min = layout.row_counts().iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn rows_conversion_zero_cases() {
+        let dist = Distribution::new(vec![0, 0]);
+        let layout = rows_from_element_distribution(5, &dist);
+        assert_eq!(layout.total_rows(), 5);
+        let layout = rows_from_element_distribution(0, &Distribution::new(vec![2, 3]));
+        assert_eq!(layout.total_rows(), 0);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let a = Matrix::random(24, 16, 1);
+        let b = Matrix::random(20, 16, 2);
+        let serial = matmul_abt(&a, &b);
+        for counts in [vec![24], vec![12, 12], vec![5, 0, 19], vec![1; 24]] {
+            let layout = StripedLayout::new(counts.clone());
+            let parallel = parallel_matmul_abt(&a, &b, &layout);
+            assert!(
+                serial.max_diff(&parallel) < 1e-12,
+                "layout {counts:?} diverges from serial"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cover all rows")]
+    fn layout_must_cover_matrix() {
+        let a = Matrix::random(4, 2, 1);
+        let b = Matrix::random(4, 2, 2);
+        parallel_matmul_abt(&a, &b, &StripedLayout::new(vec![2]));
+    }
+}

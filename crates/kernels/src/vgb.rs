@@ -1,0 +1,400 @@
+//! The Variable Group Block distribution (paper §3.1, Fig. 17b).
+//!
+//! A static column-block distribution for parallel LU factorisation on
+//! heterogeneous processors. The matrix is vertically partitioned into
+//! groups of `b`-wide column blocks; because the active sub-matrix shrinks
+//! as the factorisation progresses, the distribution re-derives the
+//! processor speeds *at each group's problem size* from the functional
+//! model — this is precisely the place where a single-number model fails
+//! and the paper's model shines.
+//!
+//! Group construction (paper steps 1–3):
+//!
+//! 1. Partition the remaining `m×m` sub-matrix's `m²` elements optimally;
+//!    with the optimum `(x_i, s_i)` the first group spans
+//!    `g = Σx_i / min_i x_i` blocks (doubled if `g/p < 2` so that every
+//!    group has enough blocks to be worth distributing).
+//! 2. The group's blocks are assigned to processors proportionally to the
+//!    speeds `s_i`, fastest processor first.
+//! 3. Recurse on the remaining `(m − g·b)×(m − g·b)` sub-matrix. In the
+//!    last group the processor order is reversed (fastest last) for load
+//!    balance in the final steps.
+
+use fpm_core::error::Result;
+use fpm_core::partition::Partitioner;
+use fpm_core::speed::SpeedFunction;
+
+/// One group of column blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VgbGroup {
+    /// Index of the first column block of the group.
+    pub start_block: usize,
+    /// Number of column blocks in the group.
+    pub size: usize,
+    /// Owner processor of each block in the group, in column order.
+    pub owners: Vec<usize>,
+}
+
+/// A complete Variable Group Block distribution of a matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VgbDistribution {
+    /// Matrix dimension.
+    pub n: u64,
+    /// Column block width.
+    pub block: u64,
+    /// Owner of every column block, indexed by block.
+    pub block_owner: Vec<usize>,
+    /// The groups, in order.
+    pub groups: Vec<VgbGroup>,
+}
+
+impl VgbDistribution {
+    /// Number of column blocks.
+    pub fn total_blocks(&self) -> usize {
+        self.block_owner.len()
+    }
+
+    /// Number of blocks owned by each processor.
+    pub fn blocks_per_processor(&self, p: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; p];
+        for &o in &self.block_owner {
+            counts[o] += 1;
+        }
+        counts
+    }
+}
+
+/// Largest-remainder proportional split of `total` blocks by `weights`.
+fn proportional_blocks(total: usize, weights: &[f64]) -> Vec<usize> {
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 {
+        let mut counts = vec![0usize; weights.len()];
+        if let Some(c) = counts.first_mut() {
+            *c = total;
+        }
+        return counts;
+    }
+    let shares: Vec<f64> = weights.iter().map(|&w| total as f64 * w / sum).collect();
+    let mut counts: Vec<usize> = shares.iter().map(|&s| s.floor() as usize).collect();
+    let mut assigned: usize = counts.iter().sum();
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = shares[a] - shares[a].floor();
+        let fb = shares[b] - shares[b].floor();
+        fb.total_cmp(&fa)
+    });
+    let mut k = 0;
+    let len = counts.len();
+    while assigned < total {
+        counts[order[k % len]] += 1;
+        assigned += 1;
+        k += 1;
+    }
+    counts
+}
+
+/// How the blocks within each group are attributed to processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VgbStrategy {
+    /// The paper's literal step 2: group `g`'s blocks are split
+    /// proportionally to the speeds observed at group `g`'s optimal
+    /// distribution. Simple, but a processor's *realised* column holding
+    /// is the sum of its shares over **all** trailing groups, which can
+    /// overshoot the per-group optimum when shares differ strongly between
+    /// groups (e.g. machines that page at the full problem size but are
+    /// fast on the shrunken tail end up holding more than the early-step
+    /// optimum, and thrash during the early steps).
+    PaperForward,
+    /// Holding-aware refinement (default): groups are assigned **backwards
+    /// from the last group**, so that each processor's total trailing
+    /// holding at the start of group `g` equals its planned optimum
+    /// `x_i(rem_g)` exactly. This realises the paper's stated intent —
+    /// "the distribution uses absolute speeds at each step that are
+    /// calculated based on the size of the problem solved at that step" —
+    /// without the cross-group mixture error.
+    #[default]
+    HoldingAware,
+}
+
+/// Computes the Variable Group Block distribution of an `n×n` matrix with
+/// block width `block` over the processors described by `funcs`, using
+/// `partitioner` for the per-group optimal element distributions and the
+/// default [`VgbStrategy::HoldingAware`] block attribution.
+///
+/// # Errors
+///
+/// Propagates partitioning failures (no processors, no convergence).
+pub fn variable_group_block<F: SpeedFunction, P: Partitioner>(
+    n: u64,
+    block: u64,
+    funcs: &[F],
+    partitioner: &P,
+) -> Result<VgbDistribution> {
+    variable_group_block_with(n, block, funcs, partitioner, VgbStrategy::default())
+}
+
+/// Per-group planning data collected in the forward pass.
+struct GroupPlan {
+    start_block: usize,
+    size: usize,
+    /// Optimal element counts for the remaining matrix at this group.
+    x: Vec<u64>,
+    /// Speeds at those counts.
+    speeds: Vec<f64>,
+}
+
+/// [`variable_group_block`] with an explicit attribution strategy.
+pub fn variable_group_block_with<F: SpeedFunction, P: Partitioner>(
+    n: u64,
+    block: u64,
+    funcs: &[F],
+    partitioner: &P,
+    strategy: VgbStrategy,
+) -> Result<VgbDistribution> {
+    assert!(block > 0, "block width must be positive");
+    let p = funcs.len();
+    let total_blocks = n.div_ceil(block) as usize;
+
+    // ---- Forward pass: group boundaries and per-group optima. ----
+    let mut plans: Vec<GroupPlan> = Vec::new();
+    let mut assigned_blocks = 0usize;
+    while assigned_blocks < total_blocks {
+        let remaining_blocks = total_blocks - assigned_blocks;
+        let rem_dim = n - (assigned_blocks as u64) * block;
+        // Problem size measured in *full-height* panel elements, n × cols:
+        // paper Fig. 17c fixes the first size parameter at n ("the
+        // parameter n1 is fixed and is equal to n during the application of
+        // the set partitioning algorithm"), because every processor keeps
+        // its whole column set resident for the entire factorisation — the
+        // full-height measure is what drives cache and paging behaviour.
+        let elements = n * rem_dim;
+
+        let report = partitioner.partition(elements, funcs)?;
+        let counts = report.distribution.counts().to_vec();
+        let speeds: Vec<f64> =
+            counts.iter().zip(funcs).map(|(&x, f)| f.speed(x as f64)).collect();
+
+        // Group size: g = Σx / min positive x, doubled when too small
+        // (paper step 1: "if g1/p < 2, then g1 = 2·Σ/min" to ensure a
+        // sufficient number of blocks in the group).
+        let total_x: u64 = counts.iter().sum();
+        let min_pos = counts.iter().copied().filter(|&x| x > 0).min();
+        let mut g = match min_pos {
+            Some(m) if m > 0 => {
+                let ratio = (total_x as f64 / m as f64).round().max(1.0);
+                let mut g = ratio as usize;
+                if g < 2 * p {
+                    g = (2.0 * total_x as f64 / m as f64).round().max(1.0) as usize;
+                }
+                g
+            }
+            _ => remaining_blocks,
+        };
+        g = g.clamp(1, remaining_blocks);
+        plans.push(GroupPlan { start_block: assigned_blocks, size: g, x: counts, speeds });
+        assigned_blocks += g;
+    }
+
+    // ---- Attribution pass: per-group per-processor block counts. ----
+    let n_groups = plans.len();
+    let mut group_counts: Vec<Vec<usize>> = vec![vec![0; p]; n_groups];
+    match strategy {
+        VgbStrategy::PaperForward => {
+            for (gi, plan) in plans.iter().enumerate() {
+                group_counts[gi] = proportional_blocks(plan.size, &plan.speeds);
+            }
+        }
+        VgbStrategy::HoldingAware => {
+            // Backwards: the trailing holding of processor i during group
+            // g must equal its planned optimum for the matrix remaining at
+            // group g.
+            let mut later = vec![0usize; p];
+            for gi in (0..n_groups).rev() {
+                let plan = &plans[gi];
+                let trailing = total_blocks - plan.start_block;
+                let weights: Vec<f64> = plan.x.iter().map(|&x| x as f64).collect();
+                let target = proportional_blocks(trailing, &weights);
+                let mut counts: Vec<usize> =
+                    (0..p).map(|i| target[i].saturating_sub(later[i])).collect();
+                // Clamping can only leave a surplus; trim it from the
+                // largest allocations.
+                let mut surplus: isize =
+                    counts.iter().sum::<usize>() as isize - plan.size as isize;
+                while surplus > 0 {
+                    let i = (0..p)
+                        .max_by_key(|&i| counts[i])
+                        .expect("at least one processor");
+                    if counts[i] == 0 {
+                        break;
+                    }
+                    counts[i] -= 1;
+                    surplus -= 1;
+                }
+                // A deficit is impossible when no clamping occurred; after
+                // clamping it cannot happen either (clamping only adds),
+                // but guard for robustness.
+                let mut deficit: isize =
+                    plan.size as isize - counts.iter().sum::<usize>() as isize;
+                while deficit > 0 {
+                    let i = (0..p)
+                        .max_by(|&a, &b| plan.speeds[a].total_cmp(&plan.speeds[b]))
+                        .expect("at least one processor");
+                    counts[i] += 1;
+                    deficit -= 1;
+                }
+                for i in 0..p {
+                    later[i] += counts[i];
+                }
+                group_counts[gi] = counts;
+            }
+        }
+    }
+
+    // ---- Emission: order owners within each group. ----
+    let mut block_owner = Vec::with_capacity(total_blocks);
+    let mut groups = Vec::with_capacity(n_groups);
+    for (gi, plan) in plans.iter().enumerate() {
+        let is_last = gi + 1 == n_groups;
+        let mut per_proc = group_counts[gi].clone();
+        // Fastest first, except in the last group where the fastest
+        // processor is kept last (paper step 3).
+        let mut proc_order: Vec<usize> = (0..p).collect();
+        proc_order.sort_by(|&a, &b| plan.speeds[b].total_cmp(&plan.speeds[a]));
+        if is_last {
+            proc_order.reverse();
+        }
+        let mut owners = Vec::with_capacity(plan.size);
+        for &proc in &proc_order {
+            for _ in 0..per_proc[proc] {
+                owners.push(proc);
+            }
+            per_proc[proc] = 0;
+        }
+        debug_assert_eq!(owners.len(), plan.size);
+        groups.push(VgbGroup {
+            start_block: plan.start_block,
+            size: plan.size,
+            owners: owners.clone(),
+        });
+        block_owner.extend(owners);
+    }
+
+    Ok(VgbDistribution { n, block, block_owner, groups })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpm_core::partition::CombinedPartitioner;
+    use fpm_core::speed::{AnalyticSpeed, ConstantSpeed};
+
+    fn constant_procs() -> Vec<ConstantSpeed> {
+        vec![ConstantSpeed::new(300.0), ConstantSpeed::new(200.0), ConstantSpeed::new(100.0)]
+    }
+
+    #[test]
+    fn covers_every_block_exactly_once() {
+        let funcs = constant_procs();
+        let d =
+            variable_group_block(576, 32, &funcs, &CombinedPartitioner::new()).unwrap();
+        assert_eq!(d.total_blocks(), 18);
+        assert_eq!(d.block_owner.len(), 18);
+        let covered: usize = d.groups.iter().map(|gr| gr.size).sum();
+        assert_eq!(covered, 18);
+        // Groups tile the block range contiguously.
+        let mut next = 0;
+        for gr in &d.groups {
+            assert_eq!(gr.start_block, next);
+            assert_eq!(gr.owners.len(), gr.size);
+            next += gr.size;
+        }
+    }
+
+    #[test]
+    fn proportional_to_constant_speeds() {
+        let funcs = constant_procs();
+        let d =
+            variable_group_block(960, 32, &funcs, &CombinedPartitioner::new()).unwrap();
+        let counts = d.blocks_per_processor(3);
+        // 3:2:1 speeds over 30 blocks → ≈ 15:10:5.
+        assert!(counts[0] > counts[1] && counts[1] > counts[2], "{counts:?}");
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, 30);
+        assert!((counts[0] as f64 - 15.0).abs() <= 2.0, "{counts:?}");
+    }
+
+    #[test]
+    fn group_rule_paper_example_shape() {
+        // Paper Fig. 17b: n=576, b=32, p=3 gives groups of sizes 6, 5, 7
+        // with its measured speeds; with constant 3:2:1 speeds the rule
+        // g = Σx/min x gives Σ=576², min share = 1/6 → g = 6.
+        let funcs = constant_procs();
+        let d =
+            variable_group_block(576, 32, &funcs, &CombinedPartitioner::new()).unwrap();
+        assert_eq!(d.groups[0].size, 6, "first group size: {:?}", d.groups[0]);
+        // First group: fastest processor first — {0,0,0,1,1,2}.
+        assert_eq!(d.groups[0].owners, vec![0, 0, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn last_group_starts_with_slowest() {
+        let funcs = constant_procs();
+        let d =
+            variable_group_block(576, 32, &funcs, &CombinedPartitioner::new()).unwrap();
+        let last = d.groups.last().unwrap();
+        // The slowest processor with any blocks comes first, the fastest
+        // processor's blocks come last.
+        let first_owner = *last.owners.first().unwrap();
+        let last_owner = *last.owners.last().unwrap();
+        assert!(first_owner >= last_owner, "last group {last:?} must start slow");
+        assert_eq!(last_owner, 0, "fastest processor is kept last");
+    }
+
+    #[test]
+    fn functional_model_shifts_blocks_away_from_paging_processor() {
+        // Processor 0 is nominally fast but pages beyond 1e5 elements;
+        // processor 1 is slower but steady. Early groups (large remaining
+        // matrix → proc 0 paging) should favour processor 1; late groups
+        // (small remaining matrix) should favour processor 0.
+        let funcs = vec![
+            AnalyticSpeed::paging(300.0, 1e5, 4.0),
+            AnalyticSpeed::constant(120.0),
+        ];
+        let d =
+            variable_group_block(1024, 32, &funcs, &CombinedPartitioner::new()).unwrap();
+        let first = &d.groups[0];
+        let count0_first = first.owners.iter().filter(|&&o| o == 0).count() as f64
+            / first.size as f64;
+        let last = d.groups.last().unwrap();
+        let count0_last =
+            last.owners.iter().filter(|&&o| o == 0).count() as f64 / last.size as f64;
+        assert!(
+            count0_last > count0_first,
+            "paging processor's share must grow as the matrix shrinks: first {count0_first}, last {count0_last}"
+        );
+    }
+
+    #[test]
+    fn single_processor_owns_everything() {
+        let funcs = vec![ConstantSpeed::new(50.0)];
+        let d = variable_group_block(128, 32, &funcs, &CombinedPartitioner::new()).unwrap();
+        assert!(d.block_owner.iter().all(|&o| o == 0));
+        assert_eq!(d.total_blocks(), 4);
+    }
+
+    #[test]
+    fn non_divisible_dimension_rounds_up_blocks() {
+        let funcs = constant_procs();
+        let d = variable_group_block(100, 32, &funcs, &CombinedPartitioner::new()).unwrap();
+        assert_eq!(d.total_blocks(), 4, "ceil(100/32) = 4");
+    }
+
+    #[test]
+    fn proportional_blocks_exact() {
+        assert_eq!(proportional_blocks(6, &[3.0, 2.0, 1.0]), vec![3, 2, 1]);
+        assert_eq!(proportional_blocks(0, &[1.0, 1.0]), vec![0, 0]);
+        let c = proportional_blocks(7, &[1.0, 1.0, 1.0]);
+        assert_eq!(c.iter().sum::<usize>(), 7);
+        assert_eq!(proportional_blocks(4, &[0.0, 0.0]), vec![4, 0], "zero weights fall back");
+    }
+}

@@ -1,0 +1,44 @@
+//! # fpm-simnet — simulated heterogeneous network of computers
+//!
+//! The paper evaluates its partitioning algorithms on two physical testbeds:
+//! a 4-machine network (Table 1) and a 12-machine Solaris/Linux network
+//! (Table 2). This crate is the substitute substrate: it models each
+//! machine's application-specific speed function from its published
+//! specification — CPU clock, architecture efficiency, cache size, main and
+//! free memory, and the *paging points* the paper measured — plus the
+//! stochastic workload-fluctuation bands of paper Fig. 2.
+//!
+//! Everything the partitioning results depend on is a property of the speed
+//! functions' *shapes* (continuity, the single-intersection requirement,
+//! the cache and paging knees, the fluctuation widths), all of which the
+//! model reproduces; absolute MFlops are calibrated to the handful of
+//! values the paper quotes but are otherwise synthetic.
+//!
+//! ## Modules
+//!
+//! * [`machine`] — machine specifications;
+//! * [`testbeds`] — the Table 1 and Table 2 inventories;
+//! * [`profile`] — application profiles (ArrayOpsF, MatrixMultATLAS, naive
+//!   MatrixMult, LU factorisation) controlling the curve shape;
+//! * [`speed_model`] — machine × profile ⇒ [`fpm_core::SpeedFunction`];
+//! * [`fluctuation`] — stochastic workload bands and noisy measurement
+//!   oracles;
+//! * [`workload`] — problem-size conversions (matrix dimension ↔ element
+//!   count) shared by the kernels and experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fluctuation;
+pub mod machine;
+pub mod profile;
+pub mod scenarios;
+pub mod speed_model;
+pub mod testbeds;
+pub mod workload;
+
+pub use fluctuation::{FluctuatingMeasurer, Integration};
+pub use machine::{Arch, MachineSpec};
+pub use profile::AppProfile;
+pub use scenarios::{random_cluster, random_testbed, ScenarioConfig};
+pub use speed_model::MachineSpeed;

@@ -1,0 +1,152 @@
+//! Machine specifications (the rows of the paper's Tables 1 and 2).
+
+/// Processor architecture family, used to look up per-application
+/// efficiency factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// Intel Pentium III (X1, X2 of Table 2).
+    PentiumIii,
+    /// Intel Pentium 4 (Comp1 of Table 1).
+    Pentium4,
+    /// Intel Xeon (X3–X9 of Table 2).
+    Xeon,
+    /// Sun UltraSPARC (Comp2, X10–X12).
+    UltraSparc,
+    /// Anything else (Comp3's unnamed Windows box, Comp4's i686).
+    GenericX86,
+}
+
+impl Arch {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Arch::PentiumIii => "Pentium III",
+            Arch::Pentium4 => "Pentium 4",
+            Arch::Xeon => "Xeon",
+            Arch::UltraSparc => "UltraSPARC",
+            Arch::GenericX86 => "x86",
+        }
+    }
+}
+
+/// One machine of a heterogeneous network.
+///
+/// Mirrors the columns of the paper's Table 2 (Table 1 lacks the free
+/// memory and paging columns; builders fill those with derived defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Host name (X1…X12, Comp1…Comp4).
+    pub name: String,
+    /// Operating system string as printed in the paper.
+    pub os: String,
+    /// Architecture family.
+    pub arch: Arch,
+    /// CPU clock in MHz.
+    pub cpu_mhz: u32,
+    /// Main memory in kBytes.
+    pub main_memory_kb: u64,
+    /// Free main memory in kBytes (main memory minus the OS and the routine
+    /// user processes the paper describes). Defaults to 70 % of main memory
+    /// when the paper does not list it.
+    pub free_memory_kb: u64,
+    /// Cache size in kBytes.
+    pub cache_kb: u64,
+    /// Matrix size `n` beyond which paging starts for the matrix
+    /// multiplication application (Table 2 column "Paging (MM)").
+    pub paging_mm: Option<u32>,
+    /// Matrix size `n` beyond which paging starts for LU factorisation
+    /// (Table 2 column "Paging (LU)").
+    pub paging_lu: Option<u32>,
+}
+
+impl MachineSpec {
+    /// Constructs a spec with derived free memory (70 % of main) and no
+    /// measured paging points.
+    pub fn new(
+        name: &str,
+        os: &str,
+        arch: Arch,
+        cpu_mhz: u32,
+        main_memory_kb: u64,
+        cache_kb: u64,
+    ) -> Self {
+        Self {
+            name: name.to_owned(),
+            os: os.to_owned(),
+            arch,
+            cpu_mhz,
+            main_memory_kb,
+            free_memory_kb: main_memory_kb * 7 / 10,
+            cache_kb,
+            paging_mm: None,
+            paging_lu: None,
+        }
+    }
+
+    /// Sets the measured free memory.
+    pub fn with_free_memory(mut self, free_memory_kb: u64) -> Self {
+        self.free_memory_kb = free_memory_kb;
+        self
+    }
+
+    /// Sets the measured paging matrix sizes for MM and LU.
+    pub fn with_paging(mut self, mm: u32, lu: u32) -> Self {
+        self.paging_mm = Some(mm);
+        self.paging_lu = Some(lu);
+        self
+    }
+
+    /// Number of 8-byte `f64` elements that fit in the cache.
+    pub fn cache_elements(&self) -> f64 {
+        (self.cache_kb * 1024) as f64 / 8.0
+    }
+
+    /// Number of 8-byte elements that fit in free main memory.
+    pub fn free_memory_elements(&self) -> f64 {
+        (self.free_memory_kb * 1024) as f64 / 8.0
+    }
+
+    /// Number of elements that exhaust memory plus swap. The paper sizes
+    /// the right anchor `b` of the model-building interval from "the sum of
+    /// amount of main memory and swap space"; we model swap as equal to
+    /// main memory (the common configuration of the era).
+    pub fn memory_plus_swap_elements(&self) -> f64 {
+        (self.main_memory_kb * 2 * 1024) as f64 / 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_free_memory_is_seventy_percent() {
+        let m = MachineSpec::new("T", "Linux", Arch::Xeon, 2000, 1_000_000, 512);
+        assert_eq!(m.free_memory_kb, 700_000);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let m = MachineSpec::new("T", "Linux", Arch::PentiumIii, 997, 513_304, 256)
+            .with_free_memory(363_264)
+            .with_paging(4500, 6000);
+        assert_eq!(m.free_memory_kb, 363_264);
+        assert_eq!(m.paging_mm, Some(4500));
+        assert_eq!(m.paging_lu, Some(6000));
+    }
+
+    #[test]
+    fn element_conversions() {
+        let m = MachineSpec::new("T", "Linux", Arch::Xeon, 2000, 1024, 8);
+        // 8 kB cache = 1024 doubles.
+        assert_eq!(m.cache_elements(), 1024.0);
+        // 1024 kB memory, swap doubles it: 262144 doubles.
+        assert_eq!(m.memory_plus_swap_elements(), 262_144.0);
+    }
+
+    #[test]
+    fn arch_names() {
+        assert_eq!(Arch::Xeon.name(), "Xeon");
+        assert_eq!(Arch::UltraSparc.name(), "UltraSPARC");
+    }
+}

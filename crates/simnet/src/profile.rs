@@ -1,0 +1,216 @@
+//! Application profiles: how an application's memory behaviour shapes the
+//! speed function.
+//!
+//! Paper Fig. 1 contrasts three applications on the same four machines:
+//!
+//! * **ArrayOpsF** — streaming array operations, memory-hierarchy friendly:
+//!   a flat plateau with a sharp drop at the paging point *P*;
+//! * **MatrixMultATLAS** — cache-blocked dgemm: likewise sharp and
+//!   distinctive ("can be approximated by a step-wise function");
+//! * **MatrixMult** — the naive triple loop with inefficient memory
+//!   reference patterns: "quite a smooth dependence of speed on the problem
+//!   size", declining from small sizes onwards.
+//!
+//! A profile therefore carries the parameters of the shape template in
+//! [`crate::speed_model`]: per-architecture peak efficiency, cache
+//! sensitivity (how hard speed falls once the working set leaves cache) and
+//! paging sharpness (how abruptly speed collapses at the paging point).
+
+use crate::machine::Arch;
+
+/// Profile of an application's interaction with the memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppProfile {
+    /// Streaming array operations (paper Fig. 1a).
+    ArrayOpsF,
+    /// Cache-blocked matrix multiplication using ATLAS dgemm (Fig. 1b).
+    MatrixMultAtlas,
+    /// Naive matrix multiplication, poor memory reference patterns
+    /// (Fig. 1c and the kernel of the paper's own experiments).
+    MatrixMult,
+    /// Right-looking LU factorisation (the paper's second application).
+    LuFactorization,
+}
+
+impl AppProfile {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppProfile::ArrayOpsF => "ArrayOpsF",
+            AppProfile::MatrixMultAtlas => "MatrixMultATLAS",
+            AppProfile::MatrixMult => "MatrixMult",
+            AppProfile::LuFactorization => "LUFactorization",
+        }
+    }
+
+    /// Sustained useful flops per clock cycle — the post-cache,
+    /// pre-paging speed — for the application on the given architecture.
+    ///
+    /// Calibrated, together with the cache-boost factors, to the values the
+    /// paper quotes: X5/X6-class Xeons reach ≈250 MFlops on the naive MM at
+    /// a 4500×4500 problem and ≈130 MFlops on LU at 8500×8500; the 440 MHz
+    /// UltraSPARC reaches ≈31 MFlops on MM at 4500; the Pentium III does
+    /// ≈19 MFlops on LU at 4500 (those checks live in
+    /// `speed_model::tests`). ATLAS multiplies the naive MM efficiency by
+    /// roughly 3 (Fig. 1b vs 1c peak levels).
+    pub fn flops_per_cycle(&self, arch: Arch) -> f64 {
+        let naive_mm = match arch {
+            Arch::PentiumIii => 0.055,
+            Arch::Pentium4 => 0.070,
+            Arch::Xeon => 0.107,
+            Arch::UltraSparc => 0.054,
+            Arch::GenericX86 => 0.060,
+        };
+        match self {
+            AppProfile::MatrixMult => naive_mm,
+            AppProfile::MatrixMultAtlas => naive_mm * 3.0,
+            AppProfile::ArrayOpsF => naive_mm * 0.6,
+            AppProfile::LuFactorization => match arch {
+                Arch::PentiumIii => 0.016,
+                Arch::Pentium4 => 0.035,
+                Arch::Xeon => 0.0566,
+                Arch::UltraSparc => 0.040,
+                Arch::GenericX86 => 0.035,
+            },
+        }
+    }
+
+    /// In-cache speed-up factor: how much faster than the sustained
+    /// (post-cache, pre-paging) speed the kernel runs while its working set
+    /// fits in cache. Naive kernels gain a lot from residency (and
+    /// therefore decline visibly as the problem grows, Fig. 1c); blocked
+    /// kernels gain almost nothing because they restructure every problem
+    /// into cache-sized tiles (flat plateaus of Fig. 1a/1b).
+    pub fn cache_boost(&self) -> f64 {
+        match self {
+            AppProfile::ArrayOpsF => 0.05,
+            AppProfile::MatrixMultAtlas => 0.10,
+            AppProfile::MatrixMult => 2.2,
+            AppProfile::LuFactorization => 1.5,
+        }
+    }
+
+    /// Exponent of the cache-boost decay with problem size: small values
+    /// spread the decline over decades of sizes (the smooth curves of
+    /// Fig. 1c), large values make a sharp step at the cache boundary.
+    pub fn cache_sensitivity(&self) -> f64 {
+        match self {
+            AppProfile::ArrayOpsF => 4.0,
+            AppProfile::MatrixMultAtlas => 4.0,
+            AppProfile::MatrixMult => 0.35,
+            AppProfile::LuFactorization => 0.30,
+        }
+    }
+
+    /// Sharpness (exponent) of the paging collapse: carefully designed
+    /// applications fall off a cliff at *P*; naive kernels degrade more
+    /// gradually because they are already memory-bound.
+    pub fn paging_sharpness(&self) -> f64 {
+        match self {
+            AppProfile::ArrayOpsF => 8.0,
+            AppProfile::MatrixMultAtlas => 6.0,
+            AppProfile::MatrixMult => 2.5,
+            AppProfile::LuFactorization => 3.0,
+        }
+    }
+
+    /// Width of the paging transition as a fraction of the paging point:
+    /// cache-friendly kernels fall off a narrow cliff right at *P*
+    /// (their working set flips from resident to thrashing at once);
+    /// naive kernels, already memory-bound, degrade over a wide range.
+    pub fn paging_transition(&self) -> f64 {
+        match self {
+            AppProfile::ArrayOpsF => 0.15,
+            AppProfile::MatrixMultAtlas => 0.20,
+            AppProfile::MatrixMult => 1.0,
+            AppProfile::LuFactorization => 0.6,
+        }
+    }
+
+    /// Floor of the paging factor: the residual fraction of sustained
+    /// speed once the working set is swap-backed. Dense kernels access
+    /// memory in long streams, so the 2003-era Linux/Solaris swap of the
+    /// paper's testbed sustains a few percent of in-memory speed rather
+    /// than collapsing to zero — which is also why the paper could run
+    /// n = 32 000 problems (≈ the testbed's total free memory) in hours.
+    pub fn paging_floor(&self) -> f64 {
+        match self {
+            AppProfile::ArrayOpsF => 0.04,
+            AppProfile::MatrixMultAtlas => 0.05,
+            AppProfile::MatrixMult => 0.06,
+            AppProfile::LuFactorization => 0.08,
+        }
+    }
+
+    /// All profiles, for sweeps.
+    pub fn all() -> [AppProfile; 4] {
+        [
+            AppProfile::ArrayOpsF,
+            AppProfile::MatrixMultAtlas,
+            AppProfile::MatrixMult,
+            AppProfile::LuFactorization,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atlas_is_faster_than_naive_everywhere() {
+        for arch in [
+            Arch::PentiumIii,
+            Arch::Pentium4,
+            Arch::Xeon,
+            Arch::UltraSparc,
+            Arch::GenericX86,
+        ] {
+            assert!(
+                AppProfile::MatrixMultAtlas.flops_per_cycle(arch)
+                    > AppProfile::MatrixMult.flops_per_cycle(arch)
+            );
+        }
+    }
+
+    #[test]
+    fn sustained_speeds_are_positive_and_arch_ordered() {
+        // The 2.8 GHz Xeon class sustains more than the 440 MHz SPARC on
+        // every application; precise calibration against the paper's quoted
+        // MFlops is asserted in `speed_model::tests`, which includes the
+        // cache-boost factor.
+        for app in AppProfile::all() {
+            let xeon = app.flops_per_cycle(Arch::Xeon) * 1977.0;
+            let sparc = app.flops_per_cycle(Arch::UltraSparc) * 440.0;
+            assert!(xeon > sparc, "{}: {xeon} vs {sparc}", app.name());
+            assert!(sparc > 0.0);
+        }
+    }
+
+    #[test]
+    fn naive_kernels_gain_more_from_cache_than_blocked() {
+        assert!(AppProfile::MatrixMult.cache_boost() > AppProfile::MatrixMultAtlas.cache_boost());
+        // Blocked kernels transition sharply at the cache boundary; naive
+        // kernels decline over decades of sizes.
+        assert!(
+            AppProfile::MatrixMultAtlas.cache_sensitivity()
+                > AppProfile::MatrixMult.cache_sensitivity()
+        );
+    }
+
+    #[test]
+    fn efficient_kernels_page_sharply() {
+        assert!(
+            AppProfile::ArrayOpsF.paging_sharpness() > AppProfile::MatrixMult.paging_sharpness()
+        );
+    }
+
+    #[test]
+    fn all_returns_every_profile() {
+        let names: Vec<&str> = AppProfile::all().iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec!["ArrayOpsF", "MatrixMultATLAS", "MatrixMult", "LUFactorization"]
+        );
+    }
+}

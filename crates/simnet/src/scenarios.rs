@@ -1,0 +1,135 @@
+//! Seeded random heterogeneous-network generators.
+//!
+//! The paper targets "general-purpose common heterogeneous networks" well
+//! beyond its two concrete testbeds (its Fig. 21 cost experiment uses up
+//! to 1080 processors). This module generates arbitrary-size, reproducible
+//! testbeds with realistic spreads of clock speed, memory size, cache size
+//! and architecture mix, for scaling benchmarks and property tests.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::machine::{Arch, MachineSpec};
+use crate::profile::AppProfile;
+use crate::speed_model::MachineSpeed;
+
+/// Configuration of a generated network.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioConfig {
+    /// Number of machines.
+    pub machines: usize,
+    /// RNG seed (same seed ⇒ same network).
+    pub seed: u64,
+    /// Minimum CPU clock in MHz.
+    pub min_mhz: u32,
+    /// Maximum CPU clock in MHz.
+    pub max_mhz: u32,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self { machines: 12, seed: 0xFACE, min_mhz: 400, max_mhz: 3000 }
+    }
+}
+
+/// Generates a reproducible random heterogeneous network.
+pub fn random_testbed(cfg: ScenarioConfig) -> Vec<MachineSpec> {
+    assert!(cfg.machines > 0);
+    assert!(cfg.min_mhz > 0 && cfg.max_mhz > cfg.min_mhz);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let arches = [
+        Arch::PentiumIii,
+        Arch::Pentium4,
+        Arch::Xeon,
+        Arch::UltraSparc,
+        Arch::GenericX86,
+    ];
+    let memory_menu_kb: [u64; 6] =
+        [262_144, 524_288, 1_048_576, 2_097_152, 4_194_304, 8_388_608];
+    let cache_menu_kb: [u64; 4] = [256, 512, 1024, 2048];
+
+    (0..cfg.machines)
+        .map(|i| {
+            let arch = arches[rng.gen_range(0..arches.len())];
+            let mhz = rng.gen_range(cfg.min_mhz..=cfg.max_mhz);
+            let memory = memory_menu_kb[rng.gen_range(0..memory_menu_kb.len())];
+            let cache = cache_menu_kb[rng.gen_range(0..cache_menu_kb.len())];
+            // Free memory: 20–85 % of main, mimicking the spread of the
+            // paper's Table 2 (X2 has 26 % free, X4 has 39 %, X11 has 80 %).
+            let free = (memory as f64 * rng.gen_range(0.20..0.85)) as u64;
+            let os = match arch {
+                Arch::UltraSparc => "SunOS 5.8 (generated)",
+                _ => "Linux 2.4 (generated)",
+            };
+            MachineSpec::new(&format!("G{i:04}"), os, arch, mhz, memory, cache)
+                .with_free_memory(free)
+        })
+        .collect()
+}
+
+/// Speed models for a generated network and one application.
+pub fn random_cluster(cfg: ScenarioConfig, app: AppProfile) -> Vec<MachineSpeed> {
+    random_testbed(cfg).iter().map(|m| MachineSpeed::for_app(m, app)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpm_core::speed::{check_single_intersection, SpeedFunction};
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = random_testbed(ScenarioConfig::default());
+        let b = random_testbed(ScenarioConfig::default());
+        assert_eq!(a, b);
+        let c = random_testbed(ScenarioConfig { seed: 1, ..ScenarioConfig::default() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_machines_are_plausible() {
+        let specs =
+            random_testbed(ScenarioConfig { machines: 50, ..ScenarioConfig::default() });
+        assert_eq!(specs.len(), 50);
+        for m in &specs {
+            assert!(m.cpu_mhz >= 400 && m.cpu_mhz <= 3000);
+            assert!(m.free_memory_kb < m.main_memory_kb);
+            assert!(m.free_memory_kb > 0);
+            assert!(m.cache_kb >= 256);
+        }
+    }
+
+    #[test]
+    fn generated_models_satisfy_shape_requirement() {
+        for app in AppProfile::all() {
+            let cluster = random_cluster(
+                ScenarioConfig { machines: 16, seed: 7, ..ScenarioConfig::default() },
+                app,
+            );
+            for m in cluster {
+                let (_a, b) = m.model_interval();
+                assert!(
+                    check_single_intersection(&m, 64.0, b, 300).is_ok(),
+                    "{} / {}",
+                    m.name(),
+                    app.name()
+                );
+                assert!(m.speed(1e6) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn large_cluster_partitions_cleanly() {
+        use fpm_core::partition::{CombinedPartitioner, Partitioner};
+        let cluster = random_cluster(
+            ScenarioConfig { machines: 100, seed: 3, ..ScenarioConfig::default() },
+            AppProfile::MatrixMult,
+        );
+        let n = 3u64 * 30_000 * 30_000;
+        let r = CombinedPartitioner::new().partition(n, &cluster).unwrap();
+        assert_eq!(r.distribution.total(), n);
+        assert!(r.distribution.counts().iter().filter(|&&x| x > 0).count() > 50);
+    }
+}

@@ -1,0 +1,57 @@
+//! Communication-aware partitioning: when links cost time, not every
+//! machine is worth using (the paper's declared future work, implemented
+//! with the Bhat et al. two-parameter link model).
+//!
+//! Run with `cargo run --release -p fpm --example comm_aware`.
+
+use fpm::exec::comm::{evaluate_mm_with_comm, partition_mm_with_comm, CommLink};
+use fpm::exec::des::{simulate_mm_des, ServeOrder};
+use fpm::prelude::*;
+
+fn main() -> Result<()> {
+    let cluster = SimCluster::table2(AppProfile::MatrixMult);
+    println!("Communication-aware striped MM on Table 2 (12 machines)\n");
+    println!(
+        "{:>6} {:>12} {:>8} {:>14} {:>16} {:>7}",
+        "n", "startup (s)", "active", "aware (s)", "oblivious (s)", "gain"
+    );
+    for n in [500u64, 2_000, 8_000] {
+        for startup in [0.0f64, 5.0, 60.0] {
+            let links: Vec<CommLink> =
+                (0..cluster.len()).map(|_| CommLink::new(startup, 1.25e6)).collect();
+            let aware =
+                partition_mm_with_comm(n, cluster.funcs(), &links, &CombinedPartitioner::new())?;
+            let oblivious = CombinedPartitioner::new().partition(3 * n * n, cluster.funcs())?;
+            let (c, t) =
+                evaluate_mm_with_comm(n, cluster.funcs(), &links, &oblivious.distribution);
+            println!(
+                "{:>6} {:>12.1} {:>8} {:>14.2} {:>16.2} {:>6.2}x",
+                n,
+                startup,
+                aware.active_count(),
+                aware.total_seconds(),
+                c + t,
+                (c + t) / aware.total_seconds()
+            );
+        }
+    }
+
+    // The discrete-event view: overlapping transfers with computation.
+    println!("\nContended-bus DES (start-up 0.5 s, 1.25e6 elements/s):");
+    let links: Vec<CommLink> =
+        (0..cluster.len()).map(|_| CommLink::new(0.5, 1.25e6)).collect();
+    for n in [1_000u64, 4_000] {
+        let dist =
+            CombinedPartitioner::new().partition(3 * n * n, cluster.funcs())?.distribution;
+        let des = simulate_mm_des(n, cluster.funcs(), &links, &dist,
+                                  ServeOrder::LongestComputeFirst)?;
+        let (c, t) = evaluate_mm_with_comm(n, cluster.funcs(), &links, &dist);
+        println!(
+            "  n = {n:>5}: serialised model {:.1} s, DES with overlap {:.1} s (bus busy {:.1} s)",
+            c + t,
+            des.makespan,
+            des.bus_seconds
+        );
+    }
+    Ok(())
+}

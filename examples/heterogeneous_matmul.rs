@@ -1,0 +1,43 @@
+//! Parallel matrix multiplication on the paper's 12-machine testbed
+//! (Table 2): functional model vs single-number model, the experiment
+//! behind paper Fig. 22(a).
+//!
+//! Run with `cargo run --release -p fpm --example heterogeneous_matmul`.
+
+use fpm::prelude::*;
+
+fn main() -> Result<()> {
+    let cluster = SimCluster::table2(AppProfile::MatrixMult);
+    println!("C = A×Bᵀ with horizontal striped partitioning on Table 2 ({} machines)\n",
+             cluster.len());
+    println!(
+        "{:>7} {:>14} {:>14} {:>14} {:>9} {:>9}",
+        "n", "functional(s)", "single@500(s)", "single@4000(s)", "spd@500", "spd@4000"
+    );
+
+    let functional = CombinedPartitioner::new();
+    let single_small = SingleNumberPartitioner::at_size(workload::mm_elements(500) as f64);
+    let single_large = SingleNumberPartitioner::at_size(workload::mm_elements(4000) as f64);
+
+    for n in (15_000u64..=31_000).step_by(2_000) {
+        let f = simulate_mm(n, cluster.funcs(), &functional)?;
+        let s_small = simulate_mm(n, cluster.funcs(), &single_small)?;
+        let s_large = simulate_mm(n, cluster.funcs(), &single_large)?;
+        println!(
+            "{:>7} {:>14.1} {:>14.1} {:>14.1} {:>9.2} {:>9.2}",
+            n,
+            f.makespan,
+            s_small.makespan,
+            s_large.makespan,
+            s_small.makespan / f.makespan,
+            s_large.makespan / f.makespan
+        );
+    }
+
+    println!("\nPer-machine rows at n = 25 000 under the functional model:");
+    let f = simulate_mm(25_000, cluster.funcs(), &functional)?;
+    for (name, &rows) in cluster.names().iter().zip(f.layout.row_counts()) {
+        println!("    {name:<5} {rows:>6} rows");
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Building the functional model from noisy measurements: the practical
+//! procedure of paper §3.1 (piece-wise linear approximation by adaptive
+//! trisection with a ±5 % acceptance band).
+//!
+//! Run with `cargo run --release -p fpm --example model_building`.
+
+use fpm::prelude::*;
+use fpm_core::speed::builder::build_speed_band;
+
+fn main() -> Result<()> {
+    let specs = testbeds::table2();
+    println!("Building MM speed models for Table 2 (±5 % band, noisy measurements)\n");
+    println!(
+        "{:<5} {:>8} {:>9} {:>14} {:>14}",
+        "host", "points", "knots", "cost (norm.)", "paging point"
+    );
+
+    let mut total_cost = 0.0;
+    for (i, spec) in specs.iter().enumerate() {
+        let truth = MachineSpeed::for_app(spec, AppProfile::MatrixMult);
+        let (a, b) = truth.model_interval();
+        // A highly integrated machine: 40 % → 6 % fluctuation band.
+        let mut measurer = FluctuatingMeasurer::new(
+            truth.clone(),
+            Integration::Low.width_law(b),
+            0xF00D + i as u64,
+        );
+        let out = build_speed_band(&mut measurer, a, b, BuilderConfig::default())?;
+        total_cost += out.cost_seconds;
+        println!(
+            "{:<5} {:>8} {:>9} {:>14.3e} {:>14.2e}",
+            spec.name,
+            out.measurements,
+            out.midline.len(),
+            out.cost_seconds,
+            truth.paging_point()
+        );
+    }
+    println!("\ntotal model-building cost: {total_cost:.3e} normalised work units");
+    println!("(the paper: \"negligible compared to the execution time of the applications");
+    println!(" which varies from minutes to hours\" — and the model is built once,");
+    println!(" then reused for every problem size)");
+
+    // Show one model's knots against the hidden truth.
+    let spec = &specs[7]; // X8
+    let truth = MachineSpeed::for_app(spec, AppProfile::MatrixMult);
+    let (a, b) = truth.model_interval();
+    let mut measurer =
+        FluctuatingMeasurer::new(truth.clone(), Integration::Low.width_law(b), 0xBEEF);
+    let out = build_speed_band(&mut measurer, a, b, BuilderConfig::default())?;
+    println!("\n{} model knots (size → modelled MFlops vs true MFlops):", spec.name);
+    for &(x, s) in out.midline.knots() {
+        println!("    {x:>14.0} → {s:>8.1}  (true {:>8.1})", truth.speed(x));
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Quickstart: partition a data-parallel workload over heterogeneous
+//! processors with the functional performance model.
+//!
+//! Run with `cargo run --release -p fpm --example quickstart`.
+
+use fpm::prelude::*;
+
+fn main() -> Result<()> {
+    // Three heterogeneous processors described by speed functions rather
+    // than single numbers:
+    //  - a nominally fast workstation that starts paging at 2M elements,
+    //  - a slower machine with plenty of memory (speed saturates),
+    //  - a mid-range machine with the classic rise-plateau-collapse shape.
+    let processors: Vec<Box<dyn SpeedFunction>> = vec![
+        Box::new(AnalyticSpeed::paging(400.0, 2_000_000.0, 3.0)),
+        Box::new(AnalyticSpeed::saturating(150.0, 100_000.0)),
+        Box::new(AnalyticSpeed::unimodal(250.0, 50_000.0, 8_000_000.0, 2.0)),
+    ];
+    let names = ["fast-but-pages", "slow-big-memory", "mid-range"];
+
+    println!("Partitioning with the functional performance model\n");
+    for &n in &[1_000_000u64, 5_000_000, 20_000_000] {
+        let report = CombinedPartitioner::new().partition(n, &processors)?;
+        println!("n = {n:>11} elements   makespan = {:.3} s", report.makespan);
+        for ((name, &x), t) in names
+            .iter()
+            .zip(report.distribution.counts())
+            .zip(report.distribution.times(&processors))
+        {
+            let share = 100.0 * x as f64 / n as f64;
+            println!("    {name:<16} {x:>11} elements ({share:5.1} %)  t = {t:8.3} s");
+        }
+        // Compare with the single-number model sampled at a small size:
+        // it overloads the paging machine once n is large.
+        let single = SingleNumberPartitioner::at_size(100_000.0).partition(n, &processors)?;
+        println!(
+            "    single-number model would take {:.3} s  (functional is {:.2}x faster)\n",
+            single.makespan,
+            single.makespan / report.makespan
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Cross-algorithm consensus on generated random heterogeneous networks:
+//! every production algorithm must agree with the oracle on every seed.
+
+use fpm::prelude::*;
+use fpm_core::partition::{oracle, SecantPartitioner};
+use fpm_simnet::scenarios::{random_cluster, ScenarioConfig};
+
+fn check_consensus(seed: u64, machines: usize, n: u64, app: AppProfile) {
+    let cluster = random_cluster(
+        ScenarioConfig { machines, seed, ..ScenarioConfig::default() },
+        app,
+    );
+    let reference = oracle::solve(n, &cluster).unwrap();
+    let reports = [
+        ("basic", BisectionPartitioner::new().partition(n, &cluster)),
+        ("modified", ModifiedPartitioner::new().partition(n, &cluster)),
+        ("combined", CombinedPartitioner::new().partition(n, &cluster)),
+        ("secant", SecantPartitioner::new().partition(n, &cluster)),
+    ];
+    for (name, report) in reports {
+        let report = report
+            .unwrap_or_else(|e| panic!("seed {seed}, {machines} machines, {name}: {e}"));
+        assert_eq!(report.distribution.total(), n, "seed {seed} {name}: conservation");
+        let rel = (report.makespan - reference.makespan).abs() / reference.makespan.max(1e-30);
+        assert!(
+            rel < 5e-3,
+            "seed {seed} {name}: makespan {} vs oracle {}",
+            report.makespan,
+            reference.makespan
+        );
+    }
+}
+
+#[test]
+fn consensus_across_seeds_mm() {
+    for seed in 0..12u64 {
+        check_consensus(seed, 8, 500_000_000, AppProfile::MatrixMult);
+    }
+}
+
+#[test]
+fn consensus_across_seeds_lu() {
+    for seed in 100..108u64 {
+        check_consensus(seed, 10, 200_000_000, AppProfile::LuFactorization);
+    }
+}
+
+#[test]
+fn consensus_on_large_clusters() {
+    for seed in 7..10u64 {
+        check_consensus(seed, 64, 2_000_000_000, AppProfile::MatrixMult);
+    }
+}
+
+#[test]
+fn consensus_on_tiny_problems() {
+    for seed in 50..55u64 {
+        check_consensus(seed, 6, 1_000, AppProfile::MatrixMultAtlas);
+    }
+}
+
+#[test]
+fn vgb_consensus_on_random_clusters() {
+    // The VGB distribution built with different partitioners produces
+    // similar simulated LU times (the partitioners agree, so the group
+    // structures do too).
+    for seed in 0..4u64 {
+        let cluster = random_cluster(
+            ScenarioConfig { machines: 8, seed, ..ScenarioConfig::default() },
+            AppProfile::LuFactorization,
+        );
+        let n = 8_000u64;
+        let b = 64u64;
+        let d1 = variable_group_block(n, b, &cluster, &CombinedPartitioner::new()).unwrap();
+        let d2 = variable_group_block(n, b, &cluster, &ModifiedPartitioner::new()).unwrap();
+        let t1 = simulate_lu(n, b, &d1.block_owner, &cluster).unwrap().total_seconds;
+        let t2 = simulate_lu(n, b, &d2.block_owner, &cluster).unwrap().total_seconds;
+        let rel = (t1 - t2).abs() / t1.max(t2);
+        assert!(rel < 0.05, "seed {seed}: {t1} vs {t2}");
+    }
+}

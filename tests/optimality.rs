@@ -1,0 +1,111 @@
+//! Cross-crate optimality tests: every production partitioner must match
+//! the exact oracle on the paper's simulated testbeds.
+
+use fpm::prelude::*;
+use fpm_core::partition::oracle;
+
+fn check_algorithms_against_oracle<F: SpeedFunction>(n: u64, funcs: &[F], label: &str) {
+    let reference = oracle::solve(n, funcs).unwrap();
+    let reports = [
+        ("basic", BisectionPartitioner::new().partition(n, funcs).unwrap()),
+        ("modified", ModifiedPartitioner::new().partition(n, funcs).unwrap()),
+        ("combined", CombinedPartitioner::new().partition(n, funcs).unwrap()),
+    ];
+    for (name, report) in reports {
+        assert_eq!(report.distribution.total(), n, "{label}/{name}: conservation");
+        let rel = (report.makespan - reference.makespan).abs() / reference.makespan.max(1e-30);
+        assert!(
+            rel < 5e-3,
+            "{label}/{name} at n = {n}: makespan {} vs oracle {}",
+            report.makespan,
+            reference.makespan
+        );
+        assert!(
+            oracle::is_exchange_optimal(&report.distribution, funcs, 1e-6),
+            "{label}/{name} at n = {n}: distribution is not exchange-optimal"
+        );
+    }
+}
+
+#[test]
+fn all_algorithms_optimal_on_table2_mm() {
+    let cluster = SimCluster::table2(AppProfile::MatrixMult);
+    for n_dim in [2_000u64, 8_000, 20_000, 31_000] {
+        let n = workload::mm_elements(n_dim);
+        check_algorithms_against_oracle(n, cluster.funcs(), "table2-mm");
+    }
+}
+
+#[test]
+fn all_algorithms_optimal_on_table2_lu() {
+    let cluster = SimCluster::table2(AppProfile::LuFactorization);
+    for n_dim in [2_000u64, 16_000, 32_000] {
+        let n = workload::lu_elements(n_dim);
+        check_algorithms_against_oracle(n, cluster.funcs(), "table2-lu");
+    }
+}
+
+#[test]
+fn all_algorithms_optimal_on_table1_profiles() {
+    for app in AppProfile::all() {
+        let cluster = SimCluster::table1(app);
+        check_algorithms_against_oracle(50_000_000, cluster.funcs(), app.name());
+    }
+}
+
+#[test]
+fn functional_never_loses_to_single_number() {
+    // Paper §3.2: "in heterogeneous environment, the distribution given by
+    // the single number model cannot in principle be better than the
+    // distribution given by the functional model". Verify across reference
+    // sizes and problem sizes.
+    let cluster = SimCluster::table2(AppProfile::MatrixMult);
+    let functional = CombinedPartitioner::new();
+    for n_dim in [10_000u64, 20_000, 30_000] {
+        let n = workload::mm_elements(n_dim);
+        let f = functional.partition(n, cluster.funcs()).unwrap();
+        for ref_dim in [500u64, 1_000, 4_000, 6_000] {
+            let s = SingleNumberPartitioner::at_size(workload::mm_elements(ref_dim) as f64)
+                .partition(n, cluster.funcs())
+                .unwrap();
+            assert!(
+                f.makespan <= s.makespan * (1.0 + 1e-9),
+                "n={n_dim}, ref={ref_dim}: functional {} vs single {}",
+                f.makespan,
+                s.makespan
+            );
+        }
+    }
+}
+
+#[test]
+fn bounded_partitioning_respects_memory_caps_on_testbed() {
+    let cluster = SimCluster::table2(AppProfile::MatrixMult);
+    // Cap every machine at its free-memory element count.
+    let caps: Vec<u64> = testbeds::table2()
+        .iter()
+        .map(|m| m.free_memory_elements() as u64)
+        .collect();
+    let n = workload::mm_elements(12_000);
+    let r = bounded::partition_bounded(n, cluster.funcs(), &caps).unwrap();
+    assert_eq!(r.distribution.total(), n);
+    for (i, (&x, &cap)) in r.distribution.counts().iter().zip(&caps).enumerate() {
+        assert!(x <= cap, "machine {i} exceeds its memory cap");
+    }
+}
+
+#[test]
+fn modified_algorithm_handles_built_piecewise_models() {
+    // Partition with models *built from measurements* rather than analytic
+    // truths — the full paper pipeline.
+    let built = build_cluster_models(
+        &testbeds::table2(),
+        AppProfile::MatrixMult,
+        Integration::Dedicated,
+        99,
+        BuilderConfig::default(),
+    )
+    .unwrap();
+    let n = workload::mm_elements(18_000);
+    check_algorithms_against_oracle(n, &built.models, "built-models");
+}

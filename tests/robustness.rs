@@ -1,0 +1,184 @@
+//! Robustness and failure-injection tests: adversarial measurers, dying
+//! machines, degenerate clusters and extreme scales.
+
+use fpm::prelude::*;
+use fpm_core::speed::builder::build_speed_band;
+
+#[test]
+fn builder_survives_nan_and_negative_measurements() {
+    // A flaky measurer occasionally returns garbage; the builder must
+    // either produce a valid model or return a clean error — never panic
+    // or emit an invalid model.
+    let truth = AnalyticSpeed::decreasing(100.0, 1e6, 2.0);
+    let mut call = 0usize;
+    let mut flaky = |x: f64| {
+        call += 1;
+        match call % 5 {
+            0 => f64::NAN,
+            3 => -25.0,
+            _ => truth.speed(x),
+        }
+    };
+    match build_speed_band(&mut flaky, 1e3, 1e8, BuilderConfig::default()) {
+        Ok(out) => {
+            assert!(
+                fpm_core::speed::check_single_intersection(&out.midline, 1e3, 9e7, 200).is_ok()
+            );
+        }
+        Err(e) => {
+            // Acceptable failure modes only.
+            assert!(matches!(
+                e,
+                Error::InvalidSpeedFunction { .. } | Error::InvalidParameter(_)
+            ));
+        }
+    }
+}
+
+#[test]
+fn builder_handles_all_zero_measurer() {
+    let mut dead = |_x: f64| 0.0;
+    let e = build_speed_band(&mut dead, 1e3, 1e6, BuilderConfig::default()).unwrap_err();
+    assert!(matches!(e, Error::InvalidParameter(_)));
+}
+
+#[test]
+fn dying_machine_is_worked_around() {
+    // One machine's model collapses to zero beyond a tiny size (it "dies"
+    // under memory pressure); the partitioners route the load to the
+    // healthy machines.
+    let dying = PiecewiseLinearSpeed::new(vec![(10.0, 100.0), (5_000.0, 0.0)]).unwrap();
+    let healthy = AnalyticSpeed::constant(50.0);
+    let funcs: Vec<Box<dyn SpeedFunction>> = vec![Box::new(dying), Box::new(healthy)];
+    let r = CombinedPartitioner::new().partition(10_000_000, &funcs).unwrap();
+    assert_eq!(r.distribution.total(), 10_000_000);
+    assert!(
+        r.distribution.counts()[0] <= 5_000,
+        "dying machine must not receive beyond its capacity: {:?}",
+        r.distribution
+    );
+    assert!(r.makespan.is_finite());
+}
+
+#[test]
+fn whole_cluster_dead_reports_insufficient_capacity() {
+    let dying = PiecewiseLinearSpeed::new(vec![(10.0, 100.0), (5_000.0, 0.0)]).unwrap();
+    let funcs = vec![dying.clone(), dying];
+    let e = CombinedPartitioner::new().partition(10_000_000, &funcs).unwrap_err();
+    assert!(matches!(e, Error::InsufficientCapacity { .. }));
+}
+
+#[test]
+fn fewer_elements_than_processors() {
+    let funcs: Vec<ConstantSpeed> = (1..=16).map(|k| ConstantSpeed::new(k as f64)).collect();
+    for n in 1..=8u64 {
+        let r = CombinedPartitioner::new().partition(n, &funcs).unwrap();
+        assert_eq!(r.distribution.total(), n);
+        // The elements go to the fastest machines.
+        let idle = r.distribution.counts().iter().filter(|&&x| x == 0).count();
+        assert!(idle >= funcs.len() - n as usize, "{:?}", r.distribution);
+    }
+}
+
+#[test]
+fn identical_processors_split_evenly() {
+    let funcs: Vec<AnalyticSpeed> =
+        (0..7).map(|_| AnalyticSpeed::unimodal(100.0, 1e3, 1e6, 2.0)).collect();
+    let n = 7_000_001u64;
+    let r = ModifiedPartitioner::new().partition(n, &funcs).unwrap();
+    let min = r.distribution.counts().iter().min().unwrap();
+    let max = r.distribution.counts().iter().max().unwrap();
+    assert!(max - min <= 1, "identical machines split evenly: {:?}", r.distribution);
+}
+
+#[test]
+fn extreme_speed_scales() {
+    // Machines differing by 12 orders of magnitude: the optimiser must not
+    // lose precision catastrophically.
+    let funcs: Vec<Box<dyn SpeedFunction>> = vec![
+        Box::new(ConstantSpeed::new(1e-3)),
+        Box::new(ConstantSpeed::new(1e9)),
+    ];
+    let n = 1_000_000_000u64;
+    let r = CombinedPartitioner::new().partition(n, &funcs).unwrap();
+    assert_eq!(r.distribution.total(), n);
+    // Proportional: the slow machine gets ~1e-12 of the work ⇒ 0 or 1
+    // elements.
+    assert!(r.distribution.counts()[0] <= 2, "{:?}", r.distribution);
+}
+
+#[test]
+fn huge_problem_sizes_stay_consistent() {
+    let funcs: Vec<AnalyticSpeed> = vec![
+        AnalyticSpeed::constant(100.0),
+        AnalyticSpeed::decreasing(300.0, 1e12, 2.0),
+        AnalyticSpeed::saturating(200.0, 1e6),
+    ];
+    let n = 1_000_000_000_000_000u64; // 1e15: within f64's exact-integer range
+    let r = CombinedPartitioner::new().partition(n, &funcs).unwrap();
+    assert_eq!(r.distribution.total(), n);
+    assert!(fpm_core::partition::oracle::is_exchange_optimal(&r.distribution, &funcs, 1e-6));
+}
+
+#[test]
+fn makespan_is_monotone_in_n() {
+    let cluster = SimCluster::table2(AppProfile::MatrixMult);
+    let mut last = 0.0;
+    for dim in [4_000u64, 8_000, 12_000, 16_000, 24_000] {
+        let n = workload::mm_elements(dim);
+        let r = CombinedPartitioner::new().partition(n, cluster.funcs()).unwrap();
+        assert!(
+            r.makespan >= last,
+            "more work cannot take less time: {} after {last} at dim {dim}",
+            r.makespan
+        );
+        last = r.makespan;
+    }
+}
+
+#[test]
+fn trait_objects_and_mixed_model_kinds_work_together() {
+    // Piece-wise models, analytic models and constants in one cluster via
+    // trait objects — the downstream-user configuration.
+    let built = PiecewiseLinearSpeed::new(vec![(1e3, 120.0), (1e7, 80.0), (1e9, 0.0)]).unwrap();
+    let funcs: Vec<Box<dyn SpeedFunction>> = vec![
+        Box::new(built),
+        Box::new(AnalyticSpeed::paging(200.0, 1e6, 3.0)),
+        Box::new(ConstantSpeed::new(60.0)),
+    ];
+    for alg_result in [
+        BisectionPartitioner::new().partition(5_000_000, &funcs),
+        ModifiedPartitioner::new().partition(5_000_000, &funcs),
+        CombinedPartitioner::new().partition(5_000_000, &funcs),
+    ] {
+        let r = alg_result.unwrap();
+        assert_eq!(r.distribution.total(), 5_000_000);
+    }
+}
+
+#[test]
+fn vgb_with_dying_machine_still_covers_blocks() {
+    let dying = PiecewiseLinearSpeed::new(vec![(10.0, 100.0), (200_000.0, 0.0)]).unwrap();
+    let funcs: Vec<Box<dyn SpeedFunction>> = vec![
+        Box::new(dying),
+        Box::new(AnalyticSpeed::constant(80.0)),
+        Box::new(AnalyticSpeed::constant(40.0)),
+    ];
+    let d = variable_group_block(2_048, 64, &funcs, &CombinedPartitioner::new()).unwrap();
+    assert_eq!(d.total_blocks(), 32);
+    let per = d.blocks_per_processor(3);
+    assert!(per[1] > per[0], "healthy machines carry the load: {per:?}");
+}
+
+#[test]
+fn single_number_handles_reference_beyond_all_models() {
+    // Sampling far beyond every machine's modelled range: speeds clamp to
+    // the final knot (possibly zero) — the partitioner must degrade
+    // gracefully, not panic.
+    let m1 = PiecewiseLinearSpeed::new(vec![(1e3, 100.0), (1e6, 0.0)]).unwrap();
+    let m2 = PiecewiseLinearSpeed::new(vec![(1e3, 50.0), (1e7, 25.0)]).unwrap();
+    let funcs = vec![m1, m2];
+    let r = SingleNumberPartitioner::at_size(1e12).partition(1_000, &funcs).unwrap();
+    assert_eq!(r.distribution.total(), 1_000);
+    assert_eq!(r.distribution.counts()[0], 0, "zero-speed machine gets nothing");
+}

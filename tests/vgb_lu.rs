@@ -1,0 +1,99 @@
+//! Variable Group Block invariants on the paper's testbeds, plus real
+//! LU numerics under heterogeneous block distributions.
+
+use fpm::prelude::*;
+
+#[test]
+fn vgb_covers_all_blocks_on_table2() {
+    let cluster = SimCluster::table2(AppProfile::LuFactorization);
+    for (n, b) in [(8_000u64, 128u64), (16_000, 256), (20_000, 512)] {
+        let d = variable_group_block(n, b, cluster.funcs(), &CombinedPartitioner::new())
+            .unwrap();
+        assert_eq!(d.total_blocks(), n.div_ceil(b) as usize, "n={n}, b={b}");
+        let per_proc = d.blocks_per_processor(cluster.len());
+        assert_eq!(per_proc.iter().sum::<usize>(), d.total_blocks());
+        // Groups are contiguous and consistent.
+        let mut next = 0;
+        for g in &d.groups {
+            assert_eq!(g.start_block, next);
+            assert_eq!(g.owners.len(), g.size);
+            next += g.size;
+        }
+        assert_eq!(next, d.total_blocks());
+    }
+}
+
+#[test]
+fn vgb_group_sizes_shrink_as_matrix_shrinks_or_stay_similar() {
+    // Group sizes are derived from Σx/min x at the remaining problem size;
+    // they stay within a small multiple of the processor count.
+    let cluster = SimCluster::table2(AppProfile::LuFactorization);
+    let d = variable_group_block(24_000, 256, cluster.funcs(), &CombinedPartitioner::new())
+        .unwrap();
+    assert!(d.groups.len() >= 2, "should need several groups");
+    for g in &d.groups {
+        assert!(g.size >= 1);
+        assert!(
+            g.size <= 40 * cluster.len(),
+            "group of {} blocks is implausibly large",
+            g.size
+        );
+    }
+}
+
+#[test]
+fn faster_machines_own_more_blocks() {
+    let cluster = SimCluster::table2(AppProfile::LuFactorization);
+    let n = 12_000u64;
+    let d = variable_group_block(n, 256, cluster.funcs(), &CombinedPartitioner::new())
+        .unwrap();
+    let per_proc = d.blocks_per_processor(cluster.len());
+    // X3/X4 (2783 MHz Xeons) must own more blocks than X10-12 (440 MHz
+    // UltraSPARCs) at sizes where nobody pages hard.
+    let xeon_big = per_proc[2].min(per_proc[3]);
+    let sparc = per_proc[9].max(per_proc[10]).max(per_proc[11]);
+    assert!(
+        xeon_big > sparc,
+        "2783 MHz Xeon ({xeon_big}) should out-own 440 MHz SPARC ({sparc}): {per_proc:?}"
+    );
+}
+
+#[test]
+fn real_lu_correct_under_any_block_distribution() {
+    // The distribution affects *where* blocks live, not the math: run the
+    // real blocked LU and verify reconstruction for sizes that exercise
+    // several groups.
+    use fpm::kernels::lu::{lu_blocked, reconstruction_error};
+    let a = Matrix::diagonally_dominant(96, 5);
+    let mut f = a.clone();
+    lu_blocked(&mut f, 16);
+    assert!(reconstruction_error(&a, &f) < 1e-8);
+}
+
+#[test]
+fn vgb_with_exotic_shapes_terminates() {
+    // Exponential tails and step functions must not hang the group loop.
+    let funcs = vec![
+        AnalyticSpeed::exp_tail(100.0, 1e6),
+        AnalyticSpeed::step_levels(vec![(1e4, 120.0), (1e6, 120.0), (1e8, 40.0)]),
+        AnalyticSpeed::constant(60.0),
+    ];
+    let d = variable_group_block(4_096, 128, &funcs, &ModifiedPartitioner::new()).unwrap();
+    assert_eq!(d.total_blocks(), 32);
+}
+
+#[test]
+fn single_number_vgb_is_a_valid_but_worse_distribution() {
+    let cluster = SimCluster::table2(AppProfile::LuFactorization);
+    let n = 26_000u64;
+    let b = 256u64;
+    let single = SingleNumberPartitioner::at_size(workload::lu_elements(2_000) as f64);
+    let d = variable_group_block(n, b, cluster.funcs(), &single).unwrap();
+    assert_eq!(d.total_blocks(), n.div_ceil(b) as usize);
+    let functional = variable_group_block(n, b, cluster.funcs(), &CombinedPartitioner::new())
+        .unwrap();
+    let t_single = simulate_lu(n, b, &d.block_owner, cluster.funcs()).unwrap().total_seconds;
+    let t_func =
+        simulate_lu(n, b, &functional.block_owner, cluster.funcs()).unwrap().total_seconds;
+    assert!(t_func <= t_single, "functional {t_func} vs single {t_single}");
+}
