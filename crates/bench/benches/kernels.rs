@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fpm_kernels::lu::lu_blocked;
-use fpm_kernels::matmul::{matmul_abt, matmul_abt_blocked};
+use fpm_kernels::matmul::{matmul_abt, matmul_abt_blocked, matmul_abt_blocked_loop, DEFAULT_TILE};
 use fpm_kernels::matrix::Matrix;
 use fpm_kernels::striped::{parallel_matmul_abt, StripedLayout};
 use std::hint::black_box;
@@ -18,6 +18,24 @@ fn bench_matmul(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("blocked64", n), &n, |bench, _| {
             bench.iter(|| black_box(matmul_abt_blocked(&a, &b, 64)))
+        });
+    }
+    group.finish();
+}
+
+/// Packed-tile kernel against the seed's plain tiled triple loop.
+fn bench_matmul_packed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_packed");
+    group.sample_size(20);
+    for n in [128usize, 256, 512] {
+        let a = Matrix::random(n, n, 5);
+        let b = Matrix::random(n, n, 6);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("loop", n), &n, |bench, _| {
+            bench.iter(|| black_box(matmul_abt_blocked_loop(&a, &b, DEFAULT_TILE)))
+        });
+        group.bench_with_input(BenchmarkId::new("packed", n), &n, |bench, _| {
+            bench.iter(|| black_box(matmul_abt_blocked(&a, &b, DEFAULT_TILE)))
         });
     }
     group.finish();
@@ -59,5 +77,5 @@ fn bench_lu(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_parallel_matmul, bench_lu);
+criterion_group!(benches, bench_matmul, bench_matmul_packed, bench_parallel_matmul, bench_lu);
 criterion_main!(benches);

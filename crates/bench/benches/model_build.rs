@@ -52,5 +52,43 @@ fn bench_epsilon_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_builder, bench_epsilon_sweep);
+/// Whole-cluster build: the persistent worker pool against the sequential
+/// per-machine loop of the seed.
+fn bench_cluster_build(c: &mut Criterion) {
+    use fpm_exec::model_build::{build_cluster_models, build_cluster_models_seq};
+    use fpm_simnet::fluctuation::Integration;
+
+    let mut group = c.benchmark_group("cluster_build");
+    group.sample_size(10);
+    let specs = testbeds::table2();
+    group.bench_with_input(BenchmarkId::from_parameter("pooled"), &specs, |bench, specs| {
+        bench.iter(|| {
+            let built = build_cluster_models(
+                specs,
+                AppProfile::MatrixMult,
+                Integration::Low,
+                42,
+                BuilderConfig::default(),
+            )
+            .unwrap();
+            black_box(built.total_measurements())
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("sequential"), &specs, |bench, specs| {
+        bench.iter(|| {
+            let built = build_cluster_models_seq(
+                specs,
+                AppProfile::MatrixMult,
+                Integration::Low,
+                42,
+                BuilderConfig::default(),
+            )
+            .unwrap();
+            black_box(built.total_measurements())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_builder, bench_epsilon_sweep, bench_cluster_build);
 criterion_main!(benches);

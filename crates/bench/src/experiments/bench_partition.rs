@@ -1,0 +1,270 @@
+//! `bench_partition` — the performance-engineering acceptance run.
+//!
+//! Times the three optimised paths of this repository against their
+//! sequential/unoptimised counterparts, without Criterion (so the numbers
+//! land in a machine-readable artifact):
+//!
+//! * `CombinedPartitioner::partition` on the fig21 synthetic cluster at
+//!   `p = 1080`, `n = 2·10⁹`, with and without the per-run evaluation
+//!   cache (the uncached path is the seed behaviour);
+//! * whole-cluster model building (paper §3.1) on the Table 2 testbed,
+//!   pooled vs sequential;
+//! * the packed `matmul_abt_blocked` kernel vs the seed's plain tiled
+//!   triple loop at `n = 512`.
+//!
+//! Besides the usual CSV report, the run writes `BENCH_partition.json`
+//! with the raw medians in nanoseconds.
+
+use std::time::Instant;
+
+use fpm_core::partition::{CombinedPartitioner, Partitioner};
+use fpm_core::speed::builder::BuilderConfig;
+use fpm_core::speed::{PiecewiseLinearSpeed, SpeedFunction};
+use fpm_exec::model_build::{build_cluster_models, build_cluster_models_seq};
+use fpm_kernels::matmul::{matmul_abt_blocked, matmul_abt_blocked_loop, DEFAULT_TILE};
+use fpm_kernels::matrix::Matrix;
+use fpm_simnet::fluctuation::Integration;
+use fpm_simnet::machine::MachineSpec;
+use fpm_simnet::profile::AppProfile;
+use fpm_simnet::testbeds;
+
+use super::fig21::synthetic_cluster;
+use crate::report::{fnum, Report};
+
+/// A view of a model that hides its closed-form intersection and batched
+/// evaluation overrides, reproducing the seed's probe behaviour: every
+/// intersection found by exponential bracketing + bisection, every speed
+/// evaluated point-wise.
+struct SeedView<'a>(&'a PiecewiseLinearSpeed);
+
+impl SpeedFunction for SeedView<'_> {
+    fn speed(&self, x: f64) -> f64 {
+        self.0.speed(x)
+    }
+    fn max_size(&self) -> f64 {
+        self.0.max_size()
+    }
+}
+
+/// Processor count of the headline partitioning measurement.
+pub const BENCH_P: usize = 1080;
+/// Problem size of the headline partitioning measurement.
+pub const BENCH_N: u64 = 2_000_000_000;
+/// Matrix dimension of the kernel measurement.
+pub const BENCH_MM_N: usize = 512;
+
+/// Raw medians, in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchPartitionResults {
+    /// `partition(n, funcs)` with every optimisation on (the default):
+    /// closed-form intersections, batched lookups, evaluation cache.
+    pub partition_optimized_ns: u128,
+    /// The seed behaviour: numeric bracketing + bisection per
+    /// intersection, point-wise probes, no cache (see [`SeedView`]).
+    pub partition_seed_ns: u128,
+    /// Machines in the model-build measurement.
+    pub build_machines: usize,
+    /// Whole-cluster model build on the worker pool.
+    pub build_pooled_ns: u128,
+    /// Whole-cluster model build, sequential loop (the seed behaviour).
+    pub build_seq_ns: u128,
+    /// Worker threads in the pool during the measurement.
+    pub build_workers: usize,
+    /// Packed-tile `matmul_abt_blocked` at `BENCH_MM_N`.
+    pub mm_packed_ns: u128,
+    /// Seed plain tiled triple loop at `BENCH_MM_N`.
+    pub mm_loop_ns: u128,
+}
+
+/// Median wall time of `samples` runs of `f`, in nanoseconds.
+fn median_ns(samples: usize, mut f: impl FnMut()) -> u128 {
+    assert!(samples >= 1);
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Runs every measurement. Each closure is executed once as warm-up before
+/// its timed samples.
+pub fn measure() -> BenchPartitionResults {
+    let funcs = synthetic_cluster(BENCH_P);
+    let seed_views: Vec<SeedView<'_>> = funcs.iter().map(SeedView).collect();
+    let optimized = CombinedPartitioner::new();
+    let seed = CombinedPartitioner::new().with_eval_cache(false);
+    let run_optimized = || {
+        let r = optimized.partition(BENCH_N, &funcs).unwrap();
+        assert_eq!(r.distribution.total(), BENCH_N);
+    };
+    let run_seed = || {
+        let r = seed.partition(BENCH_N, &seed_views).unwrap();
+        assert_eq!(r.distribution.total(), BENCH_N);
+    };
+    run_optimized();
+    let partition_optimized_ns = median_ns(9, run_optimized);
+    let partition_seed_ns = median_ns(9, run_seed);
+
+    // A cluster and builder budget large enough for per-machine work to
+    // dominate the pool's per-task overhead (the default config finishes a
+    // machine in microseconds).
+    let specs: Vec<MachineSpec> = testbeds::table2()
+        .iter()
+        .cycle()
+        .take(48)
+        .cloned()
+        .collect();
+    let cfg = BuilderConfig {
+        epsilon: 0.02,
+        min_interval_fraction: 1.0 / 19_683.0,
+        max_measurements: 2048,
+    };
+    let build_pooled = || {
+        let built = build_cluster_models(
+            &specs,
+            AppProfile::MatrixMult,
+            Integration::High,
+            42,
+            cfg,
+        )
+        .unwrap();
+        assert!(built.total_measurements() > 0);
+    };
+    let build_seq = || {
+        let built = build_cluster_models_seq(
+            &specs,
+            AppProfile::MatrixMult,
+            Integration::High,
+            42,
+            cfg,
+        )
+        .unwrap();
+        assert!(built.total_measurements() > 0);
+    };
+    build_pooled();
+    let build_pooled_ns = median_ns(7, build_pooled);
+    let build_seq_ns = median_ns(7, build_seq);
+
+    let a = Matrix::random(BENCH_MM_N, BENCH_MM_N, 11);
+    let b = Matrix::random(BENCH_MM_N, BENCH_MM_N, 12);
+    let mm_packed = || {
+        let c = matmul_abt_blocked(&a, &b, DEFAULT_TILE);
+        assert!(c[(0, 0)].is_finite());
+    };
+    let mm_loop = || {
+        let c = matmul_abt_blocked_loop(&a, &b, DEFAULT_TILE);
+        assert!(c[(0, 0)].is_finite());
+    };
+    mm_packed();
+    let mm_packed_ns = median_ns(5, mm_packed);
+    let mm_loop_ns = median_ns(5, mm_loop);
+
+    BenchPartitionResults {
+        partition_optimized_ns,
+        partition_seed_ns,
+        build_machines: specs.len(),
+        build_pooled_ns,
+        build_seq_ns,
+        build_workers: fpm_exec::WorkerPool::global().workers(),
+        mm_packed_ns,
+        mm_loop_ns,
+    }
+}
+
+/// Serialises the results as the `BENCH_partition.json` artifact.
+pub fn to_json(r: &BenchPartitionResults) -> String {
+    format!(
+        "{{\n  \"partition\": {{ \"p\": {p}, \"n\": {n}, \"median_ns\": {po}, \"seed_median_ns\": {ps} }},\n  \"model_build\": {{ \"machines\": {m}, \"workers\": {w}, \"pooled_median_ns\": {bp}, \"sequential_median_ns\": {bs} }},\n  \"matmul\": {{ \"n\": {mn}, \"packed_median_ns\": {mp}, \"loop_median_ns\": {ml} }}\n}}\n",
+        p = BENCH_P,
+        n = BENCH_N,
+        po = r.partition_optimized_ns,
+        ps = r.partition_seed_ns,
+        m = r.build_machines,
+        w = r.build_workers,
+        bp = r.build_pooled_ns,
+        bs = r.build_seq_ns,
+        mn = BENCH_MM_N,
+        mp = r.mm_packed_ns,
+        ml = r.mm_loop_ns,
+    )
+}
+
+fn speedup(slow_ns: u128, fast_ns: u128) -> f64 {
+    slow_ns as f64 / (fast_ns as f64).max(1.0)
+}
+
+/// Runs the measurements, writes `BENCH_partition.json` into the current
+/// directory and returns the tabular report.
+pub fn run() -> Report {
+    let results = measure();
+    let mut r = Report::new(
+        "bench_partition",
+        "Optimised vs seed paths: partition eval cache, pooled model build, packed kernel",
+        &["measurement", "optimised (ns)", "baseline (ns)", "speedup"],
+    );
+    r.push_row(vec![
+        format!("partition p={BENCH_P} n={BENCH_N}"),
+        results.partition_optimized_ns.to_string(),
+        results.partition_seed_ns.to_string(),
+        fnum(speedup(results.partition_seed_ns, results.partition_optimized_ns), 2),
+    ]);
+    r.push_row(vec![
+        format!(
+            "model_build {} machines / {} workers",
+            results.build_machines, results.build_workers
+        ),
+        results.build_pooled_ns.to_string(),
+        results.build_seq_ns.to_string(),
+        fnum(speedup(results.build_seq_ns, results.build_pooled_ns), 2),
+    ]);
+    r.push_row(vec![
+        format!("matmul_abt n={BENCH_MM_N}"),
+        results.mm_packed_ns.to_string(),
+        results.mm_loop_ns.to_string(),
+        fnum(speedup(results.mm_loop_ns, results.mm_packed_ns), 2),
+    ]);
+    let json = to_json(&results);
+    match std::fs::write("BENCH_partition.json", &json) {
+        Ok(()) => r.note("raw medians written to BENCH_partition.json"),
+        Err(e) => r.note(format!("could not write BENCH_partition.json: {e}")),
+    }
+    r.note("baselines are the seed behaviours: uncached probes, sequential build, plain tiled loop");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let r = BenchPartitionResults {
+            partition_optimized_ns: 1,
+            partition_seed_ns: 2,
+            build_machines: 12,
+            build_pooled_ns: 3,
+            build_seq_ns: 4,
+            build_workers: 8,
+            mm_packed_ns: 5,
+            mm_loop_ns: 6,
+        };
+        let json = to_json(&r);
+        assert!(json.contains("\"p\": 1080"));
+        assert!(json.contains("\"median_ns\": 1"));
+        assert!(json.contains("\"seed_median_ns\": 2"));
+        assert!(json.contains("\"sequential_median_ns\": 4"));
+        assert!(json.contains("\"loop_median_ns\": 6"));
+    }
+
+    #[test]
+    fn median_runs_exactly_the_requested_samples() {
+        let mut k = 0u64;
+        let m = median_ns(5, || k = k.wrapping_add(1));
+        assert!(m > 0);
+        assert_eq!(k, 5);
+    }
+}

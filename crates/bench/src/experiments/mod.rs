@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure plus the ablations.
 
 pub mod ablations;
+pub mod bench_partition;
 pub mod extensions;
 pub mod fig1;
 pub mod fig11;

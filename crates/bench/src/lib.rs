@@ -35,6 +35,7 @@
 //! | `ext_bounded` | per-processor memory caps (ref \[20\]) | [`experiments::extensions`] |
 //! | `ext_secant` | regula-falsi line search ("ideal algorithm") | [`experiments::extensions`] |
 //! | `ext_dynamic` | adaptive re-partitioning under load shifts | [`experiments::extensions`] |
+//! | `bench_partition` | optimised vs seed paths (writes `BENCH_partition.json`) | [`experiments::bench_partition`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,6 +75,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ext_bounded",
     "ext_secant",
     "ext_dynamic",
+    "bench_partition",
 ];
 
 /// Runs one experiment by id.
@@ -107,6 +109,7 @@ pub fn run_experiment(id: &str) -> Option<Report> {
         "ext_bounded" => Some(experiments::extensions::bounded_exp()),
         "ext_secant" => Some(experiments::extensions::secant()),
         "ext_dynamic" => Some(experiments::extensions::dynamic()),
+        "bench_partition" => Some(experiments::bench_partition::run()),
         _ => None,
     }
 }

@@ -68,6 +68,14 @@ pub fn intersect_origin_line<F: SpeedFunction + ?Sized>(f: &F, slope: f64) -> f6
     let g = |x: f64| f.speed(x) / x;
     let x_max = f.max_size().min(X_CAP);
 
+    // Models with a closed-form intersection (piece-wise linear, constant)
+    // skip the bracketing/bisection search entirely — the dominant cost of
+    // every partitioning iteration.
+    if let Some(x) = f.intersect_slope(slope) {
+        debug_assert!(x >= 0.0, "closed-form intersection must be non-negative");
+        return x.min(x_max);
+    }
+
     // The line is steeper than the graph already at vanishing size: the
     // only intersection is at the origin.
     if g(X_ORIGIN) <= slope {

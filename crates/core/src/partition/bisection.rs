@@ -22,7 +22,7 @@ use super::initial::{bracket_slopes, SlopeBracket};
 use super::problem::{empty_report, validate_processors, PartitionReport, Partitioner};
 use crate::error::{Error, Result};
 use crate::geometry::intersections_at_slope;
-use crate::speed::SpeedFunction;
+use crate::speed::{CachedSpeed, SpeedFunction};
 use crate::trace::{IterationRecord, Trace};
 
 /// How the trial slope is chosen from the two bounding slopes.
@@ -63,11 +63,16 @@ pub struct BisectionPartitioner {
     /// exists to surface the algorithm's documented worst case instead of
     /// hanging.
     pub max_steps: usize,
+    /// Memoize `speed(x)` probes per run (see
+    /// [`CachedSpeed`]): the shrinking bracket and the fine-tuning heap
+    /// revisit the same abscissas many times. On by default; disable to
+    /// measure the raw algorithm.
+    pub eval_cache: bool,
 }
 
 impl Default for BisectionPartitioner {
     fn default() -> Self {
-        Self { slope_mode: SlopeMode::default(), max_steps: 100_000 }
+        Self { slope_mode: SlopeMode::default(), max_steps: 100_000, eval_cache: true }
     }
 }
 
@@ -87,6 +92,12 @@ impl BisectionPartitioner {
     pub fn with_max_steps(mut self, max_steps: usize) -> Self {
         assert!(max_steps > 0);
         self.max_steps = max_steps;
+        self
+    }
+
+    /// Enables or disables the per-run speed-evaluation cache.
+    pub fn with_eval_cache(mut self, enabled: bool) -> Self {
+        self.eval_cache = enabled;
         self
     }
 
@@ -158,8 +169,16 @@ impl Partitioner for BisectionPartitioner {
         if n == 0 {
             return Ok(empty_report(funcs.len()));
         }
-        let bracket = bracket_slopes(n, funcs)?;
-        self.partition_from_bracket(n, funcs, bracket, Trace::default())
+        if self.eval_cache {
+            // One cache per processor, shared by the bracketing, the
+            // bisection iterations and the fine-tuning heap.
+            let cached: Vec<CachedSpeed<&F>> = funcs.iter().map(CachedSpeed::new).collect();
+            let bracket = bracket_slopes(n, &cached)?;
+            self.partition_from_bracket(n, &cached, bracket, Trace::default())
+        } else {
+            let bracket = bracket_slopes(n, funcs)?;
+            self.partition_from_bracket(n, funcs, bracket, Trace::default())
+        }
     }
 }
 

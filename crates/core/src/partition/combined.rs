@@ -26,7 +26,7 @@ use super::modified::ModifiedPartitioner;
 use super::problem::{empty_report, validate_processors, PartitionReport, Partitioner};
 use crate::error::{Error, Result};
 use crate::geometry::intersections_at_slope;
-use crate::speed::SpeedFunction;
+use crate::speed::{CachedSpeed, SpeedFunction};
 use crate::trace::{IterationRecord, Trace};
 
 /// Which algorithm the combined strategy selected for a given problem.
@@ -50,11 +50,16 @@ pub struct CombinedPartitioner {
     pub flatness_threshold: f64,
     /// Step budget handed to the basic stage before falling back.
     pub basic_step_budget: usize,
+    /// Memoize `speed(x)` probes per run (see [`CachedSpeed`]). One cache
+    /// per processor is shared across the probing step, the chosen
+    /// algorithm, a potential fallback and the fine-tuning heap. On by
+    /// default; disable to measure the raw algorithms.
+    pub eval_cache: bool,
 }
 
 impl Default for CombinedPartitioner {
     fn default() -> Self {
-        Self { flatness_threshold: 0.02, basic_step_budget: 4096 }
+        Self { flatness_threshold: 0.02, basic_step_budget: 4096, eval_cache: true }
     }
 }
 
@@ -62,6 +67,12 @@ impl CombinedPartitioner {
     /// Creates the partitioner with default thresholds.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enables or disables the per-run speed-evaluation cache.
+    pub fn with_eval_cache(mut self, enabled: bool) -> Self {
+        self.eval_cache = enabled;
+        self
     }
 
     /// Numerical relative log-derivative `|s'(x)|·x/s(x)` of `f` at `x`.
@@ -89,6 +100,20 @@ impl CombinedPartitioner {
         if n == 0 {
             return Ok((empty_report(funcs.len()), CombinedChoice::Basic));
         }
+        if self.eval_cache {
+            let cached: Vec<CachedSpeed<&F>> = funcs.iter().map(CachedSpeed::new).collect();
+            self.partition_explain_inner(n, &cached)
+        } else {
+            self.partition_explain_inner(n, funcs)
+        }
+    }
+
+    /// The Fig. 15 strategy proper, over (possibly cache-wrapped) models.
+    fn partition_explain_inner<F: SpeedFunction>(
+        &self,
+        n: u64,
+        funcs: &[F],
+    ) -> Result<(PartitionReport, CombinedChoice)> {
         let target = n as f64;
         let bracket = bracket_slopes(n, funcs)?;
 

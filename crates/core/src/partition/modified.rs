@@ -24,16 +24,25 @@ use super::initial::{bracket_slopes, SlopeBracket};
 use super::problem::{empty_report, validate_processors, PartitionReport, Partitioner};
 use crate::error::{Error, Result};
 use crate::geometry::intersections_at_slope;
-use crate::speed::SpeedFunction;
+use crate::speed::{CachedSpeed, SpeedFunction};
 use crate::trace::{IterationRecord, Trace};
 
 /// The solution-space bisection partitioner.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ModifiedPartitioner {
     /// Hard step budget. The theoretical bound is `p·log₂ n`; the default
     /// budget is computed per problem as `4·p·log₂(n+2) + 64` when this
     /// field is `None`.
     pub max_steps: Option<usize>,
+    /// Memoize `speed(x)` probes per run (see [`CachedSpeed`]). On by
+    /// default; disable to measure the raw algorithm.
+    pub eval_cache: bool,
+}
+
+impl Default for ModifiedPartitioner {
+    fn default() -> Self {
+        Self { max_steps: None, eval_cache: true }
+    }
 }
 
 impl ModifiedPartitioner {
@@ -46,6 +55,12 @@ impl ModifiedPartitioner {
     pub fn with_max_steps(mut self, max_steps: usize) -> Self {
         assert!(max_steps > 0);
         self.max_steps = Some(max_steps);
+        self
+    }
+
+    /// Enables or disables the per-run speed-evaluation cache.
+    pub fn with_eval_cache(mut self, enabled: bool) -> Self {
+        self.eval_cache = enabled;
         self
     }
 
@@ -159,8 +174,14 @@ impl Partitioner for ModifiedPartitioner {
         if n == 0 {
             return Ok(empty_report(funcs.len()));
         }
-        let bracket = bracket_slopes(n, funcs)?;
-        self.partition_from_bracket(n, funcs, bracket, Trace::default())
+        if self.eval_cache {
+            let cached: Vec<CachedSpeed<&F>> = funcs.iter().map(CachedSpeed::new).collect();
+            let bracket = bracket_slopes(n, &cached)?;
+            self.partition_from_bracket(n, &cached, bracket, Trace::default())
+        } else {
+            let bracket = bracket_slopes(n, funcs)?;
+            self.partition_from_bracket(n, funcs, bracket, Trace::default())
+        }
     }
 }
 

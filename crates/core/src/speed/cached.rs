@@ -1,0 +1,156 @@
+//! Memoizing wrapper for speed functions.
+//!
+//! The partitioning algorithms probe each processor's speed at the same
+//! abscissas many times over: the bounding-line intersections are
+//! re-evaluated as the bracket shrinks, the fine-tuning heap queries
+//! `time()` at the same `2p` candidate integer points repeatedly, and the
+//! combined algorithm's probing step revisits sizes the chosen algorithm
+//! then probes again. [`CachedSpeed`] computes each distinct abscissa once
+//! and replays the result — bit-identical by construction, since the
+//! cached value *is* the inner function's output.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+use super::function::SpeedFunction;
+
+/// A [`SpeedFunction`] decorator that memoizes `speed(x)` per abscissa.
+///
+/// Keys are the raw IEEE-754 bits of `x`, so every distinct input value
+/// (including `-0.0` vs `0.0`) gets its own slot and the replayed output is
+/// exactly the inner function's. The cache lives behind a [`RefCell`]: the
+/// wrapper is single-threaded by design, matching the partitioners' inner
+/// loops (use one wrapper per run, not a shared global).
+#[derive(Debug)]
+pub struct CachedSpeed<F> {
+    inner: F,
+    cache: RefCell<HashMap<u64, f64>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl<F: SpeedFunction> CachedSpeed<F> {
+    /// Wraps `inner` with an empty cache.
+    pub fn new(inner: F) -> Self {
+        Self {
+            inner,
+            cache: RefCell::new(HashMap::new()),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    /// The wrapped function.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    /// Number of probes answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Number of probes that had to evaluate the inner function.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Drops all memoized entries (e.g. between runs against a function
+    /// whose underlying measurements were refreshed).
+    pub fn clear(&self) {
+        self.cache.borrow_mut().clear();
+        self.hits.set(0);
+        self.misses.set(0);
+    }
+}
+
+impl<F: SpeedFunction> SpeedFunction for CachedSpeed<F> {
+    fn speed(&self, x: f64) -> f64 {
+        let key = x.to_bits();
+        if let Some(&s) = self.cache.borrow().get(&key) {
+            self.hits.set(self.hits.get() + 1);
+            return s;
+        }
+        let s = self.inner.speed(x);
+        self.misses.set(self.misses.get() + 1);
+        self.cache.borrow_mut().insert(key, s);
+        s
+    }
+
+    fn max_size(&self) -> f64 {
+        self.inner.max_size()
+    }
+
+    fn speeds_at(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "speeds_at buffers must match in length");
+        // Route through the memoized point lookup so batched and point-wise
+        // probes share one cache (and stay bit-identical trivially).
+        for (&x, o) in xs.iter().zip(out.iter_mut()) {
+            *o = self.speed(x);
+        }
+    }
+
+    fn intersect_slope(&self, slope: f64) -> Option<f64> {
+        self.inner.intersect_slope(slope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speed::{AnalyticSpeed, PiecewiseLinearSpeed};
+
+    #[test]
+    fn caches_repeated_probes() {
+        let f = CachedSpeed::new(AnalyticSpeed::decreasing(200.0, 1e6, 2.0));
+        let a = f.speed(1234.5);
+        let b = f.speed(1234.5);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(f.misses(), 1);
+        assert_eq!(f.hits(), 1);
+    }
+
+    #[test]
+    fn agrees_with_inner_function() {
+        let inner = AnalyticSpeed::unimodal(250.0, 1e4, 5e6, 2.0);
+        let f = CachedSpeed::new(inner.clone());
+        for k in 0..200 {
+            let x = 10f64.powf(k as f64 * 0.04);
+            assert_eq!(f.speed(x).to_bits(), inner.speed(x).to_bits());
+            // Second round: every probe must come from the cache.
+            assert_eq!(f.speed(x).to_bits(), inner.speed(x).to_bits());
+        }
+        assert_eq!(f.misses(), 200);
+        assert_eq!(f.hits(), 200);
+    }
+
+    #[test]
+    fn time_goes_through_the_cache() {
+        let f = CachedSpeed::new(AnalyticSpeed::constant(100.0));
+        let _ = f.time(50.0);
+        let _ = f.time(50.0);
+        assert_eq!(f.misses(), 1);
+        assert_eq!(f.hits(), 1);
+    }
+
+    #[test]
+    fn forwards_structure_queries() {
+        let inner =
+            PiecewiseLinearSpeed::new(vec![(10.0, 100.0), (1000.0, 50.0)]).unwrap();
+        let f = CachedSpeed::new(inner.clone());
+        assert_eq!(f.max_size(), inner.max_size());
+        assert_eq!(f.intersect_slope(1e-3), inner.intersect_slope(1e-3));
+    }
+
+    #[test]
+    fn clear_resets_counters() {
+        let f = CachedSpeed::new(AnalyticSpeed::constant(10.0));
+        let _ = f.speed(1.0);
+        let _ = f.speed(1.0);
+        f.clear();
+        assert_eq!(f.hits(), 0);
+        assert_eq!(f.misses(), 0);
+        let _ = f.speed(1.0);
+        assert_eq!(f.misses(), 1);
+    }
+}

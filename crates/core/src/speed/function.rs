@@ -54,14 +54,53 @@ pub trait SpeedFunction {
     fn max_size(&self) -> f64 {
         f64::INFINITY
     }
+
+    /// Batched speed evaluation: `out[k] = speed(xs[k])`.
+    ///
+    /// The default forwards to [`SpeedFunction::speed`] point by point.
+    /// Implementations whose lookup has exploitable structure (e.g.
+    /// [`crate::speed::PiecewiseLinearSpeed`]'s segment search over
+    /// sorted/monotone query sequences, as produced by the bisection
+    /// algorithms and the LU step sweep) may override it, but must return
+    /// **bit-identical** results to point-wise `speed()`.
+    fn speeds_at(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "speeds_at buffers must match in length");
+        for (&x, o) in xs.iter().zip(out.iter_mut()) {
+            *o = self.speed(x);
+        }
+    }
+
+    /// Closed-form intersection of the graph with the origin line
+    /// `y = slope·x`, if the model can solve it analytically.
+    ///
+    /// Returning `Some(x)` lets [`crate::geometry::intersect_origin_line`]
+    /// skip its exponential-bracketing + bisection search entirely. The
+    /// returned abscissa must satisfy the same semantics as the numeric
+    /// search: `0` when the line is steeper than the whole graph, clamped
+    /// to [`SpeedFunction::max_size`] when the line never catches the
+    /// graph inside the modelled domain. Returning `None` (the default)
+    /// falls back to the numeric search.
+    fn intersect_slope(&self, slope: f64) -> Option<f64> {
+        let _ = slope;
+        None
+    }
 }
 
 impl<T: SpeedFunction + ?Sized> SpeedFunction for &T {
     fn speed(&self, x: f64) -> f64 {
         (**self).speed(x)
     }
+    fn time(&self, x: f64) -> f64 {
+        (**self).time(x)
+    }
     fn max_size(&self) -> f64 {
         (**self).max_size()
+    }
+    fn speeds_at(&self, xs: &[f64], out: &mut [f64]) {
+        (**self).speeds_at(xs, out)
+    }
+    fn intersect_slope(&self, slope: f64) -> Option<f64> {
+        (**self).intersect_slope(slope)
     }
 }
 
@@ -69,8 +108,17 @@ impl<T: SpeedFunction + ?Sized> SpeedFunction for Box<T> {
     fn speed(&self, x: f64) -> f64 {
         (**self).speed(x)
     }
+    fn time(&self, x: f64) -> f64 {
+        (**self).time(x)
+    }
     fn max_size(&self) -> f64 {
         (**self).max_size()
+    }
+    fn speeds_at(&self, xs: &[f64], out: &mut [f64]) {
+        (**self).speeds_at(xs, out)
+    }
+    fn intersect_slope(&self, slope: f64) -> Option<f64> {
+        (**self).intersect_slope(slope)
     }
 }
 
@@ -78,8 +126,17 @@ impl<T: SpeedFunction + ?Sized> SpeedFunction for std::sync::Arc<T> {
     fn speed(&self, x: f64) -> f64 {
         (**self).speed(x)
     }
+    fn time(&self, x: f64) -> f64 {
+        (**self).time(x)
+    }
     fn max_size(&self) -> f64 {
         (**self).max_size()
+    }
+    fn speeds_at(&self, xs: &[f64], out: &mut [f64]) {
+        (**self).speeds_at(xs, out)
+    }
+    fn intersect_slope(&self, slope: f64) -> Option<f64> {
+        (**self).intersect_slope(slope)
     }
 }
 
@@ -107,6 +164,11 @@ impl ConstantSpeed {
 impl SpeedFunction for ConstantSpeed {
     fn speed(&self, _x: f64) -> f64 {
         self.speed
+    }
+
+    fn intersect_slope(&self, slope: f64) -> Option<f64> {
+        // s = slope·x ⇒ x = s/slope, exactly.
+        Some(self.speed / slope)
     }
 }
 
@@ -145,6 +207,16 @@ impl<F: SpeedFunction> SpeedFunction for ScaledSpeed<F> {
     }
     fn max_size(&self) -> f64 {
         self.inner.max_size()
+    }
+    fn speeds_at(&self, xs: &[f64], out: &mut [f64]) {
+        self.inner.speeds_at(xs, out);
+        for o in out.iter_mut() {
+            *o *= self.factor;
+        }
+    }
+    fn intersect_slope(&self, slope: f64) -> Option<f64> {
+        // factor·s(x) = slope·x ⇔ s(x) = (slope/factor)·x at the same x.
+        self.inner.intersect_slope(slope / self.factor)
     }
 }
 

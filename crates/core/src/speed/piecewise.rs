@@ -146,6 +146,85 @@ impl SpeedFunction for PiecewiseLinearSpeed {
     fn max_size(&self) -> f64 {
         self.points[self.points.len() - 1].0
     }
+
+    /// Batched lookup with a segment hint. The bisection algorithms and the
+    /// LU step sweep probe monotone abscissa sequences, so the containing
+    /// segment moves by a few knots between consecutive queries; a walk
+    /// from the previous segment then beats a fresh binary search per
+    /// probe. The walk is bidirectional, so arbitrary query orders remain
+    /// correct (just without the speed-up).
+    ///
+    /// Produces bit-identical results to point-wise [`Self::speed`]: the
+    /// walk reproduces `partition_point(|&(xk, _)| xk < x)` exactly, and
+    /// the interpolation arithmetic is the same expression.
+    fn speeds_at(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "speeds_at buffers must match in length");
+        let pts = &self.points;
+        let first = pts[0];
+        let last = pts[pts.len() - 1];
+        // Hint: index of the segment's upper knot, as partition_point
+        // returns it for interior queries (1..pts.len()-1).
+        let mut idx = 1usize;
+        for (&x, o) in xs.iter().zip(out.iter_mut()) {
+            if x <= first.0 {
+                *o = first.1;
+                continue;
+            }
+            if x >= last.0 {
+                *o = last.1;
+                continue;
+            }
+            while idx > 1 && pts[idx - 1].0 >= x {
+                idx -= 1;
+            }
+            while pts[idx].0 < x {
+                idx += 1;
+            }
+            let (x0, s0) = pts[idx - 1];
+            let (x1, s1) = pts[idx];
+            let t = (x - x0) / (x1 - x0);
+            *o = s0 + t * (s1 - s0);
+        }
+    }
+
+    /// Closed-form intersection with the origin line `y = slope·x`.
+    ///
+    /// `g(x) = s(x)/x` is strictly decreasing (validated at construction),
+    /// so a binary search over the knots finds the segment where `g`
+    /// crosses `slope`, and within a linear segment the crossing is the
+    /// root of a linear equation. Mirrors the clamping semantics of
+    /// [`crate::geometry::intersect_origin_line`]: `0` when the line is
+    /// steeper than the whole graph, `max_size` when it never catches the
+    /// graph inside the modelled domain.
+    fn intersect_slope(&self, slope: f64) -> Option<f64> {
+        if !(slope.is_finite() && slope > 0.0) {
+            return None;
+        }
+        let pts = &self.points;
+        let (x0, s0) = pts[0];
+        let (x_last, s_last) = pts[pts.len() - 1];
+        // Left of the first knot the speed clamps to s0, so g(x) = s0/x.
+        // If even the first knot's g is below the slope, the intersection
+        // lies in the clamp region at x = s0/slope (or at the origin).
+        if s0 / x0 <= slope {
+            return Some(s0 / slope);
+        }
+        // The line never catches the graph inside the modelled domain.
+        if s_last / x_last >= slope {
+            return Some(x_last);
+        }
+        // Binary search the knots for the first k with g_k ≤ slope; the
+        // crossing lies on the segment (k-1, k). d_k = s_k − slope·x_k
+        // shares the sign of g_k − slope.
+        let k = pts.partition_point(|&(xk, sk)| sk - slope * xk > 0.0);
+        debug_assert!(k >= 1 && k < pts.len());
+        let (xa, sa) = pts[k - 1];
+        let (xb, sb) = pts[k];
+        let da = sa - slope * xa; // > 0
+        let db = sb - slope * xb; // ≤ 0
+        let t = da / (da - db);
+        Some(xa + t * (xb - xa))
+    }
 }
 
 #[cfg(test)]

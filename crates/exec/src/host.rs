@@ -9,29 +9,55 @@
 //! executes its stripe `replicas[i]` times, making its effective speed
 //! `1/replicas[i]` of a core — a simple, deterministic slowdown that the
 //! measured speed functions faithfully pick up.
+//!
+//! All compute routes through the packed cache-blocked kernel
+//! ([`fpm_kernels::matmul::matmul_abt_blocked`]) and worker threads come
+//! from the persistent [`WorkerPool`](crate::pool::WorkerPool) instead of a
+//! fresh scope per call.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fpm_kernels::matmul::{matmul_abt, matmul_abt_rows_into_slice};
+use fpm_kernels::matmul::{
+    matmul_abt_blocked, matmul_abt_packed_rows_into_slice, DEFAULT_TILE,
+};
 use fpm_kernels::matrix::Matrix;
 use fpm_kernels::striped::StripedLayout;
 
-/// Times the serial `C = A×Bᵀ` kernel on the host for square matrices of
-/// dimension `n`: the measurement primitive of paper §3.1. The kernel is
-/// repeated until at least ~80 ms elapse so the timing is meaningful at
-/// small sizes.
+use crate::pool::WorkerPool;
+
+/// Controls for the speed-measurement primitive of paper §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasureConfig {
+    /// Repeat the kernel until at least this much wall time has elapsed,
+    /// so the timing is meaningful at small sizes.
+    pub min_elapsed: Duration,
+    /// Untimed warm-up repetitions run before the clock starts (caches,
+    /// frequency scaling).
+    pub warmup: u32,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        Self { min_elapsed: Duration::from_millis(80), warmup: 1 }
+    }
+}
+
+/// Times the blocked `C = A×Bᵀ` kernel on the host for square matrices of
+/// dimension `n` with explicit measurement controls.
 ///
 /// Returns `(speed in MFlops, total elapsed)`.
-pub fn measure_mm_speed(n: usize, seed: u64) -> (f64, Duration) {
+pub fn measure_mm_speed_with(n: usize, seed: u64, cfg: MeasureConfig) -> (f64, Duration) {
     let a = Matrix::random(n, n, seed);
     let b = Matrix::random(n, n, seed.wrapping_add(1));
-    // Warm-up.
-    let c = matmul_abt(&a, &b);
-    assert!(c[(0, 0)].is_finite());
+    for _ in 0..cfg.warmup {
+        let c = matmul_abt_blocked(&a, &b, DEFAULT_TILE);
+        assert!(c[(0, 0)].is_finite());
+    }
     let start = Instant::now();
     let mut reps = 0u32;
-    while start.elapsed().as_secs_f64() < 0.08 {
-        let c = matmul_abt(&a, &b);
+    while reps == 0 || start.elapsed() < cfg.min_elapsed {
+        let c = matmul_abt_blocked(&a, &b, DEFAULT_TILE);
         assert!(c[(0, 0)].is_finite());
         reps += 1;
     }
@@ -40,58 +66,95 @@ pub fn measure_mm_speed(n: usize, seed: u64) -> (f64, Duration) {
     (flops / elapsed.as_secs_f64().max(1e-9) / 1e6, elapsed)
 }
 
-/// Runs the striped parallel multiplication on real threads, with worker
-/// `i` repeating its stripe `replicas[i]` times to emulate a processor
-/// `replicas[i]`× slower than a host core.
+/// [`measure_mm_speed_with`] under the default [`MeasureConfig`] (one
+/// warm-up pass, ≥ 80 ms of timed repetitions).
+pub fn measure_mm_speed(n: usize, seed: u64) -> (f64, Duration) {
+    measure_mm_speed_with(n, seed, MeasureConfig::default())
+}
+
+/// Runs the striped parallel multiplication on the persistent worker pool,
+/// with worker `i` repeating its stripe `replicas[i]` times to emulate a
+/// processor `replicas[i]`× slower than a host core.
 ///
-/// Returns the result matrix and per-worker wall times.
+/// Returns the result matrix and per-worker wall times. This is a
+/// convenience wrapper that clones the inputs once; use
+/// [`emulated_heterogeneous_mm_arc`] to amortise that copy across calls.
 pub fn emulated_heterogeneous_mm(
     a: &Matrix,
     b: &Matrix,
     layout: &StripedLayout,
     replicas: &[usize],
 ) -> (Matrix, Vec<Duration>) {
+    emulated_heterogeneous_mm_arc(Arc::new(a.clone()), Arc::new(b.clone()), layout, replicas)
+}
+
+/// Pool-based striped multiplication over shared matrices. Each stripe is
+/// one `'static` job on the [`WorkerPool`]: the worker computes its rows
+/// into an owned buffer with the packed kernel and the caller assembles
+/// the stripes back into `C` in layout order.
+pub fn emulated_heterogeneous_mm_arc(
+    a: Arc<Matrix>,
+    b: Arc<Matrix>,
+    layout: &StripedLayout,
+    replicas: &[usize],
+) -> (Matrix, Vec<Duration>) {
     assert_eq!(layout.row_counts().len(), replicas.len(), "one replica factor per worker");
     assert_eq!(layout.total_rows(), a.rows());
-    let mut c = Matrix::zeros(a.rows(), b.rows());
-    let boundaries = layout.boundaries();
-    let stripes = c.split_stripes_mut(&boundaries);
-    let mut times = vec![Duration::ZERO; replicas.len()];
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        let mut start_row = 0usize;
-        for ((stripe, &count), &reps) in
-            stripes.into_iter().zip(layout.row_counts()).zip(replicas)
-        {
-            let r0 = start_row;
-            let r1 = start_row + count;
-            start_row = r1;
-            let handle = scope.spawn(move |_| {
+    type StripeJob = Box<dyn FnOnce() -> (Vec<f64>, Duration) + Send>;
+    let ranges = layout.ranges();
+    let tasks: Vec<StripeJob> = ranges
+        .iter()
+        .zip(replicas)
+        .map(|(&(r0, r1), &reps)| {
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            Box::new(move || {
                 let t0 = Instant::now();
-                if count > 0 {
+                let mut stripe = vec![0.0f64; (r1 - r0) * b.rows()];
+                if r1 > r0 {
                     for _ in 0..reps.max(1) {
-                        matmul_abt_rows_into_slice(a, b, r0, r1, stripe);
+                        matmul_abt_packed_rows_into_slice(&a, &b, r0, r1, &mut stripe, DEFAULT_TILE);
                     }
                 }
-                t0.elapsed()
-            });
-            handles.push(handle);
-        }
-        for (i, h) in handles.into_iter().enumerate() {
-            times[i] = h.join().expect("worker panicked");
-        }
-    })
-    .expect("thread scope failed");
+                (stripe, t0.elapsed())
+            }) as StripeJob
+        })
+        .collect();
+    let results = WorkerPool::global().run(tasks);
+
+    let mut c = Matrix::zeros(a.rows(), b.rows());
+    let mut times = Vec::with_capacity(results.len());
+    for (&(r0, r1), (stripe, elapsed)) in ranges.iter().zip(results) {
+        c.stripe_mut(r0, r1).copy_from_slice(&stripe);
+        times.push(elapsed);
+    }
     (c, times)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fpm_kernels::matmul::matmul_abt;
 
     #[test]
     fn measured_speed_is_positive() {
         let (mflops, elapsed) = measure_mm_speed(64, 1);
+        assert!(mflops > 0.0);
+        assert!(elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn measure_config_floor_is_respected() {
+        let cfg = MeasureConfig { min_elapsed: Duration::from_millis(5), warmup: 0 };
+        let (mflops, elapsed) = measure_mm_speed_with(32, 9, cfg);
+        assert!(mflops > 0.0);
+        assert!(elapsed >= cfg.min_elapsed);
+    }
+
+    #[test]
+    fn zero_floor_times_a_single_repetition() {
+        let cfg = MeasureConfig { min_elapsed: Duration::ZERO, warmup: 0 };
+        let (mflops, elapsed) = measure_mm_speed_with(16, 5, cfg);
         assert!(mflops > 0.0);
         assert!(elapsed > Duration::ZERO);
     }
@@ -104,6 +167,16 @@ mod tests {
         let (c, times) = emulated_heterogeneous_mm(&a, &b, &layout, &[1, 2]);
         assert!(c.max_diff(&matmul_abt(&a, &b)) < 1e-12);
         assert_eq!(times.len(), 2);
+    }
+
+    #[test]
+    fn emulated_run_handles_empty_stripes() {
+        let a = Matrix::random(12, 8, 5);
+        let b = Matrix::random(10, 8, 6);
+        let layout = StripedLayout::new(vec![0, 12, 0]);
+        let (c, times) = emulated_heterogeneous_mm(&a, &b, &layout, &[1, 1, 1]);
+        assert!(c.max_diff(&matmul_abt(&a, &b)) < 1e-12);
+        assert_eq!(times.len(), 3);
     }
 
     #[test]

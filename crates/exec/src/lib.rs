@@ -13,7 +13,9 @@
 //!   step's shrinking problem size;
 //! * [`model_build`] — building piece-wise linear cluster models from
 //!   noisy simulated measurements (paper §3.1);
-//! * [`host`] — real multi-threaded execution on the host machine.
+//! * [`host`] — real multi-threaded execution on the host machine;
+//! * [`pool`] — the persistent worker pool backing the host executor, the
+//!   cluster model builder and the parallel speed sweeps.
 //!
 //! The cost model charges computation only: the paper explicitly excludes
 //! communication cost from its scope (§1).
@@ -29,10 +31,13 @@ pub mod host;
 pub mod lu_run;
 pub mod mm_run;
 pub mod model_build;
+pub mod pool;
 
 pub use cluster::SimCluster;
 pub use comm::{partition_mm_with_comm, CommAwareResult, CommLink};
 pub use des::{simulate_mm_des, DesOutcome, ServeOrder, Timeline};
 pub use dynamic::{simulate_dynamic_mm, DynamicSpeed, LoadEvent, Strategy};
-pub use lu_run::{simulate_lu, LuRunResult};
-pub use mm_run::{simulate_mm, simulate_mm_with_distribution, MmRunResult};
+pub use host::MeasureConfig;
+pub use lu_run::{simulate_lu, simulate_lu_par, LuRunResult};
+pub use mm_run::{simulate_mm, simulate_mm_par, simulate_mm_with_distribution, MmRunResult};
+pub use pool::{scoped_map, WorkerPool};

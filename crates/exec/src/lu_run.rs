@@ -15,6 +15,8 @@
 use fpm_core::error::{Error, Result};
 use fpm_core::speed::SpeedFunction;
 
+use crate::pool::scoped_map;
+
 /// Outcome of a simulated LU run.
 #[derive(Debug, Clone)]
 pub struct LuRunResult {
@@ -43,69 +45,139 @@ pub fn simulate_lu<F: SpeedFunction>(
     block_owner: &[usize],
     funcs: &[F],
 ) -> Result<LuRunResult> {
-    if funcs.is_empty() {
-        return Err(Error::NoProcessors);
-    }
-    assert!(block > 0);
-    let m = n.div_ceil(block) as usize;
-    if block_owner.len() != m {
-        return Err(Error::InvalidParameter("block_owner must cover ceil(n/block) blocks"));
-    }
-    if block_owner.iter().any(|&o| o >= funcs.len()) {
-        return Err(Error::InvalidParameter("block owner out of processor range"));
-    }
-    let p = funcs.len();
-    let b = block as f64;
-    let mut total = 0.0f64;
-    let mut busy = vec![0.0f64; p];
+    let prep = LuPrep::new(n, block, block_owner, funcs)?;
+    // Per-processor speed sweep, batched: every step-k lookup hits an
+    // abscissa x_of(blocks) with 1 ≤ blocks ≤ initially-owned, so the
+    // whole table is computed up front with `speeds_at` over a monotone
+    // abscissa grid (which piece-wise linear models serve with a segment
+    // walk instead of a binary search per probe).
+    let tables: Vec<Vec<f64>> = funcs
+        .iter()
+        .zip(&prep.initial_owned)
+        .map(|(f, &cnt)| prep.sweep_speeds(f, cnt))
+        .collect();
+    Ok(prep.run(block_owner, tables))
+}
 
-    // Owned trailing block counts, updated incrementally.
-    let mut owned_after = vec![0usize; p];
-    for &o in block_owner {
-        owned_after[o] += 1;
-    }
+/// [`simulate_lu`] with the per-processor speed sweeps executed in
+/// parallel on pool-bounded scoped threads. Results are identical; use
+/// this variant when the speed models are expensive to evaluate.
+pub fn simulate_lu_par<F: SpeedFunction + Sync>(
+    n: u64,
+    block: u64,
+    block_owner: &[usize],
+    funcs: &[F],
+) -> Result<LuRunResult> {
+    let prep = LuPrep::new(n, block, block_owner, funcs)?;
+    let initial_owned = prep.initial_owned.clone();
+    let tables = scoped_map(funcs, |i, f| prep.sweep_speeds(f, initial_owned[i]));
+    Ok(prep.run(block_owner, tables))
+}
 
-    for (k, &owner) in block_owner.iter().enumerate() {
-        owned_after[owner] -= 1; // block k leaves the trailing set
-        let rows_rem = (n - (k as u64) * block) as f64; // rows in the panel
-        let rows_after = (n as f64 - ((k + 1) as f64) * b).max(0.0);
+/// Validated inputs plus the per-processor bookkeeping shared by the
+/// sequential and parallel LU simulations.
+struct LuPrep {
+    n: u64,
+    block: u64,
+    /// Blocks initially owned by each processor.
+    initial_owned: Vec<usize>,
+    steps: usize,
+}
 
-        // Speeds are looked up at the *full-height panel* size
-        // `n × owned columns` (paper Fig. 17c: the problem size at step k
-        // equals the number of elements in the n×n2 panels A_{i,k}) —
-        // every processor keeps its whole column set resident, so the
-        // full-height measure is also what drives paging.
-        let x_of = |blocks: f64| (blocks * b * n as f64).max(1.0);
-
-        // Panel factorisation: ≈ rows_rem·b² flops by the owner.
-        let panel_flops = rows_rem * b * b;
-        let s_owner = funcs[owner].speed(x_of(owned_after[owner] as f64 + 1.0));
-        let panel_time = if s_owner > 0.0 {
-            panel_flops / (s_owner * 1e6)
-        } else {
-            f64::INFINITY
-        };
-        busy[owner] += panel_time;
-
-        // Trailing updates: 2·rows_after·b² flops per owned block.
-        let mut update_time = 0.0f64;
-        if rows_after > 0.0 {
-            for (i, f) in funcs.iter().enumerate() {
-                if owned_after[i] == 0 {
-                    continue;
-                }
-                let blocks = owned_after[i] as f64;
-                let flops = 2.0 * rows_after * b * b * blocks;
-                let s_i = f.speed(x_of(blocks));
-                let t = if s_i > 0.0 { flops / (s_i * 1e6) } else { f64::INFINITY };
-                busy[i] += t;
-                update_time = update_time.max(t);
-            }
+impl LuPrep {
+    fn new<F: SpeedFunction>(
+        n: u64,
+        block: u64,
+        block_owner: &[usize],
+        funcs: &[F],
+    ) -> Result<Self> {
+        if funcs.is_empty() {
+            return Err(Error::NoProcessors);
         }
-        total += panel_time + update_time;
+        assert!(block > 0);
+        let m = n.div_ceil(block) as usize;
+        if block_owner.len() != m {
+            return Err(Error::InvalidParameter("block_owner must cover ceil(n/block) blocks"));
+        }
+        if block_owner.iter().any(|&o| o >= funcs.len()) {
+            return Err(Error::InvalidParameter("block owner out of processor range"));
+        }
+        let mut initial_owned = vec![0usize; funcs.len()];
+        for &o in block_owner {
+            initial_owned[o] += 1;
+        }
+        Ok(Self { n, block, initial_owned, steps: m })
     }
 
-    Ok(LuRunResult { n, block, total_seconds: total, busy_seconds: busy, steps: m })
+    /// Speeds are looked up at the *full-height panel* size
+    /// `n × owned columns` (paper Fig. 17c: the problem size at step k
+    /// equals the number of elements in the n×n2 panels A_{i,k}) —
+    /// every processor keeps its whole column set resident, so the
+    /// full-height measure is also what drives paging.
+    fn x_of(&self, blocks: f64) -> f64 {
+        (blocks * self.block as f64 * self.n as f64).max(1.0)
+    }
+
+    /// `speed(x_of(blocks))` for `blocks = 1..=cnt`, batched.
+    fn sweep_speeds<F: SpeedFunction>(&self, f: &F, cnt: usize) -> Vec<f64> {
+        let xs: Vec<f64> = (1..=cnt).map(|blocks| self.x_of(blocks as f64)).collect();
+        let mut out = vec![0.0f64; xs.len()];
+        f.speeds_at(&xs, &mut out);
+        out
+    }
+
+    /// Walks the factorisation using the precomputed speed tables
+    /// (`tables[i][blocks-1]` = speed of processor `i` holding `blocks`).
+    fn run(&self, block_owner: &[usize], tables: Vec<Vec<f64>>) -> LuRunResult {
+        let p = tables.len();
+        let b = self.block as f64;
+        let mut total = 0.0f64;
+        let mut busy = vec![0.0f64; p];
+        // Owned trailing block counts, updated incrementally.
+        let mut owned_after = self.initial_owned.clone();
+
+        for (k, &owner) in block_owner.iter().enumerate() {
+            owned_after[owner] -= 1; // block k leaves the trailing set
+            let rows_rem = (self.n - (k as u64) * self.block) as f64; // panel rows
+            let rows_after = (self.n as f64 - ((k + 1) as f64) * b).max(0.0);
+
+            // Panel factorisation: ≈ rows_rem·b² flops by the owner, at
+            // the size including block k (owned_after[owner] + 1 blocks).
+            let panel_flops = rows_rem * b * b;
+            let s_owner = tables[owner][owned_after[owner]];
+            let panel_time = if s_owner > 0.0 {
+                panel_flops / (s_owner * 1e6)
+            } else {
+                f64::INFINITY
+            };
+            busy[owner] += panel_time;
+
+            // Trailing updates: 2·rows_after·b² flops per owned block.
+            let mut update_time = 0.0f64;
+            if rows_after > 0.0 {
+                for (i, table) in tables.iter().enumerate() {
+                    if owned_after[i] == 0 {
+                        continue;
+                    }
+                    let blocks = owned_after[i] as f64;
+                    let flops = 2.0 * rows_after * b * b * blocks;
+                    let s_i = table[owned_after[i] - 1];
+                    let t = if s_i > 0.0 { flops / (s_i * 1e6) } else { f64::INFINITY };
+                    busy[i] += t;
+                    update_time = update_time.max(t);
+                }
+            }
+            total += panel_time + update_time;
+        }
+
+        LuRunResult {
+            n: self.n,
+            block: self.block,
+            total_seconds: total,
+            busy_seconds: busy,
+            steps: self.steps,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +241,20 @@ mod tests {
         let t_s =
             simulate_lu(n, b, &single_vgb.block_owner, cluster.funcs()).unwrap().total_seconds;
         assert!(t_f < t_s, "functional {t_f} vs single-number {t_s}");
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_exactly() {
+        let cluster = SimCluster::table2(AppProfile::LuFactorization);
+        let n = 8_000u64;
+        let b = 256u64;
+        let d =
+            variable_group_block(n, b, cluster.funcs(), &CombinedPartitioner::new()).unwrap();
+        let seq = simulate_lu(n, b, &d.block_owner, cluster.funcs()).unwrap();
+        let par = simulate_lu_par(n, b, &d.block_owner, cluster.funcs()).unwrap();
+        assert_eq!(seq.total_seconds.to_bits(), par.total_seconds.to_bits());
+        assert_eq!(seq.busy_seconds, par.busy_seconds);
+        assert_eq!(seq.steps, par.steps);
     }
 
     #[test]

@@ -16,6 +16,8 @@ use fpm_core::partition::{Distribution, Partitioner};
 use fpm_core::speed::SpeedFunction;
 use fpm_kernels::striped::{rows_from_element_distribution, StripedLayout};
 
+use crate::pool::scoped_map;
+
 /// Outcome of a simulated striped-MM run.
 #[derive(Debug, Clone)]
 pub struct MmRunResult {
@@ -65,21 +67,52 @@ pub fn simulate_mm_with_distribution<F: SpeedFunction>(
         .row_counts()
         .iter()
         .zip(funcs)
-        .map(|(&rows, f)| {
-            if rows == 0 {
-                return 0.0;
-            }
-            let x = stripe_elements(rows, n);
-            let speed_mflops = f.speed(x);
-            if speed_mflops <= 0.0 {
-                f64::INFINITY
-            } else {
-                stripe_flops(rows, n) / (speed_mflops * 1e6)
-            }
-        })
+        .map(|(&rows, f)| stripe_time(rows, n, f))
         .collect();
+    Ok(assemble_run(n, distribution, layout, times))
+}
+
+/// [`simulate_mm`] with the per-processor speed sweep executed in parallel
+/// on pool-bounded scoped threads. Results are identical; use this variant
+/// when the speed models are expensive to evaluate (e.g. cache-wrapped
+/// measured models over large clusters).
+pub fn simulate_mm_par<F: SpeedFunction + Sync, P: Partitioner>(
+    n: u64,
+    funcs: &[F],
+    partitioner: &P,
+) -> Result<MmRunResult> {
+    let total_elements = 3 * n * n;
+    let report = partitioner.partition(total_elements, funcs)?;
+    let distribution = report.distribution;
+    let layout = rows_from_element_distribution(n as usize, &distribution);
+    let row_counts = layout.row_counts();
+    let times = scoped_map(funcs, |i, f| stripe_time(row_counts[i], n, f));
+    Ok(assemble_run(n, distribution, layout, times))
+}
+
+/// Execution time of one stripe: flop volume over the speed at the problem
+/// size the processor actually received.
+fn stripe_time<F: SpeedFunction>(rows: usize, n: u64, f: &F) -> f64 {
+    if rows == 0 {
+        return 0.0;
+    }
+    let x = stripe_elements(rows, n);
+    let speed_mflops = f.speed(x);
+    if speed_mflops <= 0.0 {
+        f64::INFINITY
+    } else {
+        stripe_flops(rows, n) / (speed_mflops * 1e6)
+    }
+}
+
+fn assemble_run(
+    n: u64,
+    distribution: Distribution,
+    layout: StripedLayout,
+    times: Vec<f64>,
+) -> MmRunResult {
     let makespan = times.iter().cloned().fold(0.0, f64::max);
-    Ok(MmRunResult { n, distribution, layout, times, makespan })
+    MmRunResult { n, distribution, layout, times, makespan }
 }
 
 #[cfg(test)]
@@ -126,6 +159,19 @@ mod tests {
             functional.makespan,
             single_run.makespan
         );
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_exactly() {
+        let cluster = SimCluster::table2(AppProfile::MatrixMult);
+        let n = 15_000u64;
+        let seq = simulate_mm(n, cluster.funcs(), &CombinedPartitioner::new()).unwrap();
+        let par = simulate_mm_par(n, cluster.funcs(), &CombinedPartitioner::new()).unwrap();
+        assert_eq!(seq.layout, par.layout);
+        for (a, b) in seq.times.iter().zip(&par.times) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(seq.makespan.to_bits(), par.makespan.to_bits());
     }
 
     #[test]

@@ -9,6 +9,8 @@ use fpm_simnet::machine::MachineSpec;
 use fpm_simnet::profile::AppProfile;
 use fpm_simnet::speed_model::MachineSpeed;
 
+use crate::pool::WorkerPool;
+
 /// A cluster model built from measurements: one piece-wise linear speed
 /// function per machine, plus build diagnostics.
 #[derive(Debug, Clone)]
@@ -37,9 +39,33 @@ impl BuiltCluster {
     }
 }
 
+/// Builds the model of one machine (the §3.1 trisection procedure against
+/// a noisy simulated measurer). `machine_index` selects the machine's
+/// deterministic RNG stream under `seed`.
+fn build_one_model(
+    spec: &MachineSpec,
+    app: AppProfile,
+    integration: Integration,
+    seed: u64,
+    machine_index: usize,
+    cfg: BuilderConfig,
+) -> Result<BuildOutcome> {
+    let truth = MachineSpeed::for_app(spec, app);
+    let (a, b) = truth.model_interval();
+    let law = integration.width_law(b);
+    let mut measurer =
+        FluctuatingMeasurer::new(truth, law, seed.wrapping_add(machine_index as u64 * 7919));
+    build_speed_band(&mut measurer, a, b, cfg)
+}
+
 /// Builds piece-wise linear speed models for every machine of a testbed by
 /// running the §3.1 trisection procedure against noisy simulated
 /// measurements.
+///
+/// Machines are built in parallel on the persistent
+/// [`WorkerPool`](crate::pool::WorkerPool); each machine derives its own
+/// RNG stream from `seed`, so the result is bit-identical to the
+/// sequential build ([`build_cluster_models_seq`]).
 ///
 /// * `integration` — fluctuation level of the machines (paper Fig. 2);
 /// * `seed` — RNG seed (each machine derives its own stream).
@@ -50,16 +76,47 @@ pub fn build_cluster_models(
     seed: u64,
     cfg: BuilderConfig,
 ) -> Result<BuiltCluster> {
+    let tasks: Vec<Box<dyn FnOnce() -> Result<BuildOutcome> + Send>> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let spec = spec.clone();
+            Box::new(move || build_one_model(&spec, app, integration, seed, i, cfg))
+                as Box<dyn FnOnce() -> Result<BuildOutcome> + Send>
+        })
+        .collect();
+    let results = WorkerPool::global().run(tasks);
+    assemble_cluster(specs, results)
+}
+
+/// Sequential reference implementation of [`build_cluster_models`]; kept
+/// for benchmarking the pooled build against the seed behaviour.
+pub fn build_cluster_models_seq(
+    specs: &[MachineSpec],
+    app: AppProfile,
+    integration: Integration,
+    seed: u64,
+    cfg: BuilderConfig,
+) -> Result<BuiltCluster> {
+    let results = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| build_one_model(spec, app, integration, seed, i, cfg))
+        .collect();
+    assemble_cluster(specs, results)
+}
+
+/// Collects per-machine outcomes (in spec order) into a [`BuiltCluster`],
+/// propagating the first build error.
+fn assemble_cluster(
+    specs: &[MachineSpec],
+    results: Vec<Result<BuildOutcome>>,
+) -> Result<BuiltCluster> {
     let mut names = Vec::with_capacity(specs.len());
     let mut models = Vec::with_capacity(specs.len());
     let mut outcomes = Vec::with_capacity(specs.len());
-    for (i, spec) in specs.iter().enumerate() {
-        let truth = MachineSpeed::for_app(spec, app);
-        let (a, b) = truth.model_interval();
-        let law = integration.width_law(b);
-        let mut measurer =
-            FluctuatingMeasurer::new(truth, law, seed.wrapping_add(i as u64 * 7919));
-        let outcome = build_speed_band(&mut measurer, a, b, cfg)?;
+    for (spec, result) in specs.iter().zip(results) {
+        let outcome = result?;
         names.push(spec.name.clone());
         models.push(outcome.midline.clone());
         outcomes.push(outcome);
@@ -149,6 +206,33 @@ mod tests {
         let n = 3u64 * 10_000 * 10_000;
         let r = CombinedPartitioner::new().partition(n, &built.models).unwrap();
         assert_eq!(r.distribution.total(), n);
+    }
+
+    #[test]
+    fn pooled_build_matches_sequential_exactly() {
+        let specs = testbeds::table2();
+        let par = build_cluster_models(
+            &specs,
+            AppProfile::MatrixMult,
+            Integration::Low,
+            99,
+            BuilderConfig::default(),
+        )
+        .unwrap();
+        let seq = build_cluster_models_seq(
+            &specs,
+            AppProfile::MatrixMult,
+            Integration::Low,
+            99,
+            BuilderConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(par.names, seq.names);
+        assert_eq!(par.models.len(), seq.models.len());
+        for (m_par, m_seq) in par.models.iter().zip(&seq.models) {
+            assert_eq!(m_par.knots(), m_seq.knots(), "per-machine RNG streams are independent");
+        }
+        assert_eq!(par.total_measurements(), seq.total_measurements());
     }
 
     #[test]

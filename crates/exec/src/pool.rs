@@ -1,0 +1,212 @@
+//! A persistent worker pool shared by the execution engines.
+//!
+//! The seed code spawned a fresh thread scope for every host run and
+//! built cluster models strictly sequentially. This module provides the
+//! two primitives that replace those patterns:
+//!
+//! * [`WorkerPool`] — long-lived worker threads fed over a channel,
+//!   created once per process ([`WorkerPool::global`]) and reused across
+//!   calls, so repeated executor invocations pay no thread start-up cost;
+//! * [`scoped_map`] — a bounded parallel map over *borrowed* data for
+//!   sweeps whose inputs cannot be moved into `'static` jobs, sized by the
+//!   pool's worker count.
+//!
+//! Results always come back in input order and panics in jobs are
+//! propagated to the caller, so swapping a sequential loop for the pool
+//! changes wall time only.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of persistent worker threads.
+#[derive(Debug)]
+pub struct WorkerPool {
+    sender: Sender<Job>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Starts a pool with `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        for _ in 0..workers {
+            let receiver = Arc::clone(&receiver);
+            thread::spawn(move || loop {
+                // Job panics are caught in run(), so a poisoned lock can
+                // only mean the process is already tearing down.
+                let job = match receiver.lock() {
+                    Ok(guard) => guard.recv(),
+                    Err(_) => return,
+                };
+                match job {
+                    Ok(job) => job(),
+                    Err(_) => return, // pool dropped: exit quietly
+                }
+            });
+        }
+        Self { sender, workers }
+    }
+
+    /// The process-wide pool, created on first use with one worker per
+    /// available hardware thread.
+    pub fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let workers = thread::available_parallelism().map_or(4, |n| n.get());
+            WorkerPool::new(workers)
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Submits one fire-and-forget job.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender.send(Box::new(job)).expect("worker pool threads are persistent");
+    }
+
+    /// Runs every task on the pool and returns their results in input
+    /// order. If a task panics, the panic is re-raised here.
+    pub fn run<T: Send + 'static>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<T> {
+        let n = tasks.len();
+        let (tx, rx) = channel::<(usize, thread::Result<T>)>();
+        for (i, task) in tasks.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.execute(move || {
+                let result = catch_unwind(AssertUnwindSafe(task));
+                // The receiver disappears only if a sibling task already
+                // panicked and the caller unwound; nothing left to report.
+                let _ = tx.send((i, result));
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, result) = rx.recv().expect("every submitted task reports exactly once");
+            match result {
+                Ok(value) => out[i] = Some(value),
+                Err(panic) => resume_unwind(panic),
+            }
+        }
+        out.into_iter().map(|o| o.expect("all indices filled")).collect()
+    }
+}
+
+/// Parallel map over borrowed data: `f(i, &items[i])` for every item, with
+/// results in input order. Uses `min(pool workers, items)` scoped threads
+/// striding over the items, so it is safe for inputs that cannot be moved
+/// into `'static` jobs; panics in `f` propagate to the caller.
+pub fn scoped_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = WorkerPool::global().workers().min(n);
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let f = &f;
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    items
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(i, t)| (i, f(i, t)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("scoped map worker panicked") {
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter().map(|o| o.expect("all indices filled")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_preserves_order() {
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..64usize).map(|i| Box::new(move || i * i) as Box<_>).collect();
+        let results = pool.run(tasks);
+        assert_eq!(results, (0..64usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_handles_empty() {
+        let pool = WorkerPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> u8 + Send>> = Vec::new();
+        assert!(pool.run(tasks).is_empty());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_calls() {
+        let pool = WorkerPool::new(2);
+        for round in 0..10 {
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+                (0..8).map(|i| Box::new(move || round + i) as Box<_>).collect();
+            assert_eq!(pool.run(tasks)[7], round + 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn run_propagates_panics() {
+        let pool = WorkerPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| ()),
+            Box::new(|| panic!("boom")),
+        ];
+        pool.run(tasks);
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        assert!(std::ptr::eq(WorkerPool::global(), WorkerPool::global()));
+        assert!(WorkerPool::global().workers() >= 1);
+    }
+
+    #[test]
+    fn scoped_map_matches_sequential() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = scoped_map(&items, |i, &x| x * 2 + i as u64);
+        let expected: Vec<u64> = items.iter().enumerate().map(|(i, &x)| x * 2 + i as u64).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn scoped_map_runs_every_item_once() {
+        let counter = AtomicUsize::new(0);
+        let items = vec![(); 37];
+        let _ = scoped_map(&items, |_, _| counter.fetch_add(1, Ordering::SeqCst));
+        assert_eq!(counter.load(Ordering::SeqCst), 37);
+    }
+}

@@ -149,19 +149,18 @@ pub fn parallel_lu(a: &Matrix, b: usize, owners: &[usize]) -> Matrix {
         for (offset, block) in tail.iter_mut().enumerate() {
             per_worker[owners[k + 1 + offset]].push(block);
         }
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for list in per_worker {
                 if list.is_empty() {
                     continue;
                 }
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for a_j in list {
                         update_block(panel, k0, w, a_j);
                     }
                 });
             }
-        })
-        .expect("LU worker panicked");
+        });
     }
     bm.to_matrix()
 }

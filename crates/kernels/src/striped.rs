@@ -97,8 +97,8 @@ pub fn rows_from_element_distribution(n_rows: usize, dist: &Distribution) -> Str
 }
 
 /// Parallel `C = A×Bᵀ` over a striped layout: one OS thread per non-empty
-/// stripe, each writing its disjoint rows of `C` (crossbeam scoped
-/// threads; the Rust counterpart of the paper's per-processor MPI ranks).
+/// stripe, each writing its disjoint rows of `C` (std scoped threads; the
+/// Rust counterpart of the paper's per-processor MPI ranks).
 pub fn parallel_matmul_abt(a: &Matrix, b: &Matrix, layout: &StripedLayout) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "A and B must share the inner dimension");
     assert_eq!(
@@ -109,7 +109,7 @@ pub fn parallel_matmul_abt(a: &Matrix, b: &Matrix, layout: &StripedLayout) -> Ma
     let mut c = Matrix::zeros(a.rows(), b.rows());
     let boundaries = layout.boundaries();
     let stripes = c.split_stripes_mut(&boundaries);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut start = 0usize;
         for (stripe, &count) in stripes.into_iter().zip(layout.row_counts()) {
             let r0 = start;
@@ -118,12 +118,11 @@ pub fn parallel_matmul_abt(a: &Matrix, b: &Matrix, layout: &StripedLayout) -> Ma
             if count == 0 {
                 continue;
             }
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 matmul_abt_rows_into_slice(a, b, r0, r1, stripe);
             });
         }
-    })
-    .expect("worker threads must not panic");
+    });
     c
 }
 

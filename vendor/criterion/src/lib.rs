@@ -1,0 +1,233 @@
+//! Offline vendored shim standing in for `criterion` 0.5. It implements
+//! the subset of the API this workspace's benches use — benchmark groups,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! median-of-samples timer instead of criterion's full statistics.
+//!
+//! CLI flags understood (so `cargo bench -- --test` and harness-injected
+//! flags keep working): `--test` / `--quick` run every benchmark once
+//! without timing; `--bench` and other flags are ignored; the first free
+//! argument is a substring filter on benchmark ids.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group (recorded, reported as
+/// elements/second alongside the time).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier `group/function/parameter` for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` id.
+    pub fn new<S: Into<String>, P: ToString>(function_name: S, parameter: P) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter.to_string()) }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter<P: ToString>(parameter: P) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// How benchmarks execute: timed, or a single pass (`--test`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Measure,
+    TestOnce,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a driver from command-line arguments (see module docs).
+    pub fn from_args() -> Self {
+        let mut mode = Mode::Measure;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "--quick" => mode = Mode::TestOnce,
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Self { mode, filter }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self::from_args()
+    }
+}
+
+/// A named collection of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark over `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id.id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full_id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.sample_size,
+            median_ns: None,
+        };
+        f(&mut bencher, input);
+        match self.criterion.mode {
+            Mode::TestOnce => println!("test {full_id} ... ok"),
+            Mode::Measure => {
+                let median = bencher
+                    .median_ns
+                    .expect("benchmark closure must call Bencher::iter");
+                let rate = self.throughput.map(|t| {
+                    let count = match t {
+                        Throughput::Elements(n) => n,
+                        Throughput::Bytes(n) => n,
+                    };
+                    count as f64 / (median * 1e-9)
+                });
+                match rate {
+                    Some(r) => {
+                        println!("{full_id:<60} {:>14} ns/iter {r:>14.3e} elem/s", format_ns(median))
+                    }
+                    None => println!("{full_id:<60} {:>14} ns/iter", format_ns(median)),
+                }
+            }
+        }
+        self
+    }
+
+    /// Simple-function form (no input).
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| f(b))
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else {
+        format!("{:.0}", ns)
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, recording the median per-iteration nanoseconds.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::TestOnce {
+            black_box(f());
+            self.median_ns = Some(0.0);
+            return;
+        }
+        // Warm-up doubles the batch size until one batch takes >= 2 ms,
+        // bounding per-sample noise without burning long wall time.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters_per_sample >= 1 << 24 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Bundles benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}

@@ -1,0 +1,135 @@
+//! Offline vendored shim standing in for `rand_chacha` 0.3. Exposes a
+//! [`ChaCha8Rng`] with the same type name and `SeedableRng`/`RngCore`
+//! surface the workspace uses. The generator is a genuine (if compact)
+//! ChaCha with 8 rounds; it is deterministic per seed, which is the only
+//! property the workspace relies on.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha quarter-round on four words of the state.
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A ChaCha stream cipher used as a deterministic random generator,
+/// with 8 double-rounds per block.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Input block: constants, 256-bit key, 64-bit counter, 64-bit nonce.
+    input: [u32; 16],
+    /// Buffered output words from the last generated block.
+    buffer: [u32; 16],
+    /// Next unread index into `buffer`; 16 means "empty".
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.input;
+        for _ in 0..4 {
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, inp) in working.iter_mut().zip(self.input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.buffer = working;
+        self.index = 0;
+        // 64-bit block counter in words 12..14.
+        let counter = (self.input[12] as u64 | (self.input[13] as u64) << 32).wrapping_add(1);
+        self.input[12] = counter as u32;
+        self.input[13] = (counter >> 32) as u32;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the 64-bit seed into a 256-bit key with SplitMix64.
+        let mut s = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            pair[0] = z as u32;
+            pair[1] = (z >> 32) as u32;
+        }
+        let mut input = [0u32; 16];
+        // "expand 32-byte k" constants.
+        input[0] = 0x6170_7865;
+        input[1] = 0x3320_646E;
+        input[2] = 0x7962_2D32;
+        input[3] = 0x6B20_6574;
+        input[4..12].copy_from_slice(&key);
+        Self { input, buffer: [0; 16], index: 16 }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | hi << 32
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(123);
+        let mut b = ChaCha8Rng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..5 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..40 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
