@@ -60,7 +60,7 @@ pub struct BenchPartitionResults {
     /// closed-form intersections, batched lookups, evaluation cache.
     pub partition_optimized_ns: u128,
     /// The seed behaviour: numeric bracketing + bisection per
-    /// intersection, point-wise probes, no cache (see [`SeedView`]).
+    /// intersection, point-wise probes, no cache (see `SeedView`).
     pub partition_seed_ns: u128,
     /// Machines in the model-build measurement.
     pub build_machines: usize,

@@ -195,4 +195,81 @@ mod tests {
         // Proportional to speeds: 300/700.
         assert!((d.counts()[0] as i64 - 300).abs() <= 1);
     }
+
+    #[test]
+    fn fewer_elements_than_processors_idles_the_slow_ones() {
+        // n < p: only the fastest machines may receive an element.
+        let funcs: Vec<ConstantSpeed> =
+            [1.0, 50.0, 2.0, 40.0, 3.0, 60.0].iter().map(|&s| ConstantSpeed::new(s)).collect();
+        let lo = [0.0; 6];
+        let hi = [0.9; 6];
+        let d = fine_tune(3, &funcs, &lo, &hi);
+        assert_eq!(d.total(), 3);
+        assert_eq!(
+            d.counts(),
+            &[0, 1, 0, 1, 0, 1],
+            "the three fastest machines take one element each"
+        );
+    }
+
+    #[test]
+    fn zero_n_with_positive_floors_sheds_everything() {
+        // The bounding intersections may be far above an n of zero (a
+        // degenerate bracket); every element must be shed.
+        let funcs = vec![ConstantSpeed::new(5.0), ConstantSpeed::new(9.0)];
+        let d = fine_tune(0, &funcs, &[2.9, 3.7], &[4.0, 5.0]);
+        assert_eq!(d.counts(), &[0, 0]);
+    }
+
+    #[test]
+    fn equal_time_ties_break_deterministically() {
+        // Two identical machines, odd n: (k, k+1) and (k+1, k) have equal
+        // makespan. The choice must be deterministic across runs and still
+        // optimal.
+        let funcs = vec![ConstantSpeed::new(10.0), ConstantSpeed::new(10.0)];
+        let first = fine_tune(7, &funcs, &[3.2, 3.2], &[4.1, 4.1]);
+        let second = fine_tune(7, &funcs, &[3.2, 3.2], &[4.1, 4.1]);
+        assert_eq!(first, second, "tie-breaking must be deterministic");
+        assert_eq!(first.total(), 7);
+        assert_eq!(first.makespan(&funcs), 0.4, "one machine takes 4, the other 3");
+        // More broadly: residue ties on a flat cluster fill the lowest
+        // indices first (heap keys carry the index as tie-breaker).
+        let flat: Vec<ConstantSpeed> = (0..5).map(|_| ConstantSpeed::new(10.0)).collect();
+        let d = fine_tune(7, &flat, &[1.0; 5], &[2.0; 5]);
+        assert_eq!(d.counts(), &[2, 2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn beats_naive_floor_and_ceil_roundings() {
+        use crate::partition::oracle;
+        // Heterogeneous cluster with a fractional real optimum: the greedy
+        // integer fine-tuning must be at least as good as rounding every
+        // real abscissa down (dumping the deficit on the first machine) or
+        // up (shedding the surplus from the last machine) — and strictly
+        // better than at least one of them.
+        let funcs = vec![ConstantSpeed::new(1.0), ConstantSpeed::new(100.0)];
+        let n = 102u64;
+        let (xs, _) = oracle::solve_real(n, &funcs).unwrap();
+        assert!(xs.iter().any(|x| x.fract() > 1e-6), "optimum must be fractional: {xs:?}");
+
+        let tuned = fine_tune(n, &funcs, &xs, &xs);
+        assert_eq!(tuned.total(), n);
+
+        let mut floor: Vec<u64> = xs.iter().map(|x| x.floor() as u64).collect();
+        floor[0] += n - floor.iter().sum::<u64>(); // deficit on machine 0
+        let mut ceil: Vec<u64> = xs.iter().map(|x| x.ceil() as u64).collect();
+        let surplus = ceil.iter().sum::<u64>() - n;
+        let last = ceil.len() - 1;
+        ceil[last] -= surplus.min(ceil[last]); // surplus off the last machine
+
+        let makespan = |c: &[u64]| Distribution::new(c.to_vec()).makespan(&funcs);
+        let m_tuned = tuned.makespan(&funcs);
+        let (m_floor, m_ceil) = (makespan(&floor), makespan(&ceil));
+        assert!(m_tuned <= m_floor + 1e-12, "tuned {m_tuned} vs floor {m_floor}");
+        assert!(m_tuned <= m_ceil + 1e-12, "tuned {m_tuned} vs ceil {m_ceil}");
+        assert!(
+            m_tuned < m_floor - 1e-12 || m_tuned < m_ceil - 1e-12,
+            "tuned {m_tuned} must strictly beat a naive rounding ({m_floor}, {m_ceil})"
+        );
+    }
 }

@@ -13,10 +13,84 @@
 use super::fine_tune::fine_tune;
 use super::initial::bracket_slopes;
 use super::problem::{empty_report, validate_processors, Distribution, PartitionReport};
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::geometry::intersections_at_slope;
 use crate::speed::SpeedFunction;
 use crate::trace::Trace;
+
+/// Hard iteration cap of the oracle's slope bisection. Far beyond what any
+/// admissible cluster needs (the relative-resolution stop triggers after at
+/// most ~1100 halvings of the widest representable bracket); exists purely
+/// so corrupted models cannot hang the oracle.
+const MAX_ORACLE_STEPS: usize = 2_000;
+
+/// The converged state of the oracle's slope bisection: the final bracket
+/// and the intersection abscissas of both bounding lines.
+struct SlopeSolution {
+    shallow: f64,
+    steep: f64,
+    /// Abscissas at the steep bound (sum ≤ n).
+    lo_x: Vec<f64>,
+    /// Abscissas at the shallow bound (sum ≥ n).
+    hi_x: Vec<f64>,
+}
+
+/// Shared slope bisection of [`solve`] and [`solve_real`].
+///
+/// Termination is belt-and-braces, hardened against the degenerate inputs
+/// a pure relative-tolerance loop mishandles:
+///
+/// * **element closure** (`integer_stop`): once no per-processor interval
+///   `[lo_i, hi_i]` is a full element wide, the integer fine-tuning result
+///   is fully determined and further bisection is pure spin — this is what
+///   stops quickly on flat clusters (all speeds equal) where the slope
+///   interval narrows long after the allocation has settled;
+/// * **slope resolution**: `steep − shallow ≤ ε·steep` relative stop plus a
+///   midpoint-representability check, which also covers brackets that are
+///   degenerate from the start (`shallow == steep`, makespan ≈ 0);
+/// * **corruption guard**: a non-finite intersection total (NaN speeds from
+///   a broken model) aborts with a clean [`Error::InvalidSpeedFunction`]
+///   instead of silently bisecting on garbage comparisons.
+fn bisect_slope<F: SpeedFunction>(
+    n: u64,
+    funcs: &[F],
+    integer_stop: bool,
+) -> Result<SlopeSolution> {
+    let target = n as f64;
+    let bracket = bracket_slopes(n, funcs)?;
+    let mut shallow = bracket.shallow;
+    let mut steep = bracket.steep;
+    let mut hi_x = intersections_at_slope(funcs, shallow);
+    let mut lo_x = intersections_at_slope(funcs, steep);
+    for _ in 0..MAX_ORACLE_STEPS {
+        if integer_stop && lo_x.iter().zip(&hi_x).all(|(&l, &h)| h - l < 1.0) {
+            break;
+        }
+        let mid = 0.5 * (shallow + steep);
+        if !(mid > shallow && mid < steep) {
+            break;
+        }
+        let xs = intersections_at_slope(funcs, mid);
+        let total: f64 = xs.iter().sum();
+        if !total.is_finite() {
+            return Err(Error::InvalidSpeedFunction {
+                processor: xs.iter().position(|x| !x.is_finite()).unwrap_or(0),
+                reason: "non-finite intersection during oracle bisection",
+            });
+        }
+        if total < target {
+            steep = mid;
+            lo_x = xs;
+        } else {
+            shallow = mid;
+            hi_x = xs;
+        }
+        if steep - shallow <= f64::EPSILON * steep {
+            break;
+        }
+    }
+    Ok(SlopeSolution { shallow, steep, lo_x, hi_x })
+}
 
 /// Solves the real-valued equal-time problem to float resolution, then
 /// fine-tunes to integers.
@@ -24,36 +98,26 @@ use crate::trace::Trace;
 /// This is the idealised `O(p·log n)` algorithm the paper calls "still a
 /// challenge" to achieve with guaranteed bounds; here it serves as a
 /// correctness oracle (it performs plain slope bisection to convergence in
-/// *slope* space, ignoring the integer-stopping optimisation of the
-/// production algorithms).
+/// *slope* space, stopping early only once no integer point can remain
+/// between the bounding lines).
 pub fn solve<F: SpeedFunction>(n: u64, funcs: &[F]) -> Result<PartitionReport> {
     validate_processors(funcs)?;
     if n == 0 {
         return Ok(empty_report(funcs.len()));
     }
-    let target = n as f64;
-    let bracket = bracket_slopes(n, funcs)?;
-    let mut shallow = bracket.shallow;
-    let mut steep = bracket.steep;
-    for _ in 0..400 {
-        let mid = 0.5 * (shallow + steep);
-        if !(mid > shallow && mid < steep) {
-            break;
-        }
-        let total: f64 = intersections_at_slope(funcs, mid).iter().sum();
-        if total < target {
-            steep = mid;
-        } else {
-            shallow = mid;
-        }
-        if steep - shallow <= f64::EPSILON * steep {
-            break;
-        }
+    let s = bisect_slope(n, funcs, true)?;
+    let distribution = fine_tune(n, funcs, &s.lo_x, &s.hi_x);
+    let report = PartitionReport::from_distribution(distribution, funcs, Trace::default());
+    if !report.makespan.is_finite() {
+        // A model that degenerates (NaN/∞ speed) inside the allocated range
+        // must surface as an error, not as a silently corrupt makespan.
+        let times = report.distribution.times(funcs);
+        return Err(Error::InvalidSpeedFunction {
+            processor: times.iter().position(|t| !t.is_finite()).unwrap_or(0),
+            reason: "non-finite execution time at the oracle solution",
+        });
     }
-    let lo_x = intersections_at_slope(funcs, steep);
-    let hi_x = intersections_at_slope(funcs, shallow);
-    let distribution = fine_tune(n, funcs, &lo_x, &hi_x);
-    Ok(PartitionReport::from_distribution(distribution, funcs, Trace::default()))
+    Ok(report)
 }
 
 /// The real-valued (non-integer) optimal allocation and its makespan.
@@ -64,27 +128,15 @@ pub fn solve_real<F: SpeedFunction>(n: u64, funcs: &[F]) -> Result<(Vec<f64>, f6
     if n == 0 {
         return Ok((vec![0.0; funcs.len()], 0.0));
     }
-    let target = n as f64;
-    let bracket = bracket_slopes(n, funcs)?;
-    let mut shallow = bracket.shallow;
-    let mut steep = bracket.steep;
-    for _ in 0..400 {
-        let mid = 0.5 * (shallow + steep);
-        if !(mid > shallow && mid < steep) {
-            break;
-        }
-        let total: f64 = intersections_at_slope(funcs, mid).iter().sum();
-        if total < target {
-            steep = mid;
-        } else {
-            shallow = mid;
-        }
-        if steep - shallow <= f64::EPSILON * steep {
-            break;
-        }
-    }
-    let slope = 0.5 * (shallow + steep);
+    let s = bisect_slope(n, funcs, false)?;
+    let slope = 0.5 * (s.shallow + s.steep);
     let xs = intersections_at_slope(funcs, slope);
+    if let Some(i) = xs.iter().position(|x| !x.is_finite()) {
+        return Err(Error::InvalidSpeedFunction {
+            processor: i,
+            reason: "non-finite intersection at the converged slope",
+        });
+    }
     Ok((xs, 1.0 / slope))
 }
 
@@ -216,5 +268,76 @@ mod tests {
     fn zero_makespan_is_trivially_optimal() {
         let funcs = vec![ConstantSpeed::new(1.0)];
         assert!(is_exchange_optimal(&Distribution::new(vec![0]), &funcs, 1e-9));
+    }
+
+    // --- regression cases found by the testkit conformance sweeps ---
+
+    /// A speed model that collapses to NaN past a memory threshold, as a
+    /// crashed paging model would.
+    #[derive(Debug)]
+    struct NanBeyond {
+        speed: f64,
+        threshold: f64,
+    }
+
+    impl SpeedFunction for NanBeyond {
+        fn speed(&self, x: f64) -> f64 {
+            if x <= self.threshold {
+                self.speed
+            } else {
+                f64::NAN
+            }
+        }
+    }
+
+    #[test]
+    fn nan_model_yields_clean_error_not_corrupt_makespan() {
+        // The optimum wants ~n/2 per machine, well past the NaN threshold,
+        // so the oracle's converged allocation lands in the broken region.
+        let funcs = vec![
+            NanBeyond { speed: 100.0, threshold: 1_000.0 },
+            NanBeyond { speed: 100.0, threshold: 1_000.0 },
+        ];
+        match solve(1_000_000, &funcs) {
+            Err(Error::InvalidSpeedFunction { .. }) | Err(Error::InsufficientCapacity { .. }) => {}
+            Ok(r) => {
+                assert!(
+                    r.makespan.is_finite(),
+                    "oracle returned a non-finite makespan instead of an error"
+                );
+            }
+            Err(e) => panic!("unexpected error kind: {e:?}"),
+        }
+    }
+
+    #[test]
+    fn flat_cluster_terminates_with_bounded_evaluations() {
+        use crate::trace::CountingSpeed;
+        // All speeds equal and no closed-form intersection (CountingSpeed
+        // hides it), the degenerate case where pure relative-tolerance slope
+        // bisection keeps halving long after the integer allocation is
+        // settled. Element closure must stop it early.
+        let funcs: Vec<CountingSpeed<ConstantSpeed>> =
+            (0..8).map(|_| CountingSpeed::new(ConstantSpeed::new(250.0))).collect();
+        let r = solve(1_000_000, &funcs).unwrap();
+        assert_eq!(r.distribution.total(), 1_000_000);
+        for &c in r.distribution.counts() {
+            assert_eq!(c, 125_000, "flat cluster must divide evenly");
+        }
+        let evals: u64 = funcs.iter().map(|f| f.evaluations()).sum();
+        // With element closure this costs ~9k evaluations; without it the
+        // bisection keeps halving to float resolution (~52 iterations × 8
+        // numeric intersections each) at roughly 3× the cost.
+        assert!(evals < 15_000, "flat cluster cost {evals} evaluations");
+    }
+
+    #[test]
+    fn single_element_and_tiny_problems_terminate() {
+        let funcs = mixed_cluster();
+        for n in [1u64, 2, 3, 7] {
+            let r = solve(n, &funcs).unwrap();
+            assert_eq!(r.distribution.total(), n, "n = {n}");
+            assert!(r.makespan.is_finite() && r.makespan >= 0.0);
+        }
     }
 }

@@ -12,7 +12,7 @@
 //!
 //! All compute routes through the packed cache-blocked kernel
 //! ([`fpm_kernels::matmul::matmul_abt_blocked`]) and worker threads come
-//! from the persistent [`WorkerPool`](crate::pool::WorkerPool) instead of a
+//! from the persistent [`WorkerPool`] instead of a
 //! fresh scope per call.
 
 use std::sync::Arc;

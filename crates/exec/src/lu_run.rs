@@ -258,6 +258,34 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sweep_matches_sequential_on_random_adversarial_clusters() {
+        // Random heterogeneous clusters (paging machines included): the
+        // pooled sweep must be bit-identical to the sequential one, not
+        // merely close — pooling must not change evaluation order or
+        // floating-point association.
+        use fpm_simnet::scenarios::{random_cluster, ScenarioConfig};
+        for seed in [0x1u64, 0xA5A5, 0xDEAD_BEEF] {
+            let cfg = ScenarioConfig { machines: 9, seed, ..ScenarioConfig::default() };
+            let funcs = random_cluster(cfg, AppProfile::LuFactorization);
+            let n = 4096u64;
+            let b = 128u64;
+            let d = variable_group_block(n, b, &funcs, &CombinedPartitioner::new())
+                .unwrap_or_else(|e| panic!("seed {seed:#x}: vgb failed: {e:?}"));
+            let seq = simulate_lu(n, b, &d.block_owner, &funcs).unwrap();
+            let par = simulate_lu_par(n, b, &d.block_owner, &funcs).unwrap();
+            assert_eq!(
+                seq.total_seconds.to_bits(),
+                par.total_seconds.to_bits(),
+                "seed {seed:#x}: total time diverged"
+            );
+            let seq_bits: Vec<u64> = seq.busy_seconds.iter().map(|t| t.to_bits()).collect();
+            let par_bits: Vec<u64> = par.busy_seconds.iter().map(|t| t.to_bits()).collect();
+            assert_eq!(seq_bits, par_bits, "seed {seed:#x}: busy times diverged");
+            assert_eq!(seq.steps, par.steps);
+        }
+    }
+
+    #[test]
     fn owner_list_validation() {
         let funcs = vec![ConstantSpeed::new(1.0)];
         assert!(simulate_lu(64, 32, &[0], &funcs).is_err(), "wrong block count");

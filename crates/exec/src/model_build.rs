@@ -63,7 +63,7 @@ fn build_one_model(
 /// measurements.
 ///
 /// Machines are built in parallel on the persistent
-/// [`WorkerPool`](crate::pool::WorkerPool); each machine derives its own
+/// [`WorkerPool`]; each machine derives its own
 /// RNG stream from `seed`, so the result is bit-identical to the
 /// sequential build ([`build_cluster_models_seq`]).
 ///

@@ -209,4 +209,64 @@ mod tests {
         let _ = scoped_map(&items, |_, _| counter.fetch_add(1, Ordering::SeqCst));
         assert_eq!(counter.load(Ordering::SeqCst), 37);
     }
+
+    #[test]
+    fn panic_mid_batch_propagates_payload_and_pool_recovers() {
+        // A panic in the *middle* of a batch (other jobs before and after
+        // it) must reach the caller with its payload intact, and the pool
+        // must stay fully usable afterwards.
+        let pool = WorkerPool::new(3);
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..20u32)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 9 {
+                        panic!("mid-batch fault #{i}");
+                    }
+                    i + 1
+                }) as Box<dyn FnOnce() -> u32 + Send>
+            })
+            .collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.run(tasks)))
+            .expect_err("panic must propagate");
+        let payload = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(payload.contains("mid-batch fault #9"), "payload lost: {payload:?}");
+
+        // No poisoned workers: subsequent batches behave normally.
+        for _ in 0..2 {
+            let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+                (0..20u32).map(|i| Box::new(move || i + 1) as Box<_>).collect();
+            assert_eq!(pool.run(tasks), (1..=20).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_keeps_order_with_adversarial_durations() {
+        // Completion order is roughly the reverse of submission order
+        // (early tasks sleep longest); results must still be in input
+        // order.
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..20usize)
+            .map(|i| {
+                Box::new(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(((20 - i) % 5) as u64 * 4));
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        assert_eq!(pool.run(tasks), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scoped_map_keeps_order_with_adversarial_durations() {
+        let items: Vec<usize> = (0..24).collect();
+        let out = scoped_map(&items, |i, &x| {
+            std::thread::sleep(std::time::Duration::from_millis(((24 - i) % 6) as u64 * 2));
+            x * 10
+        });
+        assert_eq!(out, (0..24).map(|x| x * 10).collect::<Vec<_>>());
+    }
 }

@@ -91,7 +91,7 @@ pub const DEFAULT_TILE: usize = 64;
 /// packed-tile implementation.
 ///
 /// Per k-block, panels of A and B are copied into contiguous k-major
-/// buffers interleaved in groups of [`MR`]/[`NR`] rows; the inner loop
+/// buffers interleaved in groups of `MR`/`NR` rows; the inner loop
 /// then walks both packs with `chunks_exact`, which LLVM autovectorizes
 /// into a register-blocked `MR×NR` accumulator (no gather, no bounds
 /// checks). Edge micro-tiles are zero-padded in the packs, contributing

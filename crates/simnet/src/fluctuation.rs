@@ -59,6 +59,9 @@ pub struct FluctuatingMeasurer<F> {
     /// Constant speed decrease from persistent heavy load (the paper's
     /// band *shift*), in speed units.
     load_shift: f64,
+    /// Observation count after which the machine "dies": every later
+    /// observation reads zero speed.
+    death_after: Option<usize>,
     measurements: usize,
     cost_seconds: f64,
 }
@@ -72,6 +75,7 @@ impl<F: SpeedFunction> FluctuatingMeasurer<F> {
             law,
             rng: ChaCha8Rng::seed_from_u64(seed),
             load_shift: 0.0,
+            death_after: None,
             measurements: 0,
             cost_seconds: 0.0,
         }
@@ -85,8 +89,20 @@ impl<F: SpeedFunction> FluctuatingMeasurer<F> {
         self
     }
 
+    /// Kills the machine after `k` observations: observation `k+1` and all
+    /// later ones read zero speed, simulating a mid-sweep machine death
+    /// (crash, network drop, OOM kill) for fault-injection tests.
+    pub fn with_death_after(mut self, k: usize) -> Self {
+        self.death_after = Some(k);
+        self
+    }
+
     /// One noisy speed observation at problem size `x`.
     pub fn observe(&mut self, x: f64) -> f64 {
+        if self.death_after.is_some_and(|k| self.measurements >= k) {
+            self.measurements += 1;
+            return 0.0;
+        }
         let s = (self.truth.speed(x) - self.load_shift).max(0.0);
         let half = self.law.width_at(x) / 2.0;
         let u: f64 = self.rng.gen_range(-1.0..=1.0);
@@ -203,6 +219,19 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(a.observe(5e3), b.observe(5e3));
         }
+    }
+
+    #[test]
+    fn death_after_kills_later_observations() {
+        let truth = AnalyticSpeed::constant(100.0);
+        let mut m =
+            FluctuatingMeasurer::new(truth, WidthLaw::Constant(0.0), 1).with_death_after(3);
+        assert_eq!(m.observe(10.0), 100.0);
+        assert_eq!(m.observe(10.0), 100.0);
+        assert_eq!(m.observe(10.0), 100.0);
+        assert_eq!(m.observe(10.0), 0.0);
+        assert_eq!(m.observe(1e6), 0.0);
+        assert_eq!(m.measurements(), 5);
     }
 
     #[test]

@@ -1,0 +1,13 @@
+//! Ad-hoc conformance sweep driver: `cargo run --example sweep -p fpm-testkit [cases]`.
+use fpm_testkit::conformance::{run_conformance, ConformanceConfig};
+
+fn main() {
+    let cases: usize =
+        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(500);
+    let t0 = std::time::Instant::now();
+    let report = run_conformance(&ConformanceConfig { cases, ..Default::default() });
+    println!("{} in {:.2?}", report.summary(), t0.elapsed());
+    for f in report.failures.iter().take(20) {
+        println!("  {f}");
+    }
+}

@@ -1,0 +1,159 @@
+//! The individual conformance invariants, reusable outside the engine.
+//!
+//! Each check returns `Result<(), String>` so callers (the conformance
+//! engine, ad-hoc tests) can aggregate diagnostics instead of aborting on
+//! the first violation.
+
+use fpm_core::partition::{oracle, Distribution};
+use fpm_core::speed::SpeedFunction;
+use fpm_core::trace::Trace;
+
+/// Exact element conservation: the allocation must distribute all `n`
+/// elements, no more, no fewer.
+pub fn check_conservation(distribution: &Distribution, n: u64) -> Result<(), String> {
+    let total = distribution.total();
+    if total == n {
+        Ok(())
+    } else {
+        Err(format!("conservation violated: distributed {total} of {n} elements"))
+    }
+}
+
+/// Relative makespan gap against the oracle: `|m − m*| / max(m*, floor)`.
+///
+/// Fails when the candidate is more than `tolerance` *worse* than the
+/// oracle; a candidate *better* than the oracle by more than `tolerance`
+/// also fails, because the oracle is supposed to be optimal — such a case
+/// is an oracle bug the differential harness must surface.
+pub fn check_makespan_gap(
+    makespan: f64,
+    oracle_makespan: f64,
+    tolerance: f64,
+) -> Result<(), String> {
+    if !makespan.is_finite() {
+        return Err(format!("non-finite makespan {makespan}"));
+    }
+    let rel = (makespan - oracle_makespan) / oracle_makespan.max(1e-30);
+    if rel > tolerance {
+        Err(format!(
+            "makespan {makespan} exceeds oracle {oracle_makespan} by {rel:.2e} (tol {tolerance:.0e})"
+        ))
+    } else if rel < -tolerance {
+        Err(format!(
+            "makespan {makespan} BEATS oracle {oracle_makespan} by {:.2e} — oracle suboptimal",
+            -rel
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// No single-element move may improve the makespan beyond `tolerance`
+/// (the verifiable counterpart of the paper's §2 uniqueness argument).
+pub fn check_exchange_optimal<F: SpeedFunction>(
+    distribution: &Distribution,
+    funcs: &[F],
+    tolerance: f64,
+) -> Result<(), String> {
+    if oracle::is_exchange_optimal(distribution, funcs, tolerance) {
+        Ok(())
+    } else {
+        Err(format!(
+            "not exchange-optimal at tolerance {tolerance:.0e}: counts {:?}",
+            distribution.counts()
+        ))
+    }
+}
+
+/// Complexity envelope for a trace, from the paper's §2 analysis.
+#[derive(Debug, Clone, Copy)]
+pub enum BoundClass {
+    /// `O(log n)` iterations (each costing `O(p)` evaluations): the basic
+    /// bisection and secant searches on well-behaved shapes. The envelope
+    /// is `base + factor·log₂(n+2)` iterations.
+    LogN {
+        /// Additive constant.
+        base: usize,
+        /// Multiplier on `log₂(n+2)`.
+        factor: usize,
+    },
+    /// `O(p·log n)` iterations (total `O(p²·log n)` evaluations): the
+    /// modified algorithm's guaranteed budget `4·p·log₂(n+2) + 64`.
+    PLogN,
+}
+
+/// Checks a trace's iteration count against the paper's complexity claim.
+pub fn check_iteration_bound(
+    trace: &Trace,
+    n: u64,
+    p: usize,
+    class: BoundClass,
+) -> Result<(), String> {
+    let log_n = ((n + 2) as f64).log2().ceil() as usize;
+    let bound = match class {
+        BoundClass::LogN { base, factor } => base + factor * log_n,
+        BoundClass::PLogN => 4 * p * log_n + 64,
+    };
+    let steps = trace.steps();
+    if steps <= bound {
+        Ok(())
+    } else {
+        Err(format!(
+            "iteration bound violated: {steps} steps > {bound} allowed ({class:?}, n={n}, p={p})"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpm_core::speed::ConstantSpeed;
+    use fpm_core::trace::IterationRecord;
+
+    #[test]
+    fn conservation_check() {
+        let d = Distribution::new(vec![3, 7]);
+        assert!(check_conservation(&d, 10).is_ok());
+        assert!(check_conservation(&d, 11).is_err());
+    }
+
+    #[test]
+    fn makespan_gap_is_two_sided() {
+        assert!(check_makespan_gap(100.0, 100.0, 5e-3).is_ok());
+        assert!(check_makespan_gap(100.4, 100.0, 5e-3).is_ok());
+        assert!(check_makespan_gap(101.0, 100.0, 5e-3).is_err());
+        // Beating the oracle is an oracle bug, not a success.
+        assert!(check_makespan_gap(99.0, 100.0, 5e-3).is_err());
+        assert!(check_makespan_gap(f64::NAN, 100.0, 5e-3).is_err());
+    }
+
+    #[test]
+    fn exchange_check_delegates() {
+        let funcs = vec![ConstantSpeed::new(1.0), ConstantSpeed::new(100.0)];
+        assert!(check_exchange_optimal(&Distribution::new(vec![100, 0]), &funcs, 1e-9).is_err());
+        assert!(check_exchange_optimal(&Distribution::new(vec![1, 99]), &funcs, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn iteration_bounds() {
+        let mut t = Trace::default();
+        for step in 1..=50 {
+            t.iterations.push(IterationRecord {
+                step,
+                lower_slope: 0.0,
+                upper_slope: 1.0,
+                trial_slope: 0.5,
+                total_elements: 0.0,
+                undershoot: false,
+            });
+        }
+        assert!(check_iteration_bound(&t, 1 << 20, 4, BoundClass::PLogN).is_ok());
+        assert!(
+            check_iteration_bound(&t, 1 << 20, 4, BoundClass::LogN { base: 8, factor: 2 })
+                .is_ok()
+        );
+        assert!(
+            check_iteration_bound(&t, 2, 4, BoundClass::LogN { base: 1, factor: 1 }).is_err()
+        );
+    }
+}

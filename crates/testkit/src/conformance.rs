@@ -1,0 +1,351 @@
+//! The differential conformance engine.
+//!
+//! Runs every production partitioner against the reference
+//! [`oracle::solve`] over seeded generated clusters and checks, per case:
+//!
+//! * **conservation** — exactly `n` elements distributed;
+//! * **makespan gap** — within [`Tolerances::makespan_rel`] of the oracle,
+//!   *two-sided*: an algorithm beating the oracle means the oracle is
+//!   suboptimal, which the harness must surface just as loudly;
+//! * **exchange-optimality** — no single-element move improves the result;
+//! * **iteration bounds** — traces stay within the paper's complexity
+//!   envelopes (`O(log n)` bisection steps for the slope searches,
+//!   `4·p·log₂(n+2)+64` for the solution-space search);
+//! * **error consistency** — if the oracle rejects a cluster (e.g.
+//!   insufficient bounded capacity), every algorithm rejects it too.
+//!
+//! The single-number baseline is checked differently: it is the classical
+//! model the paper argues *against*, so it must conserve elements and must
+//! not beat the oracle, but is allowed (expected!) to be slower.
+
+use fpm_core::partition::{
+    bounded::partition_bounded, oracle, BisectionPartitioner, CombinedPartitioner,
+    ModifiedPartitioner, Partitioner, SecantPartitioner, SingleNumberPartitioner,
+};
+
+use crate::checks::{
+    check_conservation, check_exchange_optimal, check_iteration_bound, check_makespan_gap,
+    BoundClass,
+};
+use crate::gen::{CaseSpec, GenConfig};
+
+/// Conformance tolerances.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerances {
+    /// Maximum relative makespan gap against the oracle (both directions).
+    pub makespan_rel: f64,
+    /// Tolerance of the exchange-optimality check.
+    pub exchange: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Self { makespan_rel: 5e-3, exchange: 5e-3 }
+    }
+}
+
+/// Full configuration of a conformance sweep.
+#[derive(Debug, Clone, Default)]
+pub struct ConformanceConfig {
+    /// Number of generated cases (0 ⇒ the tier-1 default of 500).
+    pub cases: usize,
+    /// Base seed; case `i` uses a SplitMix-style derivation from it.
+    pub base_seed: u64,
+    /// Cluster generation knobs.
+    pub gen: GenConfig,
+    /// Check tolerances.
+    pub tol: Tolerances,
+}
+
+/// One check violation, carrying everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct CaseFailure {
+    /// Seed of the generated case ([`CaseSpec::from_seed`] replays it).
+    pub seed: u64,
+    /// Which algorithm violated the check.
+    pub algorithm: &'static str,
+    /// The case descriptor (`p`, `n`, model mix).
+    pub descriptor: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CaseFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[seed {:#018x}] {} ({}): {}",
+            self.seed, self.algorithm, self.descriptor, self.message
+        )
+    }
+}
+
+/// Outcome of a conformance sweep.
+#[derive(Debug, Default)]
+pub struct ConformanceReport {
+    /// Cases generated and checked.
+    pub cases_run: usize,
+    /// Cases the oracle (legitimately) rejected, e.g. bounded capacity.
+    pub oracle_rejections: usize,
+    /// All violations found.
+    pub failures: Vec<CaseFailure>,
+    /// Largest observed relative makespan gap among geometric algorithms.
+    pub max_rel_gap: f64,
+    /// Largest observed iteration count of any traced algorithm.
+    pub max_steps: usize,
+}
+
+impl ConformanceReport {
+    /// Panics with a reproduction-ready message if any check failed.
+    pub fn assert_ok(&self) {
+        if self.failures.is_empty() {
+            return;
+        }
+        let shown: Vec<String> =
+            self.failures.iter().take(20).map(|f| f.to_string()).collect();
+        panic!(
+            "conformance: {} violation(s) over {} cases (showing ≤20):\n{}\n\
+             Reproduce one case with fpm_testkit::gen::CaseSpec::from_seed(<seed>, \
+             &GenConfig::default()) and fpm_testkit::conformance::check_case.",
+            self.failures.len(),
+            self.cases_run,
+            shown.join("\n")
+        );
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cases, {} failures, {} oracle rejections, max rel gap {:.2e}, max steps {}",
+            self.cases_run,
+            self.failures.len(),
+            self.oracle_rejections,
+            self.max_rel_gap,
+            self.max_steps
+        )
+    }
+}
+
+/// Reads `FPM_TESTKIT_CASES` (decimal), falling back to `default`.
+///
+/// This is the opt-in exhaustive-mode knob: the tier-1 suite passes a
+/// bounded default, CI's scheduled job exports a large value.
+pub fn env_cases(default: usize) -> usize {
+    match std::env::var("FPM_TESTKIT_CASES") {
+        Ok(v) => v.trim().parse().unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+/// Reads `FPM_TESTKIT_SEED` (decimal or `0x…` hex), falling back to
+/// `default`. Lets a CI failure be replayed locally with the same stream.
+pub fn env_base_seed(default: u64) -> u64 {
+    match std::env::var("FPM_TESTKIT_SEED") {
+        Ok(v) => {
+            let v = v.trim();
+            let parsed = if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X"))
+            {
+                u64::from_str_radix(hex, 16)
+            } else {
+                v.parse()
+            };
+            parsed.unwrap_or(default)
+        }
+        Err(_) => default,
+    }
+}
+
+/// Envelope for the slope-search algorithms (basic bisection, secant): the
+/// element-stopping criterion closes the bracket in `O(log n)` trials on
+/// admissible shapes. The constants are deliberately loose — this guards
+/// the complexity *class*, not the exact constant.
+const SLOPE_SEARCH_BOUND: BoundClass = BoundClass::LogN { base: 96, factor: 16 };
+
+/// Runs every production partitioner on one generated case and returns all
+/// violations (empty = fully conformant).
+pub fn check_case(case: &CaseSpec, tol: &Tolerances) -> Vec<CaseFailure> {
+    let mut failures = Vec::new();
+    let n = case.n;
+    let p = case.funcs.len();
+    let fail = |algorithm: &'static str, message: String| CaseFailure {
+        seed: case.seed,
+        algorithm,
+        descriptor: case.descriptor.clone(),
+        message,
+    };
+
+    let reference = match oracle::solve(n, &case.funcs) {
+        Ok(r) => r,
+        Err(oracle_err) => {
+            // The oracle rejected the cluster; every algorithm must reject
+            // it too (consistently clean errors, never a bogus success).
+            let caps = vec![n; p];
+            let outcomes: Vec<(&'static str, bool)> = vec![
+                ("basic", BisectionPartitioner::new().partition(n, &case.funcs).is_ok()),
+                ("modified", ModifiedPartitioner::new().partition(n, &case.funcs).is_ok()),
+                ("combined", CombinedPartitioner::new().partition(n, &case.funcs).is_ok()),
+                ("secant", SecantPartitioner::new().partition(n, &case.funcs).is_ok()),
+                ("bounded", partition_bounded(n, &case.funcs, &caps).is_ok()),
+            ];
+            for (name, ok) in outcomes {
+                if ok {
+                    failures.push(fail(
+                        name,
+                        format!("returned Ok but the oracle rejected the case: {oracle_err}"),
+                    ));
+                }
+            }
+            return failures;
+        }
+    };
+
+    // Geometric algorithms: full conformance against the oracle.
+    let geometric: Vec<(&'static str, _, Option<BoundClass>)> = vec![
+        (
+            "basic",
+            BisectionPartitioner::new().partition(n, &case.funcs),
+            Some(SLOPE_SEARCH_BOUND),
+        ),
+        (
+            "modified",
+            ModifiedPartitioner::new().partition(n, &case.funcs),
+            Some(BoundClass::PLogN),
+        ),
+        (
+            "combined",
+            CombinedPartitioner::new().partition(n, &case.funcs),
+            Some(BoundClass::PLogN),
+        ),
+        ("secant", SecantPartitioner::new().partition(n, &case.funcs), Some(SLOPE_SEARCH_BOUND)),
+        ("bounded", partition_bounded(n, &case.funcs, &vec![n; p]), None),
+    ];
+
+    for (name, result, bound) in geometric {
+        let report = match result {
+            Ok(r) => r,
+            Err(e) => {
+                failures.push(fail(name, format!("failed where the oracle succeeded: {e}")));
+                continue;
+            }
+        };
+        if let Err(m) = check_conservation(&report.distribution, n) {
+            failures.push(fail(name, m));
+        }
+        if let Err(m) = check_makespan_gap(report.makespan, reference.makespan, tol.makespan_rel)
+        {
+            failures.push(fail(name, m));
+        }
+        if let Err(m) = check_exchange_optimal(&report.distribution, &case.funcs, tol.exchange) {
+            failures.push(fail(name, m));
+        }
+        if let Some(class) = bound {
+            if let Err(m) = check_iteration_bound(&report.trace, n, p, class) {
+                failures.push(fail(name, m));
+            }
+        }
+    }
+
+    // Single-number baseline: the model the paper argues against. It must
+    // stay well-formed (conservation, no beating the oracle) but is
+    // expected to be slower on heterogeneous functional clusters.
+    let reference_size = (n as f64 / p as f64).max(1.0);
+    match SingleNumberPartitioner::at_size(reference_size).partition(n, &case.funcs) {
+        Ok(report) => {
+            if let Err(m) = check_conservation(&report.distribution, n) {
+                failures.push(fail("single-number", m));
+            }
+            if report.makespan < reference.makespan * (1.0 - tol.makespan_rel) {
+                failures.push(fail(
+                    "single-number",
+                    format!(
+                        "baseline makespan {} beats oracle {} — oracle suboptimal",
+                        report.makespan, reference.makespan
+                    ),
+                ));
+            }
+        }
+        Err(e) => {
+            failures.push(fail("single-number", format!("baseline failed: {e}")));
+        }
+    }
+
+    failures
+}
+
+/// Runs a full conformance sweep: `cases` seeded clusters, every
+/// production partitioner checked on each.
+pub fn run_conformance(config: &ConformanceConfig) -> ConformanceReport {
+    let cases = if config.cases == 0 { 500 } else { config.cases };
+    let mut report = ConformanceReport::default();
+    for i in 0..cases {
+        let seed = config.base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let case = CaseSpec::from_seed(seed, &config.gen);
+
+        // Diagnostics: track the worst gap and deepest trace observed.
+        if let Ok(reference) = oracle::solve(case.n, &case.funcs) {
+            for r in [
+                BisectionPartitioner::new().partition(case.n, &case.funcs),
+                ModifiedPartitioner::new().partition(case.n, &case.funcs),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                let rel =
+                    (r.makespan - reference.makespan).abs() / reference.makespan.max(1e-30);
+                if rel.is_finite() {
+                    report.max_rel_gap = report.max_rel_gap.max(rel);
+                }
+                report.max_steps = report.max_steps.max(r.trace.steps());
+            }
+        } else {
+            report.oracle_rejections += 1;
+        }
+
+        report.failures.extend(check_case(&case, &config.tol));
+        report.cases_run += 1;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_is_clean() {
+        let report = run_conformance(&ConformanceConfig {
+            cases: 40,
+            base_seed: 0xC0FF_EE00,
+            ..ConformanceConfig::default()
+        });
+        assert_eq!(report.cases_run, 40);
+        report.assert_ok();
+    }
+
+    #[test]
+    fn check_case_replays_a_single_seed() {
+        let case = CaseSpec::from_seed(0xDEAD_BEEF, &GenConfig::default());
+        let failures = check_case(&case, &Tolerances::default());
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn env_parsers_fall_back() {
+        // The variables are unset in unit tests.
+        assert_eq!(env_cases(123), 123);
+        assert_eq!(env_base_seed(0xAB), 0xAB);
+    }
+
+    #[test]
+    fn failure_display_embeds_seed() {
+        let f = CaseFailure {
+            seed: 0x1234,
+            algorithm: "basic",
+            descriptor: "p=2 n=10".into(),
+            message: "boom".into(),
+        };
+        let s = f.to_string();
+        assert!(s.contains("0x0000000000001234"), "{s}");
+        assert!(s.contains("basic"), "{s}");
+    }
+}

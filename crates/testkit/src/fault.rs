@@ -1,0 +1,158 @@
+//! Failure injectors for the model-building and execution paths.
+//!
+//! The conformance harness must prove that faults in measurement or
+//! execution surface as clean [`fpm_core::error::Error`] values (or
+//! recover bit-identically), never as panics or silent corruption. This
+//! module provides the injectors:
+//!
+//! * [`FaultyMeasurer`] — wraps any [`Measurer`], corrupting a schedule of
+//!   observations with NaN / zero / negative / infinite readings (a crashed
+//!   benchmark, a dead NFS mount, a clock gone backwards);
+//! * [`assert_no_panic`] — runs a closure under `catch_unwind` and turns
+//!   any panic into a printable `Err`, so fault-matrix tests can assert
+//!   "no panic path" positively;
+//! * mid-sweep machine death lives in simnet
+//!   ([`fpm_simnet::FluctuatingMeasurer::with_death_after`]) because it is
+//!   a property of the simulated machine, not of the harness.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use fpm_core::speed::builder::Measurer;
+
+/// The corrupted value a fault injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `NaN` — a failed benchmark run parsed into garbage.
+    Nan,
+    /// `0.0` — a machine that stopped responding.
+    Zero,
+    /// `-1.0` — a timer that went backwards.
+    Negative,
+    /// `+∞` — a zero-duration measurement.
+    Infinite,
+}
+
+impl FaultKind {
+    /// The injected reading.
+    pub fn value(self) -> f64 {
+        match self {
+            FaultKind::Nan => f64::NAN,
+            FaultKind::Zero => 0.0,
+            FaultKind::Negative => -1.0,
+            FaultKind::Infinite => f64::INFINITY,
+        }
+    }
+
+    /// All kinds, for fault-matrix loops.
+    pub fn all() -> [FaultKind; 4] {
+        [FaultKind::Nan, FaultKind::Zero, FaultKind::Negative, FaultKind::Infinite]
+    }
+}
+
+/// A measurer that corrupts every `every`-th observation (1-based: with
+/// `every == 3` observations 3, 6, 9… are corrupted; `every == 1` corrupts
+/// all of them).
+#[derive(Debug)]
+pub struct FaultyMeasurer<M> {
+    inner: M,
+    kind: FaultKind,
+    every: usize,
+    taken: usize,
+    injected: usize,
+}
+
+impl<M: Measurer> FaultyMeasurer<M> {
+    /// Wraps `inner`, injecting `kind` on every `every`-th measurement.
+    pub fn new(inner: M, kind: FaultKind, every: usize) -> Self {
+        assert!(every >= 1, "every must be ≥ 1");
+        Self { inner, kind, every, taken: 0, injected: 0 }
+    }
+
+    /// Number of measurements taken (clean + corrupted).
+    pub fn taken(&self) -> usize {
+        self.taken
+    }
+
+    /// Number of corrupted readings delivered so far.
+    pub fn injected(&self) -> usize {
+        self.injected
+    }
+
+    /// The wrapped measurer.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: Measurer> Measurer for FaultyMeasurer<M> {
+    fn measure(&mut self, x: f64) -> f64 {
+        self.taken += 1;
+        if self.taken % self.every == 0 {
+            self.injected += 1;
+            // The inner measurer still runs so its observation stream (and
+            // any RNG state) advances identically to a fault-free run.
+            let _ = self.inner.measure(x);
+            self.kind.value()
+        } else {
+            self.inner.measure(x)
+        }
+    }
+}
+
+/// Runs `f`, converting a panic into `Err(message)`.
+///
+/// Fault-matrix tests use this to assert the *absence* of panic paths with
+/// a diagnosable message instead of an aborted test process.
+pub fn assert_no_panic<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|panic| {
+        if let Some(s) = panic.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = panic.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_follow_the_schedule() {
+        let clean = |x: f64| x * 2.0;
+        let mut m = FaultyMeasurer::new(clean, FaultKind::Nan, 3);
+        assert_eq!(m.measure(1.0), 2.0);
+        assert_eq!(m.measure(2.0), 4.0);
+        assert!(m.measure(3.0).is_nan());
+        assert_eq!(m.measure(4.0), 8.0);
+        assert_eq!(m.taken(), 4);
+        assert_eq!(m.injected(), 1);
+    }
+
+    #[test]
+    fn every_one_corrupts_everything() {
+        let mut m = FaultyMeasurer::new(|_x: f64| 100.0, FaultKind::Zero, 1);
+        for _ in 0..5 {
+            assert_eq!(m.measure(10.0), 0.0);
+        }
+        assert_eq!(m.injected(), 5);
+    }
+
+    #[test]
+    fn kinds_produce_their_values() {
+        assert!(FaultKind::Nan.value().is_nan());
+        assert_eq!(FaultKind::Zero.value(), 0.0);
+        assert!(FaultKind::Negative.value() < 0.0);
+        assert!(FaultKind::Infinite.value().is_infinite());
+        assert_eq!(FaultKind::all().len(), 4);
+    }
+
+    #[test]
+    fn no_panic_wrapper_reports_payloads() {
+        assert_eq!(assert_no_panic(|| 7), Ok(7));
+        let err = assert_no_panic(|| panic!("kaboom {}", 9)).unwrap_err();
+        assert!(err.contains("kaboom 9"), "{err}");
+    }
+}

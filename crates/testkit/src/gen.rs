@@ -1,0 +1,359 @@
+//! Seeded, reproducible generators for admissible heterogeneous clusters.
+//!
+//! Every generated case is a pure function of one `u64` seed plus a
+//! [`GenConfig`], so a failing case reported by the conformance engine can
+//! be replayed exactly from the seed embedded in its failure message.
+//!
+//! Generated clusters only contain *admissible* speed models — shapes
+//! satisfying the paper's single-intersection requirement (`s(x)/x`
+//! strictly decreasing) — drawn from the same families the production code
+//! supports: the closed-form [`AnalyticSpeed`] shapes of paper Fig. 5, the
+//! piece-wise linear representation the paper recommends building from
+//! experiments, memoized [`CachedSpeed`] wrappers, and full
+//! memory-hierarchy [`fpm_simnet`] machine models. The deliberately
+//! adversarial `exp_tail` shape (the basic algorithm's documented `O(n)`
+//! worst case) is *not* in the default mix; opt in via
+//! [`GenConfig::kinds`].
+
+use fpm_core::speed::{AnalyticSpeed, CachedSpeed, PiecewiseLinearSpeed, SpeedFunction};
+use fpm_simnet::{random_cluster, AppProfile, ScenarioConfig};
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Families of speed models the generator can draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Single-number constant speed (closed-form intersections).
+    Constant,
+    /// Strictly decreasing shape (`s1` of paper Fig. 5).
+    Decreasing,
+    /// Increasing saturating shape (`s3` of paper Fig. 5).
+    Saturating,
+    /// Increasing-then-paging shape (`s2` of paper Fig. 5).
+    Unimodal,
+    /// Flat-then-paging shape (Fig. 1a/1b applications).
+    Paging,
+    /// Piece-wise constant Drozdowski–Wolniewicz levels.
+    StepLevels,
+    /// Piece-wise linear model sampled from an admissible analytic truth.
+    Piecewise,
+    /// A memoizing [`CachedSpeed`] wrapper around an analytic shape.
+    Cached,
+    /// The basic algorithm's exponential-tail worst case. **Not** in the
+    /// default mix: it is admissible but makes the basic bisection `O(n)`.
+    ExpTail,
+}
+
+impl ModelKind {
+    /// Short tag used in case descriptors.
+    fn tag(self) -> &'static str {
+        match self {
+            ModelKind::Constant => "const",
+            ModelKind::Decreasing => "dec",
+            ModelKind::Saturating => "sat",
+            ModelKind::Unimodal => "uni",
+            ModelKind::Paging => "page",
+            ModelKind::StepLevels => "step",
+            ModelKind::Piecewise => "pwl",
+            ModelKind::Cached => "cache",
+            ModelKind::ExpTail => "exp",
+        }
+    }
+}
+
+/// Knobs controlling cluster generation.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Inclusive range of cluster sizes `p`.
+    pub machines: (usize, usize),
+    /// `log10` range of the problem size `n` (sampled log-uniformly).
+    pub n_log10: (f64, f64),
+    /// Peak-speed spread: peaks are drawn from `[base, base·heterogeneity]`.
+    /// `1.0` produces homogeneous peaks.
+    pub heterogeneity: f64,
+    /// Probability that a synthetic machine's shape includes paging
+    /// degradation (applies to the `Unimodal`/`Paging` kinds weighting).
+    pub paging_fraction: f64,
+    /// Probability that a case uses a full simnet-derived cluster
+    /// ([`fpm_simnet::MachineSpeed`] memory-hierarchy models) instead of a
+    /// synthetic per-machine mix.
+    pub simnet_fraction: f64,
+    /// The model families to mix for synthetic clusters.
+    pub kinds: Vec<ModelKind>,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self {
+            machines: (2, 12),
+            n_log10: (3.0, 8.5),
+            heterogeneity: 25.0,
+            paging_fraction: 0.4,
+            simnet_fraction: 0.25,
+            kinds: vec![
+                ModelKind::Constant,
+                ModelKind::Decreasing,
+                ModelKind::Saturating,
+                ModelKind::Unimodal,
+                ModelKind::Paging,
+                ModelKind::StepLevels,
+                ModelKind::Piecewise,
+                ModelKind::Cached,
+            ],
+        }
+    }
+}
+
+/// One generated conformance case: a problem size and an admissible
+/// cluster, fully determined by `seed`.
+pub struct CaseSpec {
+    /// The seed this case was generated from (embed in failure messages).
+    pub seed: u64,
+    /// Problem size.
+    pub n: u64,
+    /// The cluster's speed models.
+    pub funcs: Vec<Box<dyn SpeedFunction>>,
+    /// Human-readable summary (`p`, `n`, model tags) for diagnostics.
+    pub descriptor: String,
+}
+
+impl CaseSpec {
+    /// Generates the case determined by `seed` under `config`.
+    pub fn from_seed(seed: u64, config: &GenConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ SALT);
+        let p = rng.gen_range(config.machines.0..=config.machines.1.max(config.machines.0));
+        let raw_n = 10f64.powf(rng.gen_range(config.n_log10.0..=config.n_log10.1));
+
+        let (funcs, tags) = if rng.gen_bool(config.simnet_fraction.clamp(0.0, 1.0)) {
+            simnet_cluster(&mut rng, p)
+        } else {
+            synthetic_cluster(&mut rng, p, raw_n, config)
+        };
+
+        // Clamp n into the cluster's modelled capacity so bounded models
+        // (piece-wise linear, simnet machine intervals) stay feasible.
+        let capacity: f64 = funcs.iter().map(|f| f.max_size().min(1e15)).sum();
+        let n = (raw_n.min(0.8 * capacity).max(1.0)) as u64;
+
+        let descriptor = format!("p={p} n={n} models=[{}]", tags.join(","));
+        Self { seed, n, funcs, descriptor }
+    }
+}
+
+/// Decorrelates case seeds from the other ChaCha8 streams in the workspace.
+const SALT: u64 = 0x7E57_4B17_5EED_0001;
+
+fn simnet_cluster(rng: &mut ChaCha8Rng, p: usize) -> (Vec<Box<dyn SpeedFunction>>, Vec<String>) {
+    let apps = AppProfile::all();
+    let app = apps[rng.gen_range(0usize..apps.len())];
+    let cluster_seed = rng.next_u64();
+    let cluster = random_cluster(
+        ScenarioConfig { machines: p, seed: cluster_seed, ..ScenarioConfig::default() },
+        app,
+    );
+    let tags = vec![format!("simnet:{app:?}x{p}")];
+    (cluster.into_iter().map(|m| Box::new(m) as Box<dyn SpeedFunction>).collect(), tags)
+}
+
+fn synthetic_cluster(
+    rng: &mut ChaCha8Rng,
+    p: usize,
+    raw_n: f64,
+    config: &GenConfig,
+) -> (Vec<Box<dyn SpeedFunction>>, Vec<String>) {
+    let mut funcs: Vec<Box<dyn SpeedFunction>> = Vec::with_capacity(p);
+    let mut tags = Vec::with_capacity(p);
+    let het = config.heterogeneity.max(1.0);
+    for _ in 0..p {
+        let kind = config.kinds[rng.gen_range(0usize..config.kinds.len().max(1))];
+        // Shapes that page are kept or resampled according to the paging
+        // knob, so the knob biases the mix without removing any kind.
+        let kind = match kind {
+            ModelKind::Unimodal | ModelKind::Paging
+                if !rng.gen_bool(config.paging_fraction.clamp(0.0, 1.0)) =>
+            {
+                ModelKind::Saturating
+            }
+            k => k,
+        };
+        let peak = 50.0 * rng.gen_range(1.0..=het);
+        funcs.push(make_model(rng, kind, peak, raw_n));
+        tags.push(kind.tag().to_string());
+    }
+    (funcs, tags)
+}
+
+/// Builds one admissible model of the requested kind, scaled so its
+/// characteristic features (ramp, paging point, knot span) are active near
+/// the per-case problem sizes.
+fn make_model(
+    rng: &mut ChaCha8Rng,
+    kind: ModelKind,
+    peak: f64,
+    raw_n: f64,
+) -> Box<dyn SpeedFunction> {
+    match kind {
+        ModelKind::Constant => Box::new(AnalyticSpeed::constant(peak)),
+        ModelKind::Decreasing => {
+            let scale = raw_n * rng.gen_range(0.01..=1.0);
+            let alpha = rng.gen_range(1.0..=3.0);
+            Box::new(AnalyticSpeed::decreasing(peak, scale, alpha))
+        }
+        ModelKind::Saturating => {
+            let ramp = raw_n * rng.gen_range(1e-4..=0.05);
+            Box::new(AnalyticSpeed::saturating(peak, ramp))
+        }
+        ModelKind::Unimodal => {
+            let ramp = raw_n * rng.gen_range(1e-4..=0.02);
+            let page_at = raw_n * rng.gen_range(0.05..=1.5);
+            let alpha = rng.gen_range(1.0..=4.0);
+            Box::new(AnalyticSpeed::unimodal(peak, ramp, page_at, alpha))
+        }
+        ModelKind::Paging => {
+            let page_at = raw_n * rng.gen_range(0.05..=1.0);
+            let alpha = rng.gen_range(1.0..=4.0);
+            Box::new(AnalyticSpeed::paging(peak, page_at, alpha))
+        }
+        ModelKind::StepLevels => {
+            let levels = rng.gen_range(2usize..=4);
+            let mut threshold = raw_n * rng.gen_range(0.01..=0.1);
+            let mut speed = peak;
+            let mut steps = Vec::with_capacity(levels);
+            for _ in 0..levels {
+                steps.push((threshold, speed));
+                threshold *= rng.gen_range(3.0..=10.0);
+                speed *= rng.gen_range(0.3..=0.9);
+            }
+            Box::new(AnalyticSpeed::step_levels(steps))
+        }
+        ModelKind::Piecewise => piecewise_model(rng, peak, raw_n),
+        ModelKind::Cached => {
+            // Wrap a fresh analytic shape; the memoization must be
+            // observationally transparent to every algorithm.
+            let inner_kind = match rng.gen_range(0u8..3) {
+                0 => ModelKind::Decreasing,
+                1 => ModelKind::Saturating,
+                _ => ModelKind::Unimodal,
+            };
+            let inner = make_model(rng, inner_kind, peak, raw_n);
+            Box::new(CachedSpeed::new(inner))
+        }
+        ModelKind::ExpTail => {
+            let scale = raw_n * rng.gen_range(0.05..=0.5);
+            Box::new(AnalyticSpeed::exp_tail(peak, scale))
+        }
+    }
+}
+
+/// Samples an admissible analytic truth at log-spaced knots and builds the
+/// piece-wise linear model the paper recommends (Fig. 14). Chords between
+/// knots with strictly decreasing `s/x` preserve the single-intersection
+/// property, so the sampled model is admissible by construction; knots
+/// breaking strictness to rounding are dropped.
+fn piecewise_model(rng: &mut ChaCha8Rng, peak: f64, raw_n: f64) -> Box<dyn SpeedFunction> {
+    let truth: Box<dyn SpeedFunction> = if rng.gen_bool(0.5) {
+        Box::new(AnalyticSpeed::decreasing(peak, raw_n * rng.gen_range(0.05..=0.5), 2.0))
+    } else {
+        Box::new(AnalyticSpeed::unimodal(
+            peak,
+            raw_n * rng.gen_range(1e-3..=0.01),
+            raw_n * rng.gen_range(0.1..=0.8),
+            2.0,
+        ))
+    };
+    let knots = rng.gen_range(4usize..=12);
+    let lo = (raw_n * 1e-4).max(1.0);
+    let hi = raw_n * 2.0;
+    let mut points: Vec<(f64, f64)> = Vec::with_capacity(knots);
+    for k in 0..knots {
+        let t = k as f64 / (knots - 1) as f64;
+        let x = lo * (hi / lo).powf(t);
+        let s = truth.speed(x);
+        if let Some(&(px, ps)) = points.last() {
+            // Keep s/x strictly decreasing at the knots.
+            if s / x >= ps / px {
+                continue;
+            }
+        }
+        points.push((x, s));
+    }
+    match PiecewiseLinearSpeed::new(points) {
+        Ok(pwl) => Box::new(pwl),
+        // Degenerate sampling (all knots collapsed) falls back to the truth
+        // itself; still admissible, still deterministic.
+        Err(_) => truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpm_core::speed::check_single_intersection;
+
+    #[test]
+    fn same_seed_same_case() {
+        let cfg = GenConfig::default();
+        let a = CaseSpec::from_seed(42, &cfg);
+        let b = CaseSpec::from_seed(42, &cfg);
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.descriptor, b.descriptor);
+        assert_eq!(a.funcs.len(), b.funcs.len());
+        for (fa, fb) in a.funcs.iter().zip(&b.funcs) {
+            for &x in &[1.0, 100.0, 1e5, 1e8] {
+                assert_eq!(fa.speed(x).to_bits(), fb.speed(x).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = GenConfig::default();
+        let a = CaseSpec::from_seed(1, &cfg);
+        let b = CaseSpec::from_seed(2, &cfg);
+        // Extremely unlikely to collide on both n and descriptor.
+        assert!(a.n != b.n || a.descriptor != b.descriptor);
+    }
+
+    #[test]
+    fn generated_models_are_admissible() {
+        let cfg = GenConfig::default();
+        for seed in 0..40u64 {
+            let case = CaseSpec::from_seed(seed, &cfg);
+            assert!(case.n >= 1);
+            assert!(case.funcs.len() >= cfg.machines.0);
+            for (i, f) in case.funcs.iter().enumerate() {
+                let hi = f.max_size().min(case.n as f64 * 2.0).max(2.0);
+                check_single_intersection(f.as_ref(), 1.0, hi, 200).unwrap_or_else(|(a, b)| {
+                    panic!(
+                        "seed {seed} ({}) machine {i}: s/x not decreasing between {a} and {b}",
+                        case.descriptor
+                    )
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn machine_count_respects_config() {
+        let cfg = GenConfig { machines: (3, 5), ..GenConfig::default() };
+        for seed in 0..20u64 {
+            let p = CaseSpec::from_seed(seed, &cfg).funcs.len();
+            assert!((3..=5).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn n_stays_in_configured_decade_range() {
+        let cfg = GenConfig {
+            n_log10: (3.0, 4.0),
+            simnet_fraction: 0.0,
+            kinds: vec![ModelKind::Constant],
+            ..GenConfig::default()
+        };
+        for seed in 0..20u64 {
+            let n = CaseSpec::from_seed(seed, &cfg).n;
+            assert!((1_000..=10_000).contains(&n), "n = {n}");
+        }
+    }
+
+}

@@ -6,6 +6,12 @@
 //! Unlike real proptest there is no shrinking: a failing case panics with
 //! the case index and deterministic seed so the failure reproduces on
 //! re-run. Case generation is deterministic per test (fixed base seed).
+//!
+//! Failure persistence *is* supported: seeds committed to
+//! `proptest-regressions/<property>.txt` (lines of `cc <seed>`, hex or
+//! decimal) in the test's crate directory are replayed before the
+//! generated stream, and a failing generated case prints the exact `cc`
+//! line to commit.
 
 #![forbid(unsafe_code)]
 
@@ -234,18 +240,77 @@ pub mod test_runner {
         }
     }
 
+    /// Parses one `proptest-regressions` seed file. Lines are `cc <seed>`
+    /// with the seed in `0x…` hex or decimal; blank lines and `#` comments
+    /// are ignored. Returns `(line_number, seed)` pairs; malformed lines
+    /// panic so a typo cannot silently drop a regression.
+    fn load_regression_seeds(path: &std::path::Path) -> Vec<(usize, u64)> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .enumerate()
+            .filter_map(|(idx, raw)| {
+                let line = raw.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    return None;
+                }
+                let parse = |tok: &str| {
+                    tok.strip_prefix("0x")
+                        .map(|h| u64::from_str_radix(h, 16))
+                        .unwrap_or_else(|| tok.parse())
+                };
+                let seed = line
+                    .strip_prefix("cc ")
+                    .and_then(|tok| parse(tok.trim()).ok())
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "malformed regression line {}:{}: {raw:?} (expected `cc <seed>`)",
+                            path.display(),
+                            idx + 1
+                        )
+                    });
+                Some((idx + 1, seed))
+            })
+            .collect()
+    }
+
     /// Executes a property over `config.cases` deterministic cases.
-    pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+    ///
+    /// Persisted regression seeds in
+    /// `<manifest_dir>/proptest-regressions/<name>.txt` are replayed
+    /// *before* the generated stream, mirroring real proptest's failure
+    /// persistence. A failing generated case prints the exact `cc` line to
+    /// commit so the case is pinned forever.
+    pub fn run_property<F>(manifest_dir: &str, name: &str, config: &ProptestConfig, mut case: F)
     where
         F: FnMut(&mut TestRng) -> Result<(), String>,
     {
         // Fixed base seed: failures reproduce on every run.
         const BASE_SEED: u64 = 0x5EED_CAFE_F00D_0001;
+        let seed_file = std::path::Path::new(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{name}.txt"));
+        for (line_no, seed) in load_regression_seeds(&seed_file) {
+            let mut rng = TestRng::new(seed);
+            if let Err(msg) = case(&mut rng) {
+                panic!(
+                    "property '{name}' failed replaying regression seed {seed:#x} \
+                     ({}:{line_no}):\n{msg}",
+                    seed_file.display()
+                );
+            }
+        }
         for i in 0..config.cases {
             let seed = BASE_SEED ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             let mut rng = TestRng::new(seed);
             if let Err(msg) = case(&mut rng) {
-                panic!("property '{name}' failed at case {i} (seed {seed:#x}):\n{msg}");
+                panic!(
+                    "property '{name}' failed at case {i} (seed {seed:#x}).\n\
+                     To pin this case, add the line\n    cc {seed:#x}\n\
+                     to {}\n{msg}",
+                    seed_file.display()
+                );
             }
         }
     }
@@ -339,7 +404,13 @@ macro_rules! proptest {
             fn $name() {
                 let config = $config;
                 let strategies = ($($strat,)+);
-                $crate::test_runner::run_property(stringify!($name), &config, |rng| {
+                // `env!` expands in the *caller* crate, so the regression
+                // directory resolves next to that crate's Cargo.toml.
+                $crate::test_runner::run_property(
+                    env!("CARGO_MANIFEST_DIR"),
+                    stringify!($name),
+                    &config,
+                    |rng| {
                     #[allow(non_snake_case)]
                     let ($($arg,)+) = &strategies;
                     $(
@@ -349,7 +420,8 @@ macro_rules! proptest {
                     $body
                     #[allow(unreachable_code)]
                     Ok(())
-                });
+                    },
+                );
             }
         )*
     };
@@ -367,4 +439,66 @@ macro_rules! proptest {
             )*
         }
     };
+}
+
+#[cfg(test)]
+mod shim_tests {
+    use crate::test_runner::{run_property, ProptestConfig, TestRng};
+
+    fn temp_manifest(name: &str, contents: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fpm-proptest-shim-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("proptest-regressions")).unwrap();
+        std::fs::write(dir.join("proptest-regressions").join("prop.txt"), contents).unwrap();
+        dir
+    }
+
+    #[test]
+    fn regression_seeds_are_replayed_before_the_stream() {
+        let dir = temp_manifest("replay", "# past failure\ncc 0xabc\ncc 123\n\n");
+        let mut seen = Vec::new();
+        run_property(dir.to_str().unwrap(), "prop", &ProptestConfig::with_cases(1), |rng| {
+            seen.push(rng.next_u64());
+            Ok(())
+        });
+        // Two persisted seeds replay ahead of the single generated case,
+        // seeding the RNG exactly as committed.
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0], TestRng::new(0xabc).next_u64());
+        assert_eq!(seen[1], TestRng::new(123).next_u64());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_seed_file_runs_only_the_stream() {
+        let mut runs = 0;
+        run_property("/nonexistent-manifest-dir", "prop", &ProptestConfig::with_cases(4), |_| {
+            runs += 1;
+            Ok(())
+        });
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn failing_regression_seed_names_the_file_and_line() {
+        let dir = temp_manifest("fail", "cc 0xdead\n");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_property(dir.to_str().unwrap(), "prop", &ProptestConfig::with_cases(0), |_| {
+                Err("forced".into())
+            });
+        }));
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("regression seed 0xdead"), "{msg}");
+        assert!(msg.contains("prop.txt:1"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_regression_line_panics() {
+        let dir = temp_manifest("malformed", "cc not-a-seed\n");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_property(dir.to_str().unwrap(), "prop", &ProptestConfig::with_cases(0), |_| Ok(()));
+        }));
+        assert!(result.is_err(), "malformed line must not be silently dropped");
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }
