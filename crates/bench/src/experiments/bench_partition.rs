@@ -28,8 +28,10 @@ use fpm_simnet::machine::MachineSpec;
 use fpm_simnet::profile::AppProfile;
 use fpm_simnet::testbeds;
 
+use fpm_serve::json::Json;
+
 use super::fig21::synthetic_cluster;
-use crate::report::{fnum, Report};
+use crate::report::{fnum, write_bench_json, Report};
 
 /// A view of a model that hides its closed-form intersection and batched
 /// evaluation overrides, reproducing the seed's probe behaviour: every
@@ -175,22 +177,38 @@ pub fn measure() -> BenchPartitionResults {
     }
 }
 
-/// Serialises the results as the `BENCH_partition.json` artifact.
-pub fn to_json(r: &BenchPartitionResults) -> String {
-    format!(
-        "{{\n  \"partition\": {{ \"p\": {p}, \"n\": {n}, \"median_ns\": {po}, \"seed_median_ns\": {ps} }},\n  \"model_build\": {{ \"machines\": {m}, \"workers\": {w}, \"pooled_median_ns\": {bp}, \"sequential_median_ns\": {bs} }},\n  \"matmul\": {{ \"n\": {mn}, \"packed_median_ns\": {mp}, \"loop_median_ns\": {ml} }}\n}}\n",
-        p = BENCH_P,
-        n = BENCH_N,
-        po = r.partition_optimized_ns,
-        ps = r.partition_seed_ns,
-        m = r.build_machines,
-        w = r.build_workers,
-        bp = r.build_pooled_ns,
-        bs = r.build_seq_ns,
-        mn = BENCH_MM_N,
-        mp = r.mm_packed_ns,
-        ml = r.mm_loop_ns,
-    )
+/// The `results` payload of the `BENCH_partition.json` artifact (wrapped
+/// in the shared envelope by [`crate::report::write_bench_json`]).
+pub fn to_json(r: &BenchPartitionResults) -> Json {
+    let ns = |v: u128| Json::uint(v.min(u128::from(u64::MAX)) as u64);
+    Json::Obj(vec![
+        (
+            "partition".into(),
+            Json::Obj(vec![
+                ("p".into(), Json::uint(BENCH_P as u64)),
+                ("n".into(), Json::uint(BENCH_N)),
+                ("median_ns".into(), ns(r.partition_optimized_ns)),
+                ("seed_median_ns".into(), ns(r.partition_seed_ns)),
+            ]),
+        ),
+        (
+            "model_build".into(),
+            Json::Obj(vec![
+                ("machines".into(), Json::uint(r.build_machines as u64)),
+                ("workers".into(), Json::uint(r.build_workers as u64)),
+                ("pooled_median_ns".into(), ns(r.build_pooled_ns)),
+                ("sequential_median_ns".into(), ns(r.build_seq_ns)),
+            ]),
+        ),
+        (
+            "matmul".into(),
+            Json::Obj(vec![
+                ("n".into(), Json::uint(BENCH_MM_N as u64)),
+                ("packed_median_ns".into(), ns(r.mm_packed_ns)),
+                ("loop_median_ns".into(), ns(r.mm_loop_ns)),
+            ]),
+        ),
+    ])
 }
 
 fn speedup(slow_ns: u128, fast_ns: u128) -> f64 {
@@ -227,9 +245,8 @@ pub fn run() -> Report {
         results.mm_loop_ns.to_string(),
         fnum(speedup(results.mm_loop_ns, results.mm_packed_ns), 2),
     ]);
-    let json = to_json(&results);
-    match std::fs::write("BENCH_partition.json", &json) {
-        Ok(()) => r.note("raw medians written to BENCH_partition.json"),
+    match write_bench_json("partition", to_json(&results)) {
+        Ok(path) => r.note(format!("raw medians written to {}", path.display())),
         Err(e) => r.note(format!("could not write BENCH_partition.json: {e}")),
     }
     r.note("baselines are the seed behaviours: uncached probes, sequential build, plain tiled loop");
@@ -253,11 +270,18 @@ mod tests {
             mm_loop_ns: 6,
         };
         let json = to_json(&r);
-        assert!(json.contains("\"p\": 1080"));
-        assert!(json.contains("\"median_ns\": 1"));
-        assert!(json.contains("\"seed_median_ns\": 2"));
-        assert!(json.contains("\"sequential_median_ns\": 4"));
-        assert!(json.contains("\"loop_median_ns\": 6"));
+        let at = |section: &str, field: &str| {
+            json.get(section).and_then(|s| s.get(field)).and_then(Json::as_u64)
+        };
+        assert_eq!(at("partition", "p"), Some(1080));
+        assert_eq!(at("partition", "median_ns"), Some(1));
+        assert_eq!(at("partition", "seed_median_ns"), Some(2));
+        assert_eq!(at("model_build", "sequential_median_ns"), Some(4));
+        assert_eq!(at("matmul", "loop_median_ns"), Some(6));
+        // Envelope carries version + commit.
+        let env = crate::report::bench_json_envelope("partition", json);
+        assert!(env.get("schema_version").and_then(Json::as_u64).is_some());
+        assert!(env.get("git_commit").and_then(Json::as_str).is_some());
     }
 
     #[test]

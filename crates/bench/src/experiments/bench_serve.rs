@@ -1,0 +1,212 @@
+//! `bench_serve` — throughput/latency of the partition daemon.
+//!
+//! Spawns a real `fpm-serve` server on an ephemeral port, registers the
+//! Table 2 testbed cluster through the wire protocol, then drives it with
+//! the deterministic load generator in two phases:
+//!
+//! * **cold** — problem sizes drawn from a pool far larger than the
+//!   request count, so almost every request computes a fresh plan;
+//! * **warm** — a small pool of repeated sizes, so almost every request
+//!   is served from the sharded plan cache (acceptance: hit rate > 90%).
+//!
+//! Besides the usual CSV report, the run writes `BENCH_serve.json` with
+//! throughput, exact p50/p99 latencies and hit rates for both phases.
+
+use fpm_serve::client::Client;
+use fpm_serve::json::Json;
+use fpm_serve::loadgen::{self, LoadgenConfig, LoadgenReport};
+use fpm_serve::protocol::ProtoError;
+use fpm_serve::server::{spawn, ServerConfig};
+
+use crate::report::{fnum, write_bench_json, Report};
+
+/// Cluster name registered for the measurement.
+const CLUSTER: &str = "bench";
+/// Testbed backing the cluster (12 machines, paper Table 2).
+const TESTBED: &str = "table2";
+/// Application profile of the speed models.
+const APP: &str = "mm";
+/// Model-builder seed (deterministic models ⇒ deterministic plans).
+const SEED: u64 = 0xBE9C;
+
+/// Outcome of both load phases against one server instance.
+#[derive(Debug, Clone)]
+pub struct BenchServeResults {
+    /// Machines in the registered cluster.
+    pub machines: usize,
+    /// Mostly-miss phase.
+    pub cold: LoadgenReport,
+    /// Mostly-hit phase.
+    pub warm: LoadgenReport,
+}
+
+/// Spawns a server, registers the testbed cluster and runs the two
+/// phases with the given configs (cold first).
+fn measure_with(
+    cold_cfg: &LoadgenConfig,
+    warm_cfg: &LoadgenConfig,
+) -> Result<BenchServeResults, ProtoError> {
+    let handle = spawn(ServerConfig::default())
+        .map_err(|e| ProtoError::new("internal", format!("spawn: {e}")))?;
+    let result = (|| {
+        let mut client =
+            Client::connect(handle.addr, std::time::Duration::from_secs(10))
+                .map_err(|e| ProtoError::new("internal", format!("connect: {e}")))?;
+        let reg = client.register_testbed(CLUSTER, TESTBED, APP, SEED)?;
+        let cold = loadgen::run(handle.addr, CLUSTER, cold_cfg)?;
+        let warm = loadgen::run(handle.addr, CLUSTER, warm_cfg)?;
+        Ok(BenchServeResults {
+            machines: reg.machines.len(),
+            cold,
+            warm,
+        })
+    })();
+    handle.shutdown_and_join();
+    result
+}
+
+/// Runs the headline measurement: 64 nearly-all-distinct requests cold,
+/// then 400 requests over 8 sizes warm.
+pub fn measure() -> Result<BenchServeResults, ProtoError> {
+    let cold = LoadgenConfig {
+        workers: 2,
+        requests_per_worker: 32,
+        distinct_n: 4096,
+        seed: 0xC01D,
+        ..LoadgenConfig::default()
+    };
+    let warm = LoadgenConfig {
+        workers: 4,
+        requests_per_worker: 100,
+        distinct_n: 8,
+        seed: 0x3A93,
+        ..LoadgenConfig::default()
+    };
+    measure_with(&cold, &warm)
+}
+
+fn phase_json(r: &LoadgenReport) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::uint(r.ok)),
+        ("cached".into(), Json::uint(r.cached)),
+        ("shed".into(), Json::uint(r.shed)),
+        ("deadline".into(), Json::uint(r.deadline)),
+        ("errors".into(), Json::uint(r.other_errors)),
+        ("hit_rate".into(), Json::num(r.hit_rate())),
+        ("throughput_rps".into(), Json::num(r.throughput())),
+        ("p50_us".into(), Json::uint(r.p50_us)),
+        ("p99_us".into(), Json::uint(r.p99_us)),
+        ("mean_us".into(), Json::num(r.mean_us)),
+    ])
+}
+
+/// The `results` payload of the `BENCH_serve.json` artifact (wrapped in
+/// the shared envelope by [`crate::report::write_bench_json`]).
+pub fn to_json(r: &BenchServeResults) -> Json {
+    Json::Obj(vec![
+        (
+            "cluster".into(),
+            Json::Obj(vec![
+                ("testbed".into(), Json::str(TESTBED)),
+                ("app".into(), Json::str(APP)),
+                ("seed".into(), Json::uint(SEED)),
+                ("machines".into(), Json::uint(r.machines as u64)),
+            ]),
+        ),
+        ("cold".into(), phase_json(&r.cold)),
+        ("warm".into(), phase_json(&r.warm)),
+    ])
+}
+
+fn phase_row(name: &str, r: &LoadgenReport) -> Vec<String> {
+    vec![
+        name.to_owned(),
+        r.ok.to_string(),
+        fnum(100.0 * r.hit_rate(), 1),
+        fnum(r.throughput(), 0),
+        r.p50_us.to_string(),
+        r.p99_us.to_string(),
+        (r.shed + r.deadline + r.other_errors).to_string(),
+    ]
+}
+
+/// Runs the measurement, writes `BENCH_serve.json` into the current
+/// directory and returns the tabular report.
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "bench_serve",
+        "Partition daemon under load: cold vs warm plan cache",
+        &["phase", "ok", "hit %", "req/s", "p50 (us)", "p99 (us)", "failed"],
+    );
+    match measure() {
+        Ok(results) => {
+            report.push_row(phase_row("cold", &results.cold));
+            report.push_row(phase_row("warm", &results.warm));
+            match write_bench_json("serve", to_json(&results)) {
+                Ok(path) => {
+                    report.note(format!("raw results written to {}", path.display()));
+                }
+                Err(e) => report.note(format!("could not write BENCH_serve.json: {e}")),
+            }
+            report.note(format!(
+                "cluster: {TESTBED}/{APP} seed {SEED} ({} machines); acceptance: warm hit rate > 90% (got {})",
+                results.machines,
+                fnum(100.0 * results.warm.hit_rate(), 1),
+            ));
+            if results.warm.hit_rate() <= 0.9 {
+                report.note("WARNING: warm hit rate below the 90% acceptance bar");
+            }
+        }
+        Err(e) => report.note(format!("measurement failed: {e}")),
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_end_to_end_run_meets_the_warm_acceptance_bar() {
+        let cold = LoadgenConfig {
+            workers: 2,
+            requests_per_worker: 8,
+            distinct_n: 4096,
+            seed: 0xC01D,
+            ..LoadgenConfig::default()
+        };
+        let warm = LoadgenConfig {
+            workers: 2,
+            requests_per_worker: 40,
+            distinct_n: 2,
+            seed: 0x3A93,
+            ..LoadgenConfig::default()
+        };
+        let r = measure_with(&cold, &warm).unwrap();
+        assert_eq!(r.machines, 12);
+        assert_eq!(r.cold.other_errors + r.warm.other_errors, 0);
+        assert_eq!(r.warm.ok, 80);
+        assert!(r.warm.hit_rate() > 0.9, "warm hit rate {}", r.warm.hit_rate());
+        // Cold draws 16 sizes from a pool of 4096 — collisions are
+        // possible but a mostly-cold phase must stay below the warm rate.
+        assert!(r.cold.hit_rate() < r.warm.hit_rate());
+
+        let json = to_json(&r);
+        let warm_hits = json
+            .get("warm")
+            .and_then(|w| w.get("hit_rate"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(warm_hits > 0.9);
+        assert_eq!(
+            json.get("cluster").and_then(|c| c.get("machines")).and_then(Json::as_u64),
+            Some(12)
+        );
+        // The payload must survive the wire format round trip.
+        let round = Json::parse(&json.to_string()).unwrap();
+        assert_eq!(
+            round.get("cluster").and_then(|c| c.get("testbed")).and_then(Json::as_str),
+            Some(TESTBED)
+        );
+    }
+}

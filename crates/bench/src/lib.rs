@@ -36,6 +36,7 @@
 //! | `ext_secant` | regula-falsi line search ("ideal algorithm") | [`experiments::extensions`] |
 //! | `ext_dynamic` | adaptive re-partitioning under load shifts | [`experiments::extensions`] |
 //! | `bench_partition` | optimised vs seed paths (writes `BENCH_partition.json`) | [`experiments::bench_partition`] |
+//! | `bench_serve` | daemon throughput/latency, cold vs warm cache (writes `BENCH_serve.json`) | [`experiments::bench_serve`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -76,6 +77,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ext_secant",
     "ext_dynamic",
     "bench_partition",
+    "bench_serve",
 ];
 
 /// Runs one experiment by id.
@@ -110,6 +112,7 @@ pub fn run_experiment(id: &str) -> Option<Report> {
         "ext_secant" => Some(experiments::extensions::secant()),
         "ext_dynamic" => Some(experiments::extensions::dynamic()),
         "bench_partition" => Some(experiments::bench_partition::run()),
+        "bench_serve" => Some(experiments::bench_serve::run()),
         _ => None,
     }
 }

@@ -1,9 +1,33 @@
-//! Experiment reports: tabular results with CSV export.
+//! Experiment reports: tabular results with CSV export, plus the unified
+//! `BENCH_*.json` machine-readable artifact emitter.
+//!
+//! Every `BENCH_*.json` file shares one envelope (see
+//! [`bench_json_envelope`]):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "experiment": "<id>",
+//!   "git_commit": "<hex or \"unknown\">",
+//!   "results": { ...experiment-specific... }
+//! }
+//! ```
+//!
+//! so downstream tooling can key on `schema_version`/`experiment` without
+//! per-experiment parsers. The JSON values come from [`fpm_serve::json`],
+//! whose writer renders floats shortest-round-trip.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use fpm_serve::json::Json;
+
+/// Version of the shared `BENCH_*.json` envelope. Bump when the envelope
+/// (not an experiment's `results` payload) changes shape.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
 
 /// A tabular experiment result.
 #[derive(Debug, Clone)]
@@ -104,6 +128,40 @@ impl Report {
     }
 }
 
+/// The current git commit (short of nothing to hash against, `"unknown"`
+/// outside a repository or without git on PATH).
+pub fn git_commit() -> String {
+    Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Wraps an experiment's results in the shared envelope.
+pub fn bench_json_envelope(experiment: &str, results: Json) -> Json {
+    Json::Obj(vec![
+        ("schema_version".into(), Json::uint(BENCH_SCHEMA_VERSION)),
+        ("experiment".into(), Json::str(experiment)),
+        ("git_commit".into(), Json::str(git_commit())),
+        ("results".into(), results),
+    ])
+}
+
+/// Writes `BENCH_<experiment>.json` (envelope + payload) into the current
+/// directory and returns its path.
+pub fn write_bench_json(experiment: &str, results: Json) -> io::Result<PathBuf> {
+    let path = PathBuf::from(format!("BENCH_{experiment}.json"));
+    let mut body = bench_json_envelope(experiment, results).to_string();
+    body.push('\n');
+    fs::write(&path, body)?;
+    Ok(path)
+}
+
 /// Formats a float with the given precision, trimming `-0`.
 pub fn fnum(v: f64, precision: usize) -> String {
     let s = format!("{v:.precision$}");
@@ -153,5 +211,34 @@ mod tests {
     fn fnum_trims_negative_zero() {
         assert_eq!(fnum(-0.0001, 2), "0.00");
         assert_eq!(fnum(1.236, 2), "1.24");
+    }
+
+    #[test]
+    fn bench_envelope_has_version_commit_and_payload() {
+        let payload = Json::Obj(vec![("x".into(), Json::uint(7))]);
+        let env = bench_json_envelope("demo", payload);
+        assert_eq!(
+            env.get("schema_version").and_then(Json::as_u64),
+            Some(BENCH_SCHEMA_VERSION)
+        );
+        assert_eq!(env.get("experiment").and_then(Json::as_str), Some("demo"));
+        let commit = env.get("git_commit").and_then(Json::as_str).unwrap();
+        assert!(!commit.is_empty());
+        assert_eq!(
+            env.get("results").and_then(|r| r.get("x")).and_then(Json::as_u64),
+            Some(7)
+        );
+        // The rendered envelope must parse back.
+        let round = Json::parse(&env.to_string()).unwrap();
+        assert_eq!(round.get("experiment").and_then(Json::as_str), Some("demo"));
+    }
+
+    #[test]
+    fn git_commit_is_hex_or_unknown() {
+        let c = git_commit();
+        assert!(
+            c == "unknown" || (c.len() == 40 && c.chars().all(|ch| ch.is_ascii_hexdigit())),
+            "{c}"
+        );
     }
 }

@@ -5,6 +5,7 @@ use std::process::ExitCode;
 
 use fpm_cli::commands::{self, Algorithm};
 use fpm_cli::parse_models;
+use fpm_cli::serve_cmd::{self, LoadgenOptions, ServeOptions};
 
 const HELP: &str = "\
 fpm — data partitioning with a functional performance model
@@ -16,9 +17,17 @@ USAGE:
     fpm models      --list
     fpm calibrate   [--name HOST] [--max-dim N] [--points K]
                                           (measure THIS host, emit a model file)
+    fpm serve       [--addr HOST:PORT] [--model FILE] [--cluster NAME]
+                    [--cache CAP] [--deadline-ms MS]
+                                          (partition daemon; stop with the shutdown verb)
+    fpm loadgen     [--addr HOST:PORT] [--cluster NAME] [--register TESTBED-APP]
+                    [--workers K] [--requests N] [--distinct-n D] [--seed S]
+                    [--algorithm A] [--deadline-ms MS] [--shutdown]
+                                          (drive a running daemon, print throughput/latency)
 
 The model FILE is plain text: one processor per line,
-`name size:speed size:speed ...` (sizes in elements, speeds in MFlops).";
+`name size:speed size:speed ...` (sizes in elements, speeds in MFlops).
+The serve protocol is line-delimited JSON; see the fpm-serve crate docs.";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -28,8 +37,8 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         if !key.starts_with("--") {
             return Err(format!("unexpected argument: {key}"));
         }
-        if key == "--list" {
-            flags.insert("list".to_owned(), String::new());
+        if key == "--list" || key == "--shutdown" {
+            flags.insert(key.trim_start_matches("--").to_owned(), String::new());
             i += 1;
             continue;
         }
@@ -119,6 +128,69 @@ fn run() -> Result<(), String> {
             }
             let testbed = flags.get("testbed").ok_or("--testbed NAME (or --list)")?;
             let out = commands::models(testbed).map_err(|e| e.to_string())?;
+            print!("{out}");
+            Ok(())
+        }
+        "serve" => {
+            let mut opts = ServeOptions::default();
+            if let Some(addr) = flags.get("addr") {
+                opts.addr = addr.clone();
+            }
+            if let Some(path) = flags.get("model") {
+                let contents =
+                    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                opts.preload = Some(parse_models(&contents).map_err(|e| e.to_string())?);
+            }
+            if let Some(name) = flags.get("cluster") {
+                opts.cluster = name.clone();
+            }
+            if let Some(cap) = flags.get("cache") {
+                opts.cache_capacity =
+                    cap.parse().map_err(|_| "unparsable --cache".to_owned())?;
+            }
+            if let Some(ms) = flags.get("deadline-ms") {
+                ms.parse::<u64>()
+                    .map(|v| opts.deadline_ms = v)
+                    .map_err(|_| "unparsable --deadline-ms".to_owned())?;
+            }
+            let metrics = serve_cmd::serve(&opts, |addr| {
+                println!("fpm serve: listening on {addr}");
+            })?;
+            println!("{metrics}");
+            Ok(())
+        }
+        "loadgen" => {
+            let mut opts = LoadgenOptions::default();
+            if let Some(addr) = flags.get("addr") {
+                opts.addr = addr.clone();
+            }
+            if let Some(name) = flags.get("cluster") {
+                opts.cluster = name.clone();
+            }
+            opts.register = flags.get("register").cloned();
+            if let Some(v) = flags.get("workers") {
+                opts.workers = v.parse().map_err(|_| "unparsable --workers".to_owned())?;
+            }
+            if let Some(v) = flags.get("requests") {
+                opts.requests = v.parse().map_err(|_| "unparsable --requests".to_owned())?;
+            }
+            if let Some(v) = flags.get("distinct-n") {
+                opts.distinct_n =
+                    v.parse().map_err(|_| "unparsable --distinct-n".to_owned())?;
+            }
+            if let Some(v) = flags.get("seed") {
+                opts.seed = v.parse().map_err(|_| "unparsable --seed".to_owned())?;
+            }
+            if let Some(v) = flags.get("algorithm") {
+                opts.algorithm =
+                    fpm_serve::protocol::Algorithm::parse(v).map_err(|e| e.to_string())?;
+            }
+            if let Some(v) = flags.get("deadline-ms") {
+                opts.deadline_ms =
+                    v.parse().map_err(|_| "unparsable --deadline-ms".to_owned())?;
+            }
+            opts.shutdown_after = flags.contains_key("shutdown");
+            let out = serve_cmd::loadgen(&opts)?;
             print!("{out}");
             Ok(())
         }

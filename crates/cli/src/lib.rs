@@ -13,11 +13,19 @@
 //! line, `name` followed by whitespace-separated `size:speed` knots of its
 //! piece-wise linear speed function (sizes in elements, speeds in MFlops;
 //! `#` starts a comment). See [`model_file`].
+//!
+//! The serving layer has its own pair of commands (see [`serve_cmd`]):
+//!
+//! ```text
+//! fpm serve --addr 127.0.0.1:7171 --model cluster.fpm     # long-lived daemon
+//! fpm loadgen --addr 127.0.0.1:7171 --register table2-mm  # drive it
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod commands;
 pub mod model_file;
+pub mod serve_cmd;
 
 pub use model_file::{format_models, parse_models, NamedModel};

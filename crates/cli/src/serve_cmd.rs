@@ -1,0 +1,254 @@
+//! `fpm serve` and `fpm loadgen`: the CLI front end of the serving layer.
+//!
+//! Errors are plain strings: these commands aggregate failures from the
+//! model-file parser, the network layer and the protocol, and the binary
+//! prints them verbatim.
+
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use fpm_serve::client::Client;
+use fpm_serve::loadgen::{self, LoadgenConfig};
+use fpm_serve::protocol::Algorithm;
+use fpm_serve::server::{spawn, ServerConfig};
+
+use crate::model_file::NamedModel;
+
+/// Options for `fpm serve`.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Models to pre-register (from `--model FILE`), if any.
+    pub preload: Option<Vec<NamedModel>>,
+    /// Registry name for the preloaded cluster.
+    pub cluster: String,
+    /// Plan-cache capacity.
+    pub cache_capacity: usize,
+    /// Default per-request deadline, ms.
+    pub deadline_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7171".to_owned(),
+            preload: None,
+            cluster: "default".to_owned(),
+            cache_capacity: 1024,
+            deadline_ms: 2000,
+        }
+    }
+}
+
+/// Runs the daemon until a client sends the `shutdown` verb, then returns
+/// the final metrics snapshot as a JSON line.
+///
+/// `on_ready` fires once with the bound address (the binary prints it;
+/// tests use it to drive the server).
+pub fn serve(
+    opts: &ServeOptions,
+    on_ready: impl FnOnce(SocketAddr),
+) -> Result<String, String> {
+    let addr: SocketAddr =
+        opts.addr.parse().map_err(|e| format!("bad --addr {:?}: {e}", opts.addr))?;
+    let config = ServerConfig {
+        addr,
+        cache_capacity: opts.cache_capacity,
+        default_deadline_ms: opts.deadline_ms,
+        ..ServerConfig::default()
+    };
+    let handle = spawn(config).map_err(|e| format!("bind {addr}: {e}"))?;
+    if let Some(models) = &opts.preload {
+        // Register through the protocol itself: the preload path is then
+        // exactly as tested as client registrations.
+        let mut client = Client::connect(handle.addr, Duration::from_secs(30))
+            .map_err(|e| format!("loopback connect: {e}"))?;
+        let wire: Vec<(String, Vec<(f64, f64)>)> = models
+            .iter()
+            .map(|m| (m.name.clone(), m.model.knots().to_vec()))
+            .collect();
+        client
+            .register_inline(&opts.cluster, &wire)
+            .map_err(|e| format!("preload register: {e}"))?;
+    }
+    on_ready(handle.addr);
+    while !handle.is_stopping() {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    Ok(handle.shutdown_and_join().to_string())
+}
+
+/// Options for `fpm loadgen`.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Server address.
+    pub addr: String,
+    /// Cluster to drive. When `register` is set the cluster is
+    /// (re-)registered first from that testbed spec (`table1-mm` style).
+    pub cluster: String,
+    /// Optional `TESTBED-APP` spec (e.g. `table2-mm`) to register first.
+    pub register: Option<String>,
+    /// Concurrent client workers.
+    pub workers: usize,
+    /// Requests per worker.
+    pub requests: usize,
+    /// Distinct problem sizes (1 ⇒ maximally warm cache).
+    pub distinct_n: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Algorithm under load.
+    pub algorithm: Algorithm,
+    /// Per-request deadline, ms.
+    pub deadline_ms: u64,
+    /// Whether to send a `shutdown` verb after the run.
+    pub shutdown_after: bool,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7171".to_owned(),
+            cluster: "default".to_owned(),
+            register: None,
+            workers: 4,
+            requests: 100,
+            distinct_n: 16,
+            seed: 0x10AD,
+            algorithm: Algorithm::Combined,
+            deadline_ms: 5000,
+            shutdown_after: false,
+        }
+    }
+}
+
+/// Splits a `table2-mm`-style spec into testbed and app names.
+fn split_testbed_spec(spec: &str) -> Result<(&str, &str), String> {
+    let (tb, app) = spec
+        .split_once('-')
+        .ok_or_else(|| format!("bad --register {spec:?}: expected TESTBED-APP, e.g. table2-mm"))?;
+    Ok((tb, app))
+}
+
+/// Drives a load burst against a running server and renders the report.
+pub fn loadgen(opts: &LoadgenOptions) -> Result<String, String> {
+    let addr: SocketAddr =
+        opts.addr.parse().map_err(|e| format!("bad --addr {:?}: {e}", opts.addr))?;
+    if let Some(spec) = &opts.register {
+        let (tb, app) = split_testbed_spec(spec)?;
+        let mut client = Client::connect(addr, Duration::from_secs(60))
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+        client
+            .register_testbed(&opts.cluster, tb, app, opts.seed)
+            .map_err(|e| format!("register {spec}: {e}"))?;
+    }
+    let cfg = LoadgenConfig {
+        workers: opts.workers.max(1),
+        requests_per_worker: opts.requests.max(1),
+        distinct_n: opts.distinct_n.max(1),
+        seed: opts.seed,
+        algorithm: opts.algorithm,
+        deadline_ms: opts.deadline_ms,
+        ..LoadgenConfig::default()
+    };
+    let report = loadgen::run(addr, &opts.cluster, &cfg).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "loadgen: {} workers x {} requests, {} distinct sizes, algorithm {}",
+        cfg.workers,
+        cfg.requests_per_worker,
+        cfg.distinct_n,
+        opts.algorithm.wire_name(),
+    );
+    let _ = writeln!(
+        out,
+        "ok {}  cached {} ({:.1} % hit)  shed {}  deadline {}  errors {}",
+        report.ok,
+        report.cached,
+        100.0 * report.hit_rate(),
+        report.shed,
+        report.deadline,
+        report.other_errors,
+    );
+    let _ = writeln!(
+        out,
+        "throughput {:.0} req/s  latency p50 {} us  p99 {} us  mean {:.0} us",
+        report.throughput(),
+        report.p50_us,
+        report.p99_us,
+        report.mean_us,
+    );
+    if opts.shutdown_after {
+        let mut client = Client::connect(addr, Duration::from_secs(10))
+            .map_err(|e| format!("connect for shutdown: {e}"))?;
+        client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        let _ = writeln!(out, "shutdown requested");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn serve_preloads_and_shuts_down_cleanly() {
+        let models = crate::parse_models("A 1000:200 1e6:180 1e8:0\nB 1000:100 1e6:90 1e8:0\n")
+            .unwrap();
+        let opts = ServeOptions {
+            addr: "127.0.0.1:0".to_owned(),
+            preload: Some(models),
+            cluster: "pre".to_owned(),
+            ..ServeOptions::default()
+        };
+        let (tx, rx) = mpsc::channel();
+        let server = std::thread::spawn(move || {
+            serve(&opts, move |addr| tx.send(addr).unwrap())
+        });
+        let addr = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let mut client = Client::connect(addr, Duration::from_secs(30)).unwrap();
+        let reply = client
+            .partition("pre", 500_000, Algorithm::Combined, None)
+            .unwrap();
+        assert_eq!(reply.counts.iter().sum::<u64>(), 500_000);
+        client.shutdown().unwrap();
+        let metrics = server.join().unwrap().unwrap();
+        assert!(metrics.contains("partition_requests"), "{metrics}");
+    }
+
+    #[test]
+    fn loadgen_registers_runs_and_reports() {
+        let opts = ServeOptions { addr: "127.0.0.1:0".to_owned(), ..ServeOptions::default() };
+        let (tx, rx) = mpsc::channel();
+        let server = std::thread::spawn(move || {
+            serve(&opts, move |addr| tx.send(addr).unwrap())
+        });
+        let addr = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let lg = LoadgenOptions {
+            addr: addr.to_string(),
+            cluster: "lg".to_owned(),
+            register: Some("table1-mm".to_owned()),
+            workers: 2,
+            requests: 20,
+            distinct_n: 2,
+            shutdown_after: true,
+            ..LoadgenOptions::default()
+        };
+        let out = loadgen(&lg).unwrap();
+        assert!(out.contains("ok 40"), "{out}");
+        assert!(out.contains("errors 0"), "{out}");
+        assert!(out.contains("shutdown requested"), "{out}");
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn bad_specs_are_reported() {
+        assert!(split_testbed_spec("table2mm").is_err());
+        assert_eq!(split_testbed_spec("table2-mm").unwrap(), ("table2", "mm"));
+        let opts = LoadgenOptions { addr: "not an addr".to_owned(), ..LoadgenOptions::default() };
+        assert!(loadgen(&opts).unwrap_err().contains("bad --addr"));
+    }
+}

@@ -26,7 +26,7 @@ pub mod surface;
 pub use analytic::AnalyticSpeed;
 pub use band::{BandPoint, SpeedBand, WidthLaw};
 pub use builder::{build_speed_band, BuildOutcome, BuilderConfig, Measurer};
-pub use cached::CachedSpeed;
+pub use cached::{CachedSpeed, SharedCachedSpeed};
 pub use function::{check_single_intersection, ConstantSpeed, ScaledSpeed, SpeedFunction};
 pub use hierarchical::{HierarchicalSpeed, MemoryLevel};
 pub use piecewise::PiecewiseLinearSpeed;

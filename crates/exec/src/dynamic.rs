@@ -131,6 +131,30 @@ pub struct DynamicRun {
 /// chunk's start), every machine processes its share through any load
 /// changes landing mid-chunk, and the chunk ends when the slowest machine
 /// finishes.
+///
+/// ```
+/// use fpm_core::partition::CombinedPartitioner;
+/// use fpm_core::speed::PiecewiseLinearSpeed;
+/// use fpm_exec::dynamic::{simulate_dynamic_mm, DynamicSpeed, LoadEvent, Strategy};
+///
+/// let steady = DynamicSpeed::new(
+///     PiecewiseLinearSpeed::new(vec![(1e3, 300.0), (1e9, 250.0)])?,
+///     vec![],
+/// );
+/// // This machine loses 150 MFlops one second in (a heavy job starts).
+/// let loaded = DynamicSpeed::new(
+///     PiecewiseLinearSpeed::new(vec![(1e3, 300.0), (1e9, 250.0)])?,
+///     vec![LoadEvent { at: 1.0, shift_mflops: 150.0 }],
+/// );
+/// let machines = [steady, loaded];
+/// let p = CombinedPartitioner::new();
+/// let adaptive = simulate_dynamic_mm(600, 4, &machines, &p, Strategy::Adaptive)?;
+/// let static_ = simulate_dynamic_mm(600, 4, &machines, &p, Strategy::Static)?;
+/// assert_eq!(adaptive.chunk_seconds.len(), 4);
+/// // Re-partitioning can only help once the load shift is observable.
+/// assert!(adaptive.total_seconds <= static_.total_seconds + 1e-9);
+/// # Ok::<(), fpm_core::error::Error>(())
+/// ```
 pub fn simulate_dynamic_mm<F: SpeedFunction, P: Partitioner>(
     n: u64,
     chunks: usize,

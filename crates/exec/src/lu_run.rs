@@ -35,6 +35,20 @@ pub struct LuRunResult {
 /// Simulates the factorisation of an `n×n` matrix with block width `block`
 /// where column block `j` is owned by processor `block_owner[j]`.
 ///
+/// ```
+/// use fpm_core::speed::PiecewiseLinearSpeed;
+/// use fpm_exec::lu_run::simulate_lu;
+///
+/// let fast = PiecewiseLinearSpeed::new(vec![(1e3, 400.0), (1e8, 300.0)])?;
+/// let slow = PiecewiseLinearSpeed::new(vec![(1e3, 200.0), (1e8, 150.0)])?;
+/// // Eight block columns of width 128, owned round-robin.
+/// let owners: Vec<usize> = (0..8).map(|j| j % 2).collect();
+/// let run = simulate_lu(1024, 128, &owners, &[fast, slow])?;
+/// assert_eq!(run.steps, 8);
+/// assert!(run.total_seconds > 0.0);
+/// # Ok::<(), fpm_core::error::Error>(())
+/// ```
+///
 /// # Errors
 ///
 /// [`Error::InvalidParameter`] if the owner list does not cover

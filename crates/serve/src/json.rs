@@ -1,0 +1,577 @@
+//! A minimal, dependency-free JSON layer for the wire protocol.
+//!
+//! The workspace policy is vendored-offline / std-only, so the protocol
+//! cannot lean on serde. This module implements exactly the subset the
+//! daemon needs, hardened for untrusted input:
+//!
+//! * a recursive-descent parser with a **nesting-depth cap** (frames are
+//!   already length-capped by the server's line reader), returning
+//!   positioned errors instead of panicking on any byte sequence;
+//! * strict number grammar — `NaN`, `inf`, hex floats and other
+//!   `f64::from_str` extensions are rejected, as JSON requires;
+//! * a writer whose float formatting is Rust's shortest-round-trip
+//!   `Display`, so `f64` values survive a serialize → parse round trip
+//!   **bit-exactly** (the serve conformance tests depend on this);
+//!   non-finite floats are refused at construction.
+//!
+//! Objects preserve insertion order (association list, not a hash map):
+//! responses are byte-deterministic given the same inputs.
+
+use std::fmt;
+
+/// Maximum nesting depth accepted by the parser.
+pub const MAX_DEPTH: usize = 32;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Always finite (construction via [`Json::num`] enforces
+    /// it; the parser cannot produce non-finite values from valid JSON
+    /// except via overflow, which is rejected).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A positioned parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error in the input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// A finite number. Panics on NaN/∞ — the daemon never has a reason to
+    /// emit one, and JSON cannot represent them.
+    pub fn num(v: f64) -> Json {
+        assert!(v.is_finite(), "JSON numbers must be finite");
+        Json::Num(v)
+    }
+
+    /// An unsigned integer, exact up to 2⁵³ (the protocol caps `n` well
+    /// below that).
+    pub fn uint(v: u64) -> Json {
+        debug_assert!(v <= (1u64 << 53), "u64 above 2^53 loses precision in JSON");
+        Json::Num(v as f64)
+    }
+
+    /// A string value.
+    pub fn str(v: impl Into<String>) -> Json {
+        Json::Str(v.into())
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, rejecting fractional parts and
+    /// anything above 2⁵³ (where `f64` stops being exact).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && *v <= (1u64 << 53) as f64 && v.fract() == 0.0 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses one complete JSON document; trailing non-whitespace is an
+    /// error (one frame per line, nothing may ride along).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let bytes = input.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> JsonError {
+        JsonError { at: self.pos, message }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, text: &'static str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by \uDC00..DFFF; lone surrogates
+                            // are replaced (never panic on bad input).
+                            if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        let c = 0x10000
+                                            + ((cp - 0xD800) << 10)
+                                            + (lo - 0xDC00);
+                                        out.push(
+                                            char::from_u32(c).unwrap_or('\u{FFFD}'),
+                                        );
+                                    } else {
+                                        out.push('\u{FFFD}');
+                                        out.push(
+                                            char::from_u32(lo).unwrap_or('\u{FFFD}'),
+                                        );
+                                    }
+                                } else {
+                                    out.push('\u{FFFD}');
+                                }
+                            } else {
+                                out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                0x00..=0x1F => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Re-decode the UTF-8 character starting at pos-1. The
+                    // input is a &str so the bytes are valid UTF-8.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = start + width;
+                    if end > self.bytes.len() {
+                        return Err(self.err("truncated UTF-8 sequence"));
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let digit = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a') as u32 + 10,
+                b'A'..=b'F' => (b - b'A') as u32 + 10,
+                _ => return Err(self.err("invalid hex digit in \\u escape")),
+            };
+            cp = cp * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one digit, or a non-zero digit followed by more.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let v: f64 = text.parse().map_err(|_| self.err("unparsable number"))?;
+        if !v.is_finite() {
+            return Err(self.err("number overflows f64"));
+        }
+        Ok(Json::Num(v))
+    }
+}
+
+/// Width in bytes of the UTF-8 character starting with `first`.
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(true) => f.write_str("true"),
+            Json::Bool(false) => f.write_str("false"),
+            Json::Num(v) => {
+                if !v.is_finite() {
+                    // Unreachable through the public constructors; keep the
+                    // output valid JSON regardless.
+                    return f.write_str("null");
+                }
+                if *v == 0.0 {
+                    // Preserve the sign bit: "-0" parses back to -0.0.
+                    f.write_str(if v.is_sign_negative() { "-0" } else { "0" })
+                } else if *v == v.trunc() && v.abs() < 1e15 {
+                    // Integral values print without the ".0" Rust adds.
+                    write!(f, "{}", *v as i64)
+                } else {
+                    // Rust's float Display is shortest-round-trip.
+                    write!(f, "{v}")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_fmt(format_args!("{c}"))?,
+        }
+    }
+    f.write_str("\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse(" false ").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::Num(42.0));
+        assert_eq!(Json::parse("-1.5e3").unwrap(), Json::Num(-1500.0));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = Json::parse(r#"{"a":[1,2,{"b":null}],"c":"x"}"#).unwrap();
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x"));
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_json_extensions() {
+        for bad in ["NaN", "inf", "Infinity", "+1", "01", ".5", "1.", "1e", "0x10", "'s'"] {
+            assert!(Json::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_truncation() {
+        assert!(Json::parse("{}x").is_err());
+        assert!(Json::parse("{\"a\":1").is_err());
+        assert!(Json::parse("[1,2").is_err());
+        assert!(Json::parse("\"abc").is_err());
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        let e = Json::parse(&deep).unwrap_err();
+        assert_eq!(e.message, "nesting too deep");
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    #[allow(clippy::excessive_precision)] // deliberate: non-representable literal
+    fn floats_round_trip_bit_exactly() {
+        for &v in &[
+            0.0,
+            -0.0,
+            1.0 / 3.0,
+            6.062462316241271e22,
+            f64::MIN_POSITIVE,
+            1e-300,
+            123456789.123456789,
+            2f64.powi(53),
+        ] {
+            let text = Json::num(v).to_string();
+            let back = Json::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} → {text} → {back}");
+        }
+    }
+
+    #[test]
+    fn u64_round_trips_exactly_below_2_53() {
+        for &v in &[0u64, 1, 999_999_999_999, 1u64 << 53] {
+            let text = Json::uint(v).to_string();
+            assert_eq!(Json::parse(&text).unwrap().as_u64(), Some(v));
+        }
+        assert_eq!(Json::parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("-1").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        let nasty = "quote\" slash\\ newline\n tab\t unicode π control\u{0001}";
+        let text = Json::str(nasty).to_string();
+        assert_eq!(Json::parse(&text).unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(Json::parse(r#""é""#).unwrap().as_str(), Some("é"));
+        // Surrogate pair.
+        assert_eq!(Json::parse(r#""😀""#).unwrap().as_str(), Some("😀"));
+        // Lone surrogate is replaced, not a panic.
+        assert_eq!(Json::parse(r#""\ud800""#).unwrap().as_str(), Some("\u{FFFD}"));
+    }
+
+    #[test]
+    fn object_output_is_deterministic() {
+        let obj = Json::Obj(vec![
+            ("b".into(), Json::uint(2)),
+            ("a".into(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+        ]);
+        assert_eq!(obj.to_string(), r#"{"b":2,"a":[true,null]}"#);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_numbers_are_refused() {
+        let _ = Json::num(f64::NAN);
+    }
+}

@@ -1,0 +1,253 @@
+//! A deterministic closed-loop load generator for the serve daemon.
+//!
+//! `workers` client threads each run `requests_per_worker` partition
+//! requests against a pre-registered cluster, drawing problem sizes from a
+//! seeded RNG restricted to `distinct_n` values — so `distinct_n` directly
+//! controls the warm-cache hit rate (few distinct sizes ⇒ almost all
+//! hits). Every latency is kept, so the reported p50/p99 are exact order
+//! statistics, not histogram approximations.
+//!
+//! Used by `fpm loadgen`, the `bench_serve` experiment and the CI smoke
+//! job.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use crate::client::Client;
+use crate::protocol::Algorithm;
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent client connections.
+    pub workers: usize,
+    /// Requests each worker issues.
+    pub requests_per_worker: usize,
+    /// Number of distinct problem sizes (1 ⇒ maximally warm cache).
+    pub distinct_n: usize,
+    /// Smallest problem size drawn.
+    pub n_base: u64,
+    /// RNG seed (workers derive independent streams).
+    pub seed: u64,
+    /// Algorithm under load.
+    pub algorithm: Algorithm,
+    /// Per-request deadline handed to the server.
+    pub deadline_ms: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            requests_per_worker: 100,
+            distinct_n: 16,
+            n_base: 100_000,
+            seed: 0x10AD,
+            algorithm: Algorithm::Combined,
+            deadline_ms: 5000,
+        }
+    }
+}
+
+/// Aggregated outcome of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests that returned a valid partition.
+    pub ok: u64,
+    /// Requests answered from the server's plan cache.
+    pub cached: u64,
+    /// `overloaded` rejections (expected under deliberate overload).
+    pub shed: u64,
+    /// `deadline` misses.
+    pub deadline: u64,
+    /// Any other protocol error (should be zero in healthy runs).
+    pub other_errors: u64,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+    /// Exact client-side latency order statistics, microseconds.
+    pub p50_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+}
+
+impl LoadgenReport {
+    /// Requests per second over the whole run.
+    pub fn throughput(&self) -> f64 {
+        let total = self.ok + self.shed + self.deadline + self.other_errors;
+        if self.wall.as_secs_f64() == 0.0 {
+            0.0
+        } else {
+            total as f64 / self.wall.as_secs_f64()
+        }
+    }
+
+    /// Fraction of successful requests served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.ok == 0 {
+            0.0
+        } else {
+            self.cached as f64 / self.ok as f64
+        }
+    }
+}
+
+/// A tiny deterministic PRNG (splitmix64) so the loadgen needs no dev-only
+/// dependencies in the library build.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Runs the load against an already-running server whose registry already
+/// holds `cluster`. Panics on no workers/requests (caller bug).
+pub fn run(
+    addr: SocketAddr,
+    cluster: &str,
+    config: &LoadgenConfig,
+) -> Result<LoadgenReport, crate::protocol::ProtoError> {
+    assert!(config.workers > 0 && config.requests_per_worker > 0);
+    let distinct = config.distinct_n.max(1) as u64;
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(config.workers);
+    for w in 0..config.workers {
+        let cluster = cluster.to_owned();
+        let cfg = config.clone();
+        handles.push(std::thread::spawn(move || -> (Vec<u64>, LoadgenReport) {
+            let mut rng = SplitMix(cfg.seed ^ (w as u64).wrapping_mul(0xA5A5_A5A5));
+            let mut latencies = Vec::with_capacity(cfg.requests_per_worker);
+            let mut tally = LoadgenReport {
+                ok: 0,
+                cached: 0,
+                shed: 0,
+                deadline: 0,
+                other_errors: 0,
+                wall: Duration::ZERO,
+                p50_us: 0,
+                p99_us: 0,
+                mean_us: 0.0,
+            };
+            let Ok(mut client) =
+                Client::connect(addr, Duration::from_millis(cfg.deadline_ms + 5000))
+            else {
+                tally.other_errors = cfg.requests_per_worker as u64;
+                return (latencies, tally);
+            };
+            for _ in 0..cfg.requests_per_worker {
+                let n = cfg.n_base + (rng.next() % distinct) * 1000;
+                let t0 = Instant::now();
+                match client.partition(&cluster, n, cfg.algorithm, Some(cfg.deadline_ms)) {
+                    Ok(reply) => {
+                        latencies
+                            .push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                        tally.ok += 1;
+                        if reply.cached {
+                            tally.cached += 1;
+                        }
+                    }
+                    Err(e) => match e.code {
+                        "overloaded" => tally.shed += 1,
+                        "deadline" => tally.deadline += 1,
+                        _ => tally.other_errors += 1,
+                    },
+                }
+            }
+            (latencies, tally)
+        }));
+    }
+    let mut all_latencies = Vec::new();
+    let mut report = LoadgenReport {
+        ok: 0,
+        cached: 0,
+        shed: 0,
+        deadline: 0,
+        other_errors: 0,
+        wall: Duration::ZERO,
+        p50_us: 0,
+        p99_us: 0,
+        mean_us: 0.0,
+    };
+    for handle in handles {
+        let (latencies, tally) = handle
+            .join()
+            .map_err(|_| crate::protocol::ProtoError::new("internal", "loadgen worker panicked"))?;
+        all_latencies.extend(latencies);
+        report.ok += tally.ok;
+        report.cached += tally.cached;
+        report.shed += tally.shed;
+        report.deadline += tally.deadline;
+        report.other_errors += tally.other_errors;
+    }
+    report.wall = started.elapsed();
+    if !all_latencies.is_empty() {
+        all_latencies.sort_unstable();
+        report.p50_us = percentile(&all_latencies, 0.50);
+        report.p99_us = percentile(&all_latencies, 0.99);
+        report.mean_us =
+            all_latencies.iter().sum::<u64>() as f64 / all_latencies.len() as f64;
+    }
+    Ok(report)
+}
+
+/// Nearest-rank percentile of an already-sorted sample.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::server::{spawn, ServerConfig};
+
+    fn register_demo(addr: SocketAddr) {
+        let mut c = Client::connect(addr, Duration::from_secs(5)).unwrap();
+        c.register_inline(
+            "demo",
+            &[
+                ("A".into(), vec![(1e3, 200.0), (1e6, 180.0), (1e9, 0.0)]),
+                ("B".into(), vec![(1e3, 100.0), (1e6, 90.0), (1e9, 0.0)]),
+            ],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn warm_run_hits_cache_heavily() {
+        let handle = spawn(ServerConfig::default()).unwrap();
+        register_demo(handle.addr);
+        let cfg = LoadgenConfig {
+            workers: 3,
+            requests_per_worker: 40,
+            distinct_n: 2,
+            ..LoadgenConfig::default()
+        };
+        let report = run(handle.addr, "demo", &cfg).unwrap();
+        assert_eq!(report.ok, 120);
+        assert_eq!(report.other_errors, 0);
+        // At most 2 distinct keys are ever computed; everything else must
+        // be served from the cache (or coalesced onto a computing flight).
+        assert!(report.hit_rate() > 0.9, "hit rate {}", report.hit_rate());
+        assert!(report.p99_us >= report.p50_us);
+        assert!(report.throughput() > 0.0);
+        handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn percentiles_are_exact_order_statistics() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50);
+        assert_eq!(percentile(&sorted, 0.99), 99);
+        assert_eq!(percentile(&sorted, 1.0), 100);
+        assert_eq!(percentile(&[7], 0.5), 7);
+    }
+}

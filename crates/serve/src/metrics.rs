@@ -1,0 +1,225 @@
+//! In-process metrics: lock-free counters, gauges and a log₂-bucketed
+//! latency histogram, snapshotted on demand by the `stats` verb and dumped
+//! once more on graceful shutdown.
+//!
+//! Everything is plain atomics — recording on the request path is a handful
+//! of `fetch_add`s, never a lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Json;
+
+/// Number of histogram buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` microseconds; the last bucket is a catch-all.
+pub const HIST_BUCKETS: usize = 32;
+
+/// A latency histogram over microseconds with power-of-two buckets.
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, micros: u64) {
+        let idx = (63 - (micros.max(1)).leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Approximate quantile (0..=1): the upper edge of the bucket holding
+    /// the q-th sample. Exact to within a factor of 2 by construction.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << 63
+    }
+
+    fn snapshot_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::uint(self.count())),
+            ("mean_us".into(), Json::num(round2(self.mean_us()))),
+            ("p50_us_le".into(), Json::uint(self.quantile_us(0.50))),
+            ("p99_us_le".into(), Json::uint(self.quantile_us(0.99))),
+        ])
+    }
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
+        /// All serve-layer counters and gauges.
+        #[derive(Default)]
+        pub struct Metrics {
+            $($(#[$doc])* pub $name: AtomicU64,)*
+            /// Partition-request latency (admission to reply).
+            pub partition_latency: Histogram,
+        }
+
+        impl Metrics {
+            /// Creates zeroed metrics.
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// Point-in-time snapshot as a JSON object.
+            pub fn snapshot_json(&self) -> Json {
+                Json::Obj(vec![
+                    $((stringify!($name).into(),
+                       Json::uint(self.$name.load(Ordering::Relaxed))),)*
+                    ("partition_latency".into(), self.partition_latency.snapshot_json()),
+                ])
+            }
+        }
+    };
+}
+
+counters! {
+    /// Total connections accepted.
+    connections,
+    /// Total request lines received (well-formed or not).
+    requests,
+    /// `register` requests handled.
+    register_requests,
+    /// `partition` requests handled.
+    partition_requests,
+    /// `stats` requests handled.
+    stats_requests,
+    /// `ping` requests handled.
+    ping_requests,
+    /// Error responses sent (any code).
+    errors,
+    /// Requests rejected with `overloaded`.
+    shed,
+    /// Requests that missed their deadline.
+    deadline_misses,
+    /// Plan-cache hits.
+    cache_hits,
+    /// Plan-cache misses (this request computed).
+    cache_misses,
+    /// Plan-cache waits coalesced onto another request's computation.
+    cache_coalesced,
+    /// Current engine queue depth (gauge).
+    queue_depth,
+    /// Peak engine queue depth observed.
+    queue_depth_peak,
+}
+
+impl Metrics {
+    /// Bumps a counter by one.
+    pub fn inc(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adjusts the queue-depth gauge, maintaining the peak.
+    pub fn queue_enter(&self) {
+        let now = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Decrements the queue-depth gauge.
+    pub fn queue_exit(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        for us in [1u64, 2, 3, 100, 1000, 1000, 1000, 100_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 8);
+        assert!(h.mean_us() > 0.0);
+        // p50 of the 8 samples sits in the 1000 µs region: bucket upper
+        // edge within a factor of two.
+        let p50 = h.quantile_us(0.5);
+        assert!((128..=2048).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!(p99 >= 100_000, "p99 {p99}");
+        // Zero micros must not underflow the bucket index.
+        h.record(0);
+        assert_eq!(h.count(), 9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.quantile_us(0.99), 0);
+    }
+
+    #[test]
+    fn snapshot_contains_every_counter() {
+        let m = Metrics::new();
+        m.inc(&m.requests);
+        m.inc(&m.cache_hits);
+        m.queue_enter();
+        m.queue_enter();
+        m.queue_exit();
+        let snap = m.snapshot_json();
+        assert_eq!(snap.get("requests").and_then(Json::as_u64), Some(1));
+        assert_eq!(snap.get("cache_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(snap.get("queue_depth").and_then(Json::as_u64), Some(1));
+        assert_eq!(snap.get("queue_depth_peak").and_then(Json::as_u64), Some(2));
+        assert!(snap.get("partition_latency").is_some());
+        // Rendered form is a single JSON object line.
+        let text = snap.to_string();
+        assert!(text.starts_with('{') && text.ends_with('}'));
+    }
+
+    #[test]
+    fn gauge_peak_is_monotone() {
+        let m = Metrics::new();
+        for _ in 0..5 {
+            m.queue_enter();
+        }
+        for _ in 0..5 {
+            m.queue_exit();
+        }
+        m.queue_enter();
+        assert_eq!(m.queue_depth.load(Ordering::Relaxed), 1);
+        assert_eq!(m.queue_depth_peak.load(Ordering::Relaxed), 5);
+    }
+}

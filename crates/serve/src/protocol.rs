@@ -1,0 +1,553 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line. Every request is a JSON
+//! object with a `"verb"` field and an optional `"id"` (echoed verbatim in
+//! the response so clients may pipeline). Responses carry `"ok": true`
+//! plus verb-specific fields, or `"ok": false` with a stable machine
+//! `"error"` code and a human `"message"`.
+//!
+//! # Verbs
+//!
+//! | verb | request fields | response fields |
+//! |---|---|---|
+//! | `register` | `cluster`, and either `models` (inline piece-wise knots) or `testbed` (`{name, app, seed}` simnet reference) | `fingerprint`, `machines` |
+//! | `partition` | `cluster` *or* `fingerprint`, `n`, optional `algorithm` (default `combined`), optional `deadline_ms` | `counts`, `makespan`, `cached`, `algorithm`, `fingerprint` |
+//! | `stats` | — | metrics snapshot |
+//! | `ping` | — | `pong: true` |
+//! | `shutdown` | — | `draining: true`, then the server drains and exits |
+//!
+//! # Error codes
+//!
+//! `bad_json`, `bad_request`, `unknown_verb`, `invalid_model`,
+//! `not_found`, `overloaded`, `deadline`, `frame_too_large`,
+//! `shutting_down`, `solve_failed`, `internal`.
+//!
+//! # Limits
+//!
+//! Inputs are untrusted: frames are capped at [`MAX_FRAME_BYTES`] by the
+//! server's line reader, clusters at [`MAX_MACHINES`] machines ×
+//! [`MAX_KNOTS`] knots, and `n` at [`MAX_N`] (2⁵³ — beyond that JSON
+//! numbers stop being exact). Knot coordinates must be finite.
+
+use crate::json::Json;
+
+/// Maximum accepted request line, in bytes (1 MiB).
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+/// Maximum machines per registered cluster.
+pub const MAX_MACHINES: usize = 4096;
+/// Maximum knots per machine model.
+pub const MAX_KNOTS: usize = 4096;
+/// Maximum problem size: 2⁵³, the largest integer JSON carries exactly.
+pub const MAX_N: u64 = 1 << 53;
+
+/// A protocol-level failure with a stable machine-readable code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Stable error code (see module docs).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtoError {
+    /// Creates an error.
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        Self { code, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Which partitioning algorithm a `partition` request selects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// The combined (default) algorithm.
+    Combined,
+    /// The basic slope-bisection algorithm.
+    Basic,
+    /// The modified solution-space algorithm.
+    Modified,
+    /// The single-number baseline sampled at the given size.
+    SingleAt(f64),
+}
+
+impl Algorithm {
+    /// Parses `combined`, `basic`, `modified` or `single@SIZE`.
+    pub fn parse(text: &str) -> Result<Self, ProtoError> {
+        match text {
+            "combined" => Ok(Algorithm::Combined),
+            "basic" => Ok(Algorithm::Basic),
+            "modified" => Ok(Algorithm::Modified),
+            other => {
+                if let Some(size) = other.strip_prefix("single@") {
+                    let size: f64 = size.parse().map_err(|_| {
+                        ProtoError::new("bad_request", "unparsable single@ size")
+                    })?;
+                    if !(size.is_finite() && size > 0.0) {
+                        return Err(ProtoError::new(
+                            "bad_request",
+                            "single@ size must be positive and finite",
+                        ));
+                    }
+                    Ok(Algorithm::SingleAt(size))
+                } else {
+                    Err(ProtoError::new(
+                        "bad_request",
+                        "algorithm must be combined|basic|modified|single@SIZE",
+                    ))
+                }
+            }
+        }
+    }
+
+    /// The wire spelling (inverse of [`Algorithm::parse`]).
+    pub fn wire_name(&self) -> String {
+        match self {
+            Algorithm::Combined => "combined".to_owned(),
+            Algorithm::Basic => "basic".to_owned(),
+            Algorithm::Modified => "modified".to_owned(),
+            Algorithm::SingleAt(size) => format!("single@{size}"),
+        }
+    }
+
+    /// A collision-free cache-key tag: variant index plus the reference
+    /// size's raw bits for the single-number baseline.
+    pub fn key_tag(&self) -> (u8, u64) {
+        match self {
+            Algorithm::Combined => (0, 0),
+            Algorithm::Basic => (1, 0),
+            Algorithm::Modified => (2, 0),
+            Algorithm::SingleAt(size) => (3, size.to_bits()),
+        }
+    }
+}
+
+/// One machine of an inline cluster registration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireModel {
+    /// Machine name (diagnostics only).
+    pub name: String,
+    /// `(size, speed)` knots of the piece-wise linear model.
+    pub knots: Vec<(f64, f64)>,
+}
+
+/// The cluster payload of a `register` request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterSpec {
+    /// Inline piece-wise linear models, one per machine.
+    Inline(Vec<WireModel>),
+    /// A simnet testbed reference, built server-side from noise-free
+    /// simulated measurements (deterministic given the seed).
+    Testbed {
+        /// `table1` or `table2`.
+        name: String,
+        /// Application profile: `mm`, `mm-atlas`, `arrayops`, `lu`.
+        app: String,
+        /// Measurement RNG seed.
+        seed: u64,
+    },
+}
+
+/// How a `partition` request names its cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterRef {
+    /// By registration name.
+    Name(String),
+    /// By content fingerprint (survives re-registration under new names).
+    Fingerprint(String),
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Register (or replace) a named cluster.
+    Register {
+        /// Registry name.
+        cluster: String,
+        /// The models.
+        spec: ClusterSpec,
+    },
+    /// Partition `n` elements over a registered cluster.
+    Partition {
+        /// Which cluster.
+        target: ClusterRef,
+        /// Problem size.
+        n: u64,
+        /// Algorithm selection.
+        algorithm: Algorithm,
+        /// Per-request deadline override, milliseconds.
+        deadline_ms: Option<u64>,
+    },
+    /// Metrics snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Graceful drain-and-exit.
+    Shutdown,
+}
+
+/// A parsed request envelope: the optional client-chosen `id` plus the
+/// request proper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Echoed verbatim in the response (number or string).
+    pub id: Option<Json>,
+    /// The request.
+    pub request: Request,
+}
+
+/// Parses one request line.
+///
+/// On error the caller should still answer: the returned tuple carries
+/// whatever `id` could be salvaged so the error response can be correlated.
+pub fn parse_request(line: &str) -> Result<Envelope, (Option<Json>, ProtoError)> {
+    let value = Json::parse(line)
+        .map_err(|e| (None, ProtoError::new("bad_json", e.to_string())))?;
+    let id = match value.get("id") {
+        None | Some(Json::Null) => None,
+        Some(v @ (Json::Num(_) | Json::Str(_))) => Some(v.clone()),
+        Some(_) => {
+            return Err((
+                None,
+                ProtoError::new("bad_request", "id must be a number or string"),
+            ))
+        }
+    };
+    let fail = |code: &'static str, message: &str| {
+        (id.clone(), ProtoError::new(code, message.to_owned()))
+    };
+    if !matches!(value, Json::Obj(_)) {
+        return Err(fail("bad_request", "request must be a JSON object"));
+    }
+    let verb = value
+        .get("verb")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail("bad_request", "missing string field: verb"))?;
+    let request = match verb {
+        "ping" => Request::Ping,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "register" => parse_register(&value).map_err(|e| (id.clone(), e))?,
+        "partition" => parse_partition(&value).map_err(|e| (id.clone(), e))?,
+        other => {
+            return Err(fail("unknown_verb", &format!("unknown verb: {other:?}")));
+        }
+    };
+    Ok(Envelope { id, request })
+}
+
+fn parse_register(value: &Json) -> Result<Request, ProtoError> {
+    let cluster = value
+        .get("cluster")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtoError::new("bad_request", "missing string field: cluster"))?;
+    if cluster.is_empty() || cluster.len() > 256 {
+        return Err(ProtoError::new("bad_request", "cluster name must be 1..=256 bytes"));
+    }
+    let spec = match (value.get("models"), value.get("testbed")) {
+        (Some(models), None) => ClusterSpec::Inline(parse_models(models)?),
+        (None, Some(tb)) => parse_testbed(tb)?,
+        (Some(_), Some(_)) => {
+            return Err(ProtoError::new(
+                "bad_request",
+                "register takes models or testbed, not both",
+            ))
+        }
+        (None, None) => {
+            return Err(ProtoError::new("bad_request", "register needs models or testbed"))
+        }
+    };
+    Ok(Request::Register { cluster: cluster.to_owned(), spec })
+}
+
+fn parse_models(models: &Json) -> Result<Vec<WireModel>, ProtoError> {
+    let items = models
+        .as_array()
+        .ok_or_else(|| ProtoError::new("bad_request", "models must be an array"))?;
+    if items.is_empty() {
+        return Err(ProtoError::new("bad_request", "models must not be empty"));
+    }
+    if items.len() > MAX_MACHINES {
+        return Err(ProtoError::new("bad_request", "too many machines"));
+    }
+    let mut out = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let name = item
+            .get("name")
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("m{i}"));
+        if name.len() > 256 {
+            return Err(ProtoError::new("bad_request", "machine name too long"));
+        }
+        let knots_json = item
+            .get("knots")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ProtoError::new("bad_request", "each model needs a knots array"))?;
+        if knots_json.len() < 2 {
+            return Err(ProtoError::new("invalid_model", "each model needs ≥ 2 knots"));
+        }
+        if knots_json.len() > MAX_KNOTS {
+            return Err(ProtoError::new("bad_request", "too many knots"));
+        }
+        let mut knots = Vec::with_capacity(knots_json.len());
+        for k in knots_json {
+            let pair = k
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| ProtoError::new("bad_request", "knot must be [size, speed]"))?;
+            let (x, s) = (pair[0].as_f64(), pair[1].as_f64());
+            let (Some(x), Some(s)) = (x, s) else {
+                return Err(ProtoError::new("bad_request", "knot coordinates must be numbers"));
+            };
+            // The JSON parser only yields finite numbers, but belt and
+            // braces: the model layer must never see NaN.
+            if !(x.is_finite() && s.is_finite()) {
+                return Err(ProtoError::new("invalid_model", "knot coordinates must be finite"));
+            }
+            knots.push((x, s));
+        }
+        out.push(WireModel { name, knots });
+    }
+    Ok(out)
+}
+
+fn parse_testbed(tb: &Json) -> Result<ClusterSpec, ProtoError> {
+    let name = tb
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtoError::new("bad_request", "testbed needs a name"))?;
+    let app = tb.get("app").and_then(Json::as_str).unwrap_or("mm");
+    let seed = match tb.get("seed") {
+        None => 0xF93,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| ProtoError::new("bad_request", "testbed seed must be a u64"))?,
+    };
+    Ok(ClusterSpec::Testbed { name: name.to_owned(), app: app.to_owned(), seed })
+}
+
+fn parse_partition(value: &Json) -> Result<Request, ProtoError> {
+    let target = match (
+        value.get("cluster").and_then(Json::as_str),
+        value.get("fingerprint").and_then(Json::as_str),
+    ) {
+        (Some(name), None) => ClusterRef::Name(name.to_owned()),
+        (None, Some(fp)) => ClusterRef::Fingerprint(fp.to_owned()),
+        (Some(_), Some(_)) => {
+            return Err(ProtoError::new(
+                "bad_request",
+                "partition takes cluster or fingerprint, not both",
+            ))
+        }
+        (None, None) => {
+            return Err(ProtoError::new(
+                "bad_request",
+                "partition needs a cluster name or fingerprint",
+            ))
+        }
+    };
+    let n = value
+        .get("n")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ProtoError::new("bad_request", "n must be a non-negative integer"))?;
+    if n > MAX_N {
+        return Err(ProtoError::new("bad_request", "n exceeds 2^53"));
+    }
+    let algorithm = match value.get("algorithm") {
+        None => Algorithm::Combined,
+        Some(a) => {
+            let text = a
+                .as_str()
+                .ok_or_else(|| ProtoError::new("bad_request", "algorithm must be a string"))?;
+            Algorithm::parse(text)?
+        }
+    };
+    let deadline_ms = match value.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .filter(|&ms| ms > 0 && ms <= 3_600_000)
+                .ok_or_else(|| {
+                    ProtoError::new("bad_request", "deadline_ms must be in 1..=3600000")
+                })?,
+        ),
+    };
+    Ok(Request::Partition { target, n, algorithm, deadline_ms })
+}
+
+/// Renders a success response line (no trailing newline).
+pub fn ok_response(id: Option<&Json>, verb: &str, fields: Vec<(String, Json)>) -> String {
+    let mut obj = Vec::with_capacity(fields.len() + 3);
+    if let Some(id) = id {
+        obj.push(("id".to_owned(), id.clone()));
+    }
+    obj.push(("ok".to_owned(), Json::Bool(true)));
+    obj.push(("verb".to_owned(), Json::str(verb)));
+    obj.extend(fields);
+    Json::Obj(obj).to_string()
+}
+
+/// Renders an error response line (no trailing newline).
+pub fn err_response(id: Option<&Json>, error: &ProtoError) -> String {
+    let mut obj = Vec::with_capacity(4);
+    if let Some(id) = id {
+        obj.push(("id".to_owned(), id.clone()));
+    }
+    obj.push(("ok".to_owned(), Json::Bool(false)));
+    obj.push(("error".to_owned(), Json::str(error.code)));
+    obj.push(("message".to_owned(), Json::str(error.message.clone())));
+    Json::Obj(obj).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ping_stats_shutdown() {
+        for (line, want) in [
+            (r#"{"verb":"ping"}"#, Request::Ping),
+            (r#"{"verb":"stats"}"#, Request::Stats),
+            (r#"{"verb":"shutdown"}"#, Request::Shutdown),
+        ] {
+            let env = parse_request(line).unwrap();
+            assert_eq!(env.request, want);
+            assert_eq!(env.id, None);
+        }
+    }
+
+    #[test]
+    fn echoes_ids() {
+        let env = parse_request(r#"{"id":7,"verb":"ping"}"#).unwrap();
+        assert_eq!(env.id, Some(Json::Num(7.0)));
+        let env = parse_request(r#"{"id":"abc","verb":"ping"}"#).unwrap();
+        assert_eq!(env.id, Some(Json::Str("abc".into())));
+        // Error paths keep the id for correlation.
+        let (id, e) = parse_request(r#"{"id":9,"verb":"nope"}"#).unwrap_err();
+        assert_eq!(id, Some(Json::Num(9.0)));
+        assert_eq!(e.code, "unknown_verb");
+    }
+
+    #[test]
+    fn parses_inline_register() {
+        let line = r#"{"verb":"register","cluster":"c1","models":[
+            {"name":"X1","knots":[[1000,200],[1e6,180],[1e8,0]]},
+            {"knots":[[1000,100],[1e6,90]]}]}"#;
+        let env = parse_request(&line.replace('\n', " ")).unwrap();
+        let Request::Register { cluster, spec: ClusterSpec::Inline(models) } = env.request
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(cluster, "c1");
+        assert_eq!(models.len(), 2);
+        assert_eq!(models[0].name, "X1");
+        assert_eq!(models[0].knots[1], (1e6, 180.0));
+        assert_eq!(models[1].name, "m1");
+    }
+
+    #[test]
+    fn parses_testbed_register() {
+        let env = parse_request(
+            r#"{"verb":"register","cluster":"t2","testbed":{"name":"table2","app":"lu","seed":9}}"#,
+        )
+        .unwrap();
+        let Request::Register { cluster, spec } = env.request else { panic!() };
+        assert_eq!(cluster, "t2");
+        assert_eq!(
+            spec,
+            ClusterSpec::Testbed { name: "table2".into(), app: "lu".into(), seed: 9 }
+        );
+    }
+
+    #[test]
+    fn parses_partition_with_defaults() {
+        let env =
+            parse_request(r#"{"verb":"partition","cluster":"c1","n":1000000}"#).unwrap();
+        assert_eq!(
+            env.request,
+            Request::Partition {
+                target: ClusterRef::Name("c1".into()),
+                n: 1_000_000,
+                algorithm: Algorithm::Combined,
+                deadline_ms: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_partition_by_fingerprint_and_algorithm() {
+        let env = parse_request(
+            r#"{"verb":"partition","fingerprint":"ab12","n":5,"algorithm":"single@7e5","deadline_ms":250}"#,
+        )
+        .unwrap();
+        let Request::Partition { target, algorithm, deadline_ms, .. } = env.request else {
+            panic!()
+        };
+        assert_eq!(target, ClusterRef::Fingerprint("ab12".into()));
+        assert_eq!(algorithm, Algorithm::SingleAt(7e5));
+        assert_eq!(deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_stable_codes() {
+        let cases: &[(&str, &str)] = &[
+            ("not json at all", "bad_json"),
+            ("[1,2,3]", "bad_request"),
+            (r#"{"verb":"warp"}"#, "unknown_verb"),
+            (r#"{"verb":"partition","n":5}"#, "bad_request"),
+            (r#"{"verb":"partition","cluster":"c","n":-1}"#, "bad_request"),
+            (r#"{"verb":"partition","cluster":"c","n":1.5}"#, "bad_request"),
+            (r#"{"verb":"partition","cluster":"c","n":1e300}"#, "bad_request"),
+            (r#"{"verb":"partition","cluster":"c","n":1,"algorithm":"magic"}"#, "bad_request"),
+            (r#"{"verb":"register","cluster":"c"}"#, "bad_request"),
+            (r#"{"verb":"register","cluster":"c","models":[]}"#, "bad_request"),
+            (
+                r#"{"verb":"register","cluster":"c","models":[{"knots":[[1,1]]}]}"#,
+                "invalid_model",
+            ),
+            (r#"{"verb":"register","cluster":"c","models":[{"knots":[[1],[2]]}]}"#, "bad_request"),
+        ];
+        for (line, code) in cases {
+            let (_, e) = parse_request(line).unwrap_err();
+            assert_eq!(&e.code, code, "{line}");
+        }
+    }
+
+    #[test]
+    fn n_minus_one_is_bad_json_because_grammar() {
+        // Negative n parses as JSON but fails the u64 check; "-1" is valid
+        // JSON so this must come back bad_request, not bad_json.
+        let (_, e) =
+            parse_request(r#"{"verb":"partition","cluster":"c","n":-1.0}"#).unwrap_err();
+        assert_eq!(e.code, "bad_request");
+    }
+
+    #[test]
+    fn algorithm_round_trips() {
+        for text in ["combined", "basic", "modified", "single@123456.5"] {
+            let a = Algorithm::parse(text).unwrap();
+            assert_eq!(a.wire_name(), *text);
+        }
+        assert_ne!(
+            Algorithm::SingleAt(1.0).key_tag(),
+            Algorithm::SingleAt(2.0).key_tag()
+        );
+        assert_ne!(Algorithm::Combined.key_tag(), Algorithm::Basic.key_tag());
+    }
+
+    #[test]
+    fn responses_render_ids_and_codes() {
+        let id = Json::Num(3.0);
+        let ok = ok_response(Some(&id), "ping", vec![("pong".into(), Json::Bool(true))]);
+        assert_eq!(ok, r#"{"id":3,"ok":true,"verb":"ping","pong":true}"#);
+        let err = err_response(None, &ProtoError::new("overloaded", "queue full"));
+        assert_eq!(err, r#"{"ok":false,"error":"overloaded","message":"queue full"}"#);
+    }
+}

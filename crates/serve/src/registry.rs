@@ -1,0 +1,309 @@
+//! The model registry: named clusters of speed functions, shared across
+//! worker threads, addressable by name or by content fingerprint.
+//!
+//! Each registered cluster's models are wrapped in
+//! [`SharedCachedSpeed`] so repeated partitions of the same cluster reuse
+//! point evaluations across requests *and* threads, and the whole cluster
+//! is held behind `Arc` so lookups hand out cheap clones without holding
+//! the registry lock during solves.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use fpm_core::speed::builder::BuilderConfig;
+use fpm_core::speed::{PiecewiseLinearSpeed, SharedCachedSpeed, SpeedFunction};
+use fpm_exec::model_build::build_cluster_models;
+use fpm_simnet::fluctuation::Integration;
+use fpm_simnet::profile::AppProfile;
+use fpm_simnet::testbeds;
+
+use crate::protocol::{ClusterRef, ClusterSpec, ProtoError, WireModel};
+
+/// A thread-safe, evaluation-cached speed function.
+pub type SharedSpeed = Arc<dyn SpeedFunction + Send + Sync>;
+
+/// One registered cluster, immutable once built.
+#[derive(Clone)]
+pub struct RegisteredCluster {
+    /// Registry name.
+    pub name: String,
+    /// Content fingerprint (16 hex digits of FNV-1a over the knots).
+    pub fingerprint: String,
+    /// Machine names, in model order.
+    pub machine_names: Vec<String>,
+    /// The speed functions, shared and evaluation-cached.
+    pub funcs: Vec<SharedSpeed>,
+}
+
+impl std::fmt::Debug for RegisteredCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegisteredCluster")
+            .field("name", &self.name)
+            .field("fingerprint", &self.fingerprint)
+            .field("machine_names", &self.machine_names)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Named-cluster registry. All methods take `&self`; interior mutability
+/// via one `RwLock` (registrations are rare, lookups are the hot path).
+pub struct Registry {
+    inner: RwLock<Maps>,
+    max_clusters: usize,
+}
+
+#[derive(Default)]
+struct Maps {
+    by_name: HashMap<String, Arc<RegisteredCluster>>,
+    by_fp: HashMap<String, Arc<RegisteredCluster>>,
+}
+
+impl Registry {
+    /// Creates a registry bounded to `max_clusters` names.
+    pub fn new(max_clusters: usize) -> Self {
+        Self { inner: RwLock::new(Maps::default()), max_clusters }
+    }
+
+    /// Registers (or replaces) `name`, returning the stored cluster.
+    pub fn register(
+        &self,
+        name: &str,
+        spec: &ClusterSpec,
+    ) -> Result<Arc<RegisteredCluster>, ProtoError> {
+        let (machine_names, models) = materialise(spec)?;
+        let fingerprint = fingerprint_models(&models);
+        let funcs: Vec<SharedSpeed> = models
+            .into_iter()
+            .map(|m| Arc::new(SharedCachedSpeed::new(m)) as SharedSpeed)
+            .collect();
+        let cluster = Arc::new(RegisteredCluster {
+            name: name.to_owned(),
+            fingerprint,
+            machine_names,
+            funcs,
+        });
+        let mut maps = self.inner.write().expect("registry lock poisoned");
+        if !maps.by_name.contains_key(name) && maps.by_name.len() >= self.max_clusters {
+            return Err(ProtoError::new("bad_request", "registry full"));
+        }
+        if let Some(old) = maps.by_name.insert(name.to_owned(), Arc::clone(&cluster)) {
+            // Drop the stale fingerprint alias unless some *other* name
+            // still maps to the same content.
+            let still_used = maps
+                .by_name
+                .values()
+                .any(|c| c.fingerprint == old.fingerprint);
+            if !still_used {
+                maps.by_fp.remove(&old.fingerprint);
+            }
+        }
+        maps.by_fp.insert(cluster.fingerprint.clone(), Arc::clone(&cluster));
+        Ok(cluster)
+    }
+
+    /// Looks a cluster up by name or fingerprint.
+    pub fn lookup(&self, target: &ClusterRef) -> Result<Arc<RegisteredCluster>, ProtoError> {
+        let maps = self.inner.read().expect("registry lock poisoned");
+        let found = match target {
+            ClusterRef::Name(name) => maps.by_name.get(name),
+            ClusterRef::Fingerprint(fp) => maps.by_fp.get(fp),
+        };
+        found.cloned().ok_or_else(|| match target {
+            ClusterRef::Name(name) => {
+                ProtoError::new("not_found", format!("no cluster named {name:?}"))
+            }
+            ClusterRef::Fingerprint(fp) => {
+                ProtoError::new("not_found", format!("no cluster with fingerprint {fp:?}"))
+            }
+        })
+    }
+
+    /// Number of registered names.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("registry lock poisoned").by_name.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Turns a wire spec into concrete piece-wise models.
+fn materialise(
+    spec: &ClusterSpec,
+) -> Result<(Vec<String>, Vec<PiecewiseLinearSpeed>), ProtoError> {
+    match spec {
+        ClusterSpec::Inline(wire) => {
+            let mut names = Vec::with_capacity(wire.len());
+            let mut models = Vec::with_capacity(wire.len());
+            for WireModel { name, knots } in wire {
+                let model = PiecewiseLinearSpeed::new(knots.clone()).map_err(|e| {
+                    ProtoError::new("invalid_model", format!("machine {name:?}: {e}"))
+                })?;
+                names.push(name.clone());
+                models.push(model);
+            }
+            Ok((names, models))
+        }
+        ClusterSpec::Testbed { name, app, seed } => {
+            let specs = match name.as_str() {
+                "table1" => testbeds::table1(),
+                "table2" => testbeds::table2(),
+                other => {
+                    return Err(ProtoError::new(
+                        "bad_request",
+                        format!("unknown testbed {other:?} (table1|table2)"),
+                    ))
+                }
+            };
+            let app = match app.as_str() {
+                "mm" => AppProfile::MatrixMult,
+                "mm-atlas" => AppProfile::MatrixMultAtlas,
+                "arrayops" => AppProfile::ArrayOpsF,
+                "lu" => AppProfile::LuFactorization,
+                other => {
+                    return Err(ProtoError::new(
+                        "bad_request",
+                        format!("unknown app {other:?} (mm|mm-atlas|arrayops|lu)"),
+                    ))
+                }
+            };
+            let built = build_cluster_models(
+                &specs,
+                app,
+                Integration::Dedicated,
+                *seed,
+                BuilderConfig::default(),
+            )
+            .map_err(|e| ProtoError::new("invalid_model", format!("testbed build failed: {e}")))?;
+            Ok((built.names, built.models))
+        }
+    }
+}
+
+/// Content fingerprint of a model set: FNV-1a 64 over machine count and
+/// every knot's raw bits, rendered as 16 lowercase hex digits. Two
+/// clusters fingerprint equal iff their models are bit-identical, which is
+/// exactly the condition under which cached plans transfer.
+pub fn fingerprint_models(models: &[PiecewiseLinearSpeed]) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(models.len() as u64);
+    for m in models {
+        let knots = m.knots();
+        eat(knots.len() as u64);
+        for &(x, s) in knots {
+            eat(x.to_bits());
+            eat(s.to_bits());
+        }
+    }
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inline_spec(scale: f64) -> ClusterSpec {
+        ClusterSpec::Inline(vec![
+            WireModel {
+                name: "A".into(),
+                knots: vec![(1e3, 200.0 * scale), (1e6, 180.0 * scale), (1e8, 0.0)],
+            },
+            WireModel {
+                name: "B".into(),
+                knots: vec![(1e3, 100.0 * scale), (1e6, 90.0 * scale), (1e8, 0.0)],
+            },
+        ])
+    }
+
+    #[test]
+    fn registers_and_looks_up_by_name_and_fingerprint() {
+        let reg = Registry::new(8);
+        let c = reg.register("c1", &inline_spec(1.0)).unwrap();
+        assert_eq!(c.machine_names, ["A", "B"]);
+        assert_eq!(c.fingerprint.len(), 16);
+        let by_name = reg.lookup(&ClusterRef::Name("c1".into())).unwrap();
+        let by_fp = reg.lookup(&ClusterRef::Fingerprint(c.fingerprint.clone())).unwrap();
+        assert_eq!(by_name.fingerprint, by_fp.fingerprint);
+        assert!(reg.lookup(&ClusterRef::Name("nope".into())).is_err());
+    }
+
+    #[test]
+    fn fingerprints_track_content_not_names() {
+        let reg = Registry::new(8);
+        let a = reg.register("a", &inline_spec(1.0)).unwrap();
+        let b = reg.register("b", &inline_spec(1.0)).unwrap();
+        let c = reg.register("c", &inline_spec(2.0)).unwrap();
+        assert_eq!(a.fingerprint, b.fingerprint, "same content, same fingerprint");
+        assert_ne!(a.fingerprint, c.fingerprint, "different content");
+    }
+
+    #[test]
+    fn reregistration_replaces_and_drops_stale_fingerprint() {
+        let reg = Registry::new(8);
+        let old = reg.register("c", &inline_spec(1.0)).unwrap();
+        let new = reg.register("c", &inline_spec(3.0)).unwrap();
+        assert_ne!(old.fingerprint, new.fingerprint);
+        assert!(reg.lookup(&ClusterRef::Fingerprint(old.fingerprint.clone())).is_err());
+        assert!(reg.lookup(&ClusterRef::Fingerprint(new.fingerprint.clone())).is_ok());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn reregistration_keeps_fingerprint_shared_with_another_name() {
+        let reg = Registry::new(8);
+        let shared = reg.register("a", &inline_spec(1.0)).unwrap();
+        reg.register("b", &inline_spec(1.0)).unwrap();
+        // Re-point "a" elsewhere; "b" still owns the old content.
+        reg.register("a", &inline_spec(2.0)).unwrap();
+        assert!(reg
+            .lookup(&ClusterRef::Fingerprint(shared.fingerprint.clone()))
+            .is_ok());
+    }
+
+    #[test]
+    fn registry_capacity_is_enforced() {
+        let reg = Registry::new(2);
+        reg.register("a", &inline_spec(1.0)).unwrap();
+        reg.register("b", &inline_spec(2.0)).unwrap();
+        let err = reg.register("c", &inline_spec(3.0)).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        // Replacing an existing name is always allowed.
+        reg.register("a", &inline_spec(4.0)).unwrap();
+    }
+
+    #[test]
+    fn testbed_specs_build_deterministically() {
+        let reg = Registry::new(8);
+        let spec = ClusterSpec::Testbed { name: "table1".into(), app: "mm".into(), seed: 7 };
+        let x = reg.register("x", &spec).unwrap();
+        let y = reg.register("y", &spec).unwrap();
+        assert_eq!(x.fingerprint, y.fingerprint, "same seed must rebuild identically");
+        assert_eq!(x.machine_names.len(), 4);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let reg = Registry::new(8);
+        let bad_tb = ClusterSpec::Testbed { name: "table9".into(), app: "mm".into(), seed: 0 };
+        assert_eq!(reg.register("x", &bad_tb).unwrap_err().code, "bad_request");
+        let bad_app = ClusterSpec::Testbed { name: "table1".into(), app: "??".into(), seed: 0 };
+        assert_eq!(reg.register("x", &bad_app).unwrap_err().code, "bad_request");
+        // Non-monotone knots violate the model requirements.
+        let bad_model = ClusterSpec::Inline(vec![WireModel {
+            name: "Z".into(),
+            knots: vec![(1e6, 10.0), (1e3, 20.0)],
+        }]);
+        assert_eq!(reg.register("x", &bad_model).unwrap_err().code, "invalid_model");
+        assert!(reg.is_empty());
+    }
+}

@@ -1,0 +1,361 @@
+//! The TCP daemon: accept loop, per-connection line protocol, graceful
+//! drain-and-exit shutdown.
+//!
+//! Connections each get a thread (cheap at the scale this daemon targets —
+//! tens of clients pipelining requests); CPU-bound solving is bounded by
+//! the shared worker pool regardless of connection count, and admission
+//! control sheds load before queues grow. Shutdown is cooperative: any
+//! client may send `{"verb":"shutdown"}` (operators use `fpm serve` which
+//! wires this up), after which the acceptor stops, in-flight requests
+//! drain, and the final metrics snapshot is returned to the embedder.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::engine::{Engine, EngineConfig};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::protocol::{
+    err_response, ok_response, parse_request, Envelope, ProtoError, Request, MAX_FRAME_BYTES,
+};
+use crate::registry::Registry;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: SocketAddr,
+    /// Plan-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Admitted-request bound before shedding; 0 = derive from pool size.
+    pub queue_capacity: usize,
+    /// Default per-request deadline, ms.
+    pub default_deadline_ms: u64,
+    /// Registry capacity (named clusters).
+    pub max_clusters: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".parse().expect("literal address"),
+            cache_capacity: 1024,
+            queue_capacity: 0,
+            default_deadline_ms: 2000,
+            max_clusters: 256,
+        }
+    }
+}
+
+/// Shared state of one running server.
+struct Shared {
+    registry: Registry,
+    engine: Engine,
+    metrics: Metrics,
+    stopping: AtomicBool,
+}
+
+/// Handle to a running server; dropping it does **not** stop the daemon —
+/// call [`ServerHandle::shutdown_and_join`] (or send the `shutdown` verb).
+pub struct ServerHandle {
+    /// The bound address (with the actual port when 0 was requested).
+    pub addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+/// Starts the daemon; returns once the listener is bound.
+pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(config.addr)?;
+    let addr = listener.local_addr()?;
+    let engine_cfg = EngineConfig {
+        queue_capacity: if config.queue_capacity == 0 {
+            EngineConfig::default().queue_capacity
+        } else {
+            config.queue_capacity
+        },
+        default_deadline: Duration::from_millis(config.default_deadline_ms),
+    };
+    let shared = Arc::new(Shared {
+        registry: Registry::new(config.max_clusters),
+        engine: Engine::new(config.cache_capacity, engine_cfg),
+        metrics: Metrics::new(),
+        stopping: AtomicBool::new(false),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let acceptor = std::thread::Builder::new()
+        .name("fpm-serve-accept".into())
+        .spawn(move || accept_loop(listener, accept_shared))
+        .expect("spawn acceptor thread");
+    Ok(ServerHandle { addr, shared, acceptor: Some(acceptor) })
+}
+
+impl ServerHandle {
+    /// Requests shutdown, drains in-flight work and returns the final
+    /// metrics snapshot.
+    pub fn shutdown_and_join(mut self) -> Json {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // Wake the blocking acceptor with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        self.shared.engine.drain(Duration::from_secs(10));
+        self.shared.metrics.snapshot_json()
+    }
+
+    /// Point-in-time metrics snapshot (embedder-side `stats`).
+    pub fn metrics_json(&self) -> Json {
+        self.shared.metrics.snapshot_json()
+    }
+
+    /// True once shutdown has been requested (by verb or handle).
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stopping.load(Ordering::SeqCst)
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stopping.load(Ordering::SeqCst) {
+            return; // wake-up connection (or a late client): drop and exit
+        }
+        shared.metrics.inc(&shared.metrics.connections);
+        let conn_shared = Arc::clone(&shared);
+        let _ = std::thread::Builder::new()
+            .name("fpm-serve-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, &conn_shared);
+            });
+    }
+}
+
+/// Reads one `\n`-terminated line, bounded by [`MAX_FRAME_BYTES`].
+///
+/// Returns `Ok(None)` on clean EOF, `Err(oversized)` when the bound is
+/// exceeded (the connection is then closed — resynchronising a framing
+/// error is not worth the complexity).
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+) -> Result<Option<()>, ProtoError> {
+    buf.clear();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Ok(None), // peer went away: treat as EOF
+        };
+        if available.is_empty() {
+            // EOF: a partial trailing line is processed as-is.
+            return if buf.is_empty() { Ok(None) } else { Ok(Some(())) };
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(available.len(), |i| i + 1);
+        if buf.len() + take > MAX_FRAME_BYTES {
+            return Err(ProtoError::new("frame_too_large", "request line exceeds 1 MiB"));
+        }
+        buf.extend_from_slice(&available[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            return Ok(Some(()));
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::with_capacity(4096);
+    loop {
+        if shared.stopping.load(Ordering::SeqCst) {
+            let e = ProtoError::new("shutting_down", "server is draining");
+            let _ = writeln!(writer, "{}", err_response(None, &e));
+            return Ok(());
+        }
+        match read_line_bounded(&mut reader, &mut buf) {
+            Ok(None) => return Ok(()),
+            Ok(Some(())) => {}
+            Err(e) => {
+                shared.metrics.inc(&shared.metrics.errors);
+                let _ = writeln!(writer, "{}", err_response(None, &e));
+                return Ok(()); // framing broken: close
+            }
+        }
+        let line = String::from_utf8_lossy(&buf);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        shared.metrics.inc(&shared.metrics.requests);
+        let response = match parse_request(line) {
+            Ok(envelope) => {
+                let shutdown = matches!(envelope.request, Request::Shutdown);
+                let response = handle(&envelope, shared);
+                if shutdown {
+                    writeln!(writer, "{response}")?;
+                    writer.flush()?;
+                    // Wake the acceptor so it observes `stopping`.
+                    let _ = TcpStream::connect(writer.local_addr()?);
+                    return Ok(());
+                }
+                response
+            }
+            Err((id, e)) => {
+                shared.metrics.inc(&shared.metrics.errors);
+                err_response(id.as_ref(), &e)
+            }
+        };
+        writeln!(writer, "{response}")?;
+    }
+}
+
+/// Dispatches one well-formed request.
+fn handle(envelope: &Envelope, shared: &Shared) -> String {
+    let id = envelope.id.as_ref();
+    let m = &shared.metrics;
+    match &envelope.request {
+        Request::Ping => {
+            m.inc(&m.ping_requests);
+            ok_response(id, "ping", vec![("pong".into(), Json::Bool(true))])
+        }
+        Request::Stats => {
+            m.inc(&m.stats_requests);
+            ok_response(id, "stats", vec![("stats".into(), m.snapshot_json())])
+        }
+        Request::Shutdown => {
+            shared.stopping.store(true, Ordering::SeqCst);
+            ok_response(id, "shutdown", vec![("draining".into(), Json::Bool(true))])
+        }
+        Request::Register { cluster, spec } => {
+            m.inc(&m.register_requests);
+            match shared.registry.register(cluster, spec) {
+                Ok(c) => ok_response(
+                    id,
+                    "register",
+                    vec![
+                        ("fingerprint".into(), Json::str(c.fingerprint.clone())),
+                        (
+                            "machines".into(),
+                            Json::Arr(
+                                c.machine_names.iter().map(Json::str).collect(),
+                            ),
+                        ),
+                    ],
+                ),
+                Err(e) => {
+                    m.inc(&m.errors);
+                    err_response(id, &e)
+                }
+            }
+        }
+        Request::Partition { target, n, algorithm, deadline_ms } => {
+            m.inc(&m.partition_requests);
+            let outcome = shared
+                .registry
+                .lookup(target)
+                .and_then(|c| shared.engine.partition(&c, *n, *algorithm, *deadline_ms, m));
+            match outcome {
+                Ok(o) => ok_response(
+                    id,
+                    "partition",
+                    vec![
+                        (
+                            "counts".into(),
+                            Json::Arr(o.plan.counts.iter().map(|&c| Json::uint(c)).collect()),
+                        ),
+                        ("makespan".into(), Json::num(o.plan.makespan)),
+                        ("steps".into(), Json::uint(o.plan.steps as u64)),
+                        ("cached".into(), Json::Bool(o.cached)),
+                        ("algorithm".into(), Json::str(algorithm.wire_name())),
+                        ("fingerprint".into(), Json::str(o.fingerprint)),
+                    ],
+                ),
+                Err(e) => {
+                    m.inc(&m.errors);
+                    err_response(id, &e)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawns_on_ephemeral_port_and_answers_ping() {
+        let handle = spawn(ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr).unwrap();
+        writeln!(stream, r#"{{"id":1,"verb":"ping"}}"#).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("pong").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(1));
+        let stats = handle.shutdown_and_join();
+        assert_eq!(stats.get("ping_requests").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn oversized_frames_close_with_structured_error() {
+        let handle = spawn(ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr).unwrap();
+        let big = vec![b'x'; MAX_FRAME_BYTES + 10];
+        stream.write_all(&big).unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("frame_too_large"));
+        // Connection is closed after the error.
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0);
+        handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn shutdown_verb_stops_the_server() {
+        let handle = spawn(ServerConfig::default()).unwrap();
+        let addr = handle.addr;
+        let mut stream = TcpStream::connect(addr).unwrap();
+        writeln!(stream, r#"{{"verb":"shutdown"}}"#).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("draining").and_then(Json::as_bool), Some(true));
+        // Give the acceptor a moment to observe the flag, then join.
+        assert!(handle.is_stopping());
+        handle.shutdown_and_join();
+        // New connections are refused or dropped without service.
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = writeln!(s, r#"{{"verb":"ping"}}"#);
+            let mut r = BufReader::new(s);
+            let mut l = String::new();
+            // Either 0 bytes (dropped) or an explicit shutting_down error.
+            if r.read_line(&mut l).unwrap_or(0) > 0 {
+                let v = Json::parse(&l).unwrap();
+                assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+            }
+        }
+    }
+}

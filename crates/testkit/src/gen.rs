@@ -245,6 +245,101 @@ fn make_model(
     }
 }
 
+/// A generated cluster in *wire form*: named piece-wise linear models as
+/// raw `(size, speed)` knot lists, plus a feasible problem size.
+///
+/// Unlike [`CaseSpec`] (whose trait objects cannot leave the process),
+/// everything here is plain data, so the same cluster can be registered
+/// with a partition server over JSON *and* rebuilt locally via
+/// [`fpm_core::speed::PiecewiseLinearSpeed::new`] — and because Rust
+/// renders `f64` as shortest-round-trip decimal, both sides see
+/// bit-identical knots and therefore produce bit-identical plans.
+pub struct WireCluster {
+    /// The seed this cluster was generated from.
+    pub seed: u64,
+    /// A feasible problem size for this cluster.
+    pub n: u64,
+    /// `(machine name, knots)` per machine; every knot list is admissible.
+    pub models: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl WireCluster {
+    /// Generates the wire cluster determined by `seed` under `config`.
+    /// Only the machine-count and size knobs of `config` apply (all models
+    /// are piece-wise linear by construction).
+    pub fn from_seed(seed: u64, config: &GenConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ WIRE_SALT);
+        let p = rng.gen_range(config.machines.0..=config.machines.1.max(config.machines.0));
+        let raw_n = 10f64.powf(rng.gen_range(config.n_log10.0..=config.n_log10.1));
+        let het = config.heterogeneity.max(1.0);
+        let mut models = Vec::with_capacity(p);
+        for i in 0..p {
+            let peak = 50.0 * rng.gen_range(1.0..=het);
+            let knots = piecewise_knots(&mut rng, peak, raw_n);
+            models.push((format!("m{i}"), knots));
+        }
+        // Clamp n into the cluster's modelled capacity (the last knot of
+        // each model bounds the load it can absorb).
+        let capacity: f64 = models
+            .iter()
+            .map(|(_, knots)| knots.last().map_or(0.0, |k| k.0).min(1e15))
+            .sum();
+        let n = (raw_n.min(0.8 * capacity).max(1.0)) as u64;
+        Self { seed, n, models }
+    }
+
+    /// Rebuilds the concrete speed models (the local-oracle side).
+    pub fn build(&self) -> Vec<PiecewiseLinearSpeed> {
+        self.models
+            .iter()
+            .map(|(name, knots)| {
+                PiecewiseLinearSpeed::new(knots.clone())
+                    .unwrap_or_else(|e| panic!("wire model {name} inadmissible: {e:?}"))
+            })
+            .collect()
+    }
+}
+
+/// Decorrelates wire-cluster streams from [`CaseSpec`] streams.
+const WIRE_SALT: u64 = 0x7E57_4B17_5EED_0002;
+
+/// Raw admissible knots: an analytic truth sampled at log-spaced points,
+/// keeping `s/x` strictly decreasing (see [`piecewise_model`]); falls back
+/// to a guaranteed-admissible two-knot ramp when sampling degenerates.
+fn piecewise_knots(rng: &mut ChaCha8Rng, peak: f64, raw_n: f64) -> Vec<(f64, f64)> {
+    let truth: Box<dyn SpeedFunction> = if rng.gen_bool(0.5) {
+        Box::new(AnalyticSpeed::decreasing(peak, raw_n * rng.gen_range(0.05..=0.5), 2.0))
+    } else {
+        Box::new(AnalyticSpeed::unimodal(
+            peak,
+            raw_n * rng.gen_range(1e-3..=0.01),
+            raw_n * rng.gen_range(0.1..=0.8),
+            2.0,
+        ))
+    };
+    let knots = rng.gen_range(4usize..=12);
+    let lo = (raw_n * 1e-4).max(1.0);
+    let hi = raw_n * 2.0;
+    let mut points: Vec<(f64, f64)> = Vec::with_capacity(knots);
+    for k in 0..knots {
+        let t = k as f64 / (knots - 1) as f64;
+        let x = lo * (hi / lo).powf(t);
+        let s = truth.speed(x);
+        if let Some(&(px, ps)) = points.last() {
+            if s / x >= ps / px {
+                continue;
+            }
+        }
+        points.push((x, s));
+    }
+    if points.len() < 2 {
+        // Two knots with decreasing speed over increasing size always keep
+        // s/x strictly decreasing.
+        points = vec![(lo, peak), (hi, peak * 0.25)];
+    }
+    points
+}
+
 /// Samples an admissible analytic truth at log-spaced knots and builds the
 /// piece-wise linear model the paper recommends (Fig. 14). Chords between
 /// knots with strictly decreasing `s/x` preserve the single-intersection
@@ -340,6 +435,45 @@ mod tests {
             let p = CaseSpec::from_seed(seed, &cfg).funcs.len();
             assert!((3..=5).contains(&p), "p = {p}");
         }
+    }
+
+    #[test]
+    fn wire_clusters_are_deterministic_and_admissible() {
+        let cfg = GenConfig::default();
+        for seed in 0..40u64 {
+            let a = WireCluster::from_seed(seed, &cfg);
+            let b = WireCluster::from_seed(seed, &cfg);
+            assert_eq!(a.n, b.n);
+            assert_eq!(a.models.len(), b.models.len());
+            for ((na, ka), (nb, kb)) in a.models.iter().zip(&b.models) {
+                assert_eq!(na, nb);
+                assert_eq!(ka.len(), kb.len());
+                for (pa, pb) in ka.iter().zip(kb) {
+                    assert_eq!(pa.0.to_bits(), pb.0.to_bits());
+                    assert_eq!(pa.1.to_bits(), pb.1.to_bits());
+                }
+            }
+            // Every wire model must rebuild into an admissible function.
+            let built = a.build();
+            assert_eq!(built.len(), a.models.len());
+            for (i, f) in built.iter().enumerate() {
+                let hi = f.max_size().max(2.0);
+                check_single_intersection(f, 1.0, hi, 200).unwrap_or_else(|(x, y)| {
+                    panic!("wire seed {seed} machine {i}: s/x not decreasing in [{x}, {y}]")
+                });
+            }
+            assert!(a.n >= 1);
+        }
+    }
+
+    #[test]
+    fn wire_cluster_stream_differs_from_case_stream() {
+        // Same seed, different salts: the wire generator must not mirror
+        // the trait-object generator (they feed different test layers).
+        let cfg = GenConfig::default();
+        let case = CaseSpec::from_seed(5, &cfg);
+        let wire = WireCluster::from_seed(5, &cfg);
+        assert!(case.n != wire.n || case.funcs.len() != wire.models.len());
     }
 
     #[test]

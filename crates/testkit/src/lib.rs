@@ -51,4 +51,4 @@ pub use conformance::{
     ConformanceReport, Tolerances,
 };
 pub use fault::{assert_no_panic, FaultKind, FaultyMeasurer};
-pub use gen::{CaseSpec, GenConfig, ModelKind};
+pub use gen::{CaseSpec, GenConfig, ModelKind, WireCluster};

@@ -1,0 +1,140 @@
+//! Tier-1 integration test of the serving layer: a real `fpm-serve` daemon
+//! on an ephemeral port must answer partition requests **bit-identically**
+//! to local solves of the same models.
+//!
+//! The clusters come from the testkit's [`WireCluster`] generator: plain
+//! `(size, speed)` knot lists that are registered over the JSON protocol
+//! and rebuilt locally from the same data. Because Rust renders `f64` as
+//! shortest-round-trip decimal, the server reconstructs bit-identical
+//! models, so its plans must match local plans exactly — counts equal and
+//! makespans equal to the last bit.
+//!
+//! Case count scales with `FPM_TESTKIT_CASES` (default 100, the
+//! acceptance floor); seeds derive from `FPM_TESTKIT_SEED`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fpm_serve::client::Client;
+use fpm_serve::engine::solve;
+use fpm_serve::json::Json;
+use fpm_serve::protocol::Algorithm;
+use fpm_serve::registry::SharedSpeed;
+use fpm_serve::server::{spawn, ServerConfig};
+use fpm_testkit::conformance::{env_base_seed, env_cases};
+use fpm_testkit::{GenConfig, WireCluster};
+
+/// All four wire algorithms, cycled across cases.
+const ALGORITHMS: &[Algorithm] = &[
+    Algorithm::Combined,
+    Algorithm::Basic,
+    Algorithm::Modified,
+    Algorithm::SingleAt(5e5),
+];
+
+#[test]
+fn server_plans_are_bit_identical_to_local_solves() {
+    let cases = env_cases(100);
+    let base = env_base_seed(0x5E11_7E57);
+    let cfg = GenConfig::default();
+
+    let handle = spawn(ServerConfig::default()).expect("spawn server");
+    let mut client = Client::connect(handle.addr, Duration::from_secs(60)).expect("connect");
+
+    for i in 0..cases {
+        let seed = base.wrapping_add(i as u64);
+        let wire = WireCluster::from_seed(seed, &cfg);
+        let name = format!("case-{seed:x}");
+        let reg = client
+            .register_inline(&name, &wire.models)
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: register failed: {e}"));
+        assert_eq!(reg.machines.len(), wire.models.len(), "seed {seed:#x}");
+
+        // Local oracle: identical knots, identical algorithm.
+        let local_funcs: Vec<SharedSpeed> = wire
+            .build()
+            .into_iter()
+            .map(|m| Arc::new(m) as SharedSpeed)
+            .collect();
+        let algorithm = ALGORITHMS[i % ALGORITHMS.len()];
+
+        let local = solve(algorithm, wire.n, &local_funcs);
+        let remote = client.partition(&name, wire.n, algorithm, Some(30_000));
+        match (local, remote) {
+            (Ok(local), Ok(remote)) => {
+                assert_eq!(
+                    local.counts, remote.counts,
+                    "seed {seed:#x} ({algorithm:?}, n={}): counts diverge",
+                    wire.n
+                );
+                assert_eq!(
+                    local.makespan.to_bits(),
+                    remote.makespan.to_bits(),
+                    "seed {seed:#x}: makespan not bit-identical ({} vs {})",
+                    local.makespan,
+                    remote.makespan
+                );
+                assert_eq!(
+                    remote.counts.iter().sum::<u64>(),
+                    wire.n,
+                    "seed {seed:#x}: conservation"
+                );
+            }
+            (Err(local_err), Err(remote_err)) => {
+                // Both sides must fail the same way (e.g. n beyond the
+                // cluster's modelled capacity).
+                assert_eq!(
+                    remote_err.code, "solve_failed",
+                    "seed {seed:#x}: remote {remote_err} vs local {local_err}"
+                );
+            }
+            (local, remote) => {
+                panic!("seed {seed:#x}: oracle disagreement: local {local:?} vs remote {remote:?}");
+            }
+        }
+    }
+
+    // Replaying one case against the warm server must hit the plan cache
+    // and still be bit-identical.
+    let wire = WireCluster::from_seed(base, &cfg);
+    let cold = client
+        .partition(&format!("case-{base:x}"), wire.n, ALGORITHMS[0], Some(30_000))
+        .expect("replay");
+    assert!(cold.cached, "second identical request must be cached");
+
+    let stats = handle.shutdown_and_join();
+    let served = stats.get("partition_requests").and_then(Json::as_u64).unwrap_or(0);
+    assert!(served >= cases as u64, "served {served} of {cases}");
+}
+
+#[test]
+fn testbed_registration_matches_local_build() {
+    // A testbed reference registered twice (under different names) must
+    // fingerprint identically — the server-side build is deterministic.
+    let handle = spawn(ServerConfig::default()).expect("spawn server");
+    let mut client = Client::connect(handle.addr, Duration::from_secs(60)).expect("connect");
+    let a = client.register_testbed("tb-a", "table1", "mm", 7).expect("register a");
+    let b = client.register_testbed("tb-b", "table1", "mm", 7).expect("register b");
+    assert_eq!(a.fingerprint, b.fingerprint);
+    assert_eq!(a.machines.len(), 4);
+    // Partitioning by fingerprint reaches the same cluster.
+    let via_name = client
+        .partition("tb-a", 200_000, Algorithm::Combined, Some(30_000))
+        .expect("partition by name");
+    let raw = client
+        .request_raw(&format!(
+            r#"{{"verb":"partition","fingerprint":"{}","n":200000}}"#,
+            a.fingerprint
+        ))
+        .expect("partition by fingerprint");
+    assert_eq!(raw.get("ok").and_then(Json::as_bool), Some(true));
+    let counts: Vec<u64> = raw
+        .get("counts")
+        .and_then(Json::as_array)
+        .expect("counts")
+        .iter()
+        .map(|c| c.as_u64().expect("count"))
+        .collect();
+    assert_eq!(counts, via_name.counts);
+    handle.shutdown_and_join();
+}

@@ -1,0 +1,205 @@
+//! Protocol fuzzing for the serving layer: seeded malformed inputs must
+//! produce clean structured errors — never a panic, never a hung
+//! connection, never an unparsable response.
+//!
+//! Two layers are attacked:
+//!
+//! * the request parser in isolation (pure function, checked under
+//!   [`assert_no_panic`]);
+//! * a live server, over real sockets, with the same corpus plus framing
+//!   attacks (oversized lines, binary garbage, truncation mid-request).
+//!
+//! Corpus size scales with `FPM_TESTKIT_CASES`; all mutations derive from
+//! `FPM_TESTKIT_SEED` so failures replay exactly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use fpm_serve::json::Json;
+use fpm_serve::protocol::parse_request;
+use fpm_serve::server::{spawn, ServerConfig};
+use fpm_testkit::conformance::{env_base_seed, env_cases};
+use fpm_testkit::fault::assert_no_panic;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Hand-written adversarial lines covering every parse branch.
+const STATIC_CORPUS: &[&str] = &[
+    "",
+    " ",
+    "\t",
+    "null",
+    "true",
+    "42",
+    "\"just a string\"",
+    "[1,2,3]",
+    "{}",
+    "{",
+    "}",
+    "{\"verb\":}",
+    "{\"verb\":\"ping\"",
+    "{\"verb\":\"ping\"}trailing",
+    "{\"verb\":\"warp\"}",
+    "{\"verb\":42}",
+    "{\"verb\":\"partition\"}",
+    "{\"verb\":\"partition\",\"cluster\":\"c\"}",
+    "{\"verb\":\"partition\",\"cluster\":\"c\",\"n\":NaN}",
+    "{\"verb\":\"partition\",\"cluster\":\"c\",\"n\":Infinity}",
+    "{\"verb\":\"partition\",\"cluster\":\"c\",\"n\":-5}",
+    "{\"verb\":\"partition\",\"cluster\":\"c\",\"n\":1.25}",
+    "{\"verb\":\"partition\",\"cluster\":\"c\",\"n\":1e999}",
+    "{\"verb\":\"partition\",\"cluster\":\"c\",\"n\":9007199254740993}",
+    "{\"verb\":\"partition\",\"cluster\":\"c\",\"n\":10,\"algorithm\":\"single@\"}",
+    "{\"verb\":\"partition\",\"cluster\":\"c\",\"n\":10,\"algorithm\":\"single@-1\"}",
+    "{\"verb\":\"partition\",\"cluster\":\"c\",\"n\":10,\"algorithm\":\"single@nan\"}",
+    "{\"verb\":\"partition\",\"cluster\":\"c\",\"n\":10,\"deadline_ms\":0}",
+    "{\"verb\":\"partition\",\"cluster\":\"c\",\"fingerprint\":\"ff\",\"n\":10}",
+    "{\"verb\":\"register\"}",
+    "{\"verb\":\"register\",\"cluster\":\"\"}",
+    "{\"verb\":\"register\",\"cluster\":\"c\",\"models\":{}}",
+    "{\"verb\":\"register\",\"cluster\":\"c\",\"models\":[]}",
+    "{\"verb\":\"register\",\"cluster\":\"c\",\"models\":[{}]}",
+    "{\"verb\":\"register\",\"cluster\":\"c\",\"models\":[{\"knots\":[]}]}",
+    "{\"verb\":\"register\",\"cluster\":\"c\",\"models\":[{\"knots\":[[1,2],[3]]}]}",
+    "{\"verb\":\"register\",\"cluster\":\"c\",\"models\":[{\"knots\":[[1,\"x\"],[2,3]]}]}",
+    "{\"verb\":\"register\",\"cluster\":\"c\",\"models\":[{\"knots\":[[1e6,9],[1e3,20]]}]}",
+    "{\"verb\":\"register\",\"cluster\":\"c\",\"testbed\":{}}",
+    "{\"verb\":\"register\",\"cluster\":\"c\",\"testbed\":{\"name\":\"table9\"}}",
+    "{\"verb\":\"register\",\"cluster\":\"c\",\"testbed\":{\"name\":\"table1\",\"seed\":-1}}",
+    "{\"verb\":\"register\",\"cluster\":\"c\",\"models\":[],\"testbed\":{\"name\":\"table1\"}}",
+    "{\"id\":{},\"verb\":\"ping\"}",
+    "{\"id\":[1],\"verb\":\"ping\"}",
+    "{\"verb\":\"ping\",\"id\":null}",
+    "\u{0}\u{1}\u{2}",
+    "\"\\ud800\"",
+    "{\"verb\":\"ping\"} {\"verb\":\"ping\"}",
+];
+
+/// Seeded mutation of a valid request: random truncation, byte flips, or
+/// splicing of adversarial tokens.
+fn mutate(rng: &mut ChaCha8Rng) -> String {
+    let valid = [
+        r#"{"verb":"ping"}"#,
+        r#"{"verb":"stats"}"#,
+        r#"{"id":7,"verb":"partition","cluster":"c","n":100000,"algorithm":"combined"}"#,
+        r#"{"verb":"register","cluster":"c","models":[{"name":"A","knots":[[1000,200],[1000000,180]]}]}"#,
+    ];
+    let base = valid[rng.gen_range(0usize..valid.len())];
+    let mut bytes = base.as_bytes().to_vec();
+    match rng.gen_range(0u8..4) {
+        0 => {
+            // Truncate at a random point.
+            let cut = rng.gen_range(0usize..bytes.len());
+            bytes.truncate(cut);
+        }
+        1 => {
+            // Flip a few bytes to printable garbage.
+            for _ in 0..rng.gen_range(1usize..5) {
+                let i = rng.gen_range(0usize..bytes.len());
+                bytes[i] = 33 + (rng.next_u64() % 90) as u8;
+            }
+        }
+        2 => {
+            // Splice an adversarial token mid-string.
+            let tokens = ["NaN", "1e99999", "\\udfff", "}{", ",,,", "\"\""];
+            let token = tokens[rng.gen_range(0usize..tokens.len())];
+            let i = rng.gen_range(0usize..bytes.len());
+            bytes.splice(i..i, token.bytes());
+        }
+        _ => {
+            // Deep-nest to probe the depth limit.
+            let depth = rng.gen_range(1usize..80);
+            let mut s = String::new();
+            for _ in 0..depth {
+                s.push_str("{\"a\":");
+            }
+            s.push('1');
+            for _ in 0..depth {
+                s.push('}');
+            }
+            return s;
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[test]
+fn parser_never_panics_on_malformed_input() {
+    let cases = env_cases(500);
+    let mut rng = ChaCha8Rng::seed_from_u64(env_base_seed(0xF0_55ED));
+    let mut corpus: Vec<String> = STATIC_CORPUS.iter().map(|s| s.to_string()).collect();
+    for _ in 0..cases {
+        corpus.push(mutate(&mut rng));
+    }
+    for line in &corpus {
+        let outcome = assert_no_panic(|| parse_request(line));
+        let result = outcome.unwrap_or_else(|panic| {
+            panic!("parser panicked on {line:?}: {panic}")
+        });
+        // Whatever happened, the error (if any) must carry a stable code.
+        if let Err((_, e)) = result {
+            assert!(!e.code.is_empty(), "{line:?}");
+            assert!(!e.message.is_empty(), "{line:?}");
+        }
+    }
+}
+
+#[test]
+fn live_server_answers_every_malformed_line_with_structured_errors() {
+    let cases = env_cases(200);
+    let mut rng = ChaCha8Rng::seed_from_u64(env_base_seed(0xF0_55ED) ^ 0xBEEF);
+    let handle = spawn(ServerConfig::default()).expect("spawn server");
+
+    let mut corpus: Vec<String> = STATIC_CORPUS.iter().map(|s| s.to_string()).collect();
+    for _ in 0..cases {
+        corpus.push(mutate(&mut rng));
+    }
+
+    for line in &corpus {
+        // Lines containing newlines/controls change framing; send them raw
+        // on a fresh connection so each probe is independent.
+        let stream = TcpStream::connect(handle.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let mut writer = stream.try_clone().expect("clone");
+        writer.write_all(line.as_bytes()).expect("send");
+        writer.write_all(b"\n").expect("send newline");
+        let mut reader = BufReader::new(stream);
+        let mut reply = String::new();
+        // Empty / whitespace-only lines legitimately get no reply; close
+        // and move on. Everything else must answer with parsable JSON.
+        if line.trim_matches(|c: char| c.is_whitespace() || c == '\u{0}').is_empty() {
+            continue;
+        }
+        reader.read_line(&mut reply).expect("read reply");
+        if reply.is_empty() {
+            // Connection closed without a reply is only legal for pure
+            // control-byte lines that trim to nothing after lossy decode.
+            let trimmed: String =
+                line.chars().filter(|c| !c.is_control() && !c.is_whitespace()).collect();
+            assert!(trimmed.is_empty(), "no reply for {line:?}");
+            continue;
+        }
+        let v = Json::parse(&reply)
+            .unwrap_or_else(|e| panic!("unparsable reply {reply:?} for {line:?}: {e}"));
+        // Every reply is a protocol object: ok=true for the lines that
+        // mutated into valid requests, otherwise a coded error.
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => {
+                let code = v.get("error").and_then(Json::as_str).unwrap_or("");
+                assert!(!code.is_empty(), "error reply without code for {line:?}");
+            }
+            None => panic!("reply without ok field for {line:?}: {reply:?}"),
+        }
+    }
+
+    // The server survived the whole corpus: it must still serve cleanly.
+    let mut client =
+        fpm_serve::client::Client::connect(handle.addr, Duration::from_secs(10)).expect("connect");
+    client.ping().expect("server still alive after fuzzing");
+    let stats = handle.shutdown_and_join();
+    assert!(stats.get("errors").and_then(Json::as_u64).unwrap_or(0) > 0);
+}
