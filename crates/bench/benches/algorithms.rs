@@ -1,10 +1,10 @@
-//! Ablation bench: the three partitioning algorithms (plus the geometric
-//! slope-mode extension) across speed-function regimes.
+//! Ablation bench: every production algorithm in the planner registry
+//! (under its canonical name, via erased dispatch) plus the geometric
+//! slope-mode extension, across speed-function regimes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fpm_core::partition::{
-    BisectionPartitioner, CombinedPartitioner, ModifiedPartitioner, Partitioner, SlopeMode,
-};
+use fpm_core::partition::{BisectionPartitioner, Partitioner, SlopeMode};
+use fpm_core::planner::{erase, registry};
 use fpm_core::speed::AnalyticSpeed;
 use std::hint::black_box;
 
@@ -24,20 +24,17 @@ fn bench_algorithms(c: &mut Criterion) {
     let n = 100_000_000u64;
     for p in [4usize, 12, 64] {
         let funcs = mixed_cluster(p);
-        group.bench_with_input(BenchmarkId::new("basic_tangent", p), &funcs, |b, funcs| {
-            let alg = BisectionPartitioner::new();
-            b.iter(|| black_box(alg.partition(n, funcs).unwrap().makespan))
-        });
+        // Canonical labels straight from the registry; baselines sample
+        // their speeds at the homogeneous reference size n/p.
+        for info in registry() {
+            let id = info.id_with((n as f64 / p as f64).max(1.0));
+            group.bench_with_input(BenchmarkId::new(info.name, p), &funcs, |b, funcs| {
+                let refs = erase(funcs);
+                b.iter(|| black_box(id.solve(n, &refs).unwrap().makespan))
+            });
+        }
         group.bench_with_input(BenchmarkId::new("basic_geometric", p), &funcs, |b, funcs| {
             let alg = BisectionPartitioner::new().with_slope_mode(SlopeMode::Geometric);
-            b.iter(|| black_box(alg.partition(n, funcs).unwrap().makespan))
-        });
-        group.bench_with_input(BenchmarkId::new("modified", p), &funcs, |b, funcs| {
-            let alg = ModifiedPartitioner::new();
-            b.iter(|| black_box(alg.partition(n, funcs).unwrap().makespan))
-        });
-        group.bench_with_input(BenchmarkId::new("combined", p), &funcs, |b, funcs| {
-            let alg = CombinedPartitioner::new();
             b.iter(|| black_box(alg.partition(n, funcs).unwrap().makespan))
         });
     }

@@ -2,10 +2,9 @@
 
 use std::time::Instant;
 
-use fpm_core::partition::{
-    BisectionPartitioner, CombinedPartitioner, ModifiedPartitioner, Partitioner, SlopeMode,
-};
+use fpm_core::partition::{BisectionPartitioner, Partitioner, SlopeMode};
 use fpm_core::partition::oracle;
+use fpm_core::planner::{erase, registry};
 use fpm_core::speed::builder::{build_speed_band, BuilderConfig};
 use fpm_core::speed::{AnalyticSpeed, SpeedFunction};
 use fpm_core::partition::Distribution;
@@ -39,72 +38,45 @@ pub fn algorithms() -> Report {
         ("mixed", mixed_cluster(), 1_000_000_000),
         ("exp-tail", exponential_cluster(), 90_000),
     ];
-    type AlgoRun = Box<dyn Fn() -> fpm_core::Result<fpm_core::PartitionReport>>;
     for (label, funcs, n) in cases {
         let reference = oracle::solve(n, &funcs).unwrap();
-        let algos: Vec<(&str, AlgoRun)> = vec![
-            (
-                "basic/tangent",
-                Box::new({
-                    let funcs = funcs.clone();
-                    move || BisectionPartitioner::new().with_max_steps(20_000).partition(n, &funcs)
-                }),
-            ),
-            (
-                "basic/geometric",
-                Box::new({
-                    let funcs = funcs.clone();
-                    move || {
-                        BisectionPartitioner::new()
-                            .with_slope_mode(SlopeMode::Geometric)
-                            .partition(n, &funcs)
-                    }
-                }),
-            ),
-            (
-                "modified",
-                Box::new({
-                    let funcs = funcs.clone();
-                    move || ModifiedPartitioner::new().partition(n, &funcs)
-                }),
-            ),
-            (
-                "combined",
-                Box::new({
-                    let funcs = funcs.clone();
-                    move || CombinedPartitioner::new().partition(n, &funcs)
-                }),
-            ),
-        ];
-        for (name, run) in algos {
-            let start = Instant::now();
-            match run() {
-                Ok(report) => {
-                    let wall = start.elapsed().as_micros();
-                    r.push_row(vec![
-                        label.into(),
-                        n.to_string(),
-                        name.into(),
-                        report.trace.steps().to_string(),
-                        wall.to_string(),
-                        fnum(report.makespan / reference.makespan, 4),
-                    ]);
-                }
-                Err(e) => {
-                    let wall = start.elapsed().as_micros();
-                    r.push_row(vec![
-                        label.into(),
-                        n.to_string(),
-                        name.into(),
-                        format!("{e}"),
-                        wall.to_string(),
-                        "-".into(),
-                    ]);
-                }
+        let refs = erase(&funcs);
+        let mut push = |name: &str, result: fpm_core::Result<fpm_core::PartitionReport>, wall: u128| {
+            match result {
+                Ok(report) => r.push_row(vec![
+                    label.into(),
+                    n.to_string(),
+                    name.into(),
+                    report.trace.steps().to_string(),
+                    wall.to_string(),
+                    fnum(report.makespan / reference.makespan, 4),
+                ]),
+                Err(e) => r.push_row(vec![
+                    label.into(),
+                    n.to_string(),
+                    name.into(),
+                    format!("{e}"),
+                    wall.to_string(),
+                    "-".into(),
+                ]),
             }
+        };
+        // Every production entry of the planner registry, under its
+        // canonical name (baselines have their own dedicated experiment).
+        for info in registry().iter().filter(|i| !i.baseline) {
+            let start = Instant::now();
+            let result = info.id_with(1.0).solve(n, &refs);
+            push(info.name, result, start.elapsed().as_micros());
         }
+        // Plus the geometric slope-mode ablation of `basic` — a config
+        // knob on BisectionPartitioner, not a registry algorithm.
+        let start = Instant::now();
+        let result = BisectionPartitioner::new()
+            .with_slope_mode(SlopeMode::Geometric)
+            .partition(n, &funcs);
+        push("basic/geometric", result, start.elapsed().as_micros());
     }
-    r.note("expected: all converging algorithms within 1.01 of the oracle; basic/tangent needs orders of magnitude more steps (or diverges) on exp-tail clusters");
+    r.note("expected: all converging algorithms within 1.01 of the oracle; basic (tangent slope mode) needs orders of magnitude more steps (or diverges) on exp-tail clusters");
     r
 }
 
@@ -188,7 +160,10 @@ mod tests {
     #[test]
     fn algorithms_report_has_all_rows() {
         let r = algorithms();
-        assert_eq!(r.rows.len(), 3 * 4);
+        // One row per production registry entry plus the slope-mode
+        // ablation, per cluster case.
+        let per_case = registry().iter().filter(|i| !i.baseline).count() + 1;
+        assert_eq!(r.rows.len(), 3 * per_case);
         let steps_of = |cluster: &str, algo: &str| -> f64 {
             r.rows
                 .iter()
@@ -196,9 +171,10 @@ mod tests {
                 .map(|row| row[3].parse().unwrap_or(f64::INFINITY))
                 .unwrap()
         };
-        // On the exp-tail cluster basic/tangent needs orders of magnitude
-        // more steps than the shape-insensitive algorithms (or diverges).
-        let tangent = steps_of("exp-tail", "basic/tangent");
+        // On the exp-tail cluster basic (tangent slope mode) needs orders
+        // of magnitude more steps than the shape-insensitive algorithms
+        // (or diverges).
+        let tangent = steps_of("exp-tail", "basic");
         let modified = steps_of("exp-tail", "modified");
         assert!(tangent > 8.0 * modified, "tangent {tangent} vs modified {modified}");
         // Every converging run is near-optimal.

@@ -3,15 +3,17 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use fpm_cli::commands::{self, Algorithm};
+use fpm_cli::commands;
 use fpm_cli::parse_models;
 use fpm_cli::serve_cmd::{self, LoadgenOptions, ServeOptions};
+use fpm_core::planner::AlgorithmId;
 
 const HELP: &str = "\
 fpm — data partitioning with a functional performance model
 
 USAGE:
-    fpm partition   --model FILE --n N [--algorithm combined|basic|modified|single@SIZE]
+    fpm partition   --model FILE --n N [--algorithm NAME]
+    fpm algorithms  [--names]             (list the algorithm registry)
     fpm simulate-mm --model FILE --dim N [--single-ref ELEMENTS]
     fpm models      --testbed NAME        (write a demo model file to stdout)
     fpm models      --list
@@ -25,6 +27,10 @@ USAGE:
                     [--algorithm A] [--deadline-ms MS] [--shutdown]
                                           (drive a running daemon, print throughput/latency)
 
+Algorithm NAMEs (everywhere an algorithm is accepted, CLI and daemon):
+    combined|basic|modified|secant|bounded|contiguous|single@SIZE
+plus registry aliases — run `fpm algorithms` for the catalog.
+
 The model FILE is plain text: one processor per line,
 `name size:speed size:speed ...` (sizes in elements, speeds in MFlops).
 The serve protocol is line-delimited JSON; see the fpm-serve crate docs.";
@@ -37,7 +43,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         if !key.starts_with("--") {
             return Err(format!("unexpected argument: {key}"));
         }
-        if key == "--list" || key == "--shutdown" {
+        if key == "--list" || key == "--shutdown" || key == "--names" {
             flags.insert(key.trim_start_matches("--").to_owned(), String::new());
             i += 1;
             continue;
@@ -68,7 +74,7 @@ fn run() -> Result<(), String> {
                 .ok_or("--n N is required")?
                 .parse::<f64>()
                 .map_err(|_| "unparsable --n".to_owned())? as u64;
-            let algorithm = Algorithm::parse(
+            let algorithm = AlgorithmId::parse(
                 flags.get("algorithm").map(String::as_str).unwrap_or("combined"),
             )
             .map_err(|e| e.to_string())?;
@@ -77,6 +83,10 @@ fn run() -> Result<(), String> {
             let models = parse_models(&contents).map_err(|e| e.to_string())?;
             let out = commands::partition(&models, n, algorithm).map_err(|e| e.to_string())?;
             print!("{out}");
+            Ok(())
+        }
+        "algorithms" => {
+            print!("{}", commands::algorithms(flags.contains_key("names")));
             Ok(())
         }
         "simulate-mm" => {
@@ -183,7 +193,7 @@ fn run() -> Result<(), String> {
             }
             if let Some(v) = flags.get("algorithm") {
                 opts.algorithm =
-                    fpm_serve::protocol::Algorithm::parse(v).map_err(|e| e.to_string())?;
+                    fpm_serve::protocol::parse_algorithm(v).map_err(|e| e.to_string())?;
             }
             if let Some(v) = flags.get("deadline-ms") {
                 opts.deadline_ms =

@@ -4,11 +4,10 @@
 use std::fmt::Write as _;
 
 use fpm_core::error::{Error, Result};
-use fpm_core::partition::{
-    BisectionPartitioner, CombinedPartitioner, ModifiedPartitioner, Partitioner,
-    SingleNumberPartitioner,
-};
+use fpm_core::partition::{CombinedPartitioner, SingleNumberPartitioner};
+use fpm_core::planner::{registry, AlgorithmId};
 use fpm_core::speed::builder::BuilderConfig;
+use fpm_core::speed::SpeedFunction;
 use fpm_exec::model_build::build_cluster_models;
 use fpm_simnet::fluctuation::Integration;
 use fpm_simnet::profile::AppProfile;
@@ -16,68 +15,43 @@ use fpm_simnet::testbeds;
 
 use crate::model_file::{format_models, NamedModel};
 
-/// Which partitioning algorithm a command uses.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Algorithm {
-    /// The combined (default) algorithm.
-    Combined,
-    /// The basic slope-bisection algorithm.
-    Basic,
-    /// The modified solution-space algorithm.
-    Modified,
-    /// The single-number baseline, sampled at the given size.
-    SingleAt(f64),
-}
-
-impl Algorithm {
-    /// Parses `combined`, `basic`, `modified` or `single@SIZE`.
-    pub fn parse(text: &str) -> Result<Self> {
-        match text {
-            "combined" => Ok(Algorithm::Combined),
-            "basic" => Ok(Algorithm::Basic),
-            "modified" => Ok(Algorithm::Modified),
-            other => {
-                if let Some(size) = other.strip_prefix("single@") {
-                    let size: f64 = size
-                        .parse()
-                        .map_err(|_| Error::InvalidParameter("unparsable single@ size"))?;
-                    if !(size.is_finite() && size > 0.0) {
-                        return Err(Error::InvalidParameter("single@ size must be positive"));
-                    }
-                    Ok(Algorithm::SingleAt(size))
-                } else {
-                    Err(Error::InvalidParameter(
-                        "algorithm must be combined|basic|modified|single@SIZE",
-                    ))
-                }
-            }
+/// `fpm algorithms`: render the planner registry as a table. With
+/// `names_only`, print one runnable spelling per line instead (for shell
+/// loops and CI smoke jobs).
+pub fn algorithms(names_only: bool) -> String {
+    let mut out = String::new();
+    if names_only {
+        for info in registry() {
+            let _ = writeln!(out, "{}", info.example);
         }
+        return out;
     }
-
-    fn partition(
-        &self,
-        n: u64,
-        models: &[NamedModel],
-    ) -> Result<fpm_core::PartitionReport> {
-        let funcs: Vec<&fpm_core::speed::PiecewiseLinearSpeed> =
-            models.iter().map(|m| &m.model).collect();
-        match self {
-            Algorithm::Combined => CombinedPartitioner::new().partition(n, &funcs),
-            Algorithm::Basic => BisectionPartitioner::new().partition(n, &funcs),
-            Algorithm::Modified => ModifiedPartitioner::new().partition(n, &funcs),
-            Algorithm::SingleAt(size) => {
-                SingleNumberPartitioner::at_size(*size).partition(n, &funcs)
-            }
-        }
+    let _ = writeln!(
+        out,
+        "{:<12} {:<26} {:<7} {:<36} paper",
+        "name", "aliases", "exact", "complexity"
+    );
+    for info in registry() {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<26} {:<7} {:<36} {}",
+            if info.parameterized { info.example } else { info.name },
+            info.aliases.join(", "),
+            if info.exact { "yes" } else { "no" },
+            info.complexity,
+            info.paper,
+        );
     }
+    out
 }
 
 /// `fpm partition`: optimally distribute `n` elements over the modelled
-/// processors; returns the rendered table.
-pub fn partition(models: &[NamedModel], n: u64, algorithm: Algorithm) -> Result<String> {
-    let report = algorithm.partition(n, models)?;
-    let funcs: Vec<&fpm_core::speed::PiecewiseLinearSpeed> =
-        models.iter().map(|m| &m.model).collect();
+/// processors; returns the rendered table. The algorithm is resolved
+/// through the planner registry's erased dispatch.
+pub fn partition(models: &[NamedModel], n: u64, algorithm: AlgorithmId) -> Result<String> {
+    let funcs: Vec<&dyn SpeedFunction> =
+        models.iter().map(|m| &m.model as &dyn SpeedFunction).collect();
+    let report = algorithm.solve(n, &funcs)?;
     let times = report.distribution.times(&funcs);
     let mut out = String::new();
     // Times are in the paper's normalised units (elements per MFlops):
@@ -221,25 +195,50 @@ mod tests {
     }
 
     #[test]
-    fn algorithm_parsing() {
-        assert_eq!(Algorithm::parse("combined").unwrap(), Algorithm::Combined);
-        assert_eq!(Algorithm::parse("basic").unwrap(), Algorithm::Basic);
-        assert_eq!(Algorithm::parse("modified").unwrap(), Algorithm::Modified);
-        assert_eq!(Algorithm::parse("single@5e5").unwrap(), Algorithm::SingleAt(5e5));
-        assert!(Algorithm::parse("nonsense").is_err());
-        assert!(Algorithm::parse("single@-3").is_err());
+    fn algorithm_parsing_is_the_registry_parse() {
+        // The CLI has no private parser any more: spellings come from the
+        // planner registry, aliases included.
+        assert_eq!(AlgorithmId::parse("combined").unwrap(), AlgorithmId::Combined);
+        assert_eq!(AlgorithmId::parse("hybrid").unwrap(), AlgorithmId::Combined);
+        assert_eq!(AlgorithmId::parse("secant").unwrap(), AlgorithmId::Secant);
+        assert_eq!(AlgorithmId::parse("single@5e5").unwrap(), AlgorithmId::SingleAt(5e5));
+        assert!(AlgorithmId::parse("nonsense").is_err());
+        assert!(AlgorithmId::parse("single@-3").is_err());
+    }
+
+    #[test]
+    fn algorithms_table_lists_every_registry_entry() {
+        let table = algorithms(false);
+        for info in registry() {
+            assert!(table.contains(info.name), "{} missing:\n{table}", info.name);
+        }
+        // --names emits one runnable spelling per line.
+        let names = algorithms(true);
+        assert_eq!(names.lines().count(), registry().len());
+        for line in names.lines() {
+            assert!(AlgorithmId::parse(line.trim()).is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn every_registry_algorithm_partitions_the_sample_models() {
+        for info in registry() {
+            let id = AlgorithmId::parse(info.example).unwrap();
+            let out = partition(&sample_models(), 1_000_000, id).unwrap();
+            assert!(out.contains("makespan"), "{}:\n{out}", info.name);
+        }
     }
 
     #[test]
     fn partition_outputs_all_processors_and_makespan() {
-        let out = partition(&sample_models(), 1_000_000, Algorithm::Combined).unwrap();
+        let out = partition(&sample_models(), 1_000_000, AlgorithmId::Combined).unwrap();
         assert!(out.contains('A') && out.contains('B'));
         assert!(out.contains("makespan"));
     }
 
     #[test]
     fn partition_shares_follow_speeds() {
-        let out = partition(&sample_models(), 900_000, Algorithm::Combined).unwrap();
+        let out = partition(&sample_models(), 900_000, AlgorithmId::Combined).unwrap();
         // A is ~2× faster at all sizes: its share must exceed 55 %.
         let a_line = out.lines().find(|l| l.starts_with('A')).unwrap();
         let share: f64 = a_line.split_whitespace().nth(2).unwrap().parse().unwrap();
@@ -272,7 +271,7 @@ mod tests {
     fn exported_models_partition_cleanly() {
         let text = models("table2-mm").unwrap();
         let parsed = parse_models(&text).unwrap();
-        let out = partition(&parsed, 300_000_000, Algorithm::Combined).unwrap();
+        let out = partition(&parsed, 300_000_000, AlgorithmId::Combined).unwrap();
         assert!(out.contains("X1") && out.contains("X12"));
     }
 }

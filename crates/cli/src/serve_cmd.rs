@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use fpm_serve::client::Client;
 use fpm_serve::loadgen::{self, LoadgenConfig};
-use fpm_serve::protocol::Algorithm;
+use fpm_serve::AlgorithmId;
 use fpm_serve::server::{spawn, ServerConfig};
 
 use crate::model_file::NamedModel;
@@ -99,7 +99,7 @@ pub struct LoadgenOptions {
     /// RNG seed.
     pub seed: u64,
     /// Algorithm under load.
-    pub algorithm: Algorithm,
+    pub algorithm: AlgorithmId,
     /// Per-request deadline, ms.
     pub deadline_ms: u64,
     /// Whether to send a `shutdown` verb after the run.
@@ -116,7 +116,7 @@ impl Default for LoadgenOptions {
             requests: 100,
             distinct_n: 16,
             seed: 0x10AD,
-            algorithm: Algorithm::Combined,
+            algorithm: AlgorithmId::Combined,
             deadline_ms: 5000,
             shutdown_after: false,
         }
@@ -160,7 +160,7 @@ pub fn loadgen(opts: &LoadgenOptions) -> Result<String, String> {
         cfg.workers,
         cfg.requests_per_worker,
         cfg.distinct_n,
-        opts.algorithm.wire_name(),
+        opts.algorithm,
     );
     let _ = writeln!(
         out,
@@ -211,7 +211,7 @@ mod tests {
         let addr = rx.recv_timeout(Duration::from_secs(30)).unwrap();
         let mut client = Client::connect(addr, Duration::from_secs(30)).unwrap();
         let reply = client
-            .partition("pre", 500_000, Algorithm::Combined, None)
+            .partition("pre", 500_000, AlgorithmId::Combined, None)
             .unwrap();
         assert_eq!(reply.counts.iter().sum::<u64>(), 500_000);
         client.shutdown().unwrap();

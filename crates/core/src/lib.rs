@@ -83,9 +83,11 @@
 pub mod error;
 pub mod geometry;
 pub mod partition;
+pub mod planner;
 pub mod speed;
 pub mod trace;
 
 pub use error::{Error, Result};
 pub use partition::{Distribution, PartitionReport, Partitioner};
+pub use planner::{registry, AlgorithmId, AlgorithmInfo, DynPartitioner};
 pub use speed::SpeedFunction;

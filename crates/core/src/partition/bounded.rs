@@ -110,6 +110,27 @@ pub fn partition_bounded<F: SpeedFunction>(
     Ok(PartitionReport::from_distribution(distribution, funcs, Trace::default()))
 }
 
+/// [`Partitioner`](crate::partition::Partitioner) adapter over [`partition_bounded`], exposed through the
+/// planner registry as `bounded`.
+///
+/// Runs the water-filling solver with every cap fixed at `n` — caps that
+/// can never bind — so it solves the paper's *unbounded* problem through
+/// the bounded machinery and is exact in the same sense as the geometric
+/// family: slope bisection over the capped intersections followed by the
+/// paper's fine-tuning, landing within the integer-rounding envelope of
+/// the continuous optimum (oracle-checked in the conformance sweep). The
+/// report carries an empty [`Trace`]: the solver does not record the
+/// per-iteration regions the traced algorithms do.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoundedPartitioner;
+
+impl super::problem::Partitioner for BoundedPartitioner {
+    fn partition<F: SpeedFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
+        let caps = vec![n; funcs.len()];
+        partition_bounded(n, funcs, &caps)
+    }
+}
+
 /// A weighted-items partition: which processor owns each item.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WeightedAssignment {
@@ -291,6 +312,27 @@ mod tests {
         assert_eq!(a.makespan, 0.0);
         let r = partition_bounded(0, &funcs, &[10]).unwrap();
         assert_eq!(r.distribution.total(), 0);
+    }
+
+    #[test]
+    fn partitioner_adapter_matches_non_binding_caps_and_oracle() {
+        use super::super::problem::Partitioner as _;
+        let funcs = vec![
+            AnalyticSpeed::decreasing(200.0, 1e6, 2.0),
+            AnalyticSpeed::paging(300.0, 2e6, 3.0),
+            AnalyticSpeed::constant(75.0),
+        ];
+        let n = 2_500_000;
+        let report = BoundedPartitioner.partition(n, &funcs).unwrap();
+        assert_eq!(report.distribution.total(), n);
+        // Identical to the explicit non-binding-caps call.
+        let explicit = partition_bounded(n, &funcs, &[n, n, n]).unwrap();
+        assert_eq!(report.distribution.counts(), explicit.distribution.counts());
+        assert_eq!(report.makespan.to_bits(), explicit.makespan.to_bits());
+        // Oracle-differential exactness.
+        let free = oracle::solve(n, &funcs).unwrap();
+        let rel = (report.makespan - free.makespan).abs() / free.makespan;
+        assert!(rel < 5e-3, "{} vs oracle {}", report.makespan, free.makespan);
     }
 
     #[test]

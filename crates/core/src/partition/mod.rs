@@ -19,8 +19,12 @@
 //! | [`CombinedPartitioner`] | adaptive hybrid | Fig. 15 |
 //! | [`oracle::solve`] | reference exact solver | test oracle |
 //! | [`SecantPartitioner`] | superlinear in practice | extension towards the "ideal algorithm" |
-//! | [`bounded`] | caps + weights extension | ref \[20\] |
-//! | [`partition_contiguous`] | weighted well-ordered arrays | ref \[20\] taxonomy |
+//! | [`bounded`] / [`BoundedPartitioner`] | caps + weights extension | ref \[20\] |
+//! | [`partition_contiguous`] / [`ContiguousPartitioner`] | well-ordered arrays | ref \[20\] taxonomy |
+//!
+//! Every solver here is catalogued in [`crate::planner::registry`]; front
+//! ends resolve them by canonical name through
+//! [`crate::planner::AlgorithmId`] instead of matching on types.
 
 pub mod bounded;
 mod bisection;
@@ -35,8 +39,12 @@ mod secant;
 mod single_number;
 
 pub use bisection::{BisectionPartitioner, SlopeMode};
+pub use bounded::BoundedPartitioner;
 pub use combined::{CombinedChoice, CombinedPartitioner};
-pub use contiguous::{partition_contiguous, ContiguousPartition};
+pub use contiguous::{
+    partition_contiguous, partition_contiguous_uniform, ContiguousPartition,
+    ContiguousPartitioner,
+};
 pub use fine_tune::fine_tune;
 pub use initial::{bracket_slopes, initial_slopes, SlopeBracket};
 pub use modified::ModifiedPartitioner;

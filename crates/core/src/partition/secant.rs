@@ -24,7 +24,19 @@ use crate::geometry::intersections_at_slope;
 use crate::speed::SpeedFunction;
 use crate::trace::{IterationRecord, Trace};
 
-/// Regula-falsi (Illinois) partitioner in log-slope space.
+/// Regula-falsi (Illinois) partitioner in log-slope space, exposed
+/// through the planner registry as `secant`.
+///
+/// **Guarantees.** Exact in the same sense as the other geometric
+/// partitioners: the bracket only ever shrinks around the optimal slope,
+/// and the run finishes with the paper's fine-tuning over the final
+/// integer candidates, so the result lands within the integer-rounding
+/// envelope of the continuous optimum (oracle-checked in the conformance
+/// sweep). Illinois damping keeps every step's bracket reduction at least
+/// a constant factor, so the step count is never worse than a constant
+/// multiple of plain bisection on the same bracket; convergence is
+/// superlinear *in practice* but carries no shape-independent
+/// superlinearity proof (the paper's "ideal algorithm" challenge).
 #[derive(Debug, Clone, Copy)]
 pub struct SecantPartitioner {
     /// Step budget.

@@ -1,0 +1,657 @@
+//! The planner: one canonical algorithm catalog and erased dispatch for
+//! every production partitioner.
+//!
+//! Historically each front end (CLI, daemon, conformance harness, bench
+//! experiments) kept its own `Algorithm` enum and `match`-on-variant
+//! dispatch block, and the four copies drifted — different accepted
+//! spellings, different subsets of the algorithm family. This module is
+//! the single source of truth they all consume:
+//!
+//! * [`AlgorithmId`] — the canonical identifier with stable string names,
+//!   one round-trip-tested [`AlgorithmId::parse`]/`Display` pair, and the
+//!   parameterized `single@SIZE` spelling for the baseline;
+//! * [`DynPartitioner`] — object-safe erased dispatch over
+//!   `&dyn SpeedFunction`. Because the blanket [`SpeedFunction`] impls
+//!   forward *every* trait method (including the batched and closed-form
+//!   overrides), running the generic [`Partitioner`] through a trait
+//!   object performs the identical sequence of floating-point operations:
+//!   erased results are **bit-exact** against direct generic calls;
+//! * [`registry`] — the static catalog of every production partitioner
+//!   with metadata (aliases, complexity class, paper reference, exactness,
+//!   iteration-bound class), including the `secant`, `bounded` and
+//!   `contiguous` partitioners that previously had no front-end spelling.
+//!
+//! Adding an algorithm means adding one registry entry (and one arm in
+//! [`AlgorithmId::instantiate`]); the CLI listing, the daemon's wire
+//! protocol, the conformance sweep and the bench labels pick it up
+//! automatically.
+//!
+//! ```
+//! use fpm_core::planner::AlgorithmId;
+//! use fpm_core::speed::{AnalyticSpeed, SpeedFunction};
+//!
+//! let funcs = [AnalyticSpeed::constant(100.0), AnalyticSpeed::constant(50.0)];
+//! let refs: Vec<&dyn SpeedFunction> = funcs.iter().map(|f| f as _).collect();
+//! let id: AlgorithmId = "combined".parse().unwrap();
+//! let report = id.solve(300, &refs).unwrap();
+//! assert_eq!(report.distribution.total(), 300);
+//! ```
+
+use crate::error::{Error, Result};
+use crate::partition::{
+    BisectionPartitioner, BoundedPartitioner, CombinedPartitioner, ContiguousPartitioner,
+    ModifiedPartitioner, PartitionReport, Partitioner, SecantPartitioner,
+    SingleNumberPartitioner,
+};
+use crate::speed::SpeedFunction;
+
+/// The canonical identifier of a production partitioning algorithm.
+///
+/// String form (via `Display` and [`AlgorithmId::parse`]) is the wire and
+/// CLI spelling; the two functions round-trip exactly, including the
+/// parameterized single-number baseline (`single@SIZE`, where `SIZE` is
+/// rendered as Rust's shortest-round-trip `f64` and parses back to the
+/// same bits).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlgorithmId {
+    /// The combined algorithm (paper Fig. 15) — the default.
+    Combined,
+    /// The basic slope-bisection algorithm (paper Figs. 7–8).
+    Basic,
+    /// The modified solution-space bisection (paper Figs. 10–12).
+    Modified,
+    /// Regula falsi with Illinois damping in log-slope space.
+    Secant,
+    /// The water-filling bounded solver with non-binding caps.
+    Bounded,
+    /// Contiguous (well-ordered) partitioning of `n` unit-weight items.
+    Contiguous,
+    /// The single-number baseline, sampled at the given reference size.
+    SingleAt(f64),
+}
+
+/// Static help text listing every accepted canonical spelling. A registry
+/// unit test keeps it in sync with [`registry`].
+pub const NAME_HELP: &str = "combined|basic|modified|secant|bounded|contiguous|single@SIZE";
+
+/// The parse error for an unrecognised algorithm name: a static message
+/// that enumerates the valid canonical spellings (tested against the
+/// registry so it cannot go stale).
+const UNKNOWN_ALGORITHM: Error = Error::InvalidParameter(
+    "unknown algorithm: expected one of \
+     combined|basic|modified|secant|bounded|contiguous|single@SIZE (or an alias; \
+     run `fpm algorithms` for the catalog)",
+);
+
+impl AlgorithmId {
+    /// Parses a canonical name, a registry alias, or `single@SIZE`
+    /// (`single-number@SIZE` is accepted as the alias spelling).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] for unknown names, and for `single@`
+    /// sizes that are not positive finite numbers.
+    pub fn parse(text: &str) -> Result<Self> {
+        if let Some(size) = text
+            .strip_prefix("single@")
+            .or_else(|| text.strip_prefix("single-number@"))
+        {
+            let size: f64 = size
+                .parse()
+                .map_err(|_| Error::InvalidParameter("unparsable single@ size"))?;
+            if !(size.is_finite() && size > 0.0) {
+                return Err(Error::InvalidParameter(
+                    "single@ size must be positive and finite",
+                ));
+            }
+            return Ok(AlgorithmId::SingleAt(size));
+        }
+        for info in registry() {
+            if !info.parameterized
+                && (info.name == text || info.aliases.contains(&text))
+            {
+                return Ok(info.id);
+            }
+        }
+        Err(UNKNOWN_ALGORITHM)
+    }
+
+    /// The canonical family name (`"single"` for any `single@SIZE`).
+    pub fn family(&self) -> &'static str {
+        match self {
+            AlgorithmId::Combined => "combined",
+            AlgorithmId::Basic => "basic",
+            AlgorithmId::Modified => "modified",
+            AlgorithmId::Secant => "secant",
+            AlgorithmId::Bounded => "bounded",
+            AlgorithmId::Contiguous => "contiguous",
+            AlgorithmId::SingleAt(_) => "single",
+        }
+    }
+
+    /// The registry entry describing this algorithm.
+    pub fn info(&self) -> &'static AlgorithmInfo {
+        let family = self.family();
+        registry()
+            .iter()
+            .find(|i| i.name == family)
+            .expect("every AlgorithmId variant has a registry entry")
+    }
+
+    /// A collision-free cache-key tag: a stable variant index plus the
+    /// reference size's raw bits for the single-number baseline.
+    ///
+    /// Derived from the canonical id, so aliases of the same algorithm
+    /// share cache entries. The first four tags predate the registry and
+    /// must stay stable (they key the daemon's plan cache).
+    pub fn key_tag(&self) -> (u8, u64) {
+        match self {
+            AlgorithmId::Combined => (0, 0),
+            AlgorithmId::Basic => (1, 0),
+            AlgorithmId::Modified => (2, 0),
+            AlgorithmId::SingleAt(size) => (3, size.to_bits()),
+            AlgorithmId::Secant => (4, 0),
+            AlgorithmId::Bounded => (5, 0),
+            AlgorithmId::Contiguous => (6, 0),
+        }
+    }
+
+    /// Instantiates the partitioner behind this id with its default
+    /// configuration. This `match` is the **only** algorithm dispatch
+    /// block in the workspace; every consumer goes through it.
+    pub fn instantiate(&self) -> Box<dyn DynPartitioner> {
+        match self {
+            AlgorithmId::Combined => Box::new(CombinedPartitioner::new()),
+            AlgorithmId::Basic => Box::new(BisectionPartitioner::new()),
+            AlgorithmId::Modified => Box::new(ModifiedPartitioner::new()),
+            AlgorithmId::Secant => Box::new(SecantPartitioner::new()),
+            AlgorithmId::Bounded => Box::new(BoundedPartitioner),
+            AlgorithmId::Contiguous => Box::new(ContiguousPartitioner),
+            AlgorithmId::SingleAt(size) => {
+                Box::new(SingleNumberPartitioner::at_size(*size))
+            }
+        }
+    }
+
+    /// Resolves and runs the partitioner on erased speed functions.
+    ///
+    /// Bit-exact against calling the concrete [`Partitioner`] directly
+    /// with the same functions (see the module docs).
+    pub fn solve(&self, n: u64, funcs: &[&dyn SpeedFunction]) -> Result<PartitionReport> {
+        self.instantiate().partition_dyn(n, funcs)
+    }
+}
+
+impl std::fmt::Display for AlgorithmId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgorithmId::SingleAt(size) => write!(f, "single@{size}"),
+            other => f.write_str(other.family()),
+        }
+    }
+}
+
+impl std::str::FromStr for AlgorithmId {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        AlgorithmId::parse(s)
+    }
+}
+
+/// Iteration-bound class of a traced algorithm, from the paper's §2
+/// complexity analysis. The conformance harness maps this onto its
+/// concrete step envelopes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceBound {
+    /// `O(log n)` search iterations: the slope searches (basic bisection,
+    /// secant).
+    SlopeSearch,
+    /// `O(p·log n)` iterations: the solution-space searches (modified,
+    /// combined).
+    SolutionSpace,
+}
+
+/// Catalog metadata of one production partitioner.
+#[derive(Debug, Clone, Copy)]
+pub struct AlgorithmInfo {
+    /// Canonical (lowercase, stable) name — the wire and CLI spelling.
+    pub name: &'static str,
+    /// Accepted alternative spellings; they parse to the same id and
+    /// share plan-cache entries.
+    pub aliases: &'static [&'static str],
+    /// One-line description.
+    pub summary: &'static str,
+    /// Complexity class, human-readable.
+    pub complexity: &'static str,
+    /// Where the paper (or its extensions) defines the algorithm.
+    pub paper: &'static str,
+    /// Whether the algorithm lands on the §2 optimum (and is therefore
+    /// differentially checked against the oracle at tight tolerance). The
+    /// single-number baseline is deliberately *not* exact: it is the model
+    /// the paper argues against.
+    pub exact: bool,
+    /// True for the single-number baseline, which the conformance harness
+    /// checks under relaxed rules (must conserve and must not beat the
+    /// oracle, but is expected to be slower).
+    pub baseline: bool,
+    /// True when the string form carries a parameter (`single@SIZE`).
+    pub parameterized: bool,
+    /// Iteration-bound class of the recorded trace, when the paper claims
+    /// one.
+    pub bound: Option<TraceBound>,
+    /// A template id; for parameterized entries the payload is a
+    /// placeholder replaced by [`AlgorithmInfo::id_with`].
+    id: AlgorithmId,
+    /// A spelling guaranteed to parse — what smoke tests and examples
+    /// should use (`single@500000` for the parameterized baseline).
+    pub example: &'static str,
+}
+
+impl AlgorithmInfo {
+    /// The id of this entry; parameterized entries take `single_size` as
+    /// their parameter, all others ignore it.
+    pub fn id_with(&self, single_size: f64) -> AlgorithmId {
+        if self.parameterized {
+            AlgorithmId::SingleAt(single_size)
+        } else {
+            self.id
+        }
+    }
+}
+
+/// The reference size used by the `single` registry entry's example
+/// spelling.
+pub const SINGLE_EXAMPLE_SIZE: f64 = 500_000.0;
+
+static REGISTRY: [AlgorithmInfo; 7] = [
+    AlgorithmInfo {
+        name: "combined",
+        aliases: &["hybrid", "default"],
+        summary: "hybrid of slope bisection and solution-space bisection (the default)",
+        complexity: "adaptive; O(p^2 log n) guaranteed",
+        paper: "IPDPS 2004 Fig. 15",
+        exact: true,
+        baseline: false,
+        parameterized: false,
+        bound: Some(TraceBound::SolutionSpace),
+        id: AlgorithmId::Combined,
+        example: "combined",
+    },
+    AlgorithmInfo {
+        name: "basic",
+        aliases: &["bisection"],
+        summary: "slope bisection between two origin lines",
+        complexity: "best O(p log n), worst O(p n)",
+        paper: "IPDPS 2004 Figs. 7-8",
+        exact: true,
+        baseline: false,
+        parameterized: false,
+        bound: Some(TraceBound::SlopeSearch),
+        id: AlgorithmId::Basic,
+        example: "basic",
+    },
+    AlgorithmInfo {
+        name: "modified",
+        aliases: &["solution-space"],
+        summary: "bisection of the discrete space of solutions",
+        complexity: "O(p^2 log n) guaranteed",
+        paper: "IPDPS 2004 Figs. 10-12",
+        exact: true,
+        baseline: false,
+        parameterized: false,
+        bound: Some(TraceBound::SolutionSpace),
+        id: AlgorithmId::Modified,
+        example: "modified",
+    },
+    AlgorithmInfo {
+        name: "secant",
+        aliases: &["regula-falsi"],
+        summary: "regula falsi (Illinois) on the slope residual, in log-slope space",
+        complexity: "superlinear in practice, never worse than bisection",
+        paper: "towards the paper's closing 'ideal algorithm' challenge",
+        exact: true,
+        baseline: false,
+        parameterized: false,
+        bound: Some(TraceBound::SlopeSearch),
+        id: AlgorithmId::Secant,
+        example: "secant",
+    },
+    AlgorithmInfo {
+        name: "bounded",
+        aliases: &["water-filling"],
+        summary: "water-filling solver for per-processor caps, run with non-binding caps",
+        complexity: "O(p log n) slope bisection over capped intersections",
+        paper: "paper Section 1 / reference [20]",
+        exact: true,
+        baseline: false,
+        parameterized: false,
+        bound: None,
+        id: AlgorithmId::Bounded,
+        example: "bounded",
+    },
+    AlgorithmInfo {
+        name: "contiguous",
+        aliases: &["well-ordered"],
+        summary: "optimal contiguous partition of n unit-weight items (makespan bisection)",
+        complexity: "O(p log(1/eps)) makespan bisection",
+        paper: "reference [20] taxonomy (well-ordered arrays)",
+        exact: true,
+        baseline: false,
+        parameterized: false,
+        bound: None,
+        id: AlgorithmId::Contiguous,
+        example: "contiguous",
+    },
+    AlgorithmInfo {
+        name: "single",
+        aliases: &["single-number"],
+        summary: "classical constant-speed baseline sampled at SIZE (the model the paper argues against)",
+        complexity: "O(p log p)",
+        paper: "baseline, paper refs [5]-[7]",
+        exact: false,
+        baseline: true,
+        parameterized: true,
+        bound: None,
+        id: AlgorithmId::SingleAt(SINGLE_EXAMPLE_SIZE),
+        example: "single@500000",
+    },
+];
+
+/// The static catalog of every production partitioner. Order is the
+/// presentation order (`fpm algorithms`, conformance reports): the
+/// default first, then the geometric family, the extensions, and the
+/// baseline last.
+pub fn registry() -> &'static [AlgorithmInfo] {
+    &REGISTRY
+}
+
+/// Object-safe erased partitioner dispatch.
+///
+/// Blanket-implemented for every [`Partitioner`], so a registry lookup
+/// can return `Box<dyn DynPartitioner>` without each consumer writing its
+/// own `match`. The erased call is bit-exact against the direct generic
+/// call: `&dyn SpeedFunction` implements [`SpeedFunction`] through the
+/// forwarding blanket impl, so the partitioner executes the identical
+/// floating-point operation sequence, merely through a vtable.
+pub trait DynPartitioner: Send + Sync {
+    /// Partitions `n` elements over erased speed functions.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of the underlying [`Partitioner::partition`].
+    fn partition_dyn(
+        &self,
+        n: u64,
+        funcs: &[&dyn SpeedFunction],
+    ) -> Result<PartitionReport>;
+}
+
+impl<P: Partitioner + Send + Sync> DynPartitioner for P {
+    fn partition_dyn(
+        &self,
+        n: u64,
+        funcs: &[&dyn SpeedFunction],
+    ) -> Result<PartitionReport> {
+        self.partition(n, funcs)
+    }
+}
+
+/// A boxed erased partitioner is itself a [`Partitioner`], so generic
+/// consumers (e.g. the execution simulators) accept registry-resolved
+/// algorithms unchanged: `simulate_mm(dim, funcs, &id.instantiate())`.
+impl Partitioner for Box<dyn DynPartitioner> {
+    fn partition<F: SpeedFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
+        let refs: Vec<&dyn SpeedFunction> = funcs.iter().map(|f| f as _).collect();
+        (**self).partition_dyn(n, refs.as_slice())
+    }
+}
+
+/// Erases a homogeneous slice of speed functions for [`AlgorithmId::solve`]
+/// / [`DynPartitioner::partition_dyn`].
+pub fn erase<F: SpeedFunction>(funcs: &[F]) -> Vec<&dyn SpeedFunction> {
+    funcs.iter().map(|f| f as _).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::oracle;
+    use crate::speed::AnalyticSpeed;
+
+    fn sample_cluster() -> Vec<AnalyticSpeed> {
+        vec![
+            AnalyticSpeed::decreasing(200.0, 1e6, 2.0),
+            AnalyticSpeed::saturating(150.0, 5e4),
+            AnalyticSpeed::unimodal(250.0, 1e4, 5e6, 2.0),
+            AnalyticSpeed::constant(80.0),
+        ]
+    }
+
+    #[test]
+    fn canonical_names_round_trip_through_parse_and_display() {
+        for info in registry() {
+            let id = AlgorithmId::parse(info.example).unwrap();
+            assert_eq!(id.to_string(), info.example, "{}", info.name);
+            assert_eq!(AlgorithmId::parse(&id.to_string()).unwrap(), id);
+        }
+    }
+
+    #[test]
+    fn single_sizes_round_trip_bit_exactly() {
+        for size in [1.0, 5e5, 123_456.5, 0.1, 1e-300, 9.87654321e15] {
+            let id = AlgorithmId::SingleAt(size);
+            let text = id.to_string();
+            let back = AlgorithmId::parse(&text).unwrap();
+            let AlgorithmId::SingleAt(parsed) = back else { panic!("{text}") };
+            assert_eq!(parsed.to_bits(), size.to_bits(), "{text}");
+            // Second round trip is a fixed point.
+            assert_eq!(back.to_string(), text);
+        }
+        // The alias prefix parses to the same id.
+        assert_eq!(
+            AlgorithmId::parse("single-number@5e5").unwrap(),
+            AlgorithmId::SingleAt(5e5)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_spellings() {
+        for bad in ["", "magic", "single@", "single@-3", "single@nan", "single@inf",
+                    "Combined", "BASIC", "single@0"]
+        {
+            assert!(AlgorithmId::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn unknown_name_error_lists_every_registry_name() {
+        let msg = AlgorithmId::parse("magic").unwrap_err().to_string();
+        for info in registry() {
+            assert!(msg.contains(info.name), "help misses {:?}: {msg}", info.name);
+        }
+        assert!(msg.contains(NAME_HELP), "help text drifted from NAME_HELP: {msg}");
+    }
+
+    #[test]
+    fn registry_names_and_aliases_are_unique_and_case_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for info in registry() {
+            assert_eq!(info.name, info.name.to_ascii_lowercase(), "case-stable");
+            assert!(seen.insert(info.name), "duplicate name {}", info.name);
+            for alias in info.aliases {
+                assert_eq!(*alias, alias.to_ascii_lowercase());
+                assert!(seen.insert(*alias), "alias {alias} collides");
+                // Aliases resolve to the entry's own id.
+                if !info.parameterized {
+                    assert_eq!(AlgorithmId::parse(alias).unwrap(), info.id_with(1.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn key_tags_are_collision_free_and_alias_shared() {
+        let ids = [
+            AlgorithmId::Combined,
+            AlgorithmId::Basic,
+            AlgorithmId::Modified,
+            AlgorithmId::Secant,
+            AlgorithmId::Bounded,
+            AlgorithmId::Contiguous,
+            AlgorithmId::SingleAt(5e5),
+        ];
+        let mut tags = std::collections::HashSet::new();
+        for id in ids {
+            assert!(tags.insert(id.key_tag()), "tag collision at {id}");
+        }
+        // Distinct single sizes get distinct tags.
+        assert_ne!(
+            AlgorithmId::SingleAt(1.0).key_tag(),
+            AlgorithmId::SingleAt(2.0).key_tag()
+        );
+        // The pre-registry tags are frozen: they key persisted plan caches.
+        assert_eq!(AlgorithmId::Combined.key_tag(), (0, 0));
+        assert_eq!(AlgorithmId::Basic.key_tag(), (1, 0));
+        assert_eq!(AlgorithmId::Modified.key_tag(), (2, 0));
+        assert_eq!(AlgorithmId::SingleAt(5e5).key_tag(), (3, 5e5f64.to_bits()));
+        // Aliases parse to the same id, hence the same cache key.
+        assert_eq!(
+            AlgorithmId::parse("hybrid").unwrap().key_tag(),
+            AlgorithmId::parse("combined").unwrap().key_tag()
+        );
+    }
+
+    #[test]
+    fn every_id_has_an_info_and_every_info_instantiates() {
+        for info in registry() {
+            let id = info.id_with(5e5);
+            assert_eq!(id.info().name, info.name);
+            assert_eq!(id.family(), info.name);
+            // The example spelling resolves to the same family.
+            assert_eq!(
+                AlgorithmId::parse(info.example).unwrap().family(),
+                info.name
+            );
+            // And the instance solves a trivial problem.
+            let funcs = sample_cluster();
+            let refs = erase(&funcs);
+            let report = id.solve(10_000, &refs).unwrap();
+            assert_eq!(report.distribution.total(), 10_000, "{}", info.name);
+        }
+    }
+
+    #[test]
+    fn registry_stays_in_sync_with_partition_module_exports() {
+        // Grep the partition module table for exported solver entry points
+        // and require a registry mapping for each — adding a partitioner
+        // without cataloguing it fails here.
+        let module_table = include_str!("partition/mod.rs");
+        let mapping: &[(&str, &str)] = &[
+            ("BisectionPartitioner", "basic"),
+            ("CombinedPartitioner", "combined"),
+            ("ModifiedPartitioner", "modified"),
+            ("SecantPartitioner", "secant"),
+            ("SingleNumberPartitioner", "single"),
+            ("BoundedPartitioner", "bounded"),
+            ("ContiguousPartitioner", "contiguous"),
+        ];
+        let mut exported = Vec::new();
+        let mut in_use = false;
+        for line in module_table.lines() {
+            if line.trim_start().starts_with("pub use") {
+                in_use = true;
+            }
+            if in_use {
+                for token in line.split(|c: char| !c.is_alphanumeric()) {
+                    if token.ends_with("Partitioner") && token != "Partitioner" {
+                        exported.push(token.to_owned());
+                    }
+                }
+                if line.contains(';') {
+                    in_use = false;
+                }
+            }
+        }
+        exported.sort();
+        exported.dedup();
+        let mut mapped: Vec<String> =
+            mapping.iter().map(|(ty, _)| (*ty).to_owned()).collect();
+        mapped.sort();
+        assert_eq!(
+            exported, mapped,
+            "partition module exports and the registry mapping diverged"
+        );
+        for (_, name) in mapping {
+            assert!(
+                registry().iter().any(|i| i.name == *name),
+                "exported partitioner has no registry entry: {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn erased_dispatch_is_bit_exact_against_direct_calls() {
+        let funcs = sample_cluster();
+        let refs = erase(&funcs);
+        let n = 3_456_789;
+        let pairs: Vec<(AlgorithmId, PartitionReport)> = vec![
+            (AlgorithmId::Combined, CombinedPartitioner::new().partition(n, &funcs).unwrap()),
+            (AlgorithmId::Basic, BisectionPartitioner::new().partition(n, &funcs).unwrap()),
+            (AlgorithmId::Modified, ModifiedPartitioner::new().partition(n, &funcs).unwrap()),
+            (AlgorithmId::Secant, SecantPartitioner::new().partition(n, &funcs).unwrap()),
+            (AlgorithmId::Bounded, BoundedPartitioner.partition(n, &funcs).unwrap()),
+            (AlgorithmId::Contiguous, ContiguousPartitioner.partition(n, &funcs).unwrap()),
+            (
+                AlgorithmId::SingleAt(5e5),
+                SingleNumberPartitioner::at_size(5e5).partition(n, &funcs).unwrap(),
+            ),
+        ];
+        for (id, direct) in pairs {
+            let erased = id.solve(n, &refs).unwrap();
+            assert_eq!(
+                erased.distribution.counts(),
+                direct.distribution.counts(),
+                "{id}: counts diverge"
+            );
+            assert_eq!(
+                erased.makespan.to_bits(),
+                direct.makespan.to_bits(),
+                "{id}: makespan not bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn boxed_dyn_partitioner_is_a_partitioner() {
+        let funcs = sample_cluster();
+        let boxed = AlgorithmId::Combined.instantiate();
+        let via_box = boxed.partition(1_000_000, &funcs).unwrap();
+        let direct = CombinedPartitioner::new().partition(1_000_000, &funcs).unwrap();
+        assert_eq!(via_box.distribution.counts(), direct.distribution.counts());
+        assert_eq!(via_box.makespan.to_bits(), direct.makespan.to_bits());
+    }
+
+    #[test]
+    fn exact_entries_track_the_oracle() {
+        // Oracle-differential guarantee test for the newly exposed
+        // partitioners (and the rest of the exact family).
+        let funcs = sample_cluster();
+        let refs = erase(&funcs);
+        for n in [1_000u64, 123_456, 7_000_000] {
+            let reference = oracle::solve(n, &funcs).unwrap();
+            for info in registry().iter().filter(|i| i.exact) {
+                let report = info.id_with(1.0).solve(n, &refs).unwrap();
+                let rel = (report.makespan - reference.makespan).abs()
+                    / reference.makespan;
+                assert!(
+                    rel < 5e-3,
+                    "{} at n={n}: {} vs oracle {} (rel {rel:.2e})",
+                    info.name,
+                    report.makespan,
+                    reference.makespan
+                );
+            }
+        }
+    }
+}

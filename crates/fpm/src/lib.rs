@@ -40,9 +40,11 @@ pub use fpm_simnet as simnet;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use fpm_core::partition::{
-        bounded, oracle, BisectionPartitioner, CombinedPartitioner, Distribution,
-        ModifiedPartitioner, PartitionReport, Partitioner, SingleNumberPartitioner, SlopeMode,
+        bounded, oracle, BisectionPartitioner, BoundedPartitioner, CombinedPartitioner,
+        ContiguousPartitioner, Distribution, ModifiedPartitioner, PartitionReport, Partitioner,
+        SecantPartitioner, SingleNumberPartitioner, SlopeMode,
     };
+    pub use fpm_core::planner::{registry, AlgorithmId, AlgorithmInfo, DynPartitioner};
     pub use fpm_core::speed::{
         build_speed_band, AnalyticSpeed, BuilderConfig, ConstantSpeed, PiecewiseLinearSpeed,
         SpeedBand, SpeedFunction, WidthLaw,

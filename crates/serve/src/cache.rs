@@ -28,7 +28,7 @@ pub struct PlanKey {
     pub fingerprint: u64,
     /// Problem size.
     pub n: u64,
-    /// Algorithm tag from [`crate::protocol::Algorithm::key_tag`].
+    /// Algorithm tag from [`fpm_core::planner::AlgorithmId::key_tag`].
     pub algo: (u8, u64),
 }
 

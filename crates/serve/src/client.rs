@@ -6,7 +6,8 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use crate::json::Json;
-use crate::protocol::{Algorithm, ProtoError};
+use crate::protocol::ProtoError;
+use fpm_core::planner::AlgorithmId;
 
 /// A connected protocol client (one request in flight at a time).
 pub struct Client {
@@ -154,14 +155,14 @@ impl Client {
         &mut self,
         cluster: &str,
         n: u64,
-        algorithm: Algorithm,
+        algorithm: AlgorithmId,
         deadline_ms: Option<u64>,
     ) -> Result<PartitionReply, ProtoError> {
         let mut fields = vec![
             ("verb".into(), Json::str("partition")),
             ("cluster".into(), Json::str(cluster)),
             ("n".into(), Json::uint(n)),
-            ("algorithm".into(), Json::str(algorithm.wire_name())),
+            ("algorithm".into(), Json::str(algorithm.to_string())),
         ];
         if let Some(ms) = deadline_ms {
             fields.push(("deadline_ms".into(), Json::uint(ms)));
@@ -250,13 +251,13 @@ mod tests {
             .unwrap();
         assert_eq!(reg.machines, ["A", "B"]);
         let cold = client
-            .partition("c1", 1_000_000, Algorithm::Combined, None)
+            .partition("c1", 1_000_000, AlgorithmId::Combined, None)
             .unwrap();
         assert_eq!(cold.counts.iter().sum::<u64>(), 1_000_000);
         assert!(!cold.cached);
         assert_eq!(cold.fingerprint, reg.fingerprint);
         let warm = client
-            .partition("c1", 1_000_000, Algorithm::Combined, None)
+            .partition("c1", 1_000_000, AlgorithmId::Combined, None)
             .unwrap();
         assert!(warm.cached);
         assert_eq!(cold.counts, warm.counts);
@@ -264,7 +265,7 @@ mod tests {
         let stats = client.stats().unwrap();
         assert_eq!(stats.get("cache_hits").and_then(Json::as_u64), Some(1));
         let err = client
-            .partition("ghost", 10, Algorithm::Combined, None)
+            .partition("ghost", 10, AlgorithmId::Combined, None)
             .unwrap_err();
         assert_eq!(err.code, "not_found");
         handle.shutdown_and_join();

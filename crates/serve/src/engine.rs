@@ -15,15 +15,13 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fpm_core::partition::{
-    BisectionPartitioner, CombinedPartitioner, ModifiedPartitioner, Partitioner,
-    SingleNumberPartitioner,
-};
+use fpm_core::planner::AlgorithmId;
+use fpm_core::speed::SpeedFunction;
 use fpm_exec::pool::WorkerPool;
 
 use crate::cache::{CacheStatus, PlanCache, PlanKey, PlanResult};
 use crate::metrics::Metrics;
-use crate::protocol::{Algorithm, ProtoError};
+use crate::protocol::ProtoError;
 use crate::registry::{RegisteredCluster, SharedSpeed};
 
 /// A solved partition, as cached and sent over the wire.
@@ -50,16 +48,16 @@ pub struct PartitionOutcome {
 
 /// Runs one algorithm against a cluster's models. Pure — no engine state —
 /// so the integration test can call it as the local oracle.
-pub fn solve(algorithm: Algorithm, n: u64, funcs: &[SharedSpeed]) -> PlanResult {
-    let report = match algorithm {
-        Algorithm::Combined => CombinedPartitioner::new().partition(n, funcs),
-        Algorithm::Basic => BisectionPartitioner::new().partition(n, funcs),
-        Algorithm::Modified => ModifiedPartitioner::new().partition(n, funcs),
-        Algorithm::SingleAt(size) => {
-            SingleNumberPartitioner::at_size(size).partition(n, funcs)
-        }
-    }
-    .map_err(|e| ProtoError::new("solve_failed", e.to_string()))?;
+///
+/// The algorithm is resolved through the planner registry's erased
+/// dispatch ([`AlgorithmId::solve`]); there is no per-daemon `match` over
+/// algorithms, and the erased call is bit-exact against direct
+/// `Partitioner` use.
+pub fn solve(algorithm: AlgorithmId, n: u64, funcs: &[SharedSpeed]) -> PlanResult {
+    let refs: Vec<&dyn SpeedFunction> = funcs.iter().map(|f| &**f as _).collect();
+    let report = algorithm
+        .solve(n, &refs)
+        .map_err(|e| ProtoError::new("solve_failed", e.to_string()))?;
     Ok(Arc::new(Plan {
         counts: report.distribution.counts().to_vec(),
         makespan: report.makespan,
@@ -131,7 +129,7 @@ impl Engine {
         &self,
         cluster: &Arc<RegisteredCluster>,
         n: u64,
-        algorithm: Algorithm,
+        algorithm: AlgorithmId,
         deadline_ms: Option<u64>,
         metrics: &Metrics,
     ) -> Result<PartitionOutcome, ProtoError> {
@@ -246,12 +244,12 @@ mod tests {
         let metrics = Metrics::new();
         let c = cluster();
         let cold = engine
-            .partition(&c, 1_000_000, Algorithm::Combined, None, &metrics)
+            .partition(&c, 1_000_000, AlgorithmId::Combined, None, &metrics)
             .unwrap();
         assert!(!cold.cached);
         assert_eq!(cold.plan.counts.iter().sum::<u64>(), 1_000_000);
         let warm = engine
-            .partition(&c, 1_000_000, Algorithm::Combined, None, &metrics)
+            .partition(&c, 1_000_000, AlgorithmId::Combined, None, &metrics)
             .unwrap();
         assert!(warm.cached);
         assert_eq!(cold.plan, warm.plan, "cache must be bit-identical");
@@ -265,12 +263,9 @@ mod tests {
         let engine = Engine::new(64, EngineConfig::default());
         let metrics = Metrics::new();
         let c = cluster();
-        for algo in [
-            Algorithm::Combined,
-            Algorithm::Basic,
-            Algorithm::Modified,
-            Algorithm::SingleAt(5e5),
-        ] {
+        // Every registry entry is reachable through the engine and agrees
+        // with the pure solve (which is itself erased dispatch).
+        for algo in fpm_core::planner::registry().iter().map(|i| i.id_with(5e5)) {
             let via_engine =
                 engine.partition(&c, 123_456, algo, None, &metrics).unwrap();
             let direct = solve(algo, 123_456, &c.funcs).unwrap();
@@ -287,7 +282,7 @@ mod tests {
         let metrics = Metrics::new();
         let c = cluster();
         let err = engine
-            .partition(&c, 1000, Algorithm::Combined, None, &metrics)
+            .partition(&c, 1000, AlgorithmId::Combined, None, &metrics)
             .unwrap_err();
         assert_eq!(err.code, "overloaded");
         assert_eq!(metrics.shed.load(Ordering::Relaxed), 1);
@@ -300,12 +295,12 @@ mod tests {
         let c = cluster();
         // Beyond every machine's maximum size: cannot place the load.
         let err = engine
-            .partition(&c, 1 << 52, Algorithm::Combined, None, &metrics)
+            .partition(&c, 1 << 52, AlgorithmId::Combined, None, &metrics)
             .unwrap_err();
         assert_eq!(err.code, "solve_failed");
         // The failure is cached: retry is a hit (still an error).
         let err2 = engine
-            .partition(&c, 1 << 52, Algorithm::Combined, None, &metrics)
+            .partition(&c, 1 << 52, AlgorithmId::Combined, None, &metrics)
             .unwrap_err();
         assert_eq!(err2.code, "solve_failed");
         assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 1);

@@ -41,6 +41,7 @@ pub mod server;
 pub use client::{Client, PartitionReply, RegisterReply};
 pub use engine::{solve, Engine, EngineConfig, Plan};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
-pub use protocol::{Algorithm, ProtoError};
+pub use fpm_core::planner::AlgorithmId;
+pub use protocol::ProtoError;
 pub use registry::Registry;
 pub use server::{spawn, ServerConfig, ServerHandle};

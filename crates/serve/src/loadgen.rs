@@ -14,7 +14,7 @@ use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 use crate::client::Client;
-use crate::protocol::Algorithm;
+use fpm_core::planner::AlgorithmId;
 
 /// Load-generation parameters.
 #[derive(Debug, Clone)]
@@ -30,7 +30,7 @@ pub struct LoadgenConfig {
     /// RNG seed (workers derive independent streams).
     pub seed: u64,
     /// Algorithm under load.
-    pub algorithm: Algorithm,
+    pub algorithm: AlgorithmId,
     /// Per-request deadline handed to the server.
     pub deadline_ms: u64,
 }
@@ -43,7 +43,7 @@ impl Default for LoadgenConfig {
             distinct_n: 16,
             n_base: 100_000,
             seed: 0x10AD,
-            algorithm: Algorithm::Combined,
+            algorithm: AlgorithmId::Combined,
             deadline_ms: 5000,
         }
     }

@@ -30,6 +30,7 @@
 //! numbers stop being exact). Knot coordinates must be finite.
 
 use crate::json::Json;
+use fpm_core::planner::AlgorithmId;
 
 /// Maximum accepted request line, in bytes (1 MiB).
 pub const MAX_FRAME_BYTES: usize = 1 << 20;
@@ -64,68 +65,12 @@ impl std::fmt::Display for ProtoError {
 
 impl std::error::Error for ProtoError {}
 
-/// Which partitioning algorithm a `partition` request selects.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Algorithm {
-    /// The combined (default) algorithm.
-    Combined,
-    /// The basic slope-bisection algorithm.
-    Basic,
-    /// The modified solution-space algorithm.
-    Modified,
-    /// The single-number baseline sampled at the given size.
-    SingleAt(f64),
-}
-
-impl Algorithm {
-    /// Parses `combined`, `basic`, `modified` or `single@SIZE`.
-    pub fn parse(text: &str) -> Result<Self, ProtoError> {
-        match text {
-            "combined" => Ok(Algorithm::Combined),
-            "basic" => Ok(Algorithm::Basic),
-            "modified" => Ok(Algorithm::Modified),
-            other => {
-                if let Some(size) = other.strip_prefix("single@") {
-                    let size: f64 = size.parse().map_err(|_| {
-                        ProtoError::new("bad_request", "unparsable single@ size")
-                    })?;
-                    if !(size.is_finite() && size > 0.0) {
-                        return Err(ProtoError::new(
-                            "bad_request",
-                            "single@ size must be positive and finite",
-                        ));
-                    }
-                    Ok(Algorithm::SingleAt(size))
-                } else {
-                    Err(ProtoError::new(
-                        "bad_request",
-                        "algorithm must be combined|basic|modified|single@SIZE",
-                    ))
-                }
-            }
-        }
-    }
-
-    /// The wire spelling (inverse of [`Algorithm::parse`]).
-    pub fn wire_name(&self) -> String {
-        match self {
-            Algorithm::Combined => "combined".to_owned(),
-            Algorithm::Basic => "basic".to_owned(),
-            Algorithm::Modified => "modified".to_owned(),
-            Algorithm::SingleAt(size) => format!("single@{size}"),
-        }
-    }
-
-    /// A collision-free cache-key tag: variant index plus the reference
-    /// size's raw bits for the single-number baseline.
-    pub fn key_tag(&self) -> (u8, u64) {
-        match self {
-            Algorithm::Combined => (0, 0),
-            Algorithm::Basic => (1, 0),
-            Algorithm::Modified => (2, 0),
-            Algorithm::SingleAt(size) => (3, size.to_bits()),
-        }
-    }
+/// Parses a wire algorithm string through the planner registry
+/// ([`AlgorithmId::parse`]): wire spellings *are* the canonical names
+/// (plus registry aliases and `single@SIZE`). Unknown names come back as
+/// `bad_request` with the full list of valid spellings in the message.
+pub fn parse_algorithm(text: &str) -> Result<AlgorithmId, ProtoError> {
+    AlgorithmId::parse(text).map_err(|e| ProtoError::new("bad_request", e.to_string()))
 }
 
 /// One machine of an inline cluster registration.
@@ -179,8 +124,8 @@ pub enum Request {
         target: ClusterRef,
         /// Problem size.
         n: u64,
-        /// Algorithm selection.
-        algorithm: Algorithm,
+        /// Algorithm selection (registry-canonical).
+        algorithm: AlgorithmId,
         /// Per-request deadline override, milliseconds.
         deadline_ms: Option<u64>,
     },
@@ -361,12 +306,12 @@ fn parse_partition(value: &Json) -> Result<Request, ProtoError> {
         return Err(ProtoError::new("bad_request", "n exceeds 2^53"));
     }
     let algorithm = match value.get("algorithm") {
-        None => Algorithm::Combined,
+        None => AlgorithmId::Combined,
         Some(a) => {
             let text = a
                 .as_str()
                 .ok_or_else(|| ProtoError::new("bad_request", "algorithm must be a string"))?;
-            Algorithm::parse(text)?
+            parse_algorithm(text)?
         }
     };
     let deadline_ms = match value.get("deadline_ms") {
@@ -475,7 +420,7 @@ mod tests {
             Request::Partition {
                 target: ClusterRef::Name("c1".into()),
                 n: 1_000_000,
-                algorithm: Algorithm::Combined,
+                algorithm: AlgorithmId::Combined,
                 deadline_ms: None,
             }
         );
@@ -491,7 +436,7 @@ mod tests {
             panic!()
         };
         assert_eq!(target, ClusterRef::Fingerprint("ab12".into()));
-        assert_eq!(algorithm, Algorithm::SingleAt(7e5));
+        assert_eq!(algorithm, AlgorithmId::SingleAt(7e5));
         assert_eq!(deadline_ms, Some(250));
     }
 
@@ -531,15 +476,28 @@ mod tests {
 
     #[test]
     fn algorithm_round_trips() {
-        for text in ["combined", "basic", "modified", "single@123456.5"] {
-            let a = Algorithm::parse(text).unwrap();
-            assert_eq!(a.wire_name(), *text);
+        // Every registry entry's example spelling round-trips over the
+        // wire, as does the parameterized baseline at an awkward size.
+        for info in fpm_core::planner::registry() {
+            let a = parse_algorithm(info.example).unwrap();
+            assert_eq!(a.to_string(), info.example);
         }
+        let a = parse_algorithm("single@123456.5").unwrap();
+        assert_eq!(a.to_string(), "single@123456.5");
         assert_ne!(
-            Algorithm::SingleAt(1.0).key_tag(),
-            Algorithm::SingleAt(2.0).key_tag()
+            AlgorithmId::SingleAt(1.0).key_tag(),
+            AlgorithmId::SingleAt(2.0).key_tag()
         );
-        assert_ne!(Algorithm::Combined.key_tag(), Algorithm::Basic.key_tag());
+        assert_ne!(AlgorithmId::Combined.key_tag(), AlgorithmId::Basic.key_tag());
+    }
+
+    #[test]
+    fn unknown_algorithm_error_lists_valid_names() {
+        let e = parse_algorithm("magic").unwrap_err();
+        assert_eq!(e.code, "bad_request");
+        for info in fpm_core::planner::registry() {
+            assert!(e.message.contains(info.name), "{}: {}", info.name, e.message);
+        }
     }
 
     #[test]

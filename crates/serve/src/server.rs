@@ -281,7 +281,7 @@ fn handle(envelope: &Envelope, shared: &Shared) -> String {
                         ("makespan".into(), Json::num(o.plan.makespan)),
                         ("steps".into(), Json::uint(o.plan.steps as u64)),
                         ("cached".into(), Json::Bool(o.cached)),
-                        ("algorithm".into(), Json::str(algorithm.wire_name())),
+                        ("algorithm".into(), Json::str(algorithm.to_string())),
                         ("fingerprint".into(), Json::str(o.fingerprint)),
                     ],
                 ),

@@ -1,7 +1,9 @@
 //! The differential conformance engine.
 //!
-//! Runs every production partitioner against the reference
-//! [`oracle::solve`] over seeded generated clusters and checks, per case:
+//! Runs every production partitioner — enumerated from the planner
+//! registry ([`fpm_core::planner::registry`]), so new registry entries are
+//! covered automatically — against the reference [`oracle::solve`] over
+//! seeded generated clusters and checks, per case:
 //!
 //! * **conservation** — exactly `n` elements distributed;
 //! * **makespan gap** — within [`Tolerances::makespan_rel`] of the oracle,
@@ -18,10 +20,8 @@
 //! model the paper argues *against*, so it must conserve elements and must
 //! not beat the oracle, but is allowed (expected!) to be slower.
 
-use fpm_core::partition::{
-    bounded::partition_bounded, oracle, BisectionPartitioner, CombinedPartitioner,
-    ModifiedPartitioner, Partitioner, SecantPartitioner, SingleNumberPartitioner,
-};
+use fpm_core::partition::{oracle, BisectionPartitioner, ModifiedPartitioner, Partitioner};
+use fpm_core::planner::{erase, registry, TraceBound};
 
 use crate::checks::{
     check_conservation, check_exchange_optimal, check_iteration_bound, check_makespan_gap,
@@ -163,10 +163,19 @@ const SLOPE_SEARCH_BOUND: BoundClass = BoundClass::LogN { base: 96, factor: 16 }
 
 /// Runs every production partitioner on one generated case and returns all
 /// violations (empty = fully conformant).
+///
+/// The algorithm set is the planner registry itself
+/// ([`fpm_core::planner::registry`]): every non-baseline entry gets full
+/// conformance checks (conservation, two-sided makespan gap against the
+/// oracle, exchange-optimality, and — where the entry declares a
+/// [`TraceBound`] — the matching iteration-bound envelope); baseline
+/// entries get the relaxed baseline checks. A partitioner added to the
+/// registry is therefore conformance-checked with zero testkit changes.
 pub fn check_case(case: &CaseSpec, tol: &Tolerances) -> Vec<CaseFailure> {
     let mut failures = Vec::new();
     let n = case.n;
     let p = case.funcs.len();
+    let refs = erase(&case.funcs);
     let fail = |algorithm: &'static str, message: String| CaseFailure {
         seed: case.seed,
         algorithm,
@@ -177,20 +186,14 @@ pub fn check_case(case: &CaseSpec, tol: &Tolerances) -> Vec<CaseFailure> {
     let reference = match oracle::solve(n, &case.funcs) {
         Ok(r) => r,
         Err(oracle_err) => {
-            // The oracle rejected the cluster; every algorithm must reject
-            // it too (consistently clean errors, never a bogus success).
-            let caps = vec![n; p];
-            let outcomes: Vec<(&'static str, bool)> = vec![
-                ("basic", BisectionPartitioner::new().partition(n, &case.funcs).is_ok()),
-                ("modified", ModifiedPartitioner::new().partition(n, &case.funcs).is_ok()),
-                ("combined", CombinedPartitioner::new().partition(n, &case.funcs).is_ok()),
-                ("secant", SecantPartitioner::new().partition(n, &case.funcs).is_ok()),
-                ("bounded", partition_bounded(n, &case.funcs, &caps).is_ok()),
-            ];
-            for (name, ok) in outcomes {
-                if ok {
+            // The oracle rejected the cluster; every production algorithm
+            // must reject it too (consistently clean errors, never a bogus
+            // success). Baselines are exempt: they are checked only for
+            // well-formedness, which needs an oracle optimum to compare to.
+            for info in registry().iter().filter(|i| !i.baseline) {
+                if info.id_with(1.0).solve(n, &refs).is_ok() {
                     failures.push(fail(
-                        name,
+                        info.name,
                         format!("returned Ok but the oracle rejected the case: {oracle_err}"),
                     ));
                 }
@@ -199,73 +202,61 @@ pub fn check_case(case: &CaseSpec, tol: &Tolerances) -> Vec<CaseFailure> {
         }
     };
 
-    // Geometric algorithms: full conformance against the oracle.
-    let geometric: Vec<(&'static str, _, Option<BoundClass>)> = vec![
-        (
-            "basic",
-            BisectionPartitioner::new().partition(n, &case.funcs),
-            Some(SLOPE_SEARCH_BOUND),
-        ),
-        (
-            "modified",
-            ModifiedPartitioner::new().partition(n, &case.funcs),
-            Some(BoundClass::PLogN),
-        ),
-        (
-            "combined",
-            CombinedPartitioner::new().partition(n, &case.funcs),
-            Some(BoundClass::PLogN),
-        ),
-        ("secant", SecantPartitioner::new().partition(n, &case.funcs), Some(SLOPE_SEARCH_BOUND)),
-        ("bounded", partition_bounded(n, &case.funcs, &vec![n; p]), None),
-    ];
-
-    for (name, result, bound) in geometric {
-        let report = match result {
+    // Production algorithms: full conformance against the oracle.
+    for info in registry().iter().filter(|i| !i.baseline) {
+        let bound = match info.bound {
+            Some(TraceBound::SlopeSearch) => Some(SLOPE_SEARCH_BOUND),
+            Some(TraceBound::SolutionSpace) => Some(BoundClass::PLogN),
+            None => None,
+        };
+        let report = match info.id_with(1.0).solve(n, &refs) {
             Ok(r) => r,
             Err(e) => {
-                failures.push(fail(name, format!("failed where the oracle succeeded: {e}")));
+                failures.push(fail(info.name, format!("failed where the oracle succeeded: {e}")));
                 continue;
             }
         };
         if let Err(m) = check_conservation(&report.distribution, n) {
-            failures.push(fail(name, m));
+            failures.push(fail(info.name, m));
         }
         if let Err(m) = check_makespan_gap(report.makespan, reference.makespan, tol.makespan_rel)
         {
-            failures.push(fail(name, m));
+            failures.push(fail(info.name, m));
         }
         if let Err(m) = check_exchange_optimal(&report.distribution, &case.funcs, tol.exchange) {
-            failures.push(fail(name, m));
+            failures.push(fail(info.name, m));
         }
         if let Some(class) = bound {
             if let Err(m) = check_iteration_bound(&report.trace, n, p, class) {
-                failures.push(fail(name, m));
+                failures.push(fail(info.name, m));
             }
         }
     }
 
-    // Single-number baseline: the model the paper argues against. It must
-    // stay well-formed (conservation, no beating the oracle) but is
-    // expected to be slower on heterogeneous functional clusters.
+    // Baseline entries (the single-number model the paper argues against,
+    // sampled at the homogeneous reference size n/p): they must stay
+    // well-formed (conservation, no beating the oracle) but are expected
+    // to be slower on heterogeneous functional clusters.
     let reference_size = (n as f64 / p as f64).max(1.0);
-    match SingleNumberPartitioner::at_size(reference_size).partition(n, &case.funcs) {
-        Ok(report) => {
-            if let Err(m) = check_conservation(&report.distribution, n) {
-                failures.push(fail("single-number", m));
+    for info in registry().iter().filter(|i| i.baseline) {
+        match info.id_with(reference_size).solve(n, &refs) {
+            Ok(report) => {
+                if let Err(m) = check_conservation(&report.distribution, n) {
+                    failures.push(fail(info.name, m));
+                }
+                if report.makespan < reference.makespan * (1.0 - tol.makespan_rel) {
+                    failures.push(fail(
+                        info.name,
+                        format!(
+                            "baseline makespan {} beats oracle {} — oracle suboptimal",
+                            report.makespan, reference.makespan
+                        ),
+                    ));
+                }
             }
-            if report.makespan < reference.makespan * (1.0 - tol.makespan_rel) {
-                failures.push(fail(
-                    "single-number",
-                    format!(
-                        "baseline makespan {} beats oracle {} — oracle suboptimal",
-                        report.makespan, reference.makespan
-                    ),
-                ));
+            Err(e) => {
+                failures.push(fail(info.name, format!("baseline failed: {e}")));
             }
-        }
-        Err(e) => {
-            failures.push(fail("single-number", format!("baseline failed: {e}")));
         }
     }
 

@@ -11,9 +11,11 @@
 //!   functions, with heterogeneity/paging/scale knobs. Every case is fully
 //!   determined by a single `u64` seed.
 //! * [`conformance`] — the differential engine: runs every production
-//!   partitioner against [`fpm_core::partition::oracle::solve`] over
-//!   generated clusters and checks conservation, makespan gap,
-//!   exchange-optimality, and trace-derived iteration bounds in one pass.
+//!   partitioner in the planner registry ([`fpm_core::planner::registry`])
+//!   against [`fpm_core::partition::oracle::solve`] over generated
+//!   clusters and checks conservation, makespan gap, exchange-optimality,
+//!   and trace-derived iteration bounds in one pass. Entries added to the
+//!   registry are picked up without testkit changes.
 //! * [`fault`] — failure injectors for the model-building and execution
 //!   paths: flaky/NaN/zero measurers and a no-panic assertion wrapper
 //!   (simnet's `FluctuatingMeasurer::with_death_after` provides mid-sweep

@@ -18,18 +18,21 @@ use std::time::Duration;
 use fpm_serve::client::Client;
 use fpm_serve::engine::solve;
 use fpm_serve::json::Json;
-use fpm_serve::protocol::Algorithm;
+use fpm_serve::AlgorithmId;
 use fpm_serve::registry::SharedSpeed;
 use fpm_serve::server::{spawn, ServerConfig};
 use fpm_testkit::conformance::{env_base_seed, env_cases};
 use fpm_testkit::{GenConfig, WireCluster};
 
-/// All four wire algorithms, cycled across cases.
-const ALGORITHMS: &[Algorithm] = &[
-    Algorithm::Combined,
-    Algorithm::Basic,
-    Algorithm::Modified,
-    Algorithm::SingleAt(5e5),
+/// Every algorithm in the planner registry, cycled across cases.
+const ALGORITHMS: &[AlgorithmId] = &[
+    AlgorithmId::Combined,
+    AlgorithmId::Basic,
+    AlgorithmId::Modified,
+    AlgorithmId::Secant,
+    AlgorithmId::Bounded,
+    AlgorithmId::Contiguous,
+    AlgorithmId::SingleAt(5e5),
 ];
 
 #[test]
@@ -119,7 +122,7 @@ fn testbed_registration_matches_local_build() {
     assert_eq!(a.machines.len(), 4);
     // Partitioning by fingerprint reaches the same cluster.
     let via_name = client
-        .partition("tb-a", 200_000, Algorithm::Combined, Some(30_000))
+        .partition("tb-a", 200_000, AlgorithmId::Combined, Some(30_000))
         .expect("partition by name");
     let raw = client
         .request_raw(&format!(
