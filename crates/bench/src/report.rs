@@ -6,7 +6,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "experiment": "<id>",
 //!   "git_commit": "<hex or \"unknown\">",
 //!   "results": { ...experiment-specific... }
@@ -27,7 +27,10 @@ use fpm_serve::json::Json;
 
 /// Version of the shared `BENCH_*.json` envelope. Bump when the envelope
 /// (not an experiment's `results` payload) changes shape.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+///
+/// History: 2 — serve results gained `pipelined`/`batch` phases and the
+/// cluster stanza gained the load-shape parameters; 1 — initial envelope.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// A tabular experiment result.
 #[derive(Debug, Clone)]

@@ -20,11 +20,12 @@ USAGE:
     fpm calibrate   [--name HOST] [--max-dim N] [--points K]
                                           (measure THIS host, emit a model file)
     fpm serve       [--addr HOST:PORT] [--model FILE] [--cluster NAME]
-                    [--cache CAP] [--deadline-ms MS]
+                    [--cache CAP] [--queue CAP] [--deadline-ms MS]
                                           (partition daemon; stop with the shutdown verb)
     fpm loadgen     [--addr HOST:PORT] [--cluster NAME] [--register TESTBED-APP]
                     [--workers K] [--requests N] [--distinct-n D] [--seed S]
                     [--algorithm A] [--deadline-ms MS] [--shutdown]
+                    [--pipeline DEPTH | --batch SIZE]
                                           (drive a running daemon, print throughput/latency)
 
 Algorithm NAMEs (everywhere an algorithm is accepted, CLI and daemon):
@@ -158,6 +159,10 @@ fn run() -> Result<(), String> {
                 opts.cache_capacity =
                     cap.parse().map_err(|_| "unparsable --cache".to_owned())?;
             }
+            if let Some(cap) = flags.get("queue") {
+                opts.queue_capacity =
+                    cap.parse().map_err(|_| "unparsable --queue".to_owned())?;
+            }
             if let Some(ms) = flags.get("deadline-ms") {
                 ms.parse::<u64>()
                     .map(|v| opts.deadline_ms = v)
@@ -198,6 +203,13 @@ fn run() -> Result<(), String> {
             if let Some(v) = flags.get("deadline-ms") {
                 opts.deadline_ms =
                     v.parse().map_err(|_| "unparsable --deadline-ms".to_owned())?;
+            }
+            if let Some(v) = flags.get("pipeline") {
+                opts.pipeline =
+                    v.parse().map_err(|_| "unparsable --pipeline".to_owned())?;
+            }
+            if let Some(v) = flags.get("batch") {
+                opts.batch = v.parse().map_err(|_| "unparsable --batch".to_owned())?;
             }
             opts.shutdown_after = flags.contains_key("shutdown");
             let out = serve_cmd::loadgen(&opts)?;

@@ -9,7 +9,7 @@ use std::net::SocketAddr;
 use std::time::Duration;
 
 use fpm_serve::client::Client;
-use fpm_serve::loadgen::{self, LoadgenConfig};
+use fpm_serve::loadgen::{self, LoadMode, LoadgenConfig};
 use fpm_serve::AlgorithmId;
 use fpm_serve::server::{spawn, ServerConfig};
 
@@ -26,6 +26,8 @@ pub struct ServeOptions {
     pub cluster: String,
     /// Plan-cache capacity.
     pub cache_capacity: usize,
+    /// Solver queue capacity (0 ⇒ derive from the worker pool).
+    pub queue_capacity: usize,
     /// Default per-request deadline, ms.
     pub deadline_ms: u64,
 }
@@ -37,6 +39,7 @@ impl Default for ServeOptions {
             preload: None,
             cluster: "default".to_owned(),
             cache_capacity: 1024,
+            queue_capacity: 0,
             deadline_ms: 2000,
         }
     }
@@ -56,6 +59,7 @@ pub fn serve(
     let config = ServerConfig {
         addr,
         cache_capacity: opts.cache_capacity,
+        queue_capacity: opts.queue_capacity,
         default_deadline_ms: opts.deadline_ms,
         ..ServerConfig::default()
     };
@@ -102,6 +106,10 @@ pub struct LoadgenOptions {
     pub algorithm: AlgorithmId,
     /// Per-request deadline, ms.
     pub deadline_ms: u64,
+    /// Pipeline depth (`--pipeline`); 0 = one request in flight at a time.
+    pub pipeline: usize,
+    /// Batch size (`--batch`); 0 = plain `partition` verbs.
+    pub batch: usize,
     /// Whether to send a `shutdown` verb after the run.
     pub shutdown_after: bool,
 }
@@ -118,6 +126,8 @@ impl Default for LoadgenOptions {
             seed: 0x10AD,
             algorithm: AlgorithmId::Combined,
             deadline_ms: 5000,
+            pipeline: 0,
+            batch: 0,
             shutdown_after: false,
         }
     }
@@ -143,6 +153,12 @@ pub fn loadgen(opts: &LoadgenOptions) -> Result<String, String> {
             .register_testbed(&opts.cluster, tb, app, opts.seed)
             .map_err(|e| format!("register {spec}: {e}"))?;
     }
+    let mode = match (opts.pipeline, opts.batch) {
+        (0, 0) => LoadMode::Single,
+        (depth, 0) => LoadMode::Pipelined { depth },
+        (0, size) => LoadMode::Batch { size },
+        _ => return Err("--pipeline and --batch are mutually exclusive".to_owned()),
+    };
     let cfg = LoadgenConfig {
         workers: opts.workers.max(1),
         requests_per_worker: opts.requests.max(1),
@@ -150,17 +166,24 @@ pub fn loadgen(opts: &LoadgenOptions) -> Result<String, String> {
         seed: opts.seed,
         algorithm: opts.algorithm,
         deadline_ms: opts.deadline_ms,
+        mode,
         ..LoadgenConfig::default()
     };
     let report = loadgen::run(addr, &opts.cluster, &cfg).map_err(|e| e.to_string())?;
     let mut out = String::new();
+    let mode_desc = match mode {
+        LoadMode::Single => String::new(),
+        LoadMode::Pipelined { depth } => format!(", pipeline depth {depth}"),
+        LoadMode::Batch { size } => format!(", batch size {size}"),
+    };
     let _ = writeln!(
         out,
-        "loadgen: {} workers x {} requests, {} distinct sizes, algorithm {}",
+        "loadgen: {} workers x {} requests, {} distinct sizes, algorithm {}{}",
         cfg.workers,
         cfg.requests_per_worker,
         cfg.distinct_n,
         opts.algorithm,
+        mode_desc,
     );
     let _ = writeln!(
         out,
@@ -245,10 +268,48 @@ mod tests {
     }
 
     #[test]
+    fn loadgen_pipelined_and_batch_modes_report() {
+        let opts = ServeOptions {
+            addr: "127.0.0.1:0".to_owned(),
+            queue_capacity: 256,
+            ..ServeOptions::default()
+        };
+        let (tx, rx) = mpsc::channel();
+        let server = std::thread::spawn(move || {
+            serve(&opts, move |addr| tx.send(addr).unwrap())
+        });
+        let addr = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let base = LoadgenOptions {
+            addr: addr.to_string(),
+            cluster: "modes".to_owned(),
+            register: Some("table1-mm".to_owned()),
+            workers: 2,
+            requests: 24,
+            distinct_n: 2,
+            ..LoadgenOptions::default()
+        };
+        let piped = loadgen(&LoadgenOptions { pipeline: 6, ..base.clone() }).unwrap();
+        assert!(piped.contains("pipeline depth 6"), "{piped}");
+        assert!(piped.contains("ok 48"), "{piped}");
+        let batched = loadgen(&LoadgenOptions {
+            batch: 8,
+            register: None,
+            shutdown_after: true,
+            ..base
+        })
+        .unwrap();
+        assert!(batched.contains("batch size 8"), "{batched}");
+        assert!(batched.contains("ok 48"), "{batched}");
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
     fn bad_specs_are_reported() {
         assert!(split_testbed_spec("table2mm").is_err());
         assert_eq!(split_testbed_spec("table2-mm").unwrap(), ("table2", "mm"));
         let opts = LoadgenOptions { addr: "not an addr".to_owned(), ..LoadgenOptions::default() };
         assert!(loadgen(&opts).unwrap_err().contains("bad --addr"));
+        let both = LoadgenOptions { pipeline: 4, batch: 4, ..LoadgenOptions::default() };
+        assert!(loadgen(&both).unwrap_err().contains("mutually exclusive"));
     }
 }

@@ -149,6 +149,19 @@ impl PlanCache {
         &self.shards[key.shard()]
     }
 
+    /// Non-blocking lookup: a resident key touches the LRU and returns a
+    /// clone; a cold key — or one still being computed by an in-flight
+    /// request — returns `None` immediately, **never** waiting on the
+    /// flight. This is the event loop's warm path: it must answer other
+    /// connections while a solve is in progress.
+    pub fn probe(&self, key: &PlanKey) -> Option<PlanResult> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let value = shard.map.get(key)?.value.clone();
+        let cap = self.capacity_per_shard;
+        shard.touch(*key, cap);
+        Some(value)
+    }
+
     /// Looks `key` up; on a cold key, runs `compute` exactly once across
     /// all racing callers (the rest block until the winner publishes).
     ///
@@ -238,7 +251,7 @@ mod tests {
     }
 
     fn plan(n: u64) -> PlanResult {
-        Ok(Arc::new(Plan { counts: vec![n], makespan: n as f64, steps: 1 }))
+        Ok(Arc::new(Plan::new(vec![n], n as f64, 1)))
     }
 
     #[test]
@@ -337,6 +350,32 @@ mod tests {
             s == CacheStatus::Hit || s == CacheStatus::Miss,
             "status {s:?}"
         );
+    }
+
+    #[test]
+    fn probe_never_blocks_on_inflight_computation() {
+        let cache = Arc::new(PlanCache::new(64));
+        assert!(cache.probe(&key(1, 7)).is_none(), "cold probe misses");
+        let _ = cache.get_or_compute(key(1, 7), || plan(7));
+        assert_eq!(cache.probe(&key(1, 7)).unwrap().unwrap().counts, vec![7]);
+
+        // While a flight is computing, probing the same key must return
+        // None immediately instead of joining the waiters.
+        let started = Arc::new(std::sync::Barrier::new(2));
+        let c2 = Arc::clone(&cache);
+        let s2 = Arc::clone(&started);
+        let worker = std::thread::spawn(move || {
+            c2.get_or_compute(key(2, 2), || {
+                s2.wait();
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                plan(2)
+            })
+        });
+        started.wait();
+        let t0 = std::time::Instant::now();
+        assert!(cache.probe(&key(2, 2)).is_none());
+        assert!(t0.elapsed() < std::time::Duration::from_millis(40), "probe blocked");
+        worker.join().unwrap().0.unwrap();
     }
 
     #[test]

@@ -1,7 +1,14 @@
 //! A small blocking client for the serve protocol — used by the CLI, the
 //! load generator and the integration tests.
+//!
+//! Three request shapes are supported, matching the server's event loop:
+//! one-at-a-time ([`Client::partition`]), pipelined windows of independent
+//! requests ([`Client::partition_pipelined`] — many lines in flight, replies
+//! read back in request order), and the `partition_batch` verb
+//! ([`Client::partition_batch`] — many sizes in one round-trip).
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -9,7 +16,7 @@ use crate::json::Json;
 use crate::protocol::ProtoError;
 use fpm_core::planner::AlgorithmId;
 
-/// A connected protocol client (one request in flight at a time).
+/// A connected protocol client (one request *window* in flight at a time).
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
@@ -42,54 +49,90 @@ pub struct RegisterReply {
 impl Client {
     /// Connects with a read timeout (covers slow solves; pass generously).
     pub fn connect(addr: SocketAddr, read_timeout: Duration) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_timeout(addr, None, read_timeout)
+    }
+
+    /// Connects with an optional bound on the TCP connect itself plus a
+    /// read timeout. The same bound doubles as the write timeout, so a
+    /// stalled server cannot wedge the client in `send` either.
+    pub fn connect_timeout(
+        addr: SocketAddr,
+        connect_timeout: Option<Duration>,
+        read_timeout: Duration,
+    ) -> std::io::Result<Self> {
+        let stream = match connect_timeout {
+            Some(bound) => TcpStream::connect_timeout(&addr, bound)?,
+            None => TcpStream::connect(addr)?,
+        };
         stream.set_nodelay(true).ok();
         stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_write_timeout(connect_timeout)?;
         let writer = stream.try_clone()?;
         Ok(Self { writer, reader: BufReader::new(stream) })
     }
 
-    /// Sends one raw request line, returns the parsed response object.
-    pub fn request_raw(&mut self, line: &str) -> Result<Json, ProtoError> {
-        writeln!(self.writer, "{line}")
-            .map_err(|e| ProtoError::new("internal", format!("send failed: {e}")))?;
-        let mut reply = String::new();
+    /// Sends one newline-terminated frame, handling short writes and
+    /// interrupted syscalls explicitly — `write` may move only part of the
+    /// frame when the socket buffer is tight (deep pipelining does exactly
+    /// that), and a write timeout surfaces as `WouldBlock`.
+    pub(crate) fn send_line(&mut self, line: &str) -> Result<(), ProtoError> {
+        let mut frame = Vec::with_capacity(line.len() + 1);
+        frame.extend_from_slice(line.as_bytes());
+        frame.push(b'\n');
+        self.send_bytes(&frame)
+    }
+
+    /// Writes pre-framed bytes (one or many `\n`-terminated requests) in
+    /// one syscall where possible — pipelining callers batch a whole
+    /// window per write.
+    pub(crate) fn send_bytes(&mut self, frame: &[u8]) -> Result<(), ProtoError> {
+        let mut written = 0usize;
+        while written < frame.len() {
+            match self.writer.write(&frame[written..]) {
+                Ok(0) => {
+                    return Err(ProtoError::new("internal", "server closed the connection"))
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Err(ProtoError::new("internal", "send timed out"))
+                }
+                Err(e) => return Err(ProtoError::new("internal", format!("send failed: {e}"))),
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one raw response line into `reply` (cleared first). The
+    /// throughput-sensitive callers parse it with the borrowing parser.
+    pub(crate) fn recv_line(&mut self, reply: &mut String) -> Result<(), ProtoError> {
+        reply.clear();
         self.reader
-            .read_line(&mut reply)
+            .read_line(reply)
             .map_err(|e| ProtoError::new("internal", format!("recv failed: {e}")))?;
         if reply.is_empty() {
             return Err(ProtoError::new("internal", "server closed the connection"));
         }
-        Json::parse(&reply).map_err(|e| {
-            ProtoError::new("internal", format!("unparsable response: {e}"))
-        })
+        Ok(())
+    }
+
+    /// Reads one response line and parses it.
+    pub(crate) fn recv_reply(&mut self) -> Result<Json, ProtoError> {
+        let mut reply = String::new();
+        self.recv_line(&mut reply)?;
+        Json::parse(&reply)
+            .map_err(|e| ProtoError::new("internal", format!("unparsable response: {e}")))
+    }
+
+    /// Sends one raw request line, returns the parsed response object.
+    pub fn request_raw(&mut self, line: &str) -> Result<Json, ProtoError> {
+        self.send_line(line)?;
+        self.recv_reply()
     }
 
     /// Sends a request and lifts protocol-level errors into `ProtoError`.
     fn request_ok(&mut self, line: &str) -> Result<Json, ProtoError> {
-        let v = self.request_raw(line)?;
-        if v.get("ok").and_then(Json::as_bool) == Some(true) {
-            return Ok(v);
-        }
-        let code: &'static str = match v.get("error").and_then(Json::as_str) {
-            Some("overloaded") => "overloaded",
-            Some("deadline") => "deadline",
-            Some("not_found") => "not_found",
-            Some("invalid_model") => "invalid_model",
-            Some("solve_failed") => "solve_failed",
-            Some("shutting_down") => "shutting_down",
-            Some("bad_request") => "bad_request",
-            Some("bad_json") => "bad_json",
-            Some("unknown_verb") => "unknown_verb",
-            Some("frame_too_large") => "frame_too_large",
-            _ => "internal",
-        };
-        let message = v
-            .get("message")
-            .and_then(Json::as_str)
-            .unwrap_or("unspecified server error")
-            .to_owned();
-        Err(ProtoError::new(code, message))
+        lift_ok(self.request_raw(line)?)
     }
 
     /// Registers a cluster from inline `(name, knots)` models.
@@ -168,27 +211,100 @@ impl Client {
             fields.push(("deadline_ms".into(), Json::uint(ms)));
         }
         let v = self.request_ok(&Json::Obj(fields).to_string())?;
-        let counts = v
-            .get("counts")
+        parse_partition_reply(&v)
+    }
+
+    /// Pipelines one `partition` request per size, keeping up to `depth`
+    /// requests in flight, and reads the replies back in request order
+    /// (the server guarantees order even when solves complete out of
+    /// order). All replies are drained even when one carries an error, so
+    /// the connection stays usable afterwards.
+    pub fn partition_pipelined(
+        &mut self,
+        cluster: &str,
+        ns: &[u64],
+        algorithm: AlgorithmId,
+        deadline_ms: Option<u64>,
+        depth: usize,
+    ) -> Result<Vec<Result<PartitionReply, ProtoError>>, ProtoError> {
+        let depth = depth.max(1);
+        let mut replies = Vec::with_capacity(ns.len());
+        let mut in_flight: VecDeque<u64> = VecDeque::with_capacity(depth);
+        let mut next = 0usize;
+        while replies.len() < ns.len() {
+            while next < ns.len() && in_flight.len() < depth {
+                let mut fields = vec![
+                    ("id".into(), Json::uint(next as u64)),
+                    ("verb".into(), Json::str("partition")),
+                    ("cluster".into(), Json::str(cluster)),
+                    ("n".into(), Json::uint(ns[next])),
+                    ("algorithm".into(), Json::str(algorithm.to_string())),
+                ];
+                if let Some(ms) = deadline_ms {
+                    fields.push(("deadline_ms".into(), Json::uint(ms)));
+                }
+                self.send_line(&Json::Obj(fields).to_string())?;
+                in_flight.push_back(next as u64);
+                next += 1;
+            }
+            let v = self.recv_reply()?;
+            let want = in_flight.pop_front().expect("a request is in flight");
+            if v.get("id").and_then(Json::as_u64) != Some(want) {
+                return Err(ProtoError::new(
+                    "internal",
+                    format!("pipelined reply out of order (expected id {want})"),
+                ));
+            }
+            replies.push(lift_ok(v).and_then(|v| parse_partition_reply(&v)));
+        }
+        Ok(replies)
+    }
+
+    /// Partitions many sizes over one cluster in a single round-trip via
+    /// the `partition_batch` verb. Element failures (shed, deadline) come
+    /// back in-place; only envelope failures (unknown cluster, bad
+    /// request) abort the call.
+    pub fn partition_batch(
+        &mut self,
+        cluster: &str,
+        ns: &[u64],
+        algorithm: AlgorithmId,
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<Result<PartitionReply, ProtoError>>, ProtoError> {
+        let mut fields = vec![
+            ("verb".into(), Json::str("partition_batch")),
+            ("cluster".into(), Json::str(cluster)),
+            ("ns".into(), Json::Arr(ns.iter().map(|&n| Json::uint(n)).collect())),
+            ("algorithm".into(), Json::str(algorithm.to_string())),
+        ];
+        if let Some(ms) = deadline_ms {
+            fields.push(("deadline_ms".into(), Json::uint(ms)));
+        }
+        let v = self.request_ok(&Json::Obj(fields).to_string())?;
+        let fingerprint =
+            v.get("fingerprint").and_then(Json::as_str).unwrap_or_default().to_owned();
+        let results = v
+            .get("results")
             .and_then(Json::as_array)
-            .ok_or_else(|| ProtoError::new("internal", "missing counts"))?
+            .ok_or_else(|| ProtoError::new("internal", "missing results"))?;
+        if results.len() != ns.len() {
+            return Err(ProtoError::new(
+                "internal",
+                format!("batch answered {} of {} sizes", results.len(), ns.len()),
+            ));
+        }
+        Ok(results
             .iter()
-            .map(|c| c.as_u64().ok_or_else(|| ProtoError::new("internal", "bad count")))
-            .collect::<Result<Vec<u64>, _>>()?;
-        Ok(PartitionReply {
-            counts,
-            makespan: v
-                .get("makespan")
-                .and_then(Json::as_f64)
-                .ok_or_else(|| ProtoError::new("internal", "missing makespan"))?,
-            steps: v.get("steps").and_then(Json::as_u64).unwrap_or(0),
-            cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
-            fingerprint: v
-                .get("fingerprint")
-                .and_then(Json::as_str)
-                .unwrap_or_default()
-                .to_owned(),
-        })
+            .map(|elem| {
+                if elem.get("ok").and_then(Json::as_bool) == Some(true) {
+                    let mut reply = parse_partition_body(elem)?;
+                    reply.fingerprint = fingerprint.clone();
+                    Ok(reply)
+                } else {
+                    Err(lift_err(elem))
+                }
+            })
+            .collect())
     }
 
     /// Fetches the metrics snapshot.
@@ -208,6 +324,69 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<(), ProtoError> {
         self.request_ok(r#"{"verb":"shutdown"}"#).map(|_| ())
     }
+}
+
+/// Lifts an error response object into a [`ProtoError`] with a stable
+/// `&'static` code.
+fn lift_err(v: &Json) -> ProtoError {
+    let code: &'static str = match v.get("error").and_then(Json::as_str) {
+        Some("overloaded") => "overloaded",
+        Some("deadline") => "deadline",
+        Some("not_found") => "not_found",
+        Some("invalid_model") => "invalid_model",
+        Some("solve_failed") => "solve_failed",
+        Some("shutting_down") => "shutting_down",
+        Some("bad_request") => "bad_request",
+        Some("bad_json") => "bad_json",
+        Some("unknown_verb") => "unknown_verb",
+        Some("frame_too_large") => "frame_too_large",
+        _ => "internal",
+    };
+    let message = v
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap_or("unspecified server error")
+        .to_owned();
+    ProtoError::new(code, message)
+}
+
+/// Passes `ok` responses through; converts error responses.
+fn lift_ok(v: Json) -> Result<Json, ProtoError> {
+    if v.get("ok").and_then(Json::as_bool) == Some(true) {
+        Ok(v)
+    } else {
+        Err(lift_err(&v))
+    }
+}
+
+/// Parses the plan fields shared by `partition` replies and
+/// `partition_batch` elements (which carry no fingerprint of their own).
+fn parse_partition_body(v: &Json) -> Result<PartitionReply, ProtoError> {
+    let counts = v
+        .get("counts")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ProtoError::new("internal", "missing counts"))?
+        .iter()
+        .map(|c| c.as_u64().ok_or_else(|| ProtoError::new("internal", "bad count")))
+        .collect::<Result<Vec<u64>, _>>()?;
+    Ok(PartitionReply {
+        counts,
+        makespan: v
+            .get("makespan")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| ProtoError::new("internal", "missing makespan"))?,
+        steps: v.get("steps").and_then(Json::as_u64).unwrap_or(0),
+        cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
+        fingerprint: String::new(),
+    })
+}
+
+/// Parses a full `partition` reply (fingerprint included).
+fn parse_partition_reply(v: &Json) -> Result<PartitionReply, ProtoError> {
+    let mut reply = parse_partition_body(v)?;
+    reply.fingerprint =
+        v.get("fingerprint").and_then(Json::as_str).unwrap_or_default().to_owned();
+    Ok(reply)
 }
 
 fn parse_register_reply(v: &Json) -> Result<RegisterReply, ProtoError> {
@@ -268,6 +447,43 @@ mod tests {
             .partition("ghost", 10, AlgorithmId::Combined, None)
             .unwrap_err();
         assert_eq!(err.code, "not_found");
+        handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn pipelined_and_batch_match_single_requests() {
+        let handle = spawn(ServerConfig::default()).unwrap();
+        let mut client =
+            Client::connect_timeout(handle.addr, Some(Duration::from_secs(5)), Duration::from_secs(30))
+                .unwrap();
+        client
+            .register_inline(
+                "c1",
+                &[
+                    ("A".into(), vec![(1e3, 200.0), (1e6, 180.0), (1e8, 0.0)]),
+                    ("B".into(), vec![(1e3, 100.0), (1e6, 90.0), (1e8, 0.0)]),
+                ],
+            )
+            .unwrap();
+        let ns: Vec<u64> = (1..=6).map(|i| i * 50_000).collect();
+        let singles: Vec<PartitionReply> = ns
+            .iter()
+            .map(|&n| client.partition("c1", n, AlgorithmId::Combined, None).unwrap())
+            .collect();
+        let piped = client
+            .partition_pipelined("c1", &ns, AlgorithmId::Combined, None, 4)
+            .unwrap();
+        let batched = client.partition_batch("c1", &ns, AlgorithmId::Combined, None).unwrap();
+        for ((single, piped), batched) in singles.iter().zip(&piped).zip(&batched) {
+            let piped = piped.as_ref().unwrap();
+            let batched = batched.as_ref().unwrap();
+            assert_eq!(single.counts, piped.counts);
+            assert_eq!(single.counts, batched.counts);
+            assert_eq!(single.makespan.to_bits(), piped.makespan.to_bits());
+            assert_eq!(single.makespan.to_bits(), batched.makespan.to_bits());
+            assert_eq!(single.fingerprint, batched.fingerprint);
+            assert!(piped.cached && batched.cached, "second pass must be warm");
+        }
         handle.shutdown_and_join();
     }
 

@@ -5,14 +5,24 @@
 //! admitted but not yet completed. When the count reaches capacity new
 //! partitions are rejected immediately with `overloaded` (load shedding —
 //! cheap rejection beats queueing work that will miss its deadline
-//! anyway). Admitted solves are handed to the process-wide worker pool;
-//! the submitting connection thread blocks on a reply channel with a
-//! deadline, so a slow solve turns into a `deadline` error for that client
-//! without stalling the workers.
+//! anyway). Admitted solves are handed to the process-wide worker pool.
+//!
+//! Two consumption styles share the same admission and cache machinery:
+//!
+//! * **non-blocking**, for the server's event loop — [`Engine::probe`]
+//!   answers warm keys instantly, and [`Engine::admit`] +
+//!   [`Engine::submit`] hand cold solves to the pool with a completion
+//!   callback; deadlines are enforced by the event loop's timer wheel;
+//! * **blocking**, for tests and embedders — [`Engine::partition`] parks
+//!   the calling thread on a reply channel with a deadline, so a slow
+//!   solve turns into a `deadline` error without stalling the workers.
 
+use std::fmt;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use fpm_core::planner::AlgorithmId;
@@ -20,12 +30,12 @@ use fpm_core::speed::SpeedFunction;
 use fpm_exec::pool::WorkerPool;
 
 use crate::cache::{CacheStatus, PlanCache, PlanKey, PlanResult};
+use crate::json::JsonNum;
 use crate::metrics::Metrics;
 use crate::protocol::ProtoError;
 use crate::registry::{RegisteredCluster, SharedSpeed};
 
 /// A solved partition, as cached and sent over the wire.
-#[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
     /// Per-machine element counts (sums to `n`).
     pub counts: Vec<u64>,
@@ -33,6 +43,64 @@ pub struct Plan {
     pub makespan: f64,
     /// Search steps the solver took.
     pub steps: usize,
+    /// Lazily-rendered reply fragment (see [`Plan::wire_fields`]).
+    wire: OnceLock<String>,
+}
+
+impl Plan {
+    pub fn new(counts: Vec<u64>, makespan: f64, steps: usize) -> Self {
+        Self { counts, makespan, steps, wire: OnceLock::new() }
+    }
+
+    /// The reply fragment `,"counts":[…],"makespan":M,"steps":S`, rendered
+    /// once per plan and shared by every response that serves it. Warm
+    /// cache hits re-send the same plan thousands of times; the float
+    /// formatting dominated the event loop's hot path before memoisation.
+    pub fn wire_fields(&self) -> &str {
+        self.wire.get_or_init(|| {
+            let mut s = String::with_capacity(16 * self.counts.len() + 48);
+            s.push_str(",\"counts\":[");
+            for (i, &c) in self.counts.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{}", JsonNum(c as f64));
+            }
+            let _ = write!(
+                s,
+                "],\"makespan\":{},\"steps\":{}",
+                JsonNum(self.makespan),
+                JsonNum(self.steps as f64)
+            );
+            s
+        })
+    }
+}
+
+// Manual impls: the render memo is identity-irrelevant, so it is skipped
+// in comparisons and debug output and reset on clone.
+impl Clone for Plan {
+    fn clone(&self) -> Self {
+        Self::new(self.counts.clone(), self.makespan, self.steps)
+    }
+}
+
+impl PartialEq for Plan {
+    fn eq(&self, other: &Self) -> bool {
+        self.counts == other.counts
+            && self.makespan == other.makespan
+            && self.steps == other.steps
+    }
+}
+
+impl fmt::Debug for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Plan")
+            .field("counts", &self.counts)
+            .field("makespan", &self.makespan)
+            .field("steps", &self.steps)
+            .finish()
+    }
 }
 
 /// The reply for one partition request.
@@ -58,11 +126,11 @@ pub fn solve(algorithm: AlgorithmId, n: u64, funcs: &[SharedSpeed]) -> PlanResul
     let report = algorithm
         .solve(n, &refs)
         .map_err(|e| ProtoError::new("solve_failed", e.to_string()))?;
-    Ok(Arc::new(Plan {
-        counts: report.distribution.counts().to_vec(),
-        makespan: report.makespan,
-        steps: report.trace.steps(),
-    }))
+    Ok(Arc::new(Plan::new(
+        report.distribution.counts().to_vec(),
+        report.makespan,
+        report.trace.steps(),
+    )))
 }
 
 /// Engine configuration.
@@ -84,6 +152,9 @@ impl Default for EngineConfig {
 }
 
 /// The engine: cache + admission control over the global worker pool.
+///
+/// Shared as `Arc<Engine>` because queue slots ([`Admission`]) travel into
+/// pool jobs and must release even if the submitting connection is gone.
 pub struct Engine {
     // Arc because pool jobs may outlive a timed-out request and must still
     // be able to publish into the cache.
@@ -92,13 +163,18 @@ pub struct Engine {
     config: EngineConfig,
 }
 
-/// Decrements the virtual queue even on panic/early-return paths.
-struct QueueSlot<'a>(&'a Engine, &'a Metrics);
+/// A reserved virtual-queue slot, released on drop (even on panic or
+/// early-return paths — including inside a pool job, which is why it owns
+/// `Arc`s rather than borrows).
+pub struct Admission {
+    engine: Arc<Engine>,
+    metrics: Arc<Metrics>,
+}
 
-impl Drop for QueueSlot<'_> {
+impl Drop for Admission {
     fn drop(&mut self) {
-        self.0.queued.fetch_sub(1, Ordering::AcqRel);
-        self.1.queue_exit();
+        self.engine.queued.fetch_sub(1, Ordering::AcqRel);
+        self.metrics.queue_exit();
     }
 }
 
@@ -122,19 +198,33 @@ impl Engine {
         self.queued.load(Ordering::Acquire)
     }
 
-    /// Handles one partition request end to end: admission, cache lookup,
-    /// solve on the pool, deadline enforcement. Blocks the calling
-    /// (connection) thread until reply or deadline.
-    pub fn partition(
+    /// The cache key for one `(cluster, n, algorithm)` request.
+    pub fn plan_key(cluster: &RegisteredCluster, n: u64, algorithm: AlgorithmId) -> PlanKey {
+        let fp_bits =
+            u64::from_str_radix(&cluster.fingerprint, 16).expect("fingerprint is 16 hex digits");
+        PlanKey { fingerprint: fp_bits, n, algo: algorithm.key_tag() }
+    }
+
+    /// Non-blocking cache lookup for the event loop's warm path: a
+    /// resident plan (or cached error) comes back immediately; a cold or
+    /// in-flight key returns `None` — no admission, no pool round-trip,
+    /// no waiting.
+    pub fn probe(
         &self,
-        cluster: &Arc<RegisteredCluster>,
+        cluster: &RegisteredCluster,
         n: u64,
         algorithm: AlgorithmId,
-        deadline_ms: Option<u64>,
-        metrics: &Metrics,
-    ) -> Result<PartitionOutcome, ProtoError> {
-        let started = Instant::now();
-        // Admission: reserve a queue slot or shed.
+    ) -> Option<PlanResult> {
+        self.cache.probe(&Self::plan_key(cluster, n, algorithm))
+    }
+
+    /// Reserves a virtual-queue slot, or sheds with `overloaded` when the
+    /// queue is at capacity. The slot travels with the request (into the
+    /// pool job, via [`Engine::submit`]) and frees itself on drop.
+    pub fn admit(
+        self: &Arc<Self>,
+        metrics: &Arc<Metrics>,
+    ) -> Result<Admission, ProtoError> {
         let mut occupancy = self.queued.load(Ordering::Acquire);
         loop {
             if occupancy >= self.config.queue_capacity {
@@ -152,27 +242,61 @@ impl Engine {
             }
         }
         metrics.queue_enter();
-        let _slot = QueueSlot(self, metrics);
+        Ok(Admission { engine: Arc::clone(self), metrics: Arc::clone(metrics) })
+    }
 
-        let deadline = deadline_ms
-            .map(Duration::from_millis)
-            .unwrap_or(self.config.default_deadline);
-        let fp_bits =
-            u64::from_str_radix(&cluster.fingerprint, 16).expect("fingerprint is 16 hex digits");
-        let key = PlanKey { fingerprint: fp_bits, n, algo: algorithm.key_tag() };
-
-        // The solve itself runs on a pool worker so CPU-bound work is
-        // bounded by the pool, not by the number of open connections. The
-        // cache (with its single-flight blocking) is entered on the worker
-        // so coalesced waiters also occupy only their own reply channels.
-        let (tx, rx) = mpsc::channel::<(PlanResult, CacheStatus)>();
+    /// Hands an admitted solve to the worker pool. `complete` runs on the
+    /// pool thread once the plan (or cached error) is available — the
+    /// event loop passes a closure that enqueues the result and wakes the
+    /// poller. The admission slot is released after `complete` returns.
+    ///
+    /// The solve runs on a pool worker so CPU-bound work is bounded by
+    /// the pool, not by the number of open connections; the cache (with
+    /// its single-flight blocking) is entered on the worker so coalesced
+    /// waiters occupy pool threads, never the event loop.
+    pub fn submit(
+        &self,
+        admission: Admission,
+        cluster: &Arc<RegisteredCluster>,
+        n: u64,
+        algorithm: AlgorithmId,
+        complete: impl FnOnce(PlanResult, CacheStatus) + Send + 'static,
+    ) {
+        let key = Self::plan_key(cluster, n, algorithm);
         let funcs: Vec<SharedSpeed> = cluster.funcs.clone();
         let cache = Arc::clone(&self.cache);
         WorkerPool::global().execute(Box::new(move || {
-            let result = cache.get_or_compute(key, || solve(algorithm, n, &funcs));
-            // The receiver may have given up on the deadline; ignore.
-            let _ = tx.send(result);
+            let (result, status) = cache.get_or_compute(key, || solve(algorithm, n, &funcs));
+            // Release the queue slot before delivering: a caller woken by
+            // `complete` must never observe its own slot still occupied.
+            drop(admission);
+            complete(result, status);
         }));
+    }
+
+    /// Handles one partition request end to end: admission, cache lookup,
+    /// solve on the pool, deadline enforcement. Blocks the calling thread
+    /// until reply or deadline — unit tests and embedders use this; the
+    /// server's event loop composes [`Engine::probe`] / [`Engine::admit`]
+    /// / [`Engine::submit`] instead so it never blocks.
+    pub fn partition(
+        self: &Arc<Self>,
+        cluster: &Arc<RegisteredCluster>,
+        n: u64,
+        algorithm: AlgorithmId,
+        deadline_ms: Option<u64>,
+        metrics: &Arc<Metrics>,
+    ) -> Result<PartitionOutcome, ProtoError> {
+        let started = Instant::now();
+        let admission = self.admit(metrics)?;
+        let deadline = deadline_ms
+            .map(Duration::from_millis)
+            .unwrap_or(self.config.default_deadline);
+        let (tx, rx) = mpsc::channel::<(PlanResult, CacheStatus)>();
+        self.submit(admission, cluster, n, algorithm, move |result, status| {
+            // The receiver may have given up on the deadline; ignore.
+            let _ = tx.send((result, status));
+        });
 
         let (result, status) = match rx.recv_timeout(deadline) {
             Ok(reply) => reply,
@@ -240,8 +364,8 @@ mod tests {
 
     #[test]
     fn partition_solves_and_caches() {
-        let engine = Engine::new(64, EngineConfig::default());
-        let metrics = Metrics::new();
+        let engine = Arc::new(Engine::new(64, EngineConfig::default()));
+        let metrics = Arc::new(Metrics::new());
         let c = cluster();
         let cold = engine
             .partition(&c, 1_000_000, AlgorithmId::Combined, None, &metrics)
@@ -260,8 +384,8 @@ mod tests {
 
     #[test]
     fn engine_result_matches_direct_solve() {
-        let engine = Engine::new(64, EngineConfig::default());
-        let metrics = Metrics::new();
+        let engine = Arc::new(Engine::new(64, EngineConfig::default()));
+        let metrics = Arc::new(Metrics::new());
         let c = cluster();
         // Every registry entry is reachable through the engine and agrees
         // with the pure solve (which is itself erased dispatch).
@@ -275,11 +399,11 @@ mod tests {
 
     #[test]
     fn overload_sheds_immediately() {
-        let engine = Engine::new(64, EngineConfig {
+        let engine = Arc::new(Engine::new(64, EngineConfig {
             queue_capacity: 0,
             default_deadline: Duration::from_millis(100),
-        });
-        let metrics = Metrics::new();
+        }));
+        let metrics = Arc::new(Metrics::new());
         let c = cluster();
         let err = engine
             .partition(&c, 1000, AlgorithmId::Combined, None, &metrics)
@@ -290,8 +414,8 @@ mod tests {
 
     #[test]
     fn unsolvable_requests_return_solve_failed() {
-        let engine = Engine::new(64, EngineConfig::default());
-        let metrics = Metrics::new();
+        let engine = Arc::new(Engine::new(64, EngineConfig::default()));
+        let metrics = Arc::new(Metrics::new());
         let c = cluster();
         // Beyond every machine's maximum size: cannot place the load.
         let err = engine

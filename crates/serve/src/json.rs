@@ -14,9 +14,18 @@
 //!   **bit-exactly** (the serve conformance tests depend on this);
 //!   non-finite floats are refused at construction.
 //!
+//! There are two value types over one grammar implementation:
+//! [`JsonRef`], a **borrowing** parse tree whose strings are `Cow` slices
+//! of the input (escape-free strings — the overwhelmingly common case on
+//! the wire — cost zero copies), and the owned [`Json`], produced by
+//! deep-copying a `JsonRef`. The server's hot request path stays on
+//! `JsonRef` so a warm cache hit allocates nothing for the request
+//! strings.
+//!
 //! Objects preserve insertion order (association list, not a hash map):
 //! responses are byte-deterministic given the same inputs.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// Maximum nesting depth accepted by the parser.
@@ -132,8 +141,16 @@ impl Json {
     /// Parses one complete JSON document; trailing non-whitespace is an
     /// error (one frame per line, nothing may ride along).
     pub fn parse(input: &str) -> Result<Json, JsonError> {
+        Json::parse_ref(input).map(|v| v.to_json())
+    }
+
+    /// Parses one complete JSON document into the **borrowing** tree: all
+    /// escape-free strings are zero-copy slices of `input`. Same grammar,
+    /// same errors as [`Json::parse`] (which is implemented on top of
+    /// this).
+    pub fn parse_ref(input: &str) -> Result<JsonRef<'_>, JsonError> {
         let bytes = input.as_bytes();
-        let mut p = Parser { bytes, pos: 0 };
+        let mut p = Parser { input, bytes, pos: 0 };
         p.skip_ws();
         let value = p.value(0)?;
         p.skip_ws();
@@ -144,7 +161,154 @@ impl Json {
     }
 }
 
+/// A borrowed JSON value: the zero-copy twin of [`Json`].
+///
+/// Strings are [`Cow`]: borrowed slices of the parser input when the
+/// string contains no escapes, owned only when unescaping was required.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonRef<'a> {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number.
+    Num(f64),
+    /// A string (borrowed unless it contained escapes).
+    Str(Cow<'a, str>),
+    /// An array.
+    Arr(Vec<JsonRef<'a>>),
+    /// An object: insertion-ordered key/value pairs.
+    Obj(Vec<(Cow<'a, str>, JsonRef<'a>)>),
+}
+
+impl<'a> JsonRef<'a> {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonRef<'a>> {
+        match self {
+            JsonRef::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonRef::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonRef::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, rejecting fractional parts
+    /// and anything above 2⁵³ (same rule as [`Json::as_u64`]).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonRef::Num(v) if *v >= 0.0 && *v <= (1u64 << 53) as f64 && v.fract() == 0.0 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonRef::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[JsonRef<'a>]> {
+        match self {
+            JsonRef::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Deep copy into the owned tree.
+    pub fn to_json(&self) -> Json {
+        match self {
+            JsonRef::Null => Json::Null,
+            JsonRef::Bool(b) => Json::Bool(*b),
+            JsonRef::Num(v) => Json::Num(*v),
+            JsonRef::Str(s) => Json::Str(s.clone().into_owned()),
+            JsonRef::Arr(items) => Json::Arr(items.iter().map(JsonRef::to_json).collect()),
+            JsonRef::Obj(fields) => Json::Obj(
+                fields
+                    .iter()
+                    .map(|(k, v)| (k.clone().into_owned(), v.to_json()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for JsonRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonRef::Null => f.write_str("null"),
+            JsonRef::Bool(true) => f.write_str("true"),
+            JsonRef::Bool(false) => f.write_str("false"),
+            JsonRef::Num(v) => write_num(f, *v),
+            JsonRef::Str(s) => write_escaped(f, s),
+            JsonRef::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            JsonRef::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Display adapter: renders a string slice as a quoted, escaped JSON
+/// string. The server's response writer uses it to emit wire-format
+/// strings straight into a reused buffer without building a
+/// [`Json::Str`] (which would copy the data first).
+pub struct JsonStr<'a>(pub &'a str);
+
+impl fmt::Display for JsonStr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_escaped(f, self.0)
+    }
+}
+
+/// Display adapter: renders a finite `f64` in the wire number format
+/// (exactly as [`Json::Num`] renders).
+pub struct JsonNum(pub f64);
+
+impl fmt::Display for JsonNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_num(f, self.0)
+    }
+}
+
 struct Parser<'a> {
+    input: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -173,24 +337,28 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+    fn value(&mut self, depth: usize) -> Result<JsonRef<'a>, JsonError> {
         if depth > MAX_DEPTH {
             return Err(self.err("nesting too deep"));
         }
         match self.peek() {
             Some(b'{') => self.object(depth),
             Some(b'[') => self.array(depth),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'"') => Ok(JsonRef::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonRef::Bool(true)),
+            Some(b'f') => self.literal("false", JsonRef::Bool(false)),
+            Some(b'n') => self.literal("null", JsonRef::Null),
             Some(b'-' | b'0'..=b'9') => self.number(),
             Some(_) => Err(self.err("unexpected character")),
             None => Err(self.err("unexpected end of input")),
         }
     }
 
-    fn literal(&mut self, text: &'static str, value: Json) -> Result<Json, JsonError> {
+    fn literal(
+        &mut self,
+        text: &'static str,
+        value: JsonRef<'a>,
+    ) -> Result<JsonRef<'a>, JsonError> {
         if self.bytes[self.pos..].starts_with(text.as_bytes()) {
             self.pos += text.len();
             Ok(value)
@@ -199,13 +367,13 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+    fn object(&mut self, depth: usize) -> Result<JsonRef<'a>, JsonError> {
         self.expect(b'{', "expected '{'")?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(Json::Obj(fields));
+            return Ok(JsonRef::Obj(fields));
         }
         loop {
             self.skip_ws();
@@ -220,20 +388,20 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(Json::Obj(fields));
+                    return Ok(JsonRef::Obj(fields));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
             }
         }
     }
 
-    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+    fn array(&mut self, depth: usize) -> Result<JsonRef<'a>, JsonError> {
         self.expect(b'[', "expected '['")?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(Json::Arr(items));
+            return Ok(JsonRef::Arr(items));
         }
         loop {
             self.skip_ws();
@@ -243,23 +411,41 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
-                    return Ok(Json::Arr(items));
+                    return Ok(JsonRef::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
             }
         }
     }
 
-    fn string(&mut self) -> Result<String, JsonError> {
+    fn string(&mut self) -> Result<Cow<'a, str>, JsonError> {
         self.expect(b'"', "expected '\"'")?;
-        let mut out = String::new();
+        // Zero-copy fast path: scan for the closing quote; any escape or
+        // control byte bails to the general (allocating) path below. The
+        // scanned prefix never splits a UTF-8 sequence because `"`, `\`
+        // and control bytes are all ASCII.
+        let start = self.pos;
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    let s = &self.input[start..self.pos];
+                    self.pos += 1;
+                    return Ok(Cow::Borrowed(s));
+                }
+                Some(b'\\' | 0x00..=0x1F) => break,
+                Some(_) => self.pos += 1,
+            }
+        }
+        let mut out = String::with_capacity(self.pos - start + 16);
+        out.push_str(&self.input[start..self.pos]);
         loop {
             let Some(b) = self.peek() else {
                 return Err(self.err("unterminated string"));
             };
             self.pos += 1;
             match b {
-                b'"' => return Ok(out),
+                b'"' => return Ok(Cow::Owned(out)),
                 b'\\' => {
                     let Some(esc) = self.peek() else {
                         return Err(self.err("unterminated escape"));
@@ -344,7 +530,7 @@ impl<'a> Parser<'a> {
         Ok(cp)
     }
 
-    fn number(&mut self) -> Result<Json, JsonError> {
+    fn number(&mut self) -> Result<JsonRef<'a>, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -386,7 +572,7 @@ impl<'a> Parser<'a> {
         if !v.is_finite() {
             return Err(self.err("number overflows f64"));
         }
-        Ok(Json::Num(v))
+        Ok(JsonRef::Num(v))
     }
 }
 
@@ -406,23 +592,7 @@ impl fmt::Display for Json {
             Json::Null => f.write_str("null"),
             Json::Bool(true) => f.write_str("true"),
             Json::Bool(false) => f.write_str("false"),
-            Json::Num(v) => {
-                if !v.is_finite() {
-                    // Unreachable through the public constructors; keep the
-                    // output valid JSON regardless.
-                    return f.write_str("null");
-                }
-                if *v == 0.0 {
-                    // Preserve the sign bit: "-0" parses back to -0.0.
-                    f.write_str(if v.is_sign_negative() { "-0" } else { "0" })
-                } else if *v == v.trunc() && v.abs() < 1e15 {
-                    // Integral values print without the ".0" Rust adds.
-                    write!(f, "{}", *v as i64)
-                } else {
-                    // Rust's float Display is shortest-round-trip.
-                    write!(f, "{v}")
-                }
-            }
+            Json::Num(v) => write_num(f, *v),
             Json::Str(s) => write_escaped(f, s),
             Json::Arr(items) => {
                 f.write_str("[")?;
@@ -447,6 +617,28 @@ impl fmt::Display for Json {
                 f.write_str("}")
             }
         }
+    }
+}
+
+/// Renders one finite `f64` the way the wire format requires: sign-aware
+/// zero, integral values without a trailing `.0`, everything else via
+/// Rust's shortest-round-trip `Display`. Shared by [`Json`] and
+/// [`JsonRef`] so both trees serialize identically.
+fn write_num(f: &mut fmt::Formatter<'_>, v: f64) -> fmt::Result {
+    if !v.is_finite() {
+        // Unreachable through the public constructors; keep the
+        // output valid JSON regardless.
+        return f.write_str("null");
+    }
+    if v == 0.0 {
+        // Preserve the sign bit: "-0" parses back to -0.0.
+        f.write_str(if v.is_sign_negative() { "-0" } else { "0" })
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        // Integral values print without the ".0" Rust adds.
+        write!(f, "{}", v as i64)
+    } else {
+        // Rust's float Display is shortest-round-trip.
+        write!(f, "{v}")
     }
 }
 
@@ -573,5 +765,49 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn non_finite_numbers_are_refused() {
         let _ = Json::num(f64::NAN);
+    }
+
+    #[test]
+    fn ref_parser_borrows_escape_free_strings() {
+        let line = r#"{"verb":"partition","cluster":"c1","esc":"a\nb"}"#;
+        let v = Json::parse_ref(line).unwrap();
+        let JsonRef::Obj(fields) = &v else { panic!("not an object") };
+        assert!(
+            matches!(&fields[0].1, JsonRef::Str(Cow::Borrowed("partition"))),
+            "escape-free strings must borrow from the input"
+        );
+        assert!(
+            matches!(&fields[2].1, JsonRef::Str(Cow::Owned(_))),
+            "escaped strings must unescape into owned storage"
+        );
+        assert_eq!(v.get("esc").unwrap().as_str(), Some("a\nb"));
+        assert_eq!(v.to_json(), Json::parse(line).unwrap());
+    }
+
+    #[test]
+    fn ref_and_owned_trees_agree_on_grammar_and_rendering() {
+        let cases = [
+            r#"{"id":7,"verb":"ping"}"#,
+            r#"[1,-0.5,"x",null,true,{"k":[]}]"#,
+            r#""π A""#,
+            "123456789.123456789",
+        ];
+        for line in cases {
+            let r = Json::parse_ref(line).unwrap();
+            let o = Json::parse(line).unwrap();
+            assert_eq!(r.to_json(), o, "{line}");
+            assert_eq!(r.to_string(), o.to_string(), "{line}");
+        }
+        for bad in ["{", "NaN", "[1,", "\"\\ud800", "{}x"] {
+            let re = Json::parse_ref(bad).unwrap_err();
+            let oe = Json::parse(bad).unwrap_err();
+            assert_eq!(re, oe, "{bad}");
+        }
+        // JsonRef accessors mirror Json's.
+        let v = Json::parse_ref(r#"{"n":42,"b":false,"a":[1]}"#).unwrap();
+        assert_eq!(v.get("n").and_then(JsonRef::as_u64), Some(42));
+        assert_eq!(v.get("n").and_then(JsonRef::as_f64), Some(42.0));
+        assert_eq!(v.get("b").and_then(JsonRef::as_bool), Some(false));
+        assert_eq!(v.get("a").and_then(JsonRef::as_array).map(<[_]>::len), Some(1));
     }
 }

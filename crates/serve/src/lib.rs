@@ -40,7 +40,7 @@ pub mod server;
 
 pub use client::{Client, PartitionReply, RegisterReply};
 pub use engine::{solve, Engine, EngineConfig, Plan};
-pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use loadgen::{LoadMode, LoadgenConfig, LoadgenReport};
 pub use fpm_core::planner::AlgorithmId;
 pub use protocol::ProtoError;
 pub use registry::Registry;

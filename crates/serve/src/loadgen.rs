@@ -7,14 +7,42 @@
 //! hits). Every latency is kept, so the reported p50/p99 are exact order
 //! statistics, not histogram approximations.
 //!
+//! Three load shapes ([`LoadMode`]) drive the server's event loop
+//! differently: `Single` is the classic one-request-per-round-trip loop;
+//! `Pipelined` keeps a window of requests in flight per connection
+//! (latency is measured per reply, from its own send); `Batch` packs many
+//! sizes into `partition_batch` round-trips. The drawn size sequence is
+//! identical across modes for a given seed, so their reports are
+//! comparable.
+//!
 //! Used by `fpm loadgen`, the `bench_serve` experiment and the CI smoke
 //! job.
 
+use std::collections::VecDeque;
+use std::fmt::Write as _;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 use crate::client::Client;
+use crate::json::{Json, JsonRef, JsonStr};
 use fpm_core::planner::AlgorithmId;
+
+/// How requests are put on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// One request per round-trip (the pre-pipelining behaviour).
+    Single,
+    /// Up to `depth` `partition` requests in flight per connection.
+    Pipelined {
+        /// Window size (clamped to ≥ 1).
+        depth: usize,
+    },
+    /// `partition_batch` round-trips of `size` problem sizes each.
+    Batch {
+        /// Sizes per batch envelope (clamped to ≥ 1).
+        size: usize,
+    },
+}
 
 /// Load-generation parameters.
 #[derive(Debug, Clone)]
@@ -33,6 +61,8 @@ pub struct LoadgenConfig {
     pub algorithm: AlgorithmId,
     /// Per-request deadline handed to the server.
     pub deadline_ms: u64,
+    /// Wire shape: single, pipelined or batch.
+    pub mode: LoadMode,
 }
 
 impl Default for LoadgenConfig {
@@ -45,6 +75,7 @@ impl Default for LoadgenConfig {
             seed: 0x10AD,
             algorithm: AlgorithmId::Combined,
             deadline_ms: 5000,
+            mode: LoadMode::Single,
         }
     }
 }
@@ -141,24 +172,33 @@ pub fn run(
                 tally.other_errors = cfg.requests_per_worker as u64;
                 return (latencies, tally);
             };
-            for _ in 0..cfg.requests_per_worker {
-                let n = cfg.n_base + (rng.next() % distinct) * 1000;
-                let t0 = Instant::now();
-                match client.partition(&cluster, n, cfg.algorithm, Some(cfg.deadline_ms)) {
-                    Ok(reply) => {
-                        latencies
-                            .push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-                        tally.ok += 1;
-                        if reply.cached {
-                            tally.cached += 1;
-                        }
-                    }
-                    Err(e) => match e.code {
-                        "overloaded" => tally.shed += 1,
-                        "deadline" => tally.deadline += 1,
-                        _ => tally.other_errors += 1,
-                    },
+            // One size sequence per seed, shared by every mode, so reports
+            // across modes describe the same workload.
+            let sizes: Vec<u64> = (0..cfg.requests_per_worker)
+                .map(|_| cfg.n_base + (rng.next() % distinct) * 1000)
+                .collect();
+            match cfg.mode {
+                LoadMode::Single => {
+                    run_single(&mut client, &cluster, &cfg, &sizes, &mut latencies, &mut tally)
                 }
+                LoadMode::Pipelined { depth } => run_pipelined(
+                    &mut client,
+                    &cluster,
+                    &cfg,
+                    &sizes,
+                    depth.max(1),
+                    &mut latencies,
+                    &mut tally,
+                ),
+                LoadMode::Batch { size } => run_batched(
+                    &mut client,
+                    &cluster,
+                    &cfg,
+                    &sizes,
+                    size.max(1),
+                    &mut latencies,
+                    &mut tally,
+                ),
             }
             (latencies, tally)
         }));
@@ -195,6 +235,153 @@ pub fn run(
             all_latencies.iter().sum::<u64>() as f64 / all_latencies.len() as f64;
     }
     Ok(report)
+}
+
+fn record_latency(latencies: &mut Vec<u64>, since: Instant) {
+    latencies.push(since.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+}
+
+fn tally_error(tally: &mut LoadgenReport, code: &str) {
+    match code {
+        "overloaded" => tally.shed += 1,
+        "deadline" => tally.deadline += 1,
+        _ => tally.other_errors += 1,
+    }
+}
+
+fn run_single(
+    client: &mut Client,
+    cluster: &str,
+    cfg: &LoadgenConfig,
+    sizes: &[u64],
+    latencies: &mut Vec<u64>,
+    tally: &mut LoadgenReport,
+) {
+    for &n in sizes {
+        let t0 = Instant::now();
+        match client.partition(cluster, n, cfg.algorithm, Some(cfg.deadline_ms)) {
+            Ok(reply) => {
+                record_latency(latencies, t0);
+                tally.ok += 1;
+                if reply.cached {
+                    tally.cached += 1;
+                }
+            }
+            Err(e) => tally_error(tally, e.code),
+        }
+    }
+}
+
+/// Keeps up to `depth` requests in flight; each reply's latency is
+/// measured from its own send instant, so queuing inside the window is
+/// included (what a pipelined caller actually experiences).
+fn run_pipelined(
+    client: &mut Client,
+    cluster: &str,
+    cfg: &LoadgenConfig,
+    sizes: &[u64],
+    depth: usize,
+    latencies: &mut Vec<u64>,
+    tally: &mut LoadgenReport,
+) {
+    // Client and server often share one core (CI-class containers), so
+    // the window loop is allocation-light: requests render into a reused
+    // buffer, replies go through the borrowing parser (no per-reply DOM).
+    let algorithm = cfg.algorithm.to_string();
+    let mut burst = String::with_capacity(depth * 160);
+    let mut reply = String::with_capacity(512);
+    let mut in_flight: VecDeque<(u64, Instant)> = VecDeque::with_capacity(depth);
+    let mut next = 0usize;
+    let mut received = 0usize;
+    while received < sizes.len() {
+        if next < sizes.len() && in_flight.len() < depth {
+            // Fill the window with one buffered write: per-request send
+            // syscalls would dominate the round trip at depth ≥ 8.
+            burst.clear();
+            let first = next;
+            while next < sizes.len() && in_flight.len() + (next - first) < depth {
+                let _ = writeln!(
+                    burst,
+                    "{{\"id\":{next},\"verb\":\"partition\",\"cluster\":{},\"n\":{},\"algorithm\":\"{algorithm}\",\"deadline_ms\":{}}}",
+                    JsonStr(cluster),
+                    sizes[next],
+                    cfg.deadline_ms,
+                );
+                next += 1;
+            }
+            if client.send_bytes(burst.as_bytes()).is_err() {
+                tally.other_errors += (sizes.len() - received) as u64;
+                return;
+            }
+            let sent_at = Instant::now();
+            for id in first..next {
+                in_flight.push_back((id as u64, sent_at));
+            }
+        }
+        if client.recv_line(&mut reply).is_err() {
+            tally.other_errors += (sizes.len() - received) as u64;
+            return;
+        }
+        let Some((want, sent_at)) = in_flight.pop_front() else { return };
+        let Ok(v) = Json::parse_ref(&reply) else {
+            tally.other_errors += (sizes.len() - received) as u64;
+            return;
+        };
+        if v.get("id").and_then(JsonRef::as_u64) != Some(want) {
+            tally.other_errors += (sizes.len() - received) as u64;
+            return;
+        }
+        if v.get("ok").and_then(JsonRef::as_bool) == Some(true) {
+            record_latency(latencies, sent_at);
+            tally.ok += 1;
+            if v.get("cached").and_then(JsonRef::as_bool) == Some(true) {
+                tally.cached += 1;
+            }
+        } else {
+            tally_error(tally, v.get("error").and_then(JsonRef::as_str).unwrap_or("internal"));
+        }
+        received += 1;
+    }
+}
+
+/// Packs sizes into `partition_batch` envelopes. Every element of a batch
+/// is assigned the round-trip latency of its envelope — that is when its
+/// answer actually arrived.
+fn run_batched(
+    client: &mut Client,
+    cluster: &str,
+    cfg: &LoadgenConfig,
+    sizes: &[u64],
+    batch: usize,
+    latencies: &mut Vec<u64>,
+    tally: &mut LoadgenReport,
+) {
+    for chunk in sizes.chunks(batch) {
+        let t0 = Instant::now();
+        match client.partition_batch(cluster, chunk, cfg.algorithm, Some(cfg.deadline_ms)) {
+            Ok(results) => {
+                let elapsed = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                for result in results {
+                    match result {
+                        Ok(reply) => {
+                            latencies.push(elapsed);
+                            tally.ok += 1;
+                            if reply.cached {
+                                tally.cached += 1;
+                            }
+                        }
+                        Err(e) => tally_error(tally, e.code),
+                    }
+                }
+            }
+            Err(e) => {
+                // Envelope-level failure: every element in it failed.
+                for _ in chunk {
+                    tally_error(tally, e.code);
+                }
+            }
+        }
+    }
 }
 
 /// Nearest-rank percentile of an already-sorted sample.
@@ -240,6 +427,35 @@ mod tests {
         assert!(report.p99_us >= report.p50_us);
         assert!(report.throughput() > 0.0);
         handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn pipelined_and_batch_modes_complete_every_request() {
+        // Pipelining keeps workers * depth requests in flight at once; give
+        // the solver queue enough headroom that nothing is shed.
+        let handle = spawn(ServerConfig {
+            queue_capacity: 256,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        register_demo(handle.addr);
+        for mode in [LoadMode::Pipelined { depth: 8 }, LoadMode::Batch { size: 10 }] {
+            let cfg = LoadgenConfig {
+                workers: 2,
+                requests_per_worker: 50,
+                distinct_n: 4,
+                mode,
+                ..LoadgenConfig::default()
+            };
+            let report = run(handle.addr, "demo", &cfg).unwrap();
+            assert_eq!(report.ok, 100, "mode {mode:?}");
+            assert_eq!(report.other_errors, 0, "mode {mode:?}");
+            assert!(report.hit_rate() > 0.8, "mode {mode:?} hit {}", report.hit_rate());
+            assert!(report.p99_us >= report.p50_us);
+        }
+        let stats = handle.shutdown_and_join();
+        assert!(stats.get("batch_requests").and_then(Json::as_u64).unwrap_or(0) >= 10);
+        assert!(stats.get("pipeline_depth_peak").and_then(Json::as_u64).unwrap_or(0) >= 2);
     }
 
     #[test]

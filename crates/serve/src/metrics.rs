@@ -119,10 +119,16 @@ counters! {
     register_requests,
     /// `partition` requests handled.
     partition_requests,
+    /// `partition_batch` requests handled (one per batch envelope).
+    batch_requests,
+    /// Individual sizes solved inside `partition_batch` envelopes.
+    batch_sub_requests,
     /// `stats` requests handled.
     stats_requests,
     /// `ping` requests handled.
     ping_requests,
+    /// `shutdown` requests handled.
+    shutdown_requests,
     /// Error responses sent (any code).
     errors,
     /// Requests rejected with `overloaded`.
@@ -139,6 +145,9 @@ counters! {
     queue_depth,
     /// Peak engine queue depth observed.
     queue_depth_peak,
+    /// Peak pipelining depth: most complete request lines drained from one
+    /// connection in a single readable event.
+    pipeline_depth_peak,
 }
 
 impl Metrics {
@@ -156,6 +165,12 @@ impl Metrics {
     /// Decrements the queue-depth gauge.
     pub fn queue_exit(&self) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records the number of complete requests drained from one readable
+    /// event, keeping the peak (1 = no pipelining on that event).
+    pub fn observe_pipeline_depth(&self, depth: u64) {
+        self.pipeline_depth_peak.fetch_max(depth, Ordering::Relaxed);
     }
 }
 

@@ -12,9 +12,13 @@
 //! |---|---|---|
 //! | `register` | `cluster`, and either `models` (inline piece-wise knots) or `testbed` (`{name, app, seed}` simnet reference) | `fingerprint`, `machines` |
 //! | `partition` | `cluster` *or* `fingerprint`, `n`, optional `algorithm` (default `combined`), optional `deadline_ms` | `counts`, `makespan`, `cached`, `algorithm`, `fingerprint` |
+//! | `partition_batch` | `cluster` *or* `fingerprint`, `ns` (array of sizes, ≤ [`MAX_BATCH`]), optional `algorithm`, optional `deadline_ms` (covers the whole batch) | `algorithm`, `fingerprint`, `results` — one array element per `ns` entry, each either the single-verb payload (`ok`, `counts`, `makespan`, `steps`, `cached`) or an element-level error (`ok: false`, `error`, `message`) |
 //! | `stats` | — | metrics snapshot |
 //! | `ping` | — | `pong: true` |
 //! | `shutdown` | — | `draining: true`, then the server drains and exits |
+//!
+//! Requests may be **pipelined**: clients can write many lines without
+//! waiting; the server answers strictly in request order per connection.
 //!
 //! # Error codes
 //!
@@ -26,10 +30,11 @@
 //!
 //! Inputs are untrusted: frames are capped at [`MAX_FRAME_BYTES`] by the
 //! server's line reader, clusters at [`MAX_MACHINES`] machines ×
-//! [`MAX_KNOTS`] knots, and `n` at [`MAX_N`] (2⁵³ — beyond that JSON
-//! numbers stop being exact). Knot coordinates must be finite.
+//! [`MAX_KNOTS`] knots, `n` at [`MAX_N`] (2⁵³ — beyond that JSON
+//! numbers stop being exact) and batches at [`MAX_BATCH`] sizes per
+//! request. Knot coordinates must be finite.
 
-use crate::json::Json;
+use crate::json::{Json, JsonRef};
 use fpm_core::planner::AlgorithmId;
 
 /// Maximum accepted request line, in bytes (1 MiB).
@@ -40,6 +45,8 @@ pub const MAX_MACHINES: usize = 4096;
 pub const MAX_KNOTS: usize = 4096;
 /// Maximum problem size: 2⁵³, the largest integer JSON carries exactly.
 pub const MAX_N: u64 = 1 << 53;
+/// Maximum `ns` entries in one `partition_batch` request.
+pub const MAX_BATCH: usize = 1024;
 
 /// A protocol-level failure with a stable machine-readable code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,6 +115,55 @@ pub enum ClusterRef {
     Fingerprint(String),
 }
 
+/// Borrowed counterpart of [`ClusterRef`]: the server's event loop routes
+/// requests without copying the cluster name out of the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterRefView<'a> {
+    /// By registration name.
+    Name(&'a str),
+    /// By content fingerprint.
+    Fingerprint(&'a str),
+}
+
+impl ClusterRefView<'_> {
+    /// Converts into the owned form (cold paths only).
+    pub fn to_owned_ref(&self) -> ClusterRef {
+        match self {
+            ClusterRefView::Name(s) => ClusterRef::Name((*s).to_owned()),
+            ClusterRefView::Fingerprint(s) => ClusterRef::Fingerprint((*s).to_owned()),
+        }
+    }
+}
+
+/// Borrowed view of a `partition` request. Produced by
+/// [`parse_partition_ref`] on the server's hot path, where a warm cache
+/// hit must not allocate beyond the response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionView<'a> {
+    /// Which cluster.
+    pub target: ClusterRefView<'a>,
+    /// Problem size.
+    pub n: u64,
+    /// Algorithm selection (registry-canonical).
+    pub algorithm: AlgorithmId,
+    /// Per-request deadline override, milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Borrowed view of a `partition_batch` request. The `ns` vector is the
+/// only allocation — one per batch, not per element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionBatchView<'a> {
+    /// Which cluster (shared by every element).
+    pub target: ClusterRefView<'a>,
+    /// Problem sizes, one result element each, in order.
+    pub ns: Vec<u64>,
+    /// Algorithm selection (shared by every element).
+    pub algorithm: AlgorithmId,
+    /// Deadline covering the whole batch, milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -127,6 +183,18 @@ pub enum Request {
         /// Algorithm selection (registry-canonical).
         algorithm: AlgorithmId,
         /// Per-request deadline override, milliseconds.
+        deadline_ms: Option<u64>,
+    },
+    /// Partition many sizes over one registered cluster in a single
+    /// round-trip, answering with an ordered `results` array.
+    PartitionBatch {
+        /// Which cluster (shared by every element).
+        target: ClusterRef,
+        /// Problem sizes, in reply order.
+        ns: Vec<u64>,
+        /// Algorithm selection (shared by every element).
+        algorithm: AlgorithmId,
+        /// Deadline covering the whole batch, milliseconds.
         deadline_ms: Option<u64>,
     },
     /// Metrics snapshot.
@@ -152,45 +220,66 @@ pub struct Envelope {
 /// On error the caller should still answer: the returned tuple carries
 /// whatever `id` could be salvaged so the error response can be correlated.
 pub fn parse_request(line: &str) -> Result<Envelope, (Option<Json>, ProtoError)> {
-    let value = Json::parse(line)
+    let value = Json::parse_ref(line)
         .map_err(|e| (None, ProtoError::new("bad_json", e.to_string())))?;
-    let id = match value.get("id") {
-        None | Some(Json::Null) => None,
-        Some(v @ (Json::Num(_) | Json::Str(_))) => Some(v.clone()),
-        Some(_) => {
-            return Err((
-                None,
-                ProtoError::new("bad_request", "id must be a number or string"),
-            ))
-        }
+    let id = match parse_id_ref(&value) {
+        Ok(id) => id.map(JsonRef::to_json),
+        Err(e) => return Err((None, e)),
     };
-    let fail = |code: &'static str, message: &str| {
-        (id.clone(), ProtoError::new(code, message.to_owned()))
-    };
-    if !matches!(value, Json::Obj(_)) {
-        return Err(fail("bad_request", "request must be a JSON object"));
+    match request_from_value(&value) {
+        Ok(request) => Ok(Envelope { id, request }),
+        Err(e) => Err((id, e)),
+    }
+}
+
+/// Extracts the optional `id` field from a parsed request value without
+/// copying it: the event loop only materialises an owned [`Json`] when a
+/// response must be deferred past the frame's lifetime.
+pub fn parse_id_ref<'a>(value: &'a JsonRef<'_>) -> Result<Option<&'a JsonRef<'a>>, ProtoError> {
+    match value.get("id") {
+        None | Some(JsonRef::Null) => Ok(None),
+        Some(v @ (JsonRef::Num(_) | JsonRef::Str(_))) => Ok(Some(v)),
+        Some(_) => Err(ProtoError::new("bad_request", "id must be a number or string")),
+    }
+}
+
+/// Builds the owned [`Request`] from an already-parsed value tree (the
+/// `id` is handled separately via [`parse_id_ref`]). The server's event
+/// loop short-circuits `partition` through [`parse_partition_ref`]
+/// instead and only falls back here for cold verbs.
+pub fn request_from_value(value: &JsonRef<'_>) -> Result<Request, ProtoError> {
+    if !matches!(value, JsonRef::Obj(_)) {
+        return Err(ProtoError::new("bad_request", "request must be a JSON object"));
     }
     let verb = value
         .get("verb")
-        .and_then(Json::as_str)
-        .ok_or_else(|| fail("bad_request", "missing string field: verb"))?;
-    let request = match verb {
-        "ping" => Request::Ping,
-        "stats" => Request::Stats,
-        "shutdown" => Request::Shutdown,
-        "register" => parse_register(&value).map_err(|e| (id.clone(), e))?,
-        "partition" => parse_partition(&value).map_err(|e| (id.clone(), e))?,
-        other => {
-            return Err(fail("unknown_verb", &format!("unknown verb: {other:?}")));
-        }
-    };
-    Ok(Envelope { id, request })
+        .and_then(JsonRef::as_str)
+        .ok_or_else(|| ProtoError::new("bad_request", "missing string field: verb"))?;
+    match verb {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "register" => parse_register(value),
+        "partition" => parse_partition_ref(value).map(|v| Request::Partition {
+            target: v.target.to_owned_ref(),
+            n: v.n,
+            algorithm: v.algorithm,
+            deadline_ms: v.deadline_ms,
+        }),
+        "partition_batch" => parse_partition_batch_ref(value).map(|v| Request::PartitionBatch {
+            target: v.target.to_owned_ref(),
+            ns: v.ns,
+            algorithm: v.algorithm,
+            deadline_ms: v.deadline_ms,
+        }),
+        other => Err(ProtoError::new("unknown_verb", format!("unknown verb: {other:?}"))),
+    }
 }
 
-fn parse_register(value: &Json) -> Result<Request, ProtoError> {
+fn parse_register(value: &JsonRef<'_>) -> Result<Request, ProtoError> {
     let cluster = value
         .get("cluster")
-        .and_then(Json::as_str)
+        .and_then(JsonRef::as_str)
         .ok_or_else(|| ProtoError::new("bad_request", "missing string field: cluster"))?;
     if cluster.is_empty() || cluster.len() > 256 {
         return Err(ProtoError::new("bad_request", "cluster name must be 1..=256 bytes"));
@@ -211,7 +300,7 @@ fn parse_register(value: &Json) -> Result<Request, ProtoError> {
     Ok(Request::Register { cluster: cluster.to_owned(), spec })
 }
 
-fn parse_models(models: &Json) -> Result<Vec<WireModel>, ProtoError> {
+fn parse_models(models: &JsonRef<'_>) -> Result<Vec<WireModel>, ProtoError> {
     let items = models
         .as_array()
         .ok_or_else(|| ProtoError::new("bad_request", "models must be an array"))?;
@@ -225,7 +314,7 @@ fn parse_models(models: &Json) -> Result<Vec<WireModel>, ProtoError> {
     for (i, item) in items.iter().enumerate() {
         let name = item
             .get("name")
-            .and_then(Json::as_str)
+            .and_then(JsonRef::as_str)
             .map(str::to_owned)
             .unwrap_or_else(|| format!("m{i}"));
         if name.len() > 256 {
@@ -233,7 +322,7 @@ fn parse_models(models: &Json) -> Result<Vec<WireModel>, ProtoError> {
         }
         let knots_json = item
             .get("knots")
-            .and_then(Json::as_array)
+            .and_then(JsonRef::as_array)
             .ok_or_else(|| ProtoError::new("bad_request", "each model needs a knots array"))?;
         if knots_json.len() < 2 {
             return Err(ProtoError::new("invalid_model", "each model needs ≥ 2 knots"));
@@ -263,12 +352,12 @@ fn parse_models(models: &Json) -> Result<Vec<WireModel>, ProtoError> {
     Ok(out)
 }
 
-fn parse_testbed(tb: &Json) -> Result<ClusterSpec, ProtoError> {
+fn parse_testbed(tb: &JsonRef<'_>) -> Result<ClusterSpec, ProtoError> {
     let name = tb
         .get("name")
-        .and_then(Json::as_str)
+        .and_then(JsonRef::as_str)
         .ok_or_else(|| ProtoError::new("bad_request", "testbed needs a name"))?;
-    let app = tb.get("app").and_then(Json::as_str).unwrap_or("mm");
+    let app = tb.get("app").and_then(JsonRef::as_str).unwrap_or("mm");
     let seed = match tb.get("seed") {
         None => 0xF93,
         Some(v) => v
@@ -278,53 +367,92 @@ fn parse_testbed(tb: &Json) -> Result<ClusterSpec, ProtoError> {
     Ok(ClusterSpec::Testbed { name: name.to_owned(), app: app.to_owned(), seed })
 }
 
-fn parse_partition(value: &Json) -> Result<Request, ProtoError> {
-    let target = match (
-        value.get("cluster").and_then(Json::as_str),
-        value.get("fingerprint").and_then(Json::as_str),
+/// Parses a `partition` request into a borrowed view: the target name
+/// stays a slice into the frame, so warm cache hits never copy it.
+pub fn parse_partition_ref<'a>(value: &'a JsonRef<'_>) -> Result<PartitionView<'a>, ProtoError> {
+    let target = parse_target(value)?;
+    let n = parse_n(value.get("n"))?;
+    let algorithm = parse_algorithm_field(value)?;
+    let deadline_ms = parse_deadline_field(value)?;
+    Ok(PartitionView { target, n, algorithm, deadline_ms })
+}
+
+/// Parses a `partition_batch` request into a borrowed view.
+pub fn parse_partition_batch_ref<'a>(
+    value: &'a JsonRef<'_>,
+) -> Result<PartitionBatchView<'a>, ProtoError> {
+    let target = parse_target(value)?;
+    let items = value
+        .get("ns")
+        .and_then(JsonRef::as_array)
+        .ok_or_else(|| ProtoError::new("bad_request", "ns must be an array of sizes"))?;
+    if items.is_empty() {
+        return Err(ProtoError::new("bad_request", "ns must not be empty"));
+    }
+    if items.len() > MAX_BATCH {
+        return Err(ProtoError::new(
+            "bad_request",
+            format!("batch exceeds {MAX_BATCH} sizes"),
+        ));
+    }
+    let mut ns = Vec::with_capacity(items.len());
+    for item in items {
+        ns.push(parse_n(Some(item))?);
+    }
+    let algorithm = parse_algorithm_field(value)?;
+    let deadline_ms = parse_deadline_field(value)?;
+    Ok(PartitionBatchView { target, ns, algorithm, deadline_ms })
+}
+
+fn parse_target<'a>(value: &'a JsonRef<'_>) -> Result<ClusterRefView<'a>, ProtoError> {
+    match (
+        value.get("cluster").and_then(JsonRef::as_str),
+        value.get("fingerprint").and_then(JsonRef::as_str),
     ) {
-        (Some(name), None) => ClusterRef::Name(name.to_owned()),
-        (None, Some(fp)) => ClusterRef::Fingerprint(fp.to_owned()),
-        (Some(_), Some(_)) => {
-            return Err(ProtoError::new(
-                "bad_request",
-                "partition takes cluster or fingerprint, not both",
-            ))
-        }
-        (None, None) => {
-            return Err(ProtoError::new(
-                "bad_request",
-                "partition needs a cluster name or fingerprint",
-            ))
-        }
-    };
-    let n = value
-        .get("n")
-        .and_then(Json::as_u64)
+        (Some(name), None) => Ok(ClusterRefView::Name(name)),
+        (None, Some(fp)) => Ok(ClusterRefView::Fingerprint(fp)),
+        (Some(_), Some(_)) => Err(ProtoError::new(
+            "bad_request",
+            "partition takes cluster or fingerprint, not both",
+        )),
+        (None, None) => Err(ProtoError::new(
+            "bad_request",
+            "partition needs a cluster name or fingerprint",
+        )),
+    }
+}
+
+fn parse_n(v: Option<&JsonRef<'_>>) -> Result<u64, ProtoError> {
+    let n = v
+        .and_then(JsonRef::as_u64)
         .ok_or_else(|| ProtoError::new("bad_request", "n must be a non-negative integer"))?;
     if n > MAX_N {
         return Err(ProtoError::new("bad_request", "n exceeds 2^53"));
     }
-    let algorithm = match value.get("algorithm") {
-        None => AlgorithmId::Combined,
+    Ok(n)
+}
+
+fn parse_algorithm_field(value: &JsonRef<'_>) -> Result<AlgorithmId, ProtoError> {
+    match value.get("algorithm") {
+        None => Ok(AlgorithmId::Combined),
         Some(a) => {
             let text = a
                 .as_str()
                 .ok_or_else(|| ProtoError::new("bad_request", "algorithm must be a string"))?;
-            parse_algorithm(text)?
+            parse_algorithm(text)
         }
-    };
-    let deadline_ms = match value.get("deadline_ms") {
-        None => None,
-        Some(v) => Some(
-            v.as_u64()
-                .filter(|&ms| ms > 0 && ms <= 3_600_000)
-                .ok_or_else(|| {
-                    ProtoError::new("bad_request", "deadline_ms must be in 1..=3600000")
-                })?,
-        ),
-    };
-    Ok(Request::Partition { target, n, algorithm, deadline_ms })
+    }
+}
+
+fn parse_deadline_field(value: &JsonRef<'_>) -> Result<Option<u64>, ProtoError> {
+    match value.get("deadline_ms") {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .filter(|&ms| ms > 0 && ms <= 3_600_000)
+            .map(Some)
+            .ok_or_else(|| ProtoError::new("bad_request", "deadline_ms must be in 1..=3600000")),
+    }
 }
 
 /// Renders a success response line (no trailing newline).
@@ -438,6 +566,63 @@ mod tests {
         assert_eq!(target, ClusterRef::Fingerprint("ab12".into()));
         assert_eq!(algorithm, AlgorithmId::SingleAt(7e5));
         assert_eq!(deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn parses_partition_batch() {
+        let env = parse_request(
+            r#"{"verb":"partition_batch","cluster":"c1","ns":[10,20,30],"algorithm":"basic"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            env.request,
+            Request::PartitionBatch {
+                target: ClusterRef::Name("c1".into()),
+                ns: vec![10, 20, 30],
+                algorithm: AlgorithmId::Basic,
+                deadline_ms: None,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_batches() {
+        let cases: &[(&str, &str)] = &[
+            (r#"{"verb":"partition_batch","cluster":"c"}"#, "bad_request"),
+            (r#"{"verb":"partition_batch","cluster":"c","ns":7}"#, "bad_request"),
+            (r#"{"verb":"partition_batch","cluster":"c","ns":[]}"#, "bad_request"),
+            (r#"{"verb":"partition_batch","cluster":"c","ns":[1,-2]}"#, "bad_request"),
+            (r#"{"verb":"partition_batch","cluster":"c","ns":[1,2.5]}"#, "bad_request"),
+        ];
+        for (line, code) in cases {
+            let (_, e) = parse_request(line).unwrap_err();
+            assert_eq!(&e.code, code, "{line}");
+        }
+        // One over the batch cap.
+        let ns: Vec<String> = (0..=MAX_BATCH).map(|i| i.to_string()).collect();
+        let line =
+            format!(r#"{{"verb":"partition_batch","cluster":"c","ns":[{}]}}"#, ns.join(","));
+        let (_, e) = parse_request(&line).unwrap_err();
+        assert_eq!(e.code, "bad_request");
+        assert!(e.message.contains("batch"), "{}", e.message);
+    }
+
+    #[test]
+    fn borrowed_views_match_owned_requests() {
+        let line = r#"{"id":3,"verb":"partition","cluster":"west","n":4096,"deadline_ms":100}"#;
+        let value = Json::parse_ref(line).unwrap();
+        let id = parse_id_ref(&value).unwrap().map(JsonRef::to_json);
+        assert_eq!(id, Some(Json::Num(3.0)));
+        let view = parse_partition_ref(&value).unwrap();
+        assert_eq!(view.target, ClusterRefView::Name("west"));
+        assert_eq!(view.n, 4096);
+        assert_eq!(view.deadline_ms, Some(100));
+        let env = parse_request(line).unwrap();
+        let Request::Partition { target, n, algorithm, deadline_ms } = env.request else {
+            panic!()
+        };
+        assert_eq!(target, view.target.to_owned_ref());
+        assert_eq!((n, algorithm, deadline_ms), (view.n, view.algorithm, view.deadline_ms));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use fpm_simnet::fluctuation::Integration;
 use fpm_simnet::profile::AppProfile;
 use fpm_simnet::testbeds;
 
-use crate::protocol::{ClusterRef, ClusterSpec, ProtoError, WireModel};
+use crate::protocol::{ClusterRef, ClusterRefView, ClusterSpec, ProtoError, WireModel};
 
 /// A thread-safe, evaluation-cached speed function.
 pub type SharedSpeed = Arc<dyn SpeedFunction + Send + Sync>;
@@ -103,16 +103,30 @@ impl Registry {
 
     /// Looks a cluster up by name or fingerprint.
     pub fn lookup(&self, target: &ClusterRef) -> Result<Arc<RegisteredCluster>, ProtoError> {
+        let view = match target {
+            ClusterRef::Name(name) => ClusterRefView::Name(name),
+            ClusterRef::Fingerprint(fp) => ClusterRefView::Fingerprint(fp),
+        };
+        self.lookup_ref(view)
+    }
+
+    /// Borrowed-key lookup for the event loop's hot path: no owned
+    /// [`ClusterRef`] is materialised, the target stays a slice into the
+    /// request frame. Error allocation only happens on the miss path.
+    pub fn lookup_ref(
+        &self,
+        target: ClusterRefView<'_>,
+    ) -> Result<Arc<RegisteredCluster>, ProtoError> {
         let maps = self.inner.read().expect("registry lock poisoned");
         let found = match target {
-            ClusterRef::Name(name) => maps.by_name.get(name),
-            ClusterRef::Fingerprint(fp) => maps.by_fp.get(fp),
+            ClusterRefView::Name(name) => maps.by_name.get(name),
+            ClusterRefView::Fingerprint(fp) => maps.by_fp.get(fp),
         };
         found.cloned().ok_or_else(|| match target {
-            ClusterRef::Name(name) => {
+            ClusterRefView::Name(name) => {
                 ProtoError::new("not_found", format!("no cluster named {name:?}"))
             }
-            ClusterRef::Fingerprint(fp) => {
+            ClusterRefView::Fingerprint(fp) => {
                 ProtoError::new("not_found", format!("no cluster with fingerprint {fp:?}"))
             }
         })

@@ -111,6 +111,91 @@ fn server_plans_are_bit_identical_to_local_solves() {
 }
 
 #[test]
+fn batch_and_pipelined_replies_are_bit_identical_to_single_verbs() {
+    // Every element of a `partition_batch` reply — and every reply of a
+    // pipelined burst — must be byte-for-byte the answer the single
+    // `partition` verb gives for the same (cluster, n, algorithm).
+    let cases = (env_cases(100) / 4).max(8);
+    let base = env_base_seed(0xBA7C_4ED0);
+    let cfg = GenConfig::default();
+
+    let handle = spawn(ServerConfig::default()).expect("spawn server");
+    let mut client = Client::connect(handle.addr, Duration::from_secs(60)).expect("connect");
+
+    for i in 0..cases {
+        let seed = base.wrapping_add(i as u64);
+        let wire = WireCluster::from_seed(seed, &cfg);
+        let name = format!("batch-{seed:x}");
+        client
+            .register_inline(&name, &wire.models)
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: register failed: {e}"));
+        let algorithm = ALGORITHMS[i % ALGORITHMS.len()];
+
+        // A spread of sizes around the generated n, including duplicates
+        // (the batch path must serve repeats from the cache it just filled).
+        let ns: Vec<u64> = [wire.n, wire.n / 2 + 1, wire.n + 17, wire.n, wire.n / 3 + 1]
+            .into_iter()
+            .filter(|&n| n > 0)
+            .collect();
+
+        let singles: Vec<_> = ns
+            .iter()
+            .map(|&n| client.partition(&name, n, algorithm, Some(30_000)))
+            .collect();
+        let batched = client
+            .partition_batch(&name, &ns, algorithm, Some(30_000))
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: batch envelope failed: {e}"));
+        let piped = client
+            .partition_pipelined(&name, &ns, algorithm, Some(30_000), 4)
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: pipelined burst failed: {e}"));
+        assert_eq!(batched.len(), ns.len(), "seed {seed:#x}");
+        assert_eq!(piped.len(), ns.len(), "seed {seed:#x}");
+
+        for (j, single) in singles.iter().enumerate() {
+            match (single, &batched[j], &piped[j]) {
+                (Ok(s), Ok(b), Ok(p)) => {
+                    assert_eq!(s.counts, b.counts, "seed {seed:#x} elem {j}: batch counts");
+                    assert_eq!(s.counts, p.counts, "seed {seed:#x} elem {j}: piped counts");
+                    assert_eq!(
+                        s.makespan.to_bits(),
+                        b.makespan.to_bits(),
+                        "seed {seed:#x} elem {j}: batch makespan not bit-identical"
+                    );
+                    assert_eq!(
+                        s.makespan.to_bits(),
+                        p.makespan.to_bits(),
+                        "seed {seed:#x} elem {j}: piped makespan not bit-identical"
+                    );
+                    // The single verb warmed the cache, so both replays
+                    // must report a cache hit.
+                    assert!(b.cached && p.cached, "seed {seed:#x} elem {j}: not cached");
+                }
+                (Err(s), Err(b), Err(p)) => {
+                    assert_eq!(s.code, b.code, "seed {seed:#x} elem {j}: batch error code");
+                    assert_eq!(s.code, p.code, "seed {seed:#x} elem {j}: piped error code");
+                }
+                (s, b, p) => panic!(
+                    "seed {seed:#x} elem {j}: verb disagreement: single {s:?} vs batch {b:?} vs piped {p:?}"
+                ),
+            }
+        }
+    }
+
+    let stats = handle.shutdown_and_join();
+    assert_eq!(
+        stats.get("batch_requests").and_then(Json::as_u64),
+        Some(cases as u64),
+        "one batch envelope per case"
+    );
+    // Bursts may land in one readable event or several depending on
+    // scheduling, so only the floor is deterministic.
+    assert!(
+        stats.get("pipeline_depth_peak").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "pipelined bursts must be visible in metrics"
+    );
+}
+
+#[test]
 fn testbed_registration_matches_local_build() {
     // A testbed reference registered twice (under different names) must
     // fingerprint identically — the server-side build is deterministic.

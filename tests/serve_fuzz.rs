@@ -68,6 +68,14 @@ const STATIC_CORPUS: &[&str] = &[
     "{\"verb\":\"register\",\"cluster\":\"c\",\"testbed\":{\"name\":\"table9\"}}",
     "{\"verb\":\"register\",\"cluster\":\"c\",\"testbed\":{\"name\":\"table1\",\"seed\":-1}}",
     "{\"verb\":\"register\",\"cluster\":\"c\",\"models\":[],\"testbed\":{\"name\":\"table1\"}}",
+    "{\"verb\":\"partition_batch\"}",
+    "{\"verb\":\"partition_batch\",\"cluster\":\"c\"}",
+    "{\"verb\":\"partition_batch\",\"cluster\":\"c\",\"ns\":[]}",
+    "{\"verb\":\"partition_batch\",\"cluster\":\"c\",\"ns\":7}",
+    "{\"verb\":\"partition_batch\",\"cluster\":\"c\",\"ns\":[-1]}",
+    "{\"verb\":\"partition_batch\",\"cluster\":\"c\",\"ns\":[1.5]}",
+    "{\"verb\":\"partition_batch\",\"cluster\":\"c\",\"ns\":[10,null]}",
+    "{\"verb\":\"partition_batch\",\"cluster\":\"c\",\"ns\":[10],\"algorithm\":\"warp\"}",
     "{\"id\":{},\"verb\":\"ping\"}",
     "{\"id\":[1],\"verb\":\"ping\"}",
     "{\"verb\":\"ping\",\"id\":null}",
@@ -202,4 +210,146 @@ fn live_server_answers_every_malformed_line_with_structured_errors() {
     client.ping().expect("server still alive after fuzzing");
     let stats = handle.shutdown_and_join();
     assert!(stats.get("errors").and_then(Json::as_u64).unwrap_or(0) > 0);
+}
+
+/// One frame of a pipelined burst and what its reply must look like.
+enum Frame {
+    /// Carries `"id":N` and must come back `ok:true` with that id.
+    Ok(u64),
+    /// Carries `"id":N` and must come back `ok:false` with that id.
+    Err(u64),
+    /// Malformed; must come back `ok:false` with a coded error, id null.
+    Garbage,
+}
+
+#[test]
+fn pipelined_bursts_survive_arbitrary_frame_splits() {
+    // Pipelining must not depend on how frames land in TCP segments:
+    // several requests in one segment, one request split across many, or
+    // garbage interleaved mid-burst. Replies must still come back exactly
+    // one per non-empty line, in request order, with ids echoed.
+    let cases = env_cases(100).clamp(20, 200);
+    let mut rng = ChaCha8Rng::seed_from_u64(env_base_seed(0xF0_55ED) ^ 0x9199);
+    // A whole burst may arrive in one readable event and hit a cold
+    // cache; the queue must hold it so no frame is shed (shedding under
+    // overload is tested elsewhere — here order is under test).
+    let handle = spawn(ServerConfig {
+        queue_capacity: 256,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+
+    let mut client =
+        fpm_serve::client::Client::connect(handle.addr, Duration::from_secs(10)).expect("connect");
+    client
+        .register_inline(
+            "pipe",
+            &[
+                ("A".into(), vec![(1e3, 200.0), (1e6, 180.0), (1e9, 0.0)]),
+                ("B".into(), vec![(1e3, 100.0), (1e6, 90.0), (1e9, 0.0)]),
+            ],
+        )
+        .expect("register");
+    drop(client);
+
+    let garbage = [
+        "{\"verb\":\"ping\"}trailing",
+        "[1,2,3]",
+        "{\"verb\":42}",
+        "{\"verb\":\"partition_batch\",\"cluster\":\"pipe\",\"ns\":7}",
+        "\"lonely string\"",
+    ];
+
+    for case in 0..cases {
+        let depth = rng.gen_range(4usize..=12);
+        let mut frames = Vec::with_capacity(depth);
+        let mut burst = String::new();
+        for id in 0..depth as u64 {
+            let line = match rng.gen_range(0u8..5) {
+                // Warm sizes: replies may be inline (cache hit) or solved.
+                0 | 1 => {
+                    let n = 100_000 + 1_000 * rng.gen_range(0u64..4);
+                    frames.push(Frame::Ok(id));
+                    format!(
+                        "{{\"id\":{id},\"verb\":\"partition\",\"cluster\":\"pipe\",\"n\":{n},\"deadline_ms\":30000}}"
+                    )
+                }
+                2 => {
+                    let ns = format!("[{},{}]", 100_000, 101_000 + 1_000 * rng.gen_range(0u64..3));
+                    frames.push(Frame::Ok(id));
+                    format!(
+                        "{{\"id\":{id},\"verb\":\"partition_batch\",\"cluster\":\"pipe\",\"ns\":{ns},\"deadline_ms\":30000}}"
+                    )
+                }
+                3 => {
+                    frames.push(Frame::Err(id));
+                    format!("{{\"id\":{id},\"verb\":\"partition\",\"cluster\":\"nope\",\"n\":10}}")
+                }
+                _ => {
+                    frames.push(Frame::Garbage);
+                    garbage[rng.gen_range(0usize..garbage.len())].to_owned()
+                }
+            };
+            burst.push_str(&line);
+            burst.push('\n');
+        }
+
+        // Deliver the burst in random segments: sometimes everything at
+        // once, sometimes byte-by-byte across a request boundary.
+        let stream = TcpStream::connect(handle.addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+        let mut writer = stream.try_clone().expect("clone");
+        let bytes = burst.as_bytes();
+        let mut sent = 0usize;
+        while sent < bytes.len() {
+            let chunk = rng.gen_range(1usize..=(bytes.len() - sent).min(512));
+            writer.write_all(&bytes[sent..sent + chunk]).expect("send segment");
+            writer.flush().expect("flush");
+            sent += chunk;
+            if rng.gen_range(0u8..4) == 0 {
+                std::thread::sleep(Duration::from_micros(rng.gen_range(0u64..500)));
+            }
+        }
+
+        let mut reader = BufReader::new(stream);
+        for (i, frame) in frames.iter().enumerate() {
+            let mut reply = String::new();
+            reader.read_line(&mut reply).expect("read reply");
+            assert!(!reply.is_empty(), "case {case}: connection died before reply {i}");
+            let v = Json::parse(&reply)
+                .unwrap_or_else(|e| panic!("case {case} reply {i}: unparsable {reply:?}: {e}"));
+            let ok = v.get("ok").and_then(Json::as_bool);
+            let id = v.get("id").and_then(Json::as_u64);
+            match frame {
+                Frame::Ok(want) => {
+                    assert_eq!(ok, Some(true), "case {case} reply {i}: {reply:?}");
+                    assert_eq!(id, Some(*want), "case {case} reply {i}: id out of order");
+                }
+                Frame::Err(want) => {
+                    assert_eq!(ok, Some(false), "case {case} reply {i}: {reply:?}");
+                    assert_eq!(id, Some(*want), "case {case} reply {i}: id out of order");
+                    assert_eq!(
+                        v.get("error").and_then(Json::as_str),
+                        Some("not_found"),
+                        "case {case} reply {i}: {reply:?}"
+                    );
+                }
+                Frame::Garbage => {
+                    assert_eq!(ok, Some(false), "case {case} reply {i}: {reply:?}");
+                    let code = v.get("error").and_then(Json::as_str).unwrap_or("");
+                    assert!(!code.is_empty(), "case {case} reply {i}: uncoded {reply:?}");
+                }
+            }
+        }
+    }
+
+    // The server must still answer cleanly after every mutated burst.
+    let mut client =
+        fpm_serve::client::Client::connect(handle.addr, Duration::from_secs(10)).expect("connect");
+    client.ping().expect("server alive after pipelined fuzzing");
+    let stats = handle.shutdown_and_join();
+    assert!(
+        stats.get("pipeline_depth_peak").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "bursts must register in pipeline metrics"
+    );
 }
