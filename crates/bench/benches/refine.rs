@@ -1,0 +1,120 @@
+//! Bench of online model refinement: the `report` fast path must be cheap
+//! enough to sit on the serving hot path. Three refiner code paths are
+//! measured in isolation (in-band absorb, knot-merge refit, insert +
+//! invariant repair), then the registry's full `report` round-trip — the
+//! clone-and-swap that bumps the epoch and re-fingerprints the cluster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpm_core::speed::{ModelRefiner, PiecewiseLinearSpeed, RefineConfig, SpeedFunction};
+use fpm_serve::protocol::{ClusterRefView, ClusterSpec, WireModel};
+use fpm_serve::registry::Registry;
+use std::hint::black_box;
+
+/// A valid piece-wise model with `n` knots: gently decaying speed, so
+/// s(x)/x is strictly decreasing and any mid-segment slowdown is
+/// admissible.
+fn model_with_knots(n: usize) -> PiecewiseLinearSpeed {
+    let knots: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let x = 1_000.0 * (i + 1) as f64;
+            let s = 100.0 * (1.0 - 0.3 * i as f64 / (n - 1) as f64);
+            (x, s)
+        })
+        .collect();
+    PiecewiseLinearSpeed::new(knots).expect("valid bench model")
+}
+
+fn bench_refiner_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refiner_observe");
+    // First-sight refits: the corroboration queue is exercised by the
+    // registry bench below; here each path runs to completion per call.
+    let cfg = RefineConfig { corroboration: 1, ..RefineConfig::default() };
+    for n in [16usize, 128, 1024] {
+        let model = model_with_knots(n);
+        // In-band: the observation matches the prediction exactly and is
+        // absorbed without touching the model.
+        let x_knot = 1_000.0 * (n / 2) as f64;
+        group.bench_with_input(BenchmarkId::new("in_band", n), &model, |bench, model| {
+            let mut refiner = ModelRefiner::new(cfg);
+            let s = model.speed(x_knot);
+            bench.iter(|| black_box(refiner.observe(model, x_knot, s)))
+        });
+        // Merge: the observation lands on an existing knot 20% slow; the
+        // refit pins that knot and repairs the invariant around it.
+        group.bench_with_input(BenchmarkId::new("merge_refit", n), &model, |bench, model| {
+            let mut refiner = ModelRefiner::new(cfg);
+            let s = model.speed(x_knot) * 0.8;
+            bench.iter(|| black_box(refiner.observe(model, x_knot, s)))
+        });
+        // Insert: mid-segment observation 30% slow inserts a new knot and
+        // clamps every stale knot the anchored repair walks over.
+        let x_mid = x_knot + 500.0;
+        group.bench_with_input(BenchmarkId::new("insert_refit", n), &model, |bench, model| {
+            let mut refiner = ModelRefiner::new(cfg);
+            let s = model.speed(x_mid) * 0.7;
+            bench.iter(|| black_box(refiner.observe(model, x_mid, s)))
+        });
+    }
+    group.finish();
+}
+
+/// The full serving-layer round-trip: corroboration queue, cluster
+/// clone-and-swap, fingerprint recomputation, epoch bump.
+fn bench_registry_report(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry_report");
+    for machines in [4usize, 16] {
+        let registry = Registry::new(8);
+        let spec = ClusterSpec::Inline(
+            (0..machines)
+                .map(|m| WireModel {
+                    name: format!("M{m}"),
+                    knots: model_with_knots(64).knots().to_vec(),
+                })
+                .collect(),
+        );
+        registry.register("bench", &spec).expect("register bench cluster");
+        let x = 32_000.0;
+        let s = model_with_knots(64).speed(x);
+
+        // Rejected path: an in-band report is absorbed — no clone, no
+        // epoch movement. This is the steady-state cost of telemetry from
+        // a healthy cluster.
+        group.bench_with_input(
+            BenchmarkId::new("in_band_reject", machines),
+            &registry,
+            |bench, registry| {
+                let elapsed_us = x / s * 1e6;
+                bench.iter(|| {
+                    black_box(
+                        registry
+                            .report(ClusterRefView::Name("bench"), 0, x, elapsed_us)
+                            .expect("report"),
+                    )
+                })
+            },
+        );
+        // Accepted path: two corroborating slow observations refit the
+        // model, then two fast ones refit it back — four reports and two
+        // epoch bumps per iteration, returning to the starting state.
+        group.bench_with_input(
+            BenchmarkId::new("refit_round_trip", machines),
+            &registry,
+            |bench, registry| {
+                bench.iter(|| {
+                    for s_obs in [s * 0.8, s * 0.8, s, s] {
+                        let elapsed_us = x / s_obs * 1e6;
+                        black_box(
+                            registry
+                                .report(ClusterRefView::Name("bench"), 0, x, elapsed_us)
+                                .expect("report"),
+                        );
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refiner_paths, bench_registry_report);
+criterion_main!(benches);

@@ -5,7 +5,7 @@ use std::process::ExitCode;
 
 use fpm_cli::commands;
 use fpm_cli::parse_models;
-use fpm_cli::serve_cmd::{self, LoadgenOptions, ServeOptions};
+use fpm_cli::serve_cmd::{self, LoadgenOptions, ReportOptions, ServeOptions};
 use fpm_core::planner::AlgorithmId;
 
 const HELP: &str = "\
@@ -22,6 +22,9 @@ USAGE:
     fpm serve       [--addr HOST:PORT] [--model FILE] [--cluster NAME]
                     [--cache CAP] [--queue CAP] [--deadline-ms MS]
                                           (partition daemon; stop with the shutdown verb)
+    fpm report      --x ELEMENTS --elapsed-us MICROS [--addr HOST:PORT]
+                    [--cluster NAME] [--machine IDX]
+                                          (feed an observed run back into the daemon's model)
     fpm loadgen     [--addr HOST:PORT] [--cluster NAME] [--register TESTBED-APP]
                     [--workers K] [--requests N] [--distinct-n D] [--seed S]
                     [--algorithm A] [--deadline-ms MS] [--shutdown]
@@ -172,6 +175,31 @@ fn run() -> Result<(), String> {
                 println!("fpm serve: listening on {addr}");
             })?;
             println!("{metrics}");
+            Ok(())
+        }
+        "report" => {
+            let mut opts = ReportOptions::default();
+            if let Some(addr) = flags.get("addr") {
+                opts.addr = addr.clone();
+            }
+            if let Some(name) = flags.get("cluster") {
+                opts.cluster = name.clone();
+            }
+            if let Some(v) = flags.get("machine") {
+                opts.machine = v.parse().map_err(|_| "unparsable --machine".to_owned())?;
+            }
+            opts.x = flags
+                .get("x")
+                .ok_or("--x ELEMENTS is required")?
+                .parse()
+                .map_err(|_| "unparsable --x".to_owned())?;
+            opts.elapsed_us = flags
+                .get("elapsed-us")
+                .ok_or("--elapsed-us MICROS is required")?
+                .parse()
+                .map_err(|_| "unparsable --elapsed-us".to_owned())?;
+            let out = serve_cmd::report(&opts)?;
+            print!("{out}");
             Ok(())
         }
         "loadgen" => {

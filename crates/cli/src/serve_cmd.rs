@@ -84,6 +84,54 @@ pub fn serve(
     Ok(handle.shutdown_and_join().to_string())
 }
 
+/// Options for `fpm report`.
+#[derive(Debug, Clone)]
+pub struct ReportOptions {
+    /// Server address.
+    pub addr: String,
+    /// Cluster holding the machine that ran the workload.
+    pub cluster: String,
+    /// Machine index inside the cluster.
+    pub machine: u64,
+    /// Elements processed.
+    pub x: f64,
+    /// Observed wall time, microseconds.
+    pub elapsed_us: f64,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7171".to_owned(),
+            cluster: "default".to_owned(),
+            machine: 0,
+            x: 0.0,
+            elapsed_us: 0.0,
+        }
+    }
+}
+
+/// Sends one observed execution to a running daemon and renders the
+/// refiner's verdict.
+pub fn report(opts: &ReportOptions) -> Result<String, String> {
+    let addr: SocketAddr =
+        opts.addr.parse().map_err(|e| format!("bad --addr {:?}: {e}", opts.addr))?;
+    let mut client = Client::connect(addr, Duration::from_secs(30))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let reply = client
+        .report(&opts.cluster, opts.machine, opts.x, opts.elapsed_us)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let verdict = if reply.accepted { "accepted" } else { "rejected" };
+    let _ = writeln!(
+        out,
+        "report: {verdict} ({})  machine {}  epoch {}",
+        reply.reason, reply.machine, reply.epoch,
+    );
+    let _ = writeln!(out, "fingerprint {}", reply.fingerprint);
+    Ok(out)
+}
+
 /// Options for `fpm loadgen`.
 #[derive(Debug, Clone)]
 pub struct LoadgenOptions {
@@ -240,6 +288,48 @@ mod tests {
         client.shutdown().unwrap();
         let metrics = server.join().unwrap().unwrap();
         assert!(metrics.contains("partition_requests"), "{metrics}");
+    }
+
+    #[test]
+    fn report_command_round_trips_refinement() {
+        let models = crate::parse_models("A 1000:200 1e6:180 1e8:0\nB 1000:100 1e6:90 1e8:0\n")
+            .unwrap();
+        let opts = ServeOptions {
+            addr: "127.0.0.1:0".to_owned(),
+            preload: Some(models),
+            cluster: "obs".to_owned(),
+            ..ServeOptions::default()
+        };
+        let (tx, rx) = mpsc::channel();
+        let server = std::thread::spawn(move || {
+            serve(&opts, move |addr| tx.send(addr).unwrap())
+        });
+        let addr = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        // Machine A sustains only 60% of its modelled speed: two matching
+        // reports at the same size corroborate and re-fit the band.
+        let base = ReportOptions {
+            addr: addr.to_string(),
+            cluster: "obs".to_owned(),
+            machine: 0,
+            x: 500_000.0,
+            elapsed_us: 500_000.0 / (180.0 * 0.6) * 1e6,
+        };
+        let first = report(&base).unwrap();
+        assert!(first.contains("rejected (pending)"), "{first}");
+        assert!(first.contains("epoch 0"), "{first}");
+        let second = report(&base).unwrap();
+        assert!(second.contains("accepted (refined)"), "{second}");
+        assert!(second.contains("machine A"), "{second}");
+        assert!(second.contains("epoch 1"), "{second}");
+        let missing = report(&ReportOptions {
+            cluster: "ghost".to_owned(),
+            ..base
+        })
+        .unwrap_err();
+        assert!(missing.contains("not_found"), "{missing}");
+        let mut client = Client::connect(addr, Duration::from_secs(10)).unwrap();
+        client.shutdown().unwrap();
+        server.join().unwrap().unwrap();
     }
 
     #[test]

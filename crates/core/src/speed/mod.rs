@@ -12,7 +12,10 @@
 //! * [`SpeedBand`] — a band of curves capturing workload fluctuation
 //!   (paper Fig. 2);
 //! * [`builder`] — the adaptive trisection procedure of §3.1 that
-//!   constructs a piece-wise linear band from live measurements.
+//!   constructs a piece-wise linear band from live measurements;
+//! * [`refine`] — the online feedback loop that locally re-fits a
+//!   piece-wise model from observed execution times once the cluster
+//!   drifts away from the measured band.
 
 mod analytic;
 mod band;
@@ -21,6 +24,7 @@ mod cached;
 mod function;
 mod hierarchical;
 mod piecewise;
+pub mod refine;
 pub mod surface;
 
 pub use analytic::AnalyticSpeed;
@@ -30,6 +34,7 @@ pub use cached::{CachedSpeed, SharedCachedSpeed};
 pub use function::{check_single_intersection, ConstantSpeed, ScaledSpeed, SpeedFunction};
 pub use hierarchical::{HierarchicalSpeed, MemoryLevel};
 pub use piecewise::PiecewiseLinearSpeed;
+pub use refine::{ModelRefiner, RefineConfig, RefineOutcome, RejectReason};
 pub use surface::{
     partition_column_strips, ColumnStrips, ElementCountSurface, FixedN1, FixedN2, SpeedSurface,
 };

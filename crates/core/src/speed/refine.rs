@@ -1,0 +1,577 @@
+//! Online refinement of piece-wise linear speed models from observed
+//! execution times.
+//!
+//! The paper builds a speed band once (§3.1) and the partitioners trust it
+//! forever, but real clusters drift: background load appears, frequencies
+//! change, nodes age. The self-adaptable follow-up work (Lastovetsky &
+//! Reddy, arXiv:1109.3074) closes the loop by re-fitting the piece-wise
+//! model from the execution times the application observes anyway. This
+//! module is that loop's core: a [`ModelRefiner`] consumes one observation
+//! `(x, s_obs)` at a time and produces a locally re-fitted
+//! [`PiecewiseLinearSpeed`] when the evidence warrants it.
+//!
+//! The re-fit mirrors the §3.1 trisection builder in reverse: instead of
+//! measuring new points inside an interval, it takes the *band segment
+//! containing the observed `x`*, rescales its endpoints by the observed
+//! ratio `s_obs / s_model(x)`, inserts an exact knot at `x`, and repairs
+//! the neighbourhood so the single-intersection invariant (`s(x)/x`
+//! strictly decreasing) survives — stale knots that contradict the fresh
+//! evidence are projected onto the invariant boundary (any admissible
+//! truth lies inside it, so the clamp never fabricates capacity) while
+//! keeping their positions, the band structure the §3.1 builder measured.
+//!
+//! Two gates keep a single noisy sample from corrupting a band:
+//!
+//! * **fluctuation bound** — observations within the model's fluctuation
+//!   band (±[`RefineConfig::fluctuation`] relative, the builder's ε) are
+//!   normal workload noise and trigger no re-fit;
+//! * **outlier gate** — observations further than a factor of
+//!   [`RefineConfig::max_ratio`] from the prediction are discarded
+//!   outright, and anything in between must be *corroborated*: the refiner
+//!   holds the sample pending until [`RefineConfig::corroboration`]
+//!   consistent observations from the same region agree on the deviation.
+//!
+//! [`builder::repair_shape`]: super::builder::repair_shape
+
+use super::function::SpeedFunction;
+use super::piecewise::PiecewiseLinearSpeed;
+
+/// Tuning knobs for [`ModelRefiner`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineConfig {
+    /// Relative half-width of the fluctuation band around the model's
+    /// prediction. Observations inside the band confirm the model and are
+    /// absorbed without a re-fit. Matches the builder's default ε.
+    pub fluctuation: f64,
+    /// Hard outlier gate: observations whose speed differs from the
+    /// prediction by more than this factor (either way) are discarded.
+    pub max_ratio: f64,
+    /// Number of consistent out-of-band observations required before a
+    /// re-fit is applied. `1` refits on first sight; the default `2` means
+    /// a lone noisy sample can never move the model.
+    pub corroboration: usize,
+    /// Relative agreement tolerance between corroborating observations
+    /// (compared as deviation ratios `s_obs / s_model`).
+    pub agreement: f64,
+    /// Corroborating observations must come from the same region of the
+    /// size axis: abscissas within a factor of this of each other.
+    pub region: f64,
+    /// Maximum pending (uncorroborated) observations retained; the oldest
+    /// is dropped first.
+    pub max_pending: usize,
+    /// Observations landing within this relative distance of an existing
+    /// knot update that knot in place instead of inserting a new one.
+    pub knot_merge: f64,
+    /// Upper bound on the refined model's knot count; re-fits that would
+    /// exceed it are rejected as unrepairable.
+    pub max_knots: usize,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        Self {
+            fluctuation: 0.05,
+            max_ratio: 16.0,
+            corroboration: 2,
+            agreement: 0.1,
+            region: 4.0,
+            max_pending: 8,
+            knot_merge: 1e-3,
+            max_knots: 4096,
+        }
+    }
+}
+
+impl RefineConfig {
+    /// Checks the configuration for internal consistency.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if !(self.fluctuation.is_finite() && self.fluctuation >= 0.0 && self.fluctuation < 1.0) {
+            return Err("fluctuation must be in [0, 1)");
+        }
+        if !(self.max_ratio.is_finite() && self.max_ratio > 1.0) {
+            return Err("max_ratio must be a finite factor > 1");
+        }
+        if self.corroboration == 0 {
+            return Err("corroboration must be at least 1");
+        }
+        if !(self.agreement.is_finite() && self.agreement > 0.0) {
+            return Err("agreement must be positive and finite");
+        }
+        if !(self.region.is_finite() && self.region >= 1.0) {
+            return Err("region must be a finite factor >= 1");
+        }
+        if self.max_knots < 2 {
+            return Err("max_knots must be at least 2");
+        }
+        Ok(())
+    }
+}
+
+/// Why an observation did not produce a re-fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The observation is inside the fluctuation band — the model already
+    /// explains it.
+    InBand,
+    /// Out of band but not yet corroborated; held pending.
+    Pending,
+    /// Beyond the hard outlier gate.
+    Outlier,
+    /// The observed speed was zero or negative (a dead or failed probe).
+    NonPositive,
+    /// The model predicts zero speed at `x` (beyond the modelled range),
+    /// so no ratio can be formed.
+    OutOfRange,
+    /// The observation itself was malformed (non-finite or non-positive
+    /// `x`, non-finite speed).
+    Invalid,
+    /// The local re-fit could not restore the model invariants.
+    Unrepairable,
+}
+
+impl RejectReason {
+    /// Stable identifier used in wire replies and logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::InBand => "in_band",
+            RejectReason::Pending => "pending",
+            RejectReason::Outlier => "outlier",
+            RejectReason::NonPositive => "nonpositive_speed",
+            RejectReason::OutOfRange => "out_of_range",
+            RejectReason::Invalid => "invalid_observation",
+            RejectReason::Unrepairable => "unrepairable",
+        }
+    }
+}
+
+/// Result of feeding one observation to [`ModelRefiner::observe`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RefineOutcome {
+    /// The observation was accepted and the model locally re-fitted.
+    Refined(PiecewiseLinearSpeed),
+    /// The observation did not change the model.
+    Rejected(RejectReason),
+}
+
+impl RefineOutcome {
+    /// Whether the observation produced a re-fit.
+    pub fn accepted(&self) -> bool {
+        matches!(self, RefineOutcome::Refined(_))
+    }
+
+    /// Stable identifier for the outcome ("refined" or the reject reason).
+    pub fn reason(&self) -> &'static str {
+        match self {
+            RefineOutcome::Refined(_) => "refined",
+            RefineOutcome::Rejected(r) => r.as_str(),
+        }
+    }
+}
+
+/// Incremental refiner for one machine's piece-wise linear speed model.
+///
+/// The refiner is a small state machine: it remembers pending
+/// (out-of-band, not yet corroborated) observations and acceptance
+/// counters, but never the model itself — the caller owns the model and
+/// swaps in the re-fitted one returned by [`RefineOutcome::Refined`].
+/// Cloning the refiner clones the pending queue, which is what the serve
+/// registry's copy-on-write cluster snapshots rely on.
+#[derive(Debug, Clone)]
+pub struct ModelRefiner {
+    cfg: RefineConfig,
+    /// Out-of-band observations awaiting corroboration, as `(x, s_obs)`.
+    pending: Vec<(f64, f64)>,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl ModelRefiner {
+    /// Creates a refiner with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`RefineConfig::validate`] to check first.
+    pub fn new(cfg: RefineConfig) -> Self {
+        cfg.validate().expect("invalid RefineConfig");
+        Self { cfg, pending: Vec::new(), accepted: 0, rejected: 0 }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RefineConfig {
+        &self.cfg
+    }
+
+    /// Observations that produced a re-fit so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Observations that were absorbed or discarded without a re-fit.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Currently pending (uncorroborated) observations.
+    pub fn pending(&self) -> &[(f64, f64)] {
+        &self.pending
+    }
+
+    /// Feeds one observation `(x, s_obs)` against `model` and decides
+    /// whether to re-fit.
+    ///
+    /// `s_obs` is an absolute speed (elements per second), typically
+    /// derived from a measured execution time as `x / elapsed_seconds` —
+    /// the trait convention `time(x) = x / s(x)` inverted.
+    pub fn observe(
+        &mut self,
+        model: &PiecewiseLinearSpeed,
+        x: f64,
+        s_obs: f64,
+    ) -> RefineOutcome {
+        if !x.is_finite() || x <= 0.0 || !s_obs.is_finite() {
+            return self.reject(RejectReason::Invalid);
+        }
+        if s_obs <= 0.0 {
+            return self.reject(RejectReason::NonPositive);
+        }
+        let pred = model.speed(x);
+        if !(pred.is_finite() && pred > 0.0) {
+            return self.reject(RejectReason::OutOfRange);
+        }
+        let ratio = s_obs / pred;
+        if (ratio - 1.0).abs() <= self.cfg.fluctuation {
+            return self.reject(RejectReason::InBand);
+        }
+        if !(ratio.is_finite() && ratio <= self.cfg.max_ratio && ratio >= 1.0 / self.cfg.max_ratio)
+        {
+            return self.reject(RejectReason::Outlier);
+        }
+        if self.cfg.corroboration > 1 {
+            let agreeing = 1 + self
+                .pending
+                .iter()
+                .filter(|&&(px, ps)| self.corroborates(model, px, ps, x, ratio))
+                .count();
+            if agreeing < self.cfg.corroboration {
+                if self.pending.len() >= self.cfg.max_pending {
+                    self.pending.remove(0);
+                }
+                self.pending.push((x, s_obs));
+                return self.reject(RejectReason::Pending);
+            }
+        }
+        match refit(model, x, s_obs, &self.cfg) {
+            Some(refined) => {
+                self.accepted += 1;
+                self.pending.clear();
+                RefineOutcome::Refined(refined)
+            }
+            None => self.reject(RejectReason::Unrepairable),
+        }
+    }
+
+    fn reject(&mut self, reason: RejectReason) -> RefineOutcome {
+        self.rejected += 1;
+        RefineOutcome::Rejected(reason)
+    }
+
+    /// Whether a pending observation `(px, ps)` backs up a fresh one at
+    /// `x` with deviation `ratio`: same region of the size axis and an
+    /// agreeing deviation ratio.
+    fn corroborates(
+        &self,
+        model: &PiecewiseLinearSpeed,
+        px: f64,
+        ps: f64,
+        x: f64,
+        ratio: f64,
+    ) -> bool {
+        let span = if px > x { px / x } else { x / px };
+        if span > self.cfg.region {
+            return false;
+        }
+        let ppred = model.speed(px);
+        if !(ppred.is_finite() && ppred > 0.0) {
+            return false;
+        }
+        let pratio = ps / ppred;
+        // Same side of the band and ratios within the agreement tolerance.
+        (pratio - 1.0) * (ratio - 1.0) > 0.0
+            && (pratio / ratio - 1.0).abs() <= self.cfg.agreement
+    }
+}
+
+/// Locally re-fits `model` so that `speed(x) == s_obs`, scaling the band
+/// segment containing `x` by the observed ratio and dropping stale knots
+/// that contradict the fresh evidence.
+///
+/// Returns `None` when no valid model can be produced (the caller keeps
+/// the old model).
+fn refit(
+    model: &PiecewiseLinearSpeed,
+    x: f64,
+    s_obs: f64,
+    cfg: &RefineConfig,
+) -> Option<PiecewiseLinearSpeed> {
+    let pred = model.speed(x);
+    let r = s_obs / pred;
+    let mut pts: Vec<(f64, f64)> = model.knots().to_vec();
+
+    // Does the observation land on an existing knot (within tolerance)?
+    let merge_idx = pts
+        .iter()
+        .position(|&(xk, _)| (x - xk).abs() <= cfg.knot_merge * xk);
+
+    // `anchor` is the index of the knot pinned to the observation; its
+    // neighbours (the containing band segment's endpoints) are rescaled by
+    // the observed ratio so the whole segment tracks the drift, not just
+    // the single point.
+    let anchor = match merge_idx {
+        // On a knot the evidence pins that knot alone: the knot is shared
+        // by two segments, and rescaling both far endpoints would
+        // extrapolate one observation across two segments (and overwrite
+        // fresher evidence sitting on a neighbouring knot).
+        Some(k) => {
+            pts[k].1 = s_obs;
+            k
+        }
+        None => {
+            let at = pts.partition_point(|&(xk, _)| xk < x);
+            if at > 0 {
+                scale_speed(&mut pts[at - 1], r);
+            }
+            if at < pts.len() {
+                scale_speed(&mut pts[at], r);
+            }
+            pts.insert(at, (x, s_obs));
+            at
+        }
+    };
+
+    // Anchored repair: keep the observation knot and sweep outward,
+    // projecting knots that would break the strictly-decreasing s/x
+    // invariant onto the invariant boundary instead of dropping them.
+    // With the anchor pinned to fresh evidence, any admissible truth
+    // satisfies the same boundary, so a clamped speed always lies between
+    // the truth and the stale value — the knot's position (the band
+    // structure the builder measured) survives for later observations to
+    // re-fit exactly. Interior zero speeds are dropped; a zero tail knot
+    // (the capacity limit) never violates the ceiling and is kept.
+    let g = |p: (f64, f64)| p.1 / p.0;
+    let (ax, asp) = pts[anchor];
+    let ga = asp / ax;
+
+    let mut kept: Vec<(f64, f64)> = Vec::with_capacity(pts.len());
+    let mut floor = ga;
+    for &p in pts[..anchor].iter().rev() {
+        if p.1 <= 0.0 {
+            continue; // interior zero speed: unrepairable knot, drop
+        }
+        let mut q = p;
+        if g(q) <= floor {
+            q.1 = q.0 * floor * (1.0 + 1e-9);
+        }
+        kept.push(q);
+        floor = g(q);
+    }
+    kept.reverse();
+    kept.push((ax, asp));
+    let mut ceil = ga;
+    for &p in &pts[anchor + 1..] {
+        let mut q = p;
+        if q.1 > 0.0 && g(q) >= ceil {
+            q.1 = q.0 * ceil * (1.0 - 1e-9);
+        }
+        kept.push(q);
+        if q.1 == 0.0 {
+            break; // only the final knot may be zero
+        }
+        ceil = g(q);
+    }
+
+    if kept.len() < 2 || kept.len() > cfg.max_knots {
+        return None;
+    }
+    PiecewiseLinearSpeed::new(kept).ok()
+}
+
+fn scale_speed(p: &mut (f64, f64), r: f64) {
+    p.1 *= r;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speed::function::check_single_intersection;
+
+    fn model() -> PiecewiseLinearSpeed {
+        PiecewiseLinearSpeed::new(vec![
+            (1_000.0, 400.0),
+            (100_000.0, 360.0),
+            (1_000_000.0, 250.0),
+            (10_000_000.0, 0.0),
+        ])
+        .unwrap()
+    }
+
+    fn refiner() -> ModelRefiner {
+        ModelRefiner::new(RefineConfig::default())
+    }
+
+    #[test]
+    fn in_band_observations_do_not_refit() {
+        let m = model();
+        let mut rf = refiner();
+        let pred = m.speed(50_000.0);
+        let out = rf.observe(&m, 50_000.0, pred * 1.03);
+        assert_eq!(out, RefineOutcome::Rejected(RejectReason::InBand));
+        assert_eq!(rf.accepted(), 0);
+        assert_eq!(rf.rejected(), 1);
+    }
+
+    #[test]
+    fn single_out_of_band_sample_is_held_pending() {
+        let m = model();
+        let mut rf = refiner();
+        let pred = m.speed(50_000.0);
+        let out = rf.observe(&m, 50_000.0, pred * 0.7);
+        assert_eq!(out, RefineOutcome::Rejected(RejectReason::Pending));
+        assert_eq!(rf.pending().len(), 1);
+    }
+
+    #[test]
+    fn corroborated_drift_refits_exactly() {
+        let m = model();
+        let mut rf = refiner();
+        let x = 50_000.0;
+        let s = m.speed(x) * 0.7;
+        assert!(!rf.observe(&m, x, s).accepted());
+        let out = rf.observe(&m, x, s);
+        let RefineOutcome::Refined(refined) = out else {
+            panic!("second consistent sample must refit, got {out:?}");
+        };
+        assert!((refined.speed(x) - s).abs() <= 1e-9 * s);
+        assert_eq!(rf.accepted(), 1);
+        assert!(rf.pending().is_empty());
+        assert!(check_single_intersection(&refined, 1.0, 9e6, 300).is_ok());
+    }
+
+    #[test]
+    fn refit_scales_the_containing_segment() {
+        let m = model();
+        let mut rf = refiner();
+        let x = 500_000.0;
+        let s = m.speed(x) * 0.6;
+        rf.observe(&m, x, s);
+        let RefineOutcome::Refined(refined) = rf.observe(&m, x, s) else {
+            panic!("expected refit");
+        };
+        // Both endpoints of the containing segment scaled by 0.6.
+        assert!((refined.speed(100_000.0) - 360.0 * 0.6).abs() < 1e-9);
+        assert!((refined.speed(1_000_000.0) - 250.0 * 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extreme_outliers_are_discarded_outright() {
+        let m = model();
+        let mut rf = refiner();
+        let x = 50_000.0;
+        let wild = m.speed(x) * 100.0;
+        assert_eq!(rf.observe(&m, x, wild), RefineOutcome::Rejected(RejectReason::Outlier));
+        assert_eq!(rf.observe(&m, x, wild), RefineOutcome::Rejected(RejectReason::Outlier));
+        assert_eq!(rf.accepted(), 0, "outliers never corroborate each other");
+    }
+
+    #[test]
+    fn disagreeing_samples_do_not_corroborate() {
+        let m = model();
+        let mut rf = refiner();
+        let x = 50_000.0;
+        let pred = m.speed(x);
+        assert!(!rf.observe(&m, x, pred * 0.7).accepted());
+        // Opposite side of the band: no corroboration, held pending too.
+        assert_eq!(
+            rf.observe(&m, x, pred * 1.4),
+            RefineOutcome::Rejected(RejectReason::Pending)
+        );
+    }
+
+    #[test]
+    fn malformed_observations_are_rejected() {
+        let m = model();
+        let mut rf = refiner();
+        assert_eq!(rf.observe(&m, f64::NAN, 1.0), RefineOutcome::Rejected(RejectReason::Invalid));
+        assert_eq!(rf.observe(&m, -5.0, 1.0), RefineOutcome::Rejected(RejectReason::Invalid));
+        assert_eq!(
+            rf.observe(&m, 10.0, f64::INFINITY),
+            RefineOutcome::Rejected(RejectReason::Invalid)
+        );
+        assert_eq!(
+            rf.observe(&m, 10.0, 0.0),
+            RefineOutcome::Rejected(RejectReason::NonPositive)
+        );
+        // Beyond the modelled range the prediction is zero: no ratio.
+        assert_eq!(
+            rf.observe(&m, 5e7, 10.0),
+            RefineOutcome::Rejected(RejectReason::OutOfRange)
+        );
+        assert_eq!(rf.accepted(), 0);
+    }
+
+    #[test]
+    fn refined_models_always_satisfy_invariants() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x5EED_4EF1);
+        let mut m = model();
+        let mut rf = ModelRefiner::new(RefineConfig { corroboration: 1, ..Default::default() });
+        let mut refits = 0usize;
+        for _ in 0..500 {
+            let x = 10f64.powf(rng.gen_range(2.0..7.2));
+            let factor = rng.gen_range(0.3..3.0);
+            let s = m.speed(x).max(1e-9) * factor;
+            if let RefineOutcome::Refined(next) = rf.observe(&m, x, s) {
+                // Construction already validated; double-check the paper's
+                // geometric property holds end to end.
+                assert!(check_single_intersection(&next, 1.0, next.max_size() * 0.9, 100).is_ok());
+                m = next;
+                refits += 1;
+            }
+        }
+        assert!(refits > 50, "expected plenty of accepted refits, got {refits}");
+    }
+
+    #[test]
+    fn uniform_drift_converges_to_scaled_truth() {
+        // The truth is the registered model slowed to 65%; feeding
+        // corroborated observations at a few sizes must reproduce the
+        // scaled curve at those sizes.
+        let m0 = model();
+        let truth: Vec<(f64, f64)> =
+            m0.knots().iter().map(|&(x, s)| (x, s * 0.65)).collect();
+        let truth = PiecewiseLinearSpeed::new(truth).unwrap();
+        let mut m = m0;
+        let mut rf = refiner();
+        for &x in &[2_000.0, 50_000.0, 400_000.0, 3_000_000.0] {
+            let s = truth.speed(x);
+            for _ in 0..2 {
+                if let RefineOutcome::Refined(next) = rf.observe(&m, x, s) {
+                    m = next;
+                }
+            }
+            assert!(
+                (m.speed(x) - s).abs() <= 1e-9 * s,
+                "model must match truth at reported size {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn config_validation_catches_nonsense() {
+        assert!(RefineConfig { fluctuation: 1.5, ..Default::default() }.validate().is_err());
+        assert!(RefineConfig { max_ratio: 0.5, ..Default::default() }.validate().is_err());
+        assert!(RefineConfig { corroboration: 0, ..Default::default() }.validate().is_err());
+        assert!(RefineConfig { region: 0.5, ..Default::default() }.validate().is_err());
+        assert!(RefineConfig::default().validate().is_ok());
+    }
+}

@@ -1,8 +1,12 @@
 //! Sharded LRU plan cache with single-flight computation.
 //!
-//! Plans are keyed by `(model fingerprint, n, algorithm)` — exactly the
-//! inputs a partition depends on, so a hit is guaranteed bit-identical to
-//! recomputation. The cache is split into [`SHARDS`] independent
+//! Plans are keyed by `(model fingerprint, epoch, n, algorithm)` — exactly
+//! the inputs a partition depends on, so a hit is guaranteed bit-identical
+//! to recomputation. The epoch is the registry's refinement counter: every
+//! accepted `report` bumps it, so plans computed against a pre-refinement
+//! model can never be served for the refined one even in the (already
+//! astronomically unlikely) event of a fingerprint collision between two
+//! epochs of the same cluster. The cache is split into [`SHARDS`] independent
 //! mutex-protected shards (key-hash selects the shard) so concurrent
 //! requests for different clusters never contend.
 //!
@@ -26,6 +30,9 @@ pub const SHARDS: usize = 16;
 pub struct PlanKey {
     /// Model-set fingerprint (already a hash, used for shard selection).
     pub fingerprint: u64,
+    /// Registry refinement epoch of the cluster the plan was solved
+    /// against; a `report` that re-fits a model bumps it.
+    pub epoch: u64,
     /// Problem size.
     pub n: u64,
     /// Algorithm tag from [`fpm_core::planner::AlgorithmId::key_tag`].
@@ -34,9 +41,13 @@ pub struct PlanKey {
 
 impl PlanKey {
     fn shard(&self) -> usize {
-        // The fingerprint is FNV output, already well mixed; fold in n so
-        // many sizes of one cluster spread across shards.
-        ((self.fingerprint ^ self.n.wrapping_mul(0x9E37_79B9_7F4A_7C15)) as usize) & (SHARDS - 1)
+        // The fingerprint is FNV output, already well mixed; fold in n and
+        // the epoch so many sizes (and successive refinements) of one
+        // cluster spread across shards.
+        ((self.fingerprint
+            ^ self.n.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ self.epoch.wrapping_mul(0xD1B5_4A32_D192_ED03)) as usize)
+            & (SHARDS - 1)
     }
 }
 
@@ -247,7 +258,7 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn key(fp: u64, n: u64) -> PlanKey {
-        PlanKey { fingerprint: fp, n, algo: (0, 0) }
+        PlanKey { fingerprint: fp, epoch: 0, n, algo: (0, 0) }
     }
 
     fn plan(n: u64) -> PlanResult {
@@ -279,11 +290,31 @@ mod tests {
         let (_, s) = cache.get_or_compute(key(2, 7), || plan(7));
         assert_eq!(s, CacheStatus::Miss);
         let (_, s) = cache.get_or_compute(
-            PlanKey { fingerprint: 1, n: 7, algo: (3, 42) },
+            PlanKey { fingerprint: 1, epoch: 0, n: 7, algo: (3, 42) },
             || plan(7),
         );
         assert_eq!(s, CacheStatus::Miss);
         assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn epochs_of_one_model_never_share_a_key() {
+        // Same fingerprint, size and algorithm but a bumped epoch must be
+        // a distinct key: a refined model can never be served a stale plan.
+        let cache = PlanCache::new(64);
+        for epoch in 0..8 {
+            let k = PlanKey { fingerprint: 42, epoch, n: 7, algo: (0, 0) };
+            let (_, s) = cache.get_or_compute(k, || plan(epoch));
+            assert_eq!(s, CacheStatus::Miss, "epoch {epoch} must be a fresh key");
+        }
+        assert_eq!(cache.len(), 8);
+        // And each epoch's entry still round-trips its own plan.
+        for epoch in 0..8 {
+            let k = PlanKey { fingerprint: 42, epoch, n: 7, algo: (0, 0) };
+            let (v, s) = cache.get_or_compute(k, || unreachable!());
+            assert_eq!(s, CacheStatus::Hit);
+            assert_eq!(v.unwrap().counts, vec![epoch]);
+        }
     }
 
     #[test]

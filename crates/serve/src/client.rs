@@ -46,6 +46,22 @@ pub struct RegisterReply {
     pub machines: Vec<String>,
 }
 
+/// A successful `report` reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportReply {
+    /// True when the refiner accepted the observation and re-fit the model.
+    pub accepted: bool,
+    /// `"refined"` on acceptance, otherwise the rejection reason
+    /// (`"in_band"`, `"pending"`, `"outlier"`, …).
+    pub reason: String,
+    /// The cluster's epoch after the report.
+    pub epoch: u64,
+    /// The machine the report applied to.
+    pub machine: String,
+    /// Cluster content fingerprint after the report (changes on refit).
+    pub fingerprint: String,
+}
+
 impl Client {
     /// Connects with a read timeout (covers slow solves; pass generously).
     pub fn connect(addr: SocketAddr, read_timeout: Duration) -> std::io::Result<Self> {
@@ -307,6 +323,28 @@ impl Client {
             .collect())
     }
 
+    /// Reports an observed execution: `x` elements processed in
+    /// `elapsed_us` microseconds on one machine of a registered cluster.
+    /// The server's refiner decides whether the observation re-fits the
+    /// model (bumping the cluster epoch) or is rejected.
+    pub fn report(
+        &mut self,
+        cluster: &str,
+        machine: u64,
+        x: f64,
+        elapsed_us: f64,
+    ) -> Result<ReportReply, ProtoError> {
+        let req = Json::Obj(vec![
+            ("verb".into(), Json::str("report")),
+            ("cluster".into(), Json::str(cluster)),
+            ("machine".into(), Json::uint(machine)),
+            ("x".into(), Json::num(x)),
+            ("elapsed_us".into(), Json::num(elapsed_us)),
+        ]);
+        let v = self.request_ok(&req.to_string())?;
+        parse_report_reply(&v)
+    }
+
     /// Fetches the metrics snapshot.
     pub fn stats(&mut self) -> Result<Json, ProtoError> {
         let v = self.request_ok(r#"{"verb":"stats"}"#)?;
@@ -387,6 +425,30 @@ fn parse_partition_reply(v: &Json) -> Result<PartitionReply, ProtoError> {
     reply.fingerprint =
         v.get("fingerprint").and_then(Json::as_str).unwrap_or_default().to_owned();
     Ok(reply)
+}
+
+fn parse_report_reply(v: &Json) -> Result<ReportReply, ProtoError> {
+    Ok(ReportReply {
+        accepted: v
+            .get("accepted")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| ProtoError::new("internal", "missing accepted"))?,
+        reason: v
+            .get("reason")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_owned(),
+        epoch: v
+            .get("epoch")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ProtoError::new("internal", "missing epoch"))?,
+        machine: v.get("machine").and_then(Json::as_str).unwrap_or_default().to_owned(),
+        fingerprint: v
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_owned(),
+    })
 }
 
 fn parse_register_reply(v: &Json) -> Result<RegisterReply, ProtoError> {
@@ -484,6 +546,46 @@ mod tests {
             assert_eq!(single.fingerprint, batched.fingerprint);
             assert!(piped.cached && batched.cached, "second pass must be warm");
         }
+        handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn report_round_trip_bumps_epoch_and_invalidates_cache() {
+        let handle = spawn(ServerConfig::default()).unwrap();
+        let mut client = Client::connect(handle.addr, Duration::from_secs(10)).unwrap();
+        let reg = client
+            .register_inline(
+                "c1",
+                &[
+                    ("A".into(), vec![(1e3, 200.0), (1e6, 180.0), (1e8, 0.0)]),
+                    ("B".into(), vec![(1e3, 100.0), (1e6, 90.0), (1e8, 0.0)]),
+                ],
+            )
+            .unwrap();
+        let cold = client.partition("c1", 1_000_000, AlgorithmId::Combined, None).unwrap();
+        // Machine A now runs 40% slower than its model says. The refiner
+        // wants corroboration, so the first report only goes pending.
+        let x = cold.counts[0] as f64;
+        let elapsed_us = x / (180.0 * 0.6) * 1e6;
+        let first = client.report("c1", 0, x, elapsed_us).unwrap();
+        assert!(!first.accepted);
+        assert_eq!(first.reason, "pending");
+        assert_eq!(first.epoch, 0);
+        assert_eq!(first.fingerprint, reg.fingerprint);
+        let second = client.report("c1", 0, x, elapsed_us).unwrap();
+        assert!(second.accepted);
+        assert_eq!(second.reason, "refined");
+        assert_eq!(second.epoch, 1);
+        assert_eq!(second.machine, "A");
+        assert_ne!(second.fingerprint, reg.fingerprint);
+        // The refit invalidated the plan cache: same n solves fresh, on the
+        // refined model, so the split shifts away from the slowed machine.
+        let warm = client.partition("c1", 1_000_000, AlgorithmId::Combined, None).unwrap();
+        assert!(!warm.cached);
+        assert_eq!(warm.fingerprint, second.fingerprint);
+        assert!(warm.counts[0] < cold.counts[0], "{:?} vs {:?}", warm.counts, cold.counts);
+        let err = client.report("ghost", 0, 10.0, 10.0).unwrap_err();
+        assert_eq!(err.code, "not_found");
         handle.shutdown_and_join();
     }
 

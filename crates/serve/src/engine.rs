@@ -198,11 +198,14 @@ impl Engine {
         self.queued.load(Ordering::Acquire)
     }
 
-    /// The cache key for one `(cluster, n, algorithm)` request.
+    /// The cache key for one `(cluster, n, algorithm)` request. The
+    /// cluster contributes both its content fingerprint and its refinement
+    /// epoch, so a plan solved before a `report` re-fitted the model can
+    /// never answer a request against the refined one.
     pub fn plan_key(cluster: &RegisteredCluster, n: u64, algorithm: AlgorithmId) -> PlanKey {
         let fp_bits =
             u64::from_str_radix(&cluster.fingerprint, 16).expect("fingerprint is 16 hex digits");
-        PlanKey { fingerprint: fp_bits, n, algo: algorithm.key_tag() }
+        PlanKey { fingerprint: fp_bits, epoch: cluster.epoch, n, algo: algorithm.key_tag() }
     }
 
     /// Non-blocking cache lookup for the event loop's warm path: a
@@ -428,6 +431,60 @@ mod tests {
             .unwrap_err();
         assert_eq!(err2.code, "solve_failed");
         assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn plan_keys_never_collide_across_epochs() {
+        use crate::protocol::ClusterRefView;
+        use fpm_core::speed::SpeedFunction;
+        // Registry invariant: two epochs of the same model never share a
+        // cache key, even though name and size are unchanged.
+        let reg = Registry::new(4);
+        let spec = ClusterSpec::Inline(vec![WireModel {
+            name: "A".into(),
+            knots: vec![(1e3, 200.0), (1e6, 180.0), (1e8, 0.0)],
+        }]);
+        let c0 = reg.register("c", &spec).unwrap();
+        let k0 = Engine::plan_key(&c0, 123_456, AlgorithmId::Combined);
+        let x = 5e5;
+        let slow = c0.models[0].speed(x) * 0.7;
+        let elapsed = x / slow * 1e6;
+        for _ in 0..2 {
+            reg.report(ClusterRefView::Name("c"), 0, x, elapsed).unwrap();
+        }
+        let c1 = reg.lookup_ref(ClusterRefView::Name("c")).unwrap();
+        assert_eq!(c1.epoch, 1);
+        let k1 = Engine::plan_key(&c1, 123_456, AlgorithmId::Combined);
+        assert_ne!(k0, k1, "epoch bump must produce a fresh cache key");
+        assert_ne!(k0.fingerprint, k1.fingerprint, "refit changes the content hash");
+        assert_ne!(k0.epoch, k1.epoch);
+    }
+
+    #[test]
+    fn refined_cluster_is_solved_fresh_not_from_stale_cache() {
+        use crate::protocol::ClusterRefView;
+        use fpm_core::speed::SpeedFunction;
+        let engine = Arc::new(Engine::new(64, EngineConfig::default()));
+        let metrics = Arc::new(Metrics::new());
+        let reg = Registry::new(4);
+        let spec = ClusterSpec::Inline(vec![
+            WireModel { name: "A".into(), knots: vec![(1e3, 200.0), (1e6, 180.0), (1e8, 0.0)] },
+            WireModel { name: "B".into(), knots: vec![(1e3, 100.0), (1e6, 90.0), (1e8, 0.0)] },
+        ]);
+        let c0 = reg.register("c", &spec).unwrap();
+        let stale = engine.partition(&c0, 1_000_000, AlgorithmId::Combined, None, &metrics).unwrap();
+        // Machine A slows to 60%: corroborate and refit.
+        let x = stale.plan.counts[0] as f64;
+        let slow = c0.models[0].speed(x) * 0.6;
+        for _ in 0..2 {
+            reg.report(ClusterRefView::Name("c"), 0, x, x / slow * 1e6).unwrap();
+        }
+        let c1 = reg.lookup_ref(ClusterRefView::Name("c")).unwrap();
+        let fresh = engine.partition(&c1, 1_000_000, AlgorithmId::Combined, None, &metrics).unwrap();
+        assert!(!fresh.cached, "epoch bump must miss the cache");
+        let direct = solve(AlgorithmId::Combined, 1_000_000, &c1.funcs).unwrap();
+        assert_eq!(*fresh.plan, *direct, "refined solve is bit-identical to a cold solve");
+        assert_ne!(fresh.plan.counts, stale.plan.counts, "drifted machine sheds load");
     }
 
     #[test]

@@ -9,9 +9,11 @@
 //!
 //! * [`registry`] — named clusters of speed functions, addressable by name
 //!   or content fingerprint, shared across threads via
-//!   [`fpm_core::speed::SharedCachedSpeed`];
-//! * [`cache`] — a sharded LRU plan cache keyed by `(fingerprint, n,
-//!   algorithm)` with single-flight deduplication of concurrent misses;
+//!   [`fpm_core::speed::SharedCachedSpeed`], refined online by the
+//!   `report` verb with a per-cluster epoch bumped on every accepted
+//!   refinement;
+//! * [`cache`] — a sharded LRU plan cache keyed by `(fingerprint, epoch,
+//!   n, algorithm)` with single-flight deduplication of concurrent misses;
 //! * [`engine`] — bounded admission over the process-wide
 //!   [`fpm_exec::pool::WorkerPool`], with per-request deadlines and load
 //!   shedding;
@@ -38,10 +40,10 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use client::{Client, PartitionReply, RegisterReply};
+pub use client::{Client, PartitionReply, RegisterReply, ReportReply};
 pub use engine::{solve, Engine, EngineConfig, Plan};
 pub use loadgen::{LoadMode, LoadgenConfig, LoadgenReport};
 pub use fpm_core::planner::AlgorithmId;
 pub use protocol::ProtoError;
-pub use registry::Registry;
+pub use registry::{Registry, ReportOutcome};
 pub use server::{spawn, ServerConfig, ServerHandle};

@@ -123,6 +123,12 @@ counters! {
     batch_requests,
     /// Individual sizes solved inside `partition_batch` envelopes.
     batch_sub_requests,
+    /// `report` requests handled.
+    report_requests,
+    /// Reports accepted by the refiner (each one bumped a cluster epoch).
+    refine_accepted,
+    /// Reports rejected by the refiner (in-band, pending, outlier, …).
+    refine_rejected,
     /// `stats` requests handled.
     stats_requests,
     /// `ping` requests handled.

@@ -13,9 +13,17 @@
 //! | `register` | `cluster`, and either `models` (inline piece-wise knots) or `testbed` (`{name, app, seed}` simnet reference) | `fingerprint`, `machines` |
 //! | `partition` | `cluster` *or* `fingerprint`, `n`, optional `algorithm` (default `combined`), optional `deadline_ms` | `counts`, `makespan`, `cached`, `algorithm`, `fingerprint` |
 //! | `partition_batch` | `cluster` *or* `fingerprint`, `ns` (array of sizes, ≤ [`MAX_BATCH`]), optional `algorithm`, optional `deadline_ms` (covers the whole batch) | `algorithm`, `fingerprint`, `results` — one array element per `ns` entry, each either the single-verb payload (`ok`, `counts`, `makespan`, `steps`, `cached`) or an element-level error (`ok: false`, `error`, `message`) |
-//! | `stats` | — | metrics snapshot |
+//! | `report` | `model` (alias `cluster`) *or* `fingerprint`, `machine` (model index), `x` (problem size processed), `elapsed_us` (measured wall time, µs) | `accepted`, `reason`, `epoch`, `machine`, `fingerprint` |
+//! | `stats` | — | metrics snapshot plus per-cluster `clusters` (epoch and refinement counters) |
 //! | `ping` | — | `pong: true` |
 //! | `shutdown` | — | `draining: true`, then the server drains and exits |
+//!
+//! `report` feeds one observed execution time back into the registry's
+//! online refiner: an accepted observation re-fits the machine's
+//! piece-wise model, bumps the cluster's epoch and changes its
+//! fingerprint, invalidating all cached plans (the cache key includes the
+//! epoch). A rejected observation (`accepted: false` with a `reason` such
+//! as `in_band`, `pending` or `outlier`) never moves the epoch.
 //!
 //! Requests may be **pipelined**: clients can write many lines without
 //! waiting; the server answers strictly in request order per connection.
@@ -197,6 +205,18 @@ pub enum Request {
         /// Deadline covering the whole batch, milliseconds.
         deadline_ms: Option<u64>,
     },
+    /// Feed one observed execution time into a cluster's online refiner.
+    Report {
+        /// Which cluster (the `model` field is an accepted alias for
+        /// `cluster`).
+        target: ClusterRef,
+        /// Index of the machine within the cluster's model order.
+        machine: usize,
+        /// Problem size the machine processed.
+        x: f64,
+        /// Measured wall time for that size, in microseconds.
+        elapsed_us: f64,
+    },
     /// Metrics snapshot.
     Stats,
     /// Liveness probe.
@@ -272,6 +292,7 @@ pub fn request_from_value(value: &JsonRef<'_>) -> Result<Request, ProtoError> {
             algorithm: v.algorithm,
             deadline_ms: v.deadline_ms,
         }),
+        "report" => parse_report(value),
         other => Err(ProtoError::new("unknown_verb", format!("unknown verb: {other:?}"))),
     }
 }
@@ -365,6 +386,50 @@ fn parse_testbed(tb: &JsonRef<'_>) -> Result<ClusterSpec, ProtoError> {
             .ok_or_else(|| ProtoError::new("bad_request", "testbed seed must be a u64"))?,
     };
     Ok(ClusterSpec::Testbed { name: name.to_owned(), app: app.to_owned(), seed })
+}
+
+fn parse_report(value: &JsonRef<'_>) -> Result<Request, ProtoError> {
+    // `model` is an alias for `cluster`: a report concerns one registered
+    // model set.
+    let target = match value.get("model").and_then(JsonRef::as_str) {
+        Some(name) => {
+            if value.get("cluster").is_some() || value.get("fingerprint").is_some() {
+                return Err(ProtoError::new(
+                    "bad_request",
+                    "report takes model, cluster or fingerprint — pick one",
+                ));
+            }
+            ClusterRefView::Name(name)
+        }
+        None => parse_target(value)?,
+    };
+    let machine = value
+        .get("machine")
+        .and_then(JsonRef::as_u64)
+        .ok_or_else(|| ProtoError::new("bad_request", "machine must be a non-negative integer"))?;
+    if machine as usize >= MAX_MACHINES {
+        return Err(ProtoError::new("bad_request", "machine index out of range"));
+    }
+    let x = value
+        .get("x")
+        .and_then(JsonRef::as_f64)
+        .ok_or_else(|| ProtoError::new("bad_request", "x must be a number"))?;
+    if !(x.is_finite() && x > 0.0) {
+        return Err(ProtoError::new("bad_request", "x must be positive and finite"));
+    }
+    let elapsed_us = value
+        .get("elapsed_us")
+        .and_then(JsonRef::as_f64)
+        .ok_or_else(|| ProtoError::new("bad_request", "elapsed_us must be a number"))?;
+    if !(elapsed_us.is_finite() && elapsed_us > 0.0) {
+        return Err(ProtoError::new("bad_request", "elapsed_us must be positive and finite"));
+    }
+    Ok(Request::Report {
+        target: target.to_owned_ref(),
+        machine: machine as usize,
+        x,
+        elapsed_us,
+    })
 }
 
 /// Parses a `partition` request into a borrowed view: the target name
@@ -623,6 +688,75 @@ mod tests {
         };
         assert_eq!(target, view.target.to_owned_ref());
         assert_eq!((n, algorithm, deadline_ms), (view.n, view.algorithm, view.deadline_ms));
+    }
+
+    #[test]
+    fn parses_report_with_model_alias() {
+        let env = parse_request(
+            r#"{"verb":"report","model":"c1","machine":2,"x":50000,"elapsed_us":260.5}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            env.request,
+            Request::Report {
+                target: ClusterRef::Name("c1".into()),
+                machine: 2,
+                x: 50_000.0,
+                elapsed_us: 260.5,
+            }
+        );
+        // `cluster` and `fingerprint` spellings work too.
+        let env = parse_request(
+            r#"{"verb":"report","cluster":"c1","machine":0,"x":1,"elapsed_us":1}"#,
+        )
+        .unwrap();
+        assert!(matches!(env.request, Request::Report { target: ClusterRef::Name(_), .. }));
+        let env = parse_request(
+            r#"{"verb":"report","fingerprint":"ab12","machine":0,"x":1,"elapsed_us":1}"#,
+        )
+        .unwrap();
+        assert!(matches!(env.request, Request::Report { target: ClusterRef::Fingerprint(_), .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_reports_with_stable_codes() {
+        let cases: &[(&str, &str)] = &[
+            // No target at all, or two competing spellings.
+            (r#"{"verb":"report","machine":0,"x":1,"elapsed_us":1}"#, "bad_request"),
+            (
+                r#"{"verb":"report","model":"a","cluster":"b","machine":0,"x":1,"elapsed_us":1}"#,
+                "bad_request",
+            ),
+            // Malformed machine index.
+            (r#"{"verb":"report","model":"c","x":1,"elapsed_us":1}"#, "bad_request"),
+            (r#"{"verb":"report","model":"c","machine":-1,"x":1,"elapsed_us":1}"#, "bad_request"),
+            (r#"{"verb":"report","model":"c","machine":1.5,"x":1,"elapsed_us":1}"#, "bad_request"),
+            (r#"{"verb":"report","model":"c","machine":9999,"x":1,"elapsed_us":1}"#, "bad_request"),
+            // Malformed x.
+            (r#"{"verb":"report","model":"c","machine":0,"elapsed_us":1}"#, "bad_request"),
+            (r#"{"verb":"report","model":"c","machine":0,"x":0,"elapsed_us":1}"#, "bad_request"),
+            (r#"{"verb":"report","model":"c","machine":0,"x":-5,"elapsed_us":1}"#, "bad_request"),
+            // Malformed elapsed: missing, zero, negative, non-numeric.
+            (r#"{"verb":"report","model":"c","machine":0,"x":1}"#, "bad_request"),
+            (r#"{"verb":"report","model":"c","machine":0,"x":1,"elapsed_us":0}"#, "bad_request"),
+            (r#"{"verb":"report","model":"c","machine":0,"x":1,"elapsed_us":-3}"#, "bad_request"),
+            (
+                r#"{"verb":"report","model":"c","machine":0,"x":1,"elapsed_us":"fast"}"#,
+                "bad_request",
+            ),
+            // NaN / Infinity are not JSON: the parser rejects the frame.
+            (r#"{"verb":"report","model":"c","machine":0,"x":1,"elapsed_us":NaN}"#, "bad_json"),
+            (
+                r#"{"verb":"report","model":"c","machine":0,"x":1,"elapsed_us":Infinity}"#,
+                "bad_json",
+            ),
+            // Numeric overflow to ∞ is rejected by the number grammar too.
+            (r#"{"verb":"report","model":"c","machine":0,"x":1,"elapsed_us":1e999}"#, "bad_json"),
+        ];
+        for (line, code) in cases {
+            let (_, e) = parse_request(line).unwrap_err();
+            assert_eq!(&e.code, code, "{line}");
+        }
     }
 
     #[test]

@@ -11,28 +11,50 @@ use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
 use fpm_core::speed::builder::BuilderConfig;
-use fpm_core::speed::{PiecewiseLinearSpeed, SharedCachedSpeed, SpeedFunction};
+use fpm_core::speed::{
+    ModelRefiner, PiecewiseLinearSpeed, RefineConfig, RefineOutcome, SharedCachedSpeed,
+    SpeedFunction,
+};
 use fpm_exec::model_build::build_cluster_models;
 use fpm_simnet::fluctuation::Integration;
 use fpm_simnet::profile::AppProfile;
 use fpm_simnet::testbeds;
 
+use crate::json::Json;
 use crate::protocol::{ClusterRef, ClusterRefView, ClusterSpec, ProtoError, WireModel};
 
 /// A thread-safe, evaluation-cached speed function.
 pub type SharedSpeed = Arc<dyn SpeedFunction + Send + Sync>;
 
-/// One registered cluster, immutable once built.
+/// One registered cluster. Each snapshot is immutable; an accepted
+/// `report` builds a *new* snapshot with the re-fitted model, a bumped
+/// [`epoch`](Self::epoch) and a recomputed fingerprint, and swaps it in
+/// under the same name (copy-on-write — in-flight solves keep the old
+/// `Arc`).
 #[derive(Clone)]
 pub struct RegisteredCluster {
     /// Registry name.
     pub name: String,
     /// Content fingerprint (16 hex digits of FNV-1a over the knots).
+    /// Recomputed after every accepted refinement, so it always reflects
+    /// the current epoch's content.
     pub fingerprint: String,
+    /// Refinement epoch: 0 at registration, +1 per accepted `report`.
+    /// Folded into the plan-cache key so stale plans are never served.
+    pub epoch: u64,
     /// Machine names, in model order.
     pub machine_names: Vec<String>,
     /// The speed functions, shared and evaluation-cached.
     pub funcs: Vec<SharedSpeed>,
+    /// The raw piece-wise models backing `funcs` — the refiner's input
+    /// (the evaluation-cache wrapper is opaque).
+    pub models: Vec<PiecewiseLinearSpeed>,
+    /// Reports that produced a re-fit.
+    pub refine_accepted: u64,
+    /// Reports absorbed or discarded without a re-fit.
+    pub refine_rejected: u64,
+    /// Per-machine refiner state (pending corroboration queues).
+    refiners: Vec<ModelRefiner>,
 }
 
 impl std::fmt::Debug for RegisteredCluster {
@@ -40,9 +62,26 @@ impl std::fmt::Debug for RegisteredCluster {
         f.debug_struct("RegisteredCluster")
             .field("name", &self.name)
             .field("fingerprint", &self.fingerprint)
+            .field("epoch", &self.epoch)
             .field("machine_names", &self.machine_names)
             .finish_non_exhaustive()
     }
+}
+
+/// What a `report` did, as rendered in the wire reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportOutcome {
+    /// Whether the observation re-fitted the model (and bumped the epoch).
+    pub accepted: bool,
+    /// `"refined"` or the reject reason (`"in_band"`, `"pending"`,
+    /// `"outlier"`, …).
+    pub reason: &'static str,
+    /// The cluster's epoch after the report.
+    pub epoch: u64,
+    /// The cluster's fingerprint after the report.
+    pub fingerprint: String,
+    /// Name of the machine the observation applied to.
+    pub machine: String,
 }
 
 /// Named-cluster registry. All methods take `&self`; interior mutability
@@ -73,14 +112,20 @@ impl Registry {
         let (machine_names, models) = materialise(spec)?;
         let fingerprint = fingerprint_models(&models);
         let funcs: Vec<SharedSpeed> = models
-            .into_iter()
-            .map(|m| Arc::new(SharedCachedSpeed::new(m)) as SharedSpeed)
+            .iter()
+            .map(|m| Arc::new(SharedCachedSpeed::new(m.clone())) as SharedSpeed)
             .collect();
+        let refiners = models.iter().map(|_| ModelRefiner::new(RefineConfig::default())).collect();
         let cluster = Arc::new(RegisteredCluster {
             name: name.to_owned(),
             fingerprint,
+            epoch: 0,
             machine_names,
             funcs,
+            models,
+            refine_accepted: 0,
+            refine_rejected: 0,
+            refiners,
         });
         let mut maps = self.inner.write().expect("registry lock poisoned");
         if !maps.by_name.contains_key(name) && maps.by_name.len() >= self.max_clusters {
@@ -130,6 +175,116 @@ impl Registry {
                 ProtoError::new("not_found", format!("no cluster with fingerprint {fp:?}"))
             }
         })
+    }
+
+    /// Feeds one observed execution time into a cluster's refiner.
+    ///
+    /// `machine` indexes into the cluster's model order, `x` is the
+    /// problem size the machine processed and `elapsed_us` the measured
+    /// wall time; the observed speed is `x / elapsed_seconds` (the trait
+    /// convention `time(x) = x / s(x)` inverted). An accepted observation
+    /// re-fits the machine's model, bumps the epoch and recomputes the
+    /// fingerprint; the refined cluster stays addressable under its
+    /// original name. Rejected observations (in-band noise, pending
+    /// corroboration, outliers) only advance the reject counter — the
+    /// epoch, fingerprint and models are untouched.
+    pub fn report(
+        &self,
+        target: ClusterRefView<'_>,
+        machine: usize,
+        x: f64,
+        elapsed_us: f64,
+    ) -> Result<ReportOutcome, ProtoError> {
+        if !x.is_finite() || x <= 0.0 || !elapsed_us.is_finite() || elapsed_us <= 0.0 {
+            return Err(ProtoError::new(
+                "bad_request",
+                "report needs positive finite x and elapsed_us",
+            ));
+        }
+        let mut maps = self.inner.write().expect("registry lock poisoned");
+        let old = match target {
+            ClusterRefView::Name(name) => maps.by_name.get(name),
+            ClusterRefView::Fingerprint(fp) => maps.by_fp.get(fp),
+        }
+        .cloned()
+        .ok_or_else(|| match target {
+            ClusterRefView::Name(name) => {
+                ProtoError::new("not_found", format!("no cluster named {name:?}"))
+            }
+            ClusterRefView::Fingerprint(fp) => {
+                ProtoError::new("not_found", format!("no cluster with fingerprint {fp:?}"))
+            }
+        })?;
+        if machine >= old.machine_names.len() {
+            return Err(ProtoError::new(
+                "bad_request",
+                format!(
+                    "machine index {machine} out of range (cluster has {} machines)",
+                    old.machine_names.len()
+                ),
+            ));
+        }
+        let s_obs = x / (elapsed_us * 1e-6);
+        if !s_obs.is_finite() {
+            return Err(ProtoError::new("bad_request", "observed speed overflows"));
+        }
+
+        let mut next = (*old).clone();
+        let outcome = next.refiners[machine].observe(&next.models[machine], x, s_obs);
+        let reason = outcome.reason();
+        let accepted = outcome.accepted();
+        if let RefineOutcome::Refined(model) = outcome {
+            // Fresh evaluation cache: memoised points of the old model
+            // must not leak into the refined one.
+            next.funcs[machine] = Arc::new(SharedCachedSpeed::new(model.clone()));
+            next.models[machine] = model;
+            next.fingerprint = fingerprint_models(&next.models);
+            next.epoch += 1;
+            next.refine_accepted += 1;
+        } else {
+            next.refine_rejected += 1;
+        }
+        let next = Arc::new(next);
+        maps.by_name.insert(next.name.clone(), Arc::clone(&next));
+        if next.fingerprint != old.fingerprint {
+            let still_used =
+                maps.by_name.values().any(|c| c.fingerprint == old.fingerprint);
+            if !still_used {
+                maps.by_fp.remove(&old.fingerprint);
+            }
+        }
+        maps.by_fp.insert(next.fingerprint.clone(), Arc::clone(&next));
+        Ok(ReportOutcome {
+            accepted,
+            reason,
+            epoch: next.epoch,
+            fingerprint: next.fingerprint.clone(),
+            machine: next.machine_names[machine].clone(),
+        })
+    }
+
+    /// Per-cluster refinement state for the `stats` verb, sorted by name:
+    /// `[{name, fingerprint, epoch, machines, refine_accepted,
+    /// refine_rejected}, …]`.
+    pub fn clusters_json(&self) -> Json {
+        let maps = self.inner.read().expect("registry lock poisoned");
+        let mut clusters: Vec<&Arc<RegisteredCluster>> = maps.by_name.values().collect();
+        clusters.sort_by(|a, b| a.name.cmp(&b.name));
+        Json::Arr(
+            clusters
+                .into_iter()
+                .map(|c| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::str(c.name.clone())),
+                        ("fingerprint".into(), Json::str(c.fingerprint.clone())),
+                        ("epoch".into(), Json::uint(c.epoch)),
+                        ("machines".into(), Json::uint(c.machine_names.len() as u64)),
+                        ("refine_accepted".into(), Json::uint(c.refine_accepted)),
+                        ("refine_rejected".into(), Json::uint(c.refine_rejected)),
+                    ])
+                })
+                .collect(),
+        )
     }
 
     /// Number of registered names.
@@ -303,6 +458,88 @@ mod tests {
         let y = reg.register("y", &spec).unwrap();
         assert_eq!(x.fingerprint, y.fingerprint, "same seed must rebuild identically");
         assert_eq!(x.machine_names.len(), 4);
+    }
+
+    /// Microseconds a machine of speed `s` needs for size `x`.
+    fn elapsed_us_for(x: f64, s: f64) -> f64 {
+        x / s * 1e6
+    }
+
+    #[test]
+    fn corroborated_report_refits_and_bumps_epoch() {
+        use fpm_core::speed::SpeedFunction;
+        let reg = Registry::new(8);
+        let c0 = reg.register("c", &inline_spec(1.0)).unwrap();
+        assert_eq!(c0.epoch, 0);
+        let x = 5e5;
+        let slow = c0.models[0].speed(x) * 0.7;
+        let view = ClusterRefView::Name("c");
+
+        let first = reg.report(view, 0, x, elapsed_us_for(x, slow)).unwrap();
+        assert!(!first.accepted);
+        assert_eq!(first.reason, "pending");
+        assert_eq!(first.epoch, 0);
+        assert_eq!(first.fingerprint, c0.fingerprint, "no refit, no new content");
+
+        let second = reg.report(view, 0, x, elapsed_us_for(x, slow)).unwrap();
+        assert!(second.accepted, "corroborated drift must refit");
+        assert_eq!(second.reason, "refined");
+        assert_eq!(second.epoch, 1);
+        assert_ne!(second.fingerprint, c0.fingerprint);
+        assert_eq!(second.machine, "A");
+
+        // Still addressable by the original name; fingerprint follows the
+        // refined content, and the stale fingerprint alias is gone.
+        let now = reg.lookup(&ClusterRef::Name("c".into())).unwrap();
+        assert_eq!(now.epoch, 1);
+        assert_eq!(now.fingerprint, second.fingerprint);
+        assert!((now.models[0].speed(x) - slow).abs() <= 1e-9 * slow);
+        assert_eq!(now.refine_accepted, 1);
+        assert_eq!(now.refine_rejected, 1, "the pending sample counts as rejected");
+        assert!(reg.lookup(&ClusterRef::Fingerprint(c0.fingerprint.clone())).is_err());
+        assert!(reg.lookup(&ClusterRef::Fingerprint(second.fingerprint.clone())).is_ok());
+    }
+
+    #[test]
+    fn rejected_reports_never_bump_epoch() {
+        use fpm_core::speed::SpeedFunction;
+        let reg = Registry::new(8);
+        let c0 = reg.register("c", &inline_spec(1.0)).unwrap();
+        let x = 5e5;
+        let in_band = c0.models[0].speed(x) * 1.02;
+        let out = reg.report(ClusterRefView::Name("c"), 0, x, elapsed_us_for(x, in_band)).unwrap();
+        assert!(!out.accepted);
+        assert_eq!(out.reason, "in_band");
+        assert_eq!(out.epoch, 0);
+        assert_eq!(out.fingerprint, c0.fingerprint);
+        let now = reg.lookup(&ClusterRef::Name("c".into())).unwrap();
+        assert_eq!((now.epoch, now.refine_accepted, now.refine_rejected), (0, 0, 1));
+
+        // Structured errors for malformed targets and observations.
+        let err = reg.report(ClusterRefView::Name("ghost"), 0, x, 1e3).unwrap_err();
+        assert_eq!(err.code, "not_found");
+        let err = reg.report(ClusterRefView::Name("c"), 99, x, 1e3).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        let err = reg.report(ClusterRefView::Name("c"), 0, x, -1.0).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        let err = reg.report(ClusterRefView::Name("c"), 0, f64::NAN, 1e3).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        // None of the failures moved the epoch.
+        assert_eq!(reg.lookup(&ClusterRef::Name("c".into())).unwrap().epoch, 0);
+    }
+
+    #[test]
+    fn clusters_json_reports_epoch_and_counters() {
+        let reg = Registry::new(8);
+        reg.register("beta", &inline_spec(1.0)).unwrap();
+        reg.register("alpha", &inline_spec(2.0)).unwrap();
+        let Json::Arr(items) = reg.clusters_json() else { panic!("expected array") };
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].get("name").and_then(Json::as_str), Some("alpha"), "sorted");
+        assert_eq!(items[1].get("name").and_then(Json::as_str), Some("beta"));
+        assert_eq!(items[0].get("epoch").and_then(Json::as_u64), Some(0));
+        assert_eq!(items[0].get("machines").and_then(Json::as_u64), Some(2));
+        assert_eq!(items[0].get("refine_accepted").and_then(Json::as_u64), Some(0));
     }
 
     #[test]

@@ -68,8 +68,8 @@ use crate::engine::{Admission, Engine, EngineConfig, Plan};
 use crate::json::{Json, JsonRef, JsonStr};
 use crate::metrics::Metrics;
 use crate::protocol::{
-    parse_id_ref, parse_partition_batch_ref, parse_partition_ref, request_from_value, ProtoError,
-    Request, MAX_FRAME_BYTES,
+    parse_id_ref, parse_partition_batch_ref, parse_partition_ref, request_from_value, ClusterRef,
+    ClusterRefView, ProtoError, Request, MAX_FRAME_BYTES,
 };
 use crate::registry::{RegisteredCluster, Registry};
 use fpm_core::planner::AlgorithmId;
@@ -1077,9 +1077,10 @@ impl EventLoop {
             Request::Stats => {
                 m.inc(&m.stats_requests);
                 let snapshot = m.snapshot_json();
+                let clusters = self.shared.registry.clusters_json();
                 conn.with_out(|out| {
                     render_ok_head(out, disp, "stats");
-                    let _ = write!(out, ",\"stats\":{snapshot}}}");
+                    let _ = write!(out, ",\"stats\":{snapshot},\"clusters\":{clusters}}}");
                 });
                 true
             }
@@ -1109,6 +1110,39 @@ impl EventLoop {
                         }
                         out.push_str("]}");
                     }),
+                    Err(e) => {
+                        m.inc(&m.errors);
+                        conn.with_out(|out| render_err(out, disp, &e));
+                    }
+                }
+                true
+            }
+            Request::Report { target, machine, x, elapsed_us } => {
+                m.inc(&m.report_requests);
+                let view = match &target {
+                    ClusterRef::Name(name) => ClusterRefView::Name(name),
+                    ClusterRef::Fingerprint(fp) => ClusterRefView::Fingerprint(fp),
+                };
+                match self.shared.registry.report(view, machine, x, elapsed_us) {
+                    Ok(o) => {
+                        if o.accepted {
+                            m.inc(&m.refine_accepted);
+                        } else {
+                            m.inc(&m.refine_rejected);
+                        }
+                        conn.with_out(|out| {
+                            render_ok_head(out, disp, "report");
+                            let _ = write!(
+                                out,
+                                ",\"accepted\":{},\"reason\":\"{}\",\"epoch\":{},\"machine\":{},\"fingerprint\":{}}}",
+                                o.accepted,
+                                o.reason,
+                                o.epoch,
+                                JsonStr(&o.machine),
+                                JsonStr(&o.fingerprint)
+                            );
+                        });
+                    }
                     Err(e) => {
                         m.inc(&m.errors);
                         conn.with_out(|out| render_err(out, disp, &e));

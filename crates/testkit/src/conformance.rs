@@ -137,6 +137,18 @@ pub fn env_cases(default: usize) -> usize {
     }
 }
 
+/// Reads `FPM_TESTKIT_DRIFT_CASES` (decimal), falling back to `default`.
+///
+/// The drift-convergence sweep's own exhaustive-mode knob: independent of
+/// `FPM_TESTKIT_CASES` so CI can scale the refinement harness without
+/// inflating the (more expensive per case) differential sweep.
+pub fn env_drift_cases(default: usize) -> usize {
+    match std::env::var("FPM_TESTKIT_DRIFT_CASES") {
+        Ok(v) => v.trim().parse().unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
 /// Reads `FPM_TESTKIT_SEED` (decimal or `0x…` hex), falling back to
 /// `default`. Lets a CI failure be replayed locally with the same stream.
 pub fn env_base_seed(default: u64) -> u64 {

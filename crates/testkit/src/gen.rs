@@ -15,8 +15,8 @@
 //! worst case) is *not* in the default mix; opt in via
 //! [`GenConfig::kinds`].
 
-use fpm_core::speed::{AnalyticSpeed, CachedSpeed, PiecewiseLinearSpeed, SpeedFunction};
-use fpm_simnet::{random_cluster, AppProfile, ScenarioConfig};
+use fpm_core::speed::{AnalyticSpeed, CachedSpeed, PiecewiseLinearSpeed, SpeedFunction, WidthLaw};
+use fpm_simnet::{random_cluster, AppProfile, FluctuatingMeasurer, ScenarioConfig};
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -303,6 +303,182 @@ impl WireCluster {
 /// Decorrelates wire-cluster streams from [`CaseSpec`] streams.
 const WIRE_SALT: u64 = 0x7E57_4B17_5EED_0002;
 
+/// Decorrelates drift-scenario streams from the other generator streams.
+const DRIFT_SALT: u64 = 0x7E57_4B17_5EED_0003;
+
+/// A generated *drift scenario* for the online-refinement harness: a
+/// cluster whose registered models have gone stale. The true speed each
+/// machine actually sustains is its initial model scaled down by a
+/// per-machine factor in `[0.55, 0.85]` (machine 0 always drifts; the rest
+/// drift with probability ½). Multiplicative drift preserves the `s(x)/x`
+/// single-intersection invariant exactly, so initial and drifted models
+/// are both admissible by construction — and the drift (≥ 15%) always
+/// exceeds the refiner's default ±5% fluctuation band, so observations on
+/// drifted machines are never silently absorbed as noise.
+///
+/// Initial knots are sampled from three source families — analytic shapes
+/// (`ana`), plain piece-wise ramps (`pwl`), and full simnet
+/// memory-hierarchy machines (`sim`) — and always end with a zero-speed
+/// knot, so a local refit can never shrink the cluster's modelled
+/// capacity (the zero-speed anchor survives every band repair).
+pub struct DriftScenario {
+    /// The seed this scenario was generated from.
+    pub seed: u64,
+    /// A feasible problem size (clamped to the *positive-speed* capacity).
+    pub n: u64,
+    /// `(machine name, knots)` — the models as initially registered.
+    pub initial: Vec<(String, Vec<(f64, f64)>)>,
+    /// Per-machine drift factor in `(0, 1]`; truth speed = initial·factor.
+    pub factors: Vec<f64>,
+    /// Relative observation-noise half-width for [`Self::measurers`]
+    /// (0 ⇒ deterministic observations; the tier-1 sweep uses 0).
+    pub noise: f64,
+    /// Human-readable summary (`p`, `n`, drift factors, model sources).
+    pub descriptor: String,
+}
+
+impl DriftScenario {
+    /// Generates the drift scenario determined by `seed` under `config`.
+    /// Only the machine-count, size and heterogeneity knobs apply.
+    pub fn from_seed(seed: u64, config: &GenConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ DRIFT_SALT);
+        let p = rng.gen_range(config.machines.0..=config.machines.1.max(config.machines.0));
+        let raw_n = 10f64.powf(rng.gen_range(config.n_log10.0..=config.n_log10.1));
+        let het = config.heterogeneity.max(1.0);
+        let mut initial = Vec::with_capacity(p);
+        let mut factors = Vec::with_capacity(p);
+        let mut tags = Vec::with_capacity(p);
+        // Positive-speed capacity: the zero-speed tail appended below is a
+        // repair anchor, not usable throughput, so n is clamped against the
+        // last knot that still has positive speed.
+        let mut capacity = 0.0f64;
+        for i in 0..p {
+            let peak = 50.0 * rng.gen_range(1.0..=het);
+            let (mut knots, tag) = match rng.gen_range(0u8..3) {
+                0 => (piecewise_knots(&mut rng, peak, raw_n), "ana"),
+                1 => (ramp_knots(&mut rng, peak, raw_n), "pwl"),
+                _ => (simnet_knots(&mut rng, peak, raw_n), "sim"),
+            };
+            capacity += knots
+                .iter()
+                .rev()
+                .find(|k| k.1 > 0.0)
+                .map_or(0.0, |k| k.0)
+                .min(1e15);
+            if knots.last().is_some_and(|k| k.1 > 0.0) {
+                let tail = knots.last().unwrap().0 * 2.0;
+                knots.push((tail, 0.0));
+            }
+            let factor = if i == 0 || rng.gen_bool(0.5) {
+                rng.gen_range(0.55..=0.85)
+            } else {
+                1.0
+            };
+            initial.push((format!("m{i}"), knots));
+            factors.push(factor);
+            tags.push(tag);
+        }
+        let n = (raw_n.min(0.8 * capacity).max(1.0)) as u64;
+        let drift: Vec<String> = factors.iter().map(|f| format!("{f:.2}")).collect();
+        let descriptor =
+            format!("p={p} n={n} drift=[{}] models=[{}]", drift.join(","), tags.join(","));
+        Self { seed, n, initial, factors, noise: 0.0, descriptor }
+    }
+
+    /// Rebuilds the initially registered (stale) models.
+    pub fn initial_models(&self) -> Vec<PiecewiseLinearSpeed> {
+        self.initial
+            .iter()
+            .map(|(name, knots)| {
+                PiecewiseLinearSpeed::new(knots.clone())
+                    .unwrap_or_else(|e| panic!("drift model {name} inadmissible: {e:?}"))
+            })
+            .collect()
+    }
+
+    /// The drifted truth: every knot speed scaled by the machine's factor.
+    pub fn truth_models(&self) -> Vec<PiecewiseLinearSpeed> {
+        self.initial
+            .iter()
+            .zip(&self.factors)
+            .map(|((name, knots), &f)| {
+                let scaled: Vec<(f64, f64)> = knots.iter().map(|&(x, s)| (x, s * f)).collect();
+                PiecewiseLinearSpeed::new(scaled)
+                    .unwrap_or_else(|e| panic!("drifted truth {name} inadmissible: {e:?}"))
+            })
+            .collect()
+    }
+
+    /// Seeded noisy oracles over the drifted truth, one per machine
+    /// (relative half-width [`Self::noise`]; 0 = deterministic).
+    pub fn measurers(&self) -> Vec<FluctuatingMeasurer<PiecewiseLinearSpeed>> {
+        self.truth_models()
+            .into_iter()
+            .enumerate()
+            .map(|(i, truth)| {
+                FluctuatingMeasurer::new(
+                    truth,
+                    WidthLaw::Constant(self.noise),
+                    self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )
+            })
+            .collect()
+    }
+}
+
+/// A plain admissible ramp: log-spaced sizes with geometrically decaying
+/// speeds (decreasing `s` over increasing `x` keeps `s/x` strictly
+/// decreasing unconditionally).
+fn ramp_knots(rng: &mut ChaCha8Rng, peak: f64, raw_n: f64) -> Vec<(f64, f64)> {
+    let knots = rng.gen_range(3usize..=8);
+    let lo = (raw_n * 1e-4).max(1.0);
+    let hi = raw_n * 2.0;
+    let mut s = peak;
+    let mut points = Vec::with_capacity(knots);
+    for k in 0..knots {
+        let t = k as f64 / (knots - 1) as f64;
+        points.push((lo * (hi / lo).powf(t), s));
+        s *= rng.gen_range(0.5..=0.95);
+    }
+    points
+}
+
+/// Samples one simnet memory-hierarchy machine at log-spaced sizes,
+/// keeping `s/x` strictly decreasing at the knots (same filter as
+/// [`piecewise_knots`]); falls back to a ramp when sampling degenerates.
+fn simnet_knots(rng: &mut ChaCha8Rng, peak: f64, raw_n: f64) -> Vec<(f64, f64)> {
+    let apps = AppProfile::all();
+    let app = apps[rng.gen_range(0usize..apps.len())];
+    let cluster_seed = rng.next_u64();
+    let machine = random_cluster(
+        ScenarioConfig { machines: 1, seed: cluster_seed, ..ScenarioConfig::default() },
+        app,
+    )
+    .remove(0);
+    let hi = machine.max_size().min(raw_n * 2.0).max(4.0);
+    let lo = (hi * 1e-4).max(1.0);
+    let knots = rng.gen_range(4usize..=12);
+    let mut points: Vec<(f64, f64)> = Vec::with_capacity(knots);
+    for k in 0..knots {
+        let t = k as f64 / (knots - 1) as f64;
+        let x = lo * (hi / lo).powf(t);
+        let s = machine.speed(x);
+        if !s.is_finite() || s < 0.0 {
+            continue;
+        }
+        if let Some(&(px, ps)) = points.last() {
+            if s / x >= ps / px {
+                continue;
+            }
+        }
+        points.push((x, s));
+    }
+    if points.len() < 2 || points[0].1 <= 0.0 {
+        return ramp_knots(rng, peak, raw_n);
+    }
+    points
+}
+
 /// Raw admissible knots: an analytic truth sampled at log-spaced points,
 /// keeping `s/x` strictly decreasing (see [`piecewise_model`]); falls back
 /// to a guaranteed-admissible two-knot ramp when sampling degenerates.
@@ -474,6 +650,52 @@ mod tests {
         let case = CaseSpec::from_seed(5, &cfg);
         let wire = WireCluster::from_seed(5, &cfg);
         assert!(case.n != wire.n || case.funcs.len() != wire.models.len());
+    }
+
+    #[test]
+    fn drift_scenarios_are_deterministic_and_admissible() {
+        let cfg = GenConfig::default();
+        for seed in 0..40u64 {
+            let a = DriftScenario::from_seed(seed, &cfg);
+            let b = DriftScenario::from_seed(seed, &cfg);
+            assert_eq!(a.n, b.n);
+            assert_eq!(a.descriptor, b.descriptor);
+            assert_eq!(a.factors, b.factors);
+            // Machine 0 always drifts, and every drift clears the default
+            // ±5% fluctuation band by a wide margin.
+            assert!(a.factors[0] <= 0.85, "{}", a.descriptor);
+            for &f in &a.factors {
+                assert!(f == 1.0 || (0.55..=0.85).contains(&f), "factor {f}");
+            }
+            let initial = a.initial_models();
+            let truth = a.truth_models();
+            assert_eq!(initial.len(), truth.len());
+            for (i, (init, tru)) in initial.iter().zip(&truth).enumerate() {
+                let hi = init.max_size().max(2.0);
+                check_single_intersection(init, 1.0, hi, 200).unwrap_or_else(|(x, y)| {
+                    panic!("seed {seed} machine {i} initial: s/x not decreasing in [{x}, {y}]")
+                });
+                check_single_intersection(tru, 1.0, hi, 200).unwrap_or_else(|(x, y)| {
+                    panic!("seed {seed} machine {i} truth: s/x not decreasing in [{x}, {y}]")
+                });
+                // Truth is the initial model scaled — same modelled range.
+                assert_eq!(init.max_size().to_bits(), tru.max_size().to_bits());
+            }
+            assert!(a.n >= 1);
+        }
+    }
+
+    #[test]
+    fn drift_measurers_observe_the_truth() {
+        let cfg = GenConfig::default();
+        let sc = DriftScenario::from_seed(7, &cfg);
+        let truth = sc.truth_models();
+        let mut measurers = sc.measurers();
+        // Default noise is zero: observations equal the drifted truth.
+        for (m, t) in measurers.iter_mut().zip(&truth) {
+            let x = (t.max_size() * 0.3).max(1.0);
+            assert_eq!(m.observe(x).to_bits(), t.speed(x).to_bits());
+        }
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! * [`gen`] — seeded generators for admissible heterogeneous clusters:
 //!   analytic, piece-wise linear, cached, and simnet-profile-derived speed
 //!   functions, with heterogeneity/paging/scale knobs. Every case is fully
-//!   determined by a single `u64` seed.
+//!   determined by a single `u64` seed. [`gen::DriftScenario`] extends
+//!   this with stale-model clusters (a drifted "truth" per machine) for
+//!   the online-refinement harness.
 //! * [`conformance`] — the differential engine: runs every production
 //!   partitioner in the planner registry ([`fpm_core::planner::registry`])
 //!   against [`fpm_core::partition::oracle::solve`] over generated
@@ -47,10 +49,11 @@ pub mod gen;
 
 pub use checks::{
     check_conservation, check_exchange_optimal, check_iteration_bound, check_makespan_gap,
+    refinement_conformance,
 };
 pub use conformance::{
-    check_case, env_base_seed, env_cases, run_conformance, CaseFailure, ConformanceConfig,
-    ConformanceReport, Tolerances,
+    check_case, env_base_seed, env_cases, env_drift_cases, run_conformance, CaseFailure,
+    ConformanceConfig, ConformanceReport, Tolerances,
 };
 pub use fault::{assert_no_panic, FaultKind, FaultyMeasurer};
-pub use gen::{CaseSpec, GenConfig, ModelKind, WireCluster};
+pub use gen::{CaseSpec, DriftScenario, GenConfig, ModelKind, WireCluster};

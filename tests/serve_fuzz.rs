@@ -9,6 +9,13 @@
 //! * a live server, over real sockets, with the same corpus plus framing
 //!   attacks (oversized lines, binary garbage, truncation mid-request).
 //!
+//! The `report` verb gets its own corpus on top: non-finite / negative /
+//! zero measurements, out-of-range machine indices and unregistered
+//! models must come back as structured errors, and — the differential
+//! invariant — the cluster epoch after the whole corpus must equal the
+//! number of reports the server *accepted*: a rejected report never moves
+//! the epoch, so never invalidates a cached plan.
+//!
 //! Corpus size scales with `FPM_TESTKIT_CASES`; all mutations derive from
 //! `FPM_TESTKIT_SEED` so failures replay exactly.
 
@@ -76,6 +83,10 @@ const STATIC_CORPUS: &[&str] = &[
     "{\"verb\":\"partition_batch\",\"cluster\":\"c\",\"ns\":[1.5]}",
     "{\"verb\":\"partition_batch\",\"cluster\":\"c\",\"ns\":[10,null]}",
     "{\"verb\":\"partition_batch\",\"cluster\":\"c\",\"ns\":[10],\"algorithm\":\"warp\"}",
+    "{\"verb\":\"report\"}",
+    "{\"verb\":\"report\",\"model\":\"ghost\",\"machine\":0,\"x\":1,\"elapsed_us\":1}",
+    "{\"verb\":\"report\",\"model\":\"c\",\"machine\":0,\"x\":1,\"elapsed_us\":NaN}",
+    "{\"verb\":\"report\",\"model\":\"c\",\"machine\":0,\"x\":1,\"elapsed_us\":-7}",
     "{\"id\":{},\"verb\":\"ping\"}",
     "{\"id\":[1],\"verb\":\"ping\"}",
     "{\"verb\":\"ping\",\"id\":null}",
@@ -212,12 +223,203 @@ fn live_server_answers_every_malformed_line_with_structured_errors() {
     assert!(stats.get("errors").and_then(Json::as_u64).unwrap_or(0) > 0);
 }
 
+/// Every malformed-report shape the protocol documents: non-finite and
+/// non-positive measurements, bad machine indices, competing or missing
+/// targets, unregistered models. The live cluster is named `obs` and has
+/// two machines, so `machine: 2` is in-protocol but out of range.
+const REPORT_CORPUS: &[&str] = &[
+    "{\"verb\":\"report\"}",
+    "{\"verb\":\"report\",\"model\":\"obs\"}",
+    "{\"verb\":\"report\",\"model\":\"obs\",\"cluster\":\"obs\",\"machine\":0,\"x\":1,\"elapsed_us\":1}",
+    "{\"verb\":\"report\",\"machine\":0,\"x\":1,\"elapsed_us\":1}",
+    // Malformed machine index: missing, negative, fractional, non-numeric,
+    // beyond the protocol cap, and past this cluster's two machines.
+    "{\"verb\":\"report\",\"model\":\"obs\",\"x\":1,\"elapsed_us\":1}",
+    "{\"verb\":\"report\",\"model\":\"obs\",\"machine\":-1,\"x\":1,\"elapsed_us\":1}",
+    "{\"verb\":\"report\",\"model\":\"obs\",\"machine\":0.5,\"x\":1,\"elapsed_us\":1}",
+    "{\"verb\":\"report\",\"model\":\"obs\",\"machine\":\"0\",\"x\":1,\"elapsed_us\":1}",
+    "{\"verb\":\"report\",\"model\":\"obs\",\"machine\":99999,\"x\":1,\"elapsed_us\":1}",
+    "{\"verb\":\"report\",\"model\":\"obs\",\"machine\":2,\"x\":1,\"elapsed_us\":1}",
+    // Malformed x.
+    "{\"verb\":\"report\",\"model\":\"obs\",\"machine\":0,\"elapsed_us\":1}",
+    "{\"verb\":\"report\",\"model\":\"obs\",\"machine\":0,\"x\":0,\"elapsed_us\":1}",
+    "{\"verb\":\"report\",\"model\":\"obs\",\"machine\":0,\"x\":-5,\"elapsed_us\":1}",
+    "{\"verb\":\"report\",\"model\":\"obs\",\"machine\":0,\"x\":NaN,\"elapsed_us\":1}",
+    "{\"verb\":\"report\",\"model\":\"obs\",\"machine\":0,\"x\":1e999,\"elapsed_us\":1}",
+    // Malformed elapsed_us: missing, zero, negative, non-numeric,
+    // non-finite (NaN / Infinity are not JSON — the frame itself dies).
+    "{\"verb\":\"report\",\"model\":\"obs\",\"machine\":0,\"x\":1}",
+    "{\"verb\":\"report\",\"model\":\"obs\",\"machine\":0,\"x\":1,\"elapsed_us\":0}",
+    "{\"verb\":\"report\",\"model\":\"obs\",\"machine\":0,\"x\":1,\"elapsed_us\":-3}",
+    "{\"verb\":\"report\",\"model\":\"obs\",\"machine\":0,\"x\":1,\"elapsed_us\":\"fast\"}",
+    "{\"verb\":\"report\",\"model\":\"obs\",\"machine\":0,\"x\":1,\"elapsed_us\":NaN}",
+    "{\"verb\":\"report\",\"model\":\"obs\",\"machine\":0,\"x\":1,\"elapsed_us\":Infinity}",
+    "{\"verb\":\"report\",\"model\":\"obs\",\"machine\":0,\"x\":1,\"elapsed_us\":-Infinity}",
+    "{\"verb\":\"report\",\"model\":\"obs\",\"machine\":0,\"x\":1,\"elapsed_us\":1e999}",
+    // Observed speed overflows f64 even though both inputs are finite.
+    "{\"verb\":\"report\",\"model\":\"obs\",\"machine\":0,\"x\":1e300,\"elapsed_us\":1e-300}",
+    // Unregistered targets.
+    "{\"verb\":\"report\",\"model\":\"ghost\",\"machine\":0,\"x\":1,\"elapsed_us\":1}",
+    "{\"verb\":\"report\",\"cluster\":\"ghost\",\"machine\":0,\"x\":1,\"elapsed_us\":1}",
+    "{\"verb\":\"report\",\"fingerprint\":\"00DEAD00BEEF0000\",\"machine\":0,\"x\":1,\"elapsed_us\":1}",
+];
+
+/// Seeded mutation of a *valid* report line: the same truncation / flip /
+/// splice moves as [`mutate`], so some mutants stay valid reports (and a
+/// repeated pair may even corroborate into an accepted refit — the test
+/// counts those instead of forbidding them).
+fn mutate_report(rng: &mut ChaCha8Rng) -> String {
+    let valid = [
+        r#"{"verb":"report","model":"obs","machine":0,"x":50000,"elapsed_us":260.5}"#,
+        r#"{"verb":"report","model":"obs","machine":1,"x":2000,"elapsed_us":19.5}"#,
+        r#"{"verb":"report","fingerprint":"obs","machine":0,"x":1,"elapsed_us":1}"#,
+    ];
+    let base = valid[rng.gen_range(0usize..valid.len())];
+    let mut bytes = base.as_bytes().to_vec();
+    match rng.gen_range(0u8..3) {
+        0 => {
+            let cut = rng.gen_range(0usize..bytes.len());
+            bytes.truncate(cut);
+        }
+        1 => {
+            for _ in 0..rng.gen_range(1usize..4) {
+                let i = rng.gen_range(0usize..bytes.len());
+                bytes[i] = 33 + (rng.next_u64() % 90) as u8;
+            }
+        }
+        _ => {
+            let tokens = ["NaN", "-", "e308", "\"\"", "}{"];
+            let token = tokens[rng.gen_range(0usize..tokens.len())];
+            let i = rng.gen_range(0usize..bytes.len());
+            bytes.splice(i..i, token.bytes());
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Reads one cluster's refinement epoch off a raw `stats` round-trip (the
+/// typed client intentionally exposes only the counter snapshot).
+fn cluster_epoch(addr: std::net::SocketAddr, name: &str) -> u64 {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    writer.write_all(b"{\"verb\":\"stats\"}\n").expect("send stats");
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).expect("read stats");
+    let v = Json::parse(&reply).expect("parse stats reply");
+    v.get("clusters")
+        .and_then(Json::as_array)
+        .and_then(|cs| cs.iter().find(|c| c.get("name").and_then(Json::as_str) == Some(name)))
+        .and_then(|c| c.get("epoch").and_then(Json::as_u64))
+        .unwrap_or_else(|| panic!("no epoch for cluster {name:?} in {reply:?}"))
+}
+
+#[test]
+fn malformed_reports_error_cleanly_and_never_move_the_epoch() {
+    let cases = env_cases(300);
+    let mut rng = ChaCha8Rng::seed_from_u64(env_base_seed(0xF0_55ED) ^ 0x5E07);
+    let mut corpus: Vec<String> = REPORT_CORPUS.iter().map(|s| s.to_string()).collect();
+    for _ in 0..cases {
+        corpus.push(mutate_report(&mut rng));
+    }
+
+    // Layer one: the parser survives every line and codes every error.
+    for line in &corpus {
+        let outcome = assert_no_panic(|| parse_request(line));
+        let result =
+            outcome.unwrap_or_else(|panic| panic!("parser panicked on {line:?}: {panic}"));
+        if let Err((_, e)) = result {
+            assert!(!e.code.is_empty(), "{line:?}");
+            assert!(!e.message.is_empty(), "{line:?}");
+        }
+    }
+
+    // Layer two: a live server with a real two-machine cluster.
+    let handle = spawn(ServerConfig::default()).expect("spawn server");
+    let mut client =
+        fpm_serve::client::Client::connect(handle.addr, Duration::from_secs(10)).expect("connect");
+    client
+        .register_inline(
+            "obs",
+            &[
+                ("A".into(), vec![(1e3, 200.0), (1e6, 180.0), (1e9, 0.0)]),
+                ("B".into(), vec![(1e3, 100.0), (1e6, 90.0), (1e9, 0.0)]),
+            ],
+        )
+        .expect("register");
+    // One guaranteed refiner-level rejection before the corpus: an
+    // observation sitting exactly on a knot is in-band by construction.
+    let inband = client.report("obs", 0, 1e3, 1e3 / 200.0 * 1e6).expect("in-band report");
+    assert!(!inband.accepted, "exact-knot observation must be in-band");
+    assert_eq!(inband.epoch, 0, "an in-band report must not move the epoch");
+    drop(client);
+    assert_eq!(cluster_epoch(handle.addr, "obs"), 0, "fresh cluster starts at epoch 0");
+
+    // Some seeded mutants remain valid reports, and a repeated pair can
+    // legitimately corroborate into an accepted refit. Count acceptances:
+    // the differential invariant is epoch == accepted reports, i.e. a
+    // rejected or malformed report NEVER moves the epoch.
+    let mut accepted = 0u64;
+    for line in &corpus {
+        let stream = TcpStream::connect(handle.addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        let mut writer = stream.try_clone().expect("clone");
+        writer.write_all(line.as_bytes()).expect("send");
+        writer.write_all(b"\n").expect("send newline");
+        if line.trim_matches(|c: char| c.is_whitespace() || c == '\u{0}').is_empty() {
+            continue;
+        }
+        let mut reply = String::new();
+        BufReader::new(stream).read_line(&mut reply).expect("read reply");
+        if reply.is_empty() {
+            let trimmed: String =
+                line.chars().filter(|c| !c.is_control() && !c.is_whitespace()).collect();
+            assert!(trimmed.is_empty(), "no reply for {line:?}");
+            continue;
+        }
+        let v = Json::parse(&reply)
+            .unwrap_or_else(|e| panic!("unparsable reply {reply:?} for {line:?}: {e}"));
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => {
+                if v.get("accepted").and_then(Json::as_bool) == Some(true) {
+                    accepted += 1;
+                }
+            }
+            Some(false) => {
+                let code = v.get("error").and_then(Json::as_str).unwrap_or("");
+                assert!(!code.is_empty(), "error reply without code for {line:?}");
+            }
+            None => panic!("reply without ok field for {line:?}: {reply:?}"),
+        }
+    }
+
+    assert_eq!(
+        cluster_epoch(handle.addr, "obs"),
+        accepted,
+        "epoch must move exactly once per accepted report — rejected reports never bump it"
+    );
+    let stats = handle.shutdown_and_join();
+    assert_eq!(
+        stats.get("refine_accepted").and_then(Json::as_u64),
+        Some(accepted),
+        "server-side acceptance counter disagrees with observed replies"
+    );
+    assert!(
+        stats.get("refine_rejected").and_then(Json::as_u64).unwrap_or(0) > 0,
+        "the corpus must exercise refiner-level rejections"
+    );
+}
+
 /// One frame of a pipelined burst and what its reply must look like.
 enum Frame {
     /// Carries `"id":N` and must come back `ok:true` with that id.
     Ok(u64),
-    /// Carries `"id":N` and must come back `ok:false` with that id.
-    Err(u64),
+    /// An in-band `report`: `ok:true` with that id, but `accepted:false`
+    /// — pipelined reports must answer in order without moving the epoch.
+    Report(u64),
+    /// Carries `"id":N` and must come back `ok:false` with that id and
+    /// exactly this error code.
+    Err(u64, &'static str),
     /// Malformed; must come back `ok:false` with a coded error, id null.
     Garbage,
 }
@@ -258,6 +460,8 @@ fn pipelined_bursts_survive_arbitrary_frame_splits() {
         "{\"verb\":42}",
         "{\"verb\":\"partition_batch\",\"cluster\":\"pipe\",\"ns\":7}",
         "\"lonely string\"",
+        "{\"verb\":\"report\",\"model\":\"pipe\",\"machine\":0,\"x\":1000,\"elapsed_us\":NaN}",
+        "{\"verb\":\"report\",\"model\":\"pipe\",\"machine\":0,\"x\":0,\"elapsed_us\":1}",
     ];
 
     for case in 0..cases {
@@ -265,7 +469,7 @@ fn pipelined_bursts_survive_arbitrary_frame_splits() {
         let mut frames = Vec::with_capacity(depth);
         let mut burst = String::new();
         for id in 0..depth as u64 {
-            let line = match rng.gen_range(0u8..5) {
+            let line = match rng.gen_range(0u8..8) {
                 // Warm sizes: replies may be inline (cache hit) or solved.
                 0 | 1 => {
                     let n = 100_000 + 1_000 * rng.gen_range(0u64..4);
@@ -282,8 +486,33 @@ fn pipelined_bursts_survive_arbitrary_frame_splits() {
                     )
                 }
                 3 => {
-                    frames.push(Frame::Err(id));
+                    frames.push(Frame::Err(id, "not_found"));
                     format!("{{\"id\":{id},\"verb\":\"partition\",\"cluster\":\"nope\",\"n\":10}}")
+                }
+                // Reports interleave with partitions mid-pipeline. The
+                // observation sits exactly on machine A's first knot
+                // (1000 elements at 200 el/s = 5s), so it is in-band by
+                // construction: answered in order, never refitting.
+                4 | 5 => {
+                    frames.push(Frame::Report(id));
+                    format!(
+                        "{{\"id\":{id},\"verb\":\"report\",\"model\":\"pipe\",\"machine\":0,\"x\":1000,\"elapsed_us\":5000000}}"
+                    )
+                }
+                6 => {
+                    if rng.gen_range(0u8..2) == 0 {
+                        frames.push(Frame::Err(id, "not_found"));
+                        format!(
+                            "{{\"id\":{id},\"verb\":\"report\",\"model\":\"nope\",\"machine\":0,\"x\":10,\"elapsed_us\":1}}"
+                        )
+                    } else {
+                        // Machine 7 parses (under the protocol cap) but is
+                        // out of range for this two-machine cluster.
+                        frames.push(Frame::Err(id, "bad_request"));
+                        format!(
+                            "{{\"id\":{id},\"verb\":\"report\",\"model\":\"pipe\",\"machine\":7,\"x\":10,\"elapsed_us\":1}}"
+                        )
+                    }
                 }
                 _ => {
                     frames.push(Frame::Garbage);
@@ -325,12 +554,26 @@ fn pipelined_bursts_survive_arbitrary_frame_splits() {
                     assert_eq!(ok, Some(true), "case {case} reply {i}: {reply:?}");
                     assert_eq!(id, Some(*want), "case {case} reply {i}: id out of order");
                 }
-                Frame::Err(want) => {
+                Frame::Report(want) => {
+                    assert_eq!(ok, Some(true), "case {case} reply {i}: {reply:?}");
+                    assert_eq!(id, Some(*want), "case {case} reply {i}: id out of order");
+                    assert_eq!(
+                        v.get("accepted").and_then(Json::as_bool),
+                        Some(false),
+                        "case {case} reply {i}: in-band report must be rejected: {reply:?}"
+                    );
+                    assert_eq!(
+                        v.get("epoch").and_then(Json::as_u64),
+                        Some(0),
+                        "case {case} reply {i}: rejected report moved the epoch: {reply:?}"
+                    );
+                }
+                Frame::Err(want, code) => {
                     assert_eq!(ok, Some(false), "case {case} reply {i}: {reply:?}");
                     assert_eq!(id, Some(*want), "case {case} reply {i}: id out of order");
                     assert_eq!(
                         v.get("error").and_then(Json::as_str),
-                        Some("not_found"),
+                        Some(*code),
                         "case {case} reply {i}: {reply:?}"
                     );
                 }
@@ -351,5 +594,14 @@ fn pipelined_bursts_survive_arbitrary_frame_splits() {
     assert!(
         stats.get("pipeline_depth_peak").and_then(Json::as_u64).unwrap_or(0) >= 1,
         "bursts must register in pipeline metrics"
+    );
+    assert!(
+        stats.get("report_requests").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "bursts must carry report frames"
+    );
+    assert_eq!(
+        stats.get("refine_accepted").and_then(Json::as_u64),
+        Some(0),
+        "every burst report is in-band or malformed — none may refit"
     );
 }
