@@ -64,6 +64,13 @@ pub struct BenchPartitionResults {
     /// The seed behaviour: numeric bracketing + bisection per
     /// intersection, point-wise probes, no cache (see `SeedView`).
     pub partition_seed_ns: u128,
+    /// Cold solve of the near-duplicate size (`BENCH_N + BENCH_N/1000`):
+    /// full bracket construction plus the `O(log n)` slope search.
+    pub partition_cold_near_ns: u128,
+    /// Warm solve of the same near-duplicate size, seeded from the
+    /// `BENCH_N` solution via `resolve_from` (tight bracket, `O(p)` work
+    /// per probe, a handful of bisection steps).
+    pub partition_warm_ns: u128,
     /// Machines in the model-build measurement.
     pub build_machines: usize,
     /// Whole-cluster model build on the worker pool.
@@ -110,6 +117,26 @@ pub fn measure() -> BenchPartitionResults {
     run_optimized();
     let partition_optimized_ns = median_ns(9, run_optimized);
     let partition_seed_ns = median_ns(9, run_seed);
+
+    // Cold vs warm on a near-duplicate request (|Δn|/n = 1e-3): the warm
+    // path reconstructs the donor solution's slope and seeds a tight
+    // bracket instead of re-running the full cold bracket construction.
+    let donor = optimized.partition(BENCH_N, &funcs).unwrap();
+    let near_n = BENCH_N + BENCH_N / 1000;
+    let run_cold_near = || {
+        let r = optimized.partition(near_n, &funcs).unwrap();
+        assert_eq!(r.distribution.total(), near_n);
+    };
+    let run_warm = || {
+        let r = optimized.resolve_from(&donor.distribution, near_n, &funcs).unwrap();
+        assert_eq!(r.distribution.total(), near_n);
+    };
+    // More samples than the cold rows: the warm path is short enough that
+    // scheduler noise moves its median, and the headline is the ratio.
+    run_cold_near();
+    run_warm();
+    let partition_cold_near_ns = median_ns(25, run_cold_near);
+    let partition_warm_ns = median_ns(25, run_warm);
 
     // A cluster and builder budget large enough for per-machine work to
     // dominate the pool's per-task overhead (the default config finishes a
@@ -168,6 +195,8 @@ pub fn measure() -> BenchPartitionResults {
     BenchPartitionResults {
         partition_optimized_ns,
         partition_seed_ns,
+        partition_cold_near_ns,
+        partition_warm_ns,
         build_machines: specs.len(),
         build_pooled_ns,
         build_seq_ns,
@@ -189,6 +218,9 @@ pub fn to_json(r: &BenchPartitionResults) -> Json {
                 ("n".into(), Json::uint(BENCH_N)),
                 ("median_ns".into(), ns(r.partition_optimized_ns)),
                 ("seed_median_ns".into(), ns(r.partition_seed_ns)),
+                ("warm_delta_n".into(), Json::uint(BENCH_N / 1000)),
+                ("cold_near_median_ns".into(), ns(r.partition_cold_near_ns)),
+                ("warm_median_ns".into(), ns(r.partition_warm_ns)),
             ]),
         ),
         (
@@ -231,6 +263,12 @@ pub fn run() -> Report {
         fnum(speedup(results.partition_seed_ns, results.partition_optimized_ns), 2),
     ]);
     r.push_row(vec![
+        format!("partition warm-start p={BENCH_P} |dn|/n=1e-3"),
+        results.partition_warm_ns.to_string(),
+        results.partition_cold_near_ns.to_string(),
+        fnum(speedup(results.partition_cold_near_ns, results.partition_warm_ns), 2),
+    ]);
+    r.push_row(vec![
         format!(
             "model_build {} machines / {} workers",
             results.build_machines, results.build_workers
@@ -262,6 +300,8 @@ mod tests {
         let r = BenchPartitionResults {
             partition_optimized_ns: 1,
             partition_seed_ns: 2,
+            partition_cold_near_ns: 7,
+            partition_warm_ns: 8,
             build_machines: 12,
             build_pooled_ns: 3,
             build_seq_ns: 4,
@@ -276,6 +316,9 @@ mod tests {
         assert_eq!(at("partition", "p"), Some(1080));
         assert_eq!(at("partition", "median_ns"), Some(1));
         assert_eq!(at("partition", "seed_median_ns"), Some(2));
+        assert_eq!(at("partition", "warm_delta_n"), Some(2_000_000));
+        assert_eq!(at("partition", "cold_near_median_ns"), Some(7));
+        assert_eq!(at("partition", "warm_median_ns"), Some(8));
         assert_eq!(at("model_build", "sequential_median_ns"), Some(4));
         assert_eq!(at("matmul", "loop_median_ns"), Some(6));
         // Envelope carries version + commit.

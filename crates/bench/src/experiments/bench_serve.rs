@@ -53,6 +53,13 @@ pub struct BenchServeResults {
     pub machines: usize,
     /// Mostly-miss phase.
     pub cold: LoadgenReport,
+    /// Near-duplicate sizes (all within 0.1% of the base): every
+    /// first-occurrence miss warm-starts from a cached donor plan.
+    pub near_dup: LoadgenReport,
+    /// Server-side `warm_starts` counter right after the near-dup phase.
+    pub warm_starts: u64,
+    /// Server-side `warm_start_fallbacks` counter at the same instant.
+    pub warm_start_fallbacks: u64,
     /// Mostly-hit phase.
     pub warm: LoadgenReport,
     /// Warm workload with `PIPELINE_DEPTH` requests in flight.
@@ -78,6 +85,7 @@ fn best_of_two(
 /// phases with the given configs, cold first.
 fn measure_with(
     cold_cfg: &LoadgenConfig,
+    near_cfg: &LoadgenConfig,
     warm_cfg: &LoadgenConfig,
     piped_cfg: &LoadgenConfig,
     batch_cfg: &LoadgenConfig,
@@ -93,12 +101,22 @@ fn measure_with(
                 .map_err(|e| ProtoError::new("internal", format!("connect: {e}")))?;
         let reg = client.register_testbed(CLUSTER, TESTBED, APP, SEED)?;
         let cold = loadgen::run(handle.addr, CLUSTER, cold_cfg)?;
+        let near_dup = loadgen::run(handle.addr, CLUSTER, near_cfg)?;
+        // The warm-start counters right after the near-dup burst — before
+        // the warm phases, which only replay already-cached sizes.
+        let stats = client.stats()?;
+        let warm_starts = stats.get("warm_starts").and_then(Json::as_u64).unwrap_or(0);
+        let warm_start_fallbacks =
+            stats.get("warm_start_fallbacks").and_then(Json::as_u64).unwrap_or(0);
         let warm = loadgen::run(handle.addr, CLUSTER, warm_cfg)?;
         let pipelined = best_of_two(handle.addr, piped_cfg)?;
         let batch = best_of_two(handle.addr, batch_cfg)?;
         Ok(BenchServeResults {
             machines: reg.machines.len(),
             cold,
+            near_dup,
+            warm_starts,
+            warm_start_fallbacks,
             warm,
             pipelined,
             batch,
@@ -121,6 +139,14 @@ pub fn measure() -> Result<BenchServeResults, ProtoError> {
         seed: 0xC01D,
         ..LoadgenConfig::default()
     };
+    let near = LoadgenConfig {
+        workers: 2,
+        requests_per_worker: 500,
+        distinct_n: 16,
+        seed: 0x4EA2,
+        near_dup: true,
+        ..LoadgenConfig::default()
+    };
     let warm = LoadgenConfig {
         workers: 4,
         requests_per_worker: 2500,
@@ -140,7 +166,7 @@ pub fn measure() -> Result<BenchServeResults, ProtoError> {
         mode: LoadMode::Batch { size: BATCH_SIZE },
         ..warm.clone()
     };
-    measure_with(&cold, &warm, &piped, &batch)
+    measure_with(&cold, &near, &warm, &piped, &batch)
 }
 
 fn phase_json(r: &LoadgenReport) -> Json {
@@ -175,6 +201,14 @@ pub fn to_json(r: &BenchServeResults) -> Json {
             ]),
         ),
         ("cold".into(), phase_json(&r.cold)),
+        ("near_dup".into(), phase_json(&r.near_dup)),
+        (
+            "warm_start".into(),
+            Json::Obj(vec![
+                ("warm_starts".into(), Json::uint(r.warm_starts)),
+                ("warm_start_fallbacks".into(), Json::uint(r.warm_start_fallbacks)),
+            ]),
+        ),
         ("warm".into(), phase_json(&r.warm)),
         ("pipelined".into(), phase_json(&r.pipelined)),
         ("batch".into(), phase_json(&r.batch)),
@@ -204,6 +238,7 @@ pub fn run() -> Report {
     match measure() {
         Ok(results) => {
             report.push_row(phase_row("cold", &results.cold));
+            report.push_row(phase_row("near-dup", &results.near_dup));
             report.push_row(phase_row("warm", &results.warm));
             report.push_row(phase_row("pipelined", &results.pipelined));
             report.push_row(phase_row("batch", &results.batch));
@@ -220,6 +255,13 @@ pub fn run() -> Report {
             ));
             if results.warm.hit_rate() <= 0.9 {
                 report.note("WARNING: warm hit rate below the 90% acceptance bar");
+            }
+            report.note(format!(
+                "near-dup burst: {} solves warm-started from donor plans, {} fell back cold",
+                results.warm_starts, results.warm_start_fallbacks,
+            ));
+            if results.warm_starts == 0 {
+                report.note("WARNING: near-dup burst produced no warm starts");
             }
             let speedup = results.pipelined.throughput() / results.warm.throughput().max(1.0);
             report.note(format!(
@@ -255,6 +297,14 @@ mod tests {
             seed: 0xC01D,
             ..LoadgenConfig::default()
         };
+        let near = LoadgenConfig {
+            workers: 2,
+            requests_per_worker: 30,
+            distinct_n: 8,
+            seed: 0x4EA2,
+            near_dup: true,
+            ..LoadgenConfig::default()
+        };
         let warm = LoadgenConfig {
             workers: 2,
             requests_per_worker: 40,
@@ -270,9 +320,14 @@ mod tests {
             mode: LoadMode::Batch { size: 8 },
             ..warm.clone()
         };
-        let r = measure_with(&cold, &warm, &piped, &batch).unwrap();
+        let r = measure_with(&cold, &near, &warm, &piped, &batch).unwrap();
         assert_eq!(r.machines, 12);
         assert_eq!(r.cold.other_errors + r.warm.other_errors, 0);
+        // The near-dup burst must complete cleanly and actually exercise
+        // the warm-start path (8 distinct sizes within 0.1% of the base).
+        assert_eq!(r.near_dup.ok, 60);
+        assert_eq!(r.near_dup.other_errors, 0);
+        assert!(r.warm_starts > 0, "near-dup burst produced no warm starts");
         assert_eq!(r.warm.ok, 80);
         assert!(r.warm.hit_rate() > 0.9, "warm hit rate {}", r.warm.hit_rate());
         // Cold draws 16 sizes from a pool of 4096 — collisions are
@@ -290,6 +345,17 @@ mod tests {
         assert_eq!(
             json.get("pipelined").and_then(|p| p.get("ok")).and_then(Json::as_u64),
             Some(80)
+        );
+        assert_eq!(
+            json.get("near_dup").and_then(|p| p.get("ok")).and_then(Json::as_u64),
+            Some(60)
+        );
+        assert!(
+            json.get("warm_start")
+                .and_then(|w| w.get("warm_starts"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+                > 0
         );
         assert_eq!(
             json.get("cluster")

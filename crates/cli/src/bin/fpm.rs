@@ -28,8 +28,10 @@ USAGE:
     fpm loadgen     [--addr HOST:PORT] [--cluster NAME] [--register TESTBED-APP]
                     [--workers K] [--requests N] [--distinct-n D] [--seed S]
                     [--algorithm A] [--deadline-ms MS] [--shutdown]
-                    [--pipeline DEPTH | --batch SIZE]
-                                          (drive a running daemon, print throughput/latency)
+                    [--pipeline DEPTH | --batch SIZE] [--near-dup]
+                                          (drive a running daemon, print throughput/latency;
+                                           --near-dup packs sizes within 0.1% of the base so
+                                           misses warm-start, and prints the warm counters)
 
 Algorithm NAMEs (everywhere an algorithm is accepted, CLI and daemon):
     combined|basic|modified|secant|bounded|contiguous|single@SIZE
@@ -47,7 +49,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         if !key.starts_with("--") {
             return Err(format!("unexpected argument: {key}"));
         }
-        if key == "--list" || key == "--shutdown" || key == "--names" {
+        if key == "--list" || key == "--shutdown" || key == "--names" || key == "--near-dup" {
             flags.insert(key.trim_start_matches("--").to_owned(), String::new());
             i += 1;
             continue;
@@ -239,6 +241,7 @@ fn run() -> Result<(), String> {
             if let Some(v) = flags.get("batch") {
                 opts.batch = v.parse().map_err(|_| "unparsable --batch".to_owned())?;
             }
+            opts.near_dup = flags.contains_key("near-dup");
             opts.shutdown_after = flags.contains_key("shutdown");
             let out = serve_cmd::loadgen(&opts)?;
             print!("{out}");

@@ -9,6 +9,7 @@ use std::net::SocketAddr;
 use std::time::Duration;
 
 use fpm_serve::client::Client;
+use fpm_serve::json::Json;
 use fpm_serve::loadgen::{self, LoadMode, LoadgenConfig};
 use fpm_serve::AlgorithmId;
 use fpm_serve::server::{spawn, ServerConfig};
@@ -158,6 +159,9 @@ pub struct LoadgenOptions {
     pub pipeline: usize,
     /// Batch size (`--batch`); 0 = plain `partition` verbs.
     pub batch: usize,
+    /// Near-duplicate sizing (`--near-dup`): pack every drawn size within
+    /// 0.1% of the base size so cold misses warm-start from cached donors.
+    pub near_dup: bool,
     /// Whether to send a `shutdown` verb after the run.
     pub shutdown_after: bool,
 }
@@ -176,6 +180,7 @@ impl Default for LoadgenOptions {
             deadline_ms: 5000,
             pipeline: 0,
             batch: 0,
+            near_dup: false,
             shutdown_after: false,
         }
     }
@@ -215,6 +220,7 @@ pub fn loadgen(opts: &LoadgenOptions) -> Result<String, String> {
         algorithm: opts.algorithm,
         deadline_ms: opts.deadline_ms,
         mode,
+        near_dup: opts.near_dup,
         ..LoadgenConfig::default()
     };
     let report = loadgen::run(addr, &opts.cluster, &cfg).map_err(|e| e.to_string())?;
@@ -224,14 +230,16 @@ pub fn loadgen(opts: &LoadgenOptions) -> Result<String, String> {
         LoadMode::Pipelined { depth } => format!(", pipeline depth {depth}"),
         LoadMode::Batch { size } => format!(", batch size {size}"),
     };
+    let near_desc = if opts.near_dup { ", near-dup sizes" } else { "" };
     let _ = writeln!(
         out,
-        "loadgen: {} workers x {} requests, {} distinct sizes, algorithm {}{}",
+        "loadgen: {} workers x {} requests, {} distinct sizes, algorithm {}{}{}",
         cfg.workers,
         cfg.requests_per_worker,
         cfg.distinct_n,
         opts.algorithm,
         mode_desc,
+        near_desc,
     );
     let _ = writeln!(
         out,
@@ -251,6 +259,16 @@ pub fn loadgen(opts: &LoadgenOptions) -> Result<String, String> {
         report.p99_us,
         report.mean_us,
     );
+    if opts.near_dup {
+        // Near-dup bursts exist to exercise the warm-start path; surface
+        // the server's counters so callers (CI) can assert on them.
+        let mut client = Client::connect(addr, Duration::from_secs(10))
+            .map_err(|e| format!("connect for stats: {e}"))?;
+        let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+        let warm = stats.get("warm_starts").and_then(Json::as_u64).unwrap_or(0);
+        let fallbacks = stats.get("warm_start_fallbacks").and_then(Json::as_u64).unwrap_or(0);
+        let _ = writeln!(out, "warm_starts {warm}  warm_start_fallbacks {fallbacks}");
+    }
     if opts.shutdown_after {
         let mut client = Client::connect(addr, Duration::from_secs(10))
             .map_err(|e| format!("connect for shutdown: {e}"))?;
@@ -354,6 +372,39 @@ mod tests {
         assert!(out.contains("ok 40"), "{out}");
         assert!(out.contains("errors 0"), "{out}");
         assert!(out.contains("shutdown requested"), "{out}");
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn loadgen_near_dup_reports_warm_starts() {
+        let opts = ServeOptions { addr: "127.0.0.1:0".to_owned(), ..ServeOptions::default() };
+        let (tx, rx) = mpsc::channel();
+        let server = std::thread::spawn(move || {
+            serve(&opts, move |addr| tx.send(addr).unwrap())
+        });
+        let addr = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let lg = LoadgenOptions {
+            addr: addr.to_string(),
+            cluster: "nd".to_owned(),
+            register: Some("table1-mm".to_owned()),
+            workers: 2,
+            requests: 30,
+            distinct_n: 8,
+            near_dup: true,
+            shutdown_after: true,
+            ..LoadgenOptions::default()
+        };
+        let out = loadgen(&lg).unwrap();
+        assert!(out.contains("near-dup sizes"), "{out}");
+        assert!(out.contains("errors 0"), "{out}");
+        assert!(out.contains("warm_starts "), "{out}");
+        let warm: u64 = out
+            .lines()
+            .find_map(|l| l.strip_prefix("warm_starts "))
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no warm_starts line in {out}"));
+        assert!(warm > 0, "near-dup burst must warm-start: {out}");
         server.join().unwrap().unwrap();
     }
 

@@ -18,8 +18,10 @@
 //! [modified algorithm](super::ModifiedPartitioner).
 
 use super::fine_tune::fine_tune;
-use super::initial::{bracket_slopes, SlopeBracket};
-use super::problem::{empty_report, validate_processors, PartitionReport, Partitioner};
+use super::initial::{bracket_from_slope_probed, bracket_slopes, BracketProbes, SlopeBracket};
+use super::problem::{
+    empty_report, seed_slope, validate_processors, Distribution, PartitionReport, Partitioner,
+};
 use crate::error::{Error, Result};
 use crate::geometry::intersections_at_slope;
 use crate::speed::{CachedSpeed, SpeedFunction};
@@ -108,7 +110,55 @@ impl BisectionPartitioner {
         n: u64,
         funcs: &[F],
         bracket: SlopeBracket,
+        trace: Trace,
+    ) -> Result<PartitionReport> {
+        self.search_from_bracket(n, funcs, bracket, trace, false, None)
+    }
+
+    /// The warm-start narrowing: like [`Self::partition_from_bracket`] but
+    /// the trial slope is chosen by regula falsi (with the Illinois
+    /// anti-stagnation rule) on the element totals instead of the midpoint.
+    /// A warm bracket already sits within a few parts-per-thousand of the
+    /// optimum where the total is locally near-linear in the slope, so
+    /// interpolation lands within float resolution in a handful of steps
+    /// where bisection needs `O(log n)`. The integer result is unchanged:
+    /// the stopping criterion and the fine-tuning are identical, and the
+    /// fine-tuning's greedy fill converges to the same allocation from any
+    /// valid bracket.
+    pub fn resolve_from_bracket<F: SpeedFunction>(
+        &self,
+        n: u64,
+        funcs: &[F],
+        bracket: SlopeBracket,
+        trace: Trace,
+    ) -> Result<PartitionReport> {
+        self.search_from_bracket(n, funcs, bracket, trace, true, None)
+    }
+
+    /// [`Self::resolve_from_bracket`] with the bracket-establishing
+    /// intersection sweeps already in hand (from
+    /// [`bracket_from_slope_probed`]), so the search skips its two endpoint
+    /// sweeps. The probes were evaluated at exactly the bracket's bounds,
+    /// so seeding them is bit-identical to re-sweeping.
+    pub(crate) fn resolve_from_bracket_probed<F: SpeedFunction>(
+        &self,
+        n: u64,
+        funcs: &[F],
+        bracket: SlopeBracket,
+        trace: Trace,
+        probes: BracketProbes,
+    ) -> Result<PartitionReport> {
+        self.search_from_bracket(n, funcs, bracket, trace, true, Some(probes))
+    }
+
+    fn search_from_bracket<F: SpeedFunction>(
+        &self,
+        n: u64,
+        funcs: &[F],
+        bracket: SlopeBracket,
         mut trace: Trace,
+        interpolate: bool,
+        probes: Option<BracketProbes>,
     ) -> Result<PartitionReport> {
         let target = n as f64;
         let mut shallow = bracket.shallow;
@@ -116,8 +166,21 @@ impl BisectionPartitioner {
         // The bounding lines' intersections are cached: after each step one
         // bound inherits the trial line's freshly computed abscissas, so
         // every iteration costs p intersection searches instead of 3p.
-        let mut hi_x = intersections_at_slope(funcs, shallow);
-        let mut lo_x = intersections_at_slope(funcs, steep);
+        let (mut lo_x, mut hi_x) = match probes {
+            Some((lo_x, hi_x)) => (lo_x, hi_x),
+            None => (
+                intersections_at_slope(funcs, steep),
+                intersections_at_slope(funcs, shallow),
+            ),
+        };
+        // Bracket-end residuals for the regula-falsi trial: `f_shallow ≥ 0`
+        // (the shallow line overshoots the target), `f_steep ≤ 0`. `side`
+        // remembers which bound the previous step replaced so the Illinois
+        // rule can halve the residual of a bound that survives twice in a
+        // row, which prevents one-sided stagnation.
+        let mut f_shallow = hi_x.iter().sum::<f64>() - target;
+        let mut f_steep = lo_x.iter().sum::<f64>() - target;
+        let mut side = 0i8;
 
         for step in 1..=self.max_steps {
             // Stopping criterion (paper §2): every per-processor interval
@@ -133,7 +196,18 @@ impl BisectionPartitioner {
                 return Ok(PartitionReport::from_distribution(distribution, funcs, trace));
             }
 
-            let trial = self.slope_mode.trial(shallow, steep);
+            let mut trial = f64::NAN;
+            if interpolate {
+                // Regula falsi: the root of the (monotone) total-vs-slope
+                // residual, linearly interpolated between the bounds.
+                let denom = f_steep - f_shallow;
+                if denom < 0.0 {
+                    trial = (shallow * f_steep - steep * f_shallow) / denom;
+                }
+            }
+            if !(trial > shallow && trial < steep) {
+                trial = self.slope_mode.trial(shallow, steep);
+            }
             if !(trial > shallow && trial < steep) {
                 // Numerically stuck between representable slopes.
                 let distribution = fine_tune(n, funcs, &lo_x, &hi_x);
@@ -154,9 +228,19 @@ impl BisectionPartitioner {
                 // Too few elements: the optimal line is shallower.
                 steep = trial;
                 lo_x = xs_trial;
+                f_steep = total - target;
+                if side == -1 {
+                    f_shallow *= 0.5;
+                }
+                side = -1;
             } else {
                 shallow = trial;
                 hi_x = xs_trial;
+                f_shallow = total - target;
+                if side == 1 {
+                    f_steep *= 0.5;
+                }
+                side = 1;
             }
         }
         Err(Error::NoConvergence { algorithm: "slope bisection", steps: self.max_steps })
@@ -178,6 +262,55 @@ impl Partitioner for BisectionPartitioner {
         } else {
             let bracket = bracket_slopes(n, funcs)?;
             self.partition_from_bracket(n, funcs, bracket, Trace::default())
+        }
+    }
+
+    fn resolve_from<F: SpeedFunction>(
+        &self,
+        prev: &Distribution,
+        n: u64,
+        funcs: &[F],
+    ) -> Result<PartitionReport> {
+        validate_processors(funcs)?;
+        if n == 0 {
+            return Ok(empty_report(funcs.len()));
+        }
+        let seed = match seed_slope(prev, funcs) {
+            Some(s) => s,
+            None => return self.partition(n, funcs),
+        };
+        // First-order rescale for the new size: the donor's slope balanced
+        // `prev.total()` elements and the balanced total is inversely
+        // proportional to the slope for locally flat graphs (exactly so for
+        // constant speeds), so `seed·prev_total/n` centres the ε-bracket on
+        // the expected optimum instead of on the donor's. `prev.total() > 0`
+        // whenever the seed exists, and steeper-than-flat graphs only move
+        // the optimum further in the same direction, which the bracket
+        // widening covers.
+        let seed = seed * (prev.total() as f64 / n as f64);
+        if self.eval_cache {
+            let cached: Vec<CachedSpeed<&F>> = funcs.iter().map(CachedSpeed::new).collect();
+            match bracket_from_slope_probed(n, &cached, seed) {
+                Ok((bracket, probes)) => {
+                    let trace = Trace { warm_bracket: true, ..Trace::default() };
+                    self.resolve_from_bracket_probed(n, &cached, bracket, trace, probes)
+                }
+                Err(_) => {
+                    let bracket = bracket_slopes(n, &cached)?;
+                    self.partition_from_bracket(n, &cached, bracket, Trace::default())
+                }
+            }
+        } else {
+            match bracket_from_slope_probed(n, funcs, seed) {
+                Ok((bracket, probes)) => {
+                    let trace = Trace { warm_bracket: true, ..Trace::default() };
+                    self.resolve_from_bracket_probed(n, funcs, bracket, trace, probes)
+                }
+                Err(_) => {
+                    let bracket = bracket_slopes(n, funcs)?;
+                    self.partition_from_bracket(n, funcs, bracket, Trace::default())
+                }
+            }
         }
     }
 }
@@ -291,5 +424,32 @@ mod tests {
             BisectionPartitioner::new().partition(5, &funcs),
             Err(Error::NoProcessors)
         ));
+    }
+
+    #[test]
+    fn warm_resolve_is_bit_identical_to_cold() {
+        let funcs = mixed_cluster();
+        let p = BisectionPartitioner::new();
+        let base = p.partition(10_000_000, &funcs).unwrap();
+        // Near-duplicate sizes around the donor, plus a far one to force the
+        // widening path; all must match cold solves exactly.
+        for n in [10_000_000u64, 10_000_001, 9_999_000, 10_010_000, 2_000_000] {
+            let cold = p.partition(n, &funcs).unwrap();
+            let warm = p.resolve_from(&base.distribution, n, &funcs).unwrap();
+            assert_eq!(cold.distribution, warm.distribution, "n = {n}");
+            assert_eq!(cold.makespan.to_bits(), warm.makespan.to_bits(), "n = {n}");
+            assert!(warm.trace.warm_bracket, "n = {n}: warm bracket not used");
+        }
+    }
+
+    #[test]
+    fn warm_resolve_falls_back_on_empty_donor() {
+        let funcs = mixed_cluster();
+        let p = BisectionPartitioner::new();
+        let empty = Distribution::new(vec![0; funcs.len()]);
+        let cold = p.partition(1_000_000, &funcs).unwrap();
+        let warm = p.resolve_from(&empty, 1_000_000, &funcs).unwrap();
+        assert_eq!(cold.distribution, warm.distribution);
+        assert!(!warm.trace.warm_bracket);
     }
 }

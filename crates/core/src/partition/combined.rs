@@ -21,9 +21,11 @@
 //! rather than failing.
 
 use super::bisection::BisectionPartitioner;
-use super::initial::{bracket_slopes, SlopeBracket};
+use super::initial::{bracket_from_slope_probed, bracket_slopes, SlopeBracket};
 use super::modified::ModifiedPartitioner;
-use super::problem::{empty_report, validate_processors, PartitionReport, Partitioner};
+use super::problem::{
+    empty_report, seed_slope, validate_processors, Distribution, PartitionReport, Partitioner,
+};
 use crate::error::{Error, Result};
 use crate::geometry::intersections_at_slope;
 use crate::speed::{CachedSpeed, SpeedFunction};
@@ -163,9 +165,76 @@ impl CombinedPartitioner {
     }
 }
 
+impl CombinedPartitioner {
+    /// The warm path over (possibly cache-wrapped) models: basic bisection
+    /// from the seeded bracket, modified as the usual safety net.
+    fn resolve_from_inner<F: SpeedFunction>(
+        &self,
+        n: u64,
+        funcs: &[F],
+        seed: f64,
+    ) -> Option<Result<PartitionReport>> {
+        let (bracket, probes) = match bracket_from_slope_probed(n, funcs, seed) {
+            Ok(seeded) => seeded,
+            Err(_) => return None,
+        };
+        let trace = Trace { warm_bracket: true, ..Trace::default() };
+        let basic = BisectionPartitioner::new().with_max_steps(self.basic_step_budget);
+        match basic.resolve_from_bracket_probed(n, funcs, bracket, trace.clone(), probes) {
+            Ok(report) => Some(Ok(report)),
+            Err(Error::NoConvergence { .. }) => {
+                Some(ModifiedPartitioner::new().partition_from_bracket(n, funcs, bracket, trace))
+            }
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
 impl Partitioner for CombinedPartitioner {
     fn partition<F: SpeedFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
         self.partition_explain(n, funcs).map(|(report, _)| report)
+    }
+
+    fn resolve_from<F: SpeedFunction>(
+        &self,
+        prev: &Distribution,
+        n: u64,
+        funcs: &[F],
+    ) -> Result<PartitionReport> {
+        validate_processors(funcs)?;
+        if n == 0 {
+            return Ok(empty_report(funcs.len()));
+        }
+        let seed = match seed_slope(prev, funcs) {
+            Some(s) => s,
+            None => return self.partition(n, funcs),
+        };
+        // First-order rescale for the new size: the donor's slope balanced
+        // `prev.total()` elements and the balanced total is inversely
+        // proportional to the slope for locally flat graphs (exactly so for
+        // constant speeds), so `seed·prev_total/n` centres the ε-bracket on
+        // the expected optimum instead of on the donor's. `prev.total() > 0`
+        // whenever the seed exists, and steeper-than-flat graphs only move
+        // the optimum further in the same direction, which the bracket
+        // widening covers.
+        let seed = seed * (prev.total() as f64 / n as f64);
+        // The warm search probes only a handful of slopes, and when every
+        // model answers `intersect_slope` in closed form each `speed(x)`
+        // probe lands on a fresh `x` — the memo table would be written once
+        // per key and never read. Skip the wrapper there; keep it for
+        // models that fall back to the numeric intersection search, whose
+        // exponential bracketing re-probes the same abscissas every sweep.
+        let closed_form = funcs.iter().all(|f| f.intersect_slope(1.0).is_some());
+        let warm = if self.eval_cache && !closed_form {
+            let cached: Vec<CachedSpeed<&F>> = funcs.iter().map(CachedSpeed::new).collect();
+            self.resolve_from_inner(n, &cached, seed)
+        } else {
+            self.resolve_from_inner(n, funcs, seed)
+        };
+        match warm {
+            Some(result) => result,
+            None => self.partition(n, funcs),
+        }
     }
 }
 
@@ -249,5 +318,33 @@ mod tests {
         let funcs = mixed_cluster();
         let r = CombinedPartitioner::new().partition(0, &funcs).unwrap();
         assert_eq!(r.distribution.total(), 0);
+    }
+
+    #[test]
+    fn warm_resolve_is_bit_identical_to_cold() {
+        let funcs = mixed_cluster();
+        let p = CombinedPartitioner::new();
+        let base = p.partition(10_000_000, &funcs).unwrap();
+        for n in [10_000_000u64, 10_000_001, 9_999_000, 10_010_000, 2_000_000] {
+            let cold = p.partition(n, &funcs).unwrap();
+            let warm = p.resolve_from(&base.distribution, n, &funcs).unwrap();
+            assert_eq!(cold.distribution, warm.distribution, "n = {n}");
+            assert_eq!(cold.makespan.to_bits(), warm.makespan.to_bits(), "n = {n}");
+            assert!(warm.trace.warm_bracket, "n = {n}: warm bracket not used");
+        }
+    }
+
+    #[test]
+    fn warm_resolve_survives_flat_graphs() {
+        // Constant graphs route the cold path to the modified algorithm;
+        // the warm path's basic stage must still land on the same integer
+        // split (the fine-tune is bracket-independent).
+        let funcs = vec![ConstantSpeed::new(100.0), ConstantSpeed::new(50.0)];
+        let p = CombinedPartitioner::new();
+        let base = p.partition(3000, &funcs).unwrap();
+        let warm = p.resolve_from(&base.distribution, 3003, &funcs).unwrap();
+        let cold = p.partition(3003, &funcs).unwrap();
+        assert_eq!(cold.distribution, warm.distribution);
+        assert_eq!(cold.makespan.to_bits(), warm.makespan.to_bits());
     }
 }

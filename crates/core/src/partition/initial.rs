@@ -63,6 +63,20 @@ pub fn bracket_slopes<F: SpeedFunction>(n: u64, funcs: &[F]) -> Result<SlopeBrac
     debug_assert!(n > 0 && !funcs.is_empty());
     let target = n as f64;
 
+    // A NaN or infinite probed speed would otherwise slip through the
+    // recovery guards below (`steep * 1e-3` and `shallow * 2.0` both
+    // propagate NaN, and an infinite steep spins the expansion loop), so
+    // reject malformed models before any slope arithmetic.
+    let share = (target / funcs.len() as f64).max(1.0);
+    for (i, f) in funcs.iter().enumerate() {
+        if !f.speed(share).is_finite() {
+            return Err(Error::InvalidSpeedFunction {
+                processor: i,
+                reason: "non-finite speed at the n/p probe",
+            });
+        }
+    }
+
     let (mut shallow, mut steep) = match initial_slopes(n, funcs) {
         Some((lo, hi)) => (lo, hi),
         None => {
@@ -78,11 +92,20 @@ pub fn bracket_slopes<F: SpeedFunction>(n: u64, funcs: &[F]) -> Result<SlopeBrac
         steep = shallow * 2.0;
     }
 
-    // Ensure the steep side undershoots the target.
+    // Ensure the steep side undershoots the target. A model whose totals
+    // never fall below the target would drive `steep *= 4.0` into overflow;
+    // treat that as the model violation it is rather than spinning until
+    // the step guard reports a misleading NoConvergence.
     let mut guard = 0;
     while total_elements_at_slope(funcs, steep) > target {
         steep *= 4.0;
         guard += 1;
+        if !steep.is_finite() {
+            return Err(Error::InvalidSpeedFunction {
+                processor: 0,
+                reason: "element total never undershoots the target at any finite slope",
+            });
+        }
         if guard > 400 {
             return Err(Error::NoConvergence { algorithm: "bracket_slopes(steep)", steps: guard });
         }
@@ -93,7 +116,7 @@ pub fn bracket_slopes<F: SpeedFunction>(n: u64, funcs: &[F]) -> Result<SlopeBrac
     while total_elements_at_slope(funcs, shallow) < target {
         shallow /= 4.0;
         guard += 1;
-        if guard > 400 {
+        if guard > 400 || shallow <= 0.0 {
             let capacity: f64 = funcs.iter().map(|f| f.max_size().min(1e18)).sum();
             return Err(Error::InsufficientCapacity {
                 requested: n,
@@ -102,6 +125,97 @@ pub fn bracket_slopes<F: SpeedFunction>(n: u64, funcs: &[F]) -> Result<SlopeBrac
         }
     }
     Ok(SlopeBracket { shallow, steep })
+}
+
+/// Seeds a [`SlopeBracket`] from a known-good slope — the warm-start path.
+///
+/// The interval starts at `[slope·(1−ε), slope·(1+ε)]` (ε = 1e-3) and each
+/// failing side is widened by *squaring* its relative offset factor
+/// (`1±ε → (1±ε)² → …`), i.e. the offset doubles in log-slope space. A
+/// seed that misses the optimum by a hair therefore costs one extra probe
+/// and keeps the bracket within a few ε of the seed — halving the slope
+/// outright would hand the search a bracket ~500× wider than the miss —
+/// while a seed that is orders of magnitude off is still covered: k
+/// squarings reach a relative offset of `ε·2^k`. Callers should fall back
+/// to [`bracket_slopes`] on any error: the seed slope may simply be too
+/// far from the new optimum.
+///
+/// # Errors
+///
+/// [`Error::NoConvergence`] if `slope` is non-positive or non-finite, if a
+/// total evaluates to a non-finite value, or if either side fails to
+/// bracket within its widening budget.
+pub fn bracket_from_slope<F: SpeedFunction>(
+    n: u64,
+    funcs: &[F],
+    slope: f64,
+) -> Result<SlopeBracket> {
+    bracket_from_slope_probed(n, funcs, slope).map(|(bracket, _) | bracket)
+}
+
+/// A [`SlopeBracket`] per machine intersection pair: the abscissas at the
+/// steep bound (`lo`, summing ≤ n) and at the shallow bound (`hi`, summing
+/// ≥ n), as evaluated while establishing the bracket.
+pub type BracketProbes = (Vec<f64>, Vec<f64>);
+
+/// [`bracket_from_slope`], additionally returning the per-machine
+/// intersections evaluated at the two accepted bounds so the subsequent
+/// search can start without re-sweeping the endpoints.
+pub(crate) fn bracket_from_slope_probed<F: SpeedFunction>(
+    n: u64,
+    funcs: &[F],
+    slope: f64,
+) -> Result<(SlopeBracket, BracketProbes)> {
+    debug_assert!(n > 0 && !funcs.is_empty());
+    const EPSILON: f64 = 1e-3;
+    const WIDEN_BUDGET: usize = 64;
+    let fail = |algorithm: &'static str, steps: usize| {
+        Err(Error::NoConvergence { algorithm, steps })
+    };
+    if !slope.is_finite() || slope <= 0.0 {
+        return fail("bracket_from_slope(seed)", 0);
+    }
+    let target = n as f64;
+    let mut up = 1.0 + EPSILON;
+    let mut down = 1.0 - EPSILON;
+    let mut steep = slope * up;
+    let mut shallow = slope * down;
+
+    let mut guard = 0;
+    let lo_x = loop {
+        let xs = crate::geometry::intersections_at_slope(funcs, steep);
+        let total: f64 = xs.iter().sum();
+        if !total.is_finite() {
+            return fail("bracket_from_slope(steep)", guard);
+        }
+        if total <= target {
+            break xs;
+        }
+        up *= up;
+        steep = slope * up;
+        guard += 1;
+        if guard > WIDEN_BUDGET || !steep.is_finite() {
+            return fail("bracket_from_slope(steep)", guard);
+        }
+    };
+    guard = 0;
+    let hi_x = loop {
+        let xs = crate::geometry::intersections_at_slope(funcs, shallow);
+        let total: f64 = xs.iter().sum();
+        if !total.is_finite() {
+            return fail("bracket_from_slope(shallow)", guard);
+        }
+        if total >= target {
+            break xs;
+        }
+        down *= down;
+        shallow = slope * down;
+        guard += 1;
+        if guard > WIDEN_BUDGET || shallow <= 0.0 {
+            return fail("bracket_from_slope(shallow)", guard);
+        }
+    };
+    Ok((SlopeBracket { shallow, steep }, (lo_x, hi_x)))
 }
 
 #[cfg(test)]
@@ -160,5 +274,83 @@ mod tests {
         let funcs = vec![ConstantSpeed::new(10.0), ConstantSpeed::new(90.0)];
         let b = bracket_slopes(1000, &funcs).unwrap();
         assert!(b.width() > 0.0);
+    }
+
+    /// A model whose probe is broken in a specific way — mirrors the shapes
+    /// testkit's `FaultyMeasurer` injects (NaN, ±∞) at model-building time,
+    /// here surfacing at solve time instead.
+    struct FaultySpeed(f64);
+
+    impl crate::speed::SpeedFunction for FaultySpeed {
+        fn speed(&self, _x: f64) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn nan_speed_is_rejected_cleanly() {
+        let funcs = vec![FaultySpeed(100.0), FaultySpeed(f64::NAN)];
+        let err = bracket_slopes(1_000_000, &funcs).unwrap_err();
+        assert!(
+            matches!(err, Error::InvalidSpeedFunction { processor: 1, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn infinite_speed_is_rejected_cleanly() {
+        let funcs = vec![FaultySpeed(f64::INFINITY), FaultySpeed(50.0)];
+        let err = bracket_slopes(1_000_000, &funcs).unwrap_err();
+        assert!(
+            matches!(err, Error::InvalidSpeedFunction { processor: 0, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn negative_infinite_speed_is_rejected_cleanly() {
+        let funcs = vec![FaultySpeed(f64::NEG_INFINITY)];
+        let err = bracket_slopes(1000, &funcs).unwrap_err();
+        assert!(matches!(err, Error::InvalidSpeedFunction { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn warm_bracket_is_tight_around_a_good_seed() {
+        let funcs = vec![
+            AnalyticSpeed::decreasing(200.0, 1e6, 2.0),
+            AnalyticSpeed::saturating(150.0, 5e4),
+            AnalyticSpeed::unimodal(250.0, 1e4, 5e6, 2.0),
+        ];
+        let n = 10_000_000u64;
+        let cold = bracket_slopes(n, &funcs).unwrap();
+        // Use the cold bracket's midpoint as a plausible previous-solution
+        // slope; the warm bracket must be valid and far tighter than cold.
+        let seed = 0.5 * (cold.shallow + cold.steep);
+        let warm = bracket_from_slope(n, &funcs, seed).unwrap();
+        assert!(warm.shallow < warm.steep);
+        assert!(total_elements_at_slope(&funcs, warm.steep) <= n as f64 + 1e-3);
+        assert!(total_elements_at_slope(&funcs, warm.shallow) >= n as f64 - 1e-3);
+    }
+
+    #[test]
+    fn warm_bracket_widens_until_it_brackets() {
+        let funcs = vec![ConstantSpeed::new(100.0), ConstantSpeed::new(50.0)];
+        let n = 300u64;
+        // Optimal slope is 0.5 (150 · slope⁻¹ = 300); seed far away on both
+        // sides and require a valid bracket anyway.
+        for seed in [1e-6, 1e6] {
+            let b = bracket_from_slope(n, &funcs, seed).unwrap();
+            assert!(total_elements_at_slope(&funcs, b.steep) <= n as f64 + 1e-9, "{seed}");
+            assert!(total_elements_at_slope(&funcs, b.shallow) >= n as f64 - 1e-9, "{seed}");
+        }
+    }
+
+    #[test]
+    fn warm_bracket_rejects_bad_seeds() {
+        let funcs = vec![ConstantSpeed::new(100.0)];
+        for seed in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = bracket_from_slope(1000, &funcs, seed).unwrap_err();
+            assert!(matches!(err, Error::NoConvergence { .. }), "seed {seed}: {err:?}");
+        }
     }
 }

@@ -20,8 +20,10 @@
 //! graphs** — unlike the basic algorithm, which is shape-sensitive.
 
 use super::fine_tune::fine_tune;
-use super::initial::{bracket_slopes, SlopeBracket};
-use super::problem::{empty_report, validate_processors, PartitionReport, Partitioner};
+use super::initial::{bracket_from_slope, bracket_slopes, SlopeBracket};
+use super::problem::{
+    empty_report, seed_slope, validate_processors, Distribution, PartitionReport, Partitioner,
+};
 use crate::error::{Error, Result};
 use crate::geometry::intersections_at_slope;
 use crate::speed::{CachedSpeed, SpeedFunction};
@@ -183,6 +185,55 @@ impl Partitioner for ModifiedPartitioner {
             self.partition_from_bracket(n, funcs, bracket, Trace::default())
         }
     }
+
+    fn resolve_from<F: SpeedFunction>(
+        &self,
+        prev: &Distribution,
+        n: u64,
+        funcs: &[F],
+    ) -> Result<PartitionReport> {
+        validate_processors(funcs)?;
+        if n == 0 {
+            return Ok(empty_report(funcs.len()));
+        }
+        let seed = match seed_slope(prev, funcs) {
+            Some(s) => s,
+            None => return self.partition(n, funcs),
+        };
+        // First-order rescale for the new size: the donor's slope balanced
+        // `prev.total()` elements and the balanced total is inversely
+        // proportional to the slope for locally flat graphs (exactly so for
+        // constant speeds), so `seed·prev_total/n` centres the ε-bracket on
+        // the expected optimum instead of on the donor's. `prev.total() > 0`
+        // whenever the seed exists, and steeper-than-flat graphs only move
+        // the optimum further in the same direction, which the bracket
+        // widening covers.
+        let seed = seed * (prev.total() as f64 / n as f64);
+        if self.eval_cache {
+            let cached: Vec<CachedSpeed<&F>> = funcs.iter().map(CachedSpeed::new).collect();
+            match bracket_from_slope(n, &cached, seed) {
+                Ok(bracket) => {
+                    let trace = Trace { warm_bracket: true, ..Trace::default() };
+                    self.partition_from_bracket(n, &cached, bracket, trace)
+                }
+                Err(_) => {
+                    let bracket = bracket_slopes(n, &cached)?;
+                    self.partition_from_bracket(n, &cached, bracket, Trace::default())
+                }
+            }
+        } else {
+            match bracket_from_slope(n, funcs, seed) {
+                Ok(bracket) => {
+                    let trace = Trace { warm_bracket: true, ..Trace::default() };
+                    self.partition_from_bracket(n, funcs, bracket, trace)
+                }
+                Err(_) => {
+                    let bracket = bracket_slopes(n, funcs)?;
+                    self.partition_from_bracket(n, funcs, bracket, Trace::default())
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +310,20 @@ mod tests {
         for n in 1..=8u64 {
             let r = ModifiedPartitioner::new().partition(n, &funcs).unwrap();
             assert_eq!(r.distribution.total(), n);
+        }
+    }
+
+    #[test]
+    fn warm_resolve_is_bit_identical_to_cold() {
+        let funcs = mixed_cluster();
+        let p = ModifiedPartitioner::new();
+        let base = p.partition(10_000_000, &funcs).unwrap();
+        for n in [10_000_000u64, 10_000_001, 9_999_000, 10_010_000, 2_000_000] {
+            let cold = p.partition(n, &funcs).unwrap();
+            let warm = p.resolve_from(&base.distribution, n, &funcs).unwrap();
+            assert_eq!(cold.distribution, warm.distribution, "n = {n}");
+            assert_eq!(cold.makespan.to_bits(), warm.makespan.to_bits(), "n = {n}");
+            assert!(warm.trace.warm_bracket, "n = {n}: warm bracket not used");
         }
     }
 }

@@ -104,6 +104,62 @@ pub trait Partitioner {
     /// * [`Error::NoConvergence`] if the iterative search exceeds its step
     ///   budget.
     fn partition<F: SpeedFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport>;
+
+    /// Partitions `n` elements, warm-started from a previous solution.
+    ///
+    /// Implementations reconstruct the optimal slope of `prev` (the
+    /// distribution of a near-duplicate problem — slightly different `n`
+    /// or slightly perturbed models) and seed a tight bracket around it,
+    /// falling back to the cold path when the seed fails to bracket. The
+    /// result must be **bit-identical** to a cold [`Partitioner::partition`]
+    /// on the same `(n, funcs)`; only the trace may differ.
+    ///
+    /// The default implementation simply runs the cold path, so algorithms
+    /// without a meaningful warm start stay correct automatically.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Partitioner::partition`].
+    fn resolve_from<F: SpeedFunction>(
+        &self,
+        prev: &Distribution,
+        n: u64,
+        funcs: &[F],
+    ) -> Result<PartitionReport> {
+        let _ = prev;
+        self.partition(n, funcs)
+    }
+}
+
+/// Reconstructs the optimal-line slope of a previous solution: the median
+/// of `s_i(x_i)/x_i` over the machines that received work.
+///
+/// On the optimal line every loaded machine's point `(x_i, s_i(x_i))` lies
+/// (up to integer rounding) on `y = c·x`, so each loaded machine votes for
+/// the slope and the median discards the rounding outliers (and, after a
+/// model refit, the machines whose functions moved most). Returns `None`
+/// when no machine yields a positive finite vote — callers then take the
+/// cold path.
+pub fn seed_slope<F: SpeedFunction>(prev: &Distribution, funcs: &[F]) -> Option<f64> {
+    if prev.len() != funcs.len() {
+        return None;
+    }
+    let mut votes: Vec<f64> = prev
+        .counts()
+        .iter()
+        .zip(funcs)
+        .filter(|&(&x, _)| x > 0)
+        .map(|(&x, f)| f.speed(x as f64) / x as f64)
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .collect();
+    if votes.is_empty() {
+        return None;
+    }
+    // Median by selection: the same element a full `total_cmp` sort would
+    // put at the middle index, at `O(p)` instead of `O(p·log p)`.
+    let mid = votes.len() / 2;
+    let (_, median, _) = votes.select_nth_unstable_by(mid, f64::total_cmp);
+    Some(*median)
 }
 
 /// Shared argument validation: non-empty processor list.

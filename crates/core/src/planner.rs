@@ -40,7 +40,7 @@
 use crate::error::{Error, Result};
 use crate::partition::{
     BisectionPartitioner, BoundedPartitioner, CombinedPartitioner, ContiguousPartitioner,
-    ModifiedPartitioner, PartitionReport, Partitioner, SecantPartitioner,
+    Distribution, ModifiedPartitioner, PartitionReport, Partitioner, SecantPartitioner,
     SingleNumberPartitioner,
 };
 use crate::speed::SpeedFunction;
@@ -179,6 +179,21 @@ impl AlgorithmId {
     /// with the same functions (see the module docs).
     pub fn solve(&self, n: u64, funcs: &[&dyn SpeedFunction]) -> Result<PartitionReport> {
         self.instantiate().partition_dyn(n, funcs)
+    }
+
+    /// Resolves and warm-starts the partitioner from a previous solution's
+    /// per-processor counts (see [`Partitioner::resolve_from`]).
+    ///
+    /// Bit-identical to [`AlgorithmId::solve`] on the same `(n, funcs)`;
+    /// only the trace differs. Algorithms without a warm path fall through
+    /// to their cold solve.
+    pub fn resolve_from(
+        &self,
+        prev_counts: &[u64],
+        n: u64,
+        funcs: &[&dyn SpeedFunction],
+    ) -> Result<PartitionReport> {
+        self.instantiate().resolve_from_dyn(prev_counts, n, funcs)
     }
 }
 
@@ -385,6 +400,21 @@ pub trait DynPartitioner: Send + Sync {
         n: u64,
         funcs: &[&dyn SpeedFunction],
     ) -> Result<PartitionReport>;
+
+    /// Warm-starts from the per-processor counts of a previous solution
+    /// (see [`Partitioner::resolve_from`]). The counts are passed as a raw
+    /// slice to stay object-safe; implementations wrap them in a
+    /// [`crate::partition::Distribution`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of the underlying [`Partitioner::resolve_from`].
+    fn resolve_from_dyn(
+        &self,
+        prev_counts: &[u64],
+        n: u64,
+        funcs: &[&dyn SpeedFunction],
+    ) -> Result<PartitionReport>;
 }
 
 impl<P: Partitioner + Send + Sync> DynPartitioner for P {
@@ -395,6 +425,16 @@ impl<P: Partitioner + Send + Sync> DynPartitioner for P {
     ) -> Result<PartitionReport> {
         self.partition(n, funcs)
     }
+
+    fn resolve_from_dyn(
+        &self,
+        prev_counts: &[u64],
+        n: u64,
+        funcs: &[&dyn SpeedFunction],
+    ) -> Result<PartitionReport> {
+        let prev = Distribution::new(prev_counts.to_vec());
+        self.resolve_from(&prev, n, funcs)
+    }
 }
 
 /// A boxed erased partitioner is itself a [`Partitioner`], so generic
@@ -404,6 +444,16 @@ impl Partitioner for Box<dyn DynPartitioner> {
     fn partition<F: SpeedFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
         let refs: Vec<&dyn SpeedFunction> = funcs.iter().map(|f| f as _).collect();
         (**self).partition_dyn(n, refs.as_slice())
+    }
+
+    fn resolve_from<F: SpeedFunction>(
+        &self,
+        prev: &Distribution,
+        n: u64,
+        funcs: &[F],
+    ) -> Result<PartitionReport> {
+        let refs: Vec<&dyn SpeedFunction> = funcs.iter().map(|f| f as _).collect();
+        (**self).resolve_from_dyn(prev.counts(), n, refs.as_slice())
     }
 }
 
@@ -619,6 +669,37 @@ mod tests {
                 direct.makespan.to_bits(),
                 "{id}: makespan not bit-identical"
             );
+        }
+    }
+
+    #[test]
+    fn warm_resolve_is_bit_exact_for_every_registry_entry() {
+        // The warm-start contract across the whole catalog: for any donor
+        // plan and any near-duplicate n, resolve_from must reproduce the
+        // cold solve bit for bit (algorithms without a warm path fall
+        // through to the cold solve, trivially satisfying this).
+        let funcs = sample_cluster();
+        let refs = erase(&funcs);
+        let donor_n = 3_456_789u64;
+        for info in registry() {
+            let id = info.id_with(5e5);
+            let donor = id.solve(donor_n, &refs).unwrap();
+            for n in [donor_n, donor_n + 1, donor_n - 3000, donor_n + 3456] {
+                let cold = id.solve(n, &refs).unwrap();
+                let warm = id
+                    .resolve_from(donor.distribution.counts(), n, &refs)
+                    .unwrap();
+                assert_eq!(
+                    cold.distribution.counts(),
+                    warm.distribution.counts(),
+                    "{id} at n={n}: counts diverge"
+                );
+                assert_eq!(
+                    cold.makespan.to_bits(),
+                    warm.makespan.to_bits(),
+                    "{id} at n={n}: makespan not bit-identical"
+                );
+            }
         }
     }
 

@@ -11,10 +11,39 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use super::function::SpeedFunction;
+
+/// Multiply-shift hasher for the cache's `u64` bit-pattern keys.
+///
+/// The keys are raw IEEE-754 bit patterns — already high-entropy in the
+/// mantissa — so the DoS-resistant SipHash of the default `HashMap` only
+/// adds latency: the cache sits on the hot path of every `speed()` probe
+/// and the fine-tuning heap issues thousands of them per solve. One
+/// Fibonacci multiply mixes the bits plenty for open addressing.
+#[derive(Default)]
+struct BitsHasher(u64);
+
+impl Hasher for BitsHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, key: u64) {
+        self.0 = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type BitsMap = HashMap<u64, f64, BuildHasherDefault<BitsHasher>>;
 
 /// A [`SpeedFunction`] decorator that memoizes `speed(x)` per abscissa.
 ///
@@ -35,7 +64,7 @@ use super::function::SpeedFunction;
 #[derive(Debug)]
 pub struct CachedSpeed<F> {
     inner: F,
-    cache: RefCell<HashMap<u64, f64>>,
+    cache: RefCell<BitsMap>,
     hits: Cell<u64>,
     misses: Cell<u64>,
 }
@@ -45,7 +74,7 @@ impl<F: SpeedFunction> CachedSpeed<F> {
     pub fn new(inner: F) -> Self {
         Self {
             inner,
-            cache: RefCell::new(HashMap::new()),
+            cache: RefCell::new(BitsMap::default()),
             hits: Cell::new(0),
             misses: Cell::new(0),
         }
@@ -125,7 +154,7 @@ impl<F: SpeedFunction> SpeedFunction for CachedSpeed<F> {
 #[derive(Debug)]
 pub struct SharedCachedSpeed<F> {
     inner: F,
-    cache: Mutex<HashMap<u64, f64>>,
+    cache: Mutex<BitsMap>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -135,7 +164,7 @@ impl<F: SpeedFunction> SharedCachedSpeed<F> {
     pub fn new(inner: F) -> Self {
         Self {
             inner,
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(BitsMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }

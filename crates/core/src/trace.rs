@@ -36,6 +36,10 @@ pub struct Trace {
     pub iterations: Vec<IterationRecord>,
     /// Total number of speed-function evaluations performed.
     pub speed_evaluations: u64,
+    /// Whether the run was seeded from a previous solution's slope (the
+    /// warm-start path). `false` for cold solves and for warm requests
+    /// that fell back to the cold bracket construction.
+    pub warm_bracket: bool,
 }
 
 impl Trace {

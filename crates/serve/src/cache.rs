@@ -237,6 +237,40 @@ impl PlanCache {
         flight.done.notify_all();
     }
 
+    /// Finds a donor plan for warm-starting: the successfully solved entry
+    /// with the same `(fingerprint, epoch, algo)` whose size is nearest to
+    /// `n`. An exact-`n` entry is allowed — the caller asks for the
+    /// *current* epoch only after that exact key missed (single-flight
+    /// guarantees it stays absent while the flight computes), and for the
+    /// *previous* epoch the same-`n` pre-refit plan is the ideal seed.
+    ///
+    /// Scans every shard: sibling sizes of one cluster deliberately hash to
+    /// different shards. This is miss-path-only work over at most
+    /// `capacity` entries, far cheaper than the cold solve it replaces.
+    pub fn donor(
+        &self,
+        fingerprint: u64,
+        epoch: u64,
+        algo: (u8, u64),
+        n: u64,
+    ) -> Option<Arc<crate::engine::Plan>> {
+        let mut best: Option<(u64, Arc<crate::engine::Plan>)> = None;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            for (key, entry) in &shard.map {
+                if key.fingerprint != fingerprint || key.epoch != epoch || key.algo != algo {
+                    continue;
+                }
+                let Ok(plan) = &entry.value else { continue };
+                let dist = key.n.abs_diff(n);
+                if best.as_ref().is_none_or(|(d, _)| dist < *d) {
+                    best = Some((dist, Arc::clone(plan)));
+                }
+            }
+        }
+        best.map(|(_, plan)| plan)
+    }
+
     /// Number of cached plans across all shards.
     pub fn len(&self) -> usize {
         self.shards
@@ -435,6 +469,39 @@ mod tests {
         assert!(results.iter().all(|(m, _)| *m == 5.0));
         let misses = results.iter().filter(|(_, s)| *s == CacheStatus::Miss).count();
         assert_eq!(misses, 1);
+    }
+
+    #[test]
+    fn donor_finds_nearest_n_across_shards() {
+        let cache = PlanCache::new(64);
+        for n in [100u64, 200, 1000, 5000] {
+            let _ = cache.get_or_compute(key(1, n), || plan(n));
+        }
+        // Other fingerprints/algorithms/epochs must never donate.
+        let _ = cache.get_or_compute(key(2, 201), || plan(201));
+        let _ = cache.get_or_compute(
+            PlanKey { fingerprint: 1, epoch: 1, n: 202, algo: (0, 0) },
+            || plan(202),
+        );
+        let _ = cache.get_or_compute(
+            PlanKey { fingerprint: 1, epoch: 0, n: 203, algo: (2, 0) },
+            || plan(203),
+        );
+        let donor = cache.donor(1, 0, (0, 0), 210).expect("donor expected");
+        assert_eq!(donor.counts, vec![200], "nearest-n donor is 200");
+        // An exact-n match wins outright: the previous-epoch lookup relies
+        // on same-size pre-refit plans being eligible seeds.
+        assert_eq!(cache.donor(1, 0, (0, 0), 200).unwrap().counts, vec![200]);
+        assert!(cache.donor(9, 0, (0, 0), 210).is_none(), "unknown fingerprint");
+    }
+
+    #[test]
+    fn donor_skips_cached_errors() {
+        let cache = PlanCache::new(64);
+        let _ = cache.get_or_compute(key(1, 100), || Err(ProtoError::new("solve_failed", "no")));
+        assert!(cache.donor(1, 0, (0, 0), 101).is_none());
+        let _ = cache.get_or_compute(key(1, 300), || plan(300));
+        assert_eq!(cache.donor(1, 0, (0, 0), 101).unwrap().counts, vec![300]);
     }
 
     #[test]

@@ -133,6 +133,36 @@ pub fn solve(algorithm: AlgorithmId, n: u64, funcs: &[SharedSpeed]) -> PlanResul
     )))
 }
 
+/// Like [`solve`], but warm-started from a donor plan's counts via
+/// [`AlgorithmId::resolve_from`]. The plan is bit-identical to a cold
+/// solve — warm starting only changes how the slope bracket is found, not
+/// which distribution the final refinement converges to.
+///
+/// The second return value is true when the donor's seed actually produced
+/// the bracket (false: the solver fell back to cold bracket construction).
+pub fn solve_warm(
+    algorithm: AlgorithmId,
+    n: u64,
+    funcs: &[SharedSpeed],
+    donor: &[u64],
+) -> (PlanResult, bool) {
+    let refs: Vec<&dyn SpeedFunction> = funcs.iter().map(|f| &**f as _).collect();
+    match algorithm.resolve_from(donor, n, &refs) {
+        Ok(report) => {
+            let seeded = report.trace.warm_bracket;
+            (
+                Ok(Arc::new(Plan::new(
+                    report.distribution.counts().to_vec(),
+                    report.makespan,
+                    report.trace.steps(),
+                ))),
+                seeded,
+            )
+        }
+        Err(e) => (Err(ProtoError::new("solve_failed", e.to_string())), false),
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -257,6 +287,12 @@ impl Engine {
     /// the pool, not by the number of open connections; the cache (with
     /// its single-flight blocking) is entered on the worker so coalesced
     /// waiters occupy pool threads, never the event loop.
+    ///
+    /// A miss first looks for a warm-start donor: the nearest-`n` cached
+    /// plan for the same `(fingerprint, epoch, algo)` or — right after a
+    /// refit — for the cluster's previous `(fingerprint, epoch)`. A donor
+    /// seeds the solver's slope bracket ([`solve_warm`]); the result is
+    /// bit-identical to a cold solve either way.
     pub fn submit(
         &self,
         admission: Admission,
@@ -266,10 +302,34 @@ impl Engine {
         complete: impl FnOnce(PlanResult, CacheStatus) + Send + 'static,
     ) {
         let key = Self::plan_key(cluster, n, algorithm);
+        let prev_key = cluster.prev_fingerprint.as_deref().and_then(|fp| {
+            let bits = u64::from_str_radix(fp, 16).ok()?;
+            Some((bits, cluster.epoch.checked_sub(1)?))
+        });
         let funcs: Vec<SharedSpeed> = cluster.funcs.clone();
         let cache = Arc::clone(&self.cache);
         WorkerPool::global().execute(Box::new(move || {
-            let (result, status) = cache.get_or_compute(key, || solve(algorithm, n, &funcs));
+            // Some(true) = donor seeded the bracket; Some(false) = donor
+            // found but the solver fell back cold; None = no donor.
+            let mut warm: Option<bool> = None;
+            let (result, status) = cache.get_or_compute(key, || {
+                let donor = cache
+                    .donor(key.fingerprint, key.epoch, key.algo, n)
+                    .or_else(|| prev_key.and_then(|(fp, ep)| cache.donor(fp, ep, key.algo, n)));
+                match donor {
+                    Some(donor) => {
+                        let (result, seeded) = solve_warm(algorithm, n, &funcs, &donor.counts);
+                        warm = Some(seeded);
+                        result
+                    }
+                    None => solve(algorithm, n, &funcs),
+                }
+            });
+            match warm {
+                Some(true) => admission.metrics.inc(&admission.metrics.warm_starts),
+                Some(false) => admission.metrics.inc(&admission.metrics.warm_start_fallbacks),
+                None => {}
+            }
             // Release the queue slot before delivering: a caller woken by
             // `complete` must never observe its own slot still occupied.
             drop(admission);
@@ -482,9 +542,39 @@ mod tests {
         let c1 = reg.lookup_ref(ClusterRefView::Name("c")).unwrap();
         let fresh = engine.partition(&c1, 1_000_000, AlgorithmId::Combined, None, &metrics).unwrap();
         assert!(!fresh.cached, "epoch bump must miss the cache");
+        // The post-refit solve warm-starts from the previous epoch's plan,
+        // so step counts may differ from a cold solve — the partition
+        // itself (counts and makespan bits) must not.
         let direct = solve(AlgorithmId::Combined, 1_000_000, &c1.funcs).unwrap();
-        assert_eq!(*fresh.plan, *direct, "refined solve is bit-identical to a cold solve");
+        assert_eq!(fresh.plan.counts, direct.counts, "refined solve is bit-identical to a cold solve");
+        assert_eq!(fresh.plan.makespan.to_bits(), direct.makespan.to_bits());
         assert_ne!(fresh.plan.counts, stale.plan.counts, "drifted machine sheds load");
+        assert_eq!(
+            metrics.warm_starts.load(Ordering::Relaxed),
+            1,
+            "the pre-refit plan donated its slope across the epoch bump"
+        );
+    }
+
+    #[test]
+    fn near_duplicate_sizes_warm_start_bit_identically() {
+        let engine = Arc::new(Engine::new(64, EngineConfig::default()));
+        let metrics = Arc::new(Metrics::new());
+        let c = cluster();
+        let base = 1_000_000u64;
+        engine.partition(&c, base, AlgorithmId::Combined, None, &metrics).unwrap();
+        assert_eq!(metrics.warm_starts.load(Ordering::Relaxed), 0, "first solve has no donor");
+        for n in [base + 1, base - 1, base + 997] {
+            let warm = engine.partition(&c, n, AlgorithmId::Combined, None, &metrics).unwrap();
+            assert!(!warm.cached, "distinct n is a genuine miss");
+            let direct = solve(AlgorithmId::Combined, n, &c.funcs).unwrap();
+            assert_eq!(warm.plan.counts, direct.counts, "n={n}");
+            assert_eq!(warm.plan.makespan.to_bits(), direct.makespan.to_bits(), "n={n}");
+        }
+        let starts = metrics.warm_starts.load(Ordering::Relaxed);
+        let fallbacks = metrics.warm_start_fallbacks.load(Ordering::Relaxed);
+        assert_eq!(starts + fallbacks, 3, "every near-duplicate miss attempted a warm start");
+        assert!(starts > 0, "at least one seed must bracket");
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod registry;
 pub mod server;
 
 pub use client::{Client, PartitionReply, RegisterReply, ReportReply};
-pub use engine::{solve, Engine, EngineConfig, Plan};
+pub use engine::{solve, solve_warm, Engine, EngineConfig, Plan};
 pub use loadgen::{LoadMode, LoadgenConfig, LoadgenReport};
 pub use fpm_core::planner::AlgorithmId;
 pub use protocol::ProtoError;

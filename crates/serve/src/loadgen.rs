@@ -63,6 +63,11 @@ pub struct LoadgenConfig {
     pub deadline_ms: u64,
     /// Wire shape: single, pipelined or batch.
     pub mode: LoadMode,
+    /// Near-duplicate sizing: draw the `distinct_n` sizes from a band
+    /// within `n_base/1000` of `n_base` (instead of 1000-element strides),
+    /// so every first-occurrence miss has a donor plan close enough to
+    /// warm-start the solver.
+    pub near_dup: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -76,6 +81,7 @@ impl Default for LoadgenConfig {
             algorithm: AlgorithmId::Combined,
             deadline_ms: 5000,
             mode: LoadMode::Single,
+            near_dup: false,
         }
     }
 }
@@ -173,9 +179,16 @@ pub fn run(
                 return (latencies, tally);
             };
             // One size sequence per seed, shared by every mode, so reports
-            // across modes describe the same workload.
+            // across modes describe the same workload. Near-dup mode packs
+            // all sizes into a ±1e-3 band around n_base (warm-start
+            // territory); the default spreads them 1000 elements apart.
+            let stride = if cfg.near_dup {
+                (cfg.n_base / (1000 * distinct)).max(1)
+            } else {
+                1000
+            };
             let sizes: Vec<u64> = (0..cfg.requests_per_worker)
-                .map(|_| cfg.n_base + (rng.next() % distinct) * 1000)
+                .map(|_| cfg.n_base + (rng.next() % distinct) * stride)
                 .collect();
             match cfg.mode {
                 LoadMode::Single => {
@@ -427,6 +440,29 @@ mod tests {
         assert!(report.p99_us >= report.p50_us);
         assert!(report.throughput() > 0.0);
         handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn near_dup_run_warm_starts_the_solver() {
+        let handle = spawn(ServerConfig::default()).unwrap();
+        register_demo(handle.addr);
+        let cfg = LoadgenConfig {
+            workers: 2,
+            requests_per_worker: 40,
+            distinct_n: 8,
+            n_base: 1_000_000,
+            near_dup: true,
+            ..LoadgenConfig::default()
+        };
+        let report = run(handle.addr, "demo", &cfg).unwrap();
+        assert_eq!(report.ok, 80);
+        assert_eq!(report.other_errors, 0);
+        let stats = handle.shutdown_and_join();
+        // 8 distinct sizes within 0.1% of each other: the first is a cold
+        // miss, every later first-occurrence warm-starts from its donor.
+        let warm = stats.get("warm_starts").and_then(Json::as_u64).unwrap_or(0);
+        let fallbacks = stats.get("warm_start_fallbacks").and_then(Json::as_u64).unwrap_or(0);
+        assert!(warm > 0, "near-dup burst must warm-start ({warm} warm, {fallbacks} fallback)");
     }
 
     #[test]

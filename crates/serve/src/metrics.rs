@@ -62,10 +62,13 @@ impl Histogram {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= rank {
-                return 1u64 << (i + 1).min(63);
+                // The catch-all bucket holds everything from 2^(HIST_BUCKETS-1)
+                // up to u64::MAX, so its reported upper edge saturates rather
+                // than pretending the tail stops at 2^HIST_BUCKETS µs.
+                return if i == HIST_BUCKETS - 1 { u64::MAX } else { 1u64 << (i + 1) };
             }
         }
-        1u64 << 63
+        u64::MAX
     }
 
     fn snapshot_json(&self) -> Json {
@@ -147,6 +150,11 @@ counters! {
     cache_misses,
     /// Plan-cache waits coalesced onto another request's computation.
     cache_coalesced,
+    /// Cache misses solved warm: seeded from a donor plan's slope.
+    warm_starts,
+    /// Warm-start attempts whose seed failed to bracket (the solver fell
+    /// back to the cold bracket construction).
+    warm_start_fallbacks,
     /// Current engine queue depth (gauge).
     queue_depth,
     /// Peak engine queue depth observed.
@@ -201,6 +209,25 @@ mod tests {
         // Zero micros must not underflow the bucket index.
         h.record(0);
         assert_eq!(h.count(), 9);
+    }
+
+    #[test]
+    fn catch_all_bucket_reports_a_saturated_edge() {
+        // A sample beyond 2^32 µs lands in the catch-all bucket; its
+        // reported quantile edge must cover the sample instead of the old
+        // wrapped-intent 2^32 edge.
+        let h = Histogram::new();
+        let big = (1u64 << 40) + 12345;
+        h.record(big);
+        let p50 = h.quantile_us(0.5);
+        assert_eq!(p50, u64::MAX, "catch-all edge must saturate, got {p50}");
+        assert!(p50 >= big);
+        // Mixed with small samples the tail quantile still saturates.
+        for _ in 0..9 {
+            h.record(10);
+        }
+        assert!(h.quantile_us(0.5) < u64::MAX);
+        assert_eq!(h.quantile_us(1.0), u64::MAX);
     }
 
     #[test]

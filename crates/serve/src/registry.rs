@@ -42,6 +42,12 @@ pub struct RegisteredCluster {
     /// Refinement epoch: 0 at registration, +1 per accepted `report`.
     /// Folded into the plan-cache key so stale plans are never served.
     pub epoch: u64,
+    /// The fingerprint of the immediately preceding epoch, if this
+    /// snapshot was produced by an accepted `report` (`None` for freshly
+    /// registered clusters). Lets the engine warm-start post-refit solves
+    /// from the previous epoch's cached plans — safe because warm starts
+    /// only seed a bracket, never reuse counts.
+    pub prev_fingerprint: Option<String>,
     /// Machine names, in model order.
     pub machine_names: Vec<String>,
     /// The speed functions, shared and evaluation-cached.
@@ -120,6 +126,7 @@ impl Registry {
             name: name.to_owned(),
             fingerprint,
             epoch: 0,
+            prev_fingerprint: None,
             machine_names,
             funcs,
             models,
@@ -238,6 +245,7 @@ impl Registry {
             // must not leak into the refined one.
             next.funcs[machine] = Arc::new(SharedCachedSpeed::new(model.clone()));
             next.models[machine] = model;
+            next.prev_fingerprint = Some(old.fingerprint.clone());
             next.fingerprint = fingerprint_models(&next.models);
             next.epoch += 1;
             next.refine_accepted += 1;
@@ -489,9 +497,12 @@ mod tests {
         assert_eq!(second.machine, "A");
 
         // Still addressable by the original name; fingerprint follows the
-        // refined content, and the stale fingerprint alias is gone.
+        // refined content, and the stale fingerprint alias is gone. The
+        // previous epoch's fingerprint is kept for warm-start donor lookups.
         let now = reg.lookup(&ClusterRef::Name("c".into())).unwrap();
         assert_eq!(now.epoch, 1);
+        assert_eq!(now.prev_fingerprint.as_deref(), Some(c0.fingerprint.as_str()));
+        assert!(c0.prev_fingerprint.is_none(), "fresh registrations have no predecessor");
         assert_eq!(now.fingerprint, second.fingerprint);
         assert!((now.models[0].speed(x) - slow).abs() <= 1e-9 * slow);
         assert_eq!(now.refine_accepted, 1);

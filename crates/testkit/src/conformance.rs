@@ -275,6 +275,84 @@ pub fn check_case(case: &CaseSpec, tol: &Tolerances) -> Vec<CaseFailure> {
     failures
 }
 
+/// Differentially pins the warm-start contract on one generated case: for
+/// every registry entry, [`fpm_core::planner::AlgorithmId::resolve_from`]
+/// seeded with a donor solution must be **bit-identical** — equal counts
+/// and equal makespan bits — to a cold solve, for request sizes both near
+/// the donor (the intended use) and far from it (the seed must still
+/// bracket or fall back transparently).
+pub fn check_warm_start(case: &CaseSpec) -> Vec<CaseFailure> {
+    let mut failures = Vec::new();
+    let n = case.n;
+    let refs = erase(&case.funcs);
+    let reference_size = (n as f64 / case.funcs.len() as f64).max(1.0);
+    let fail = |algorithm: &'static str, message: String| CaseFailure {
+        seed: case.seed,
+        algorithm,
+        descriptor: case.descriptor.clone(),
+        message,
+    };
+
+    for info in registry().iter() {
+        let id = info.id_with(reference_size);
+        // The donor is a prior solve at the case's own size; a cluster the
+        // algorithm rejects outright has nothing to donate.
+        let Ok(donor) = id.solve(n, &refs) else { continue };
+        let step = (n / 1000).max(1);
+        let deltas: [i64; 5] = [0, 1, -1, step as i64 + 7, -(step as i64) - 7];
+        for delta in deltas {
+            let m = n.saturating_add_signed(delta).max(1);
+            let cold = id.solve(m, &refs);
+            let warm = id.resolve_from(donor.distribution.counts(), m, &refs);
+            match (cold, warm) {
+                (Ok(cold), Ok(warm)) => {
+                    if warm.distribution.counts() != cold.distribution.counts()
+                        || warm.makespan.to_bits() != cold.makespan.to_bits()
+                    {
+                        failures.push(fail(
+                            info.name,
+                            format!(
+                                "warm solve diverged at n={m} (donor n={n}): \
+                                 cold makespan {} vs warm {}",
+                                cold.makespan, warm.makespan
+                            ),
+                        ));
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                (Ok(_), Err(e)) => {
+                    failures.push(fail(
+                        info.name,
+                        format!("warm solve failed where cold succeeded at n={m}: {e}"),
+                    ));
+                }
+                (Err(e), Ok(_)) => {
+                    failures.push(fail(
+                        info.name,
+                        format!("warm solve succeeded where cold failed at n={m}: {e}"),
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Runs the warm-start differential sweep over seeded clusters: every
+/// registry entry, every case, cold vs warm bit-identity
+/// ([`check_warm_start`]).
+pub fn run_warm_start_sweep(config: &ConformanceConfig) -> ConformanceReport {
+    let cases = if config.cases == 0 { 120 } else { config.cases };
+    let mut report = ConformanceReport::default();
+    for i in 0..cases {
+        let seed = config.base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let case = CaseSpec::from_seed(seed, &config.gen);
+        report.failures.extend(check_warm_start(&case));
+        report.cases_run += 1;
+    }
+    report
+}
+
 /// Runs a full conformance sweep: `cases` seeded clusters, every
 /// production partitioner checked on each.
 pub fn run_conformance(config: &ConformanceConfig) -> ConformanceReport {
@@ -322,6 +400,17 @@ mod tests {
             ..ConformanceConfig::default()
         });
         assert_eq!(report.cases_run, 40);
+        report.assert_ok();
+    }
+
+    #[test]
+    fn small_warm_start_sweep_is_bit_identical() {
+        let report = run_warm_start_sweep(&ConformanceConfig {
+            cases: 12,
+            base_seed: 0x5EED_1E55,
+            ..ConformanceConfig::default()
+        });
+        assert_eq!(report.cases_run, 12);
         report.assert_ok();
     }
 

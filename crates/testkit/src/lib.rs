@@ -52,8 +52,8 @@ pub use checks::{
     refinement_conformance,
 };
 pub use conformance::{
-    check_case, env_base_seed, env_cases, env_drift_cases, run_conformance, CaseFailure,
-    ConformanceConfig, ConformanceReport, Tolerances,
+    check_case, check_warm_start, env_base_seed, env_cases, env_drift_cases, run_conformance,
+    run_warm_start_sweep, CaseFailure, ConformanceConfig, ConformanceReport, Tolerances,
 };
 pub use fault::{assert_no_panic, FaultKind, FaultyMeasurer};
 pub use gen::{CaseSpec, DriftScenario, GenConfig, ModelKind, WireCluster};

@@ -154,5 +154,23 @@ fn epoch_bump_invalidates_cache_bit_exactly() {
         assert_eq!(replay.counts, warm.counts, "seed {seed:#x}");
     }
 
+    // Every post-bump partition above was a cache miss with the previous
+    // epoch's plan available as a donor, so the engine must have attempted
+    // a warm start for each — and the bit-identity assertions already
+    // proved those warm solves match cold solves on the refined model.
+    let snapshot = client.stats().expect("stats verb");
+    let warm_starts =
+        snapshot.get("warm_starts").and_then(fpm_serve::json::Json::as_u64).unwrap_or(0);
+    let fallbacks = snapshot
+        .get("warm_start_fallbacks")
+        .and_then(fpm_serve::json::Json::as_u64)
+        .unwrap_or(0);
+    assert!(
+        warm_starts + fallbacks >= cases as u64,
+        "expected ≥{cases} warm-start attempts across epoch bumps, \
+         saw {warm_starts} seeded + {fallbacks} fallbacks"
+    );
+    assert!(warm_starts > 0, "no post-refit solve was actually seeded from its donor");
+
     handle.shutdown_and_join();
 }

@@ -1,0 +1,178 @@
+//! Tier-1 differential pin of the warm-start contract.
+//!
+//! Warm starting (`resolve_from`) reconstructs the previous solution's
+//! optimal slope and seeds the bisection bracket with it, so a
+//! near-duplicate request costs `O(p)` intersection work instead of a full
+//! cold bracket construction plus `O(log n)` search. The contract this
+//! suite pins: **a warm-started solve is bit-identical to a cold solve** —
+//! equal counts, equal makespan bits — always, for every algorithm, at any
+//! distance from the donor (a seed that fails to bracket falls back to
+//! cold bracket construction transparently).
+//!
+//! 1. **Core sweep** — ≥120 seeded testkit clusters × every planner
+//!    registry entry × donor deltas near and far
+//!    ([`fpm_testkit::conformance::run_warm_start_sweep`]).
+//! 2. **Engine sweep** — ≥100 wire-format clusters against a live
+//!    [`fpm_serve::Engine`]: near-duplicate sizes warm-start from cached
+//!    donor plans, *including across a refit's epoch bump* (the donor then
+//!    comes from the cluster's previous `(fingerprint, epoch)`), and every
+//!    plan matches a direct solve bit-exactly. The
+//!    `warm_starts`/`warm_start_fallbacks` counters must account for every
+//!    miss that had a donor available.
+//!
+//! Case counts scale with `FPM_TESTKIT_CASES`; seeds derive from
+//! `FPM_TESTKIT_SEED`.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use fpm_core::speed::SpeedFunction;
+use fpm_serve::engine::{solve, Engine, EngineConfig};
+use fpm_serve::metrics::Metrics;
+use fpm_serve::protocol::{ClusterRefView, ClusterSpec, WireModel};
+use fpm_serve::registry::Registry;
+use fpm_serve::AlgorithmId;
+use fpm_testkit::conformance::{env_base_seed, env_cases, run_warm_start_sweep, ConformanceConfig};
+use fpm_testkit::{GenConfig, WireCluster};
+
+/// Every algorithm in the planner registry, cycled across cases.
+const ALGORITHMS: &[AlgorithmId] = &[
+    AlgorithmId::Combined,
+    AlgorithmId::Basic,
+    AlgorithmId::Modified,
+    AlgorithmId::Secant,
+    AlgorithmId::Bounded,
+    AlgorithmId::Contiguous,
+    AlgorithmId::SingleAt(5e5),
+];
+
+#[test]
+fn warm_resolve_is_bit_identical_across_seeded_clusters() {
+    let report = run_warm_start_sweep(&ConformanceConfig {
+        cases: env_cases(120).max(120),
+        base_seed: env_base_seed(0x3A2B_5EED),
+        ..ConformanceConfig::default()
+    });
+    assert!(report.cases_run >= 120, "acceptance floor is 120 clusters");
+    report.assert_ok();
+}
+
+#[test]
+fn engine_warm_starts_are_bit_identical_including_epoch_bumps() {
+    let cases = env_cases(100).max(100);
+    let base = env_base_seed(0x77A2_0057);
+    let cfg = GenConfig::default();
+
+    let engine = Arc::new(Engine::new(1024, EngineConfig::default()));
+    let metrics = Arc::new(Metrics::new());
+    let registry = Registry::new(64);
+
+    let mut attempts_floor = 0u64;
+    let mut bumps = 0usize;
+    for i in 0..cases {
+        let seed = base.wrapping_add(i as u64);
+        let wire = WireCluster::from_seed(seed, &cfg);
+        let models: Vec<WireModel> = wire
+            .models
+            .iter()
+            .map(|(name, knots)| WireModel { name: name.clone(), knots: knots.clone() })
+            .collect();
+        // Bounded name pool: re-registering a name replaces the cluster.
+        let name = format!("warm-{}", i % 32);
+        let c0 = registry
+            .register(&name, &ClusterSpec::Inline(models))
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: register failed: {e}"));
+        let algorithm = ALGORITHMS[i % ALGORITHMS.len()];
+
+        // Cold solve: populates the donor for everything that follows.
+        let cold = engine.partition(&c0, wire.n, algorithm, Some(30_000), &metrics);
+        if cold.is_err() {
+            // e.g. Bounded with insufficient capacity — nothing to donate.
+            continue;
+        }
+
+        // Near-duplicate sizes: every one is a miss with a same-epoch
+        // donor, so every one must attempt a warm start.
+        let step = (wire.n / 1000).max(1);
+        for m in [wire.n + 1, (wire.n - 1).max(1), wire.n + step + 3] {
+            let direct = solve(algorithm, m, &c0.funcs);
+            let served = engine.partition(&c0, m, algorithm, Some(30_000), &metrics);
+            match (direct, served) {
+                (Ok(direct), Ok(served)) => {
+                    attempts_floor += 1;
+                    assert_eq!(
+                        served.plan.counts, direct.counts,
+                        "seed {seed:#x} ({algorithm:?}, n={m}): warm counts diverge"
+                    );
+                    assert_eq!(
+                        served.plan.makespan.to_bits(),
+                        direct.makespan.to_bits(),
+                        "seed {seed:#x} (n={m}): warm makespan not bit-identical"
+                    );
+                }
+                (Err(_), Err(_)) => {}
+                (direct, served) => panic!(
+                    "seed {seed:#x} (n={m}): engine/direct disagreement: {direct:?} vs {served:?}"
+                ),
+            }
+        }
+
+        // Epoch transition: a corroborated report refits machine 0 and
+        // bumps the epoch. The very next solve at the same n misses the
+        // cache but finds the pre-refit plan under the cluster's previous
+        // (fingerprint, epoch) — and must still match a cold solve on the
+        // refined model exactly.
+        let x = (c0.models[0].max_size() * 0.25).max(1.0);
+        let s_slow = c0.models[0].speed(x) * 0.65;
+        if !(s_slow > 0.0) {
+            continue;
+        }
+        let elapsed_us = x / s_slow * 1e6;
+        let _ = registry.report(ClusterRefView::Name(&name), 0, x, elapsed_us);
+        let outcome = registry.report(ClusterRefView::Name(&name), 0, x, elapsed_us);
+        if !outcome.map(|o| o.accepted).unwrap_or(false) {
+            continue;
+        }
+        let c1 = registry
+            .lookup_ref(ClusterRefView::Name(&name))
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: lookup after refit failed: {e}"));
+        assert_eq!(c1.epoch, c0.epoch + 1, "seed {seed:#x}");
+        assert_eq!(
+            c1.prev_fingerprint.as_deref(),
+            Some(c0.fingerprint.as_str()),
+            "seed {seed:#x}: refit must record the donor fingerprint"
+        );
+        let direct = solve(algorithm, wire.n, &c1.funcs);
+        let served = engine.partition(&c1, wire.n, algorithm, Some(30_000), &metrics);
+        match (direct, served) {
+            (Ok(direct), Ok(served)) => {
+                attempts_floor += 1;
+                bumps += 1;
+                assert!(!served.cached, "seed {seed:#x}: stale plan served across epoch bump");
+                assert_eq!(
+                    served.plan.counts, direct.counts,
+                    "seed {seed:#x}: post-refit warm counts diverge"
+                );
+                assert_eq!(
+                    served.plan.makespan.to_bits(),
+                    direct.makespan.to_bits(),
+                    "seed {seed:#x}: post-refit warm makespan not bit-identical"
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (direct, served) => panic!(
+                "seed {seed:#x}: post-refit engine/direct disagreement: {direct:?} vs {served:?}"
+            ),
+        }
+    }
+
+    let warm = metrics.warm_starts.load(Ordering::Relaxed);
+    let fallbacks = metrics.warm_start_fallbacks.load(Ordering::Relaxed);
+    assert!(
+        warm + fallbacks >= attempts_floor,
+        "every donor-bearing miss must attempt a warm start: \
+         {warm} seeded + {fallbacks} fallbacks < {attempts_floor} attempts"
+    );
+    assert!(warm > 0, "no solve was actually seeded from a donor bracket");
+    assert!(bumps > 0, "the sweep never exercised a post-refit donor");
+}
