@@ -5,7 +5,7 @@ use std::process::ExitCode;
 
 use fpm_cli::commands;
 use fpm_cli::parse_models;
-use fpm_cli::serve_cmd::{self, LoadgenOptions, ReportOptions, ServeOptions};
+use fpm_cli::serve_cmd::{self, LoadgenOptions, ReportOptions, RouterOptions, ServeOptions};
 use fpm_core::planner::AlgorithmId;
 
 const HELP: &str = "\
@@ -22,10 +22,16 @@ USAGE:
     fpm serve       [--addr HOST:PORT] [--model FILE] [--cluster NAME]
                     [--cache CAP] [--queue CAP] [--deadline-ms MS]
                                           (partition daemon; stop with the shutdown verb)
+    fpm router      --shards HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
+                    [--replicas R] [--vnodes V] [--probe-ms MS]
+                                          (front door for N fpm-serve shards: consistent-hash
+                                           routing, replicated registrations, failover, and a
+                                           cluster_stats verb; same wire protocol as serve)
     fpm report      --x ELEMENTS --elapsed-us MICROS [--addr HOST:PORT]
                     [--cluster NAME] [--machine IDX]
                                           (feed an observed run back into the daemon's model)
-    fpm loadgen     [--addr HOST:PORT] [--cluster NAME] [--register TESTBED-APP]
+    fpm loadgen     [--addr HOST:PORT | --endpoints A,B,C] [--cluster NAME]
+                    [--register TESTBED-APP]
                     [--workers K] [--requests N] [--distinct-n D] [--seed S]
                     [--algorithm A] [--deadline-ms MS] [--shutdown]
                     [--pipeline DEPTH | --batch SIZE] [--near-dup]
@@ -179,6 +185,33 @@ fn run() -> Result<(), String> {
             println!("{metrics}");
             Ok(())
         }
+        "router" => {
+            let mut opts = RouterOptions {
+                shards: flags
+                    .get("shards")
+                    .ok_or("--shards HOST:PORT,HOST:PORT,... is required")?
+                    .clone(),
+                ..RouterOptions::default()
+            };
+            if let Some(addr) = flags.get("addr") {
+                opts.addr = addr.clone();
+            }
+            if let Some(v) = flags.get("replicas") {
+                opts.replicas = v.parse().map_err(|_| "unparsable --replicas".to_owned())?;
+            }
+            if let Some(v) = flags.get("vnodes") {
+                opts.vnodes = v.parse().map_err(|_| "unparsable --vnodes".to_owned())?;
+            }
+            if let Some(v) = flags.get("probe-ms") {
+                opts.probe_interval_ms =
+                    v.parse().map_err(|_| "unparsable --probe-ms".to_owned())?;
+            }
+            let metrics = serve_cmd::router(&opts, |addr, _| {
+                println!("fpm router: listening on {addr}");
+            })?;
+            println!("{metrics}");
+            Ok(())
+        }
         "report" => {
             let mut opts = ReportOptions::default();
             if let Some(addr) = flags.get("addr") {
@@ -209,6 +242,7 @@ fn run() -> Result<(), String> {
             if let Some(addr) = flags.get("addr") {
                 opts.addr = addr.clone();
             }
+            opts.endpoints = flags.get("endpoints").cloned();
             if let Some(name) = flags.get("cluster") {
                 opts.cluster = name.clone();
             }

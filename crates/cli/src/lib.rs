@@ -14,11 +14,13 @@
 //! piece-wise linear speed function (sizes in elements, speeds in MFlops;
 //! `#` starts a comment). See [`model_file`].
 //!
-//! The serving layer has its own pair of commands (see [`serve_cmd`]):
+//! The serving layer has its own commands (see [`serve_cmd`]):
 //!
 //! ```text
 //! fpm serve --addr 127.0.0.1:7171 --model cluster.fpm     # long-lived daemon
 //! fpm loadgen --addr 127.0.0.1:7171 --register table2-mm  # drive it
+//! fpm router --shards 127.0.0.1:7171,127.0.0.1:7172       # shard front door
+//! fpm loadgen --endpoints 127.0.0.1:7170 --register table2-mm
 //! ```
 
 #![forbid(unsafe_code)]

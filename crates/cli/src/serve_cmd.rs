@@ -1,4 +1,5 @@
-//! `fpm serve` and `fpm loadgen`: the CLI front end of the serving layer.
+//! `fpm serve`, `fpm router` and `fpm loadgen`: the CLI front end of the
+//! serving layer.
 //!
 //! Errors are plain strings: these commands aggregate failures from the
 //! model-file parser, the network layer and the protocol, and the binary
@@ -8,6 +9,7 @@ use std::fmt::Write as _;
 use std::net::SocketAddr;
 use std::time::Duration;
 
+use fpm_router::{RouterConfig, RouterHandle};
 use fpm_serve::client::Client;
 use fpm_serve::json::Json;
 use fpm_serve::loadgen::{self, LoadMode, LoadgenConfig};
@@ -85,6 +87,75 @@ pub fn serve(
     Ok(handle.shutdown_and_join().to_string())
 }
 
+/// Options for `fpm router`.
+#[derive(Debug, Clone)]
+pub struct RouterOptions {
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Comma-separated backend shard addresses (`host:port,host:port,…`).
+    pub shards: String,
+    /// Replication factor for registrations and the failover set.
+    pub replicas: usize,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Health-probe interval, ms.
+    pub probe_interval_ms: u64,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7170".to_owned(),
+            shards: String::new(),
+            replicas: 2,
+            vnodes: fpm_router::DEFAULT_VNODES,
+            probe_interval_ms: 250,
+        }
+    }
+}
+
+/// Parses a comma-separated shard list into socket addresses.
+fn parse_shard_list(list: &str) -> Result<Vec<SocketAddr>, String> {
+    let shards: Vec<SocketAddr> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().map_err(|e| format!("bad shard address {s:?}: {e}")))
+        .collect::<Result<_, _>>()?;
+    if shards.is_empty() {
+        return Err("--shards needs at least one HOST:PORT".to_owned());
+    }
+    Ok(shards)
+}
+
+/// Runs the router until a client sends the `shutdown` verb, then returns
+/// the final router metrics snapshot as a JSON line.
+///
+/// `on_ready` fires once with the bound address and the running handle
+/// (the binary prints the address; tests use the handle to inspect
+/// routing).
+pub fn router(
+    opts: &RouterOptions,
+    on_ready: impl FnOnce(SocketAddr, &RouterHandle),
+) -> Result<String, String> {
+    let addr: SocketAddr =
+        opts.addr.parse().map_err(|e| format!("bad --addr {:?}: {e}", opts.addr))?;
+    let config = RouterConfig {
+        addr,
+        shards: parse_shard_list(&opts.shards)?,
+        replicas: opts.replicas.max(1),
+        vnodes: opts.vnodes.max(1),
+        probe_interval_ms: opts.probe_interval_ms.max(1),
+        ..RouterConfig::default()
+    };
+    let handle = fpm_router::spawn(config).map_err(|e| format!("bind {addr}: {e}"))?;
+    on_ready(handle.addr, &handle);
+    while !handle.is_stopping() {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    Ok(handle.shutdown_and_join().to_string())
+}
+
 /// Options for `fpm report`.
 #[derive(Debug, Clone)]
 pub struct ReportOptions {
@@ -138,6 +209,10 @@ pub fn report(opts: &ReportOptions) -> Result<String, String> {
 pub struct LoadgenOptions {
     /// Server address.
     pub addr: String,
+    /// Comma-separated endpoint list (`--endpoints a,b,c`); when set,
+    /// workers round-robin across these instead of `addr`. Point it at a
+    /// router (or several) to drive a sharded deployment.
+    pub endpoints: Option<String>,
     /// Cluster to drive. When `register` is set the cluster is
     /// (re-)registered first from that testbed spec (`table1-mm` style).
     pub cluster: String,
@@ -170,6 +245,7 @@ impl Default for LoadgenOptions {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:7171".to_owned(),
+            endpoints: None,
             cluster: "default".to_owned(),
             register: None,
             workers: 4,
@@ -196,8 +272,11 @@ fn split_testbed_spec(spec: &str) -> Result<(&str, &str), String> {
 
 /// Drives a load burst against a running server and renders the report.
 pub fn loadgen(opts: &LoadgenOptions) -> Result<String, String> {
-    let addr: SocketAddr =
-        opts.addr.parse().map_err(|e| format!("bad --addr {:?}: {e}", opts.addr))?;
+    let endpoints: Vec<SocketAddr> = match &opts.endpoints {
+        Some(list) => parse_shard_list(list).map_err(|e| e.replace("--shards", "--endpoints"))?,
+        None => vec![opts.addr.parse().map_err(|e| format!("bad --addr {:?}: {e}", opts.addr))?],
+    };
+    let addr = endpoints[0];
     if let Some(spec) = &opts.register {
         let (tb, app) = split_testbed_spec(spec)?;
         let mut client = Client::connect(addr, Duration::from_secs(60))
@@ -223,8 +302,11 @@ pub fn loadgen(opts: &LoadgenOptions) -> Result<String, String> {
         near_dup: opts.near_dup,
         ..LoadgenConfig::default()
     };
-    let report = loadgen::run(addr, &opts.cluster, &cfg).map_err(|e| e.to_string())?;
+    let report = loadgen::run_multi(&endpoints, &opts.cluster, &cfg).map_err(|e| e.to_string())?;
     let mut out = String::new();
+    if endpoints.len() > 1 {
+        let _ = writeln!(out, "endpoints: {}", opts.endpoints.as_deref().unwrap_or_default());
+    }
     let mode_desc = match mode {
         LoadMode::Single => String::new(),
         LoadMode::Pipelined { depth } => format!(", pipeline depth {depth}"),
@@ -442,6 +524,74 @@ mod tests {
         assert!(batched.contains("batch size 8"), "{batched}");
         assert!(batched.contains("ok 48"), "{batched}");
         server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn router_command_fronts_serve_shards() {
+        let shard_a = spawn(ServerConfig::default()).unwrap();
+        let shard_b = spawn(ServerConfig::default()).unwrap();
+        let ropts = RouterOptions {
+            addr: "127.0.0.1:0".to_owned(),
+            shards: format!("{},{}", shard_a.addr, shard_b.addr),
+            ..RouterOptions::default()
+        };
+        let (tx, rx) = mpsc::channel();
+        let router = std::thread::spawn(move || {
+            serve_cmd_router_entry(&ropts, move |addr| tx.send(addr).unwrap())
+        });
+        let addr = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        // Drive the router through the multi-endpoint loadgen path, then
+        // shut the whole deployment down through the router.
+        let lg = LoadgenOptions {
+            endpoints: Some(addr.to_string()),
+            cluster: "routed".to_owned(),
+            register: Some("table1-mm".to_owned()),
+            workers: 2,
+            requests: 20,
+            distinct_n: 2,
+            shutdown_after: true,
+            ..LoadgenOptions::default()
+        };
+        let out = loadgen(&lg).unwrap();
+        assert!(out.contains("ok 40"), "{out}");
+        assert!(out.contains("errors 0"), "{out}");
+        let metrics = router.join().unwrap().unwrap();
+        assert!(metrics.contains("forwarded"), "{metrics}");
+        // The shutdown verb broadcast through the router drains the shards.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        for shard in [&shard_a, &shard_b] {
+            while !shard.is_stopping() {
+                assert!(std::time::Instant::now() < deadline, "shard not draining");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        shard_a.shutdown_and_join();
+        shard_b.shutdown_and_join();
+    }
+
+    /// Adapter: the public `router` entry takes a two-argument callback.
+    fn serve_cmd_router_entry(
+        opts: &RouterOptions,
+        ready: impl FnOnce(SocketAddr),
+    ) -> Result<String, String> {
+        router(opts, |addr, _| ready(addr))
+    }
+
+    #[test]
+    fn bad_shard_lists_are_reported() {
+        assert!(parse_shard_list("").is_err());
+        assert!(parse_shard_list("nonsense").is_err());
+        assert_eq!(
+            parse_shard_list("127.0.0.1:1, 127.0.0.1:2,").unwrap().len(),
+            2
+        );
+        let opts = RouterOptions { shards: String::new(), ..RouterOptions::default() };
+        assert!(router(&opts, |_, _| {}).unwrap_err().contains("--shards"));
+        let lg = LoadgenOptions {
+            endpoints: Some("bogus".to_owned()),
+            ..LoadgenOptions::default()
+        };
+        assert!(loadgen(&lg).unwrap_err().contains("bad shard address"));
     }
 
     #[test]

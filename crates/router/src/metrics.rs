@@ -1,0 +1,101 @@
+//! Router-local counters, served by the router's own `stats` verb.
+//!
+//! Shard-side metrics are not duplicated here: `cluster_stats` merges
+//! them live from the shards ([`fpm_serve::metrics::Counters`] /
+//! [`fpm_serve::metrics::HistogramSnapshot`]). These counters describe
+//! only what the router itself did — forwarding, fan-out, failover and
+//! probing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fpm_serve::json::Json;
+use fpm_serve::metrics::Histogram;
+
+macro_rules! router_counters {
+    ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
+        /// All router-layer counters.
+        #[derive(Default)]
+        pub struct RouterMetrics {
+            $($(#[$doc])* pub $name: AtomicU64,)*
+            /// Forwarded-request latency (client line in to reply out).
+            pub forward_latency: Histogram,
+        }
+
+        impl RouterMetrics {
+            /// Creates zeroed metrics.
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// Point-in-time snapshot as a JSON object.
+            pub fn snapshot_json(&self) -> Json {
+                Json::Obj(vec![
+                    $((stringify!($name).into(),
+                       Json::uint(self.$name.load(Ordering::Relaxed))),)*
+                    ("forward_latency".into(), self.forward_latency.snapshot().to_json()),
+                ])
+            }
+        }
+    };
+}
+
+router_counters! {
+    /// Client connections accepted.
+    connections,
+    /// Request lines received from clients (well-formed or not).
+    requests,
+    /// `partition`/`partition_batch` lines forwarded to a shard.
+    forwarded,
+    /// `register`/`report` fan-outs (one per client request).
+    fanouts,
+    /// Individual shard legs of fan-outs.
+    fanout_legs,
+    /// Forwards retried on a replica after the owner leg failed.
+    failovers,
+    /// Requests that exhausted every replica (client saw an error).
+    failover_exhausted,
+    /// `cluster_stats` requests handled.
+    cluster_stats_requests,
+    /// Router-local `stats` requests handled.
+    stats_requests,
+    /// `ping` requests answered locally.
+    ping_requests,
+    /// `shutdown` requests (broadcast to shards, then drain).
+    shutdown_requests,
+    /// Error responses sent to clients (any code).
+    errors,
+    /// Times a shard was marked unhealthy (passive or probe).
+    shard_down_marks,
+    /// Times a probe brought a shard back to healthy.
+    shard_up_marks,
+    /// Health probes attempted.
+    probes,
+}
+
+impl RouterMetrics {
+    /// Bumps a counter by one.
+    pub fn inc(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_contains_every_counter() {
+        let m = RouterMetrics::new();
+        m.inc(&m.requests);
+        m.inc(&m.forwarded);
+        m.inc(&m.failovers);
+        m.forward_latency.record(250);
+        let snap = m.snapshot_json();
+        assert_eq!(snap.get("requests").and_then(Json::as_u64), Some(1));
+        assert_eq!(snap.get("forwarded").and_then(Json::as_u64), Some(1));
+        assert_eq!(snap.get("failovers").and_then(Json::as_u64), Some(1));
+        assert_eq!(snap.get("failover_exhausted").and_then(Json::as_u64), Some(0));
+        let lat = snap.get("forward_latency").expect("latency object");
+        assert_eq!(lat.get("count").and_then(Json::as_u64), Some(1));
+    }
+}

@@ -1,0 +1,157 @@
+//! The consistent-hash ring mapping routing keys (cluster names or model
+//! fingerprints) to shards.
+//!
+//! Each shard contributes `vnodes` virtual points hashed onto a u64 ring
+//! (FNV-1a64 — the same hash family the registry uses for content
+//! fingerprints). A key routes to the first point clockwise from its own
+//! hash; replicas continue clockwise, collecting *distinct* shards. Virtual
+//! nodes keep the load split even when shard counts are small: with 64–128
+//! points per shard the largest arc owned by any one shard stays within a
+//! few percent of `1/N`.
+//!
+//! The ring is static for the life of a router process (shards are a
+//! start-time argument), so routing is a binary search over a sorted
+//! vector — no locks, no allocation.
+
+/// Default virtual nodes per shard (within the classic 64–128 band).
+pub const DEFAULT_VNODES: usize = 96;
+
+/// FNV-1a over bytes, 64-bit.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A 64-bit avalanche finalizer (splitmix64's) applied on top of FNV for
+/// ring placement: raw FNV-1a of short structured strings ("shard-0/…")
+/// clusters in the low bits, which skews arc lengths badly — with 96
+/// vnodes one of three shards can own over half the ring. The finalizer
+/// spreads points uniformly; keys go through the same composition, so
+/// routing stays consistent.
+fn ring_hash(bytes: &[u8]) -> u64 {
+    let mut x = fnv1a64(bytes);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// A static consistent-hash ring over `shards` shard indices.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted `(point, shard)` pairs.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// Builds a ring of `shards` shards × `vnodes` virtual points each.
+    /// Panics on zero shards or zero vnodes (caller bug).
+    pub fn new(shards: usize, vnodes: usize) -> Self {
+        assert!(shards > 0, "a ring needs at least one shard");
+        assert!(vnodes > 0, "a ring needs at least one virtual node per shard");
+        let mut points = Vec::with_capacity(shards * vnodes);
+        for shard in 0..shards {
+            for vnode in 0..vnodes {
+                let label = format!("shard-{shard}/vnode-{vnode}");
+                points.push((ring_hash(label.as_bytes()), shard));
+            }
+        }
+        // Ties (astronomically unlikely) resolve by shard index so the
+        // ring is deterministic regardless of sort stability.
+        points.sort_unstable();
+        Self { points, shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The owning shard plus the next `replicas - 1` distinct shards
+    /// clockwise — the replica set for `key`. `replicas` is clamped to
+    /// the shard count; the owner is always element 0.
+    pub fn route(&self, key: &str, replicas: usize) -> Vec<usize> {
+        let want = replicas.clamp(1, self.shards);
+        let hash = ring_hash(key.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < hash) % self.points.len();
+        let mut out = Vec::with_capacity(want);
+        for i in 0..self.points.len() {
+            let (_, shard) = self.points[(start + i) % self.points.len()];
+            if !out.contains(&shard) {
+                out.push(shard);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The single owning shard for `key`.
+    pub fn owner(&self, key: &str) -> usize {
+        self.route(key, 1)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_distinct() {
+        let ring = HashRing::new(3, DEFAULT_VNODES);
+        for key in ["alpha", "beta", "gamma", "16chars-fingerpr"] {
+            let a = ring.route(key, 2);
+            let b = ring.route(key, 2);
+            assert_eq!(a, b, "route must be stable");
+            assert_eq!(a.len(), 2);
+            assert_ne!(a[0], a[1], "replicas must be distinct shards");
+            assert_eq!(a[0], ring.owner(key));
+        }
+        // Replica counts clamp to the shard count.
+        assert_eq!(ring.route("k", 0).len(), 1);
+        let all = ring.route("k", 99);
+        assert_eq!(all.len(), 3);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn load_split_is_roughly_even() {
+        // 10k synthetic keys over 3 shards: every shard should own a
+        // meaningful fraction (vnodes smooth the arcs).
+        let ring = HashRing::new(3, DEFAULT_VNODES);
+        let mut counts = [0usize; 3];
+        for i in 0..10_000 {
+            counts[ring.owner(&format!("cluster-{i}"))] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(
+                (1_500..=5_500).contains(&c),
+                "shard {shard} owns {c} of 10000 keys: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_ring_routes_everything_to_it() {
+        let ring = HashRing::new(1, 64);
+        assert_eq!(ring.route("anything", 2), vec![0]);
+    }
+}

@@ -1,0 +1,1604 @@
+//! The router daemon: a nonblocking poll(2) event loop on the client
+//! side, a small pool of blocking upstream connections per shard, and the
+//! routing/replication/failover logic in between.
+//!
+//! # Architecture
+//!
+//! The client-facing side is the same single-threaded event-loop design
+//! as `fpm-serve`'s server (same poll shim, same per-connection state
+//! machine with ordered response slots, pipelining and drain semantics).
+//! The loop never blocks on a shard: forwarding hands the raw request
+//! line to a per-shard upstream worker (a thread owning one blocking
+//! [`fpm_serve::Client`] connection), and the worker posts the raw reply
+//! line back through a channel plus self-wake pipe — exactly how the
+//! serve loop hands solves to its worker pool.
+//!
+//! ```text
+//!  clients ──poll(2) loop──▶ slot queue ──▶ per-shard job queues
+//!                ▲                               │ (N upstream conns each)
+//!                │ waker + completion channel    ▼
+//!                └────────────────────────── shard workers ──TCP──▶ fpm-serve
+//! ```
+//!
+//! # Routing
+//!
+//! Every request that names a cluster is routed by consistent hash of its
+//! routing key ([`crate::ring::HashRing`]): the cluster *name*, or for
+//! fingerprint-addressed requests the name the fingerprint was learned
+//! under (the router remembers `fingerprint → key` from `register` and
+//! `report` replies). `register`/`report` fan out to the owner plus
+//! `replicas - 1` successor shards so every replica holds the same model
+//! (both verbs are deterministic, so replicas stay bit-identical);
+//! `partition`/`partition_batch` go to the owner and fail over through
+//! the replica set when a shard is unreachable, answers `shutting_down`,
+//! or dies mid-request. Request and reply lines are forwarded *verbatim*,
+//! which is what makes routed results bit-identical to single-node serving.
+//!
+//! # Health
+//!
+//! A shard is marked unhealthy passively (any transport failure on a
+//! worker or stats leg) and recovers via a per-shard prober that pings on
+//! a fixed interval while healthy and with exponential backoff (capped)
+//! while down. Workers fail jobs against a down shard immediately — the
+//! failover path answers from a replica without waiting on connect
+//! timeouts.
+//!
+//! # Caveat
+//!
+//! Replies on one client connection stay strictly in request order, but a
+//! fan-out verb (`register`/`report`) pipelined *ahead* of a dependent
+//! `partition` on the same connection may reach the shards after it —
+//! issue dependent requests after the fan-out's reply, as the tests do.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::fmt::Write as _;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::metrics::RouterMetrics;
+use crate::ring::{HashRing, DEFAULT_VNODES};
+use fpm_serve::client::{Client, SHARD_UNAVAILABLE};
+use fpm_serve::json::{Json, JsonRef, JsonStr};
+use fpm_serve::metrics::{Counters, HistogramSnapshot};
+use fpm_serve::poll as sys;
+use fpm_serve::protocol::{
+    parse_id_ref, parse_report_target_ref, parse_target_ref, ClusterRefView, ProtoError,
+    MAX_FRAME_BYTES,
+};
+
+/// How long a draining router waits for in-flight legs and final writes.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+/// Poll tick while draining, so grace expiry is noticed promptly.
+const DRAIN_TICK_MS: i32 = 25;
+/// Read chunk size for client sockets.
+const READ_CHUNK: usize = 64 * 1024;
+/// Compact the write buffer once this many flushed bytes accumulate.
+const WBUF_COMPACT: usize = 64 * 1024;
+/// How long a worker waits on its job queue before re-checking shutdown.
+const WORKER_TICK: Duration = Duration::from_millis(100);
+/// TCP connect bound for upstream workers and probes.
+const UPSTREAM_CONNECT: Duration = Duration::from_secs(1);
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: SocketAddr,
+    /// Backend fpm-serve shards, in ring order.
+    pub shards: Vec<SocketAddr>,
+    /// Replication factor for `register`/`report` fan-out and the
+    /// failover set of `partition` (clamped to the shard count).
+    pub replicas: usize,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Upstream connections (worker threads) per shard.
+    pub upstream_conns: usize,
+    /// Read timeout on shard replies, milliseconds.
+    pub upstream_timeout_ms: u64,
+    /// Health-probe interval while a shard is healthy, milliseconds.
+    pub probe_interval_ms: u64,
+    /// First reconnect-probe delay after a shard goes down, milliseconds.
+    pub backoff_base_ms: u64,
+    /// Reconnect-probe delay cap, milliseconds.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".parse().expect("literal address"),
+            shards: Vec::new(),
+            replicas: 2,
+            vnodes: DEFAULT_VNODES,
+            upstream_conns: 4,
+            upstream_timeout_ms: 30_000,
+            probe_interval_ms: 250,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 2_000,
+        }
+    }
+}
+
+/// One shard as the router sees it: its address, a passive+probed health
+/// flag and the job queue its upstream workers drain.
+struct ShardSlot {
+    addr: SocketAddr,
+    healthy: AtomicBool,
+    jobs: mpsc::Sender<UpJob>,
+}
+
+/// Shared state of one running router.
+struct Shared {
+    config: RouterConfig,
+    ring: HashRing,
+    shards: Vec<ShardSlot>,
+    metrics: RouterMetrics,
+    stopping: AtomicBool,
+}
+
+impl Shared {
+    fn mark_down(&self, shard: usize) {
+        if self.shards[shard].healthy.swap(false, Ordering::SeqCst) {
+            self.metrics.inc(&self.metrics.shard_down_marks);
+        }
+    }
+
+    fn mark_up(&self, shard: usize) {
+        if !self.shards[shard].healthy.swap(true, Ordering::SeqCst) {
+            self.metrics.inc(&self.metrics.shard_up_marks);
+        }
+    }
+}
+
+/// Handle to a running router; dropping it does **not** stop the daemon —
+/// call [`RouterHandle::shutdown_and_join`] (or send the `shutdown` verb).
+pub struct RouterHandle {
+    /// The bound address (with the actual port when 0 was requested).
+    pub addr: SocketAddr,
+    shared: Arc<Shared>,
+    driver: Option<JoinHandle<()>>,
+    side_threads: Vec<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// Requests shutdown, drains in-flight work and returns the final
+    /// router metrics snapshot. Shards are left running — only the
+    /// `shutdown` *verb* broadcasts drain to them.
+    pub fn shutdown_and_join(mut self) -> Json {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // Wake the poller with a no-op connection (dropped unserved).
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.driver.take() {
+            let _ = handle.join();
+        }
+        for t in self.side_threads.drain(..) {
+            let _ = t.join();
+        }
+        self.shared.metrics.snapshot_json()
+    }
+
+    /// Point-in-time router metrics snapshot.
+    pub fn metrics_json(&self) -> Json {
+        self.shared.metrics.snapshot_json()
+    }
+
+    /// True once shutdown has been requested (by verb or handle).
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stopping.load(Ordering::SeqCst)
+    }
+
+    /// The replica set (owner first) a routing key maps to — used by the
+    /// fault tests and benches to find (and kill) a cluster's owner.
+    pub fn route(&self, key: &str) -> Vec<SocketAddr> {
+        self.shared
+            .ring
+            .route(key, self.shared.config.replicas)
+            .into_iter()
+            .map(|i| self.shared.shards[i].addr)
+            .collect()
+    }
+
+    /// All shard addresses, in ring order.
+    pub fn shard_addrs(&self) -> Vec<SocketAddr> {
+        self.shared.shards.iter().map(|s| s.addr).collect()
+    }
+}
+
+/// A job handed to a shard's upstream workers.
+enum UpJob {
+    /// Round-trip `line` and post the raw reply to the event loop.
+    Request { line: String, addr: ReplyAddr },
+    /// Fire-and-forget (shutdown broadcast): best-effort send, reply
+    /// read and dropped.
+    Fire { line: String },
+}
+
+/// Where a completed upstream leg is delivered.
+#[derive(Clone, Copy)]
+struct ReplyAddr {
+    conn: u64,
+    seq: u64,
+    part: usize,
+}
+
+/// A finished upstream leg posted back to the event loop.
+struct UpDone {
+    conn: u64,
+    seq: u64,
+    part: usize,
+    result: Result<String, ProtoError>,
+}
+
+/// Write end of the self-wake pipe, cloned into workers.
+#[derive(Clone)]
+struct Waker(Arc<UnixStream>);
+
+impl Waker {
+    fn wake(&self) {
+        // Nonblocking: a full pipe already guarantees a pending wake-up.
+        let _ = (&*self.0).write(&[1u8]);
+    }
+}
+
+/// Starts the router; returns once the listener is bound. Fails fast on
+/// an empty shard list — a router with nothing behind it serves nothing.
+pub fn spawn(config: RouterConfig) -> std::io::Result<RouterHandle> {
+    if config.shards.is_empty() {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidInput,
+            "router needs at least one shard",
+        ));
+    }
+    let listener = TcpListener::bind(config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let (wake_tx, wake_rx) = UnixStream::pair()?;
+    wake_tx.set_nonblocking(true)?;
+    wake_rx.set_nonblocking(true)?;
+    let waker = Waker(Arc::new(wake_tx));
+    let (done_tx, done_rx) = mpsc::channel::<UpDone>();
+
+    let ring = HashRing::new(config.shards.len(), config.vnodes.max(1));
+    let mut shards = Vec::with_capacity(config.shards.len());
+    let mut queues = Vec::with_capacity(config.shards.len());
+    for &shard_addr in &config.shards {
+        let (tx, rx) = mpsc::channel::<UpJob>();
+        shards.push(ShardSlot { addr: shard_addr, healthy: AtomicBool::new(true), jobs: tx });
+        queues.push(Arc::new(Mutex::new(rx)));
+    }
+    let shared = Arc::new(Shared {
+        config: config.clone(),
+        ring,
+        shards,
+        metrics: RouterMetrics::new(),
+        stopping: AtomicBool::new(false),
+    });
+
+    let mut side_threads = Vec::new();
+    for (i, queue) in queues.into_iter().enumerate() {
+        for w in 0..config.upstream_conns.max(1) {
+            let queue = Arc::clone(&queue);
+            let shared = Arc::clone(&shared);
+            let done_tx = done_tx.clone();
+            let waker = waker.clone();
+            side_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("fpm-router-up-{i}-{w}"))
+                    .spawn(move || upstream_worker(i, queue, shared, done_tx, waker))
+                    .expect("spawn upstream worker"),
+            );
+        }
+        let shared_probe = Arc::clone(&shared);
+        side_threads.push(
+            std::thread::Builder::new()
+                .name(format!("fpm-router-probe-{i}"))
+                .spawn(move || prober(i, shared_probe))
+                .expect("spawn prober"),
+        );
+    }
+
+    let loop_shared = Arc::clone(&shared);
+    let driver = std::thread::Builder::new()
+        .name("fpm-router-loop".into())
+        .spawn(move || {
+            EventLoop {
+                listener,
+                shared: loop_shared,
+                waker_rx: wake_rx,
+                done_rx,
+                conns: HashMap::new(),
+                next_conn: 0,
+                read_chunk: vec![0u8; READ_CHUNK],
+                aliases: HashMap::new(),
+            }
+            .run()
+        })
+        .expect("spawn event-loop thread");
+    Ok(RouterHandle { addr, shared, driver: Some(driver), side_threads })
+}
+
+// --- upstream workers and probing ---------------------------------------
+
+/// One upstream worker: owns at most one blocking connection to its
+/// shard, round-trips jobs one at a time (strict request/reply pairing —
+/// no upstream id bookkeeping needed), and posts raw reply lines back.
+fn upstream_worker(
+    shard: usize,
+    queue: Arc<Mutex<mpsc::Receiver<UpJob>>>,
+    shared: Arc<Shared>,
+    done_tx: mpsc::Sender<UpDone>,
+    waker: Waker,
+) {
+    let read_timeout = Duration::from_millis(shared.config.upstream_timeout_ms.max(1));
+    let mut client: Option<Client> = None;
+    let mut reply = String::with_capacity(512);
+    loop {
+        let job = {
+            let rx = queue.lock().expect("queue lock");
+            rx.recv_timeout(WORKER_TICK)
+        };
+        let job = match job {
+            Ok(job) => job,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        let (line, addr) = match job {
+            UpJob::Request { line, addr } => (line, Some(addr)),
+            UpJob::Fire { line } => (line, None),
+        };
+        // Connect lazily. A shard already marked down fails the job
+        // immediately: the failover path must not wait on connect
+        // timeouts while a replica could answer now.
+        if client.is_none() {
+            if !shared.shards[shard].healthy.load(Ordering::SeqCst) {
+                post(&done_tx, &waker, addr, Err(unavailable(&shared, shard, "marked down")));
+                continue;
+            }
+            match Client::connect_timeout(
+                shared.shards[shard].addr,
+                Some(UPSTREAM_CONNECT),
+                read_timeout,
+            ) {
+                Ok(c) => client = Some(c),
+                Err(e) => {
+                    shared.mark_down(shard);
+                    post(
+                        &done_tx,
+                        &waker,
+                        addr,
+                        Err(unavailable(&shared, shard, &e.to_string())),
+                    );
+                    continue;
+                }
+            }
+        }
+        let conn = client.as_mut().expect("connected above");
+        match conn.request_line(&line, &mut reply) {
+            Ok(()) => post(&done_tx, &waker, addr, Ok(reply.clone())),
+            Err(e) => {
+                // Any failed round-trip abandons the connection: a
+                // half-read reply would desynchronise the pairing.
+                client = None;
+                if e.code == SHARD_UNAVAILABLE {
+                    shared.mark_down(shard);
+                }
+                post(&done_tx, &waker, addr, Err(e));
+            }
+        }
+    }
+}
+
+fn post(
+    done_tx: &mpsc::Sender<UpDone>,
+    waker: &Waker,
+    addr: Option<ReplyAddr>,
+    result: Result<String, ProtoError>,
+) {
+    if let Some(ReplyAddr { conn, seq, part }) = addr {
+        let _ = done_tx.send(UpDone { conn, seq, part, result });
+        waker.wake();
+    }
+}
+
+fn unavailable(shared: &Shared, shard: usize, detail: &str) -> ProtoError {
+    ProtoError::new(
+        SHARD_UNAVAILABLE,
+        format!("shard {} unavailable: {detail}", shared.shards[shard].addr),
+    )
+}
+
+/// Per-shard health probe: pings on a fixed interval while the shard is
+/// healthy; while it is down, retries with exponential backoff from
+/// `backoff_base_ms` up to `backoff_cap_ms` and flips the shard back to
+/// healthy on the first successful pong.
+fn prober(shard: usize, shared: Arc<Shared>) {
+    let interval = Duration::from_millis(shared.config.probe_interval_ms.max(1));
+    let base = Duration::from_millis(shared.config.backoff_base_ms.max(1));
+    let cap = Duration::from_millis(shared.config.backoff_cap_ms.max(1)).max(base);
+    let mut delay = interval;
+    loop {
+        // Sleep in short slices so shutdown joins promptly even from the
+        // backoff cap.
+        let deadline = Instant::now() + delay;
+        while Instant::now() < deadline {
+            if shared.stopping.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        shared.metrics.inc(&shared.metrics.probes);
+        let alive = Client::connect_timeout(
+            shared.shards[shard].addr,
+            Some(UPSTREAM_CONNECT),
+            Duration::from_secs(2),
+        )
+        .ok()
+        .and_then(|mut c| c.ping().ok())
+        .is_some();
+        if alive {
+            shared.mark_up(shard);
+            delay = interval;
+        } else {
+            shared.mark_down(shard);
+            delay = (delay * 2).clamp(base, cap);
+        }
+    }
+}
+
+// --- response slots ------------------------------------------------------
+
+/// What a response slot is waiting for.
+enum SlotState {
+    /// Fully rendered (trailing newline included), awaiting its turn.
+    Ready(String),
+    /// One forwarded request with failover: `candidates[tried]` is the
+    /// shard currently asked.
+    Forward { raw: String, candidates: Vec<usize>, tried: usize },
+    /// A fan-out (`register`/`report`) to every shard in `legs`; the
+    /// reply preference is route order (owner first).
+    FanOut {
+        key: String,
+        legs: Vec<usize>,
+        results: Vec<Option<Result<String, ProtoError>>>,
+        remaining: usize,
+    },
+    /// `cluster_stats`: one stats leg per shard.
+    ClusterStats {
+        results: Vec<Option<Result<String, ProtoError>>>,
+        remaining: usize,
+    },
+}
+
+/// An ordered response slot (strict request-order replies per connection).
+struct Slot {
+    seq: u64,
+    id: Option<Json>,
+    started: Instant,
+    state: SlotState,
+}
+
+impl Slot {
+    fn ready(text: String) -> Self {
+        Slot { seq: 0, id: None, started: Instant::now(), state: SlotState::Ready(text) }
+    }
+}
+
+/// Per-connection state (same shape as the serve loop's).
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    scanned: usize,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    scratch: String,
+    pending: VecDeque<Slot>,
+    next_seq: u64,
+    eof: bool,
+    closing: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            rbuf: Vec::with_capacity(4096),
+            scanned: 0,
+            wbuf: Vec::with_capacity(4096),
+            wpos: 0,
+            scratch: String::with_capacity(256),
+            pending: VecDeque::new(),
+            next_seq: 1,
+            eof: false,
+            closing: false,
+            dead: false,
+        }
+    }
+
+    fn take_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    fn with_out(&mut self, render: impl FnOnce(&mut String)) {
+        if self.pending.is_empty() {
+            self.scratch.clear();
+            render(&mut self.scratch);
+            self.scratch.push('\n');
+            self.wbuf.extend_from_slice(self.scratch.as_bytes());
+        } else {
+            let mut out = String::new();
+            render(&mut out);
+            out.push('\n');
+            self.pending.push_back(Slot::ready(out));
+        }
+    }
+
+    fn pump(&mut self) {
+        while matches!(self.pending.front().map(|s| &s.state), Some(SlotState::Ready(_))) {
+            let slot = self.pending.pop_front().expect("front checked");
+            let SlotState::Ready(text) = slot.state else { unreachable!() };
+            self.wbuf.extend_from_slice(text.as_bytes());
+        }
+    }
+
+    fn try_write(&mut self) {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos >= WBUF_COMPACT {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+    }
+
+    fn flushed(&self) -> bool {
+        self.pending.is_empty() && self.wpos >= self.wbuf.len()
+    }
+}
+
+// --- the event loop ------------------------------------------------------
+
+struct EventLoop {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    waker_rx: UnixStream,
+    done_rx: mpsc::Receiver<UpDone>,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    read_chunk: Vec<u8>,
+    /// `fingerprint → routing key` learned from register/report replies,
+    /// so fingerprint-addressed requests land on the shard set that holds
+    /// the model. Only the loop thread touches it.
+    aliases: HashMap<String, String>,
+}
+
+impl EventLoop {
+    fn run(&mut self) {
+        let mut fds: Vec<sys::PollFd> = Vec::new();
+        let mut ids: Vec<u64> = Vec::new();
+        let mut stop_at: Option<Instant> = None;
+        loop {
+            let stopping = self.shared.stopping.load(Ordering::SeqCst);
+            if stopping && stop_at.is_none() {
+                stop_at = Some(Instant::now() + DRAIN_GRACE);
+                for conn in self.conns.values_mut() {
+                    conn.eof = true;
+                    conn.closing = true;
+                }
+            }
+            self.conns.retain(|_, conn| !(conn.dead || conn.closing && conn.flushed()));
+            if stopping
+                && (self.conns.is_empty() || stop_at.is_some_and(|t| Instant::now() >= t))
+            {
+                return;
+            }
+
+            fds.clear();
+            ids.clear();
+            fds.push(sys::PollFd {
+                fd: self.listener.as_raw_fd(),
+                events: sys::POLLIN,
+                revents: 0,
+            });
+            fds.push(sys::PollFd {
+                fd: self.waker_rx.as_raw_fd(),
+                events: sys::POLLIN,
+                revents: 0,
+            });
+            for (&id, conn) in &self.conns {
+                let mut events = 0i16;
+                if !conn.eof {
+                    events |= sys::POLLIN;
+                }
+                if conn.wpos < conn.wbuf.len() {
+                    events |= sys::POLLOUT;
+                }
+                fds.push(sys::PollFd { fd: conn.stream.as_raw_fd(), events, revents: 0 });
+                ids.push(id);
+            }
+
+            sys::poll_fds(&mut fds, if stopping { DRAIN_TICK_MS } else { -1 });
+
+            if fds[1].revents != 0 {
+                self.drain_waker();
+            }
+            self.drain_completions();
+            if fds[0].revents != 0 {
+                self.accept_ready(stopping);
+            }
+            for (i, &id) in ids.iter().enumerate() {
+                let revents = fds[i + 2].revents;
+                if revents & sys::POLLNVAL != 0 {
+                    if let Some(conn) = self.conns.get_mut(&id) {
+                        conn.dead = true;
+                    }
+                } else if revents & (sys::POLLIN | sys::POLLHUP | sys::POLLERR) != 0 {
+                    self.read_ready(id);
+                }
+            }
+            for conn in self.conns.values_mut() {
+                conn.pump();
+                if conn.wpos < conn.wbuf.len() {
+                    conn.try_write();
+                }
+            }
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        let mut buf = [0u8; 256];
+        loop {
+            match (&self.waker_rx).read(&mut buf) {
+                Ok(0) => return,
+                Ok(_) => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn accept_ready(&mut self, stopping: bool) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stopping {
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    self.shared.metrics.inc(&self.shared.metrics.connections);
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    self.conns.insert(id, Conn::new(stream));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Routes finished upstream legs into their slots, driving failover
+    /// and fan-out/stats assembly.
+    fn drain_completions(&mut self) {
+        while let Ok(done) = self.done_rx.try_recv() {
+            let Some(conn) = self.conns.get_mut(&done.conn) else {
+                continue; // connection gone
+            };
+            let Some(idx) = conn.pending.iter().position(|s| s.seq == done.seq) else {
+                continue; // slot already answered
+            };
+            let m = &self.shared.metrics;
+            let slot = &mut conn.pending[idx];
+            let state = std::mem::replace(&mut slot.state, SlotState::Ready(String::new()));
+            match state {
+                ready @ SlotState::Ready(_) => slot.state = ready,
+                SlotState::Forward { raw, candidates, tried } => {
+                    // A reply from a draining shard is a failover trigger,
+                    // not an answer: the client never asked that shard to
+                    // stop.
+                    let result = match done.result {
+                        Ok(line) if is_shutting_down_reply(&line) => Err(ProtoError::new(
+                            SHARD_UNAVAILABLE,
+                            "shard is draining",
+                        )),
+                        other => other,
+                    };
+                    match result {
+                        Ok(mut line) => {
+                            m.forward_latency.record(elapsed_us(slot.started));
+                            line.push('\n');
+                            slot.state = SlotState::Ready(line);
+                        }
+                        Err(e) if e.code == SHARD_UNAVAILABLE && tried + 1 < candidates.len() => {
+                            m.inc(&m.failovers);
+                            let next = candidates[tried + 1];
+                            let job = UpJob::Request {
+                                line: raw.clone(),
+                                addr: ReplyAddr { conn: done.conn, seq: done.seq, part: 0 },
+                            };
+                            if self.shared.shards[next].jobs.send(job).is_ok() {
+                                slot.state =
+                                    SlotState::Forward { raw, candidates, tried: tried + 1 };
+                            } else {
+                                m.inc(&m.errors);
+                                m.inc(&m.failover_exhausted);
+                                let mut out = String::new();
+                                render_err(&mut out, display_id(slot.id.as_ref()), &e);
+                                out.push('\n');
+                                slot.state = SlotState::Ready(out);
+                            }
+                        }
+                        Err(e) => {
+                            m.inc(&m.errors);
+                            if e.code == SHARD_UNAVAILABLE {
+                                m.inc(&m.failover_exhausted);
+                            }
+                            let mut out = String::new();
+                            render_err(&mut out, display_id(slot.id.as_ref()), &e);
+                            out.push('\n');
+                            slot.state = SlotState::Ready(out);
+                        }
+                    }
+                }
+                SlotState::FanOut { key, legs, mut results, mut remaining } => {
+                    if done.part < results.len() && results[done.part].is_none() {
+                        let result = match done.result {
+                            Ok(line) if is_shutting_down_reply(&line) => Err(ProtoError::new(
+                                SHARD_UNAVAILABLE,
+                                "shard is draining",
+                            )),
+                            other => other,
+                        };
+                        results[done.part] = Some(result);
+                        remaining -= 1;
+                    }
+                    if remaining == 0 {
+                        let rendered = finish_fanout(
+                            &mut self.aliases,
+                            &self.shared,
+                            &key,
+                            &results,
+                            slot.id.as_ref(),
+                        );
+                        slot.state = SlotState::Ready(rendered);
+                    } else {
+                        slot.state = SlotState::FanOut { key, legs, results, remaining };
+                    }
+                }
+                SlotState::ClusterStats { mut results, mut remaining } => {
+                    if done.part < results.len() && results[done.part].is_none() {
+                        results[done.part] = Some(done.result);
+                        remaining -= 1;
+                    }
+                    if remaining == 0 {
+                        let mut out = String::new();
+                        render_cluster_stats(
+                            &self.shared,
+                            &mut out,
+                            display_id(slot.id.as_ref()),
+                            &results,
+                        );
+                        out.push('\n');
+                        slot.state = SlotState::Ready(out);
+                    } else {
+                        slot.state = SlotState::ClusterStats { results, remaining };
+                    }
+                }
+            }
+        }
+    }
+
+    fn read_ready(&mut self, id: u64) {
+        let Some(mut conn) = self.conns.remove(&id) else { return };
+        if !conn.eof {
+            loop {
+                match conn.stream.read(&mut self.read_chunk) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        conn.closing = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.rbuf.extend_from_slice(&self.read_chunk[..n]);
+                        if n < self.read_chunk.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.eof = true;
+                        conn.closing = true;
+                        break;
+                    }
+                }
+            }
+            self.process_lines(id, &mut conn);
+        }
+        self.conns.insert(id, conn);
+    }
+
+    /// Drains every complete line in the read buffer (pipelining), plus a
+    /// final partial line on EOF — identical framing to the serve loop.
+    fn process_lines(&mut self, id: u64, conn: &mut Conn) {
+        let rbuf = std::mem::take(&mut conn.rbuf);
+        let mut consumed = 0usize;
+        let mut search = conn.scanned;
+        let mut halted = false;
+        while let Some(off) = rbuf[search..].iter().position(|&b| b == b'\n') {
+            let nl = search + off;
+            if nl + 1 - consumed > MAX_FRAME_BYTES {
+                self.framing_error(conn);
+                halted = true;
+                break;
+            }
+            let keep_serving = self.handle_line(id, conn, &rbuf[consumed..nl]);
+            consumed = nl + 1;
+            search = consumed;
+            if !keep_serving {
+                halted = true;
+                break;
+            }
+        }
+        let mut keep = rbuf;
+        if halted {
+            keep.clear();
+            conn.scanned = 0;
+        } else if conn.eof {
+            if consumed < keep.len() {
+                self.handle_line(id, conn, &keep[consumed..]);
+            }
+            keep.clear();
+            conn.scanned = 0;
+        } else {
+            keep.drain(..consumed);
+            conn.scanned = keep.len();
+            if keep.len() > MAX_FRAME_BYTES {
+                self.framing_error(conn);
+                keep.clear();
+                conn.scanned = 0;
+            }
+        }
+        conn.rbuf = keep;
+    }
+
+    fn framing_error(&self, conn: &mut Conn) {
+        let m = &self.shared.metrics;
+        m.inc(&m.errors);
+        let e = ProtoError::new("frame_too_large", "request line exceeds 1 MiB");
+        conn.with_out(|out| render_err(out, None, &e));
+        conn.eof = true;
+        conn.closing = true;
+    }
+
+    /// Parses and dispatches one request line. Returns false when this
+    /// line must be the last served on the connection.
+    fn handle_line(&mut self, conn_id: u64, conn: &mut Conn, raw: &[u8]) -> bool {
+        let text = String::from_utf8_lossy(raw);
+        let line = text.trim();
+        if line.is_empty() {
+            return true;
+        }
+        let m = &self.shared.metrics;
+        m.inc(&m.requests);
+        if self.shared.stopping.load(Ordering::SeqCst) {
+            m.inc(&m.errors);
+            let e = ProtoError::new("shutting_down", "server is draining");
+            conn.with_out(|out| render_err(out, None, &e));
+            conn.eof = true;
+            conn.closing = true;
+            return false;
+        }
+        let value = match Json::parse_ref(line) {
+            Ok(v) => v,
+            Err(e) => {
+                m.inc(&m.errors);
+                let e = ProtoError::new("bad_json", e.to_string());
+                conn.with_out(|out| render_err(out, None, &e));
+                return true;
+            }
+        };
+        let id = match parse_id_ref(&value) {
+            Ok(id) => id,
+            Err(e) => {
+                m.inc(&m.errors);
+                conn.with_out(|out| render_err(out, None, &e));
+                return true;
+            }
+        };
+        let disp: Option<&dyn fmt::Display> = id.map(|v| v as &dyn fmt::Display);
+        if !matches!(value, JsonRef::Obj(_)) {
+            m.inc(&m.errors);
+            let e = ProtoError::new("bad_request", "request must be a JSON object");
+            conn.with_out(|out| render_err(out, disp, &e));
+            return true;
+        }
+        let Some(verb) = value.get("verb").and_then(JsonRef::as_str) else {
+            m.inc(&m.errors);
+            let e = ProtoError::new("bad_request", "missing string field: verb");
+            conn.with_out(|out| render_err(out, disp, &e));
+            return true;
+        };
+        match verb {
+            "ping" => {
+                m.inc(&m.ping_requests);
+                conn.with_out(|out| {
+                    render_ok_head(out, disp, "ping");
+                    out.push_str(",\"pong\":true}");
+                });
+                true
+            }
+            "stats" => {
+                m.inc(&m.stats_requests);
+                let snapshot = m.snapshot_json();
+                let health = self.shards_health_json();
+                conn.with_out(|out| {
+                    render_ok_head(out, disp, "stats");
+                    let _ = write!(out, ",\"stats\":{snapshot},\"shards\":{health}}}");
+                });
+                true
+            }
+            "cluster_stats" => {
+                m.inc(&m.cluster_stats_requests);
+                self.start_cluster_stats(conn_id, conn, id);
+                true
+            }
+            "shutdown" => {
+                m.inc(&m.shutdown_requests);
+                // Drain the fleet, then drain the router itself.
+                for shard in &self.shared.shards {
+                    let _ = shard.jobs.send(UpJob::Fire {
+                        line: r#"{"verb":"shutdown"}"#.to_owned(),
+                    });
+                }
+                self.shared.stopping.store(true, Ordering::SeqCst);
+                conn.with_out(|out| {
+                    render_ok_head(out, disp, "shutdown");
+                    out.push_str(",\"draining\":true}");
+                });
+                conn.eof = true;
+                conn.closing = true;
+                false
+            }
+            "register" => {
+                let Some(cluster) = value.get("cluster").and_then(JsonRef::as_str) else {
+                    m.inc(&m.errors);
+                    let e = ProtoError::new("bad_request", "missing string field: cluster");
+                    conn.with_out(|out| render_err(out, disp, &e));
+                    return true;
+                };
+                let key = cluster.to_owned();
+                self.start_fanout(conn_id, conn, id, line, key);
+                true
+            }
+            "report" => match parse_report_target_ref(&value) {
+                Ok(target) => {
+                    let key = self.routing_key(target);
+                    self.start_fanout(conn_id, conn, id, line, key);
+                    true
+                }
+                Err(e) => {
+                    m.inc(&m.errors);
+                    conn.with_out(|out| render_err(out, disp, &e));
+                    true
+                }
+            },
+            "partition" | "partition_batch" => match parse_target_ref(&value) {
+                Ok(target) => {
+                    let key = self.routing_key(target);
+                    self.start_forward(conn_id, conn, id, line, &key);
+                    true
+                }
+                Err(e) => {
+                    m.inc(&m.errors);
+                    conn.with_out(|out| render_err(out, disp, &e));
+                    true
+                }
+            },
+            other => {
+                m.inc(&m.errors);
+                let e = ProtoError::new("unknown_verb", format!("unknown verb: {other:?}"));
+                conn.with_out(|out| render_err(out, disp, &e));
+                true
+            }
+        }
+    }
+
+    /// The consistent-hash key for a cluster reference: names route as
+    /// themselves; fingerprints route as the name they were learned under
+    /// (or as the raw fingerprint, which a shard then answers `not_found`
+    /// for — same as a single node that never saw the registration).
+    fn routing_key(&self, target: ClusterRefView<'_>) -> String {
+        match target {
+            ClusterRefView::Name(name) => name.to_owned(),
+            ClusterRefView::Fingerprint(fp) => {
+                self.aliases.get(fp).cloned().unwrap_or_else(|| fp.to_owned())
+            }
+        }
+    }
+
+    /// Forwards one raw line to the owner of `key`, with the replica set
+    /// queued as failover candidates.
+    fn start_forward(
+        &self,
+        conn_id: u64,
+        conn: &mut Conn,
+        id: Option<&JsonRef<'_>>,
+        line: &str,
+        key: &str,
+    ) {
+        let m = &self.shared.metrics;
+        m.inc(&m.forwarded);
+        let candidates = self.shared.ring.route(key, self.shared.config.replicas);
+        // Skip shards already known dead: failover now, not after a
+        // round-trip failure. Keep at least one candidate so the reply is
+        // a real transport error when everything is down.
+        let mut live: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&s| self.shared.shards[s].healthy.load(Ordering::SeqCst))
+            .collect();
+        if live.is_empty() {
+            live = candidates;
+        }
+        let seq = conn.take_seq();
+        let raw = line.to_owned();
+        let job = UpJob::Request {
+            line: raw.clone(),
+            addr: ReplyAddr { conn: conn_id, seq, part: 0 },
+        };
+        conn.pending.push_back(Slot {
+            seq,
+            id: id.map(JsonRef::to_json),
+            started: Instant::now(),
+            state: SlotState::Forward { raw, candidates: live.clone(), tried: 0 },
+        });
+        if self.shared.shards[live[0]].jobs.send(job).is_err() {
+            // Worker pool gone (shutdown race): answer directly.
+            let slot = conn.pending.back_mut().expect("just pushed");
+            m.inc(&m.errors);
+            let mut out = String::new();
+            render_err(
+                &mut out,
+                display_id(slot.id.as_ref()),
+                &ProtoError::new("shutting_down", "router is draining"),
+            );
+            out.push('\n');
+            slot.state = SlotState::Ready(out);
+        }
+    }
+
+    /// Fans one raw line out to the owner plus replicas of `key`.
+    fn start_fanout(
+        &mut self,
+        conn_id: u64,
+        conn: &mut Conn,
+        id: Option<&JsonRef<'_>>,
+        line: &str,
+        key: String,
+    ) {
+        let m = &self.shared.metrics;
+        m.inc(&m.fanouts);
+        let legs = self.shared.ring.route(&key, self.shared.config.replicas);
+        let seq = conn.take_seq();
+        let mut results: Vec<Option<Result<String, ProtoError>>> = Vec::new();
+        let mut remaining = 0usize;
+        for (part, &shard) in legs.iter().enumerate() {
+            m.inc(&m.fanout_legs);
+            let job = UpJob::Request {
+                line: line.to_owned(),
+                addr: ReplyAddr { conn: conn_id, seq, part },
+            };
+            if self.shared.shards[shard].jobs.send(job).is_ok() {
+                results.push(None);
+                remaining += 1;
+            } else {
+                results.push(Some(Err(ProtoError::new(
+                    "shutting_down",
+                    "router is draining",
+                ))));
+            }
+        }
+        if remaining == 0 {
+            // Nothing was sent (shutdown race): answer from what we have.
+            let id_owned = id.map(JsonRef::to_json);
+            let rendered = finish_fanout(
+                &mut self.aliases,
+                &self.shared,
+                &key,
+                &results,
+                id_owned.as_ref(),
+            );
+            conn.pending.push_back(Slot::ready(rendered));
+            return;
+        }
+        conn.pending.push_back(Slot {
+            seq,
+            id: id.map(JsonRef::to_json),
+            started: Instant::now(),
+            state: SlotState::FanOut { key, legs, results, remaining },
+        });
+    }
+
+    /// Fans a `stats` probe to every shard for `cluster_stats`.
+    fn start_cluster_stats(&self, conn_id: u64, conn: &mut Conn, id: Option<&JsonRef<'_>>) {
+        let seq = conn.take_seq();
+        let mut results: Vec<Option<Result<String, ProtoError>>> = Vec::new();
+        let mut remaining = 0usize;
+        for (part, shard) in self.shared.shards.iter().enumerate() {
+            let job = UpJob::Request {
+                line: r#"{"verb":"stats"}"#.to_owned(),
+                addr: ReplyAddr { conn: conn_id, seq, part },
+            };
+            if shard.jobs.send(job).is_ok() {
+                results.push(None);
+                remaining += 1;
+            } else {
+                results.push(Some(Err(ProtoError::new(
+                    "shutting_down",
+                    "router is draining",
+                ))));
+            }
+        }
+        if remaining == 0 {
+            let mut out = String::new();
+            render_cluster_stats(
+                &self.shared,
+                &mut out,
+                id.map(|v| v as &dyn fmt::Display),
+                &results,
+            );
+            out.push('\n');
+            conn.pending.push_back(Slot::ready(out));
+            return;
+        }
+        conn.pending.push_back(Slot {
+            seq,
+            id: id.map(JsonRef::to_json),
+            started: Instant::now(),
+            state: SlotState::ClusterStats { results, remaining },
+        });
+    }
+
+    fn shards_health_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, shard) in self.shared.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"addr\":{},\"healthy\":{}}}",
+                JsonStr(&shard.addr.to_string()),
+                shard.healthy.load(Ordering::SeqCst)
+            );
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Picks the fan-out reply (owner first, then any shard that answered at
+/// all), learns fingerprint aliases from ok replies, and renders the
+/// final line (trailing newline included).
+fn finish_fanout(
+    aliases: &mut HashMap<String, String>,
+    shared: &Shared,
+    key: &str,
+    results: &[Option<Result<String, ProtoError>>],
+    id: Option<&Json>,
+) -> String {
+    let m = &shared.metrics;
+    // Learn `fingerprint → key` from every ok leg: a later request
+    // addressing the model by fingerprint must route to this set.
+    for line in results.iter().flatten().flatten() {
+        if let Ok(v) = Json::parse_ref(line) {
+            if v.get("ok").and_then(JsonRef::as_bool) == Some(true) {
+                if let Some(fp) = v.get("fingerprint").and_then(JsonRef::as_str) {
+                    aliases.insert(fp.to_owned(), key.to_owned());
+                }
+            }
+        }
+    }
+    // Reply preference: first leg (route order: owner, then replicas)
+    // that produced *any* protocol reply — ok or a deterministic error
+    // like invalid_model, which every replica reproduces.
+    let mut last_err: Option<&ProtoError> = None;
+    for result in results.iter().flatten() {
+        match result {
+            Ok(line) => {
+                let mut out = line.clone();
+                out.push('\n');
+                return out;
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    m.inc(&m.errors);
+    m.inc(&m.failover_exhausted);
+    let fallback = ProtoError::new(SHARD_UNAVAILABLE, "no replica answered");
+    let mut out = String::new();
+    render_err(&mut out, display_id(id), last_err.unwrap_or(&fallback));
+    out.push('\n');
+    out
+}
+
+/// Merges per-shard stats legs: counters sum by name, latency histograms
+/// sum bucket-wise (exact — all shards share the bucket layout), and each
+/// shard reports health from whether its leg answered.
+fn render_cluster_stats(
+    shared: &Shared,
+    out: &mut String,
+    id: Option<&dyn fmt::Display>,
+    results: &[Option<Result<String, ProtoError>>],
+) {
+    let mut counters = Counters::new();
+    let mut latency = HistogramSnapshot::default();
+    let mut healthy = 0usize;
+    render_ok_head(out, id, "cluster_stats");
+    let _ = write!(out, ",\"total_shards\":{}", shared.shards.len());
+    let mut shards_json = String::from("[");
+    for (i, result) in results.iter().enumerate() {
+        if i > 0 {
+            shards_json.push(',');
+        }
+        let addr = shared.shards[i].addr;
+        match result {
+            Some(Ok(line)) => {
+                let parsed = Json::parse(line).ok();
+                let stats = parsed.as_ref().and_then(|v| v.get("stats"));
+                if let Some(stats) = stats {
+                    counters.merge(&Counters::from_json(stats));
+                    if let Some(h) =
+                        stats.get("partition_latency").and_then(HistogramSnapshot::from_json)
+                    {
+                        latency.merge(&h);
+                    }
+                }
+                healthy += 1;
+                let requests =
+                    stats.and_then(|s| s.get("requests")).and_then(Json::as_u64).unwrap_or(0);
+                let _ = write!(
+                    shards_json,
+                    "{{\"addr\":{},\"healthy\":true,\"requests\":{requests}}}",
+                    JsonStr(&addr.to_string())
+                );
+            }
+            Some(Err(e)) => {
+                let _ = write!(
+                    shards_json,
+                    "{{\"addr\":{},\"healthy\":false,\"error\":{}}}",
+                    JsonStr(&addr.to_string()),
+                    JsonStr(e.code)
+                );
+            }
+            None => {
+                let _ = write!(
+                    shards_json,
+                    "{{\"addr\":{},\"healthy\":false,\"error\":\"no reply\"}}",
+                    JsonStr(&addr.to_string())
+                );
+            }
+        }
+    }
+    shards_json.push(']');
+    let mut merged = match counters.to_json() {
+        Json::Obj(fields) => fields,
+        _ => Vec::new(),
+    };
+    merged.push(("partition_latency".into(), latency.to_json()));
+    let _ = write!(
+        out,
+        ",\"healthy_shards\":{healthy},\"shards\":{shards_json},\"stats\":{}}}",
+        Json::Obj(merged)
+    );
+}
+
+/// True when a raw reply line is a `shutting_down` refusal from a
+/// draining shard.
+fn is_shutting_down_reply(line: &str) -> bool {
+    // Cheap reject before parsing: the marker string must appear at all.
+    if !line.contains("shutting_down") {
+        return false;
+    }
+    match Json::parse_ref(line) {
+        Ok(v) => {
+            v.get("ok").and_then(JsonRef::as_bool) == Some(false)
+                && v.get("error").and_then(JsonRef::as_str) == Some("shutting_down")
+        }
+        Err(_) => false,
+    }
+}
+
+fn display_id(id: Option<&Json>) -> Option<&dyn fmt::Display> {
+    id.map(|v| v as &dyn fmt::Display)
+}
+
+fn elapsed_us(started: Instant) -> u64 {
+    started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+// Same byte sequences as the serve renderers (and protocol::ok_response /
+// err_response), so router-local answers are indistinguishable from shard
+// answers.
+
+fn render_id(out: &mut String, id: Option<&dyn fmt::Display>) {
+    if let Some(id) = id {
+        let _ = write!(out, "\"id\":{id},");
+    }
+}
+
+fn render_ok_head(out: &mut String, id: Option<&dyn fmt::Display>, verb: &str) {
+    out.push('{');
+    render_id(out, id);
+    let _ = write!(out, "\"ok\":true,\"verb\":{}", JsonStr(verb));
+}
+
+fn render_err(out: &mut String, id: Option<&dyn fmt::Display>, error: &ProtoError) {
+    out.push('{');
+    render_id(out, id);
+    let _ = write!(
+        out,
+        "\"ok\":false,\"error\":{},\"message\":{}}}",
+        JsonStr(error.code),
+        JsonStr(&error.message)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpm_serve::server::{spawn as spawn_shard, ServerConfig};
+    use fpm_serve::AlgorithmId;
+    use std::io::{BufRead, BufReader};
+
+    fn demo_models() -> Vec<(String, Vec<(f64, f64)>)> {
+        vec![
+            ("A".into(), vec![(1e3, 200.0), (1e6, 180.0), (1e9, 0.0)]),
+            ("B".into(), vec![(1e3, 100.0), (1e6, 90.0), (1e9, 0.0)]),
+        ]
+    }
+
+    fn spawn_cluster(n: usize) -> (Vec<fpm_serve::ServerHandle>, RouterHandle) {
+        let shards: Vec<fpm_serve::ServerHandle> =
+            (0..n).map(|_| spawn_shard(ServerConfig::default()).unwrap()).collect();
+        let config = RouterConfig {
+            shards: shards.iter().map(|s| s.addr).collect(),
+            probe_interval_ms: 50,
+            ..RouterConfig::default()
+        };
+        let router = spawn(config).unwrap();
+        (shards, router)
+    }
+
+    #[test]
+    fn answers_ping_locally_and_routes_partitions() {
+        let (shards, router) = spawn_cluster(3);
+        let mut client = Client::connect(router.addr, Duration::from_secs(10)).unwrap();
+        client.ping().unwrap();
+        let reg = client.register_inline("c1", &demo_models()).unwrap();
+        assert_eq!(reg.machines, ["A", "B"]);
+        let reply = client.partition("c1", 1_000_000, AlgorithmId::Combined, None).unwrap();
+        assert_eq!(reply.counts.iter().sum::<u64>(), 1_000_000);
+        assert_eq!(reply.fingerprint, reg.fingerprint);
+        // By fingerprint too (the router learned the alias on register).
+        let mut raw = String::new();
+        let line = format!(
+            "{{\"id\":9,\"verb\":\"partition\",\"fingerprint\":\"{}\",\"n\":1000000}}",
+            reg.fingerprint
+        );
+        client.request_line(&line, &mut raw).unwrap();
+        let v = Json::parse(&raw).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{raw}");
+        assert_eq!(v.get("cached").and_then(Json::as_bool), Some(true));
+        let stats = router.shutdown_and_join();
+        assert!(stats.get("forwarded").and_then(Json::as_u64).unwrap_or(0) >= 2);
+        assert_eq!(stats.get("fanouts").and_then(Json::as_u64), Some(1));
+        for s in shards {
+            s.shutdown_and_join();
+        }
+    }
+
+    #[test]
+    fn replication_covers_owner_death() {
+        let (mut shards, router) = spawn_cluster(3);
+        let mut client = Client::connect(router.addr, Duration::from_secs(10)).unwrap();
+        client.register_inline("failover-me", &demo_models()).unwrap();
+        let baseline =
+            client.partition("failover-me", 500_000, AlgorithmId::Combined, None).unwrap();
+        // Kill the owner shard; the replica must answer bit-identically.
+        let owner = router.route("failover-me")[0];
+        let idx = shards.iter().position(|s| s.addr == owner).unwrap();
+        shards.remove(idx).shutdown_and_join();
+        let after =
+            client.partition("failover-me", 500_000, AlgorithmId::Combined, None).unwrap();
+        assert_eq!(baseline.counts, after.counts);
+        assert_eq!(baseline.makespan.to_bits(), after.makespan.to_bits());
+        let stats = router.shutdown_and_join();
+        assert!(stats.get("failovers").and_then(Json::as_u64).unwrap_or(0) >= 1);
+        assert_eq!(stats.get("failover_exhausted").and_then(Json::as_u64), Some(0));
+        for s in shards {
+            s.shutdown_and_join();
+        }
+    }
+
+    #[test]
+    fn cluster_stats_merges_counters_and_reports_health() {
+        let (mut shards, router) = spawn_cluster(3);
+        let mut client = Client::connect(router.addr, Duration::from_secs(10)).unwrap();
+        client.register_inline("m1", &demo_models()).unwrap();
+        for n in [100_000u64, 200_000, 300_000] {
+            client.partition("m1", n, AlgorithmId::Combined, None).unwrap();
+        }
+        let mut raw = String::new();
+        client
+            .request_line(r#"{"id":1,"verb":"cluster_stats"}"#, &mut raw)
+            .unwrap();
+        let v = Json::parse(&raw).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{raw}");
+        assert_eq!(v.get("total_shards").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("healthy_shards").and_then(Json::as_u64), Some(3));
+        let stats = v.get("stats").unwrap();
+        assert_eq!(stats.get("partition_requests").and_then(Json::as_u64), Some(3));
+        // The merged latency histogram saw exactly the 3 partitions.
+        let lat = stats.get("partition_latency").unwrap();
+        assert_eq!(lat.get("count").and_then(Json::as_u64), Some(3));
+        // Kill one shard: health drops to 2 and the dead shard is called
+        // out by address.
+        let dead = shards.pop().unwrap();
+        let dead_addr = dead.addr.to_string();
+        dead.shutdown_and_join();
+        client
+            .request_line(r#"{"id":2,"verb":"cluster_stats"}"#, &mut raw)
+            .unwrap();
+        let v = Json::parse(&raw).unwrap();
+        assert_eq!(v.get("healthy_shards").and_then(Json::as_u64), Some(2), "{raw}");
+        let entry = v
+            .get("shards")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .find(|s| s.get("addr").and_then(Json::as_str) == Some(&dead_addr))
+            .expect("dead shard listed");
+        assert_eq!(entry.get("healthy").and_then(Json::as_bool), Some(false));
+        router.shutdown_and_join();
+        for s in shards {
+            s.shutdown_and_join();
+        }
+    }
+
+    #[test]
+    fn prober_recovers_a_restarted_shard() {
+        let (shards, router) = spawn_cluster(2);
+        // Kill shard 1 and wait for passive/probe marking.
+        let addr1 = shards[1].addr;
+        let mut iter = shards.into_iter();
+        let keep = iter.next().unwrap();
+        iter.next().unwrap().shutdown_and_join();
+        let mut client = Client::connect(router.addr, Duration::from_secs(10)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut raw = String::new();
+            client.request_line(r#"{"verb":"cluster_stats"}"#, &mut raw).unwrap();
+            let v = Json::parse(&raw).unwrap();
+            if v.get("healthy_shards").and_then(Json::as_u64) == Some(1) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "shard never marked down");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // Resurrect a server on the same port: the prober must flip the
+        // shard back to healthy without any restart of the router.
+        let revived = spawn_shard(ServerConfig { addr: addr1, ..ServerConfig::default() });
+        let Ok(revived) = revived else {
+            // The OS may refuse immediate rebinds; the down-marking above
+            // already exercised the probe path.
+            router.shutdown_and_join();
+            keep.shutdown_and_join();
+            return;
+        };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let mut raw = String::new();
+            client.request_line(r#"{"verb":"cluster_stats"}"#, &mut raw).unwrap();
+            let v = Json::parse(&raw).unwrap();
+            if v.get("healthy_shards").and_then(Json::as_u64) == Some(2) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "shard never recovered");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let stats = router.shutdown_and_join();
+        assert!(stats.get("shard_up_marks").and_then(Json::as_u64).unwrap_or(0) >= 1);
+        keep.shutdown_and_join();
+        revived.shutdown_and_join();
+    }
+
+    #[test]
+    fn local_errors_match_shard_spellings() {
+        let (shards, router) = spawn_cluster(2);
+        let mut router_client = Client::connect(router.addr, Duration::from_secs(5)).unwrap();
+        let mut shard_client = Client::connect(shards[0].addr, Duration::from_secs(5)).unwrap();
+        // Requests the router answers locally must produce byte-identical
+        // lines to a shard answering the same request.
+        for line in [
+            r#"{"id":1,"verb":"ping"}"#,
+            r#"{"id":2,"verb":"warp"}"#,
+            r#"{"id":3,"verb":"partition","n":5}"#,
+            r#"not json"#,
+            r#"[1,2,3]"#,
+            r#"{"id":4}"#,
+        ] {
+            let mut via_router = String::new();
+            let mut via_shard = String::new();
+            router_client.request_line(line, &mut via_router).unwrap();
+            shard_client.request_line(line, &mut via_shard).unwrap();
+            assert_eq!(via_router, via_shard, "line {line}");
+        }
+        router.shutdown_and_join();
+        for s in shards {
+            s.shutdown_and_join();
+        }
+    }
+
+    #[test]
+    fn shutdown_verb_drains_shards_and_router() {
+        let (shards, router) = spawn_cluster(2);
+        let mut stream = TcpStream::connect(router.addr).unwrap();
+        writeln!(stream, r#"{{"verb":"shutdown"}}"#).unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("draining").and_then(Json::as_bool), Some(true));
+        assert!(router.is_stopping());
+        router.shutdown_and_join();
+        // The broadcast reached the shards: they are draining too.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        for s in &shards {
+            while !s.is_stopping() {
+                assert!(Instant::now() < deadline, "shard never observed shutdown");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        for s in shards {
+            s.shutdown_and_join();
+        }
+    }
+}

@@ -263,7 +263,11 @@ impl PlanCache {
                 }
                 let Ok(plan) = &entry.value else { continue };
                 let dist = key.n.abs_diff(n);
-                if best.as_ref().is_none_or(|(d, _)| dist < *d) {
+                let closer = match &best {
+                    Some((d, _)) => dist < *d,
+                    None => true,
+                };
+                if closer {
                     best = Some((dist, Arc::clone(plan)));
                 }
             }

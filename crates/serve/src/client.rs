@@ -16,10 +16,34 @@ use crate::json::Json;
 use crate::protocol::ProtoError;
 use fpm_core::planner::AlgorithmId;
 
+/// Error code for a shard that cannot be reached or died mid-request
+/// (connect refused, connection reset, broken pipe, server-side close).
+/// The router's failover path keys on this code to tell "the backend is
+/// gone — try a replica" apart from genuine protocol errors that a retry
+/// would only repeat.
+pub const SHARD_UNAVAILABLE: &str = "shard_unavailable";
+
 /// A connected protocol client (one request *window* in flight at a time).
+#[derive(Debug)]
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    addr: SocketAddr,
+    connect_timeout: Option<Duration>,
+    read_timeout: Duration,
+}
+
+/// True when an io error kind means the peer process is unreachable or
+/// gone (as opposed to a protocol or timeout problem).
+fn is_unavailable(kind: ErrorKind) -> bool {
+    matches!(
+        kind,
+        ErrorKind::ConnectionRefused
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+            | ErrorKind::NotConnected
+    )
 }
 
 /// A successful `partition` reply.
@@ -84,7 +108,80 @@ impl Client {
         stream.set_read_timeout(Some(read_timeout))?;
         stream.set_write_timeout(connect_timeout)?;
         let writer = stream.try_clone()?;
-        Ok(Self { writer, reader: BufReader::new(stream) })
+        Ok(Self {
+            writer,
+            reader: BufReader::new(stream),
+            addr,
+            connect_timeout,
+            read_timeout,
+        })
+    }
+
+    /// Connects with capped exponential backoff: `attempts` tries with
+    /// sleeps of `base`, `2·base`, `4·base`, … capped at `cap` between
+    /// them. Only refused/reset connections are retried — a daemon still
+    /// binding its port, or restarting, is exactly the case backoff is
+    /// for; anything else fails immediately. A final failure surfaces as
+    /// [`SHARD_UNAVAILABLE`].
+    pub fn connect_with_backoff(
+        addr: SocketAddr,
+        connect_timeout: Option<Duration>,
+        read_timeout: Duration,
+        attempts: u32,
+        base: Duration,
+        cap: Duration,
+    ) -> Result<Self, ProtoError> {
+        let mut delay = base;
+        let mut last: Option<std::io::Error> = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(cap);
+            }
+            match Self::connect_timeout(addr, connect_timeout, read_timeout) {
+                Ok(client) => return Ok(client),
+                Err(e) if is_unavailable(e.kind()) || e.kind() == ErrorKind::TimedOut => {
+                    last = Some(e);
+                }
+                Err(e) => {
+                    return Err(ProtoError::new(
+                        "internal",
+                        format!("connect to {addr} failed: {e}"),
+                    ))
+                }
+            }
+        }
+        let detail = last.map(|e| e.to_string()).unwrap_or_else(|| "unreachable".into());
+        Err(ProtoError::new(
+            SHARD_UNAVAILABLE,
+            format!("connect to {addr} failed after {} attempts: {detail}", attempts.max(1)),
+        ))
+    }
+
+    /// The address this client dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Replaces the underlying connection with a fresh one to the same
+    /// address (same timeouts), with capped exponential backoff. Any
+    /// request in flight on the old connection is abandoned.
+    pub fn reconnect(
+        &mut self,
+        attempts: u32,
+        base: Duration,
+        cap: Duration,
+    ) -> Result<(), ProtoError> {
+        let fresh = Self::connect_with_backoff(
+            self.addr,
+            self.connect_timeout,
+            self.read_timeout,
+            attempts,
+            base,
+            cap,
+        )?;
+        *self = fresh;
+        Ok(())
     }
 
     /// Sends one newline-terminated frame, handling short writes and
@@ -106,12 +203,15 @@ impl Client {
         while written < frame.len() {
             match self.writer.write(&frame[written..]) {
                 Ok(0) => {
-                    return Err(ProtoError::new("internal", "server closed the connection"))
+                    return Err(ProtoError::new(SHARD_UNAVAILABLE, "server closed the connection"))
                 }
                 Ok(n) => written += n,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     return Err(ProtoError::new("internal", "send timed out"))
+                }
+                Err(e) if is_unavailable(e.kind()) => {
+                    return Err(ProtoError::new(SHARD_UNAVAILABLE, format!("send failed: {e}")))
                 }
                 Err(e) => return Err(ProtoError::new("internal", format!("send failed: {e}"))),
             }
@@ -123,11 +223,15 @@ impl Client {
     /// throughput-sensitive callers parse it with the borrowing parser.
     pub(crate) fn recv_line(&mut self, reply: &mut String) -> Result<(), ProtoError> {
         reply.clear();
-        self.reader
-            .read_line(reply)
-            .map_err(|e| ProtoError::new("internal", format!("recv failed: {e}")))?;
+        self.reader.read_line(reply).map_err(|e| {
+            if is_unavailable(e.kind()) {
+                ProtoError::new(SHARD_UNAVAILABLE, format!("recv failed: {e}"))
+            } else {
+                ProtoError::new("internal", format!("recv failed: {e}"))
+            }
+        })?;
         if reply.is_empty() {
-            return Err(ProtoError::new("internal", "server closed the connection"));
+            return Err(ProtoError::new(SHARD_UNAVAILABLE, "server closed the connection"));
         }
         Ok(())
     }
@@ -144,6 +248,19 @@ impl Client {
     pub fn request_raw(&mut self, line: &str) -> Result<Json, ProtoError> {
         self.send_line(line)?;
         self.recv_reply()
+    }
+
+    /// Sends one raw request line and reads the raw response line into
+    /// `reply` (cleared first; trailing newline stripped). The router's
+    /// forwarding path uses this to relay shard replies byte-identically —
+    /// re-rendering through a parser could perturb float formatting.
+    pub fn request_line(&mut self, line: &str, reply: &mut String) -> Result<(), ProtoError> {
+        self.send_line(line)?;
+        self.recv_line(reply)?;
+        while reply.ends_with('\n') || reply.ends_with('\r') {
+            reply.pop();
+        }
+        Ok(())
     }
 
     /// Sends a request and lifts protocol-level errors into `ProtoError`.
@@ -378,6 +495,7 @@ fn lift_err(v: &Json) -> ProtoError {
         Some("bad_json") => "bad_json",
         Some("unknown_verb") => "unknown_verb",
         Some("frame_too_large") => "frame_too_large",
+        Some("shard_unavailable") => SHARD_UNAVAILABLE,
         _ => "internal",
     };
     let message = v
@@ -587,6 +705,57 @@ mod tests {
         let err = client.report("ghost", 0, 10.0, 10.0).unwrap_err();
         assert_eq!(err.code, "not_found");
         handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn dead_shard_surfaces_shard_unavailable() {
+        // Bind-then-drop leaves a port with nothing listening: connect must
+        // come back refused with the distinct shard_unavailable code, and
+        // do so within a bounded number of backoff attempts.
+        let vacant = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let err = Client::connect_with_backoff(
+            vacant,
+            Some(Duration::from_millis(200)),
+            Duration::from_secs(1),
+            3,
+            Duration::from_millis(1),
+            Duration::from_millis(4),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, SHARD_UNAVAILABLE, "{}", err.message);
+
+        // A server that dies mid-conversation surfaces the same code on
+        // the next read, and reconnect() to a live server recovers.
+        let handle = spawn(ServerConfig::default()).unwrap();
+        let addr = handle.addr;
+        let mut client = Client::connect(addr, Duration::from_secs(5)).unwrap();
+        client.ping().unwrap();
+        handle.shutdown_and_join();
+        let err = client.ping().unwrap_err();
+        assert!(
+            err.code == SHARD_UNAVAILABLE || err.code == "shutting_down",
+            "got {}: {}",
+            err.code,
+            err.message
+        );
+        // The old address is dead; reconnect reports shard_unavailable
+        // rather than a generic io failure.
+        let err = client
+            .reconnect(2, Duration::from_millis(1), Duration::from_millis(2))
+            .unwrap_err();
+        assert_eq!(err.code, SHARD_UNAVAILABLE);
+
+        // Against a replacement server on a fresh port, reconnect works.
+        let handle2 = spawn(ServerConfig::default()).unwrap();
+        let mut client2 = Client::connect(handle2.addr, Duration::from_secs(5)).unwrap();
+        client2.ping().unwrap();
+        client2.reconnect(3, Duration::from_millis(1), Duration::from_millis(4)).unwrap();
+        assert_eq!(client2.addr(), handle2.addr);
+        client2.ping().unwrap();
+        handle2.shutdown_and_join();
     }
 
     #[test]

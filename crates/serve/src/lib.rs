@@ -36,6 +36,7 @@ pub mod engine;
 pub mod json;
 pub mod loadgen;
 pub mod metrics;
+pub mod poll;
 pub mod protocol;
 pub mod registry;
 pub mod server;

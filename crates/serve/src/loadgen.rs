@@ -151,11 +151,28 @@ pub fn run(
     cluster: &str,
     config: &LoadgenConfig,
 ) -> Result<LoadgenReport, crate::protocol::ProtoError> {
+    run_multi(&[addr], cluster, config)
+}
+
+/// Multi-endpoint closed loop: worker `w` connects to
+/// `addrs[w % addrs.len()]`, so the workload round-robins across every
+/// endpoint (N shards behind a router, or the router replicated). All
+/// workers' latencies are pooled before the percentile pass, so the
+/// reported p50/p99 stay exact order statistics over the merged run —
+/// not an average of per-endpoint percentiles. Panics on an empty
+/// address list or zero workers/requests (caller bug).
+pub fn run_multi(
+    addrs: &[SocketAddr],
+    cluster: &str,
+    config: &LoadgenConfig,
+) -> Result<LoadgenReport, crate::protocol::ProtoError> {
+    assert!(!addrs.is_empty(), "at least one endpoint");
     assert!(config.workers > 0 && config.requests_per_worker > 0);
     let distinct = config.distinct_n.max(1) as u64;
     let started = Instant::now();
     let mut handles = Vec::with_capacity(config.workers);
     for w in 0..config.workers {
+        let addr = addrs[w % addrs.len()];
         let cluster = cluster.to_owned();
         let cfg = config.clone();
         handles.push(std::thread::spawn(move || -> (Vec<u64>, LoadgenReport) {
@@ -492,6 +509,33 @@ mod tests {
         let stats = handle.shutdown_and_join();
         assert!(stats.get("batch_requests").and_then(Json::as_u64).unwrap_or(0) >= 10);
         assert!(stats.get("pipeline_depth_peak").and_then(Json::as_u64).unwrap_or(0) >= 2);
+    }
+
+    #[test]
+    fn multi_endpoint_run_round_robins_workers() {
+        // Two independent servers, each holding the cluster: the merged
+        // report must account for every request, and both endpoints must
+        // have actually been exercised (each server sees ~half the load).
+        let a = spawn(ServerConfig::default()).unwrap();
+        let b = spawn(ServerConfig::default()).unwrap();
+        register_demo(a.addr);
+        register_demo(b.addr);
+        let cfg = LoadgenConfig {
+            workers: 4,
+            requests_per_worker: 30,
+            distinct_n: 2,
+            ..LoadgenConfig::default()
+        };
+        let report = run_multi(&[a.addr, b.addr], "demo", &cfg).unwrap();
+        assert_eq!(report.ok, 120);
+        assert_eq!(report.other_errors, 0);
+        assert!(report.p99_us >= report.p50_us);
+        let stats_a = a.shutdown_and_join();
+        let stats_b = b.shutdown_and_join();
+        let pa = stats_a.get("partition_requests").and_then(Json::as_u64).unwrap();
+        let pb = stats_b.get("partition_requests").and_then(Json::as_u64).unwrap();
+        assert_eq!(pa + pb, 120);
+        assert_eq!(pa, 60, "2 of 4 workers per endpoint");
     }
 
     #[test]

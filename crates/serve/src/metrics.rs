@@ -53,14 +53,106 @@ impl Histogram {
     /// Approximate quantile (0..=1): the upper edge of the bucket holding
     /// the q-th sample. Exact to within a factor of 2 by construction.
     pub fn quantile_us(&self, q: f64) -> u64 {
-        let n = self.count();
-        if n == 0 {
+        self.snapshot().quantile_us(q)
+    }
+
+    /// Adds every sample recorded in `other` into this histogram,
+    /// bucket-wise. Exact because all histograms share the bucket layout.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = theirs.load(Ordering::Relaxed);
+            if v > 0 {
+                mine.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_us.fetch_add(other.sum_us.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Plain-data copy of the current bucket contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+        }
+    }
+
+    fn snapshot_json(&self) -> Json {
+        self.snapshot().to_json()
+    }
+}
+
+/// A point-in-time, plain-data histogram: what the `stats` verb carries
+/// on the wire and what the router sums across shards. Bucket layout is
+/// identical to [`Histogram`], so merging is a bucket-wise add — exact,
+/// not an approximation over pre-computed quantiles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (bucket `i` = `[2^i, 2^(i+1))` µs).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all recorded microseconds.
+    pub sum_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Reads a snapshot back from its wire form (the object written by
+    /// [`HistogramSnapshot::to_json`]). Returns `None` when the `buckets`
+    /// array is missing or malformed — e.g. a stats reply from a pre-merge
+    /// server that only carried quantile edges.
+    pub fn from_json(v: &Json) -> Option<Self> {
+        let arr = match v.get("buckets") {
+            Some(Json::Arr(items)) => items,
+            _ => return None,
+        };
+        if arr.len() != HIST_BUCKETS {
+            return None;
+        }
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (out, item) in buckets.iter_mut().zip(arr.iter()) {
+            *out = item.as_u64()?;
+        }
+        Some(HistogramSnapshot {
+            buckets,
+            count: v.get("count").and_then(Json::as_u64)?,
+            sum_us: v.get("sum_us").and_then(Json::as_u64)?,
+        })
+    }
+
+    /// Bucket-wise sum of `other` into `self`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (0..=1): the upper edge of the bucket holding
+    /// the q-th sample. Exact to within a factor of 2 by construction.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
             if seen >= rank {
                 // The catch-all bucket holds everything from 2^(HIST_BUCKETS-1)
                 // up to u64::MAX, so its reported upper edge saturates rather
@@ -71,18 +163,94 @@ impl Histogram {
         u64::MAX
     }
 
-    fn snapshot_json(&self) -> Json {
+    /// Wire form: the derived summary fields plus the raw buckets, so a
+    /// downstream merger can reconstruct exact quantiles. Derived edges
+    /// saturate at 2⁵³ (JSON's exact-integer ceiling); the buckets stay
+    /// exact, so a parsed snapshot recomputes the true u64::MAX edge.
+    pub fn to_json(&self) -> Json {
         Json::Obj(vec![
-            ("count".into(), Json::uint(self.count())),
+            ("count".into(), Json::uint(self.count)),
             ("mean_us".into(), Json::num(round2(self.mean_us()))),
-            ("p50_us_le".into(), Json::uint(self.quantile_us(0.50))),
-            ("p99_us_le".into(), Json::uint(self.quantile_us(0.99))),
+            ("p50_us_le".into(), wire_uint(self.quantile_us(0.50))),
+            ("p99_us_le".into(), wire_uint(self.quantile_us(0.99))),
+            ("sum_us".into(), wire_uint(self.sum_us)),
+            (
+                "buckets".into(),
+                Json::Arr(self.buckets.iter().map(|&b| Json::uint(b)).collect()),
+            ),
         ])
+    }
+}
+
+/// A name → value counter bag parsed back from a `stats` reply, used to
+/// sum per-shard counters into cluster-wide totals. Keys keep the order
+/// of first appearance so merged output stays stable across shards that
+/// share the counter layout.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    entries: Vec<(String, u64)>,
+}
+
+impl Counters {
+    /// Empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Collects every top-level unsigned-integer field of a stats object.
+    /// Nested objects (like `partition_latency`) are skipped — they are
+    /// merged structurally via [`HistogramSnapshot`].
+    pub fn from_json(v: &Json) -> Self {
+        let mut entries = Vec::new();
+        if let Json::Obj(fields) = v {
+            for (key, value) in fields {
+                if let Some(n) = value.as_u64() {
+                    entries.push((key.clone(), n));
+                }
+            }
+        }
+        Counters { entries }
+    }
+
+    /// Sums `other` into `self` by key; keys new to `self` are appended.
+    pub fn merge(&mut self, other: &Counters) {
+        for (key, value) in &other.entries {
+            match self.entries.iter_mut().find(|(k, _)| k == key) {
+                Some((_, mine)) => *mine += value,
+                None => self.entries.push((key.clone(), *value)),
+            }
+        }
+    }
+
+    /// Reads one counter by name.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.entries.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no counters were collected.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the bag back to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(self.entries.iter().map(|(k, v)| (k.clone(), Json::uint(*v))).collect())
     }
 }
 
 fn round2(v: f64) -> f64 {
     (v * 100.0).round() / 100.0
+}
+
+/// Renders a u64 that may legitimately exceed JSON's exact range (the
+/// saturated catch-all quantile edge) by clamping at 2⁵³.
+fn wire_uint(v: u64) -> Json {
+    Json::uint(v.min(1u64 << 53))
 }
 
 macro_rules! counters {
@@ -255,6 +423,99 @@ mod tests {
         // Rendered form is a single JSON object line.
         let text = snap.to_string();
         assert!(text.starts_with('{') && text.ends_with('}'));
+    }
+
+    #[test]
+    fn histogram_merge_is_bucketwise_exact() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for us in [1u64, 5, 100, 900] {
+            a.record(us);
+        }
+        for us in [3u64, 1000, 1000, 250_000] {
+            b.record(us);
+        }
+        a.merge(&b);
+        // Merged totals equal a histogram that saw every sample directly.
+        let all = Histogram::new();
+        for us in [1u64, 5, 100, 900, 3, 1000, 1000, 250_000] {
+            all.record(us);
+        }
+        assert_eq!(a.snapshot(), all.snapshot());
+        assert_eq!(a.count(), 8);
+        assert_eq!(a.quantile_us(0.5), all.quantile_us(0.5));
+        assert_eq!(a.quantile_us(0.99), all.quantile_us(0.99));
+    }
+
+    #[test]
+    fn merge_preserves_the_catch_all_saturated_edge() {
+        // A shard whose tail sample lives in the catch-all bucket (the
+        // u64::MAX edge fixed in the histogram quantile logic) must keep
+        // that saturated edge after a cross-shard merge.
+        let tail = Histogram::new();
+        tail.record((1u64 << 45) + 7);
+        let bulk = Histogram::new();
+        for _ in 0..99 {
+            bulk.record(10);
+        }
+        bulk.merge(&tail);
+        assert_eq!(bulk.count(), 100);
+        assert!(bulk.quantile_us(0.5) < u64::MAX);
+        assert_eq!(bulk.quantile_us(1.0), u64::MAX, "catch-all edge must survive merge");
+        // Same invariant through the plain-data snapshot path.
+        let mut snap = bulk.snapshot();
+        snap.merge(&tail.snapshot());
+        assert_eq!(snap.quantile_us(1.0), u64::MAX);
+        assert_eq!(snap.count, 101);
+    }
+
+    #[test]
+    fn histogram_snapshot_round_trips_through_json() {
+        let h = Histogram::new();
+        for us in [2u64, 40, 40, 7_000, (1u64 << 40) + 1] {
+            h.record(us);
+        }
+        let snap = h.snapshot();
+        let wire = snap.to_json();
+        // Wire form keeps the derived fields and the raw buckets.
+        assert_eq!(wire.get("count").and_then(Json::as_u64), Some(5));
+        assert!(wire.get("buckets").is_some());
+        let back = HistogramSnapshot::from_json(&wire).expect("round trip");
+        assert_eq!(back, snap);
+        // Quantiles recomputed from the round-tripped buckets are exact.
+        assert_eq!(back.quantile_us(0.99), snap.quantile_us(0.99));
+        assert_eq!(back.quantile_us(1.0), u64::MAX);
+        // A legacy reply without buckets is rejected, not misparsed.
+        let legacy = Json::Obj(vec![
+            ("count".into(), Json::uint(3)),
+            ("p99_us_le".into(), Json::uint(128)),
+        ]);
+        assert!(HistogramSnapshot::from_json(&legacy).is_none());
+    }
+
+    #[test]
+    fn counters_merge_sums_by_key() {
+        let m = Metrics::new();
+        m.inc(&m.requests);
+        m.inc(&m.requests);
+        m.inc(&m.cache_hits);
+        let a = Counters::from_json(&m.snapshot_json());
+        // Nested partition_latency is structural, not a counter.
+        assert!(a.get("partition_latency").is_none());
+        assert_eq!(a.get("requests"), Some(2));
+
+        let m2 = Metrics::new();
+        m2.inc(&m2.requests);
+        m2.inc(&m2.errors);
+        let mut merged = a.clone();
+        merged.merge(&Counters::from_json(&m2.snapshot_json()));
+        assert_eq!(merged.get("requests"), Some(3));
+        assert_eq!(merged.get("cache_hits"), Some(1));
+        assert_eq!(merged.get("errors"), Some(1));
+        // Keys unseen by the first bag are appended, none are lost.
+        assert_eq!(merged.len(), a.len());
+        let back = merged.to_json();
+        assert_eq!(back.get("requests").and_then(Json::as_u64), Some(3));
     }
 
     #[test]

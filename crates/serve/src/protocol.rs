@@ -391,18 +391,7 @@ fn parse_testbed(tb: &JsonRef<'_>) -> Result<ClusterSpec, ProtoError> {
 fn parse_report(value: &JsonRef<'_>) -> Result<Request, ProtoError> {
     // `model` is an alias for `cluster`: a report concerns one registered
     // model set.
-    let target = match value.get("model").and_then(JsonRef::as_str) {
-        Some(name) => {
-            if value.get("cluster").is_some() || value.get("fingerprint").is_some() {
-                return Err(ProtoError::new(
-                    "bad_request",
-                    "report takes model, cluster or fingerprint — pick one",
-                ));
-            }
-            ClusterRefView::Name(name)
-        }
-        None => parse_target(value)?,
-    };
+    let target = parse_report_target_ref(value)?;
     let machine = value
         .get("machine")
         .and_then(JsonRef::as_u64)
@@ -467,6 +456,33 @@ pub fn parse_partition_batch_ref<'a>(
     let algorithm = parse_algorithm_field(value)?;
     let deadline_ms = parse_deadline_field(value)?;
     Ok(PartitionBatchView { target, ns, algorithm, deadline_ms })
+}
+
+/// Extracts the cluster reference (`cluster` or `fingerprint`) from a
+/// partition-shaped request without copying it. The router uses this to
+/// derive the consistent-hash routing key before forwarding the raw frame.
+pub fn parse_target_ref<'a>(value: &'a JsonRef<'_>) -> Result<ClusterRefView<'a>, ProtoError> {
+    parse_target(value)
+}
+
+/// Extracts the cluster reference from a `report` request, honouring the
+/// `model` alias exactly like the server's own parser (a router that
+/// routed `model` differently from `cluster` would split replicas).
+pub fn parse_report_target_ref<'a>(
+    value: &'a JsonRef<'_>,
+) -> Result<ClusterRefView<'a>, ProtoError> {
+    match value.get("model").and_then(JsonRef::as_str) {
+        Some(name) => {
+            if value.get("cluster").is_some() || value.get("fingerprint").is_some() {
+                return Err(ProtoError::new(
+                    "bad_request",
+                    "report takes model, cluster or fingerprint — pick one",
+                ));
+            }
+            Ok(ClusterRefView::Name(name))
+        }
+        None => parse_target(value),
+    }
 }
 
 fn parse_target<'a>(value: &'a JsonRef<'_>) -> Result<ClusterRefView<'a>, ProtoError> {

@@ -1,0 +1,288 @@
+//! Tier-1 integration test of the sharded serving layer: an `fpm-router`
+//! fronting three real `fpm-serve` shards must answer partition requests
+//! **bit-identically** to a single-node daemon holding the same models —
+//! and must keep answering, bit-identically, while shards die.
+//!
+//! Routing only decides *where* a model lives; registration forwards the
+//! exact request line and every shard rebuilds models from
+//! shortest-round-trip decimals, so the full stack (client → router →
+//! owner shard → solver) must reproduce the single-node wire results to
+//! the last bit. The fault tests follow the testkit's deterministic
+//! kill-after-k pattern: the victim dies at a fixed request index, so
+//! failures are reproducible, not racy.
+//!
+//! Case count scales with `FPM_TESTKIT_CASES` (default 100, the
+//! acceptance floor); seeds derive from `FPM_TESTKIT_SEED`.
+
+use std::time::Duration;
+
+use fpm_router::{RouterConfig, RouterHandle};
+use fpm_serve::client::Client;
+use fpm_serve::json::Json;
+use fpm_serve::server::{spawn as spawn_shard, ServerConfig};
+use fpm_serve::{AlgorithmId, ServerHandle};
+use fpm_testkit::conformance::{env_base_seed, env_cases};
+use fpm_testkit::{GenConfig, WireCluster};
+
+/// Every algorithm in the planner registry, cycled across cases.
+const ALGORITHMS: &[AlgorithmId] = &[
+    AlgorithmId::Combined,
+    AlgorithmId::Basic,
+    AlgorithmId::Modified,
+    AlgorithmId::Secant,
+    AlgorithmId::Bounded,
+    AlgorithmId::Contiguous,
+    AlgorithmId::SingleAt(5e5),
+];
+
+fn spawn_routed_cluster(shards: usize) -> (Vec<ServerHandle>, RouterHandle) {
+    let handles: Vec<ServerHandle> = (0..shards)
+        .map(|_| spawn_shard(ServerConfig::default()).expect("spawn shard"))
+        .collect();
+    let config = RouterConfig {
+        shards: handles.iter().map(|s| s.addr).collect(),
+        probe_interval_ms: 50,
+        ..RouterConfig::default()
+    };
+    let router = fpm_router::spawn(config).expect("spawn router");
+    (handles, router)
+}
+
+#[test]
+fn routed_plans_are_bit_identical_to_single_node() {
+    let cases = env_cases(100);
+    let base = env_base_seed(0x0F20_57ED);
+    let cfg = GenConfig::default();
+
+    let (shards, router) = spawn_routed_cluster(3);
+    let single = spawn_shard(ServerConfig::default()).expect("spawn single node");
+    let mut routed = Client::connect(router.addr, Duration::from_secs(60)).expect("connect router");
+    let mut direct = Client::connect(single.addr, Duration::from_secs(60)).expect("connect single");
+
+    for i in 0..cases {
+        let seed = base.wrapping_add(i as u64);
+        let wire = WireCluster::from_seed(seed, &cfg);
+        let name = format!("case-{seed:x}");
+        let reg_r = routed
+            .register_inline(&name, &wire.models)
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: routed register failed: {e}"));
+        let reg_d = direct
+            .register_inline(&name, &wire.models)
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: direct register failed: {e}"));
+        // Same models, same fingerprint — the fan-out forwarded the line
+        // verbatim.
+        assert_eq!(reg_r.fingerprint, reg_d.fingerprint, "seed {seed:#x}");
+        assert_eq!(reg_r.machines, reg_d.machines, "seed {seed:#x}");
+
+        let algorithm = ALGORITHMS[i % ALGORITHMS.len()];
+        let via_router = routed.partition(&name, wire.n, algorithm, Some(30_000));
+        let via_single = direct.partition(&name, wire.n, algorithm, Some(30_000));
+        match (via_router, via_single) {
+            (Ok(r), Ok(d)) => {
+                assert_eq!(
+                    r.counts, d.counts,
+                    "seed {seed:#x} ({algorithm:?}, n={}): counts diverge",
+                    wire.n
+                );
+                assert_eq!(
+                    r.makespan.to_bits(),
+                    d.makespan.to_bits(),
+                    "seed {seed:#x}: makespan not bit-identical ({} vs {})",
+                    r.makespan,
+                    d.makespan
+                );
+                assert_eq!(r.fingerprint, d.fingerprint, "seed {seed:#x}");
+                assert_eq!(r.counts.iter().sum::<u64>(), wire.n, "seed {seed:#x}");
+            }
+            (Err(r), Err(d)) => {
+                assert_eq!(r.code, d.code, "seed {seed:#x}: error codes diverge");
+            }
+            (r, d) => {
+                panic!("seed {seed:#x}: router {r:?} vs single-node {d:?}");
+            }
+        }
+    }
+
+    // The router never had to fail over: all shards stayed up.
+    let stats = router.shutdown_and_join();
+    assert_eq!(stats.get("failover_exhausted").and_then(Json::as_u64), Some(0));
+    assert!(
+        stats.get("forwarded").and_then(Json::as_u64).unwrap_or(0) >= cases as u64,
+        "every partition goes through the forward path"
+    );
+    for shard in shards {
+        shard.shutdown_and_join();
+    }
+    single.shutdown_and_join();
+}
+
+#[test]
+fn failover_to_replica_is_bit_identical_when_the_owner_is_down() {
+    // Register a handful of clusters, capture their answers with all
+    // shards alive, kill one shard, and require every cluster to answer
+    // *identically* — the ones owned by the victim via their replicas.
+    let cases = (env_cases(100) / 10).clamp(5, 20);
+    let base = env_base_seed(0xFA11_07E8);
+    let cfg = GenConfig::default();
+
+    let (mut shards, router) = spawn_routed_cluster(3);
+    let mut client = Client::connect(router.addr, Duration::from_secs(60)).expect("connect");
+
+    let mut baselines = Vec::new();
+    for i in 0..cases {
+        let seed = base.wrapping_add(i as u64);
+        let wire = WireCluster::from_seed(seed, &cfg);
+        let name = format!("fo-{seed:x}");
+        client.register_inline(&name, &wire.models).expect("register");
+        let algorithm = ALGORITHMS[i % ALGORITHMS.len()];
+        let reply = client.partition(&name, wire.n, algorithm, Some(30_000));
+        baselines.push((name, wire.n, algorithm, reply));
+    }
+
+    // Kill the shard that owns the first cluster (deterministic victim).
+    let victim_addr = router.route(&baselines[0].0)[0];
+    let victim = shards
+        .iter()
+        .position(|s| s.addr == victim_addr)
+        .expect("victim among shards");
+    shards.remove(victim).shutdown_and_join();
+
+    let mut failed_over = 0usize;
+    for (name, n, algorithm, baseline) in &baselines {
+        if router.route(name)[0] == victim_addr {
+            failed_over += 1;
+        }
+        let after = client.partition(name, *n, *algorithm, Some(30_000));
+        match (baseline, &after) {
+            (Ok(b), Ok(a)) => {
+                assert_eq!(b.counts, a.counts, "{name}: counts diverge after failover");
+                assert_eq!(
+                    b.makespan.to_bits(),
+                    a.makespan.to_bits(),
+                    "{name}: makespan not bit-identical after failover"
+                );
+            }
+            (Err(b), Err(a)) => assert_eq!(b.code, a.code, "{name}"),
+            (b, a) => panic!("{name}: before {b:?} vs after {a:?}"),
+        }
+    }
+    assert!(failed_over >= 1, "the victim owned at least cluster {}", baselines[0].0);
+
+    // cluster_stats must call the dead shard out as unhealthy.
+    let mut raw = String::new();
+    client.request_line(r#"{"verb":"cluster_stats"}"#, &mut raw).expect("cluster_stats");
+    let v = Json::parse(&raw).expect("parse cluster_stats");
+    assert_eq!(v.get("total_shards").and_then(Json::as_u64), Some(3), "{raw}");
+    assert_eq!(v.get("healthy_shards").and_then(Json::as_u64), Some(2), "{raw}");
+    let dead_entry = v
+        .get("shards")
+        .and_then(Json::as_array)
+        .expect("shards array")
+        .iter()
+        .find(|s| s.get("addr").and_then(Json::as_str) == Some(&victim_addr.to_string()))
+        .expect("dead shard listed");
+    assert_eq!(dead_entry.get("healthy").and_then(Json::as_bool), Some(false), "{raw}");
+
+    let stats = router.shutdown_and_join();
+    // Only the first orphaned request pays a live failover; it marks the
+    // shard down and later requests route straight to the replica.
+    assert!(
+        stats.get("failovers").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "the death was discovered by at least one failover: {stats}"
+    );
+    assert_eq!(
+        stats.get("failover_exhausted").and_then(Json::as_u64),
+        Some(0),
+        "replicas covered every orphaned cluster: {stats}"
+    );
+    for shard in shards {
+        shard.shutdown_and_join();
+    }
+}
+
+#[test]
+fn killing_a_shard_mid_burst_is_invisible_to_clients() {
+    // The testkit's `with_death_after` discipline, lifted to the wire: a
+    // shard dies after a fixed number of burst requests, and every
+    // request in the burst must still succeed — zero client-visible
+    // protocol errors, before and after the death.
+    let base = env_base_seed(0xDEAD_B057);
+    let cfg = GenConfig::default();
+    let clusters = 6usize;
+    let requests = 48usize;
+    let death_after = 16usize;
+
+    let (mut shards, router) = spawn_routed_cluster(3);
+    let mut client = Client::connect(router.addr, Duration::from_secs(60)).expect("connect");
+
+    let mut names = Vec::new();
+    for i in 0..clusters {
+        let seed = base.wrapping_add(i as u64);
+        let wire = WireCluster::from_seed(seed, &cfg);
+        let name = format!("burst-{seed:x}");
+        client.register_inline(&name, &wire.models).expect("register");
+        names.push((name, wire.n));
+    }
+
+    // Deterministic victim: the owner of the first cluster, so at least
+    // one cluster in the rotation is orphaned mid-burst.
+    let victim_addr = router.route(&names[0].0)[0];
+
+    for r in 0..requests {
+        if r == death_after {
+            let victim = shards
+                .iter()
+                .position(|s| s.addr == victim_addr)
+                .expect("victim among shards");
+            shards.remove(victim).shutdown_and_join();
+        }
+        let (name, n) = &names[r % names.len()];
+        // Vary n so the burst is not one cache entry replayed 48 times.
+        let n = n / 2 + 1 + r as u64;
+        let reply = client
+            .partition(name, n, AlgorithmId::Combined, Some(30_000))
+            .unwrap_or_else(|e| panic!("request {r} ({name}, n={n}) errored mid-burst: {e}"));
+        assert_eq!(reply.counts.iter().sum::<u64>(), n, "request {r}: conservation");
+    }
+
+    let stats = router.shutdown_and_join();
+    assert_eq!(
+        stats.get("failover_exhausted").and_then(Json::as_u64),
+        Some(0),
+        "no request ran out of replicas: {stats}"
+    );
+    assert_eq!(
+        stats.get("errors").and_then(Json::as_u64),
+        Some(0),
+        "no client-visible errors: {stats}"
+    );
+    for shard in shards {
+        shard.shutdown_and_join();
+    }
+}
+
+#[test]
+fn multi_endpoint_loadgen_drives_a_routed_cluster() {
+    // The bench/CI entry path: the multi-endpoint closed loop pointed at
+    // a router must complete with zero errors and exact totals.
+    let (shards, router) = spawn_routed_cluster(3);
+    let mut client = Client::connect(router.addr, Duration::from_secs(60)).expect("connect");
+    client.register_testbed("lg", "table1", "mm", 7).expect("register testbed");
+
+    let cfg = fpm_serve::LoadgenConfig {
+        workers: 4,
+        requests_per_worker: 25,
+        distinct_n: 8,
+        ..fpm_serve::LoadgenConfig::default()
+    };
+    let report =
+        fpm_serve::loadgen::run_multi(&[router.addr], "lg", &cfg).expect("loadgen run");
+    assert_eq!(report.ok, 100, "all requests succeed: {report:?}");
+    assert_eq!(report.other_errors, 0, "{report:?}");
+    assert!(report.p99_us >= report.p50_us, "{report:?}");
+
+    router.shutdown_and_join();
+    for shard in shards {
+        shard.shutdown_and_join();
+    }
+}

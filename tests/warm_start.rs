@@ -124,7 +124,8 @@ fn engine_warm_starts_are_bit_identical_including_epoch_bumps() {
         // refined model exactly.
         let x = (c0.models[0].max_size() * 0.25).max(1.0);
         let s_slow = c0.models[0].speed(x) * 0.65;
-        if !(s_slow > 0.0) {
+        // NaN speeds must skip too, so compare through partial_cmp.
+        if s_slow.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             continue;
         }
         let elapsed_us = x / s_slow * 1e6;
