@@ -69,6 +69,7 @@ fn bench_registry_report(c: &mut Criterion) {
                 .map(|m| WireModel {
                     name: format!("M{m}"),
                     knots: model_with_knots(64).knots().to_vec(),
+                    cost: false,
                 })
                 .collect(),
         );

@@ -17,7 +17,7 @@
 
 use std::time::Instant;
 
-use fpm_core::partition::{CombinedPartitioner, Partitioner};
+use fpm_core::partition::{CombinedPartitioner, Partitioner, SortSamplePartitioner};
 use fpm_core::speed::builder::BuilderConfig;
 use fpm_core::speed::{PiecewiseLinearSpeed, SpeedFunction};
 use fpm_exec::model_build::{build_cluster_models, build_cluster_models_seq};
@@ -71,6 +71,10 @@ pub struct BenchPartitionResults {
     /// `BENCH_N` solution via `resolve_from` (tight bracket, `O(p)` work
     /// per probe, a handful of bisection steps).
     pub partition_warm_ns: u128,
+    /// Nonlinear-cost solve: the `sort-sample` entry on the same cluster
+    /// and size, solved in the `x·log x` time domain through the
+    /// cost-function path (the seed had no solver for this shape).
+    pub partition_sort_ns: u128,
     /// Machines in the model-build measurement.
     pub build_machines: usize,
     /// Whole-cluster model build on the worker pool.
@@ -138,6 +142,17 @@ pub fn measure() -> BenchPartitionResults {
     let partition_cold_near_ns = median_ns(25, run_cold_near);
     let partition_warm_ns = median_ns(25, run_warm);
 
+    // Nonlinear-cost phase: the same cluster and size through the
+    // sort-sample entry, i.e. every speed model wrapped in the x·log x
+    // cost transform and the whole solve running on cost-time slopes.
+    let sorter = SortSamplePartitioner::new();
+    let run_sort = || {
+        let r = sorter.partition(BENCH_N, &funcs).unwrap();
+        assert_eq!(r.distribution.total(), BENCH_N);
+    };
+    run_sort();
+    let partition_sort_ns = median_ns(9, run_sort);
+
     // A cluster and builder budget large enough for per-machine work to
     // dominate the pool's per-task overhead (the default config finishes a
     // machine in microseconds).
@@ -197,6 +212,7 @@ pub fn measure() -> BenchPartitionResults {
         partition_seed_ns,
         partition_cold_near_ns,
         partition_warm_ns,
+        partition_sort_ns,
         build_machines: specs.len(),
         build_pooled_ns,
         build_seq_ns,
@@ -221,6 +237,7 @@ pub fn to_json(r: &BenchPartitionResults) -> Json {
                 ("warm_delta_n".into(), Json::uint(BENCH_N / 1000)),
                 ("cold_near_median_ns".into(), ns(r.partition_cold_near_ns)),
                 ("warm_median_ns".into(), ns(r.partition_warm_ns)),
+                ("sort_median_ns".into(), ns(r.partition_sort_ns)),
             ]),
         ),
         (
@@ -269,6 +286,12 @@ pub fn run() -> Report {
         fnum(speedup(results.partition_cold_near_ns, results.partition_warm_ns), 2),
     ]);
     r.push_row(vec![
+        format!("partition sort-sample (cost domain) p={BENCH_P} n={BENCH_N}"),
+        results.partition_sort_ns.to_string(),
+        results.partition_optimized_ns.to_string(),
+        fnum(speedup(results.partition_sort_ns, results.partition_optimized_ns), 2),
+    ]);
+    r.push_row(vec![
         format!(
             "model_build {} machines / {} workers",
             results.build_machines, results.build_workers
@@ -288,6 +311,7 @@ pub fn run() -> Report {
         Err(e) => r.note(format!("could not write BENCH_partition.json: {e}")),
     }
     r.note("baselines are the seed behaviours: uncached probes, sequential build, plain tiled loop");
+    r.note("the sort-sample row compares the nonlinear cost-domain solve against the linear solve (its ratio is the transform's overhead, not a speedup)");
     r
 }
 
@@ -302,6 +326,7 @@ mod tests {
             partition_seed_ns: 2,
             partition_cold_near_ns: 7,
             partition_warm_ns: 8,
+            partition_sort_ns: 9,
             build_machines: 12,
             build_pooled_ns: 3,
             build_seq_ns: 4,
@@ -319,6 +344,7 @@ mod tests {
         assert_eq!(at("partition", "warm_delta_n"), Some(2_000_000));
         assert_eq!(at("partition", "cold_near_median_ns"), Some(7));
         assert_eq!(at("partition", "warm_median_ns"), Some(8));
+        assert_eq!(at("partition", "sort_median_ns"), Some(9));
         assert_eq!(at("model_build", "sequential_median_ns"), Some(4));
         assert_eq!(at("matmul", "loop_median_ns"), Some(6));
         // Envelope carries version + commit.

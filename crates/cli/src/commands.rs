@@ -3,11 +3,11 @@
 
 use std::fmt::Write as _;
 
+use fpm_core::cost::{CostFunction, QueryCost, SortCost};
 use fpm_core::error::{Error, Result};
-use fpm_core::partition::{CombinedPartitioner, SingleNumberPartitioner};
-use fpm_core::planner::{registry, AlgorithmId};
+use fpm_core::partition::{CombinedPartitioner, SingleNumberPartitioner, DEFAULT_QUERY_GAMMA};
+use fpm_core::planner::{registry, AlgorithmId, CostClass};
 use fpm_core::speed::builder::BuilderConfig;
-use fpm_core::speed::SpeedFunction;
 use fpm_exec::model_build::build_cluster_models;
 use fpm_simnet::fluctuation::Integration;
 use fpm_simnet::profile::AppProfile;
@@ -28,16 +28,17 @@ pub fn algorithms(names_only: bool) -> String {
     }
     let _ = writeln!(
         out,
-        "{:<12} {:<26} {:<7} {:<36} paper",
-        "name", "aliases", "exact", "complexity"
+        "{:<12} {:<26} {:<7} {:<11} {:<36} paper",
+        "name", "aliases", "exact", "cost", "complexity"
     );
     for info in registry() {
         let _ = writeln!(
             out,
-            "{:<12} {:<26} {:<7} {:<36} {}",
+            "{:<12} {:<26} {:<7} {:<11} {:<36} {}",
             if info.parameterized { info.example } else { info.name },
             info.aliases.join(", "),
             if info.exact { "yes" } else { "no" },
+            info.cost.label(),
             info.complexity,
             info.paper,
         );
@@ -49,10 +50,25 @@ pub fn algorithms(names_only: bool) -> String {
 /// processors; returns the rendered table. The algorithm is resolved
 /// through the planner registry's erased dispatch.
 pub fn partition(models: &[NamedModel], n: u64, algorithm: AlgorithmId) -> Result<String> {
-    let funcs: Vec<&dyn SpeedFunction> =
-        models.iter().map(|m| &m.model as &dyn SpeedFunction).collect();
+    let funcs: Vec<&dyn CostFunction> =
+        models.iter().map(|m| &m.model as &dyn CostFunction).collect();
     let report = algorithm.solve(n, &funcs)?;
-    let times = report.distribution.times(&funcs);
+    // Per-processor times in the entry's own cost domain, so the column
+    // is balanced and its maximum is the reported makespan (nonlinear
+    // entries balance transformed time, not elements per speed).
+    let times = match algorithm.info().cost {
+        CostClass::Linear => report.distribution.times(&funcs),
+        CostClass::SortNLogN => {
+            let wrapped: Vec<SortCost<'_, &dyn CostFunction>> =
+                funcs.iter().map(SortCost::new).collect();
+            report.distribution.times(&wrapped)
+        }
+        CostClass::Superlinear => {
+            let wrapped: Vec<QueryCost<'_, &dyn CostFunction>> =
+                funcs.iter().map(|f| QueryCost::new(f, DEFAULT_QUERY_GAMMA)).collect();
+            report.distribution.times(&wrapped)
+        }
+    };
     let mut out = String::new();
     // Times are in the paper's normalised units (elements per MFlops):
     // absolute seconds depend on the application's flops-per-element law.

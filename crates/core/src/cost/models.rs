@@ -1,0 +1,343 @@
+//! Concrete cost models: measured `(size, time)` knots and the
+//! workload transforms for sort- and query-shaped loads.
+
+use super::function::CostFunction;
+use crate::error::{Error, Result};
+
+/// A cost function interpolated linearly between measured
+/// `(size, time)` knots — the time-domain counterpart of
+/// [`crate::speed::PiecewiseLinearSpeed`].
+///
+/// Below the first knot the model interpolates linearly from the origin
+/// `(0, 0)` (equivalent to the speed model's "clamp to the first
+/// measured speed"); beyond the last knot it continues the final
+/// segment's slope, and [`max_size`](CostFunction::max_size) is the
+/// last knot's abscissa so the solvers never assign past the measured
+/// domain.
+///
+/// # Shape validity
+///
+/// The trait invariant — `time` strictly increasing — holds for a
+/// piece-wise linear function iff it holds at the knots, which
+/// [`PiecewiseLinearCost::new`] enforces. Note this admits *any*
+/// curvature (convex sort costs, concave cache-warming costs, straight
+/// linear costs alike); the speed model's stricter `s(x)/x` decrease is
+/// the special case of a time model that also passes through shrinking
+/// origin-line slopes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinearCost {
+    /// Knots sorted by strictly increasing abscissa and time.
+    points: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinearCost {
+    /// Builds a piece-wise linear cost model from `(size, time)` knots.
+    ///
+    /// Requirements (checked, violations return
+    /// [`Error::InvalidSpeedFunction`] with processor index
+    /// `usize::MAX`, matching the speed-model constructor):
+    ///
+    /// * at least two knots;
+    /// * abscissas strictly increasing, positive, finite;
+    /// * times strictly increasing, positive, finite.
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self> {
+        const P: usize = usize::MAX;
+        if points.len() < 2 {
+            return Err(Error::InvalidSpeedFunction {
+                processor: P,
+                reason: "piece-wise linear cost model needs at least two knots",
+            });
+        }
+        for &(x, t) in &points {
+            if !(x.is_finite() && x > 0.0) {
+                return Err(Error::InvalidSpeedFunction {
+                    processor: P,
+                    reason: "cost knot abscissas must be positive and finite",
+                });
+            }
+            if !(t.is_finite() && t > 0.0) {
+                return Err(Error::InvalidSpeedFunction {
+                    processor: P,
+                    reason: "cost knot times must be positive and finite",
+                });
+            }
+        }
+        for w in points.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(Error::InvalidSpeedFunction {
+                    processor: P,
+                    reason: "cost knot abscissas must be strictly increasing",
+                });
+            }
+            if w[1].1 <= w[0].1 {
+                return Err(Error::InvalidSpeedFunction {
+                    processor: P,
+                    reason: "cost knot times must be strictly increasing (monotone time invariant)",
+                });
+            }
+        }
+        Ok(Self { points })
+    }
+
+    /// The interpolation knots, sorted by size.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of measured points the model is built from.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the model has no knots (never true for a constructed model).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+impl CostFunction for PiecewiseLinearCost {
+    fn time(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let pts = &self.points;
+        let (x0, t0) = pts[0];
+        let (x_last, t_last) = pts[pts.len() - 1];
+        if x <= x0 {
+            // Linear from the origin through the first knot.
+            return t0 * (x / x0);
+        }
+        if x >= x_last {
+            // Continue the final segment's slope.
+            let (xa, ta) = pts[pts.len() - 2];
+            let m = (t_last - ta) / (x_last - xa);
+            return t_last + m * (x - x_last);
+        }
+        let idx = pts.partition_point(|&(xk, _)| xk < x);
+        let (xa, ta) = pts[idx - 1];
+        let (xb, tb) = pts[idx];
+        let u = (x - xa) / (xb - xa);
+        ta + u * (tb - ta)
+    }
+
+    fn max_size(&self) -> f64 {
+        self.points[self.points.len() - 1].0
+    }
+
+    /// Closed-form intersection with the origin line `y = slope·x` in
+    /// the throughput plane, i.e. the root of `time(x) = 1/slope`.
+    ///
+    /// `time` is strictly increasing (validated at construction), so a
+    /// binary search over the knots finds the containing segment and a
+    /// linear inversion finishes. Mirrors the clamping semantics of
+    /// [`crate::geometry::intersect_origin_line`]: `max_size` when even
+    /// the full modelled domain finishes before `1/slope`.
+    fn intersect_slope(&self, slope: f64) -> Option<f64> {
+        if !(slope.is_finite() && slope > 0.0) {
+            return None;
+        }
+        let target = 1.0 / slope;
+        let pts = &self.points;
+        let (x0, t0) = pts[0];
+        let (x_last, t_last) = pts[pts.len() - 1];
+        if target <= t0 {
+            // Origin segment: time(x) = t0·x/x0.
+            return Some(x0 * (target / t0));
+        }
+        if target >= t_last {
+            return Some(x_last);
+        }
+        let k = pts.partition_point(|&(_, tk)| tk < target);
+        debug_assert!(k >= 1 && k < pts.len());
+        let (xa, ta) = pts[k - 1];
+        let (xb, tb) = pts[k];
+        let u = (target - ta) / (tb - ta);
+        Some(xa + u * (xb - xa))
+    }
+}
+
+/// Comparison-sort transform: `time(x) = base_time(x) · log₂(max(x, 2))`.
+///
+/// Models a machine whose elementwise throughput is described by an
+/// existing model while the workload performs an `x·log x` comparison
+/// sort over its assigned elements (Cérin/Dubacq/Roch-style
+/// heterogeneous sorting). The factor is clamped at `log₂ 2 = 1` below
+/// two elements so the transform is continuous and the base cost is a
+/// lower bound.
+///
+/// Borrows its base model, matching how the planner wraps a
+/// caller-owned cluster slice for the duration of one solve.
+#[derive(Debug)]
+pub struct SortCost<'a, F: ?Sized> {
+    inner: &'a F,
+}
+
+impl<'a, F: CostFunction + ?Sized> SortCost<'a, F> {
+    /// Wraps `inner` with the `x·log₂ x` comparison factor.
+    pub fn new(inner: &'a F) -> Self {
+        Self { inner }
+    }
+
+    /// The elementwise base model.
+    pub fn inner(&self) -> &F {
+        self.inner
+    }
+}
+
+impl<F: CostFunction + ?Sized> CostFunction for SortCost<'_, F> {
+    fn time(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        self.inner.time(x) * x.max(2.0).log2()
+    }
+
+    fn max_size(&self) -> f64 {
+        self.inner.max_size()
+    }
+}
+
+/// Query/join transform: `time(x) = base_time(x) · max(x, 1)^γ`.
+///
+/// Models superlinear per-machine work — join-shaped and
+/// query-processing loads where cost grows as `x^(1+γ)` over an
+/// elementwise base model (γ = 0 degenerates to the base model). The
+/// factor is clamped at `1^γ = 1` below one element so the transform
+/// stays continuous and monotone near the origin.
+#[derive(Debug)]
+pub struct QueryCost<'a, F: ?Sized> {
+    inner: &'a F,
+    gamma: f64,
+}
+
+impl<'a, F: CostFunction + ?Sized> QueryCost<'a, F> {
+    /// Wraps `inner` with the `x^γ` superlinearity factor.
+    ///
+    /// # Panics
+    ///
+    /// If `gamma` is negative or not finite (a negative exponent would
+    /// break the monotone-time invariant).
+    pub fn new(inner: &'a F, gamma: f64) -> Self {
+        assert!(
+            gamma.is_finite() && gamma >= 0.0,
+            "query cost exponent must be finite and non-negative"
+        );
+        Self { inner, gamma }
+    }
+
+    /// The elementwise base model.
+    pub fn inner(&self) -> &F {
+        self.inner
+    }
+
+    /// The superlinearity exponent γ.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+impl<F: CostFunction + ?Sized> CostFunction for QueryCost<'_, F> {
+    fn time(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        self.inner.time(x) * x.max(1.0).powf(self.gamma)
+    }
+
+    fn max_size(&self) -> f64 {
+        self.inner.max_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::check_increasing_time;
+    use crate::speed::AnalyticSpeed;
+
+    fn measured() -> PiecewiseLinearCost {
+        // A convex (sort-like) measured cost curve.
+        PiecewiseLinearCost::new(vec![
+            (100.0, 1.0),
+            (1_000.0, 15.0),
+            (100_000.0, 2_500.0),
+            (1_000_000.0, 40_000.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn interpolates_and_extends() {
+        let f = measured();
+        assert_eq!(f.time(0.0), 0.0);
+        assert_eq!(f.time(50.0), 0.5, "origin segment");
+        assert_eq!(f.time(100.0), 1.0);
+        let mid = f.time(550.0);
+        assert!(mid > 1.0 && mid < 15.0);
+        assert!(f.time(2_000_000.0) > 40_000.0, "extends past the last knot");
+        assert_eq!(f.max_size(), 1_000_000.0);
+        assert!(check_increasing_time(&f, 1.0, 2e6, 300).is_ok());
+    }
+
+    #[test]
+    fn closed_form_inverts_time() {
+        let f = measured();
+        for &x in &[10.0, 100.0, 550.0, 40_000.0, 999_999.0] {
+            let t = f.time(x);
+            let slope = 1.0 / t;
+            let back = f.intersect_slope(slope).unwrap();
+            assert!(
+                (back - x).abs() <= 1e-9 * x,
+                "round-trip at {x}: got {back}"
+            );
+        }
+        // A makespan beyond the modelled domain clamps to max_size.
+        assert_eq!(f.intersect_slope(1.0 / 1e9).unwrap(), 1_000_000.0);
+        assert!(f.intersect_slope(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn rejects_invalid_knots() {
+        assert!(PiecewiseLinearCost::new(vec![(1.0, 1.0)]).is_err());
+        assert!(PiecewiseLinearCost::new(vec![(2.0, 1.0), (1.0, 2.0)]).is_err());
+        assert!(
+            PiecewiseLinearCost::new(vec![(1.0, 2.0), (2.0, 1.0)]).is_err(),
+            "decreasing time violates the monotone invariant"
+        );
+        assert!(PiecewiseLinearCost::new(vec![(1.0, 0.0), (2.0, 1.0)]).is_err());
+        assert!(PiecewiseLinearCost::new(vec![(-1.0, 1.0), (2.0, 2.0)]).is_err());
+    }
+
+    #[test]
+    fn sort_cost_is_monotone_and_dominates_base() {
+        let base = AnalyticSpeed::decreasing(200.0, 1e7, 1.5);
+        let f = SortCost::new(&base);
+        assert!(check_increasing_time(&f, 1.0, 1e6, 300).is_ok());
+        for &x in &[10.0, 1e3, 1e5] {
+            assert!(f.time(x) >= CostFunction::time(&base, x));
+        }
+        // Rate (slope of the origin line) must strictly decrease.
+        assert!(f.rate(1e3) > f.rate(1e4));
+        assert_eq!(f.time(0.0), 0.0);
+    }
+
+    #[test]
+    fn query_cost_is_monotone_and_gamma_zero_is_identity() {
+        let base = AnalyticSpeed::decreasing(200.0, 1e7, 1.5);
+        let id = QueryCost::new(&base, 0.0);
+        for &x in &[10.0, 1e3, 1e5] {
+            assert_eq!(id.time(x).to_bits(), CostFunction::time(&base, x).to_bits());
+        }
+        let f = QueryCost::new(&base, 0.5);
+        assert!(check_increasing_time(&f, 1.0, 1e6, 300).is_ok());
+        assert!(f.time(1e4) > CostFunction::time(&base, 1e4));
+        assert!(f.rate(1e3) > f.rate(1e4));
+    }
+
+    #[test]
+    #[should_panic(expected = "query cost exponent")]
+    fn query_cost_rejects_negative_gamma() {
+        let base = AnalyticSpeed::constant(10.0);
+        let _ = QueryCost::new(&base, -0.5);
+    }
+}

@@ -13,8 +13,15 @@
 //! that the intersection of any origin line with any graph is unique, which
 //! makes [`intersect_origin_line`] a one-dimensional monotone root-finding
 //! problem solved by bisection.
+//!
+//! The machinery is written against the time-domain [`CostFunction`]
+//! contract: `g` is [`CostFunction::rate`] (`= 1/time(x)`), strictly
+//! decreasing by the monotone-time invariant, and for speed-backed models
+//! the blanket adapter makes `rate(x)` the literal `speed(x)/x` the
+//! speed-domain search always computed. Solving `rate(x) = c` is solving
+//! `time(x) = 1/c`: the line's slope *is* the reciprocal makespan.
 
-use crate::speed::SpeedFunction;
+use crate::cost::CostFunction;
 
 /// Slope of the origin line passing through the point `(x, s)`.
 ///
@@ -58,14 +65,14 @@ const X_ORIGIN: f64 = 1e-9;
 ///   the origin), the intersection degenerates to `0`;
 /// * if `g > c` over the whole domain (line shallower than the graph — the
 ///   processor would need more elements than its model covers), the
-///   abscissa is clamped to [`SpeedFunction::max_size`] (or to an internal
+///   abscissa is clamped to [`CostFunction::max_size`] (or to an internal
 ///   cap of `10^18` for unbounded models).
 ///
 /// The root is located by exponential bracketing followed by bisection to
 /// sub-element precision.
-pub fn intersect_origin_line<F: SpeedFunction + ?Sized>(f: &F, slope: f64) -> f64 {
+pub fn intersect_origin_line<F: CostFunction + ?Sized>(f: &F, slope: f64) -> f64 {
     assert!(slope.is_finite() && slope > 0.0, "slope must be positive and finite");
-    let g = |x: f64| f.speed(x) / x;
+    let g = |x: f64| f.rate(x);
     let x_max = f.max_size().min(X_CAP);
 
     // Models with a closed-form intersection (piece-wise linear, constant)
@@ -122,12 +129,12 @@ pub fn intersect_origin_line<F: SpeedFunction + ?Sized>(f: &F, slope: f64) -> f6
 /// The search for the optimal line is a root-finding problem on this sum:
 /// it is strictly decreasing in the slope, and the optimal slope makes it
 /// equal to `n` (paper §2 step 2–3).
-pub fn total_elements_at_slope<F: SpeedFunction>(funcs: &[F], slope: f64) -> f64 {
+pub fn total_elements_at_slope<F: CostFunction>(funcs: &[F], slope: f64) -> f64 {
     funcs.iter().map(|f| intersect_origin_line(f, slope)).sum()
 }
 
 /// Intersection abscissas of the line with every processor graph.
-pub fn intersections_at_slope<F: SpeedFunction>(funcs: &[F], slope: f64) -> Vec<f64> {
+pub fn intersections_at_slope<F: CostFunction>(funcs: &[F], slope: f64) -> Vec<f64> {
     funcs.iter().map(|f| intersect_origin_line(f, slope)).collect()
 }
 
@@ -215,6 +222,33 @@ mod tests {
     #[should_panic(expected = "slope")]
     fn rejects_non_positive_slope() {
         intersect_origin_line(&ConstantSpeed::new(1.0), 0.0);
+    }
+
+    #[test]
+    fn pure_cost_models_intersect_in_the_time_domain() {
+        // Numeric path: time(x) = x²/1e4 has no closed form here, and
+        // rate(x) = 1e4/x² is strictly decreasing. The line y = c·x meets
+        // the throughput curve where time(x) = 1/c.
+        struct Quadratic;
+        impl crate::cost::CostFunction for Quadratic {
+            fn time(&self, x: f64) -> f64 {
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    x * x / 1e4
+                }
+            }
+        }
+        let c = 0.5; // makespan 2 ⇒ x = sqrt(2·1e4) ≈ 141.42
+        let x = intersect_origin_line(&Quadratic, c);
+        assert!((Quadratic.time(x) - 2.0).abs() < 1e-6, "x = {x}");
+
+        // Closed-form path: measured (size, time) knots invert exactly.
+        let f = crate::cost::PiecewiseLinearCost::new(vec![(100.0, 1.0), (1000.0, 25.0)])
+            .unwrap();
+        let x = intersect_origin_line(&f, 1.0); // time(x) = 1 ⇒ first knot
+        assert!((x - 100.0).abs() < 1e-9, "x = {x}");
+        assert_eq!(intersect_origin_line(&f, 1e-9), 1000.0, "clamps to max_size");
     }
 
     #[test]

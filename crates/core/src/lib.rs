@@ -22,6 +22,12 @@
 //! (equivalently: `s(x)/x` is strictly decreasing, see
 //! [`speed::check_single_intersection`]).
 //!
+//! The solver stack itself runs on the time-domain generalisation of the
+//! model, [`cost::CostFunction`] (`time(x)` strictly increasing), with every
+//! `SpeedFunction` adapted via `time(x) = x / speed(x)`; this is what admits
+//! nonlinear per-machine costs (sorting's `x·log x`, superlinear query/join
+//! loads) without changing the linear-load floating-point path.
+//!
 //! ## The partitioning problem
 //!
 //! Partition `n` elements over processors `0..p` such that
@@ -80,6 +86,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cost;
 pub mod error;
 pub mod geometry;
 pub mod partition;
@@ -87,7 +94,8 @@ pub mod planner;
 pub mod speed;
 pub mod trace;
 
+pub use cost::CostFunction;
 pub use error::{Error, Result};
 pub use partition::{Distribution, PartitionReport, Partitioner};
-pub use planner::{registry, AlgorithmId, AlgorithmInfo, DynPartitioner};
+pub use planner::{registry, AlgorithmId, AlgorithmInfo, CostClass, DynPartitioner};
 pub use speed::SpeedFunction;

@@ -24,7 +24,7 @@ use super::problem::{
 };
 use crate::error::{Error, Result};
 use crate::geometry::intersections_at_slope;
-use crate::speed::{CachedSpeed, SpeedFunction};
+use crate::cost::{CachedCost, CostFunction};
 use crate::trace::{IterationRecord, Trace};
 
 /// How the trial slope is chosen from the two bounding slopes.
@@ -65,10 +65,9 @@ pub struct BisectionPartitioner {
     /// exists to surface the algorithm's documented worst case instead of
     /// hanging.
     pub max_steps: usize,
-    /// Memoize `speed(x)` probes per run (see
-    /// [`CachedSpeed`]): the shrinking bracket and the fine-tuning heap
-    /// revisit the same abscissas many times. On by default; disable to
-    /// measure the raw algorithm.
+    /// Memoize model probes per run (see [`CachedCost`]): the shrinking
+    /// bracket and the fine-tuning heap revisit the same abscissas many
+    /// times. On by default; disable to measure the raw algorithm.
     pub eval_cache: bool,
 }
 
@@ -97,7 +96,7 @@ impl BisectionPartitioner {
         self
     }
 
-    /// Enables or disables the per-run speed-evaluation cache.
+    /// Enables or disables the per-run model-evaluation cache.
     pub fn with_eval_cache(mut self, enabled: bool) -> Self {
         self.eval_cache = enabled;
         self
@@ -105,7 +104,7 @@ impl BisectionPartitioner {
 
     /// Runs the search from an explicit slope bracket (used by the combined
     /// algorithm to resume after its probing step).
-    pub fn partition_from_bracket<F: SpeedFunction>(
+    pub fn partition_from_bracket<F: CostFunction>(
         &self,
         n: u64,
         funcs: &[F],
@@ -125,7 +124,7 @@ impl BisectionPartitioner {
     /// the stopping criterion and the fine-tuning are identical, and the
     /// fine-tuning's greedy fill converges to the same allocation from any
     /// valid bracket.
-    pub fn resolve_from_bracket<F: SpeedFunction>(
+    pub fn resolve_from_bracket<F: CostFunction>(
         &self,
         n: u64,
         funcs: &[F],
@@ -140,7 +139,7 @@ impl BisectionPartitioner {
     /// [`bracket_from_slope_probed`]), so the search skips its two endpoint
     /// sweeps. The probes were evaluated at exactly the bracket's bounds,
     /// so seeding them is bit-identical to re-sweeping.
-    pub(crate) fn resolve_from_bracket_probed<F: SpeedFunction>(
+    pub(crate) fn resolve_from_bracket_probed<F: CostFunction>(
         &self,
         n: u64,
         funcs: &[F],
@@ -151,7 +150,7 @@ impl BisectionPartitioner {
         self.search_from_bracket(n, funcs, bracket, trace, true, Some(probes))
     }
 
-    fn search_from_bracket<F: SpeedFunction>(
+    fn search_from_bracket<F: CostFunction>(
         &self,
         n: u64,
         funcs: &[F],
@@ -248,7 +247,7 @@ impl BisectionPartitioner {
 }
 
 impl Partitioner for BisectionPartitioner {
-    fn partition<F: SpeedFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
+    fn partition<F: CostFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
         validate_processors(funcs)?;
         if n == 0 {
             return Ok(empty_report(funcs.len()));
@@ -256,7 +255,7 @@ impl Partitioner for BisectionPartitioner {
         if self.eval_cache {
             // One cache per processor, shared by the bracketing, the
             // bisection iterations and the fine-tuning heap.
-            let cached: Vec<CachedSpeed<&F>> = funcs.iter().map(CachedSpeed::new).collect();
+            let cached: Vec<CachedCost<F>> = funcs.iter().map(CachedCost::new).collect();
             let bracket = bracket_slopes(n, &cached)?;
             self.partition_from_bracket(n, &cached, bracket, Trace::default())
         } else {
@@ -265,7 +264,7 @@ impl Partitioner for BisectionPartitioner {
         }
     }
 
-    fn resolve_from<F: SpeedFunction>(
+    fn resolve_from<F: CostFunction>(
         &self,
         prev: &Distribution,
         n: u64,
@@ -289,7 +288,7 @@ impl Partitioner for BisectionPartitioner {
         // widening covers.
         let seed = seed * (prev.total() as f64 / n as f64);
         if self.eval_cache {
-            let cached: Vec<CachedSpeed<&F>> = funcs.iter().map(CachedSpeed::new).collect();
+            let cached: Vec<CachedCost<F>> = funcs.iter().map(CachedCost::new).collect();
             match bracket_from_slope_probed(n, &cached, seed) {
                 Ok((bracket, probes)) => {
                     let trace = Trace { warm_bracket: true, ..Trace::default() };

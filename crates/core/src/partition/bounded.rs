@@ -20,12 +20,12 @@
 use super::fine_tune::fine_tune_capped;
 use super::problem::{empty_report, validate_processors, PartitionReport};
 use crate::error::{Error, Result};
+use crate::cost::CostFunction;
 use crate::geometry::intersect_origin_line;
-use crate::speed::SpeedFunction;
 use crate::trace::Trace;
 
 /// Allocation induced by slope `c` under caps: `min(x_i(c), b_i)`.
-fn capped_intersections<F: SpeedFunction>(funcs: &[F], caps: &[u64], slope: f64) -> Vec<f64> {
+fn capped_intersections<F: CostFunction>(funcs: &[F], caps: &[u64], slope: f64) -> Vec<f64> {
     funcs
         .iter()
         .zip(caps)
@@ -40,7 +40,7 @@ fn capped_intersections<F: SpeedFunction>(funcs: &[F], caps: &[u64], slope: f64)
 ///
 /// * [`Error::InsufficientCapacity`] if `Σ caps < n`;
 /// * [`Error::NoProcessors`] for an empty processor list.
-pub fn partition_bounded<F: SpeedFunction>(
+pub fn partition_bounded<F: CostFunction>(
     n: u64,
     funcs: &[F],
     caps: &[u64],
@@ -125,7 +125,7 @@ pub fn partition_bounded<F: SpeedFunction>(
 pub struct BoundedPartitioner;
 
 impl super::problem::Partitioner for BoundedPartitioner {
-    fn partition<F: SpeedFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
+    fn partition<F: CostFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
         let caps = vec![n; funcs.len()];
         partition_bounded(n, funcs, &caps)
     }
@@ -159,7 +159,7 @@ pub struct WeightedAssignment {
 ///
 /// [`Error::InsufficientCapacity`] if `Σ caps` is fewer than the number of
 /// items.
-pub fn partition_weighted<F: SpeedFunction>(
+pub fn partition_weighted<F: CostFunction>(
     weights: &[f64],
     funcs: &[F],
     caps: Option<&[u64]>,

@@ -28,7 +28,7 @@ use super::problem::{
 };
 use crate::error::{Error, Result};
 use crate::geometry::intersections_at_slope;
-use crate::speed::{CachedSpeed, SpeedFunction};
+use crate::cost::{CachedCost, CostFunction};
 use crate::trace::{IterationRecord, Trace};
 
 /// Which algorithm the combined strategy selected for a given problem.
@@ -52,10 +52,10 @@ pub struct CombinedPartitioner {
     pub flatness_threshold: f64,
     /// Step budget handed to the basic stage before falling back.
     pub basic_step_budget: usize,
-    /// Memoize `speed(x)` probes per run (see [`CachedSpeed`]). One cache
-    /// per processor is shared across the probing step, the chosen
-    /// algorithm, a potential fallback and the fine-tuning heap. On by
-    /// default; disable to measure the raw algorithms.
+    /// Memoize model probes per run (see [`CachedCost`]). One cache per
+    /// processor is shared across the probing step, the chosen algorithm,
+    /// a potential fallback and the fine-tuning heap. On by default;
+    /// disable to measure the raw algorithms.
     pub eval_cache: bool,
 }
 
@@ -71,29 +71,30 @@ impl CombinedPartitioner {
         Self::default()
     }
 
-    /// Enables or disables the per-run speed-evaluation cache.
+    /// Enables or disables the per-run model-evaluation cache.
     pub fn with_eval_cache(mut self, enabled: bool) -> Self {
         self.eval_cache = enabled;
         self
     }
 
-    /// Numerical relative log-derivative `|s'(x)|·x/s(x)` of `f` at `x`.
-    fn relative_slope<F: SpeedFunction>(f: &F, x: f64) -> f64 {
+    /// Numerical relative log-derivative `|s'(x)|·x/s(x)` of `f`'s
+    /// throughput curve at `x`.
+    fn relative_slope<F: CostFunction>(f: &F, x: f64) -> f64 {
         if x <= 0.0 {
             return f64::INFINITY;
         }
         let h = (x * 1e-4).max(1e-6);
-        let s = f.speed(x);
+        let s = f.throughput(x);
         if s <= 0.0 {
             return 0.0;
         }
-        let ds = (f.speed(x + h) - f.speed((x - h).max(0.0))) / (2.0 * h);
+        let ds = (f.throughput(x + h) - f.throughput((x - h).max(0.0))) / (2.0 * h);
         (ds * x / s).abs()
     }
 
     /// Partitions `n` elements and additionally reports which algorithm
     /// the strategy chose.
-    pub fn partition_explain<F: SpeedFunction>(
+    pub fn partition_explain<F: CostFunction>(
         &self,
         n: u64,
         funcs: &[F],
@@ -103,7 +104,7 @@ impl CombinedPartitioner {
             return Ok((empty_report(funcs.len()), CombinedChoice::Basic));
         }
         if self.eval_cache {
-            let cached: Vec<CachedSpeed<&F>> = funcs.iter().map(CachedSpeed::new).collect();
+            let cached: Vec<CachedCost<F>> = funcs.iter().map(CachedCost::new).collect();
             self.partition_explain_inner(n, &cached)
         } else {
             self.partition_explain_inner(n, funcs)
@@ -111,7 +112,7 @@ impl CombinedPartitioner {
     }
 
     /// The Fig. 15 strategy proper, over (possibly cache-wrapped) models.
-    fn partition_explain_inner<F: SpeedFunction>(
+    fn partition_explain_inner<F: CostFunction>(
         &self,
         n: u64,
         funcs: &[F],
@@ -168,7 +169,7 @@ impl CombinedPartitioner {
 impl CombinedPartitioner {
     /// The warm path over (possibly cache-wrapped) models: basic bisection
     /// from the seeded bracket, modified as the usual safety net.
-    fn resolve_from_inner<F: SpeedFunction>(
+    fn resolve_from_inner<F: CostFunction>(
         &self,
         n: u64,
         funcs: &[F],
@@ -191,11 +192,11 @@ impl CombinedPartitioner {
 }
 
 impl Partitioner for CombinedPartitioner {
-    fn partition<F: SpeedFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
+    fn partition<F: CostFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
         self.partition_explain(n, funcs).map(|(report, _)| report)
     }
 
-    fn resolve_from<F: SpeedFunction>(
+    fn resolve_from<F: CostFunction>(
         &self,
         prev: &Distribution,
         n: u64,
@@ -219,14 +220,14 @@ impl Partitioner for CombinedPartitioner {
         // widening covers.
         let seed = seed * (prev.total() as f64 / n as f64);
         // The warm search probes only a handful of slopes, and when every
-        // model answers `intersect_slope` in closed form each `speed(x)`
-        // probe lands on a fresh `x` — the memo table would be written once
+        // model answers `intersect_slope` in closed form each model probe
+        // lands on a fresh `x` — the memo table would be written once
         // per key and never read. Skip the wrapper there; keep it for
         // models that fall back to the numeric intersection search, whose
         // exponential bracketing re-probes the same abscissas every sweep.
         let closed_form = funcs.iter().all(|f| f.intersect_slope(1.0).is_some());
         let warm = if self.eval_cache && !closed_form {
-            let cached: Vec<CachedSpeed<&F>> = funcs.iter().map(CachedSpeed::new).collect();
+            let cached: Vec<CachedCost<F>> = funcs.iter().map(CachedCost::new).collect();
             self.resolve_from_inner(n, &cached, seed)
         } else {
             self.resolve_from_inner(n, funcs, seed)

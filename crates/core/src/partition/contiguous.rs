@@ -17,8 +17,8 @@
 
 use super::problem::{validate_processors, Distribution, PartitionReport, Partitioner};
 use crate::error::{Error, Result};
+use crate::cost::CostFunction;
 use crate::geometry::intersect_origin_line;
-use crate::speed::SpeedFunction;
 use crate::trace::Trace;
 
 /// A contiguous partition of a weighted array.
@@ -101,7 +101,7 @@ impl Prefix<'_> {
 
 /// Greedy feasibility sweep: can all items be consumed with per-processor
 /// work capped at `W_i(t)`? Returns the boundaries on success.
-fn sweep<F: SpeedFunction>(
+fn sweep<F: CostFunction>(
     prefix: &Prefix<'_>,
     funcs: &[F],
     t: f64,
@@ -135,7 +135,7 @@ fn sweep<F: SpeedFunction>(
 /// * [`Error::InvalidParameter`] for non-finite or negative weights;
 /// * [`Error::InsufficientCapacity`] when bounded models cannot absorb a
 ///   single over-heavy item.
-pub fn partition_contiguous<F: SpeedFunction>(
+pub fn partition_contiguous<F: CostFunction>(
     weights: &[f64],
     funcs: &[F],
 ) -> Result<ContiguousPartition> {
@@ -165,7 +165,7 @@ pub fn partition_contiguous<F: SpeedFunction>(
 /// # Errors
 ///
 /// Same as [`partition_contiguous`].
-pub fn partition_contiguous_uniform<F: SpeedFunction>(
+pub fn partition_contiguous_uniform<F: CostFunction>(
     n: u64,
     funcs: &[F],
 ) -> Result<ContiguousPartition> {
@@ -174,7 +174,7 @@ pub fn partition_contiguous_uniform<F: SpeedFunction>(
 }
 
 /// Shared makespan-bisection core for both prefix views.
-fn solve<F: SpeedFunction>(prefix: &Prefix<'_>, funcs: &[F]) -> Result<ContiguousPartition> {
+fn solve<F: CostFunction>(prefix: &Prefix<'_>, funcs: &[F]) -> Result<ContiguousPartition> {
     let p = funcs.len();
     let n_items = prefix.items();
     let total = prefix.total();
@@ -283,7 +283,7 @@ fn solve<F: SpeedFunction>(prefix: &Prefix<'_>, funcs: &[F]) -> Result<Contiguou
 pub struct ContiguousPartitioner;
 
 impl Partitioner for ContiguousPartitioner {
-    fn partition<F: SpeedFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
+    fn partition<F: CostFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
         let part = partition_contiguous_uniform(n, funcs)?;
         let counts: Vec<u64> =
             part.boundaries.windows(2).map(|w| (w[1] - w[0]) as u64).collect();

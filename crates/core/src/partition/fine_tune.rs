@@ -23,7 +23,7 @@ use std::collections::BinaryHeap;
 
 use super::problem::Distribution;
 use crate::error::{Error, Result};
-use crate::speed::SpeedFunction;
+use crate::cost::CostFunction;
 
 /// Total-ordering wrapper for `f64` heap keys.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,7 +46,7 @@ impl Ord for OrdF64 {
 ///
 /// `lo` and `hi` are the intersection abscissas of each graph with the
 /// steeper and shallower bounding lines respectively.
-pub fn fine_tune<F: SpeedFunction>(n: u64, funcs: &[F], lo: &[f64], hi: &[f64]) -> Distribution {
+pub fn fine_tune<F: CostFunction>(n: u64, funcs: &[F], lo: &[f64], hi: &[f64]) -> Distribution {
     fine_tune_capped(n, funcs, lo, hi, None)
         .expect("uncapped fine-tuning cannot run out of capacity")
 }
@@ -57,7 +57,7 @@ pub fn fine_tune<F: SpeedFunction>(n: u64, funcs: &[F], lo: &[f64], hi: &[f64]) 
 /// # Errors
 ///
 /// [`Error::InsufficientCapacity`] if `Σ caps < n`.
-pub(crate) fn fine_tune_capped<F: SpeedFunction>(
+pub(crate) fn fine_tune_capped<F: CostFunction>(
     n: u64,
     funcs: &[F],
     lo: &[f64],

@@ -1,8 +1,9 @@
 //! Detection of the two initial lines bounding the optimal solution
 //! (paper Fig. 18).
 //!
-//! Each processor is probed at the homogeneous share `n/p`. The line
-//! through `(n/p, max_i s_i(n/p))` is the steeper initial bound — its
+//! Each processor is probed at the homogeneous share `n/p` (its
+//! [`CostFunction::throughput`], i.e. its speed for speed-backed models).
+//! The line through `(n/p, max_i s_i(n/p))` is the steeper initial bound — its
 //! intersections with all graphs lie at abscissas ≤ `n/p`, so their sum is
 //! ≤ `n`. Symmetrically the line through the minimum speed is the shallower
 //! bound with sum ≥ `n`. If the probed speeds degenerate (e.g. the share
@@ -11,7 +12,7 @@
 
 use crate::error::{Error, Result};
 use crate::geometry::total_elements_at_slope;
-use crate::speed::SpeedFunction;
+use crate::cost::CostFunction;
 
 /// A slope interval known to contain the optimally sloped line.
 ///
@@ -36,10 +37,10 @@ impl SlopeBracket {
 /// The paper's initial-line construction: probe every processor at `n/p`
 /// and return the slopes of the lines through the maximal and minimal
 /// probed speeds. Returns `None` if all probed speeds are zero.
-pub fn initial_slopes<F: SpeedFunction>(n: u64, funcs: &[F]) -> Option<(f64, f64)> {
+pub fn initial_slopes<F: CostFunction>(n: u64, funcs: &[F]) -> Option<(f64, f64)> {
     let p = funcs.len() as f64;
     let share = (n as f64 / p).max(1.0);
-    let speeds: Vec<f64> = funcs.iter().map(|f| f.speed(share).max(0.0)).collect();
+    let speeds: Vec<f64> = funcs.iter().map(|f| f.throughput(share).max(0.0)).collect();
     let max = speeds.iter().cloned().fold(0.0, f64::max);
     let positive_min =
         speeds.iter().cloned().filter(|&s| s > 0.0).fold(f64::INFINITY, f64::min);
@@ -59,7 +60,7 @@ pub fn initial_slopes<F: SpeedFunction>(n: u64, funcs: &[F]) -> Option<(f64, f64
 /// [`Error::InsufficientCapacity`] if even an arbitrarily shallow line
 /// cannot reach `n` total elements (all models bounded and their combined
 /// capacity is below `n`).
-pub fn bracket_slopes<F: SpeedFunction>(n: u64, funcs: &[F]) -> Result<SlopeBracket> {
+pub fn bracket_slopes<F: CostFunction>(n: u64, funcs: &[F]) -> Result<SlopeBracket> {
     debug_assert!(n > 0 && !funcs.is_empty());
     let target = n as f64;
 
@@ -69,10 +70,10 @@ pub fn bracket_slopes<F: SpeedFunction>(n: u64, funcs: &[F]) -> Result<SlopeBrac
     // reject malformed models before any slope arithmetic.
     let share = (target / funcs.len() as f64).max(1.0);
     for (i, f) in funcs.iter().enumerate() {
-        if !f.speed(share).is_finite() {
+        if !f.throughput(share).is_finite() {
             return Err(Error::InvalidSpeedFunction {
                 processor: i,
-                reason: "non-finite speed at the n/p probe",
+                reason: "non-finite throughput at the n/p probe",
             });
         }
     }
@@ -145,7 +146,7 @@ pub fn bracket_slopes<F: SpeedFunction>(n: u64, funcs: &[F]) -> Result<SlopeBrac
 /// [`Error::NoConvergence`] if `slope` is non-positive or non-finite, if a
 /// total evaluates to a non-finite value, or if either side fails to
 /// bracket within its widening budget.
-pub fn bracket_from_slope<F: SpeedFunction>(
+pub fn bracket_from_slope<F: CostFunction>(
     n: u64,
     funcs: &[F],
     slope: f64,
@@ -161,7 +162,7 @@ pub type BracketProbes = (Vec<f64>, Vec<f64>);
 /// [`bracket_from_slope`], additionally returning the per-machine
 /// intersections evaluated at the two accepted bounds so the subsequent
 /// search can start without re-sweeping the endpoints.
-pub(crate) fn bracket_from_slope_probed<F: SpeedFunction>(
+pub(crate) fn bracket_from_slope_probed<F: CostFunction>(
     n: u64,
     funcs: &[F],
     slope: f64,

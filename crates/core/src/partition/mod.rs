@@ -21,6 +21,8 @@
 //! | [`SecantPartitioner`] | superlinear in practice | extension towards the "ideal algorithm" |
 //! | [`bounded`] / [`BoundedPartitioner`] | caps + weights extension | ref \[20\] |
 //! | [`partition_contiguous`] / [`ContiguousPartitioner`] | well-ordered arrays | ref \[20\] taxonomy |
+//! | [`SortSamplePartitioner`] | `x·log x` sort workloads | cost-model extension |
+//! | [`QueryPartitioner`] | superlinear `x^(1+γ)` query/join workloads | cost-model extension |
 //!
 //! Every solver here is catalogued in [`crate::planner::registry`]; front
 //! ends resolve them by canonical name through
@@ -37,6 +39,7 @@ pub mod oracle;
 mod problem;
 mod secant;
 mod single_number;
+mod workload;
 
 pub use bisection::{BisectionPartitioner, SlopeMode};
 pub use bounded::BoundedPartitioner;
@@ -51,3 +54,4 @@ pub use modified::ModifiedPartitioner;
 pub use problem::{seed_slope, Distribution, PartitionReport, Partitioner};
 pub use secant::SecantPartitioner;
 pub use single_number::{RoundingVariant, SingleNumberPartitioner};
+pub use workload::{QueryPartitioner, SortSamplePartitioner, DEFAULT_QUERY_GAMMA};

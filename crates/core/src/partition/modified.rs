@@ -26,7 +26,7 @@ use super::problem::{
 };
 use crate::error::{Error, Result};
 use crate::geometry::intersections_at_slope;
-use crate::speed::{CachedSpeed, SpeedFunction};
+use crate::cost::{CachedCost, CostFunction};
 use crate::trace::{IterationRecord, Trace};
 
 /// The solution-space bisection partitioner.
@@ -36,7 +36,7 @@ pub struct ModifiedPartitioner {
     /// budget is computed per problem as `4·p·log₂(n+2) + 64` when this
     /// field is `None`.
     pub max_steps: Option<usize>,
-    /// Memoize `speed(x)` probes per run (see [`CachedSpeed`]). On by
+    /// Memoize model probes per run (see [`CachedCost`]). On by
     /// default; disable to measure the raw algorithm.
     pub eval_cache: bool,
 }
@@ -60,7 +60,7 @@ impl ModifiedPartitioner {
         self
     }
 
-    /// Enables or disables the per-run speed-evaluation cache.
+    /// Enables or disables the per-run model-evaluation cache.
     pub fn with_eval_cache(mut self, enabled: bool) -> Self {
         self.eval_cache = enabled;
         self
@@ -73,7 +73,7 @@ impl ModifiedPartitioner {
 
     /// Runs the search from an explicit slope bracket (used by the combined
     /// algorithm).
-    pub fn partition_from_bracket<F: SpeedFunction>(
+    pub fn partition_from_bracket<F: CostFunction>(
         &self,
         n: u64,
         funcs: &[F],
@@ -115,8 +115,7 @@ impl ModifiedPartitioner {
 
             // Line through the median integer point of the richest graph.
             let m = best_median;
-            let s_m = funcs[best_proc].speed(m);
-            let trial = s_m / m;
+            let trial = funcs[best_proc].rate(m);
             if !(trial > shallow && trial < steep) {
                 // The candidate line coincides with a boundary — the region
                 // cannot be split further along this graph; fall back to a
@@ -171,13 +170,13 @@ impl ModifiedPartitioner {
 }
 
 impl Partitioner for ModifiedPartitioner {
-    fn partition<F: SpeedFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
+    fn partition<F: CostFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
         validate_processors(funcs)?;
         if n == 0 {
             return Ok(empty_report(funcs.len()));
         }
         if self.eval_cache {
-            let cached: Vec<CachedSpeed<&F>> = funcs.iter().map(CachedSpeed::new).collect();
+            let cached: Vec<CachedCost<F>> = funcs.iter().map(CachedCost::new).collect();
             let bracket = bracket_slopes(n, &cached)?;
             self.partition_from_bracket(n, &cached, bracket, Trace::default())
         } else {
@@ -186,7 +185,7 @@ impl Partitioner for ModifiedPartitioner {
         }
     }
 
-    fn resolve_from<F: SpeedFunction>(
+    fn resolve_from<F: CostFunction>(
         &self,
         prev: &Distribution,
         n: u64,
@@ -210,7 +209,7 @@ impl Partitioner for ModifiedPartitioner {
         // widening covers.
         let seed = seed * (prev.total() as f64 / n as f64);
         if self.eval_cache {
-            let cached: Vec<CachedSpeed<&F>> = funcs.iter().map(CachedSpeed::new).collect();
+            let cached: Vec<CachedCost<F>> = funcs.iter().map(CachedCost::new).collect();
             match bracket_from_slope(n, &cached, seed) {
                 Ok(bracket) => {
                     let trace = Trace { warm_bracket: true, ..Trace::default() };

@@ -15,7 +15,7 @@ use super::initial::bracket_slopes;
 use super::problem::{empty_report, validate_processors, Distribution, PartitionReport};
 use crate::error::{Error, Result};
 use crate::geometry::intersections_at_slope;
-use crate::speed::SpeedFunction;
+use crate::cost::CostFunction;
 use crate::trace::Trace;
 
 /// Hard iteration cap of the oracle's slope bisection. Far beyond what any
@@ -51,7 +51,7 @@ struct SlopeSolution {
 /// * **corruption guard**: a non-finite intersection total (NaN speeds from
 ///   a broken model) aborts with a clean [`Error::InvalidSpeedFunction`]
 ///   instead of silently bisecting on garbage comparisons.
-fn bisect_slope<F: SpeedFunction>(
+fn bisect_slope<F: CostFunction>(
     n: u64,
     funcs: &[F],
     integer_stop: bool,
@@ -100,7 +100,7 @@ fn bisect_slope<F: SpeedFunction>(
 /// correctness oracle (it performs plain slope bisection to convergence in
 /// *slope* space, stopping early only once no integer point can remain
 /// between the bounding lines).
-pub fn solve<F: SpeedFunction>(n: u64, funcs: &[F]) -> Result<PartitionReport> {
+pub fn solve<F: CostFunction>(n: u64, funcs: &[F]) -> Result<PartitionReport> {
     validate_processors(funcs)?;
     if n == 0 {
         return Ok(empty_report(funcs.len()));
@@ -123,7 +123,7 @@ pub fn solve<F: SpeedFunction>(n: u64, funcs: &[F]) -> Result<PartitionReport> {
 /// The real-valued (non-integer) optimal allocation and its makespan.
 ///
 /// Useful for measuring how much integer rounding costs.
-pub fn solve_real<F: SpeedFunction>(n: u64, funcs: &[F]) -> Result<(Vec<f64>, f64)> {
+pub fn solve_real<F: CostFunction>(n: u64, funcs: &[F]) -> Result<(Vec<f64>, f64)> {
     validate_processors(funcs)?;
     if n == 0 {
         return Ok((vec![0.0; funcs.len()], 0.0));
@@ -144,12 +144,13 @@ pub fn solve_real<F: SpeedFunction>(n: u64, funcs: &[F]) -> Result<(Vec<f64>, f6
 /// integer allocation.
 ///
 /// For the separable min-max objective with increasing per-processor time
-/// functions, a distribution from which *every* bottleneck processor cannot
+/// functions (the [`CostFunction`] invariant — checked on `time`, never on
+/// speed), a distribution from which *every* bottleneck processor cannot
 /// shed one element without some other processor becoming an equal-or-worse
 /// bottleneck is globally optimal. This is the verifiable counterpart of
 /// the paper's uniqueness argument and is what the property-based tests
 /// assert about all production algorithms.
-pub fn is_exchange_optimal<F: SpeedFunction>(
+pub fn is_exchange_optimal<F: CostFunction>(
     distribution: &Distribution,
     funcs: &[F],
     tolerance: f64,
@@ -280,7 +281,7 @@ mod tests {
         threshold: f64,
     }
 
-    impl SpeedFunction for NanBeyond {
+    impl crate::speed::SpeedFunction for NanBeyond {
         fn speed(&self, x: f64) -> f64 {
             if x <= self.threshold {
                 self.speed

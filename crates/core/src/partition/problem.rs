@@ -1,7 +1,7 @@
 //! Problem and solution types shared by all partitioning algorithms.
 
 use crate::error::{Error, Result};
-use crate::speed::SpeedFunction;
+use crate::cost::CostFunction;
 use crate::trace::Trace;
 
 /// An integer allocation of set elements to processors.
@@ -36,23 +36,23 @@ impl Distribution {
         self.counts.iter().sum()
     }
 
-    /// Execution time of each processor under its speed function:
-    /// `t_i = x_i / s_i(x_i)`.
-    pub fn times<F: SpeedFunction>(&self, funcs: &[F]) -> Vec<f64> {
+    /// Execution time of each processor under its cost model:
+    /// `t_i = time_i(x_i)` (for speed-backed models, `x_i / s_i(x_i)`).
+    pub fn times<F: CostFunction>(&self, funcs: &[F]) -> Vec<f64> {
         assert_eq!(self.counts.len(), funcs.len(), "distribution/processor count mismatch");
         self.counts.iter().zip(funcs).map(|(&x, f)| f.time(x as f64)).collect()
     }
 
     /// Parallel execution time: the maximum per-processor time (the paper's
     /// cost model excludes communication, §1).
-    pub fn makespan<F: SpeedFunction>(&self, funcs: &[F]) -> f64 {
+    pub fn makespan<F: CostFunction>(&self, funcs: &[F]) -> f64 {
         self.times(funcs).into_iter().fold(0.0, f64::max)
     }
 
     /// Load-imbalance ratio: slowest over fastest non-idle processor time.
     /// Returns `1.0` for perfectly balanced distributions and when at most
     /// one processor is active.
-    pub fn imbalance<F: SpeedFunction>(&self, funcs: &[F]) -> f64 {
+    pub fn imbalance<F: CostFunction>(&self, funcs: &[F]) -> f64 {
         let times: Vec<f64> =
             self.times(funcs).into_iter().filter(|&t| t > 0.0).collect();
         if times.len() < 2 {
@@ -80,7 +80,7 @@ pub struct PartitionReport {
 }
 
 impl PartitionReport {
-    pub(crate) fn from_distribution<F: SpeedFunction>(
+    pub(crate) fn from_distribution<F: CostFunction>(
         distribution: Distribution,
         funcs: &[F],
         trace: Trace,
@@ -90,7 +90,8 @@ impl PartitionReport {
     }
 }
 
-/// A data-partitioning algorithm over the functional performance model.
+/// A data-partitioning algorithm over the functional performance model
+/// (any [`CostFunction`]; speed functions adapt via `time(x) = x/s(x)`).
 pub trait Partitioner {
     /// Partitions `n` elements over the processors described by `funcs`.
     ///
@@ -103,7 +104,7 @@ pub trait Partitioner {
     ///   absorb `n` elements;
     /// * [`Error::NoConvergence`] if the iterative search exceeds its step
     ///   budget.
-    fn partition<F: SpeedFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport>;
+    fn partition<F: CostFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport>;
 
     /// Partitions `n` elements, warm-started from a previous solution.
     ///
@@ -120,7 +121,7 @@ pub trait Partitioner {
     /// # Errors
     ///
     /// Same contract as [`Partitioner::partition`].
-    fn resolve_from<F: SpeedFunction>(
+    fn resolve_from<F: CostFunction>(
         &self,
         prev: &Distribution,
         n: u64,
@@ -132,7 +133,8 @@ pub trait Partitioner {
 }
 
 /// Reconstructs the optimal-line slope of a previous solution: the median
-/// of `s_i(x_i)/x_i` over the machines that received work.
+/// of `rate_i(x_i) = 1/time_i(x_i)` over the machines that received work
+/// (for speed-backed models the literal `s_i(x_i)/x_i`).
 ///
 /// On the optimal line every loaded machine's point `(x_i, s_i(x_i))` lies
 /// (up to integer rounding) on `y = c·x`, so each loaded machine votes for
@@ -140,7 +142,7 @@ pub trait Partitioner {
 /// model refit, the machines whose functions moved most). Returns `None`
 /// when no machine yields a positive finite vote — callers then take the
 /// cold path.
-pub fn seed_slope<F: SpeedFunction>(prev: &Distribution, funcs: &[F]) -> Option<f64> {
+pub fn seed_slope<F: CostFunction>(prev: &Distribution, funcs: &[F]) -> Option<f64> {
     if prev.len() != funcs.len() {
         return None;
     }
@@ -149,7 +151,7 @@ pub fn seed_slope<F: SpeedFunction>(prev: &Distribution, funcs: &[F]) -> Option<
         .iter()
         .zip(funcs)
         .filter(|&(&x, _)| x > 0)
-        .map(|(&x, f)| f.speed(x as f64) / x as f64)
+        .map(|(&x, f)| f.rate(x as f64))
         .filter(|s| s.is_finite() && *s > 0.0)
         .collect();
     if votes.is_empty() {
@@ -163,7 +165,7 @@ pub fn seed_slope<F: SpeedFunction>(prev: &Distribution, funcs: &[F]) -> Option<
 }
 
 /// Shared argument validation: non-empty processor list.
-pub(crate) fn validate_processors<F: SpeedFunction>(funcs: &[F]) -> Result<()> {
+pub(crate) fn validate_processors<F: CostFunction>(funcs: &[F]) -> Result<()> {
     if funcs.is_empty() {
         return Err(Error::NoProcessors);
     }

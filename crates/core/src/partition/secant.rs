@@ -20,8 +20,8 @@ use super::fine_tune::fine_tune;
 use super::initial::{bracket_slopes, SlopeBracket};
 use super::problem::{empty_report, validate_processors, PartitionReport, Partitioner};
 use crate::error::{Error, Result};
+use crate::cost::CostFunction;
 use crate::geometry::intersections_at_slope;
-use crate::speed::SpeedFunction;
 use crate::trace::{IterationRecord, Trace};
 
 /// Regula-falsi (Illinois) partitioner in log-slope space, exposed
@@ -63,7 +63,7 @@ impl SecantPartitioner {
     }
 
     /// Runs from an explicit bracket.
-    pub fn partition_from_bracket<F: SpeedFunction>(
+    pub fn partition_from_bracket<F: CostFunction>(
         &self,
         n: u64,
         funcs: &[F],
@@ -140,7 +140,7 @@ impl SecantPartitioner {
 }
 
 impl Partitioner for SecantPartitioner {
-    fn partition<F: SpeedFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
+    fn partition<F: CostFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
         validate_processors(funcs)?;
         if n == 0 {
             return Ok(empty_report(funcs.len()));

@@ -18,8 +18,8 @@ use std::collections::BinaryHeap;
 
 use super::problem::{empty_report, validate_processors, Distribution, PartitionReport,
                      Partitioner};
+use crate::cost::CostFunction;
 use crate::error::{Error, Result};
-use crate::speed::SpeedFunction;
 use crate::trace::Trace;
 
 /// How the proportional distribution's integer residue is assigned.
@@ -146,13 +146,13 @@ fn heap_residue(counts: &mut [u64], speeds: &[f64], residue: u64) {
 }
 
 impl Partitioner for SingleNumberPartitioner {
-    fn partition<F: SpeedFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
+    fn partition<F: CostFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
         validate_processors(funcs)?;
         if n == 0 {
             return Ok(empty_report(funcs.len()));
         }
         let speeds: Vec<f64> =
-            funcs.iter().map(|f| f.speed(self.reference_size).max(0.0)).collect();
+            funcs.iter().map(|f| f.throughput(self.reference_size).max(0.0)).collect();
         let distribution = self.partition_with_speeds(n, &speeds)?;
         // Makespan is evaluated under the *functional* model: the whole
         // point of the paper's comparison is that the single-number

@@ -1,0 +1,251 @@
+//! Workload-shaped partitioners: nonlinear per-machine cost transforms
+//! over the cluster's base performance model.
+//!
+//! The paper's problem statement measures per-machine work in *elements*
+//! and assumes the time to process `x` elements is `x / s(x)` — linear in
+//! `x` up to the speed function's shape. Two important workload families
+//! break that linearity while keeping the monotone-time invariant the
+//! geometric machinery needs:
+//!
+//! * **comparison sorting** — a machine assigned `x` elements performs
+//!   `Θ(x·log x)` comparisons (the heterogeneous sample-sort setting:
+//!   partition first, sort locally, merge);
+//! * **query/join processing** — per-machine cost grows as `x^(1+γ)` for
+//!   some workload exponent `γ > 0` (nested-loop-ish joins, quadratic
+//!   windowed aggregations).
+//!
+//! Both are solved here by wrapping every processor's model in the
+//! corresponding [`CostFunction`] transform ([`SortCost`], [`QueryCost`])
+//! and delegating to the [`CombinedPartitioner`] — the transforms preserve
+//! "`time` strictly increasing", so the slope search, fine-tuning and
+//! warm-start paths apply unchanged, merely in the transformed time
+//! domain. The reported makespan is the transformed (wall-clock) time of
+//! the slowest machine, not the element-domain time.
+
+use super::combined::CombinedPartitioner;
+use super::problem::{Distribution, PartitionReport, Partitioner};
+use crate::cost::{CostFunction, QueryCost, SortCost};
+use crate::error::Result;
+
+/// Partitioner for heterogeneous sample-sort: balances `x·log₂ x`
+/// comparison work instead of raw element counts. Exposed through the
+/// planner registry as `sort-sample`.
+///
+/// Machines whose speed degrades at large sizes are doubly penalised
+/// under sorting (more elements *and* a larger log factor), so the
+/// optimal sort partition shifts work towards fast machines slightly
+/// more aggressively than the linear partition does.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SortSamplePartitioner {
+    inner: CombinedPartitioner,
+}
+
+impl SortSamplePartitioner {
+    /// Creates the partitioner with the default combined-solver
+    /// configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Partitioner for SortSamplePartitioner {
+    fn partition<F: CostFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
+        let wrapped: Vec<SortCost<'_, F>> = funcs.iter().map(SortCost::new).collect();
+        self.inner.partition(n, &wrapped)
+    }
+
+    fn resolve_from<F: CostFunction>(
+        &self,
+        prev: &Distribution,
+        n: u64,
+        funcs: &[F],
+    ) -> Result<PartitionReport> {
+        let wrapped: Vec<SortCost<'_, F>> = funcs.iter().map(SortCost::new).collect();
+        self.inner.resolve_from(prev, n, &wrapped)
+    }
+}
+
+/// The query/join workload exponent used by the registry's `query`
+/// entry: per-machine cost grows as `x^(1 + γ)` with `γ = 1/2`, the
+/// classic sort-merge-join regime between linear scans (`γ = 0`) and
+/// quadratic nested loops (`γ = 1`).
+pub const DEFAULT_QUERY_GAMMA: f64 = 0.5;
+
+/// Partitioner for superlinear query/join workloads: balances
+/// `x^(1+γ)`-shaped work over the cluster's base model. Exposed through
+/// the planner registry as `query` (with the registry's default
+/// [`DEFAULT_QUERY_GAMMA`]).
+#[derive(Debug, Clone, Copy)]
+pub struct QueryPartitioner {
+    gamma: f64,
+    inner: CombinedPartitioner,
+}
+
+impl Default for QueryPartitioner {
+    fn default() -> Self {
+        Self { gamma: DEFAULT_QUERY_GAMMA, inner: CombinedPartitioner::default() }
+    }
+}
+
+impl QueryPartitioner {
+    /// Creates the partitioner with the registry's default exponent.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the workload exponent γ.
+    ///
+    /// # Panics
+    ///
+    /// If `gamma` is negative or not finite (see [`QueryCost::new`]).
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        assert!(
+            gamma.is_finite() && gamma >= 0.0,
+            "query cost exponent must be finite and non-negative"
+        );
+        self.gamma = gamma;
+        self
+    }
+
+    /// The workload exponent γ.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+impl Partitioner for QueryPartitioner {
+    fn partition<F: CostFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
+        let wrapped: Vec<QueryCost<'_, F>> =
+            funcs.iter().map(|f| QueryCost::new(f, self.gamma)).collect();
+        self.inner.partition(n, &wrapped)
+    }
+
+    fn resolve_from<F: CostFunction>(
+        &self,
+        prev: &Distribution,
+        n: u64,
+        funcs: &[F],
+    ) -> Result<PartitionReport> {
+        let wrapped: Vec<QueryCost<'_, F>> =
+            funcs.iter().map(|f| QueryCost::new(f, self.gamma)).collect();
+        self.inner.resolve_from(prev, n, &wrapped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speed::AnalyticSpeed;
+
+    fn mixed_cluster() -> Vec<AnalyticSpeed> {
+        vec![
+            AnalyticSpeed::decreasing(200.0, 1e6, 2.0),
+            AnalyticSpeed::saturating(150.0, 5e4),
+            AnalyticSpeed::unimodal(250.0, 1e4, 5e6, 2.0),
+            AnalyticSpeed::constant(80.0),
+        ]
+    }
+
+    #[test]
+    fn sort_partitioner_matches_manual_transform_bitwise() {
+        let funcs = mixed_cluster();
+        let n = 1_234_567;
+        let via_entry = SortSamplePartitioner::new().partition(n, &funcs).unwrap();
+        let wrapped: Vec<SortCost<'_, AnalyticSpeed>> =
+            funcs.iter().map(SortCost::new).collect();
+        let manual = CombinedPartitioner::new().partition(n, &wrapped).unwrap();
+        assert_eq!(via_entry.distribution.counts(), manual.distribution.counts());
+        assert_eq!(via_entry.makespan.to_bits(), manual.makespan.to_bits());
+        assert_eq!(via_entry.distribution.total(), n);
+    }
+
+    #[test]
+    fn sort_makespan_is_the_transformed_time_of_the_slowest_machine() {
+        let funcs = mixed_cluster();
+        let n = 500_000;
+        let r = SortSamplePartitioner::new().partition(n, &funcs).unwrap();
+        let worst = r
+            .distribution
+            .counts()
+            .iter()
+            .zip(&funcs)
+            .map(|(&x, f)| SortCost::new(f).time(x as f64))
+            .fold(0.0f64, f64::max);
+        assert_eq!(r.makespan.to_bits(), worst.to_bits());
+    }
+
+    #[test]
+    fn query_gamma_zero_is_bit_identical_to_the_plain_combined_solve() {
+        let funcs = mixed_cluster();
+        let n = 2_000_000;
+        let degenerate = QueryPartitioner::new().with_gamma(0.0).partition(n, &funcs).unwrap();
+        let plain = CombinedPartitioner::new().partition(n, &funcs).unwrap();
+        assert_eq!(degenerate.distribution.counts(), plain.distribution.counts());
+        assert_eq!(degenerate.makespan.to_bits(), plain.makespan.to_bits());
+    }
+
+    #[test]
+    fn query_workload_conserves_and_equalises_transformed_times() {
+        let funcs = mixed_cluster();
+        let n = 750_000;
+        let r = QueryPartitioner::new().partition(n, &funcs).unwrap();
+        assert_eq!(r.distribution.total(), n);
+        // All machines with work finish within the rounding envelope of
+        // each other in the *transformed* time domain.
+        let times: Vec<f64> = r
+            .distribution
+            .counts()
+            .iter()
+            .zip(&funcs)
+            .map(|(&x, f)| QueryCost::new(f, DEFAULT_QUERY_GAMMA).time(x as f64))
+            .collect();
+        let max = times.iter().fold(0.0f64, |a, &b| a.max(b));
+        let min = times.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        assert!((max - min) / max < 0.01, "times: {times:?}");
+    }
+
+    #[test]
+    fn warm_start_reproduces_the_cold_solve() {
+        let funcs = mixed_cluster();
+        let donor_n = 1_000_000u64;
+        for n in [donor_n, donor_n + 1, donor_n - 3000] {
+            for (cold, warm) in [
+                (
+                    SortSamplePartitioner::new().partition(n, &funcs).unwrap(),
+                    SortSamplePartitioner::new()
+                        .resolve_from(
+                            &SortSamplePartitioner::new()
+                                .partition(donor_n, &funcs)
+                                .unwrap()
+                                .distribution,
+                            n,
+                            &funcs,
+                        )
+                        .unwrap(),
+                ),
+                (
+                    QueryPartitioner::new().partition(n, &funcs).unwrap(),
+                    QueryPartitioner::new()
+                        .resolve_from(
+                            &QueryPartitioner::new()
+                                .partition(donor_n, &funcs)
+                                .unwrap()
+                                .distribution,
+                            n,
+                            &funcs,
+                        )
+                        .unwrap(),
+                ),
+            ] {
+                assert_eq!(cold.distribution.counts(), warm.distribution.counts());
+                assert_eq!(cold.makespan.to_bits(), warm.makespan.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "query cost exponent")]
+    fn query_rejects_negative_gamma() {
+        let _ = QueryPartitioner::new().with_gamma(-1.0);
+    }
+}

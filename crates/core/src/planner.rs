@@ -11,15 +11,19 @@
 //!   one round-trip-tested [`AlgorithmId::parse`]/`Display` pair, and the
 //!   parameterized `single@SIZE` spelling for the baseline;
 //! * [`DynPartitioner`] — object-safe erased dispatch over
-//!   `&dyn SpeedFunction`. Because the blanket [`SpeedFunction`] impls
-//!   forward *every* trait method (including the batched and closed-form
-//!   overrides), running the generic [`Partitioner`] through a trait
-//!   object performs the identical sequence of floating-point operations:
-//!   erased results are **bit-exact** against direct generic calls;
+//!   `&dyn CostFunction` (every speed function is a cost function through
+//!   the blanket time-domain adapter). Because the forwarding impls pass
+//!   *every* trait method through (including the closed-form
+//!   intersection overrides), running the generic [`Partitioner`] through
+//!   a trait object performs the identical sequence of floating-point
+//!   operations: erased results are **bit-exact** against direct generic
+//!   calls;
 //! * [`registry`] — the static catalog of every production partitioner
 //!   with metadata (aliases, complexity class, paper reference, exactness,
-//!   iteration-bound class), including the `secant`, `bounded` and
-//!   `contiguous` partitioners that previously had no front-end spelling.
+//!   iteration-bound class and [`CostClass`] capability), including the
+//!   `secant`, `bounded` and `contiguous` partitioners that previously
+//!   had no front-end spelling and the nonlinear-cost `sort-sample` and
+//!   `query` workload entries.
 //!
 //! Adding an algorithm means adding one registry entry (and one arm in
 //! [`AlgorithmId::instantiate`]); the CLI listing, the daemon's wire
@@ -27,23 +31,24 @@
 //! automatically.
 //!
 //! ```
+//! use fpm_core::cost::CostFunction;
 //! use fpm_core::planner::AlgorithmId;
-//! use fpm_core::speed::{AnalyticSpeed, SpeedFunction};
+//! use fpm_core::speed::AnalyticSpeed;
 //!
 //! let funcs = [AnalyticSpeed::constant(100.0), AnalyticSpeed::constant(50.0)];
-//! let refs: Vec<&dyn SpeedFunction> = funcs.iter().map(|f| f as _).collect();
+//! let refs: Vec<&dyn CostFunction> = funcs.iter().map(|f| f as _).collect();
 //! let id: AlgorithmId = "combined".parse().unwrap();
 //! let report = id.solve(300, &refs).unwrap();
 //! assert_eq!(report.distribution.total(), 300);
 //! ```
 
+use crate::cost::CostFunction;
 use crate::error::{Error, Result};
 use crate::partition::{
     BisectionPartitioner, BoundedPartitioner, CombinedPartitioner, ContiguousPartitioner,
-    Distribution, ModifiedPartitioner, PartitionReport, Partitioner, SecantPartitioner,
-    SingleNumberPartitioner,
+    Distribution, ModifiedPartitioner, PartitionReport, Partitioner, QueryPartitioner,
+    SecantPartitioner, SingleNumberPartitioner, SortSamplePartitioner,
 };
-use crate::speed::SpeedFunction;
 
 /// The canonical identifier of a production partitioning algorithm.
 ///
@@ -66,21 +71,28 @@ pub enum AlgorithmId {
     Bounded,
     /// Contiguous (well-ordered) partitioning of `n` unit-weight items.
     Contiguous,
+    /// Heterogeneous sample-sort: balances `x·log₂ x` comparison work
+    /// over the cluster's base model.
+    SortSample,
+    /// Superlinear query/join workloads: balances `x^(1+γ)` work with
+    /// the registry's default exponent.
+    Query,
     /// The single-number baseline, sampled at the given reference size.
     SingleAt(f64),
 }
 
 /// Static help text listing every accepted canonical spelling. A registry
 /// unit test keeps it in sync with [`registry`].
-pub const NAME_HELP: &str = "combined|basic|modified|secant|bounded|contiguous|single@SIZE";
+pub const NAME_HELP: &str =
+    "combined|basic|modified|secant|bounded|contiguous|sort-sample|query|single@SIZE";
 
 /// The parse error for an unrecognised algorithm name: a static message
 /// that enumerates the valid canonical spellings (tested against the
 /// registry so it cannot go stale).
 const UNKNOWN_ALGORITHM: Error = Error::InvalidParameter(
     "unknown algorithm: expected one of \
-     combined|basic|modified|secant|bounded|contiguous|single@SIZE (or an alias; \
-     run `fpm algorithms` for the catalog)",
+     combined|basic|modified|secant|bounded|contiguous|sort-sample|query|single@SIZE \
+     (or an alias; run `fpm algorithms` for the catalog)",
 );
 
 impl AlgorithmId {
@@ -125,6 +137,8 @@ impl AlgorithmId {
             AlgorithmId::Secant => "secant",
             AlgorithmId::Bounded => "bounded",
             AlgorithmId::Contiguous => "contiguous",
+            AlgorithmId::SortSample => "sort-sample",
+            AlgorithmId::Query => "query",
             AlgorithmId::SingleAt(_) => "single",
         }
     }
@@ -153,6 +167,8 @@ impl AlgorithmId {
             AlgorithmId::Secant => (4, 0),
             AlgorithmId::Bounded => (5, 0),
             AlgorithmId::Contiguous => (6, 0),
+            AlgorithmId::SortSample => (7, 0),
+            AlgorithmId::Query => (8, 0),
         }
     }
 
@@ -167,17 +183,19 @@ impl AlgorithmId {
             AlgorithmId::Secant => Box::new(SecantPartitioner::new()),
             AlgorithmId::Bounded => Box::new(BoundedPartitioner),
             AlgorithmId::Contiguous => Box::new(ContiguousPartitioner),
+            AlgorithmId::SortSample => Box::new(SortSamplePartitioner::new()),
+            AlgorithmId::Query => Box::new(QueryPartitioner::new()),
             AlgorithmId::SingleAt(size) => {
                 Box::new(SingleNumberPartitioner::at_size(*size))
             }
         }
     }
 
-    /// Resolves and runs the partitioner on erased speed functions.
+    /// Resolves and runs the partitioner on erased cost functions.
     ///
     /// Bit-exact against calling the concrete [`Partitioner`] directly
     /// with the same functions (see the module docs).
-    pub fn solve(&self, n: u64, funcs: &[&dyn SpeedFunction]) -> Result<PartitionReport> {
+    pub fn solve(&self, n: u64, funcs: &[&dyn CostFunction]) -> Result<PartitionReport> {
         self.instantiate().partition_dyn(n, funcs)
     }
 
@@ -191,7 +209,7 @@ impl AlgorithmId {
         &self,
         prev_counts: &[u64],
         n: u64,
-        funcs: &[&dyn SpeedFunction],
+        funcs: &[&dyn CostFunction],
     ) -> Result<PartitionReport> {
         self.instantiate().resolve_from_dyn(prev_counts, n, funcs)
     }
@@ -227,6 +245,36 @@ pub enum TraceBound {
     SolutionSpace,
 }
 
+/// Cost-model class of a registry entry: the shape of the per-machine
+/// cost the entry equalises. Front ends show this as the capability
+/// column of `fpm algorithms`, and the daemon uses it to suggest only
+/// cost-capable entries when a request carries a nonlinear model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostClass {
+    /// Linear per-element cost: the paper's model, `time(x) = x/s(x)`.
+    Linear,
+    /// Comparison-sort cost: `time(x) = (x/s(x))·log₂ x`.
+    SortNLogN,
+    /// Superlinear query/join cost: `time(x) = (x/s(x))·x^γ`.
+    Superlinear,
+}
+
+impl CostClass {
+    /// Human-readable label for catalog listings.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CostClass::Linear => "linear",
+            CostClass::SortNLogN => "n-log-n",
+            CostClass::Superlinear => "superlinear",
+        }
+    }
+
+    /// Whether the entry solves a nonlinear per-machine cost model.
+    pub fn nonlinear(&self) -> bool {
+        !matches!(self, CostClass::Linear)
+    }
+}
+
 /// Catalog metadata of one production partitioner.
 #[derive(Debug, Clone, Copy)]
 pub struct AlgorithmInfo {
@@ -255,6 +303,9 @@ pub struct AlgorithmInfo {
     /// Iteration-bound class of the recorded trace, when the paper claims
     /// one.
     pub bound: Option<TraceBound>,
+    /// Cost-model class the entry solves over (the `fpm algorithms`
+    /// capability column).
+    pub cost: CostClass,
     /// A template id; for parameterized entries the payload is a
     /// placeholder replaced by [`AlgorithmInfo::id_with`].
     id: AlgorithmId,
@@ -279,7 +330,7 @@ impl AlgorithmInfo {
 /// spelling.
 pub const SINGLE_EXAMPLE_SIZE: f64 = 500_000.0;
 
-static REGISTRY: [AlgorithmInfo; 7] = [
+static REGISTRY: [AlgorithmInfo; 9] = [
     AlgorithmInfo {
         name: "combined",
         aliases: &["hybrid", "default"],
@@ -290,6 +341,7 @@ static REGISTRY: [AlgorithmInfo; 7] = [
         baseline: false,
         parameterized: false,
         bound: Some(TraceBound::SolutionSpace),
+        cost: CostClass::Linear,
         id: AlgorithmId::Combined,
         example: "combined",
     },
@@ -303,6 +355,7 @@ static REGISTRY: [AlgorithmInfo; 7] = [
         baseline: false,
         parameterized: false,
         bound: Some(TraceBound::SlopeSearch),
+        cost: CostClass::Linear,
         id: AlgorithmId::Basic,
         example: "basic",
     },
@@ -316,6 +369,7 @@ static REGISTRY: [AlgorithmInfo; 7] = [
         baseline: false,
         parameterized: false,
         bound: Some(TraceBound::SolutionSpace),
+        cost: CostClass::Linear,
         id: AlgorithmId::Modified,
         example: "modified",
     },
@@ -329,6 +383,7 @@ static REGISTRY: [AlgorithmInfo; 7] = [
         baseline: false,
         parameterized: false,
         bound: Some(TraceBound::SlopeSearch),
+        cost: CostClass::Linear,
         id: AlgorithmId::Secant,
         example: "secant",
     },
@@ -342,6 +397,7 @@ static REGISTRY: [AlgorithmInfo; 7] = [
         baseline: false,
         parameterized: false,
         bound: None,
+        cost: CostClass::Linear,
         id: AlgorithmId::Bounded,
         example: "bounded",
     },
@@ -355,8 +411,37 @@ static REGISTRY: [AlgorithmInfo; 7] = [
         baseline: false,
         parameterized: false,
         bound: None,
+        cost: CostClass::Linear,
         id: AlgorithmId::Contiguous,
         example: "contiguous",
+    },
+    AlgorithmInfo {
+        name: "sort-sample",
+        aliases: &["sort"],
+        summary: "heterogeneous sample-sort: balances x*log2(x) comparison work",
+        complexity: "combined solver over the sort cost transform",
+        paper: "cost-model extension (time-domain solver stack)",
+        exact: false,
+        baseline: false,
+        parameterized: false,
+        bound: Some(TraceBound::SolutionSpace),
+        cost: CostClass::SortNLogN,
+        id: AlgorithmId::SortSample,
+        example: "sort-sample",
+    },
+    AlgorithmInfo {
+        name: "query",
+        aliases: &["join"],
+        summary: "query/join workloads: balances superlinear x^(1+g) work (g = 1/2)",
+        complexity: "combined solver over the query cost transform",
+        paper: "cost-model extension (time-domain solver stack)",
+        exact: false,
+        baseline: false,
+        parameterized: false,
+        bound: Some(TraceBound::SolutionSpace),
+        cost: CostClass::Superlinear,
+        id: AlgorithmId::Query,
+        example: "query",
     },
     AlgorithmInfo {
         name: "single",
@@ -368,6 +453,7 @@ static REGISTRY: [AlgorithmInfo; 7] = [
         baseline: true,
         parameterized: true,
         bound: None,
+        cost: CostClass::Linear,
         id: AlgorithmId::SingleAt(SINGLE_EXAMPLE_SIZE),
         example: "single@500000",
     },
@@ -386,11 +472,13 @@ pub fn registry() -> &'static [AlgorithmInfo] {
 /// Blanket-implemented for every [`Partitioner`], so a registry lookup
 /// can return `Box<dyn DynPartitioner>` without each consumer writing its
 /// own `match`. The erased call is bit-exact against the direct generic
-/// call: `&dyn SpeedFunction` implements [`SpeedFunction`] through the
-/// forwarding blanket impl, so the partitioner executes the identical
-/// floating-point operation sequence, merely through a vtable.
+/// call: `&dyn CostFunction` implements [`CostFunction`] through the
+/// forwarding impl, so the partitioner executes the identical
+/// floating-point operation sequence, merely through a vtable. Speed
+/// functions erase the same way — the blanket time-domain adapter makes
+/// every `SpeedFunction` a `CostFunction` first.
 pub trait DynPartitioner: Send + Sync {
-    /// Partitions `n` elements over erased speed functions.
+    /// Partitions `n` elements over erased cost functions.
     ///
     /// # Errors
     ///
@@ -398,7 +486,7 @@ pub trait DynPartitioner: Send + Sync {
     fn partition_dyn(
         &self,
         n: u64,
-        funcs: &[&dyn SpeedFunction],
+        funcs: &[&dyn CostFunction],
     ) -> Result<PartitionReport>;
 
     /// Warm-starts from the per-processor counts of a previous solution
@@ -413,7 +501,7 @@ pub trait DynPartitioner: Send + Sync {
         &self,
         prev_counts: &[u64],
         n: u64,
-        funcs: &[&dyn SpeedFunction],
+        funcs: &[&dyn CostFunction],
     ) -> Result<PartitionReport>;
 }
 
@@ -421,7 +509,7 @@ impl<P: Partitioner + Send + Sync> DynPartitioner for P {
     fn partition_dyn(
         &self,
         n: u64,
-        funcs: &[&dyn SpeedFunction],
+        funcs: &[&dyn CostFunction],
     ) -> Result<PartitionReport> {
         self.partition(n, funcs)
     }
@@ -430,7 +518,7 @@ impl<P: Partitioner + Send + Sync> DynPartitioner for P {
         &self,
         prev_counts: &[u64],
         n: u64,
-        funcs: &[&dyn SpeedFunction],
+        funcs: &[&dyn CostFunction],
     ) -> Result<PartitionReport> {
         let prev = Distribution::new(prev_counts.to_vec());
         self.resolve_from(&prev, n, funcs)
@@ -441,25 +529,26 @@ impl<P: Partitioner + Send + Sync> DynPartitioner for P {
 /// consumers (e.g. the execution simulators) accept registry-resolved
 /// algorithms unchanged: `simulate_mm(dim, funcs, &id.instantiate())`.
 impl Partitioner for Box<dyn DynPartitioner> {
-    fn partition<F: SpeedFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
-        let refs: Vec<&dyn SpeedFunction> = funcs.iter().map(|f| f as _).collect();
+    fn partition<F: CostFunction>(&self, n: u64, funcs: &[F]) -> Result<PartitionReport> {
+        let refs: Vec<&dyn CostFunction> = funcs.iter().map(|f| f as _).collect();
         (**self).partition_dyn(n, refs.as_slice())
     }
 
-    fn resolve_from<F: SpeedFunction>(
+    fn resolve_from<F: CostFunction>(
         &self,
         prev: &Distribution,
         n: u64,
         funcs: &[F],
     ) -> Result<PartitionReport> {
-        let refs: Vec<&dyn SpeedFunction> = funcs.iter().map(|f| f as _).collect();
+        let refs: Vec<&dyn CostFunction> = funcs.iter().map(|f| f as _).collect();
         (**self).resolve_from_dyn(prev.counts(), n, refs.as_slice())
     }
 }
 
-/// Erases a homogeneous slice of speed functions for [`AlgorithmId::solve`]
-/// / [`DynPartitioner::partition_dyn`].
-pub fn erase<F: SpeedFunction>(funcs: &[F]) -> Vec<&dyn SpeedFunction> {
+/// Erases a homogeneous slice of cost functions (speed functions erase
+/// through the blanket adapter) for [`AlgorithmId::solve`] /
+/// [`DynPartitioner::partition_dyn`].
+pub fn erase<F: CostFunction>(funcs: &[F]) -> Vec<&dyn CostFunction> {
     funcs.iter().map(|f| f as _).collect()
 }
 
@@ -549,6 +638,8 @@ mod tests {
             AlgorithmId::Secant,
             AlgorithmId::Bounded,
             AlgorithmId::Contiguous,
+            AlgorithmId::SortSample,
+            AlgorithmId::Query,
             AlgorithmId::SingleAt(5e5),
         ];
         let mut tags = std::collections::HashSet::new();
@@ -605,6 +696,8 @@ mod tests {
             ("SingleNumberPartitioner", "single"),
             ("BoundedPartitioner", "bounded"),
             ("ContiguousPartitioner", "contiguous"),
+            ("SortSamplePartitioner", "sort-sample"),
+            ("QueryPartitioner", "query"),
         ];
         let mut exported = Vec::new();
         let mut in_use = false;
@@ -652,6 +745,11 @@ mod tests {
             (AlgorithmId::Secant, SecantPartitioner::new().partition(n, &funcs).unwrap()),
             (AlgorithmId::Bounded, BoundedPartitioner.partition(n, &funcs).unwrap()),
             (AlgorithmId::Contiguous, ContiguousPartitioner.partition(n, &funcs).unwrap()),
+            (
+                AlgorithmId::SortSample,
+                SortSamplePartitioner::new().partition(n, &funcs).unwrap(),
+            ),
+            (AlgorithmId::Query, QueryPartitioner::new().partition(n, &funcs).unwrap()),
             (
                 AlgorithmId::SingleAt(5e5),
                 SingleNumberPartitioner::at_size(5e5).partition(n, &funcs).unwrap(),
@@ -711,6 +809,27 @@ mod tests {
         let direct = CombinedPartitioner::new().partition(1_000_000, &funcs).unwrap();
         assert_eq!(via_box.distribution.counts(), direct.distribution.counts());
         assert_eq!(via_box.makespan.to_bits(), direct.makespan.to_bits());
+    }
+
+    #[test]
+    fn cost_classes_mark_exactly_the_nonlinear_entries() {
+        for info in registry() {
+            let nonlinear = matches!(info.name, "sort-sample" | "query");
+            assert_eq!(
+                info.cost.nonlinear(),
+                nonlinear,
+                "{}: cost class {:?}",
+                info.name,
+                info.cost
+            );
+            assert!(!info.cost.label().is_empty());
+        }
+        // The nonlinear entries are excluded from the linear-oracle
+        // differential (their makespan lives in the transformed time
+        // domain) but still run the full conformance battery.
+        for info in registry().iter().filter(|i| i.cost.nonlinear()) {
+            assert!(!info.exact, "{}: nonlinear entries are not oracle-exact", info.name);
+        }
     }
 
     #[test]

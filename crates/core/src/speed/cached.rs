@@ -25,7 +25,7 @@ use super::function::SpeedFunction;
 /// and the fine-tuning heap issues thousands of them per solve. One
 /// Fibonacci multiply mixes the bits plenty for open addressing.
 #[derive(Default)]
-struct BitsHasher(u64);
+pub(crate) struct BitsHasher(u64);
 
 impl Hasher for BitsHasher {
     fn write(&mut self, bytes: &[u8]) {
@@ -43,7 +43,7 @@ impl Hasher for BitsHasher {
     }
 }
 
-type BitsMap = HashMap<u64, f64, BuildHasherDefault<BitsHasher>>;
+pub(crate) type BitsMap = HashMap<u64, f64, BuildHasherDefault<BitsHasher>>;
 
 /// A [`SpeedFunction`] decorator that memoizes `speed(x)` per abscissa.
 ///

@@ -39,10 +39,12 @@ pub use fpm_simnet as simnet;
 
 /// Commonly used items in one import.
 pub mod prelude {
+    pub use fpm_core::cost::{CachedCost, CostFunction, PiecewiseLinearCost, QueryCost, SortCost};
     pub use fpm_core::partition::{
         bounded, oracle, BisectionPartitioner, BoundedPartitioner, CombinedPartitioner,
         ContiguousPartitioner, Distribution, ModifiedPartitioner, PartitionReport, Partitioner,
-        SecantPartitioner, SingleNumberPartitioner, SlopeMode,
+        QueryPartitioner, SecantPartitioner, SingleNumberPartitioner, SlopeMode,
+        SortSamplePartitioner, DEFAULT_QUERY_GAMMA,
     };
     pub use fpm_core::planner::{registry, AlgorithmId, AlgorithmInfo, DynPartitioner};
     pub use fpm_core::speed::{

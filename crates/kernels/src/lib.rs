@@ -12,7 +12,10 @@
 //! * [`lu`] — serial right-looking blocked LU factorisation (Table 4);
 //! * [`striped`] — horizontal striped partitioning and the real
 //!   multi-threaded parallel multiplication built on it;
-//! * [`vgb`] — the Variable Group Block distribution for parallel LU.
+//! * [`vgb`] — the Variable Group Block distribution for parallel LU;
+//! * [`sample_sort`] — a heterogeneous parallel sample sort whose phases
+//!   follow a plan from the cost-model (`x·log x`) solver path, the
+//!   kernel behind the planner's `sort-sample` entry.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,10 +24,12 @@ pub mod block_lu;
 pub mod lu;
 pub mod matmul;
 pub mod matrix;
+pub mod sample_sort;
 pub mod striped;
 pub mod vgb;
 
 pub use block_lu::{parallel_lu, BlockMatrix};
 pub use matrix::Matrix;
+pub use sample_sort::parallel_sample_sort;
 pub use striped::{rows_from_element_distribution, StripedLayout};
 pub use vgb::{variable_group_block, variable_group_block_with, VgbDistribution, VgbGroup, VgbStrategy};

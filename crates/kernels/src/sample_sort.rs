@@ -1,0 +1,260 @@
+//! Heterogeneous parallel sample sort — the sort-shaped workload behind
+//! the planner's `sort-sample` entry.
+//!
+//! Comparison sorting does `Θ(x·log x)` work on `x` elements, so the
+//! per-processor load is *not* proportional to elements per second: the
+//! right element counts come from solving the partitioning problem in the
+//! transformed cost domain (`fpm-core`'s `SortCost` /
+//! `SortSamplePartitioner`), and this module is the kernel that actually
+//! runs that plan. The classic sample-sort phases, made heterogeneity
+//! aware in both compute phases:
+//!
+//! 1. **Local sort** — the input is split into contiguous chunks whose
+//!    sizes follow the solver's [`Distribution`] (fast machines sort more);
+//!    one OS thread per non-empty chunk, exactly like
+//!    [`crate::striped::parallel_matmul_abt`]'s per-stripe threads.
+//! 2. **Splitter selection** — each sorted run is oversampled at regular
+//!    positions; the pooled sample is sorted and `p − 1` global splitters
+//!    are drawn at the *distribution's cumulative shares* rather than at
+//!    uniform quantiles, so the merge buckets are also sized to speed.
+//! 3. **Bucket merge** — worker `i` binary-searches every run for its
+//!    splitter range and k-way merges the slices; concatenating the
+//!    buckets in order yields the sorted output.
+//!
+//! The result is bit-for-bit a sorted permutation of the input for *any*
+//! distribution (splitters only move work between workers), which is what
+//! the tests pin: correctness is independent of the plan, while the plan
+//! decides the makespan.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use fpm_core::partition::Distribution;
+
+use crate::striped::rows_from_element_distribution;
+
+/// Samples taken from each local run for splitter selection.
+const OVERSAMPLE: usize = 32;
+
+/// Sorts `data` with a heterogeneous parallel sample sort, splitting both
+/// the local-sort and the merge phase according to `dist` (one worker per
+/// distribution slot; zero-count slots idle).
+pub fn parallel_sample_sort(data: &[f64], dist: &Distribution) -> Vec<f64> {
+    let p = dist.len().max(1);
+    if data.len() <= 1 || p == 1 {
+        let mut out = data.to_vec();
+        out.sort_unstable_by(f64::total_cmp);
+        return out;
+    }
+
+    // Phase 1: proportional contiguous chunks, locally sorted in
+    // parallel. The element split reuses the striped layout's
+    // largest-remainder rounding (rows there, elements here — the same
+    // exact-conservation arithmetic).
+    let counts = rows_from_element_distribution(data.len(), dist);
+    let mut runs: Vec<Vec<f64>> = Vec::with_capacity(p);
+    {
+        let mut start = 0usize;
+        for &c in counts.row_counts() {
+            runs.push(data[start..start + c].to_vec());
+            start += c;
+        }
+    }
+    std::thread::scope(|scope| {
+        for run in runs.iter_mut().filter(|r| !r.is_empty()) {
+            scope.spawn(|| run.sort_unstable_by(f64::total_cmp));
+        }
+    });
+
+    // Phase 2: pooled regular samples, splitters at the distribution's
+    // cumulative shares so bucket volume tracks speed.
+    let mut sample: Vec<f64> = Vec::with_capacity(p * OVERSAMPLE);
+    for run in &runs {
+        if run.is_empty() {
+            continue;
+        }
+        for k in 0..OVERSAMPLE {
+            sample.push(run[k * run.len() / OVERSAMPLE]);
+        }
+    }
+    sample.sort_unstable_by(f64::total_cmp);
+    let total = dist.total().max(1) as f64;
+    let mut acc = 0u64;
+    let splitters: Vec<f64> = dist.counts()[..p - 1]
+        .iter()
+        .map(|&c| {
+            acc += c;
+            let pos = (acc as f64 / total * sample.len() as f64) as usize;
+            sample[pos.min(sample.len() - 1)]
+        })
+        .collect();
+
+    // Phase 3: per-bucket slice ranges in every run, then parallel k-way
+    // merges. `partition_point` keeps duplicates of a splitter value in
+    // the lower bucket, so the ranges tile each run exactly.
+    let mut bounds: Vec<Vec<usize>> = Vec::with_capacity(p);
+    for run in &runs {
+        let mut b = Vec::with_capacity(p + 1);
+        b.push(0);
+        for s in &splitters {
+            b.push(run.partition_point(|v| v.total_cmp(s) != Ordering::Greater));
+        }
+        b.push(run.len());
+        // Splitter order makes the boundaries monotone; enforce it so a
+        // pathological sample cannot tear a run.
+        for i in 1..b.len() {
+            if b[i] < b[i - 1] {
+                b[i] = b[i - 1];
+            }
+        }
+        bounds.push(b);
+    }
+    let buckets: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..p)
+            .map(|i| {
+                let runs = &runs;
+                let bounds = &bounds;
+                scope.spawn(move || {
+                    let slices: Vec<&[f64]> = runs
+                        .iter()
+                        .zip(bounds)
+                        .map(|(run, b)| &run[b[i]..b[i + 1]])
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                    merge_sorted(&slices)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("merge worker")).collect()
+    });
+    let mut out = Vec::with_capacity(data.len());
+    for bucket in buckets {
+        out.extend_from_slice(&bucket);
+    }
+    out
+}
+
+/// Head of one run inside the merge heap, ordered so the heap pops the
+/// *smallest* value first (reversed comparison; ties break on run index
+/// for determinism).
+struct Head<'a> {
+    value: f64,
+    run: usize,
+    rest: &'a [f64],
+}
+
+impl PartialEq for Head<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Head<'_> {}
+impl PartialOrd for Head<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Head<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .value
+            .total_cmp(&self.value)
+            .then_with(|| other.run.cmp(&self.run))
+    }
+}
+
+/// K-way merge of sorted slices via a min-heap of run heads:
+/// `O(n·log k)` — the textbook merge, not a re-sort, so the bucket phase
+/// stays within the sort kernel's `x·log x` cost shape.
+fn merge_sorted(slices: &[&[f64]]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(slices.iter().map(|s| s.len()).sum());
+    let mut heap: BinaryHeap<Head<'_>> = slices
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.is_empty())
+        .map(|(run, s)| Head { value: s[0], run, rest: &s[1..] })
+        .collect();
+    while let Some(head) = heap.pop() {
+        out.push(head.value);
+        if let Some((&value, rest)) = head.rest.split_first() {
+            heap.push(Head { value, run: head.run, rest });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpm_core::partition::{Partitioner, SortSamplePartitioner};
+    use fpm_core::speed::ConstantSpeed;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<f64> {
+        // SplitMix64 mapped to [0, 1): deterministic without an RNG dep.
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) as f64 / u64::MAX as f64
+            })
+            .collect()
+    }
+
+    fn assert_sorted_permutation(original: &[f64], sorted: &[f64]) {
+        let mut expected = original.to_vec();
+        expected.sort_unstable_by(f64::total_cmp);
+        assert_eq!(expected.len(), sorted.len());
+        for (e, s) in expected.iter().zip(sorted) {
+            assert_eq!(e.to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn matches_serial_sort_for_varied_distributions() {
+        let data = pseudo_random(10_000, 0x5027);
+        for counts in [
+            vec![10_000],
+            vec![5_000, 5_000],
+            vec![9_000, 600, 400],
+            vec![1, 1, 9_998],
+            vec![2_500; 4],
+            vec![0, 10_000, 0],
+        ] {
+            let dist = Distribution::new(counts.clone());
+            let out = parallel_sample_sort(&data, &dist);
+            assert_sorted_permutation(&data, &out);
+        }
+    }
+
+    #[test]
+    fn handles_duplicates_and_tiny_inputs() {
+        let dist = Distribution::new(vec![3, 7]);
+        let dup = vec![1.0; 500];
+        assert_sorted_permutation(&dup, &parallel_sample_sort(&dup, &dist));
+        assert!(parallel_sample_sort(&[], &dist).is_empty());
+        assert_eq!(parallel_sample_sort(&[2.0], &dist), vec![2.0]);
+        let two = [5.0, -3.0];
+        assert_eq!(parallel_sample_sort(&two, &dist), vec![-3.0, 5.0]);
+    }
+
+    #[test]
+    fn cost_model_plan_drives_the_kernel_end_to_end() {
+        // The full sort-shaped pipeline: the sort-sample partitioner
+        // plans element counts in the x·log x cost domain, and the
+        // kernel executes that exact plan correctly.
+        let speeds: Vec<ConstantSpeed> =
+            [400.0, 150.0, 90.0].iter().map(|&s| ConstantSpeed::new(s)).collect();
+        let data = pseudo_random(60_000, 0xBEEF);
+        let report =
+            SortSamplePartitioner::new().partition(data.len() as u64, &speeds).unwrap();
+        assert_eq!(report.distribution.total(), data.len() as u64);
+        // Faster machines carry more of the sort.
+        let counts = report.distribution.counts();
+        assert!(counts[0] > counts[1] && counts[1] > counts[2], "{counts:?}");
+        let out = parallel_sample_sort(&data, &report.distribution);
+        assert_sorted_permutation(&data, &out);
+    }
+}

@@ -14,6 +14,11 @@
 //! - **Failover** — `partition`/`partition_batch` go to the owner and
 //!   retry replicas on transport failure or a draining shard, so killing
 //!   one shard degrades routing instead of erroring clients.
+//! - **Replica catch-up** — when the health prober detects a shard
+//!   recovering, every acknowledged `register` line whose replica set
+//!   includes it is replayed (keyed by the cluster names the
+//!   `fingerprint → name` alias map resolves to), so a shard that
+//!   restarted empty re-learns the models it replicates.
 //! - **Cluster stats** — the `cluster_stats` verb merges per-shard
 //!   counters and latency histograms (bucket-wise, exact) and reports
 //!   per-shard health.

@@ -70,6 +70,8 @@ router_counters! {
     shard_up_marks,
     /// Health probes attempted.
     probes,
+    /// Register lines replayed to a shard on probe-detected recovery.
+    catchup_replays,
 }
 
 impl RouterMetrics {

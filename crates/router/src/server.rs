@@ -43,6 +43,16 @@
 //! failover path answers from a replica without waiting on connect
 //! timeouts.
 //!
+//! When the prober flips a shard back to healthy, the router *catches
+//! the replica up*: every remembered `register` line whose replica set
+//! includes the recovered shard is replayed to it (fire-and-forget, and
+//! idempotent — registration is deterministic, so a shard that never
+//! actually lost its registry converges to the same state). The replay
+//! store is keyed by the same cluster names the `fingerprint → name`
+//! alias map resolves to, so a shard that restarted empty serves both
+//! name- and fingerprint-addressed requests again without any client
+//! intervention.
+//!
 //! # Caveat
 //!
 //! Replies on one client connection stay strictly in request order, but a
@@ -142,6 +152,10 @@ struct Shared {
     shards: Vec<ShardSlot>,
     metrics: RouterMetrics,
     stopping: AtomicBool,
+    /// `routing key → last acknowledged raw register line`, replayed to
+    /// a shard when the prober brings it back (replica catch-up). The
+    /// keys are the cluster names the fingerprint alias map points at.
+    catchup: Mutex<HashMap<String, String>>,
 }
 
 impl Shared {
@@ -151,9 +165,28 @@ impl Shared {
         }
     }
 
-    fn mark_up(&self, shard: usize) {
+    /// Flips a shard healthy; true only on a down → up transition.
+    fn mark_up(&self, shard: usize) -> bool {
         if !self.shards[shard].healthy.swap(true, Ordering::SeqCst) {
             self.metrics.inc(&self.metrics.shard_up_marks);
+            return true;
+        }
+        false
+    }
+
+    /// Replays every remembered register line whose replica set includes
+    /// `shard`. Fire-and-forget: a crash-restarted (empty) shard
+    /// re-learns the models it replicates; a shard that merely lost
+    /// connectivity re-registers identically (registration is
+    /// deterministic), so the replay is idempotent either way.
+    fn catch_up(&self, shard: usize) {
+        let catchup = self.catchup.lock().expect("catchup lock");
+        for (key, line) in catchup.iter() {
+            if self.ring.route(key, self.config.replicas).contains(&shard)
+                && self.shards[shard].jobs.send(UpJob::Fire { line: line.clone() }).is_ok()
+            {
+                self.metrics.inc(&self.metrics.catchup_replays);
+            }
         }
     }
 }
@@ -280,6 +313,7 @@ pub fn spawn(config: RouterConfig) -> std::io::Result<RouterHandle> {
         shards,
         metrics: RouterMetrics::new(),
         stopping: AtomicBool::new(false),
+        catchup: Mutex::new(HashMap::new()),
     });
 
     let mut side_threads = Vec::new();
@@ -452,7 +486,9 @@ fn prober(shard: usize, shared: Arc<Shared>) {
         .and_then(|mut c| c.ping().ok())
         .is_some();
         if alive {
-            shared.mark_up(shard);
+            if shared.mark_up(shard) {
+                shared.catch_up(shard);
+            }
             delay = interval;
         } else {
             shared.mark_down(shard);
@@ -471,12 +507,15 @@ enum SlotState {
     /// shard currently asked.
     Forward { raw: String, candidates: Vec<usize>, tried: usize },
     /// A fan-out (`register`/`report`) to every shard in `legs`; the
-    /// reply preference is route order (owner first).
+    /// reply preference is route order (owner first). `register_raw`
+    /// carries the raw line of a `register` (None for `report`) so an
+    /// acknowledged registration enters the replica catch-up store.
     FanOut {
         key: String,
         legs: Vec<usize>,
         results: Vec<Option<Result<String, ProtoError>>>,
         remaining: usize,
+        register_raw: Option<String>,
     },
     /// `cluster_stats`: one stats leg per shard.
     ClusterStats {
@@ -776,7 +815,7 @@ impl EventLoop {
                         }
                     }
                 }
-                SlotState::FanOut { key, legs, mut results, mut remaining } => {
+                SlotState::FanOut { key, legs, mut results, mut remaining, register_raw } => {
                     if done.part < results.len() && results[done.part].is_none() {
                         let result = match done.result {
                             Ok(line) if is_shutting_down_reply(&line) => Err(ProtoError::new(
@@ -793,12 +832,19 @@ impl EventLoop {
                             &mut self.aliases,
                             &self.shared,
                             &key,
+                            register_raw.as_deref(),
                             &results,
                             slot.id.as_ref(),
                         );
                         slot.state = SlotState::Ready(rendered);
                     } else {
-                        slot.state = SlotState::FanOut { key, legs, results, remaining };
+                        slot.state = SlotState::FanOut {
+                            key,
+                            legs,
+                            results,
+                            remaining,
+                            register_raw,
+                        };
                     }
                 }
                 SlotState::ClusterStats { mut results, mut remaining } => {
@@ -1004,13 +1050,13 @@ impl EventLoop {
                     return true;
                 };
                 let key = cluster.to_owned();
-                self.start_fanout(conn_id, conn, id, line, key);
+                self.start_fanout(conn_id, conn, id, line, key, true);
                 true
             }
             "report" => match parse_report_target_ref(&value) {
                 Ok(target) => {
                     let key = self.routing_key(target);
-                    self.start_fanout(conn_id, conn, id, line, key);
+                    self.start_fanout(conn_id, conn, id, line, key, false);
                     true
                 }
                 Err(e) => {
@@ -1105,6 +1151,8 @@ impl EventLoop {
     }
 
     /// Fans one raw line out to the owner plus replicas of `key`.
+    /// `register` marks a registration whose line feeds the replica
+    /// catch-up store once a shard acknowledges it.
     fn start_fanout(
         &mut self,
         conn_id: u64,
@@ -1112,6 +1160,7 @@ impl EventLoop {
         id: Option<&JsonRef<'_>>,
         line: &str,
         key: String,
+        register: bool,
     ) {
         let m = &self.shared.metrics;
         m.inc(&m.fanouts);
@@ -1135,6 +1184,7 @@ impl EventLoop {
                 ))));
             }
         }
+        let register_raw = register.then(|| line.to_owned());
         if remaining == 0 {
             // Nothing was sent (shutdown race): answer from what we have.
             let id_owned = id.map(JsonRef::to_json);
@@ -1142,6 +1192,7 @@ impl EventLoop {
                 &mut self.aliases,
                 &self.shared,
                 &key,
+                register_raw.as_deref(),
                 &results,
                 id_owned.as_ref(),
             );
@@ -1152,7 +1203,7 @@ impl EventLoop {
             seq,
             id: id.map(JsonRef::to_json),
             started: Instant::now(),
-            state: SlotState::FanOut { key, legs, results, remaining },
+            state: SlotState::FanOut { key, legs, results, remaining, register_raw },
         });
     }
 
@@ -1215,25 +1266,41 @@ impl EventLoop {
 }
 
 /// Picks the fan-out reply (owner first, then any shard that answered at
-/// all), learns fingerprint aliases from ok replies, and renders the
-/// final line (trailing newline included).
+/// all), learns fingerprint aliases from ok replies, records acknowledged
+/// registrations for replica catch-up, and renders the final line
+/// (trailing newline included).
 fn finish_fanout(
     aliases: &mut HashMap<String, String>,
     shared: &Shared,
     key: &str,
+    register_raw: Option<&str>,
     results: &[Option<Result<String, ProtoError>>],
     id: Option<&Json>,
 ) -> String {
     let m = &shared.metrics;
     // Learn `fingerprint → key` from every ok leg: a later request
     // addressing the model by fingerprint must route to this set.
+    let mut acked = false;
     for line in results.iter().flatten().flatten() {
         if let Ok(v) = Json::parse_ref(line) {
             if v.get("ok").and_then(JsonRef::as_bool) == Some(true) {
+                acked = true;
                 if let Some(fp) = v.get("fingerprint").and_then(JsonRef::as_str) {
                     aliases.insert(fp.to_owned(), key.to_owned());
                 }
             }
+        }
+    }
+    // An acknowledged register becomes the cluster's replayable line: if
+    // a replica of `key` later restarts empty, the prober-triggered
+    // catch-up re-sends exactly what a shard accepted here.
+    if acked {
+        if let Some(raw) = register_raw {
+            shared
+                .catchup
+                .lock()
+                .expect("catchup lock")
+                .insert(key.to_owned(), raw.to_owned());
         }
     }
     // Reply preference: first leg (route order: owner, then replicas)
@@ -1546,6 +1613,62 @@ mod tests {
         }
         let stats = router.shutdown_and_join();
         assert!(stats.get("shard_up_marks").and_then(Json::as_u64).unwrap_or(0) >= 1);
+        keep.shutdown_and_join();
+        revived.shutdown_and_join();
+    }
+
+    #[test]
+    fn recovered_shard_relearns_registrations() {
+        // Two shards, replicas = 2: every cluster lives on both. Kill one
+        // and restart it EMPTY on the same port — the prober flips it
+        // healthy and the router replays the remembered register line,
+        // so the revived shard answers partition requests for a cluster
+        // it was never told about directly.
+        let (shards, router) = spawn_cluster(2);
+        let mut client = Client::connect(router.addr, Duration::from_secs(10)).unwrap();
+        let reg = client.register_inline("relearn", &demo_models()).unwrap();
+        let addr1 = shards[1].addr;
+        let mut iter = shards.into_iter();
+        let keep = iter.next().unwrap();
+        iter.next().unwrap().shutdown_and_join();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut raw = String::new();
+            client.request_line(r#"{"verb":"cluster_stats"}"#, &mut raw).unwrap();
+            let v = Json::parse(&raw).unwrap();
+            if v.get("healthy_shards").and_then(Json::as_u64) == Some(1) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "shard never marked down");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let revived = spawn_shard(ServerConfig { addr: addr1, ..ServerConfig::default() });
+        let Ok(revived) = revived else {
+            // The OS may refuse immediate rebinds; nothing to catch up.
+            router.shutdown_and_join();
+            keep.shutdown_and_join();
+            return;
+        };
+        // Ask the revived shard DIRECTLY: only the catch-up replay can
+        // hand it the model, and the replayed registration must produce
+        // the same fingerprint the original fan-out did.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let caught_up = Client::connect(revived.addr, Duration::from_secs(2))
+                .ok()
+                .and_then(|mut direct| {
+                    direct.partition("relearn", 250_000, AlgorithmId::Combined, None).ok()
+                });
+            if let Some(reply) = caught_up {
+                assert_eq!(reply.counts.iter().sum::<u64>(), 250_000);
+                assert_eq!(reply.fingerprint, reg.fingerprint);
+                break;
+            }
+            assert!(Instant::now() < deadline, "revived shard never caught up");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let stats = router.shutdown_and_join();
+        assert!(stats.get("catchup_replays").and_then(Json::as_u64).unwrap_or(0) >= 1);
         keep.shutdown_and_join();
         revived.shutdown_and_join();
     }

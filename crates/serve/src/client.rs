@@ -61,6 +61,12 @@ pub struct PartitionReply {
     pub fingerprint: String,
 }
 
+/// One inline model for [`Client::register_inline_mixed`]: `(machine
+/// name, knots, cost)`. The knots are `(size, speed)` pairs when `cost`
+/// is false (the `knots` wire field) and measured `(size, time)` pairs
+/// when it is true (the `cost_knots` wire field).
+pub type InlineModel = (String, Vec<(f64, f64)>, bool);
+
 /// A successful `register` reply.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RegisterReply {
@@ -268,20 +274,35 @@ impl Client {
         lift_ok(self.request_raw(line)?)
     }
 
-    /// Registers a cluster from inline `(name, knots)` models.
+    /// Registers a cluster from inline `(name, knots)` speed models.
     pub fn register_inline(
         &mut self,
         cluster: &str,
         models: &[(String, Vec<(f64, f64)>)],
     ) -> Result<RegisterReply, ProtoError> {
+        let mixed: Vec<InlineModel> =
+            models.iter().map(|(n, k)| (n.clone(), k.clone(), false)).collect();
+        self.register_inline_mixed(cluster, &mixed)
+    }
+
+    /// Registers a cluster from inline models, each carrying either
+    /// `(size, speed)` knots (`cost == false`, the `knots` wire field) or
+    /// measured `(size, time)` cost knots (`cost == true`, sent as the
+    /// `cost_knots` wire field). Speed and cost machines may be mixed
+    /// freely within one cluster.
+    pub fn register_inline_mixed(
+        &mut self,
+        cluster: &str,
+        models: &[InlineModel],
+    ) -> Result<RegisterReply, ProtoError> {
         let models_json = Json::Arr(
             models
                 .iter()
-                .map(|(name, knots)| {
+                .map(|(name, knots, cost)| {
                     Json::Obj(vec![
                         ("name".into(), Json::str(name.clone())),
                         (
-                            "knots".into(),
+                            if *cost { "cost_knots".into() } else { "knots".into() },
                             Json::Arr(
                                 knots
                                     .iter()

@@ -25,15 +25,15 @@ use std::sync::Arc;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
+use fpm_core::cost::CostFunction;
 use fpm_core::planner::AlgorithmId;
-use fpm_core::speed::SpeedFunction;
 use fpm_exec::pool::WorkerPool;
 
 use crate::cache::{CacheStatus, PlanCache, PlanKey, PlanResult};
 use crate::json::JsonNum;
 use crate::metrics::Metrics;
 use crate::protocol::ProtoError;
-use crate::registry::{RegisteredCluster, SharedSpeed};
+use crate::registry::{RegisteredCluster, SharedCost};
 
 /// A solved partition, as cached and sent over the wire.
 pub struct Plan {
@@ -121,8 +121,8 @@ pub struct PartitionOutcome {
 /// dispatch ([`AlgorithmId::solve`]); there is no per-daemon `match` over
 /// algorithms, and the erased call is bit-exact against direct
 /// `Partitioner` use.
-pub fn solve(algorithm: AlgorithmId, n: u64, funcs: &[SharedSpeed]) -> PlanResult {
-    let refs: Vec<&dyn SpeedFunction> = funcs.iter().map(|f| &**f as _).collect();
+pub fn solve(algorithm: AlgorithmId, n: u64, funcs: &[SharedCost]) -> PlanResult {
+    let refs: Vec<&dyn CostFunction> = funcs.iter().map(|f| &**f as _).collect();
     let report = algorithm
         .solve(n, &refs)
         .map_err(|e| ProtoError::new("solve_failed", e.to_string()))?;
@@ -143,10 +143,10 @@ pub fn solve(algorithm: AlgorithmId, n: u64, funcs: &[SharedSpeed]) -> PlanResul
 pub fn solve_warm(
     algorithm: AlgorithmId,
     n: u64,
-    funcs: &[SharedSpeed],
+    funcs: &[SharedCost],
     donor: &[u64],
 ) -> (PlanResult, bool) {
-    let refs: Vec<&dyn SpeedFunction> = funcs.iter().map(|f| &**f as _).collect();
+    let refs: Vec<&dyn CostFunction> = funcs.iter().map(|f| &**f as _).collect();
     match algorithm.resolve_from(donor, n, &refs) {
         Ok(report) => {
             let seeded = report.trace.warm_bracket;
@@ -306,7 +306,7 @@ impl Engine {
             let bits = u64::from_str_radix(fp, 16).ok()?;
             Some((bits, cluster.epoch.checked_sub(1)?))
         });
-        let funcs: Vec<SharedSpeed> = cluster.funcs.clone();
+        let funcs: Vec<SharedCost> = cluster.funcs.clone();
         let cache = Arc::clone(&self.cache);
         WorkerPool::global().execute(Box::new(move || {
             // Some(true) = donor seeded the bracket; Some(false) = donor
@@ -415,10 +415,12 @@ mod tests {
                 WireModel {
                     name: "A".into(),
                     knots: vec![(1e3, 200.0), (1e6, 180.0), (1e8, 0.0)],
+                    cost: false,
                 },
                 WireModel {
                     name: "B".into(),
                     knots: vec![(1e3, 100.0), (1e6, 90.0), (1e8, 0.0)],
+                    cost: false,
                 },
             ]),
         )
@@ -496,18 +498,18 @@ mod tests {
     #[test]
     fn plan_keys_never_collide_across_epochs() {
         use crate::protocol::ClusterRefView;
-        use fpm_core::speed::SpeedFunction;
         // Registry invariant: two epochs of the same model never share a
         // cache key, even though name and size are unchanged.
         let reg = Registry::new(4);
         let spec = ClusterSpec::Inline(vec![WireModel {
             name: "A".into(),
             knots: vec![(1e3, 200.0), (1e6, 180.0), (1e8, 0.0)],
+            cost: false,
         }]);
         let c0 = reg.register("c", &spec).unwrap();
         let k0 = Engine::plan_key(&c0, 123_456, AlgorithmId::Combined);
         let x = 5e5;
-        let slow = c0.models[0].speed(x) * 0.7;
+        let slow = x / c0.funcs[0].time(x) * 0.7;
         let elapsed = x / slow * 1e6;
         for _ in 0..2 {
             reg.report(ClusterRefView::Name("c"), 0, x, elapsed).unwrap();
@@ -523,19 +525,26 @@ mod tests {
     #[test]
     fn refined_cluster_is_solved_fresh_not_from_stale_cache() {
         use crate::protocol::ClusterRefView;
-        use fpm_core::speed::SpeedFunction;
         let engine = Arc::new(Engine::new(64, EngineConfig::default()));
         let metrics = Arc::new(Metrics::new());
         let reg = Registry::new(4);
         let spec = ClusterSpec::Inline(vec![
-            WireModel { name: "A".into(), knots: vec![(1e3, 200.0), (1e6, 180.0), (1e8, 0.0)] },
-            WireModel { name: "B".into(), knots: vec![(1e3, 100.0), (1e6, 90.0), (1e8, 0.0)] },
+            WireModel {
+                name: "A".into(),
+                knots: vec![(1e3, 200.0), (1e6, 180.0), (1e8, 0.0)],
+                cost: false,
+            },
+            WireModel {
+                name: "B".into(),
+                knots: vec![(1e3, 100.0), (1e6, 90.0), (1e8, 0.0)],
+                cost: false,
+            },
         ]);
         let c0 = reg.register("c", &spec).unwrap();
         let stale = engine.partition(&c0, 1_000_000, AlgorithmId::Combined, None, &metrics).unwrap();
         // Machine A slows to 60%: corroborate and refit.
         let x = stale.plan.counts[0] as f64;
-        let slow = c0.models[0].speed(x) * 0.6;
+        let slow = x / c0.funcs[0].time(x) * 0.6;
         for _ in 0..2 {
             reg.report(ClusterRefView::Name("c"), 0, x, x / slow * 1e6).unwrap();
         }

@@ -10,7 +10,7 @@
 //!
 //! | verb | request fields | response fields |
 //! |---|---|---|
-//! | `register` | `cluster`, and either `models` (inline piece-wise knots) or `testbed` (`{name, app, seed}` simnet reference) | `fingerprint`, `machines` |
+//! | `register` | `cluster`, and either `models` (inline piece-wise knots; per machine `knots` = `(size, speed)` pairs **or** `cost_knots` = `(size, time)` pairs for machines modelled directly in the time domain) or `testbed` (`{name, app, seed}` simnet reference) | `fingerprint`, `machines` |
 //! | `partition` | `cluster` *or* `fingerprint`, `n`, optional `algorithm` (default `combined`), optional `deadline_ms` | `counts`, `makespan`, `cached`, `algorithm`, `fingerprint` |
 //! | `partition_batch` | `cluster` *or* `fingerprint`, `ns` (array of sizes, ≤ [`MAX_BATCH`]), optional `algorithm`, optional `deadline_ms` (covers the whole batch) | `algorithm`, `fingerprint`, `results` — one array element per `ns` entry, each either the single-verb payload (`ok`, `counts`, `makespan`, `steps`, `cached`) or an element-level error (`ok: false`, `error`, `message`) |
 //! | `report` | `model` (alias `cluster`) *or* `fingerprint`, `machine` (model index), `x` (problem size processed), `elapsed_us` (measured wall time, µs) | `accepted`, `reason`, `epoch`, `machine`, `fingerprint` |
@@ -93,8 +93,14 @@ pub fn parse_algorithm(text: &str) -> Result<AlgorithmId, ProtoError> {
 pub struct WireModel {
     /// Machine name (diagnostics only).
     pub name: String,
-    /// `(size, speed)` knots of the piece-wise linear model.
+    /// Knots of the piece-wise linear model: `(size, speed)` when
+    /// [`cost`](Self::cost) is false, `(size, time)` when true.
     pub knots: Vec<(f64, f64)>,
+    /// True when the knots came from the `cost_knots` wire field: the
+    /// machine is described directly in the time domain (a
+    /// [`fpm_core::cost::PiecewiseLinearCost`]) instead of by a speed
+    /// function.
+    pub cost: bool,
 }
 
 /// The cluster payload of a `register` request.
@@ -341,9 +347,24 @@ fn parse_models(models: &JsonRef<'_>) -> Result<Vec<WireModel>, ProtoError> {
         if name.len() > 256 {
             return Err(ProtoError::new("bad_request", "machine name too long"));
         }
-        let knots_json = item
-            .get("knots")
-            .and_then(JsonRef::as_array)
+        let (knots_json, cost) = match (item.get("knots"), item.get("cost_knots")) {
+            (Some(k), None) => (k, false),
+            (None, Some(k)) => (k, true),
+            (Some(_), Some(_)) => {
+                return Err(ProtoError::new(
+                    "bad_request",
+                    "a model takes knots or cost_knots, not both",
+                ))
+            }
+            (None, None) => {
+                return Err(ProtoError::new(
+                    "bad_request",
+                    "each model needs a knots (or cost_knots) array",
+                ))
+            }
+        };
+        let knots_json = knots_json
+            .as_array()
             .ok_or_else(|| ProtoError::new("bad_request", "each model needs a knots array"))?;
         if knots_json.len() < 2 {
             return Err(ProtoError::new("invalid_model", "each model needs ≥ 2 knots"));
@@ -353,10 +374,12 @@ fn parse_models(models: &JsonRef<'_>) -> Result<Vec<WireModel>, ProtoError> {
         }
         let mut knots = Vec::with_capacity(knots_json.len());
         for k in knots_json {
-            let pair = k
-                .as_array()
-                .filter(|p| p.len() == 2)
-                .ok_or_else(|| ProtoError::new("bad_request", "knot must be [size, speed]"))?;
+            let pair = k.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                ProtoError::new(
+                    "bad_request",
+                    if cost { "knot must be [size, time]" } else { "knot must be [size, speed]" },
+                )
+            })?;
             let (x, s) = (pair[0].as_f64(), pair[1].as_f64());
             let (Some(x), Some(s)) = (x, s) else {
                 return Err(ProtoError::new("bad_request", "knot coordinates must be numbers"));
@@ -368,7 +391,7 @@ fn parse_models(models: &JsonRef<'_>) -> Result<Vec<WireModel>, ProtoError> {
             }
             knots.push((x, s));
         }
-        out.push(WireModel { name, knots });
+        out.push(WireModel { name, knots, cost });
     }
     Ok(out)
 }
@@ -603,7 +626,34 @@ mod tests {
         assert_eq!(models.len(), 2);
         assert_eq!(models[0].name, "X1");
         assert_eq!(models[0].knots[1], (1e6, 180.0));
+        assert!(!models[0].cost);
         assert_eq!(models[1].name, "m1");
+    }
+
+    #[test]
+    fn parses_cost_knot_register() {
+        let line = r#"{"verb":"register","cluster":"sorted","models":[
+            {"name":"S1","cost_knots":[[1000,0.5],[1e6,900]]},
+            {"knots":[[1000,100],[1e6,90]]}]}"#;
+        let env = parse_request(&line.replace('\n', " ")).unwrap();
+        let Request::Register { spec: ClusterSpec::Inline(models), .. } = env.request else {
+            panic!("wrong variant");
+        };
+        assert!(models[0].cost, "cost_knots marks the machine as a cost model");
+        assert_eq!(models[0].knots, [(1000.0, 0.5), (1e6, 900.0)]);
+        assert!(!models[1].cost, "speed machines mix freely in the same cluster");
+        // A machine cannot carry both spellings, or neither.
+        let (_, e) = parse_request(
+            r#"{"verb":"register","cluster":"c","models":[{"knots":[[1,1],[2,2]],"cost_knots":[[1,1],[2,2]]}]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, "bad_request");
+        assert!(e.message.contains("not both"), "{}", e.message);
+        let (_, e) = parse_request(
+            r#"{"verb":"register","cluster":"c","models":[{"name":"x"}]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, "bad_request");
     }
 
     #[test]

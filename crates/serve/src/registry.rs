@@ -1,19 +1,22 @@
-//! The model registry: named clusters of speed functions, shared across
-//! worker threads, addressable by name or by content fingerprint.
+//! The model registry: named clusters of per-machine performance models,
+//! shared across worker threads, addressable by name or by content
+//! fingerprint.
 //!
-//! Each registered cluster's models are wrapped in
-//! [`SharedCachedSpeed`] so repeated partitions of the same cluster reuse
-//! point evaluations across requests *and* threads, and the whole cluster
-//! is held behind `Arc` so lookups hand out cheap clones without holding
-//! the registry lock during solves.
+//! A machine is modelled either by a speed function (the paper's
+//! `(size, speed)` knots) or directly in the time domain (`cost_knots`,
+//! `(size, time)` pairs); both erase to [`SharedCost`] for the solver.
+//! Speed models are wrapped in [`SharedCachedSpeed`] so repeated
+//! partitions of the same cluster reuse point evaluations across requests
+//! *and* threads, and the whole cluster is held behind `Arc` so lookups
+//! hand out cheap clones without holding the registry lock during solves.
 
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
+use fpm_core::cost::{CostFunction, PiecewiseLinearCost};
 use fpm_core::speed::builder::BuilderConfig;
 use fpm_core::speed::{
     ModelRefiner, PiecewiseLinearSpeed, RefineConfig, RefineOutcome, SharedCachedSpeed,
-    SpeedFunction,
 };
 use fpm_exec::model_build::build_cluster_models;
 use fpm_simnet::fluctuation::Integration;
@@ -23,8 +26,51 @@ use fpm_simnet::testbeds;
 use crate::json::Json;
 use crate::protocol::{ClusterRef, ClusterRefView, ClusterSpec, ProtoError, WireModel};
 
-/// A thread-safe, evaluation-cached speed function.
-pub type SharedSpeed = Arc<dyn SpeedFunction + Send + Sync>;
+/// A thread-safe cost function: the erased form every registered machine
+/// is solved through. Speed machines enter as evaluation-cached
+/// [`SharedCachedSpeed`] wrappers (adapted through the blanket
+/// `SpeedFunction → CostFunction` impl, so their floating-point path is
+/// unchanged); cost machines enter as [`PiecewiseLinearCost`] directly.
+pub type SharedCost = Arc<dyn CostFunction + Send + Sync>;
+
+/// Former name of [`SharedCost`], kept for embedders.
+pub type SharedSpeed = SharedCost;
+
+/// The raw piece-wise model backing one registered machine: either a
+/// speed function (the paper's `(size, speed)` knots) or a direct
+/// time-domain cost model (`(size, time)` knots from the wire's
+/// `cost_knots`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineModel {
+    /// `(size, speed)` knots; refineable via the `report` verb.
+    Speed(PiecewiseLinearSpeed),
+    /// `(size, time)` knots; solved as-is, not refineable.
+    Cost(PiecewiseLinearCost),
+}
+
+impl MachineModel {
+    /// The knot list, whichever domain it lives in.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        match self {
+            MachineModel::Speed(m) => m.knots(),
+            MachineModel::Cost(m) => m.knots(),
+        }
+    }
+
+    /// True for time-domain (cost) machines.
+    pub fn is_cost(&self) -> bool {
+        matches!(self, MachineModel::Cost(_))
+    }
+
+    /// Domain tag folded into the cluster fingerprint, so a speed model
+    /// and a cost model with bit-identical knots never collide.
+    fn tag(&self) -> u64 {
+        match self {
+            MachineModel::Speed(_) => 0,
+            MachineModel::Cost(_) => 1,
+        }
+    }
+}
 
 /// One registered cluster. Each snapshot is immutable; an accepted
 /// `report` builds a *new* snapshot with the re-fitted model, a bumped
@@ -50,17 +96,28 @@ pub struct RegisteredCluster {
     pub prev_fingerprint: Option<String>,
     /// Machine names, in model order.
     pub machine_names: Vec<String>,
-    /// The speed functions, shared and evaluation-cached.
-    pub funcs: Vec<SharedSpeed>,
+    /// The cost functions the engine solves over (speed machines are
+    /// shared and evaluation-cached; cost machines are solved directly).
+    pub funcs: Vec<SharedCost>,
     /// The raw piece-wise models backing `funcs` — the refiner's input
-    /// (the evaluation-cache wrapper is opaque).
-    pub models: Vec<PiecewiseLinearSpeed>,
+    /// for speed machines (the evaluation-cache wrapper is opaque).
+    pub models: Vec<MachineModel>,
     /// Reports that produced a re-fit.
     pub refine_accepted: u64,
     /// Reports absorbed or discarded without a re-fit.
     pub refine_rejected: u64,
     /// Per-machine refiner state (pending corroboration queues).
     refiners: Vec<ModelRefiner>,
+}
+
+impl RegisteredCluster {
+    /// True when at least one machine is a time-domain cost model —
+    /// i.e. the cluster registered nonlinear per-machine costs. Drives
+    /// the context-sensitive algorithm suggestions in the server's
+    /// unknown-algorithm error.
+    pub fn has_cost_models(&self) -> bool {
+        self.models.iter().any(MachineModel::is_cost)
+    }
 }
 
 impl std::fmt::Debug for RegisteredCluster {
@@ -117,9 +174,16 @@ impl Registry {
     ) -> Result<Arc<RegisteredCluster>, ProtoError> {
         let (machine_names, models) = materialise(spec)?;
         let fingerprint = fingerprint_models(&models);
-        let funcs: Vec<SharedSpeed> = models
+        let funcs: Vec<SharedCost> = models
             .iter()
-            .map(|m| Arc::new(SharedCachedSpeed::new(m.clone())) as SharedSpeed)
+            .map(|m| match m {
+                MachineModel::Speed(m) => {
+                    Arc::new(SharedCachedSpeed::new(m.clone())) as SharedCost
+                }
+                // Cost evaluation is closed-form (no bisection per point),
+                // so no shared evaluation cache is needed.
+                MachineModel::Cost(m) => Arc::new(m.clone()) as SharedCost,
+            })
             .collect();
         let refiners = models.iter().map(|_| ModelRefiner::new(RefineConfig::default())).collect();
         let cluster = Arc::new(RegisteredCluster {
@@ -237,14 +301,25 @@ impl Registry {
         }
 
         let mut next = (*old).clone();
-        let outcome = next.refiners[machine].observe(&next.models[machine], x, s_obs);
+        let MachineModel::Speed(base) = next.models[machine].clone() else {
+            // Online refinement re-fits *speed* observations; a machine
+            // registered with cost_knots has no speed model to re-fit.
+            return Err(ProtoError::new(
+                "bad_request",
+                format!(
+                    "machine {:?} is a cost model; report refinement applies to speed machines only",
+                    old.machine_names[machine]
+                ),
+            ));
+        };
+        let outcome = next.refiners[machine].observe(&base, x, s_obs);
         let reason = outcome.reason();
         let accepted = outcome.accepted();
         if let RefineOutcome::Refined(model) = outcome {
             // Fresh evaluation cache: memoised points of the old model
             // must not leak into the refined one.
             next.funcs[machine] = Arc::new(SharedCachedSpeed::new(model.clone()));
-            next.models[machine] = model;
+            next.models[machine] = MachineModel::Speed(model);
             next.prev_fingerprint = Some(old.fingerprint.clone());
             next.fingerprint = fingerprint_models(&next.models);
             next.epoch += 1;
@@ -287,6 +362,10 @@ impl Registry {
                         ("fingerprint".into(), Json::str(c.fingerprint.clone())),
                         ("epoch".into(), Json::uint(c.epoch)),
                         ("machines".into(), Json::uint(c.machine_names.len() as u64)),
+                        (
+                            "cost_machines".into(),
+                            Json::uint(c.models.iter().filter(|m| m.is_cost()).count() as u64),
+                        ),
                         ("refine_accepted".into(), Json::uint(c.refine_accepted)),
                         ("refine_rejected".into(), Json::uint(c.refine_rejected)),
                     ])
@@ -307,15 +386,18 @@ impl Registry {
 }
 
 /// Turns a wire spec into concrete piece-wise models.
-fn materialise(
-    spec: &ClusterSpec,
-) -> Result<(Vec<String>, Vec<PiecewiseLinearSpeed>), ProtoError> {
+fn materialise(spec: &ClusterSpec) -> Result<(Vec<String>, Vec<MachineModel>), ProtoError> {
     match spec {
         ClusterSpec::Inline(wire) => {
             let mut names = Vec::with_capacity(wire.len());
             let mut models = Vec::with_capacity(wire.len());
-            for WireModel { name, knots } in wire {
-                let model = PiecewiseLinearSpeed::new(knots.clone()).map_err(|e| {
+            for WireModel { name, knots, cost } in wire {
+                let model = if *cost {
+                    PiecewiseLinearCost::new(knots.clone()).map(MachineModel::Cost)
+                } else {
+                    PiecewiseLinearSpeed::new(knots.clone()).map(MachineModel::Speed)
+                }
+                .map_err(|e| {
                     ProtoError::new("invalid_model", format!("machine {name:?}: {e}"))
                 })?;
                 names.push(name.clone());
@@ -354,16 +436,19 @@ fn materialise(
                 BuilderConfig::default(),
             )
             .map_err(|e| ProtoError::new("invalid_model", format!("testbed build failed: {e}")))?;
-            Ok((built.names, built.models))
+            Ok((built.names, built.models.into_iter().map(MachineModel::Speed).collect()))
         }
     }
 }
 
-/// Content fingerprint of a model set: FNV-1a 64 over machine count and
+/// Content fingerprint of a model set: FNV-1a 64 over machine count and,
+/// per machine, a domain tag (0 = speed knots, 1 = cost knots) followed by
 /// every knot's raw bits, rendered as 16 lowercase hex digits. Two
-/// clusters fingerprint equal iff their models are bit-identical, which is
-/// exactly the condition under which cached plans transfer.
-pub fn fingerprint_models(models: &[PiecewiseLinearSpeed]) -> String {
+/// clusters fingerprint equal iff their models are bit-identical *in the
+/// same domain*, which is exactly the condition under which cached plans
+/// transfer — the tag keeps a speed model and a cost model with identical
+/// knot bits from colliding.
+pub fn fingerprint_models(models: &[MachineModel]) -> String {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;
@@ -375,6 +460,7 @@ pub fn fingerprint_models(models: &[PiecewiseLinearSpeed]) -> String {
     };
     eat(models.len() as u64);
     for m in models {
+        eat(m.tag());
         let knots = m.knots();
         eat(knots.len() as u64);
         for &(x, s) in knots {
@@ -394,12 +480,36 @@ mod tests {
             WireModel {
                 name: "A".into(),
                 knots: vec![(1e3, 200.0 * scale), (1e6, 180.0 * scale), (1e8, 0.0)],
+                cost: false,
             },
             WireModel {
                 name: "B".into(),
                 knots: vec![(1e3, 100.0 * scale), (1e6, 90.0 * scale), (1e8, 0.0)],
+                cost: false,
             },
         ])
+    }
+
+    /// A mixed cluster: one speed machine, one time-domain cost machine.
+    fn mixed_spec() -> ClusterSpec {
+        ClusterSpec::Inline(vec![
+            WireModel {
+                name: "S".into(),
+                knots: vec![(1e3, 200.0), (1e6, 180.0), (1e8, 0.0)],
+                cost: false,
+            },
+            WireModel {
+                name: "C".into(),
+                knots: vec![(1e3, 100.0), (1e6, 5_000.0)],
+                cost: true,
+            },
+        ])
+    }
+
+    fn speed_at(m: &MachineModel, x: f64) -> f64 {
+        let MachineModel::Speed(m) = m else { panic!("expected a speed machine") };
+        use fpm_core::speed::SpeedFunction;
+        m.speed(x)
     }
 
     #[test]
@@ -475,12 +585,11 @@ mod tests {
 
     #[test]
     fn corroborated_report_refits_and_bumps_epoch() {
-        use fpm_core::speed::SpeedFunction;
         let reg = Registry::new(8);
         let c0 = reg.register("c", &inline_spec(1.0)).unwrap();
         assert_eq!(c0.epoch, 0);
         let x = 5e5;
-        let slow = c0.models[0].speed(x) * 0.7;
+        let slow = speed_at(&c0.models[0], x) * 0.7;
         let view = ClusterRefView::Name("c");
 
         let first = reg.report(view, 0, x, elapsed_us_for(x, slow)).unwrap();
@@ -504,7 +613,7 @@ mod tests {
         assert_eq!(now.prev_fingerprint.as_deref(), Some(c0.fingerprint.as_str()));
         assert!(c0.prev_fingerprint.is_none(), "fresh registrations have no predecessor");
         assert_eq!(now.fingerprint, second.fingerprint);
-        assert!((now.models[0].speed(x) - slow).abs() <= 1e-9 * slow);
+        assert!((speed_at(&now.models[0], x) - slow).abs() <= 1e-9 * slow);
         assert_eq!(now.refine_accepted, 1);
         assert_eq!(now.refine_rejected, 1, "the pending sample counts as rejected");
         assert!(reg.lookup(&ClusterRef::Fingerprint(c0.fingerprint.clone())).is_err());
@@ -513,11 +622,10 @@ mod tests {
 
     #[test]
     fn rejected_reports_never_bump_epoch() {
-        use fpm_core::speed::SpeedFunction;
         let reg = Registry::new(8);
         let c0 = reg.register("c", &inline_spec(1.0)).unwrap();
         let x = 5e5;
-        let in_band = c0.models[0].speed(x) * 1.02;
+        let in_band = speed_at(&c0.models[0], x) * 1.02;
         let out = reg.report(ClusterRefView::Name("c"), 0, x, elapsed_us_for(x, in_band)).unwrap();
         assert!(!out.accepted);
         assert_eq!(out.reason, "in_band");
@@ -564,8 +672,65 @@ mod tests {
         let bad_model = ClusterSpec::Inline(vec![WireModel {
             name: "Z".into(),
             knots: vec![(1e6, 10.0), (1e3, 20.0)],
+            cost: false,
         }]);
         assert_eq!(reg.register("x", &bad_model).unwrap_err().code, "invalid_model");
+        // Cost knots must be strictly increasing in time: a decreasing
+        // time column is rejected at materialisation.
+        let bad_cost = ClusterSpec::Inline(vec![WireModel {
+            name: "Z".into(),
+            knots: vec![(1e3, 50.0), (1e6, 10.0)],
+            cost: true,
+        }]);
+        assert_eq!(reg.register("x", &bad_cost).unwrap_err().code, "invalid_model");
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn cost_machines_register_solve_and_fingerprint_by_domain() {
+        let reg = Registry::new(8);
+        let c = reg.register("mix", &mixed_spec()).unwrap();
+        assert!(c.has_cost_models());
+        assert_eq!(c.machine_names, ["S", "C"]);
+        // The erased funcs are solvable directly in the time domain.
+        let t = c.funcs[1].time(1e6);
+        assert!((t - 5_000.0).abs() < 1e-9, "cost machine evaluates its own knots: {t}");
+        // Same knot bits, different domain → different fingerprint.
+        let as_speed = ClusterSpec::Inline(vec![
+            WireModel {
+                name: "S".into(),
+                knots: vec![(1e3, 200.0), (1e6, 180.0), (1e8, 0.0)],
+                cost: false,
+            },
+            WireModel {
+                name: "C".into(),
+                knots: vec![(1e3, 100.0), (1e6, 5_000.0)],
+                cost: false,
+            },
+        ]);
+        let d = reg.register("allspeed", &as_speed).unwrap();
+        assert!(!d.has_cost_models());
+        assert_ne!(c.fingerprint, d.fingerprint, "domain tag must split the fingerprints");
+        // clusters_json reports the cost-machine count.
+        let Json::Arr(items) = reg.clusters_json() else { panic!("expected array") };
+        let mix = items.iter().find(|i| i.get("name").and_then(Json::as_str) == Some("mix"));
+        assert_eq!(mix.unwrap().get("cost_machines").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn reports_on_cost_machines_are_rejected() {
+        let reg = Registry::new(8);
+        let c0 = reg.register("mix", &mixed_spec()).unwrap();
+        // Machine 0 is a speed machine: reports flow normally.
+        let ok = reg.report(ClusterRefView::Name("mix"), 0, 5e5, 1e6).unwrap();
+        assert!(!ok.accepted, "first drift sample is pending, not refined");
+        // Machine 1 is a cost machine: refinement has no speed model to fit.
+        let err = reg.report(ClusterRefView::Name("mix"), 1, 5e5, 1e6).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        assert!(err.message.contains("cost model"), "{}", err.message);
+        // The failed report moved nothing.
+        let now = reg.lookup(&ClusterRef::Name("mix".into())).unwrap();
+        assert_eq!(now.epoch, 0);
+        assert_eq!(now.fingerprint, c0.fingerprint);
     }
 }

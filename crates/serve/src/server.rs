@@ -68,8 +68,8 @@ use crate::engine::{Admission, Engine, EngineConfig, Plan};
 use crate::json::{Json, JsonRef, JsonStr};
 use crate::metrics::Metrics;
 use crate::protocol::{
-    parse_id_ref, parse_partition_batch_ref, parse_partition_ref, request_from_value, ClusterRef,
-    ClusterRefView, ProtoError, Request, MAX_FRAME_BYTES,
+    parse_id_ref, parse_partition_batch_ref, parse_partition_ref, parse_target_ref,
+    request_from_value, ClusterRef, ClusterRefView, ProtoError, Request, MAX_FRAME_BYTES,
 };
 use crate::registry::{RegisteredCluster, Registry};
 use fpm_core::planner::AlgorithmId;
@@ -841,6 +841,7 @@ impl EventLoop {
             Ok(v) => v,
             Err(e) => {
                 m.inc(&m.errors);
+                let e = self.contextualise_algorithm_error(value, e);
                 conn.with_out(|out| render_err(out, disp, &e));
                 return;
             }
@@ -911,6 +912,7 @@ impl EventLoop {
             Ok(v) => v,
             Err(e) => {
                 m.inc(&m.errors);
+                let e = self.contextualise_algorithm_error(value, e);
                 conn.with_out(|out| render_err(out, disp, &e));
                 return;
             }
@@ -981,6 +983,44 @@ impl EventLoop {
             let addr = ReplyAddr { conn: conn_id, seq, elem: i };
             self.submit_solve(admission, addr, &cluster, view.ns[i], view.algorithm);
         }
+    }
+
+    /// Rewrites a parse failure for an unrecognised `algorithm` so the
+    /// suggestion list matches what the referenced cluster can actually
+    /// use: the nonlinear cost-model entries (`sort-sample`, `query`) are
+    /// listed only when the request's cluster registered cost knots. A
+    /// request whose cluster cannot be resolved keeps the full generic
+    /// list from the planner.
+    fn contextualise_algorithm_error(&self, value: &JsonRef<'_>, e: ProtoError) -> ProtoError {
+        // The planner's parse error arrives wrapped (e.g. "invalid
+        // parameter: unknown algorithm: …"), so match anywhere in the text.
+        if e.code != "bad_request" || !e.message.contains("unknown algorithm") {
+            return e;
+        }
+        let Some(cluster) = parse_target_ref(value)
+            .ok()
+            .and_then(|t| self.shared.registry.lookup_ref(t).ok())
+        else {
+            return e;
+        };
+        let nonlinear = cluster.has_cost_models();
+        let mut names = String::new();
+        for info in fpm_core::planner::registry() {
+            if info.cost.nonlinear() && !nonlinear {
+                continue;
+            }
+            if !names.is_empty() {
+                names.push('|');
+            }
+            names.push_str(if info.name == "single" { "single@SIZE" } else { info.name });
+        }
+        ProtoError::new(
+            "bad_request",
+            format!(
+                "unknown algorithm: expected one of {names} (or an alias; run `fpm algorithms` \
+                 for the catalog)"
+            ),
+        )
     }
 
     fn submit_solve(

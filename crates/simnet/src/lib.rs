@@ -21,6 +21,8 @@
 //! * [`profile`] — application profiles (ArrayOpsF, MatrixMultATLAS, naive
 //!   MatrixMult, LU factorisation) controlling the curve shape;
 //! * [`speed_model`] — machine × profile ⇒ [`fpm_core::SpeedFunction`];
+//! * [`scenarios`] — seeded random testbeds plus the sorting scenario's
+//!   measured `x·log x` cost models;
 //! * [`fluctuation`] — stochastic workload bands and noisy measurement
 //!   oracles;
 //! * [`workload`] — problem-size conversions (matrix dimension ↔ element

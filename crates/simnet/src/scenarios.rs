@@ -73,6 +73,45 @@ pub fn random_cluster(cfg: ScenarioConfig, app: AppProfile) -> Vec<MachineSpeed>
     random_testbed(cfg).iter().map(|m| MachineSpeed::for_app(m, app)).collect()
 }
 
+/// The sorting scenario: measured **cost models** for a sort-shaped
+/// workload on a generated network.
+///
+/// A comparison sort does `Θ(x·log x)` work on `x` elements, so each
+/// machine's cost is *measured in the time domain* rather than derived
+/// from a speed function: `t(x) = x·log₂(max(x, 2)) / s(x)`, sampled on a
+/// geometric grid across the machine's modelled interval (through the
+/// cache knee and into paging, where `s` falls and `t` steepens). The
+/// returned `(name, [(x, t), …])` pairs are exactly the `cost_knots`
+/// shape the serve daemon registers and `fpm-core`'s
+/// `PiecewiseLinearCost` loads — strictly increasing in both
+/// coordinates because the underlying speeds are admissible.
+pub fn sort_cost_models(cfg: ScenarioConfig, samples: usize) -> Vec<(String, Vec<(f64, f64)>)> {
+    use fpm_core::speed::SpeedFunction;
+    assert!(samples >= 2, "a cost model needs at least two knots");
+    // Streaming comparisons behave like the paper's ArrayOpsF profile:
+    // memory-hierarchy friendly until the working set spills.
+    random_cluster(cfg, AppProfile::ArrayOpsF)
+        .iter()
+        .map(|m| {
+            let (lo, hi) = m.model_interval();
+            let lo = lo.max(2.0);
+            let ratio = (hi / lo).powf(1.0 / (samples - 1) as f64);
+            let mut knots: Vec<(f64, f64)> = Vec::with_capacity(samples);
+            for k in 0..samples {
+                let x = lo * ratio.powi(k as i32);
+                let t = x * x.max(2.0).log2() / m.speed(x);
+                // Floating-point guard: drop a sample that fails to
+                // advance both coordinates instead of emitting an
+                // inadmissible knot.
+                if knots.last().map_or(true, |&(px, pt)| x > px && t > pt) {
+                    knots.push((x, t));
+                }
+            }
+            (m.name().to_owned(), knots)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +157,39 @@ mod tests {
                 assert!(m.speed(1e6) > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn sort_cost_models_are_admissible_and_solvable() {
+        use fpm_core::cost::{CostFunction, PiecewiseLinearCost};
+        use fpm_core::partition::oracle;
+        let models = sort_cost_models(
+            ScenarioConfig { machines: 10, seed: 42, ..ScenarioConfig::default() },
+            24,
+        );
+        assert_eq!(models.len(), 10);
+        let costs: Vec<PiecewiseLinearCost> = models
+            .iter()
+            .map(|(name, knots)| {
+                assert!(knots.len() >= 2, "{name}: degenerate model");
+                for w in knots.windows(2) {
+                    assert!(w[1].0 > w[0].0 && w[1].1 > w[0].1, "{name}: {w:?}");
+                }
+                PiecewiseLinearCost::new(knots.clone()).unwrap_or_else(|e| panic!("{name}: {e}"))
+            })
+            .collect();
+        // Paging makes time superlinear: cost per element grows.
+        for (model, (name, _)) in costs.iter().zip(&models) {
+            let (lo, hi) = (model.knots()[0].0, model.knots()[model.len() - 1].0);
+            assert!(
+                model.time(hi) / hi > model.time(lo) / lo,
+                "{name}: paging never steepened the cost"
+            );
+        }
+        // The measured cluster solves in the cost domain end to end.
+        let n = 50_000_000u64;
+        let report = oracle::solve(n, &costs).expect("cost-domain oracle");
+        assert_eq!(report.distribution.total(), n);
     }
 
     #[test]

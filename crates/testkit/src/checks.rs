@@ -4,6 +4,7 @@
 //! engine, ad-hoc tests) can aggregate diagnostics instead of aborting on
 //! the first violation.
 
+use fpm_core::cost::CostFunction;
 use fpm_core::partition::{oracle, Distribution};
 use fpm_core::planner::{erase, AlgorithmId};
 use fpm_core::speed::{
@@ -56,7 +57,12 @@ pub fn check_makespan_gap(
 
 /// No single-element move may improve the makespan beyond `tolerance`
 /// (the verifiable counterpart of the paper's §2 uniqueness argument).
-pub fn check_exchange_optimal<F: SpeedFunction>(
+///
+/// Generic over [`CostFunction`] so the check runs in whatever time
+/// domain the caller's models live in: pass the raw speed models for
+/// the linear entries, or the sort/query cost transforms for the
+/// nonlinear ones — optimality is judged on *time*, not speed.
+pub fn check_exchange_optimal<F: CostFunction>(
     distribution: &Distribution,
     funcs: &[F],
     tolerance: f64,

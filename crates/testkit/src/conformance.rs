@@ -10,6 +10,13 @@
 //!   *two-sided*: an algorithm beating the oracle means the oracle is
 //!   suboptimal, which the harness must surface just as loudly;
 //! * **exchange-optimality** — no single-element move improves the result;
+//! * **cost-domain oracles** — every check is evaluated in the *time
+//!   domain the entry solves*: linear entries against the plain oracle,
+//!   the sort- and query-shaped entries against the oracle run over the
+//!   same cluster wrapped in their cost transform
+//!   ([`fpm_core::cost::SortCost`] / [`fpm_core::cost::QueryCost`]).
+//!   Conservation is domain-free; the makespan gap and exchange
+//!   optimality are judged on time, not speed;
 //! * **iteration bounds** — traces stay within the paper's complexity
 //!   envelopes (`O(log n)` bisection steps for the slope searches,
 //!   `4·p·log₂(n+2)+64` for the solution-space search);
@@ -20,8 +27,13 @@
 //! model the paper argues *against*, so it must conserve elements and must
 //! not beat the oracle, but is allowed (expected!) to be slower.
 
-use fpm_core::partition::{oracle, BisectionPartitioner, ModifiedPartitioner, Partitioner};
-use fpm_core::planner::{erase, registry, TraceBound};
+use fpm_core::cost::{CostFunction, QueryCost, SortCost};
+use fpm_core::partition::{
+    oracle, BisectionPartitioner, ModifiedPartitioner, PartitionReport, Partitioner,
+    DEFAULT_QUERY_GAMMA,
+};
+use fpm_core::planner::{erase, registry, AlgorithmInfo, CostClass, TraceBound};
+use fpm_core::speed::SpeedFunction;
 
 use crate::checks::{
     check_conservation, check_exchange_optimal, check_iteration_bound, check_makespan_gap,
@@ -137,6 +149,19 @@ pub fn env_cases(default: usize) -> usize {
     }
 }
 
+/// Reads `FPM_TESTKIT_COST_CASES` (decimal), falling back to `default`.
+///
+/// The nonlinear-entry conformance sweep's own exhaustive-mode knob:
+/// independent of `FPM_TESTKIT_CASES` so CI's scheduled job can scale
+/// sort/query cost-domain coverage without inflating the full
+/// differential sweep.
+pub fn env_cost_cases(default: usize) -> usize {
+    match std::env::var("FPM_TESTKIT_COST_CASES") {
+        Ok(v) => v.trim().parse().unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
 /// Reads `FPM_TESTKIT_DRIFT_CASES` (decimal), falling back to `default`.
 ///
 /// The drift-convergence sweep's own exhaustive-mode knob: independent of
@@ -183,7 +208,66 @@ const SLOPE_SEARCH_BOUND: BoundClass = BoundClass::LogN { base: 96, factor: 16 }
 /// [`TraceBound`] — the matching iteration-bound envelope); baseline
 /// entries get the relaxed baseline checks. A partitioner added to the
 /// registry is therefore conformance-checked with zero testkit changes.
+///
+/// Every oracle comparison happens in the entry's **own cost domain**
+/// ([`fpm_core::planner::CostClass`]): the sort- and query-shaped
+/// entries report makespans in transformed time (`x·log₂ x`, `x^(1+γ)`
+/// work), so they are checked against the oracle run over the same
+/// cluster wrapped in the matching cost transform, not against the
+/// linear optimum.
 pub fn check_case(case: &CaseSpec, tol: &Tolerances) -> Vec<CaseFailure> {
+    check_entries(case, tol, &|_| true)
+}
+
+/// Runs only the nonlinear (cost-model) registry entries — sort-sample,
+/// query — on one generated case, with the same cost-domain checks
+/// [`check_case`] applies to them. This is the unit of the dedicated
+/// nonlinear sweep ([`run_cost_conformance`]), which CI scales
+/// independently of the full differential sweep.
+pub fn check_cost_case(case: &CaseSpec, tol: &Tolerances) -> Vec<CaseFailure> {
+    check_entries(case, tol, &|info| info.cost.nonlinear())
+}
+
+/// Solves the entry's cost-domain oracle and applies the time-domain
+/// checks (makespan gap, exchange optimality) to `report` against it.
+fn cost_domain_checks<F: CostFunction>(
+    entry: &'static str,
+    report: &PartitionReport,
+    n: u64,
+    funcs: &[F],
+    tol: &Tolerances,
+    fail: &dyn Fn(&'static str, String) -> CaseFailure,
+    failures: &mut Vec<CaseFailure>,
+) {
+    let reference = match oracle::solve(n, funcs) {
+        Ok(r) => r,
+        Err(e) => {
+            // The linear oracle accepted the cluster (the caller checked),
+            // so a transformed-domain rejection is an inconsistency, not a
+            // legitimately infeasible case: the transforms preserve
+            // capacity (`max_size` passes through unchanged).
+            failures.push(fail(
+                entry,
+                format!("returned Ok but the cost-domain oracle rejected the case: {e}"),
+            ));
+            return;
+        }
+    };
+    if let Err(m) = check_makespan_gap(report.makespan, reference.makespan, tol.makespan_rel) {
+        failures.push(fail(entry, m));
+    }
+    if let Err(m) = check_exchange_optimal(&report.distribution, funcs, tol.exchange) {
+        failures.push(fail(entry, m));
+    }
+}
+
+/// Shared body of [`check_case`] / [`check_cost_case`]: runs the registry
+/// entries `select` admits, each checked in its own cost domain.
+fn check_entries(
+    case: &CaseSpec,
+    tol: &Tolerances,
+    select: &dyn Fn(&AlgorithmInfo) -> bool,
+) -> Vec<CaseFailure> {
     let mut failures = Vec::new();
     let n = case.n;
     let p = case.funcs.len();
@@ -200,9 +284,12 @@ pub fn check_case(case: &CaseSpec, tol: &Tolerances) -> Vec<CaseFailure> {
         Err(oracle_err) => {
             // The oracle rejected the cluster; every production algorithm
             // must reject it too (consistently clean errors, never a bogus
-            // success). Baselines are exempt: they are checked only for
-            // well-formedness, which needs an oracle optimum to compare to.
-            for info in registry().iter().filter(|i| !i.baseline) {
+            // success). The rejection reasons are capacity-shaped and the
+            // cost transforms preserve capacity, so the linear verdict
+            // governs the nonlinear entries too. Baselines are exempt:
+            // they are checked only for well-formedness, which needs an
+            // oracle optimum to compare to.
+            for info in registry().iter().filter(|i| !i.baseline && select(i)) {
                 if info.id_with(1.0).solve(n, &refs).is_ok() {
                     failures.push(fail(
                         info.name,
@@ -214,8 +301,19 @@ pub fn check_case(case: &CaseSpec, tol: &Tolerances) -> Vec<CaseFailure> {
         }
     };
 
-    // Production algorithms: full conformance against the oracle.
-    for info in registry().iter().filter(|i| !i.baseline) {
+    // The nonlinear entries' clusters: the same machines wrapped in the
+    // cost transform each entry solves (borrow wrappers — no copies).
+    let sort_funcs: Vec<SortCost<'_, dyn SpeedFunction>> =
+        case.funcs.iter().map(|f| SortCost::new(f.as_ref())).collect();
+    let query_funcs: Vec<QueryCost<'_, dyn SpeedFunction>> = case
+        .funcs
+        .iter()
+        .map(|f| QueryCost::new(f.as_ref(), DEFAULT_QUERY_GAMMA))
+        .collect();
+
+    // Production algorithms: full conformance against the oracle in the
+    // entry's cost domain.
+    for info in registry().iter().filter(|i| !i.baseline && select(i)) {
         let bound = match info.bound {
             Some(TraceBound::SlopeSearch) => Some(SLOPE_SEARCH_BOUND),
             Some(TraceBound::SolutionSpace) => Some(BoundClass::PLogN),
@@ -231,12 +329,25 @@ pub fn check_case(case: &CaseSpec, tol: &Tolerances) -> Vec<CaseFailure> {
         if let Err(m) = check_conservation(&report.distribution, n) {
             failures.push(fail(info.name, m));
         }
-        if let Err(m) = check_makespan_gap(report.makespan, reference.makespan, tol.makespan_rel)
-        {
-            failures.push(fail(info.name, m));
-        }
-        if let Err(m) = check_exchange_optimal(&report.distribution, &case.funcs, tol.exchange) {
-            failures.push(fail(info.name, m));
+        match info.cost {
+            CostClass::Linear => {
+                if let Err(m) =
+                    check_makespan_gap(report.makespan, reference.makespan, tol.makespan_rel)
+                {
+                    failures.push(fail(info.name, m));
+                }
+                if let Err(m) =
+                    check_exchange_optimal(&report.distribution, &case.funcs, tol.exchange)
+                {
+                    failures.push(fail(info.name, m));
+                }
+            }
+            CostClass::SortNLogN => {
+                cost_domain_checks(info.name, &report, n, &sort_funcs, tol, &fail, &mut failures);
+            }
+            CostClass::Superlinear => {
+                cost_domain_checks(info.name, &report, n, &query_funcs, tol, &fail, &mut failures);
+            }
         }
         if let Some(class) = bound {
             if let Err(m) = check_iteration_bound(&report.trace, n, p, class) {
@@ -250,7 +361,7 @@ pub fn check_case(case: &CaseSpec, tol: &Tolerances) -> Vec<CaseFailure> {
     // well-formed (conservation, no beating the oracle) but are expected
     // to be slower on heterogeneous functional clusters.
     let reference_size = (n as f64 / p as f64).max(1.0);
-    for info in registry().iter().filter(|i| i.baseline) {
+    for info in registry().iter().filter(|i| i.baseline && select(i)) {
         match info.id_with(reference_size).solve(n, &refs) {
             Ok(report) => {
                 if let Err(m) = check_conservation(&report.distribution, n) {
@@ -388,6 +499,21 @@ pub fn run_conformance(config: &ConformanceConfig) -> ConformanceReport {
     report
 }
 
+/// Runs the nonlinear-entry conformance sweep: `cases` seeded clusters,
+/// the sort- and query-shaped registry entries checked against their
+/// cost-domain oracles on each ([`check_cost_case`]).
+pub fn run_cost_conformance(config: &ConformanceConfig) -> ConformanceReport {
+    let cases = if config.cases == 0 { 150 } else { config.cases };
+    let mut report = ConformanceReport::default();
+    for i in 0..cases {
+        let seed = config.base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let case = CaseSpec::from_seed(seed, &config.gen);
+        report.failures.extend(check_cost_case(&case, &config.tol));
+        report.cases_run += 1;
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,9 +548,43 @@ mod tests {
     }
 
     #[test]
+    fn small_cost_sweep_is_clean() {
+        let report = run_cost_conformance(&ConformanceConfig {
+            cases: 25,
+            base_seed: 0x0C05_7001,
+            ..ConformanceConfig::default()
+        });
+        assert_eq!(report.cases_run, 25);
+        report.assert_ok();
+    }
+
+    #[test]
+    fn cost_case_checks_only_nonlinear_entries() {
+        // Failures from the cost-only path can only name nonlinear
+        // entries; the linear entries (and baselines) are out of scope.
+        let nonlinear: Vec<&str> = registry()
+            .iter()
+            .filter(|i| i.cost.nonlinear())
+            .map(|i| i.name)
+            .collect();
+        assert_eq!(nonlinear, ["sort-sample", "query"]);
+        let case = CaseSpec::from_seed(0xC057_CA5E, &GenConfig::default());
+        let failures = check_cost_case(&case, &Tolerances::default());
+        assert!(failures.is_empty(), "{failures:?}");
+        // A nonsensical tolerance flags every checked entry, proving the
+        // filter actually ran both nonlinear entries and nothing else.
+        let strict = check_cost_case(&case, &Tolerances { makespan_rel: -1.0, exchange: 5e-3 });
+        assert!(!strict.is_empty());
+        for f in &strict {
+            assert!(nonlinear.contains(&f.algorithm), "unexpected entry {}", f.algorithm);
+        }
+    }
+
+    #[test]
     fn env_parsers_fall_back() {
         // The variables are unset in unit tests.
         assert_eq!(env_cases(123), 123);
+        assert_eq!(env_cost_cases(77), 77);
         assert_eq!(env_base_seed(0xAB), 0xAB);
     }
 

@@ -12,7 +12,8 @@ use fpm_core::speed::{check_single_intersection, AnalyticSpeed, SpeedFunction, W
 use fpm_exec::pool::WorkerPool;
 use fpm_simnet::{FluctuatingMeasurer, Integration};
 use fpm_testkit::conformance::{
-    env_base_seed, env_cases, run_conformance, ConformanceConfig,
+    env_base_seed, env_cases, env_cost_cases, run_conformance, run_cost_conformance,
+    ConformanceConfig,
 };
 use fpm_testkit::fault::{assert_no_panic, FaultKind, FaultyMeasurer};
 
@@ -29,6 +30,23 @@ fn conformance_sweep_all_partitioners_match_oracle() {
     };
     let report = run_conformance(&config);
     eprintln!("conformance: {}", report.summary());
+    assert!(report.cases_run >= config.cases);
+    report.assert_ok();
+}
+
+/// Dedicated nonlinear-entry sweep: the sort- and query-shaped registry
+/// entries against their cost-domain oracles (makespan gap and exchange
+/// optimality on transformed *time*, not speed). Scaled independently of
+/// the full sweep with `FPM_TESTKIT_COST_CASES` (see TESTING.md).
+#[test]
+fn cost_conformance_sweep_nonlinear_entries_match_cost_oracles() {
+    let config = ConformanceConfig {
+        cases: env_cost_cases(150),
+        base_seed: env_base_seed(0xD1FF_CA5E_0000_0002),
+        ..ConformanceConfig::default()
+    };
+    let report = run_cost_conformance(&config);
+    eprintln!("cost conformance: {}", report.summary());
     assert!(report.cases_run >= config.cases);
     report.assert_ok();
 }

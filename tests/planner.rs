@@ -1,11 +1,16 @@
 //! Tier-1 differential test of the planner registry's erased dispatch.
 //!
 //! The contract under test: for every algorithm in
-//! [`fpm_core::planner::registry`], solving through the erased path
-//! ([`AlgorithmId::solve`] over `&dyn SpeedFunction`) is **bit-identical**
-//! to calling the concrete `Partitioner` directly — same counts, same
-//! makespan to the last bit, same trace length, same error outcomes — over
-//! at least 100 seeded testkit clusters.
+//! [`fpm_core::planner::registry`], solving through the erased
+//! cost-model path ([`AlgorithmId::solve`] over `&dyn CostFunction`,
+//! where every speed model enters through the blanket
+//! `SpeedFunction → CostFunction` adapter) is **bit-identical** to
+//! calling the concrete `Partitioner` directly on the typed speed
+//! functions — same counts, same makespan to the last bit, same trace
+//! length, same error outcomes — over at least 100 seeded testkit
+//! clusters. This pins the legacy speed path against the cost-function
+//! adapter path: the generalisation to cost models must not move a
+//! single plan by one bit, for the linear *and* the nonlinear entries.
 //!
 //! The direct side is an explicit `(id, concrete call)` pairing table, not
 //! a dispatch block: the pairing itself is part of what the test pins
@@ -16,7 +21,7 @@
 //! acceptance floor); seeds derive from `FPM_TESTKIT_SEED`.
 
 use fpm::prelude::*;
-use fpm_core::partition::SecantPartitioner;
+use fpm_core::partition::{QueryPartitioner, SecantPartitioner, SortSamplePartitioner};
 use fpm_core::planner::{erase, registry, AlgorithmId};
 use fpm_testkit::conformance::{env_base_seed, env_cases};
 use fpm_testkit::{CaseSpec, GenConfig};
@@ -54,6 +59,14 @@ fn direct_calls() -> Vec<(AlgorithmId, DirectCall)> {
             Box::new(|n, f: &Funcs| {
                 fpm_core::partition::ContiguousPartitioner.partition(n, f)
             }),
+        ),
+        (
+            AlgorithmId::SortSample,
+            Box::new(|n, f: &Funcs| SortSamplePartitioner::new().partition(n, f)),
+        ),
+        (
+            AlgorithmId::Query,
+            Box::new(|n, f: &Funcs| QueryPartitioner::new().partition(n, f)),
         ),
         (
             AlgorithmId::SingleAt(5e5),

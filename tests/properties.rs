@@ -158,7 +158,7 @@ proptest! {
         prop_assert!(contiguous.makespan >= t_free - 1e-6);
         let slack: f64 = funcs
             .iter()
-            .map(|f| f.time(2.0))
+            .map(|f| SpeedFunction::time(f, 2.0))
             .fold(0.0, f64::max);
         prop_assert!(
             contiguous.makespan <= t_free + slack + t_free * 0.05,

@@ -32,6 +32,8 @@ const ALGORITHMS: &[AlgorithmId] = &[
     AlgorithmId::Secant,
     AlgorithmId::Bounded,
     AlgorithmId::Contiguous,
+    AlgorithmId::SortSample,
+    AlgorithmId::Query,
     AlgorithmId::SingleAt(5e5),
 ];
 

@@ -15,11 +15,13 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use fpm_core::cost::PiecewiseLinearCost;
+use fpm_core::speed::PiecewiseLinearSpeed;
 use fpm_serve::client::Client;
 use fpm_serve::engine::solve;
 use fpm_serve::json::Json;
 use fpm_serve::AlgorithmId;
-use fpm_serve::registry::SharedSpeed;
+use fpm_serve::registry::{SharedCost, SharedSpeed};
 use fpm_serve::server::{spawn, ServerConfig};
 use fpm_testkit::conformance::{env_base_seed, env_cases};
 use fpm_testkit::{GenConfig, WireCluster};
@@ -224,5 +226,152 @@ fn testbed_registration_matches_local_build() {
         .map(|c| c.as_u64().expect("count"))
         .collect();
     assert_eq!(counts, via_name.counts);
+    handle.shutdown_and_join();
+}
+
+/// The nonlinear registry entries end-to-end through the wire protocol:
+/// clusters mixing `(size, speed)` and inline `(size, time)` cost-knot
+/// machines are registered over JSON, partitioned with the sort- and
+/// query-shaped algorithms, and every plan must be **bit-identical** to a
+/// local solve over the same models (shortest-round-trip decimal makes
+/// both sides reconstruct the same knots to the last bit).
+#[test]
+fn cost_knot_clusters_and_nonlinear_algorithms_match_local_solves() {
+    let cases = (env_cases(100) / 4).max(8);
+    let base = env_base_seed(0xC057_BA5E ^ 0xD00D);
+    let cfg = GenConfig::default();
+
+    let handle = spawn(ServerConfig::default()).expect("spawn server");
+    let mut client = Client::connect(handle.addr, Duration::from_secs(60)).expect("connect");
+
+    let algorithms =
+        [AlgorithmId::SortSample, AlgorithmId::Query, AlgorithmId::Combined];
+    for i in 0..cases {
+        let seed = base.wrapping_add(i as u64);
+        let wire = WireCluster::from_seed(seed, &cfg);
+        // Every other machine is re-expressed as measured (size, time)
+        // knots: admissible speed knots have strictly increasing x/s, so
+        // the converted model is a valid monotone cost model.
+        let mixed: Vec<fpm_serve::client::InlineModel> = wire
+            .models
+            .iter()
+            .enumerate()
+            .map(|(j, (name, knots))| {
+                if j % 2 == 0 {
+                    let cost_knots = knots.iter().map(|&(x, s)| (x, x / s)).collect();
+                    (name.clone(), cost_knots, true)
+                } else {
+                    (name.clone(), knots.clone(), false)
+                }
+            })
+            .collect();
+        let name = format!("cost-{seed:x}");
+        let reg = client
+            .register_inline_mixed(&name, &mixed)
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: register failed: {e}"));
+        assert_eq!(reg.machines.len(), mixed.len(), "seed {seed:#x}");
+
+        // Local twin of the server's materialisation.
+        let local_funcs: Vec<SharedCost> = mixed
+            .iter()
+            .map(|(mname, knots, cost)| {
+                if *cost {
+                    Arc::new(
+                        PiecewiseLinearCost::new(knots.clone())
+                            .unwrap_or_else(|e| panic!("{mname}: {e:?}")),
+                    ) as SharedCost
+                } else {
+                    Arc::new(
+                        PiecewiseLinearSpeed::new(knots.clone())
+                            .unwrap_or_else(|e| panic!("{mname}: {e:?}")),
+                    ) as SharedCost
+                }
+            })
+            .collect();
+
+        let algorithm = algorithms[i % algorithms.len()];
+        let local = solve(algorithm, wire.n, &local_funcs);
+        let remote = client.partition(&name, wire.n, algorithm, Some(30_000));
+        match (local, remote) {
+            (Ok(local), Ok(remote)) => {
+                assert_eq!(
+                    local.counts, remote.counts,
+                    "seed {seed:#x} ({algorithm:?}, n={}): counts diverge",
+                    wire.n
+                );
+                assert_eq!(
+                    local.makespan.to_bits(),
+                    remote.makespan.to_bits(),
+                    "seed {seed:#x} ({algorithm:?}): makespan not bit-identical ({} vs {})",
+                    local.makespan,
+                    remote.makespan
+                );
+                assert_eq!(
+                    remote.counts.iter().sum::<u64>(),
+                    wire.n,
+                    "seed {seed:#x}: conservation"
+                );
+            }
+            (Err(local_err), Err(remote_err)) => {
+                assert_eq!(
+                    remote_err.code, "solve_failed",
+                    "seed {seed:#x}: remote {remote_err} vs local {local_err}"
+                );
+            }
+            (local, remote) => {
+                panic!("seed {seed:#x}: disagreement: local {local:?} vs remote {remote:?}");
+            }
+        }
+    }
+    handle.shutdown_and_join();
+}
+
+/// The unknown-algorithm error is context-sensitive over the wire: a
+/// cluster with at least one inline cost machine gets the nonlinear
+/// entries in the suggestion list; a plain speed cluster does not.
+#[test]
+fn unknown_algorithm_suggestions_follow_cluster_cost_models() {
+    let handle = spawn(ServerConfig::default()).expect("spawn server");
+    let mut client = Client::connect(handle.addr, Duration::from_secs(60)).expect("connect");
+
+    let speed_knots = vec![(1e3, 200.0), (1e6, 180.0), (1e8, 0.5)];
+    let cost_knots = vec![(1e3, 10.0), (1e6, 9_000.0)];
+    client
+        .register_inline("plain", &[("m0".into(), speed_knots.clone())])
+        .expect("register plain");
+    client
+        .register_inline_mixed(
+            "costy",
+            &[
+                ("m0".into(), speed_knots, false),
+                ("m1".into(), cost_knots, true),
+            ],
+        )
+        .expect("register costy");
+
+    let ask = |client: &mut Client, cluster: &str| -> String {
+        let raw = client
+            .request_raw(&format!(
+                r#"{{"verb":"partition","cluster":"{cluster}","n":1000,"algorithm":"bogus"}}"#
+            ))
+            .expect("transport");
+        assert_eq!(raw.get("ok").and_then(Json::as_bool), Some(false), "{raw:?}");
+        assert_eq!(raw.get("error").and_then(Json::as_str), Some("bad_request"), "{raw:?}");
+        raw.get("message").and_then(Json::as_str).unwrap_or_default().to_string()
+    };
+
+    let plain_msg = ask(&mut client, "plain");
+    assert!(plain_msg.contains("unknown algorithm"), "{plain_msg}");
+    assert!(plain_msg.contains("combined"), "{plain_msg}");
+    assert!(
+        !plain_msg.contains("sort-sample") && !plain_msg.contains("query"),
+        "linear cluster must not advertise nonlinear entries: {plain_msg}"
+    );
+
+    let costy_msg = ask(&mut client, "costy");
+    assert!(
+        costy_msg.contains("sort-sample") && costy_msg.contains("query"),
+        "cost cluster must advertise the nonlinear entries: {costy_msg}"
+    );
     handle.shutdown_and_join();
 }

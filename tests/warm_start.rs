@@ -75,7 +75,11 @@ fn engine_warm_starts_are_bit_identical_including_epoch_bumps() {
         let models: Vec<WireModel> = wire
             .models
             .iter()
-            .map(|(name, knots)| WireModel { name: name.clone(), knots: knots.clone() })
+            .map(|(name, knots)| WireModel {
+                name: name.clone(),
+                knots: knots.clone(),
+                cost: false,
+            })
             .collect();
         // Bounded name pool: re-registering a name replaces the cluster.
         let name = format!("warm-{}", i % 32);
@@ -122,8 +126,11 @@ fn engine_warm_starts_are_bit_identical_including_epoch_bumps() {
         // cache but finds the pre-refit plan under the cluster's previous
         // (fingerprint, epoch) — and must still match a cold solve on the
         // refined model exactly.
-        let x = (c0.models[0].max_size() * 0.25).max(1.0);
-        let s_slow = c0.models[0].speed(x) * 0.65;
+        let fpm_serve::registry::MachineModel::Speed(m0) = &c0.models[0] else {
+            unreachable!("generated clusters are speed machines")
+        };
+        let x = (m0.max_size() * 0.25).max(1.0);
+        let s_slow = m0.speed(x) * 0.65;
         // NaN speeds must skip too, so compare through partial_cmp.
         if s_slow.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             continue;
